@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the netlist front end: binarization,
+//! tree extraction, tokenization, Jaccard filtering, generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebert::{bit_sequences, jaccard, tokenize_bit, tree_codes};
+use rebert_circuits::{generate, profile, Profile};
+use rebert_netlist::{binarize, BitTree};
+
+fn bench_frontend(c: &mut Criterion) {
+    let circuit = generate(&profile("b11").expect("b11 exists"), 0xB11);
+    let nl = &circuit.netlist;
+    let (bin, _) = binarize(nl);
+    let bits = bin.bits();
+
+    let mut group = c.benchmark_group("frontend_b11");
+    group.sample_size(20);
+    group.bench_function("binarize", |b| b.iter(|| binarize(nl)));
+    group.bench_function("tree_extract_all_k6", |b| {
+        b.iter(|| {
+            bits.iter()
+                .map(|&bit| BitTree::extract(&bin, bit, 6))
+                .collect::<Vec<_>>()
+        })
+    });
+    let trees: Vec<BitTree> = bits
+        .iter()
+        .map(|&bit| BitTree::extract(&bin, bit, 6))
+        .collect();
+    group.bench_function("tokenize_all", |b| {
+        b.iter(|| trees.iter().map(tokenize_bit).collect::<Vec<_>>())
+    });
+    group.bench_function("tree_codes_all", |b| {
+        b.iter(|| {
+            trees
+                .iter()
+                .map(|t| tree_codes(t, 32))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("bit_sequences_k4", |b| b.iter(|| bit_sequences(nl, 4, 24)));
+    let seqs = bit_sequences(nl, 4, 24);
+    group.bench_function("jaccard_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..seqs.len() {
+                for j in i + 1..seqs.len() {
+                    acc += jaccard(&seqs[i].0, &seqs[j].0);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    for (name, p) in [
+        ("b03", profile("b03").expect("exists")),
+        ("mid_500ff", Profile::new("mid", 2000, 500, 40)),
+    ] {
+        group.bench_function(name, |b| b.iter(|| generate(&p, 1)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the model substrate: matmul kernels,
+//! a single forward pass, and a single training (forward + backward +
+//! Adam) step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rebert::{PairSequence, ReBertConfig, ReBertModel, Token};
+use rebert_nn::{Adam, Forward};
+use rebert_tensor::{normal, Tensor};
+
+fn demo_pair(cfg: &ReBertConfig, len_each: usize) -> PairSequence {
+    let toks = vec![Token::X; len_each];
+    let codes = vec![vec![0.0; cfg.code_width]; len_each];
+    PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha20Rng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let a = normal(&mut rng, n, n, 1.0);
+        let b = normal(&mut rng, n, n, 1.0);
+        group.bench_function(format!("{n}x{n}"), |bch| bch.iter(|| a.matmul(&b)));
+    }
+    let a = normal(&mut rng, 96, 64, 1.0);
+    group.bench_function("96x64_nt", |bch| bch.iter(|| a.matmul_nt(&a)));
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut cfg = ReBertConfig::small();
+    cfg.k_levels = 4;
+    let model = ReBertModel::new(cfg.clone(), 0);
+    let pair = demo_pair(&cfg, 31);
+
+    let mut group = c.benchmark_group("model_small_seq64");
+    group.sample_size(20);
+    group.bench_function("forward", |b| b.iter(|| model.predict(&pair)));
+    group.bench_function("forward_backward", |b| {
+        b.iter(|| {
+            let mut fwd = Forward::new(model.store());
+            let z = model.logit_on(&mut fwd, &pair);
+            let loss = fwd.tape.bce_with_logits(z, Tensor::from_rows(&[&[1.0]]));
+            let grads = fwd.tape.backward(loss);
+            fwd.param_grads(&grads)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    group.bench_function("adam_step_small", |b| {
+        let mut model = ReBertModel::new(cfg.clone(), 0);
+        let mut adam = Adam::new(1e-3);
+        b.iter(|| {
+            let pg = {
+                let mut fwd = Forward::new(model.store());
+                let z = model.logit_on(&mut fwd, &pair);
+                let loss = fwd.tape.bce_with_logits(z, Tensor::from_rows(&[&[1.0]]));
+                let grads = fwd.tape.backward(loss);
+                fwd.param_grads(&grads)
+            };
+            adam.step(model.store_mut(), &pg);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_model);
+criterion_main!(benches);

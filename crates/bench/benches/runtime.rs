@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark behind **Table III**: end-to-end recovery
+//! runtime of the structural baseline vs ReBERT on a b03-profile circuit,
+//! clean and corrupted.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rebert::{ReBertConfig, ReBertModel};
+use rebert_circuits::{corrupt, generate, profile};
+use rebert_structural::{recover_words, StructuralConfig};
+
+fn bench_recovery(c: &mut Criterion) {
+    let circuit = generate(&profile("b03").expect("b03 exists"), 0xB03);
+    let (corrupted, _) = corrupt(&circuit.netlist, 0.4, 7);
+    let mut cfg = ReBertConfig::small();
+    cfg.k_levels = 4;
+    let model = ReBertModel::new(cfg, 0);
+    let scfg = StructuralConfig {
+        k_levels: 4,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("recovery_b03");
+    group.sample_size(10);
+    group.bench_function("structural_clean", |b| {
+        b.iter(|| recover_words(&circuit.netlist, &scfg))
+    });
+    group.bench_function("structural_r04", |b| {
+        b.iter(|| recover_words(&corrupted, &scfg))
+    });
+    group.bench_function("rebert_clean", |b| {
+        b.iter(|| model.recover_words(&circuit.netlist))
+    });
+    group.bench_function("rebert_r04", |b| b.iter(|| model.recover_words(&corrupted)));
+    group.finish();
+}
+
+fn bench_corruption(c: &mut Criterion) {
+    let circuit = generate(&profile("b11").expect("b11 exists"), 0xB11);
+    let mut group = c.benchmark_group("corruption_b11");
+    group.sample_size(10);
+    for r in [0.2f64, 1.0] {
+        group.bench_function(format!("r{r}"), |b| {
+            b.iter_batched(
+                || circuit.netlist.clone(),
+                |nl| corrupt(&nl, r, 1),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery, bench_corruption);
+criterion_main!(benches);

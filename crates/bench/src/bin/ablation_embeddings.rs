@@ -1,0 +1,90 @@
+//! **Ablation A1** — contribution of each embedding scheme.
+//!
+//! Trains four model variants on the same data — all three embeddings
+//! (the paper's configuration), then each scheme disabled in turn — and
+//! compares ARI on a held-out benchmark at a mid-range R-Index (0.4),
+//! where structural corruption is most damaging.
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin ablation_embeddings [--fast]
+//! ```
+
+use rebert::{ari, train, training_samples, EmbeddingFlags, ReBertModel};
+use rebert_bench::{benchmark_suite, Scale, EXPERIMENT_SEED};
+use rebert_circuits::corrupt;
+
+fn main() {
+    let scale = Scale::from_args();
+    // Ablations always use the Fast suite size (3 benchmarks) but the
+    // scale's model; the point is the relative ordering of variants.
+    let suite = benchmark_suite(Scale::Fast);
+    let test_idx = suite.len() - 1;
+    let train_set: Vec<_> = suite
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != test_idx)
+        .map(|(_, c)| c)
+        .collect();
+    let test = &suite[test_idx];
+
+    let base_cfg = scale.model_config();
+    let ds_cfg = scale.dataset_config(&base_cfg);
+    let samples = training_samples(&train_set, &ds_cfg, EXPERIMENT_SEED);
+    let tcfg = scale.train_config();
+
+    let variants: [(&str, EmbeddingFlags); 4] = [
+        (
+            "word + pos + tree (paper)",
+            EmbeddingFlags {
+                word: true,
+                position: true,
+                tree: true,
+            },
+        ),
+        (
+            "- word embedding",
+            EmbeddingFlags {
+                word: false,
+                position: true,
+                tree: true,
+            },
+        ),
+        (
+            "- sequential positional",
+            EmbeddingFlags {
+                word: true,
+                position: false,
+                tree: true,
+            },
+        ),
+        (
+            "- tree positional",
+            EmbeddingFlags {
+                word: true,
+                position: true,
+                tree: false,
+            },
+        ),
+    ];
+
+    println!(
+        "Ablation A1 — embedding schemes ({} train samples, test = {}, R-Index 0.4)",
+        samples.len(),
+        test.profile.name
+    );
+    println!("{:<28} {:>10} {:>10} {:>10}", "variant", "train acc", "ARI r=0", "ARI r=0.4");
+    let truth = test.labels.assignment();
+    let (corrupted, _) = corrupt(&test.netlist, 0.4, EXPERIMENT_SEED);
+    for (name, flags) in variants {
+        let mut cfg = base_cfg.clone();
+        cfg.embeddings = flags;
+        let mut model = ReBertModel::new(cfg, EXPERIMENT_SEED);
+        let report = train(&mut model, &samples, &tcfg);
+        let clean = ari(&truth, &model.recover_words(&test.netlist).assignment);
+        let noisy = ari(&truth, &model.recover_words(&corrupted).assignment);
+        println!(
+            "{:<28} {:>10.3} {:>10.3} {:>10.3}",
+            name, report.final_accuracy, clean, noisy
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! **Ablation A2** — Jaccard pre-filter threshold sweep.
+//!
+//! The paper filters pairs with token-set Jaccard < 0.7 before inference.
+//! This sweep measures, for thresholds {0, 0.5, 0.7, 0.9}, how many pairs
+//! reach the model, the recovery runtime, and the resulting ARI — the
+//! accuracy/compute trade-off the filter buys.
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin ablation_filter [--fast]
+//! ```
+
+use std::time::Instant;
+
+use rebert::{ari, train, training_samples, ReBertModel};
+use rebert_bench::{benchmark_suite, Scale, EXPERIMENT_SEED};
+use rebert_circuits::corrupt;
+
+fn main() {
+    let scale = Scale::from_args();
+    let suite = benchmark_suite(Scale::Fast);
+    let test_idx = 0;
+    let train_set: Vec<_> = suite
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != test_idx)
+        .map(|(_, c)| c)
+        .collect();
+    let test = &suite[test_idx];
+
+    let base_cfg = scale.model_config();
+    let ds_cfg = scale.dataset_config(&base_cfg);
+    let samples = training_samples(&train_set, &ds_cfg, EXPERIMENT_SEED);
+    let tcfg = scale.train_config();
+
+    // Train once with the paper threshold; the filter only affects
+    // inference, so the same weights serve every sweep point.
+    let mut reference = ReBertModel::new(base_cfg.clone(), EXPERIMENT_SEED);
+    let report = train(&mut reference, &samples, &tcfg);
+    println!(
+        "Ablation A2 — Jaccard filter sweep (test = {}, train acc {:.3}, R-Index 0.2)",
+        test.profile.name, report.final_accuracy
+    );
+    let (netlist, _) = corrupt(&test.netlist, 0.2, EXPERIMENT_SEED);
+    let truth = test.labels.assignment();
+
+    println!(
+        "{:>9} {:>8} {:>9} {:>10} {:>8}",
+        "threshold", "scored", "filtered", "time (s)", "ARI"
+    );
+    for threshold in [0.0, 0.5, 0.7, 0.9] {
+        let mut cfg = base_cfg.clone();
+        cfg.jaccard_threshold = threshold;
+        let mut model = ReBertModel::new(cfg, EXPERIMENT_SEED);
+        model.set_store(reference.store().clone());
+        let t0 = Instant::now();
+        let rec = model.recover_words(&netlist);
+        let elapsed = t0.elapsed();
+        println!(
+            "{:>9.1} {:>8} {:>9} {:>10.3} {:>8.3}",
+            threshold,
+            rec.stats.pairs_scored,
+            rec.stats.pairs_filtered,
+            elapsed.as_secs_f64(),
+            ari(&truth, &rec.assignment)
+        );
+    }
+    println!("\nPaper setting: 0.7 — near-full accuracy at a fraction of the inference cost.");
+}

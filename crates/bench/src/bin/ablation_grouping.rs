@@ -1,0 +1,49 @@
+//! **Ablation A5** — word-generation strategy.
+//!
+//! The paper groups bits by connected components over the `max/3`
+//! threshold. This ablation regroups the *same* score matrices with
+//! average-linkage agglomerative clustering, quantifying how much of the
+//! remaining error is the grouping rule rather than the classifier.
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin ablation_grouping [--fast]
+//! ```
+
+use rebert::{ari, group_bits_adaptive, group_bits_agglomerative};
+use rebert_bench::{benchmark_suite, train_fold_model, Scale, EXPERIMENT_SEED};
+use rebert_circuits::corrupt;
+
+fn main() {
+    let scale = Scale::from_args();
+    let suite = benchmark_suite(Scale::Fast);
+    println!(
+        "Ablation A5 — grouping strategy over identical score matrices ({} benchmarks)",
+        suite.len()
+    );
+    println!(
+        "{:<6} {:>7} {:>16} {:>16}",
+        "bench", "R", "CC (paper)", "avg-linkage"
+    );
+    for (bi, test) in suite.iter().enumerate() {
+        let model = train_fold_model(&suite, bi, scale);
+        let truth = test.labels.assignment();
+        for r in [0.0, 0.4] {
+            let netlist = if r == 0.0 {
+                test.netlist.clone()
+            } else {
+                corrupt(&test.netlist, r, EXPERIMENT_SEED).0
+            };
+            let rec = model.recover_words(&netlist);
+            let cc = ari(&truth, &group_bits_adaptive(&rec.score_matrix));
+            let threshold = rec.score_matrix.threshold();
+            let agg = ari(
+                &truth,
+                &group_bits_agglomerative(&rec.score_matrix, threshold),
+            );
+            println!(
+                "{:<6} {:>7.1} {:>16.3} {:>16.3}",
+                test.profile.name, r, cc, agg
+            );
+        }
+    }
+}

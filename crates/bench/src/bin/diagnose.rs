@@ -1,0 +1,77 @@
+//! Grouping diagnostics: trains one leave-one-out fold and inspects the
+//! score distribution and word-structure of the recovered grouping on the
+//! held-out benchmark — the tool for understanding *why* an ARI number
+//! came out the way it did (over-merge vs under-merge).
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin diagnose -- --bench b15 [--fast]
+//! ```
+
+use rebert::ari;
+use rebert_bench::{benchmark_suite, train_fold_model, Scale, EXPERIMENT_SEED, R_INDEXES};
+use rebert_circuits::corrupt;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args
+        .iter()
+        .position(|a| a == "--bench")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("b03");
+
+    let suite = benchmark_suite(scale);
+    let idx = suite
+        .iter()
+        .position(|c| c.profile.name == bench)
+        .unwrap_or_else(|| panic!("unknown benchmark `{bench}` at this scale"));
+    let model = train_fold_model(&suite, idx, scale);
+    let test = &suite[idx];
+    let truth = test.labels.assignment();
+    println!(
+        "diagnosing {bench}: {} bits, {} true words (widths {:?})",
+        truth.len(),
+        test.labels.word_count(),
+        test.labels.words().iter().map(Vec::len).collect::<Vec<_>>()
+    );
+
+    for &r in &R_INDEXES {
+        let netlist = if r == 0.0 {
+            test.netlist.clone()
+        } else {
+            corrupt(&test.netlist, r, EXPERIMENT_SEED).0
+        };
+        let rec = model.recover_words(&netlist);
+        let n = rec.assignment.len();
+        // Score histogram over scored (non-filtered) pairs.
+        let mut hist = [0usize; 10];
+        let mut scored = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                let s = rec.score_matrix.get(i, j);
+                if s >= 0.0 {
+                    hist[(s * 9.999) as usize] += 1;
+                    scored += 1;
+                }
+            }
+        }
+        let words = rec.words();
+        let mut widths: Vec<usize> = words.iter().map(Vec::len).collect();
+        widths.sort_unstable_by(|a, b| b.cmp(a));
+        println!(
+            "r={r:.1}: ARI {:.3} | threshold {:.3} | {} words (top widths {:?}) | {} scored",
+            ari(&truth, &rec.assignment),
+            rec.score_matrix.threshold(),
+            words.len(),
+            &widths[..widths.len().min(6)],
+            scored,
+        );
+        let total: usize = hist.iter().sum::<usize>().max(1);
+        let bars: Vec<String> = hist
+            .iter()
+            .map(|&c| format!("{:>4.1}", 100.0 * c as f64 / total as f64))
+            .collect();
+        println!("       score deciles %: [{}]", bars.join(","));
+    }
+}

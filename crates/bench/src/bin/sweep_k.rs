@@ -1,0 +1,63 @@
+//! **Ablation A3** — back-trace depth sweep.
+//!
+//! The paper fixes the fan-in back-trace depth at `k = 6`. This sweep
+//! retrains and evaluates at k ∈ {2, 4, 6, 8}, reporting sequence length,
+//! ARI, and recovery runtime — the context/cost trade-off behind the
+//! choice of k.
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin sweep_k [--fast]
+//! ```
+
+use std::time::Instant;
+
+use rebert::{ari, train, training_samples, ReBertModel};
+use rebert_bench::{benchmark_suite, Scale, EXPERIMENT_SEED};
+use rebert_circuits::corrupt;
+
+fn main() {
+    let scale = Scale::from_args();
+    let suite = benchmark_suite(Scale::Fast);
+    let test_idx = 0;
+    let train_set: Vec<_> = suite
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != test_idx)
+        .map(|(_, c)| c)
+        .collect();
+    let test = &suite[test_idx];
+    let truth = test.labels.assignment();
+    let (corrupted, _) = corrupt(&test.netlist, 0.4, EXPERIMENT_SEED);
+
+    println!(
+        "Ablation A3 — back-trace depth sweep (test = {})",
+        test.profile.name
+    );
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "k", "samples", "train acc", "ARI r=0", "ARI r=0.4", "time (s)"
+    );
+    for k in [2usize, 4, 6, 8] {
+        let mut cfg = scale.model_config();
+        cfg.k_levels = k;
+        // Deeper cones mean longer sequences; give the model headroom.
+        cfg.max_seq = cfg.max_seq.max(1 << (k + 2));
+        let ds_cfg = scale.dataset_config(&cfg);
+        let samples = training_samples(&train_set, &ds_cfg, EXPERIMENT_SEED ^ k as u64);
+        let mut model = ReBertModel::new(cfg, EXPERIMENT_SEED);
+        let report = train(&mut model, &samples, &scale.train_config());
+        let t0 = Instant::now();
+        let clean = ari(&truth, &model.recover_words(&test.netlist).assignment);
+        let noisy = ari(&truth, &model.recover_words(&corrupted).assignment);
+        let elapsed = t0.elapsed();
+        println!(
+            "{:>3} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            k,
+            report.samples,
+            report.final_accuracy,
+            clean,
+            noisy,
+            elapsed.as_secs_f64() / 2.0
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! **Table I** — benchmark circuit statistics.
+//!
+//! Regenerates the paper's benchmark-information table for the synthetic
+//! ITC'99-profile suite: gate count, flip-flop count, and word count per
+//! benchmark, next to the profile targets.
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin table1 [--fast|--full-scale]
+//! ```
+
+use rebert_bench::{benchmark_suite, Scale, EXPERIMENT_SEED};
+use rebert_netlist::NetlistStats;
+
+fn main() {
+    let scale = Scale::from_args();
+    let suite = benchmark_suite(scale);
+    println!("Table I — benchmark circuits ({scale:?} scale, seed {EXPERIMENT_SEED:#x})");
+    println!(
+        "{:<6} {:>12} {:>8} {:>7} {:>6} {:>6}   target gates (profile)",
+        "bench", "#gates", "#FFs", "#words", "#PIs", "#POs"
+    );
+    for c in &suite {
+        let st = NetlistStats::of(&c.netlist);
+        println!(
+            "{:<6} {:>12} {:>8} {:>7} {:>6} {:>6}   {}",
+            st.name,
+            st.gates,
+            st.ffs,
+            c.labels.word_count(),
+            st.inputs,
+            st.outputs,
+            c.profile.target_gates,
+        );
+    }
+    let total_gates: usize = suite.iter().map(|c| c.netlist.gate_count()).sum();
+    let total_ffs: usize = suite.iter().map(|c| c.netlist.dff_count()).sum();
+    println!("{:<6} {:>12} {:>8}", "total", total_gates, total_ffs);
+    println!();
+    println!("Paper reference rows (full scale): b03 = 122 gates / 30 FFs / 7 words,");
+    println!("b11 = 726 / 31 / 5, b17 = 30777 / 1415 / 98.");
+}

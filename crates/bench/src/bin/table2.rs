@@ -1,0 +1,118 @@
+//! **Table II** — ARI of structural matching vs ReBERT across R-Index
+//! levels, leave-one-out cross-validation.
+//!
+//! For every benchmark `b`, a model is trained on all other benchmarks
+//! (with R-Index augmentation, 1 : 1.2 balancing, per-circuit caps) and
+//! evaluated on `b` at R-Index ∈ {0, 0.2, 0.4, 0.6, 0.8, 1}. Prints the
+//! paper's table layout — per-R-Index rows for both methods, the average
+//! column with ReBERT's improvement %, and the per-benchmark average
+//! block — and writes `table2_results.json` next to the binary's CWD.
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin table2 [--fast|--full-scale]
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rebert_bench::{
+    benchmark_suite, evaluate_cell, train_fold_model, Scale, EXPERIMENT_SEED, R_INDEXES,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    let suite = benchmark_suite(scale);
+    let names: Vec<String> = suite.iter().map(|c| c.profile.name.clone()).collect();
+    println!(
+        "Table II — ARI comparison ({scale:?} scale, {} benchmarks, seed {EXPERIMENT_SEED:#x})",
+        suite.len()
+    );
+    let wall = Instant::now();
+
+    // results[r][bench] = (structural, rebert)
+    let mut results: Vec<Vec<(f64, f64)>> = vec![Vec::new(); R_INDEXES.len()];
+    for (bi, _) in suite.iter().enumerate() {
+        eprintln!("=== fold {} / {} ({}) ===", bi + 1, suite.len(), names[bi]);
+        let model = train_fold_model(&suite, bi, scale);
+        for (ri, &r) in R_INDEXES.iter().enumerate() {
+            let cell = evaluate_cell(&model, &suite[bi], r, EXPERIMENT_SEED ^ (ri as u64) << 8);
+            eprintln!(
+                "  r={r:.1}: structural {:.3}, rebert {:.3} ({} bits)",
+                cell.structural_ari,
+                cell.rebert_ari,
+                suite[bi].netlist.dff_count()
+            );
+            results[ri].push((cell.structural_ari, cell.rebert_ari));
+        }
+    }
+
+    // ---- paper-layout printing ------------------------------------------
+    let header: String = names.iter().map(|n| format!("{n:>7}")).collect();
+    println!("\n{:<8} {:<11}{header} {:>9}", "R-Index", "Method", "Average");
+    let mut per_bench_s = vec![0.0f64; names.len()];
+    let mut per_bench_r = vec![0.0f64; names.len()];
+    for (ri, &r) in R_INDEXES.iter().enumerate() {
+        let row = &results[ri];
+        let s_avg: f64 = row.iter().map(|c| c.0).sum::<f64>() / row.len() as f64;
+        let r_avg: f64 = row.iter().map(|c| c.1).sum::<f64>() / row.len() as f64;
+        let s_cells: String = row.iter().map(|c| format!("{:>7.3}", c.0)).collect();
+        let r_cells: String = row.iter().map(|c| format!("{:>7.3}", c.1)).collect();
+        let improv = if s_avg.abs() > 1e-9 {
+            (r_avg - s_avg) / s_avg.abs() * 100.0
+        } else {
+            0.0
+        };
+        println!("{:<8} {:<11}{s_cells} {s_avg:>9.3}", format!("{r:.1}"), "Structural");
+        println!(
+            "{:<8} {:<11}{r_cells} {r_avg:>9.3} ({improv:+.1}%)",
+            "", "ReBERT"
+        );
+        for (i, c) in row.iter().enumerate() {
+            per_bench_s[i] += c.0;
+            per_bench_r[i] += c.1;
+        }
+    }
+    let nr = R_INDEXES.len() as f64;
+    let s_cells: String = per_bench_s.iter().map(|v| format!("{:>7.3}", v / nr)).collect();
+    let r_cells: String = per_bench_r.iter().map(|v| format!("{:>7.3}", v / nr)).collect();
+    let imp_cells: String = per_bench_s
+        .iter()
+        .zip(&per_bench_r)
+        .map(|(s, r)| {
+            let (s, r) = (s / nr, r / nr);
+            if s.abs() > 1e-9 {
+                format!("{:>7.1}", (r - s) / s.abs() * 100.0)
+            } else {
+                format!("{:>7}", "-")
+            }
+        })
+        .collect();
+    println!("{:<8} {:<11}{s_cells}", "Average", "Structural");
+    println!("{:<8} {:<11}{r_cells}", "", "ReBERT");
+    println!("{:<8} {:<11}{imp_cells}", "", "Improv.%");
+    println!("\ntotal wall-clock: {:.0}s", wall.elapsed().as_secs_f64());
+
+    // ---- machine-readable dump -------------------------------------------
+    let mut dump: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    dump.insert("scale".into(), format!("{scale:?}").into());
+    dump.insert("seed".into(), EXPERIMENT_SEED.into());
+    dump.insert(
+        "benchmarks".into(),
+        serde_json::to_value(&names).expect("names serialize"),
+    );
+    dump.insert(
+        "r_indexes".into(),
+        serde_json::to_value(R_INDEXES).expect("r serialize"),
+    );
+    let cells: Vec<Vec<(f64, f64)>> = results;
+    dump.insert(
+        "cells_structural_rebert".into(),
+        serde_json::to_value(&cells).expect("cells serialize"),
+    );
+    std::fs::write(
+        "table2_results.json",
+        serde_json::to_string_pretty(&dump).expect("dump serialize"),
+    )
+    .expect("write table2_results.json");
+    println!("wrote table2_results.json");
+}

@@ -1,0 +1,61 @@
+//! **Table III** — average recovery runtime per benchmark.
+//!
+//! Times the full recovery pipeline (cone extraction → scoring →
+//! grouping) of both methods on every benchmark, averaged over the six
+//! R-Index levels, mirroring the paper's runtime comparison. Model
+//! weights do not affect runtime, so an untrained model with the
+//! experiment configuration is used; training time is reported by
+//! `table2` separately (as in the paper, which reports inference-side
+//! runtime only).
+//!
+//! ```text
+//! cargo run -p rebert-bench --release --bin table3 [--fast|--full-scale]
+//! ```
+
+use std::time::Duration;
+
+use rebert::ReBertModel;
+use rebert_bench::{benchmark_suite, evaluate_cell, fmt_secs, Scale, EXPERIMENT_SEED, R_INDEXES};
+
+fn main() {
+    let scale = Scale::from_args();
+    let suite = benchmark_suite(scale);
+    let model = ReBertModel::new(scale.model_config(), EXPERIMENT_SEED);
+    println!(
+        "Table III — average recovery runtime in seconds ({scale:?} scale, averaged over {} R-Indexes)",
+        R_INDEXES.len()
+    );
+    println!(
+        "{:<6} {:>8} {:>12} {:>12} {:>9}",
+        "bench", "#FFs", "Structural", "ReBERT", "ratio"
+    );
+    for (bi, c) in suite.iter().enumerate() {
+        let mut s_total = Duration::ZERO;
+        let mut r_total = Duration::ZERO;
+        for (ri, &r) in R_INDEXES.iter().enumerate() {
+            let cell = evaluate_cell(
+                &model,
+                c,
+                r,
+                EXPERIMENT_SEED ^ ((bi as u64) << 16) ^ ri as u64,
+            );
+            s_total += cell.structural_time;
+            r_total += cell.rebert_time;
+        }
+        let n = R_INDEXES.len() as u32;
+        let s_avg = s_total / n;
+        let r_avg = r_total / n;
+        let ratio = r_avg.as_secs_f64() / s_avg.as_secs_f64().max(1e-9);
+        println!(
+            "{:<6} {:>8} {:>12} {:>12} {:>8.1}x",
+            c.profile.name,
+            c.netlist.dff_count(),
+            fmt_secs(s_avg),
+            fmt_secs(r_avg),
+            ratio
+        );
+    }
+    println!();
+    println!("Paper shape: comparable runtimes on small benchmarks; ReBERT slower on");
+    println!("the largest (b18: 120.97s vs 47.52s on the authors' machine).");
+}

@@ -1,0 +1,261 @@
+//! # rebert-bench
+//!
+//! The experiment harness that regenerates the ReBERT paper's tables:
+//!
+//! * **Table I** — benchmark statistics (`table1` binary);
+//! * **Table II** — ARI of structural matching vs ReBERT across R-Index
+//!   levels under leave-one-out cross-validation (`table2` binary);
+//! * **Table III** — average recovery runtime per benchmark (`table3`
+//!   binary);
+//! * ablations — embedding schemes (`ablation_embeddings`), Jaccard filter
+//!   threshold (`ablation_filter`), back-trace depth (`sweep_k`).
+//!
+//! All binaries accept `--fast` (subset of benchmarks / lighter training)
+//! and `--full-scale` (full-size b14–b18 profiles); defaults are sized for
+//! a single CPU core. Criterion micro-benchmarks live under `benches/`.
+
+use std::time::{Duration, Instant};
+
+use rebert::{
+    ari, loo_split, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel,
+    TrainConfig,
+};
+use rebert_circuits::{corrupt, itc99_profiles, itc99_profiles_scaled, GeneratedCircuit};
+use rebert_circuits::{generate, Profile};
+use rebert_structural::{recover_words, StructuralConfig};
+
+/// The corruption levels evaluated by the paper's Table II.
+pub const R_INDEXES: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Master seed used by the published tables (printed with each run).
+pub const EXPERIMENT_SEED: u64 = 0xDA7E_2025;
+
+/// Sizing of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A handful of small benchmarks, light training — smoke-test sizing.
+    Fast,
+    /// All 12 benchmarks with the large ones scaled down (default).
+    Scaled,
+    /// Full-size Table I profiles (hours of CPU time).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--fast` / `--full-scale` style CLI flags; unknown flags are
+    /// ignored so binaries can layer their own.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--fast") {
+            Scale::Fast
+        } else if args.iter().any(|a| a == "--full-scale") {
+            Scale::Full
+        } else {
+            Scale::Scaled
+        }
+    }
+
+    /// The benchmark profiles for this scale.
+    pub fn profiles(self) -> Vec<Profile> {
+        match self {
+            Scale::Fast => itc99_profiles_scaled()
+                .into_iter()
+                .filter(|p| ["b03", "b08", "b13"].contains(&p.name.as_str()))
+                .collect(),
+            Scale::Scaled => itc99_profiles_scaled(),
+            Scale::Full => itc99_profiles(),
+        }
+    }
+
+    /// The model configuration for this scale.
+    pub fn model_config(self) -> ReBertConfig {
+        match self {
+            Scale::Fast => {
+                let mut cfg = ReBertConfig::small();
+                cfg.k_levels = 4;
+                cfg
+            }
+            Scale::Scaled => {
+                let mut cfg = ReBertConfig::small();
+                cfg.k_levels = 5;
+                cfg.max_seq = 160;
+                cfg
+            }
+            Scale::Full => ReBertConfig::paper(),
+        }
+    }
+
+    /// The training configuration for this scale.
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            Scale::Fast => TrainConfig {
+                epochs: 8,
+                lr: 1e-3,
+                batch_size: 16,
+                seed: EXPERIMENT_SEED,
+                weight_decay: 0.01,
+                warmup_frac: 0.1,
+            },
+            Scale::Scaled => TrainConfig {
+                epochs: 6,
+                lr: 1e-3,
+                batch_size: 16,
+                seed: EXPERIMENT_SEED,
+                weight_decay: 0.01,
+                warmup_frac: 0.1,
+            },
+            Scale::Full => TrainConfig {
+                epochs: 6,
+                lr: 5e-4,
+                batch_size: 32,
+                seed: EXPERIMENT_SEED,
+                weight_decay: 0.01,
+                warmup_frac: 0.1,
+            },
+        }
+    }
+
+    /// The dataset configuration for this scale (paper balancing rules,
+    /// with lighter augmentation/caps below full scale).
+    pub fn dataset_config(self, model: &ReBertConfig) -> DatasetConfig {
+        let mut cfg = DatasetConfig::for_model(model);
+        match self {
+            Scale::Fast => {
+                cfg.r_indexes = vec![0.0, 0.4, 0.8];
+                cfg.max_per_circuit = 500;
+            }
+            Scale::Scaled => {
+                cfg.r_indexes = vec![0.0, 0.4, 0.8];
+                cfg.max_per_circuit = 500;
+            }
+            Scale::Full => { /* paper values from Default */ }
+        }
+        cfg
+    }
+}
+
+/// Generates the benchmark suite for a scale, deterministically.
+pub fn benchmark_suite(scale: Scale) -> Vec<GeneratedCircuit> {
+    scale
+        .profiles()
+        .iter()
+        .map(|p| generate(p, EXPERIMENT_SEED ^ hash_name(&p.name)))
+        .collect()
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Result of evaluating both methods on one benchmark at one R-Index.
+#[derive(Debug, Clone, Copy)]
+pub struct CellResult {
+    /// ARI of the structural baseline.
+    pub structural_ari: f64,
+    /// ARI of ReBERT.
+    pub rebert_ari: f64,
+    /// Structural recovery wall-clock.
+    pub structural_time: Duration,
+    /// ReBERT recovery wall-clock.
+    pub rebert_time: Duration,
+}
+
+/// Evaluates a trained model and the structural baseline on one circuit
+/// at one corruption level.
+pub fn evaluate_cell(
+    model: &ReBertModel,
+    circuit: &GeneratedCircuit,
+    r_index: f64,
+    corruption_seed: u64,
+) -> CellResult {
+    let netlist = if r_index == 0.0 {
+        circuit.netlist.clone()
+    } else {
+        corrupt(&circuit.netlist, r_index, corruption_seed).0
+    };
+    let truth = circuit.labels.assignment();
+
+    let scfg = StructuralConfig {
+        k_levels: model.config().k_levels,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let s_rec = recover_words(&netlist, &scfg);
+    let structural_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let r_rec = model.recover_words(&netlist);
+    let rebert_time = t1.elapsed();
+
+    CellResult {
+        structural_ari: ari(&truth, &s_rec.assignment),
+        rebert_ari: ari(&truth, &r_rec.assignment),
+        structural_time,
+        rebert_time,
+    }
+}
+
+/// Trains the leave-one-out model for fold `test_idx` and returns it.
+pub fn train_fold_model(
+    circuits: &[GeneratedCircuit],
+    test_idx: usize,
+    scale: Scale,
+) -> ReBertModel {
+    let model_cfg = scale.model_config();
+    let (train_set, _) = loo_split(circuits, test_idx);
+    let ds_cfg = scale.dataset_config(&model_cfg);
+    let samples = training_samples(&train_set, &ds_cfg, EXPERIMENT_SEED ^ test_idx as u64);
+    let mut model = ReBertModel::new(model_cfg, EXPERIMENT_SEED);
+    let report = train(&mut model, &samples, &scale.train_config());
+    eprintln!(
+        "  fold {test_idx}: {} samples, losses {:?}, train acc {:.3}",
+        report.samples, report.epoch_losses, report.final_accuracy
+    );
+    model
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_consistent_configs() {
+        for scale in [Scale::Fast, Scale::Scaled, Scale::Full] {
+            let profiles = scale.profiles();
+            assert!(!profiles.is_empty());
+            let mcfg = scale.model_config();
+            let dcfg = scale.dataset_config(&mcfg);
+            assert_eq!(dcfg.k_levels, mcfg.k_levels);
+            assert_eq!(dcfg.code_width, mcfg.code_width);
+        }
+        assert_eq!(Scale::Scaled.profiles().len(), 12);
+    }
+
+    #[test]
+    fn suite_generation_is_deterministic() {
+        let a = benchmark_suite(Scale::Fast);
+        let b = benchmark_suite(Scale::Fast);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.netlist.gate_count(), y.netlist.gate_count());
+            assert_eq!(x.labels, y.labels);
+        }
+    }
+
+    #[test]
+    fn evaluate_cell_runs_end_to_end() {
+        let suite = benchmark_suite(Scale::Fast);
+        let model = ReBertModel::new(Scale::Fast.model_config(), 1);
+        let cell = evaluate_cell(&model, &suite[0], 0.4, 9);
+        assert!((-1.0..=1.0).contains(&cell.structural_ari));
+        assert!((-1.0..=1.0).contains(&cell.rebert_ari));
+        assert!(cell.rebert_time > Duration::ZERO);
+    }
+}

@@ -1,0 +1,272 @@
+//! Controlled netlist corruption (the paper's **R-Index** procedure).
+//!
+//! Every gate in the netlist is visited and, with probability `r_index`,
+//! replaced by a randomly chosen functionally-equivalent template from
+//! [`crate::equiv::templates_for`]. `r_index = 0` leaves the netlist
+//! untouched; `r_index = 1` replaces every gate that has a registered
+//! template. Because all templates are truth-table verified, corruption
+//! never changes circuit function — only its structural patterns.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use rebert_netlist::{Driver, Netlist, NetId};
+
+use crate::equiv::{templates_for, TemplateRef};
+
+/// Statistics reported by [`corrupt`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptStats {
+    /// Gates visited.
+    pub visited: usize,
+    /// Gates replaced by a template.
+    pub replaced: usize,
+    /// Gates left unchanged (either by the coin flip or because no
+    /// template exists for their type/arity).
+    pub kept: usize,
+    /// Total gates in the corrupted netlist.
+    pub gates_out: usize,
+}
+
+impl CorruptStats {
+    /// Fraction of visited gates that were replaced.
+    pub fn replacement_rate(&self) -> f64 {
+        if self.visited == 0 {
+            0.0
+        } else {
+            self.replaced as f64 / self.visited as f64
+        }
+    }
+}
+
+/// Applies R-Index corruption and returns the corrupted netlist plus
+/// statistics. Deterministic for a fixed `(netlist, r_index, seed)`.
+///
+/// Net names, primary inputs/outputs, flip-flops, and therefore the
+/// definition of every **bit** are preserved; replacement temporaries get
+/// `__cor_*` names.
+///
+/// # Panics
+///
+/// Panics if `r_index` is not within `0.0..=1.0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert_circuits::corrupt;
+/// use rebert_netlist::parse_bench;
+///
+/// let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\ny = NAND(a, b)\nOUTPUT(y)\n")?;
+/// let (bad, stats) = corrupt(&nl, 1.0, 7);
+/// assert_eq!(stats.replaced, 1);
+/// assert!(bad.gate_count() > nl.gate_count()); // template is larger
+/// # Ok(())
+/// # }
+/// ```
+pub fn corrupt(nl: &Netlist, r_index: f64, seed: u64) -> (Netlist, CorruptStats) {
+    assert!(
+        (0.0..=1.0).contains(&r_index),
+        "r_index must be in [0, 1], got {r_index}"
+    );
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let mut out = Netlist::new(nl.name());
+    let mut stats = CorruptStats::default();
+
+    for (_, name) in nl.iter_nets() {
+        out.add_net(name);
+    }
+    for &pi in nl.primary_inputs() {
+        out.promote_to_input(pi);
+    }
+    for (id, _) in nl.iter_nets() {
+        match nl.driver(id) {
+            Driver::ConstOne => out.promote_to_const(id, true),
+            Driver::ConstZero if nl.net_name(id).starts_with("__const") => {
+                out.promote_to_const(id, false)
+            }
+            _ => {}
+        }
+    }
+    for &po in nl.primary_outputs() {
+        out.add_output(po);
+    }
+
+    let mut tmp = 0usize;
+    for g in nl.gates() {
+        stats.visited += 1;
+        let candidates = templates_for(g.gtype, g.inputs.len());
+        let replace = !candidates.is_empty() && rng.gen_bool(r_index);
+        if !replace {
+            out.add_gate(g.gtype, g.inputs.clone(), g.output)
+                .expect("mirrored output net is free");
+            stats.kept += 1;
+            continue;
+        }
+        let t = &candidates[rng.gen_range(0..candidates.len())];
+        let mut step_nets: Vec<NetId> = Vec::with_capacity(t.steps.len());
+        for (si, s) in t.steps.iter().enumerate() {
+            let args: Vec<NetId> = s
+                .args
+                .iter()
+                .map(|r| match *r {
+                    TemplateRef::Input(i) => g.inputs[i],
+                    TemplateRef::Step(prev) => step_nets[prev],
+                })
+                .collect();
+            let is_last = si + 1 == t.steps.len();
+            let net = if is_last {
+                out.add_gate(s.gtype, args, g.output)
+                    .expect("mirrored output net is free");
+                g.output
+            } else {
+                let n = out.add_net(format!("__cor_{tmp}"));
+                tmp += 1;
+                out.add_gate(s.gtype, args, n).expect("fresh net is free");
+                n
+            };
+            step_nets.push(net);
+        }
+        stats.replaced += 1;
+    }
+
+    for ff in nl.dffs() {
+        out.add_dff(ff.d, ff.q)
+            .expect("flip-flop translation cannot conflict");
+    }
+    stats.gates_out = out.gate_count();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::{parse_bench, Simulator};
+
+    const ADDER: &str = "\
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+axb = XOR(a, b)
+s = XOR(axb, cin)
+t1 = AND(a, b)
+t2 = AND(axb, cin)
+cout = OR(t1, t2)
+q0 = DFF(s)
+q1 = DFF(cout)
+OUTPUT(s)
+OUTPUT(cout)
+";
+
+    fn assert_same_function(a: &Netlist, b: &Netlist) {
+        let n = a.primary_inputs().len();
+        let sim_a = Simulator::new(a).unwrap();
+        let sim_b = Simulator::new(b).unwrap();
+        // Try all PI patterns and all (small) state patterns.
+        let s = a.dff_count();
+        assert!(n + s <= 12);
+        for srow in 0..(1u32 << s) {
+            let state: Vec<bool> = (0..s).map(|j| (srow >> j) & 1 == 1).collect();
+            for row in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|j| (row >> j) & 1 == 1).collect();
+                let va = sim_a.eval_combinational(&inputs, &state);
+                let vb = sim_b.eval_combinational(&inputs, &state);
+                for (id_a, name) in a.iter_nets() {
+                    if name.starts_with("__") {
+                        continue;
+                    }
+                    if let Some(id_b) = b.find_net(name) {
+                        assert_eq!(
+                            va[id_a.index()],
+                            vb[id_b.index()],
+                            "net `{name}` differs (inputs {row:b}, state {srow:b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r_zero_is_identity() {
+        let nl = parse_bench("fa", ADDER).unwrap();
+        let (out, stats) = corrupt(&nl, 0.0, 1);
+        assert_eq!(stats.replaced, 0);
+        assert_eq!(out.gate_count(), nl.gate_count());
+        assert_same_function(&nl, &out);
+    }
+
+    #[test]
+    fn r_one_replaces_everything() {
+        let nl = parse_bench("fa", ADDER).unwrap();
+        let (out, stats) = corrupt(&nl, 1.0, 1);
+        assert_eq!(stats.replaced, stats.visited);
+        assert!(out.gate_count() > nl.gate_count());
+        assert!(out.validate().is_ok());
+        assert_same_function(&nl, &out);
+    }
+
+    #[test]
+    fn intermediate_r_partial_and_equivalent() {
+        let nl = parse_bench("fa", ADDER).unwrap();
+        let (out, stats) = corrupt(&nl, 0.5, 42);
+        assert!(stats.replaced > 0 || stats.kept > 0);
+        assert!(out.validate().is_ok());
+        assert_same_function(&nl, &out);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let nl = parse_bench("fa", ADDER).unwrap();
+        let (a, sa) = corrupt(&nl, 0.5, 99);
+        let (b, sb) = corrupt(&nl, 0.5, 99);
+        assert_eq!(sa, sb);
+        assert_eq!(a.gate_count(), b.gate_count());
+        for (ga, gb) in a.gates().iter().zip(b.gates()) {
+            assert_eq!(ga.gtype, gb.gtype);
+        }
+        let (c, _) = corrupt(&nl, 0.5, 100);
+        // Different seed very likely differs in at least gate count or types.
+        let same = a.gate_count() == c.gate_count()
+            && a.gates().iter().zip(c.gates()).all(|(x, y)| x.gtype == y.gtype);
+        assert!(!same, "different seeds should corrupt differently");
+    }
+
+    #[test]
+    fn bits_preserved() {
+        let nl = parse_bench("fa", ADDER).unwrap();
+        let (out, _) = corrupt(&nl, 1.0, 5);
+        let names_in: Vec<&str> = nl.bits().iter().map(|&b| nl.net_name(b)).collect();
+        let names_out: Vec<&str> = out.bits().iter().map(|&b| out.net_name(b)).collect();
+        assert_eq!(names_in, names_out);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_index")]
+    fn r_out_of_range_panics() {
+        let nl = parse_bench("fa", ADDER).unwrap();
+        let _ = corrupt(&nl, 1.5, 0);
+    }
+
+    #[test]
+    fn sequential_behaviour_preserved_over_time() {
+        let src = "\
+INPUT(en)
+nq0 = XOR(q0, en)
+t = AND(q0, en)
+nq1 = XOR(q1, t)
+q0 = DFF(nq0)
+q1 = DFF(nq1)
+OUTPUT(q1)
+";
+        let nl = parse_bench("cnt", src).unwrap();
+        let (out, _) = corrupt(&nl, 1.0, 3);
+        let mut sa = Simulator::new(&nl).unwrap();
+        let mut sb = Simulator::new(&out).unwrap();
+        for i in 0..10 {
+            let en = i % 3 != 0;
+            sa.step(&[en]);
+            sb.step(&[en]);
+            assert_eq!(sa.state(), sb.state(), "cycle {i}");
+        }
+    }
+}

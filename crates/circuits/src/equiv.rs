@@ -1,0 +1,514 @@
+//! Gate-replacement templates and their equivalence verification.
+//!
+//! The paper's controlled corruption replaces each gate, with probability
+//! **R-Index**, by a functionally-equivalent template — e.g.
+//! `A = NAND(B, C)` → `A = OR(NOT(B), NOT(C))` (paper §III-A.1). Each
+//! [`Template`] here is a tiny straight-line gate program over the original
+//! gate's inputs; [`Template::verify`] checks exhaustive truth-table
+//! equivalence, and the registry only ever hands out verified templates, so
+//! corruption provably never changes circuit function.
+
+use std::fmt;
+
+use rebert_netlist::GateType;
+
+/// A reference to a value inside a [`Template`]: either one of the original
+/// gate's inputs or the output of an earlier step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateRef {
+    /// The i-th input of the gate being replaced.
+    Input(usize),
+    /// The output of the i-th step of this template.
+    Step(usize),
+}
+
+/// One gate instantiation inside a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateStep {
+    /// Gate type of this step.
+    pub gtype: GateType,
+    /// Ordered arguments.
+    pub args: Vec<TemplateRef>,
+}
+
+/// A functionally-equivalent replacement for a `(gate type, arity)` pair:
+/// a straight-line program whose **last step** produces the replacement
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// The gate type this template replaces.
+    pub target: GateType,
+    /// The input count this template replaces.
+    pub arity: usize,
+    /// The program; never empty.
+    pub steps: Vec<TemplateStep>,
+    /// Human-readable description, e.g. `"NAND -> OR(NOT, NOT)"`.
+    pub label: &'static str,
+}
+
+/// Error returned by [`Template::verify`] when a template does not compute
+/// the same function as its target gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyTemplateError {
+    /// The failing template's label.
+    pub label: &'static str,
+    /// The first input pattern (little-endian packed) that disagrees.
+    pub pattern: u64,
+}
+
+impl fmt::Display for VerifyTemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "template `{}` differs from its target on input pattern {:#b}",
+            self.label, self.pattern
+        )
+    }
+}
+
+impl std::error::Error for VerifyTemplateError {}
+
+impl Template {
+    /// Evaluates the template over concrete inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity` or a step references a later
+    /// step.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity, "template arity mismatch");
+        let mut vals: Vec<bool> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let args: Vec<bool> = step
+                .args
+                .iter()
+                .map(|r| match *r {
+                    TemplateRef::Input(i) => inputs[i],
+                    TemplateRef::Step(s) => vals[s],
+                })
+                .collect();
+            vals.push(step.gtype.eval(&args));
+        }
+        *vals.last().expect("template has at least one step")
+    }
+
+    /// Exhaustively verifies that the template equals its target gate on
+    /// every input pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first disagreeing pattern.
+    pub fn verify(&self) -> Result<(), VerifyTemplateError> {
+        let n = self.arity;
+        assert!(n <= 6, "verification supported up to 6 inputs");
+        let mut buf = vec![false; n];
+        for row in 0..(1u64 << n) {
+            for (j, slot) in buf.iter_mut().enumerate() {
+                *slot = (row >> j) & 1 == 1;
+            }
+            if self.eval(&buf) != self.target.eval(&buf) {
+                return Err(VerifyTemplateError {
+                    label: self.label,
+                    pattern: row,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of gates the template instantiates.
+    pub fn gate_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+use TemplateRef::{Input, Step};
+
+fn step(gtype: GateType, args: Vec<TemplateRef>) -> TemplateStep {
+    TemplateStep { gtype, args }
+}
+
+/// Returns all verified replacement templates for `(gtype, arity)`.
+///
+/// Binary (arity-2) gates have hand-written De Morgan / sum-of-products
+/// alternatives; unary gates have double-negation forms; k-input variadic
+/// gates (k ≥ 3) get a generalized De Morgan rewrite. The returned list may
+/// be empty only for gate/arity pairs with no registered equivalent
+/// (`MUX` keeps a single AND-OR form).
+///
+/// Every returned template has been verified by exhaustive truth table;
+/// this function panics if an internal template is wrong (caught by tests).
+pub fn templates_for(gtype: GateType, arity: usize) -> Vec<Template> {
+    let mut out: Vec<Template> = Vec::new();
+    let mut push = |target: GateType, arity: usize, label: &'static str, steps: Vec<TemplateStep>| {
+        let t = Template {
+            target,
+            arity,
+            steps,
+            label,
+        };
+        t.verify()
+            .unwrap_or_else(|e| panic!("internal template invalid: {e}"));
+        out.push(t);
+    };
+
+    match (gtype, arity) {
+        (GateType::Nand, 2) => {
+            // NAND(a,b) = OR(NOT a, NOT b)
+            push(
+                GateType::Nand,
+                2,
+                "NAND->OR(NOT,NOT)",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Not, vec![Input(1)]),
+                    step(GateType::Or, vec![Step(0), Step(1)]),
+                ],
+            );
+            // NAND(a,b) = NOT(AND(a,b))
+            push(
+                GateType::Nand,
+                2,
+                "NAND->NOT(AND)",
+                vec![
+                    step(GateType::And, vec![Input(0), Input(1)]),
+                    step(GateType::Not, vec![Step(0)]),
+                ],
+            );
+        }
+        (GateType::Nor, 2) => {
+            push(
+                GateType::Nor,
+                2,
+                "NOR->AND(NOT,NOT)",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Not, vec![Input(1)]),
+                    step(GateType::And, vec![Step(0), Step(1)]),
+                ],
+            );
+            push(
+                GateType::Nor,
+                2,
+                "NOR->NOT(OR)",
+                vec![
+                    step(GateType::Or, vec![Input(0), Input(1)]),
+                    step(GateType::Not, vec![Step(0)]),
+                ],
+            );
+        }
+        (GateType::And, 2) => {
+            push(
+                GateType::And,
+                2,
+                "AND->NOT(NAND)",
+                vec![
+                    step(GateType::Nand, vec![Input(0), Input(1)]),
+                    step(GateType::Not, vec![Step(0)]),
+                ],
+            );
+            push(
+                GateType::And,
+                2,
+                "AND->NOR(NOT,NOT)",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Not, vec![Input(1)]),
+                    step(GateType::Nor, vec![Step(0), Step(1)]),
+                ],
+            );
+        }
+        (GateType::Or, 2) => {
+            push(
+                GateType::Or,
+                2,
+                "OR->NOT(NOR)",
+                vec![
+                    step(GateType::Nor, vec![Input(0), Input(1)]),
+                    step(GateType::Not, vec![Step(0)]),
+                ],
+            );
+            push(
+                GateType::Or,
+                2,
+                "OR->NAND(NOT,NOT)",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Not, vec![Input(1)]),
+                    step(GateType::Nand, vec![Step(0), Step(1)]),
+                ],
+            );
+        }
+        (GateType::Xor, 2) => {
+            // XOR(a,b) = OR(AND(a, NOT b), AND(NOT a, b))
+            push(
+                GateType::Xor,
+                2,
+                "XOR->AND/OR SOP",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Not, vec![Input(1)]),
+                    step(GateType::And, vec![Input(0), Step(1)]),
+                    step(GateType::And, vec![Step(0), Input(1)]),
+                    step(GateType::Or, vec![Step(2), Step(3)]),
+                ],
+            );
+            // XOR(a,b) = NAND(NAND(a, NAND(a,b)), NAND(b, NAND(a,b)))
+            push(
+                GateType::Xor,
+                2,
+                "XOR->4xNAND",
+                vec![
+                    step(GateType::Nand, vec![Input(0), Input(1)]),
+                    step(GateType::Nand, vec![Input(0), Step(0)]),
+                    step(GateType::Nand, vec![Input(1), Step(0)]),
+                    step(GateType::Nand, vec![Step(1), Step(2)]),
+                ],
+            );
+            push(
+                GateType::Xor,
+                2,
+                "XOR->NOT(XNOR)",
+                vec![
+                    step(GateType::Xnor, vec![Input(0), Input(1)]),
+                    step(GateType::Not, vec![Step(0)]),
+                ],
+            );
+        }
+        (GateType::Xnor, 2) => {
+            push(
+                GateType::Xnor,
+                2,
+                "XNOR->NOT(XOR)",
+                vec![
+                    step(GateType::Xor, vec![Input(0), Input(1)]),
+                    step(GateType::Not, vec![Step(0)]),
+                ],
+            );
+            // XNOR(a,b) = OR(AND(a,b), AND(NOT a, NOT b))
+            push(
+                GateType::Xnor,
+                2,
+                "XNOR->AND/OR SOP",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Not, vec![Input(1)]),
+                    step(GateType::And, vec![Input(0), Input(1)]),
+                    step(GateType::And, vec![Step(0), Step(1)]),
+                    step(GateType::Or, vec![Step(2), Step(3)]),
+                ],
+            );
+        }
+        (GateType::Not, 1) => {
+            push(
+                GateType::Not,
+                1,
+                "NOT->NAND(a,a)",
+                vec![step(GateType::Nand, vec![Input(0), Input(0)])],
+            );
+            push(
+                GateType::Not,
+                1,
+                "NOT->NOR(a,a)",
+                vec![step(GateType::Nor, vec![Input(0), Input(0)])],
+            );
+        }
+        (GateType::Buf, 1) => {
+            push(
+                GateType::Buf,
+                1,
+                "BUF->NOT(NOT)",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Not, vec![Step(0)]),
+                ],
+            );
+            push(
+                GateType::Buf,
+                1,
+                "BUF->AND(a,a)",
+                vec![step(GateType::And, vec![Input(0), Input(0)])],
+            );
+            push(
+                GateType::Buf,
+                1,
+                "BUF->OR(a,a)",
+                vec![step(GateType::Or, vec![Input(0), Input(0)])],
+            );
+        }
+        (GateType::Mux, 3) => {
+            // MUX(s,a,b) = OR(AND(NOT s, a), AND(s, b))
+            push(
+                GateType::Mux,
+                3,
+                "MUX->AND/OR",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::And, vec![Step(0), Input(1)]),
+                    step(GateType::And, vec![Input(0), Input(2)]),
+                    step(GateType::Or, vec![Step(1), Step(2)]),
+                ],
+            );
+            // MUX(s,a,b) = NAND(NAND(NOT s, a), NAND(s, b))
+            push(
+                GateType::Mux,
+                3,
+                "MUX->NAND/NAND",
+                vec![
+                    step(GateType::Not, vec![Input(0)]),
+                    step(GateType::Nand, vec![Step(0), Input(1)]),
+                    step(GateType::Nand, vec![Input(0), Input(2)]),
+                    step(GateType::Nand, vec![Step(1), Step(2)]),
+                ],
+            );
+        }
+        // Generalized De Morgan rewrites for wide variadic gates.
+        (gt, n) if n >= 3 && gt.is_variadic() => {
+            let mut steps = Vec::new();
+            match gt {
+                GateType::Nand => {
+                    // NAND(a..) = OR(NOT a ..)
+                    for i in 0..n {
+                        steps.push(step(GateType::Not, vec![Input(i)]));
+                    }
+                    steps.push(step(GateType::Or, (0..n).map(Step).collect()));
+                    push(GateType::Nand, n, "NAND_k->OR(NOTs)", steps);
+                }
+                GateType::Nor => {
+                    for i in 0..n {
+                        steps.push(step(GateType::Not, vec![Input(i)]));
+                    }
+                    steps.push(step(GateType::And, (0..n).map(Step).collect()));
+                    push(GateType::Nor, n, "NOR_k->AND(NOTs)", steps);
+                }
+                GateType::And => {
+                    steps.push(step(GateType::Nand, (0..n).map(Input).collect()));
+                    steps.push(step(GateType::Not, vec![Step(0)]));
+                    push(GateType::And, n, "AND_k->NOT(NAND_k)", steps);
+                }
+                GateType::Or => {
+                    steps.push(step(GateType::Nor, (0..n).map(Input).collect()));
+                    steps.push(step(GateType::Not, vec![Step(0)]));
+                    push(GateType::Or, n, "OR_k->NOT(NOR_k)", steps);
+                }
+                GateType::Xor => {
+                    // XOR(a, rest..) = XNOR(NOT a, rest..)
+                    steps.push(step(GateType::Not, vec![Input(0)]));
+                    let mut args = vec![Step(0)];
+                    args.extend((1..n).map(Input));
+                    steps.push(step(GateType::Xnor, args));
+                    push(GateType::Xor, n, "XOR_k->XNOR_k(NOT a0)", steps);
+                }
+                GateType::Xnor => {
+                    steps.push(step(GateType::Not, vec![Input(0)]));
+                    let mut args = vec![Step(0)];
+                    args.extend((1..n).map(Input));
+                    steps.push(step(GateType::Xor, args));
+                    push(GateType::Xnor, n, "XNOR_k->XOR_k(NOT a0)", steps);
+                }
+                _ => unreachable!("is_variadic covers the six variadic types"),
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::ALL_GATE_TYPES;
+
+    #[test]
+    fn all_registered_templates_verify() {
+        for g in ALL_GATE_TYPES {
+            for arity in 1..=4usize {
+                if !g.arity_ok(arity) {
+                    continue;
+                }
+                for t in templates_for(g, arity) {
+                    assert!(t.verify().is_ok(), "{} ({arity})", t.label);
+                    assert_eq!(t.arity, arity);
+                    assert_eq!(t.target, g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_binary_gate_has_a_template() {
+        for g in [
+            GateType::And,
+            GateType::Or,
+            GateType::Nand,
+            GateType::Nor,
+            GateType::Xor,
+            GateType::Xnor,
+        ] {
+            assert!(
+                !templates_for(g, 2).is_empty(),
+                "{g} has no binary templates"
+            );
+        }
+        assert!(!templates_for(GateType::Not, 1).is_empty());
+        assert!(!templates_for(GateType::Buf, 1).is_empty());
+        assert!(!templates_for(GateType::Mux, 3).is_empty());
+    }
+
+    #[test]
+    fn wide_gates_have_templates() {
+        for g in [
+            GateType::And,
+            GateType::Or,
+            GateType::Nand,
+            GateType::Nor,
+            GateType::Xor,
+            GateType::Xnor,
+        ] {
+            for n in 3..=5 {
+                assert!(!templates_for(g, n).is_empty(), "{g}/{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_nand_to_or_not_not() {
+        // "A = NAND(B, C) may be replaced by A = OR(NOT(B), NOT(C))"
+        let ts = templates_for(GateType::Nand, 2);
+        let t = ts.iter().find(|t| t.label == "NAND->OR(NOT,NOT)").unwrap();
+        assert_eq!(t.gate_count(), 3);
+        assert!(!t.eval(&[true, true]));
+        assert!(t.eval(&[false, true]));
+    }
+
+    #[test]
+    fn broken_template_detected() {
+        // AND replaced by OR must fail verification.
+        let t = Template {
+            target: GateType::And,
+            arity: 2,
+            steps: vec![step(GateType::Or, vec![Input(0), Input(1)])],
+            label: "broken",
+        };
+        let err = t.verify().unwrap_err();
+        assert_eq!(err.label, "broken");
+    }
+
+    #[test]
+    fn no_identity_templates() {
+        // A template must not be the single original gate (that would make
+        // R-Index=1 corruption a no-op).
+        for g in ALL_GATE_TYPES {
+            for arity in 1..=4usize {
+                if !g.arity_ok(arity) {
+                    continue;
+                }
+                for t in templates_for(g, arity) {
+                    let single_same =
+                        t.steps.len() == 1 && t.steps[0].gtype == g;
+                    assert!(!single_same, "{} is an identity template", t.label);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Assembling a full benchmark circuit from a [`Profile`].
+//!
+//! The generator builds, in order:
+//!
+//! 1. a **control FSM** — a state register (itself a ground-truth word)
+//!    with random next-state logic over primary inputs and state bits, plus
+//!    derived control signals (enables / loads);
+//! 2. the remaining **datapath words**, one block each
+//!    (see [`crate::blocks`]), wired to control signals, primary inputs,
+//!    and the outputs of earlier words (creating realistic cross-word
+//!    logic);
+//! 3. **glue logic** padding random combinational cones toward the
+//!    profile's target gate count (feeding primary outputs only, so the
+//!    bits are unaffected);
+//! 4. optional **optimization noise**: a light equivalence-preserving gate
+//!    rewrite pass (R-Index ≈ 0.05) emulating the per-bit irregularity a
+//!    synthesis optimizer introduces.
+//!
+//! The result carries exact ground-truth [`WordLabels`] by construction.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use rebert_netlist::{GateType, Netlist, NetId};
+use serde::{Deserialize, Serialize};
+
+use crate::blocks::{build_block, BlockCtx, ALL_BLOCK_KINDS};
+use crate::corrupt::corrupt;
+use crate::labels::WordLabels;
+use crate::profiles::Profile;
+
+/// Knobs for [`generate_with`]. [`generate`] uses `Default`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Probability of the light equivalence-preserving rewrite applied to
+    /// each gate after assembly ("synthesis optimization noise").
+    /// `0.0` disables the pass.
+    pub optimize_noise: f64,
+    /// Minimum word width the partitioner aims for (clamped by the
+    /// profile's FF budget).
+    pub min_word_width: usize,
+    /// Maximum word width the partitioner allows.
+    pub max_word_width: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            optimize_noise: 0.05,
+            min_word_width: 2,
+            max_word_width: 32,
+        }
+    }
+}
+
+/// A generated benchmark: the netlist plus its ground-truth word labels.
+#[derive(Debug, Clone)]
+pub struct GeneratedCircuit {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Ground-truth grouping of flip-flops into words.
+    pub labels: WordLabels,
+    /// The profile this circuit was generated from.
+    pub profile: Profile,
+    /// The seed used (for reproducibility records).
+    pub seed: u64,
+}
+
+/// Generates a benchmark circuit for `profile` with default configuration.
+///
+/// Deterministic for a fixed `(profile, seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_circuits::{generate, Profile};
+///
+/// let circuit = generate(&Profile::new("demo", 150, 24, 4), 42);
+/// assert_eq!(circuit.netlist.dff_count(), 24);
+/// assert_eq!(circuit.labels.word_count(), 4);
+/// assert!(circuit.netlist.validate().is_ok());
+/// ```
+pub fn generate(profile: &Profile, seed: u64) -> GeneratedCircuit {
+    generate_with(profile, seed, &GeneratorConfig::default())
+}
+
+/// Generates a benchmark circuit with explicit configuration.
+///
+/// # Panics
+///
+/// Panics if the profile requests more words than flip-flops, or zero
+/// words/FFs.
+pub fn generate_with(profile: &Profile, seed: u64, cfg: &GeneratorConfig) -> GeneratedCircuit {
+    assert!(profile.ffs >= profile.words, "more words than flip-flops");
+    assert!(profile.words >= 1 && profile.ffs >= 1, "empty profile");
+    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 0x5eed_c1c0);
+    let mut nl = Netlist::new(&profile.name);
+
+    // ----- primary inputs ------------------------------------------------
+    let n_pis = (profile.ffs / 6).clamp(4, 40);
+    let pis: Vec<NetId> = (0..n_pis).map(|i| nl.add_input(format!("pi{i}"))).collect();
+
+    // ----- word width partition ------------------------------------------
+    let widths = partition_widths(profile.ffs, profile.words, cfg, &mut rng);
+
+    // ----- control FSM (word 0) ------------------------------------------
+    // The FSM state register is the first word; its width is the first
+    // partition entry (clamped to at most 6 for tractable control logic,
+    // with the remainder folded into the pool below).
+    let mut widths = widths;
+    widths.sort_unstable_by(|a, b| b.cmp(a));
+    // FSM takes a small width from the partition: pick the last (smallest).
+    let fsm_width = *widths.last().expect("at least one word");
+    widths.pop();
+
+    let state_q: Vec<NetId> = (0..fsm_width)
+        .map(|i| nl.add_net(format!("fsm_s{i}")))
+        .collect();
+    let mut word_labels: Vec<Vec<usize>> = Vec::with_capacity(profile.words);
+
+    // Random next-state logic: each state bit mixes two sources through a
+    // random gate pair.
+    let mut fsm_ffs = Vec::with_capacity(fsm_width);
+    for (i, &qi) in state_q.iter().enumerate() {
+        let a = *pis.choose(&mut rng).expect("pis nonempty");
+        let b = state_q[rng.gen_range(0..fsm_width)];
+        let g1 = [GateType::And, GateType::Or, GateType::Xor][rng.gen_range(0..3)];
+        let g2 = [GateType::Nand, GateType::Nor, GateType::Xnor][rng.gen_range(0..3)];
+        let t = nl
+            .add_gate_new_net(g1, vec![a, b], format!("fsm_t{i}"))
+            .expect("fresh");
+        let d = nl
+            .add_gate_new_net(g2, vec![t, qi], format!("fsm_d{i}"))
+            .expect("fresh");
+        let id = nl.add_dff(d, qi).expect("state q undriven");
+        fsm_ffs.push(id.index());
+    }
+    word_labels.push(fsm_ffs);
+
+    // Control signals derived from state bits.
+    let n_ctrl = (profile.words / 3).clamp(2, 8);
+    let mut ctrls: Vec<NetId> = Vec::with_capacity(n_ctrl);
+    for i in 0..n_ctrl {
+        let a = state_q[rng.gen_range(0..fsm_width)];
+        let b = state_q[rng.gen_range(0..fsm_width)];
+        let g = [GateType::And, GateType::Or, GateType::Nand][rng.gen_range(0..3)];
+        let c = nl
+            .add_gate_new_net(g, vec![a, b], format!("ctrl{i}"))
+            .expect("fresh");
+        ctrls.push(c);
+    }
+
+    // ----- datapath words -------------------------------------------------
+    let mut data_pool: Vec<NetId> = pis.clone();
+    for (wi, &width) in widths.iter().enumerate() {
+        let kind = ALL_BLOCK_KINDS[rng.gen_range(0..ALL_BLOCK_KINDS.len())];
+        let ctx = BlockCtx {
+            enable: ctrls[rng.gen_range(0..ctrls.len())],
+            load: ctrls[rng.gen_range(0..ctrls.len())],
+            data_pool: data_pool.clone(),
+            decorate: true,
+        };
+        let built = build_block(&mut nl, kind, width, &ctx, &mut rng, &format!("w{wi}"));
+        // Later words may consume this word's outputs (cap the pool so
+        // data source choice stays diverse but bounded).
+        data_pool.extend(built.q.iter().copied().take(8));
+        word_labels.push(built.ff_indices);
+    }
+
+    // ----- primary outputs for observability -------------------------------
+    // Expose a sample of word outputs.
+    for w in word_labels.iter().skip(1).take(6) {
+        if let Some(&ff) = w.first() {
+            let q = nl.dffs()[ff].q;
+            nl.add_output(q);
+        }
+    }
+
+    // ----- glue logic padding ----------------------------------------------
+    pad_glue_logic(&mut nl, profile.target_gates, &mut rng);
+
+    // ----- optimization noise ----------------------------------------------
+    let netlist = if cfg.optimize_noise > 0.0 {
+        let (noisy, _) = corrupt(
+            &nl,
+            cfg.optimize_noise,
+            seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x7f4a_7c15),
+        );
+        noisy
+    } else {
+        nl
+    };
+
+    GeneratedCircuit {
+        netlist,
+        labels: WordLabels::new(word_labels),
+        profile: profile.clone(),
+        seed,
+    }
+}
+
+/// Splits `ffs` flip-flops into `words` positive widths within the
+/// configured bounds. Deterministic given the RNG state.
+fn partition_widths(
+    ffs: usize,
+    words: usize,
+    cfg: &GeneratorConfig,
+    rng: &mut ChaCha20Rng,
+) -> Vec<usize> {
+    let min_w = cfg.min_word_width.max(1);
+    let mut widths = vec![min_w.min(ffs / words).max(1); words];
+    let mut used: usize = widths.iter().sum();
+    assert!(used <= ffs, "partition lower bound exceeds FF budget");
+    // Distribute the remainder randomly, respecting max width.
+    let mut spins = 0usize;
+    while used < ffs {
+        let i = rng.gen_range(0..words);
+        if widths[i] < cfg.max_word_width {
+            widths[i] += 1;
+            used += 1;
+        }
+        spins += 1;
+        if spins > ffs * 64 {
+            // All words at max width: relax the cap.
+            let i = (0..words).min_by_key(|&i| widths[i]).expect("words >= 1");
+            widths[i] += 1;
+            used += 1;
+        }
+    }
+    widths
+}
+
+/// Adds combinational "glue" cones until the gate count approaches
+/// `target`. New gates only read existing nets and drive fresh nets (so no
+/// cycles and no effect on any bit's function); chain ends become primary
+/// outputs.
+fn pad_glue_logic(nl: &mut Netlist, target: usize, rng: &mut ChaCha20Rng) {
+    const BIN_GATES: [GateType; 6] = [
+        GateType::And,
+        GateType::Or,
+        GateType::Nand,
+        GateType::Nor,
+        GateType::Xor,
+        GateType::Xnor,
+    ];
+    // All nets are driven by the time glue padding runs, so any existing
+    // net is a legal source. New gate outputs are fresh nets: no cycles.
+    let mut pool: Vec<NetId> = nl.iter_nets().map(|(id, _)| id).collect();
+    let mut glue_idx = 0usize;
+    while nl.gate_count() < target {
+        // Build a chain of 4–10 gates rooted in random existing nets.
+        let chain_len = rng.gen_range(4..=10).min(target - nl.gate_count()).max(1);
+        let mut last: Option<NetId> = None;
+        for _ in 0..chain_len {
+            let a = last.unwrap_or_else(|| pool[rng.gen_range(0..pool.len())]);
+            let b = pool[rng.gen_range(0..pool.len())];
+            let g = BIN_GATES[rng.gen_range(0..BIN_GATES.len())];
+            let out = nl
+                .add_gate_new_net(g, vec![a, b], format!("glue{glue_idx}"))
+                .expect("fresh");
+            glue_idx += 1;
+            last = Some(out);
+        }
+        if let Some(end) = last {
+            nl.add_output(end);
+            pool.push(end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{itc99_profiles_scaled, profile};
+
+    #[test]
+    fn generated_circuit_is_valid_and_sized() {
+        let p = Profile::new("demo", 200, 30, 6);
+        let c = generate(&p, 7);
+        assert!(c.netlist.validate().is_ok());
+        assert_eq!(c.netlist.dff_count(), 30);
+        assert_eq!(c.labels.word_count(), 6);
+        assert_eq!(c.labels.bit_count(), 30);
+        assert!(c.netlist.gate_count() >= 200, "glue padding undershoot");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Profile::new("demo", 150, 24, 5);
+        let a = generate(&p, 3);
+        let b = generate(&p, 3);
+        assert_eq!(a.netlist.gate_count(), b.netlist.gate_count());
+        assert_eq!(a.labels, b.labels);
+        let c = generate(&p, 4);
+        let differs = a.netlist.gate_count() != c.netlist.gate_count()
+            || a.labels != c.labels;
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn labels_cover_all_ffs_exactly_once() {
+        let p = Profile::new("demo", 120, 25, 5);
+        let c = generate(&p, 11);
+        let assign = c.labels.assignment();
+        assert_eq!(assign.len(), c.netlist.dff_count());
+    }
+
+    #[test]
+    fn words_have_reasonable_widths() {
+        let p = Profile::new("demo", 300, 64, 8);
+        let c = generate(&p, 1);
+        for w in c.labels.words() {
+            assert!(!w.is_empty());
+            assert!(w.len() <= 32);
+        }
+    }
+
+    #[test]
+    fn b03_profile_generates() {
+        let p = profile("b03").unwrap();
+        let c = generate(&p, 0xB03);
+        assert_eq!(c.netlist.dff_count(), 30);
+        assert_eq!(c.labels.word_count(), 7);
+        assert!(c.netlist.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_profiles_all_generate() {
+        for p in itc99_profiles_scaled().iter().take(8) {
+            let c = generate(p, 99);
+            assert!(c.netlist.validate().is_ok(), "{}", p.name);
+            assert_eq!(c.netlist.dff_count(), p.ffs, "{}", p.name);
+            assert_eq!(c.labels.word_count(), p.words, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn zero_noise_keeps_gate_structure() {
+        let p = Profile::new("demo", 100, 16, 4);
+        let cfg = GeneratorConfig {
+            optimize_noise: 0.0,
+            ..Default::default()
+        };
+        let c = generate_with(&p, 5, &cfg);
+        assert!(c.netlist.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "more words than flip-flops")]
+    fn impossible_profile_panics() {
+        let p = Profile::new("bad", 10, 3, 5);
+        let _ = generate(&p, 0);
+    }
+
+    #[test]
+    fn partition_respects_budget() {
+        let cfg = GeneratorConfig::default();
+        let mut rng = ChaCha20Rng::seed_from_u64(0);
+        for (ffs, words) in [(30, 7), (121, 22), (1415, 98), (8, 8)] {
+            let widths = partition_widths(ffs, words, &cfg, &mut rng);
+            assert_eq!(widths.len(), words);
+            assert_eq!(widths.iter().sum::<usize>(), ffs);
+            assert!(widths.iter().all(|&w| w >= 1));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Ground-truth word labels for generated circuits.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The ground-truth grouping of a circuit's bits into words.
+///
+/// Bits are identified by their **flip-flop index** (the position of the
+/// flip-flop in [`rebert_netlist::Netlist::dffs`], which is also the index
+/// of the bit in [`rebert_netlist::Netlist::bits`]). Every flip-flop
+/// belongs to exactly one word.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_circuits::WordLabels;
+///
+/// let labels = WordLabels::new(vec![vec![0, 1, 2], vec![3, 4]]);
+/// assert_eq!(labels.word_count(), 2);
+/// assert_eq!(labels.assignment(), vec![0, 0, 0, 1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordLabels {
+    words: Vec<Vec<usize>>,
+}
+
+impl WordLabels {
+    /// Creates labels from explicit per-word bit index lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit index appears in more than one word.
+    pub fn new(words: Vec<Vec<usize>>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for w in &words {
+            for &b in w {
+                assert!(seen.insert(b), "bit {b} appears in two words");
+            }
+        }
+        WordLabels { words }
+    }
+
+    /// Builds labels from a flat assignment vector: `assign[i]` is the word
+    /// id of bit `i`. Word ids need not be contiguous.
+    pub fn from_assignment(assign: &[usize]) -> Self {
+        let mut map: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (bit, &w) in assign.iter().enumerate() {
+            map.entry(w).or_default().push(bit);
+        }
+        WordLabels {
+            words: map.into_values().collect(),
+        }
+    }
+
+    /// The words, each a sorted-insertion list of bit indices.
+    pub fn words(&self) -> &[Vec<usize>] {
+        &self.words
+    }
+
+    /// Number of words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total number of labeled bits.
+    pub fn bit_count(&self) -> usize {
+        self.words.iter().map(Vec::len).sum()
+    }
+
+    /// Flattens to an assignment vector indexed by bit: `out[i]` is the
+    /// word id of bit `i`. Bit indices must be dense `0..bit_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit indices are not exactly `0..bit_count()`.
+    pub fn assignment(&self) -> Vec<usize> {
+        let n = self.bit_count();
+        let mut out = vec![usize::MAX; n];
+        for (wi, w) in self.words.iter().enumerate() {
+            for &b in w {
+                assert!(b < n, "bit index {b} out of dense range 0..{n}");
+                out[b] = wi;
+            }
+        }
+        assert!(
+            out.iter().all(|&w| w != usize::MAX),
+            "bit indices are not dense"
+        );
+        out
+    }
+
+    /// Whether two bits belong to the same word.
+    pub fn same_word(&self, a: usize, b: usize) -> bool {
+        self.words
+            .iter()
+            .any(|w| w.contains(&a) && w.contains(&b))
+    }
+
+    /// Width of the largest word.
+    pub fn max_width(&self) -> usize {
+        self.words.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for WordLabels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} words over {} bits", self.word_count(), self.bit_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_assignment() {
+        let labels = WordLabels::new(vec![vec![0, 2], vec![1, 3, 4]]);
+        let assign = labels.assignment();
+        let back = WordLabels::from_assignment(&assign);
+        assert_eq!(back.assignment(), assign);
+    }
+
+    #[test]
+    #[should_panic(expected = "two words")]
+    fn overlapping_words_rejected() {
+        let _ = WordLabels::new(vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn same_word_queries() {
+        let labels = WordLabels::new(vec![vec![0, 1], vec![2]]);
+        assert!(labels.same_word(0, 1));
+        assert!(!labels.same_word(0, 2));
+        assert_eq!(labels.max_width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_assignment_rejected() {
+        let labels = WordLabels::new(vec![vec![0, 5]]);
+        let _ = labels.assignment();
+    }
+}

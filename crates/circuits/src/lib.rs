@@ -1,0 +1,40 @@
+//! # rebert-circuits
+//!
+//! Benchmark-circuit substrate for the ReBERT reproduction: synthetic
+//! ITC'99-profile generators with exact ground-truth word labels, and the
+//! paper's controlled **R-Index** netlist corruption built on
+//! equivalence-verified gate-replacement templates.
+//!
+//! ## Example: generate and corrupt a benchmark
+//!
+//! ```
+//! use rebert_circuits::{corrupt, generate, profile};
+//!
+//! let p = profile("b03").expect("known benchmark");
+//! let circuit = generate(&p, 42);
+//! assert_eq!(circuit.netlist.dff_count(), 30);
+//!
+//! // Replace ~40% of the gates by equivalent templates.
+//! let (corrupted, stats) = corrupt(&circuit.netlist, 0.4, 7);
+//! assert!(stats.replaced > 0);
+//! assert!(corrupted.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod blocks;
+mod corrupt;
+mod equiv;
+mod generator;
+mod labels;
+mod profiles;
+
+pub use blocks::{
+    build_block, eq_comparator, mux2, ripple_add, BlockCtx, BlockKind, BuiltBlock,
+    ALL_BLOCK_KINDS,
+};
+pub use corrupt::{corrupt, CorruptStats};
+pub use equiv::{templates_for, Template, TemplateRef, TemplateStep, VerifyTemplateError};
+pub use generator::{generate, generate_with, GeneratedCircuit, GeneratorConfig};
+pub use labels::WordLabels;
+pub use profiles::{itc99_profiles, itc99_profiles_scaled, profile, Profile};

@@ -1,0 +1,164 @@
+//! Tiny dependency-free argument parsing for the `rebert` CLI.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options and bare
+/// flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Error produced while interpreting the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A required option was not provided.
+    MissingOption(&'static str),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: &'static str,
+        /// The raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "no subcommand given (try `rebert help`)"),
+            ArgsError::MissingOption(o) => write!(f, "missing required option --{o}"),
+            ArgsError::BadValue { option, value } => {
+                write!(f, "option --{option} has invalid value `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgsError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter.next().ok_or(ArgsError::MissingCommand)?;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        options.insert(key.to_owned(), iter.next().expect("peeked"));
+                    }
+                    _ => flags.push(key.to_owned()),
+                }
+            } else {
+                flags.push(tok);
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &'static str) -> Result<&str, ArgsError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or(ArgsError::MissingOption(key))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        key: &'static str,
+        default: T,
+    ) -> Result<T, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                option: key,
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = parse(&["recover", "--model", "m.json", "--in", "x.bench", "verbose"]);
+        assert_eq!(a.command, "recover");
+        assert_eq!(a.require("model").unwrap(), "m.json");
+        assert_eq!(a.get("in"), Some("x.bench"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn numeric_defaults() {
+        let a = parse(&["train", "--epochs", "4"]);
+        assert_eq!(a.get_or("epochs", 8usize).unwrap(), 4);
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+        assert!(matches!(
+            a.get_or::<usize>("epochs", 0).map(|_| ()),
+            Ok(())
+        ));
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = parse(&["train", "--epochs", "soon"]);
+        assert!(matches!(
+            a.get_or::<usize>("epochs", 1),
+            Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_command_reported() {
+        assert!(matches!(
+            Args::parse(Vec::<String>::new()),
+            Err(ArgsError::MissingCommand)
+        ));
+    }
+
+    #[test]
+    fn missing_option_reported() {
+        let a = parse(&["recover"]);
+        assert!(matches!(a.require("model"), Err(ArgsError::MissingOption("model"))));
+    }
+
+    #[test]
+    fn trailing_flag_style_option() {
+        // `--fast` at the end (no value following) is a flag.
+        let a = parse(&["table", "--fast"]);
+        assert!(a.flag("fast"));
+    }
+}

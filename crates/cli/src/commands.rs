@@ -1,0 +1,362 @@
+//! Implementation of the CLI subcommands.
+
+use std::path::Path;
+
+use rebert::{
+    ari, load_model, save_model, train, training_samples, DatasetConfig, ReBertConfig,
+    ReBertModel, TrainConfig,
+};
+use rebert_circuits::{corrupt, generate, profile, Profile};
+use rebert_netlist::{optimize, NetlistStats};
+use rebert_structural::{recover_words, StructuralConfig};
+
+use crate::args::Args;
+use crate::io::{read_labels, read_netlist, write_labels, write_netlist};
+
+/// Top-level CLI error: any subcommand failure with a printable message.
+pub type CliError = Box<dyn std::error::Error>;
+
+/// Dispatches a parsed command line. Returns the text to print on
+/// success (kept out of `main` so commands are unit-testable).
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "corrupt" => cmd_corrupt(args),
+        "optimize" => cmd_optimize(args),
+        "stats" => cmd_stats(args),
+        "train" => cmd_train(args),
+        "recover" => cmd_recover(args),
+        "help" | "--help" | "-h" => Ok(HELP.to_owned()),
+        other => Err(format!("unknown subcommand `{other}` (try `rebert help`)").into()),
+    }
+}
+
+/// The CLI usage text.
+pub const HELP: &str = "\
+rebert — gate-level to word-level netlist reverse engineering
+
+USAGE: rebert <command> [options]
+
+COMMANDS
+  generate  --profile <b03|...|custom> --out <file[.bench|.v]>
+            [--seed N] [--gates N --ffs N --words N]
+            Generate a benchmark circuit; writes ground-truth labels to
+            <out>.labels.json.
+  corrupt   --in <file> --out <file> --r <0..1> [--seed N]
+            Apply R-Index equivalence-preserving gate replacement.
+  optimize  --in <file> --out <file>
+            Constant folding, buffer sweeping, dead-logic elimination.
+  stats     --in <file>
+            Print gate/FF/word-relevant statistics.
+  train     --profiles <b03,b08,...> --model <out.json>
+            [--seed N] [--epochs N] [--cap N]
+            Generate training benchmarks and fit a ReBERT model.
+  recover   --model <model.json> --in <file>
+            [--labels <labels.json>] [--baseline]
+            Recover words; print ARI when labels are given; --baseline
+            also runs structural matching.
+  help      Show this text.
+";
+
+fn parse_profile(args: &Args) -> Result<Profile, CliError> {
+    let name = args.require("profile")?;
+    if let Some(p) = profile(name) {
+        return Ok(p);
+    }
+    if name == "custom" {
+        let gates = args.get_or("gates", 200usize)?;
+        let ffs = args.get_or("ffs", 32usize)?;
+        let words = args.get_or("words", 6usize)?;
+        return Ok(Profile::new("custom", gates, ffs, words));
+    }
+    Err(format!("unknown profile `{name}` (b03..b18 or `custom`)").into())
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let p = parse_profile(args)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let out = Path::new(args.require("out")?);
+    let circuit = generate(&p, seed);
+    write_netlist(&circuit.netlist, out)?;
+    let labels_path = out.with_extension("labels.json");
+    write_labels(&circuit.labels, &labels_path)?;
+    Ok(format!(
+        "generated `{}`: {} gates, {} FFs, {} words -> {} (+ {})",
+        p.name,
+        circuit.netlist.gate_count(),
+        circuit.netlist.dff_count(),
+        circuit.labels.word_count(),
+        out.display(),
+        labels_path.display()
+    ))
+}
+
+fn cmd_corrupt(args: &Args) -> Result<String, CliError> {
+    let input = read_netlist(Path::new(args.require("in")?))?;
+    let r: f64 = args.get_or("r", 0.4)?;
+    if !(0.0..=1.0).contains(&r) {
+        return Err(format!("--r must be within [0, 1], got {r}").into());
+    }
+    let seed = args.get_or("seed", 1u64)?;
+    let (bad, stats) = corrupt(&input, r, seed);
+    let out = Path::new(args.require("out")?);
+    write_netlist(&bad, out)?;
+    Ok(format!(
+        "corrupted {} / {} gates (R-Index {r}) -> {}",
+        stats.replaced,
+        stats.visited,
+        out.display()
+    ))
+}
+
+fn cmd_optimize(args: &Args) -> Result<String, CliError> {
+    let input = read_netlist(Path::new(args.require("in")?))?;
+    let (opt, stats) = optimize(&input);
+    let out = Path::new(args.require("out")?);
+    write_netlist(&opt, out)?;
+    Ok(format!(
+        "optimized: {} -> {} gates ({} folded, {} buffers swept, {} dead removed) -> {}",
+        input.gate_count(),
+        opt.gate_count(),
+        stats.gates_folded,
+        stats.buffers_swept,
+        stats.dead_gates_removed,
+        out.display()
+    ))
+}
+
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let input = read_netlist(Path::new(args.require("in")?))?;
+    let st = NetlistStats::of(&input);
+    let mut out = format!("{st}\n");
+    for (g, n) in &st.by_type {
+        out.push_str(&format!("  {g:<5} {n}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_train(args: &Args) -> Result<String, CliError> {
+    let names = args.require("profiles")?;
+    let seed = args.get_or("seed", 42u64)?;
+    let circuits: Vec<_> = names
+        .split(',')
+        .map(|n| {
+            profile(n.trim())
+                .map(|p| generate(&p, seed ^ n.len() as u64))
+                .ok_or_else(|| format!("unknown profile `{n}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<_> = circuits.iter().collect();
+
+    let mut mcfg = ReBertConfig::small();
+    mcfg.k_levels = args.get_or("k", 4usize)?;
+    let mut dcfg = DatasetConfig::for_model(&mcfg);
+    dcfg.max_per_circuit = args.get_or("cap", 700usize)?;
+    dcfg.r_indexes = vec![0.0, 0.4, 0.8];
+    let samples = training_samples(&refs, &dcfg, seed);
+
+    let mut model = ReBertModel::new(mcfg, seed);
+    let report = train(
+        &mut model,
+        &samples,
+        &TrainConfig {
+            epochs: args.get_or("epochs", 8usize)?,
+            lr: 1e-3,
+            batch_size: 16,
+            seed,
+            weight_decay: 0.01,
+            warmup_frac: 0.1,
+        },
+    );
+    let model_path = Path::new(args.require("model")?);
+    save_model(&model, model_path)?;
+    Ok(format!(
+        "trained on {} samples (final loss {:.3}, accuracy {:.3}) -> {}",
+        report.samples,
+        report.epoch_losses.last().copied().unwrap_or(0.0),
+        report.final_accuracy,
+        model_path.display()
+    ))
+}
+
+fn cmd_recover(args: &Args) -> Result<String, CliError> {
+    let model = load_model(Path::new(args.require("model")?))?;
+    let input = read_netlist(Path::new(args.require("in")?))?;
+    let rec = model.recover_words(&input);
+    let mut out = format!(
+        "{}: {} bits -> {} words ({} pairs scored, {} filtered, {:?})\n",
+        input.name(),
+        rec.assignment.len(),
+        rec.words().len(),
+        rec.stats.pairs_scored,
+        rec.stats.pairs_filtered,
+        rec.stats.elapsed
+    );
+    for (wi, word) in rec.words().iter().enumerate() {
+        let names: Vec<&str> = word
+            .iter()
+            .map(|&b| input.net_name(input.bits()[b]))
+            .collect();
+        out.push_str(&format!("  word {wi}: {names:?}\n"));
+    }
+    if let Some(labels_path) = args.get("labels") {
+        let labels = read_labels(Path::new(labels_path))?;
+        let truth = labels.assignment();
+        out.push_str(&format!("ReBERT ARI: {:.3}\n", ari(&truth, &rec.assignment)));
+        if args.flag("baseline") {
+            let scfg = StructuralConfig {
+                k_levels: model.config().k_levels,
+                ..Default::default()
+            };
+            let srec = recover_words(&input, &scfg);
+            out.push_str(&format!(
+                "Structural ARI: {:.3}\n",
+                ari(&truth, &srec.assignment)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rebert_cli_cmd_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("recover"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_corrupt_optimize_stats_chain() {
+        let bench = tmp("chain.bench");
+        let out = run(&args(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "120",
+            "--ffs",
+            "16",
+            "--words",
+            "4",
+            "--seed",
+            "5",
+            "--out",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("16 FFs"));
+        assert!(bench.exists());
+        assert!(tmp("chain.labels.json").exists());
+
+        let bad = tmp("chain_bad.bench");
+        let out = run(&args(&[
+            "corrupt",
+            "--in",
+            bench.to_str().unwrap(),
+            "--out",
+            bad.to_str().unwrap(),
+            "--r",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(out.contains("corrupted"));
+
+        let opt = tmp("chain_opt.bench");
+        let out = run(&args(&[
+            "optimize",
+            "--in",
+            bad.to_str().unwrap(),
+            "--out",
+            opt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("optimized"));
+
+        let out = run(&args(&["stats", "--in", opt.to_str().unwrap()])).unwrap();
+        assert!(out.contains("16 FFs"));
+    }
+
+    #[test]
+    fn corrupt_rejects_bad_r() {
+        let bench = tmp("badr.bench");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--ffs",
+            "8",
+            "--words",
+            "2",
+            "--gates",
+            "50",
+            "--out",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&args(&[
+            "corrupt",
+            "--in",
+            bench.to_str().unwrap(),
+            "--out",
+            bench.to_str().unwrap(),
+            "--r",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("within"));
+    }
+
+    #[test]
+    fn unknown_profile_reported() {
+        let err = run(&args(&[
+            "generate",
+            "--profile",
+            "b99",
+            "--out",
+            tmp("x.bench").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown profile"));
+    }
+
+    #[test]
+    fn verilog_output_supported() {
+        let v = tmp("gen.v");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--ffs",
+            "8",
+            "--words",
+            "2",
+            "--gates",
+            "40",
+            "--out",
+            v.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&v).unwrap();
+        assert!(text.starts_with("module"));
+    }
+}

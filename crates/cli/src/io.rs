@@ -1,0 +1,159 @@
+//! Netlist and label file I/O for the CLI: format detection by
+//! extension, label JSON round-trips.
+
+use std::fmt;
+use std::path::Path;
+
+use rebert_circuits::WordLabels;
+use rebert_netlist::{parse_bench, parse_verilog, write_bench, write_verilog, Netlist};
+
+/// Errors surfaced by CLI file handling.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Fs(std::io::Error),
+    /// `.bench` parse failure.
+    Bench(rebert_netlist::ParseError),
+    /// Verilog parse failure.
+    Verilog(rebert_netlist::VerilogError),
+    /// Label JSON failure.
+    Labels(serde_json::Error),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "file error: {e}"),
+            IoError::Bench(e) => write!(f, "bench parse error: {e}"),
+            IoError::Verilog(e) => write!(f, "verilog parse error: {e}"),
+            IoError::Labels(e) => write!(f, "labels error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+/// Whether a path names a Verilog file (`.v` / `.sv`), as opposed to the
+/// default `.bench` dialect.
+pub fn is_verilog(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("v") | Some("sv")
+    )
+}
+
+/// Reads a netlist, choosing the parser from the file extension.
+///
+/// # Errors
+///
+/// Returns an [`IoError`] on filesystem or parse failure.
+pub fn read_netlist(path: &Path) -> Result<Netlist, IoError> {
+    let text = std::fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design");
+    if is_verilog(path) {
+        parse_verilog(name, &text).map_err(IoError::Verilog)
+    } else {
+        parse_bench(name, &text).map_err(IoError::Bench)
+    }
+}
+
+/// Writes a netlist, choosing the serializer from the file extension.
+///
+/// # Errors
+///
+/// Returns an [`IoError`] on filesystem failure.
+pub fn write_netlist(nl: &Netlist, path: &Path) -> Result<(), IoError> {
+    let text = if is_verilog(path) {
+        write_verilog(nl)
+    } else {
+        write_bench(nl)
+    };
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+/// Reads ground-truth word labels from JSON.
+///
+/// # Errors
+///
+/// Returns an [`IoError`] on filesystem or deserialization failure.
+pub fn read_labels(path: &Path) -> Result<WordLabels, IoError> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(IoError::Labels)
+}
+
+/// Writes word labels as JSON.
+///
+/// # Errors
+///
+/// Returns an [`IoError`] on filesystem or serialization failure.
+pub fn write_labels(labels: &WordLabels, path: &Path) -> Result<(), IoError> {
+    let text = serde_json::to_string_pretty(labels).map_err(IoError::Labels)?;
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rebert_cli_io_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn bench_round_trip_via_files() {
+        let nl = parse_bench("t", "INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n").unwrap();
+        let path = tmp("x.bench");
+        write_netlist(&nl, &path).unwrap();
+        let back = read_netlist(&path).unwrap();
+        assert_eq!(back.gate_count(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn verilog_round_trip_via_files() {
+        let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\ny = NAND(a, b)\nOUTPUT(y)\n").unwrap();
+        let path = tmp("x.v");
+        write_netlist(&nl, &path).unwrap();
+        let back = read_netlist(&path).unwrap();
+        assert_eq!(back.gate_count(), 1);
+        assert_eq!(back.gates()[0].gtype, rebert_netlist::GateType::Nand);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let labels = WordLabels::new(vec![vec![0, 1], vec![2]]);
+        let path = tmp("labels.json");
+        write_labels(&labels, &path).unwrap();
+        let back = read_labels(&path).unwrap();
+        assert_eq!(back, labels);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn extension_detection() {
+        assert!(is_verilog(Path::new("a.v")));
+        assert!(is_verilog(Path::new("a.sv")));
+        assert!(!is_verilog(Path::new("a.bench")));
+        assert!(!is_verilog(Path::new("a")));
+    }
+
+    #[test]
+    fn missing_file_reports_fs_error() {
+        let err = read_netlist(Path::new("/nonexistent/rebert.bench")).unwrap_err();
+        assert!(matches!(err, IoError::Fs(_)));
+    }
+}

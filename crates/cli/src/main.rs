@@ -1,0 +1,26 @@
+//! `rebert` — the command-line interface.
+//!
+//! Run `rebert help` for usage; see `crates/cli/src/commands.rs` for the
+//! subcommand implementations.
+
+mod args;
+mod commands;
+mod io;
+
+fn main() {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::HELP);
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Decomposition of k-input gates (k > 2) into equivalent 2-input gates.
+//!
+//! ReBERT standardizes the circuit "into a binary tree format" by converting
+//! all k-input gates into 2-input equivalents using predefined templates
+//! (paper §II-A.1). The templates used here:
+//!
+//! * associative gates (`AND`, `OR`, `XOR`): a left-leaning chain of 2-input
+//!   gates of the same type;
+//! * inverting gates (`NAND`, `NOR`, `XNOR`): the de-inverted reduction over
+//!   the first k−1 inputs, then one final 2-input inverting gate, e.g.
+//!   `NAND(a,b,c) = NAND(AND(a,b), c)`;
+//! * `MUX(sel, a, b)`: `OR(AND(NOT(sel), a), AND(sel, b))` — four 2-input
+//!   gates plus an inverter, so downstream tree extraction only ever sees
+//!   1- and 2-input nodes.
+
+use crate::gate::GateType;
+use crate::netlist::{Gate, Netlist, NetId};
+
+/// Statistics reported by [`binarize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinarizeStats {
+    /// Gates that were already unary or binary and copied unchanged.
+    pub copied: usize,
+    /// k-input (k > 2) variadic gates decomposed.
+    pub decomposed: usize,
+    /// `MUX` gates expanded.
+    pub muxes_expanded: usize,
+    /// 2-input gates created by the decomposition.
+    pub gates_added: usize,
+}
+
+/// Returns a functionally-equivalent netlist in which every combinational
+/// gate has at most two inputs (and `MUX` gates are expanded away).
+///
+/// Net names, primary inputs/outputs, and flip-flops are preserved;
+/// decomposition temporaries get `__bin_*` names.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert_netlist::{binarize, parse_bench};
+///
+/// let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\nINPUT(c)\ny = AND(a, b, c)\nOUTPUT(y)\n")?;
+/// let (bin, stats) = binarize(&nl);
+/// assert_eq!(stats.decomposed, 1);
+/// assert!(bin.gates().iter().all(|g| g.inputs.len() <= 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn binarize(nl: &Netlist) -> (Netlist, BinarizeStats) {
+    let mut out = Netlist::new(nl.name());
+    let mut stats = BinarizeStats::default();
+
+    // Recreate every net with the same name, in the same order, so NetIds
+    // survive the translation for original nets.
+    for (_, name) in nl.iter_nets() {
+        out.add_net(name);
+    }
+    // Attach original drivers for inputs/constants.
+    for &pi in nl.primary_inputs() {
+        out.promote_to_input(pi);
+    }
+    for (id, _) in nl.iter_nets() {
+        match nl.driver(id) {
+            crate::netlist::Driver::ConstOne => out.promote_to_const(id, true),
+            crate::netlist::Driver::ConstZero if nl_is_explicit_const_zero(nl, id) => {
+                out.promote_to_const(id, false)
+            }
+            _ => {}
+        }
+    }
+    for &po in nl.primary_outputs() {
+        out.add_output(po);
+    }
+
+    let mut tmp = 0usize;
+    let mut fresh = |out: &mut Netlist, tmp: &mut usize| -> NetId {
+        let id = out.add_net(format!("__bin_{tmp}"));
+        *tmp += 1;
+        id
+    };
+
+    for g in nl.gates() {
+        emit_binary(&mut out, g, &mut stats, &mut fresh, &mut tmp);
+    }
+    for ff in nl.dffs() {
+        out.add_dff(ff.d, ff.q)
+            .expect("flip-flop translation cannot conflict");
+    }
+    (out, stats)
+}
+
+// An explicitly-created constant-zero net is one that is not driven by any
+// gate or DFF in the source netlist but is still consumed; heuristically we
+// treat driver==ConstZero nets whose name starts with "__const" or that are
+// consumed as constants. For safety we only promote named constants.
+fn nl_is_explicit_const_zero(nl: &Netlist, id: NetId) -> bool {
+    nl.net_name(id).starts_with("__const")
+}
+
+fn emit_binary(
+    out: &mut Netlist,
+    g: &Gate,
+    stats: &mut BinarizeStats,
+    fresh: &mut impl FnMut(&mut Netlist, &mut usize) -> NetId,
+    tmp: &mut usize,
+) {
+    match g.gtype {
+        GateType::Mux => {
+            let sel = g.inputs[0];
+            let a = g.inputs[1];
+            let b = g.inputs[2];
+            let nsel = fresh(out, tmp);
+            out.add_gate(GateType::Not, vec![sel], nsel).expect("fresh");
+            let ta = fresh(out, tmp);
+            out.add_gate(GateType::And, vec![nsel, a], ta).expect("fresh");
+            let tb = fresh(out, tmp);
+            out.add_gate(GateType::And, vec![sel, b], tb).expect("fresh");
+            out.add_gate(GateType::Or, vec![ta, tb], g.output)
+                .expect("output free");
+            stats.muxes_expanded += 1;
+            stats.gates_added += 4;
+        }
+        _ if g.inputs.len() <= 2 => {
+            out.add_gate(g.gtype, g.inputs.clone(), g.output)
+                .expect("output free");
+            stats.copied += 1;
+        }
+        gt => {
+            // Reduce the first k-1 inputs with the non-inverting type, then
+            // apply the final (possibly inverting) 2-input gate.
+            let reduce_type = gt.deinverted().unwrap_or(gt);
+            let mut acc = g.inputs[0];
+            for &next in &g.inputs[1..g.inputs.len() - 1] {
+                let t = fresh(out, tmp);
+                out.add_gate(reduce_type, vec![acc, next], t).expect("fresh");
+                stats.gates_added += 1;
+                acc = t;
+            }
+            let last = *g.inputs.last().expect("arity >= 3");
+            out.add_gate(gt, vec![acc, last], g.output)
+                .expect("output free");
+            stats.gates_added += 1;
+            stats.decomposed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+    use crate::sim::Simulator;
+
+    /// Exhaustively checks that `a` and `b` compute the same function of
+    /// their primary inputs on every net name they share, for up to 2^n
+    /// input patterns.
+    fn assert_equivalent(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.primary_inputs().len(), b.primary_inputs().len());
+        let n = a.primary_inputs().len();
+        assert!(n <= 16, "too many inputs for exhaustive check");
+        let sim_a = Simulator::new(a).expect("sim a");
+        let sim_b = Simulator::new(b).expect("sim b");
+        let zeros_a = vec![false; a.dff_count()];
+        let zeros_b = vec![false; b.dff_count()];
+        for row in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|j| (row >> j) & 1 == 1).collect();
+            let va = sim_a.eval_combinational(&inputs, &zeros_a);
+            let vb = sim_b.eval_combinational(&inputs, &zeros_b);
+            for (id_a, name) in a.iter_nets() {
+                if name.starts_with("__") {
+                    continue;
+                }
+                if let Some(id_b) = b.find_net(name) {
+                    assert_eq!(
+                        va[id_a.index()],
+                        vb[id_b.index()],
+                        "net `{name}` differs for pattern {row:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_and_preserved() {
+        let nl = parse_bench(
+            "w",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\ny = AND(a, b, c, d)\nOUTPUT(y)\n",
+        )
+        .unwrap();
+        let (bin, stats) = binarize(&nl);
+        assert!(bin.validate().is_ok());
+        assert!(bin.gates().iter().all(|g| g.inputs.len() <= 2));
+        assert_eq!(stats.decomposed, 1);
+        assert_equivalent(&nl, &bin);
+    }
+
+    #[test]
+    fn wide_inverting_gates_preserved() {
+        for op in ["NAND", "NOR", "XNOR", "XOR", "OR"] {
+            let src = format!(
+                "INPUT(a)\nINPUT(b)\nINPUT(c)\ny = {op}(a, b, c)\nOUTPUT(y)\n"
+            );
+            let nl = parse_bench("w", &src).unwrap();
+            let (bin, _) = binarize(&nl);
+            assert!(bin.validate().is_ok(), "{op}");
+            assert!(bin.gates().iter().all(|g| g.inputs.len() <= 2), "{op}");
+            assert_equivalent(&nl, &bin);
+        }
+    }
+
+    #[test]
+    fn mux_expansion_preserved() {
+        let nl = parse_bench(
+            "m",
+            "INPUT(s)\nINPUT(a)\nINPUT(b)\ny = MUX(s, a, b)\nOUTPUT(y)\n",
+        )
+        .unwrap();
+        let (bin, stats) = binarize(&nl);
+        assert_eq!(stats.muxes_expanded, 1);
+        assert!(bin.gates().iter().all(|g| g.gtype != GateType::Mux));
+        assert_equivalent(&nl, &bin);
+    }
+
+    #[test]
+    fn sequential_structure_preserved() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+d0 = NAND(a, b, c, q0)
+q0 = DFF(d0)
+OUTPUT(q0)
+";
+        let nl = parse_bench("s", src).unwrap();
+        let (bin, _) = binarize(&nl);
+        assert!(bin.validate().is_ok());
+        assert_eq!(bin.dff_count(), 1);
+        // Step both simulators and compare state trajectories.
+        let mut sa = Simulator::new(&nl).unwrap();
+        let mut sb = Simulator::new(&bin).unwrap();
+        for pat in [[true, true, true], [true, false, true], [false, true, true]] {
+            sa.step(&pat);
+            sb.step(&pat);
+            assert_eq!(sa.state(), sb.state());
+        }
+    }
+
+    #[test]
+    fn already_binary_is_identity_shaped() {
+        let nl = parse_bench(
+            "i",
+            "INPUT(a)\nINPUT(b)\ny = AND(a, b)\nz = NOT(y)\nOUTPUT(z)\n",
+        )
+        .unwrap();
+        let (bin, stats) = binarize(&nl);
+        assert_eq!(stats.copied, 2);
+        assert_eq!(stats.gates_added, 0);
+        assert_eq!(bin.gate_count(), nl.gate_count());
+    }
+}

@@ -1,0 +1,156 @@
+//! Fan-in cone extraction.
+//!
+//! A **cone** is the set of gates and nets reachable by back-tracing from a
+//! root net through at most `k` gate levels. [`BitTree`](crate::BitTree)
+//! gives the tree-shaped view used for tokenization; this module gives the
+//! set-shaped view used for statistics and for the structural baseline.
+
+use std::collections::HashSet;
+
+use crate::netlist::{Driver, GateId, Netlist, NetId};
+
+/// The fan-in cone of a net: gates and boundary nets within `k` levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cone {
+    /// The net the cone was traced from.
+    pub root: NetId,
+    /// Gates inside the cone (deduplicated — the netlist is a DAG, so a
+    /// gate can be reached along several paths).
+    pub gates: Vec<GateId>,
+    /// Nets at the cone boundary: primary inputs, flip-flop outputs,
+    /// constants, or nets cut by the depth bound.
+    pub leaves: Vec<NetId>,
+    /// Deepest level reached (≤ the requested `k`).
+    pub depth: usize,
+}
+
+impl Cone {
+    /// Traces the fan-in cone of `root`, up to `k` gate levels deep.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use rebert_netlist::{parse_bench, Cone};
+    ///
+    /// let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\ny = AND(a, b)\nz = NOT(y)\nOUTPUT(z)\n")?;
+    /// let z = nl.find_net("z").expect("net");
+    /// let cone = Cone::trace(&nl, z, 6);
+    /// assert_eq!(cone.gates.len(), 2);
+    /// assert_eq!(cone.leaves.len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn trace(nl: &Netlist, root: NetId, k: usize) -> Self {
+        let mut gates = Vec::new();
+        let mut seen_gates: HashSet<GateId> = HashSet::new();
+        let mut leaves = Vec::new();
+        let mut seen_leaves: HashSet<NetId> = HashSet::new();
+        let mut max_depth = 0usize;
+
+        // (net, remaining depth)
+        let mut stack = vec![(root, k)];
+        let mut visited: HashSet<(NetId, usize)> = HashSet::new();
+        while let Some((net, remaining)) = stack.pop() {
+            if !visited.insert((net, remaining)) {
+                continue;
+            }
+            match nl.driver(net) {
+                Driver::Gate(gid) if remaining > 0 => {
+                    if seen_gates.insert(gid) {
+                        gates.push(gid);
+                    }
+                    max_depth = max_depth.max(k - remaining + 1);
+                    for &inp in &nl.gate(gid).inputs {
+                        stack.push((inp, remaining - 1));
+                    }
+                }
+                _ => {
+                    if seen_leaves.insert(net) {
+                        leaves.push(net);
+                    }
+                }
+            }
+        }
+        Cone {
+            root,
+            gates,
+            leaves,
+            depth: max_depth,
+        }
+    }
+
+    /// Number of gates in the cone.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+
+    #[test]
+    fn cone_stops_at_sequential_boundary() {
+        let src = "\
+INPUT(a)
+d = AND(a, q)
+q = DFF(d)
+OUTPUT(q)
+";
+        let nl = parse_bench("t", src).unwrap();
+        let d = nl.find_net("d").unwrap();
+        let cone = Cone::trace(&nl, d, 10);
+        assert_eq!(cone.gates.len(), 1);
+        // Leaves: a (PI) and q (DFF output) — not traced through.
+        assert_eq!(cone.leaves.len(), 2);
+    }
+
+    #[test]
+    fn depth_bound_respected() {
+        let src = "\
+INPUT(a)
+w1 = NOT(a)
+w2 = NOT(w1)
+w3 = NOT(w2)
+w4 = NOT(w3)
+OUTPUT(w4)
+";
+        let nl = parse_bench("chain", src).unwrap();
+        let w4 = nl.find_net("w4").unwrap();
+        let c2 = Cone::trace(&nl, w4, 2);
+        assert_eq!(c2.gate_count(), 2);
+        assert_eq!(c2.depth, 2);
+        let call = Cone::trace(&nl, w4, 10);
+        assert_eq!(call.gate_count(), 4);
+        assert_eq!(call.depth, 4);
+    }
+
+    #[test]
+    fn reconvergence_deduplicates() {
+        // y = AND(w, w) — w reached twice but counted once.
+        let src = "\
+INPUT(a)
+w = NOT(a)
+y = AND(w, w)
+OUTPUT(y)
+";
+        let nl = parse_bench("re", src).unwrap();
+        let y = nl.find_net("y").unwrap();
+        let cone = Cone::trace(&nl, y, 4);
+        assert_eq!(cone.gate_count(), 2);
+        assert_eq!(cone.leaves.len(), 1);
+    }
+
+    #[test]
+    fn root_without_gate_driver_is_leaf() {
+        let src = "INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n";
+        let nl = parse_bench("t", src).unwrap();
+        let a = nl.find_net("a").unwrap();
+        let cone = Cone::trace(&nl, a, 3);
+        assert_eq!(cone.gate_count(), 0);
+        assert_eq!(cone.leaves, vec![a]);
+        assert_eq!(cone.depth, 0);
+    }
+}

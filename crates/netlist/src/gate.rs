@@ -1,0 +1,305 @@
+//! Logic gate types and their Boolean semantics.
+//!
+//! Every combinational element in a [`Netlist`](crate::Netlist) carries a
+//! [`GateType`]. Gate types know how to evaluate themselves over `bool`
+//! inputs, which powers both the logic simulator and the exhaustive
+//! truth-table equivalence checks used to validate corruption templates.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a combinational gate.
+///
+/// `And`/`Or`/`Xor` and their complements accept two or more inputs
+/// (variadic, left-associative). `Not` and `Buf` are strictly unary.
+/// `Mux` is the 2:1 multiplexer `MUX(sel, a, b) = sel ? b : a` and is
+/// strictly ternary.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_netlist::GateType;
+///
+/// assert_eq!(GateType::Nand.eval(&[true, true]), false);
+/// assert_eq!(GateType::Mux.eval(&[true, false, true]), true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GateType {
+    /// Logical conjunction of all inputs.
+    And,
+    /// Logical disjunction of all inputs.
+    Or,
+    /// Complement of the conjunction.
+    Nand,
+    /// Complement of the disjunction.
+    Nor,
+    /// Parity (odd number of true inputs).
+    Xor,
+    /// Complement of the parity.
+    Xnor,
+    /// Unary complement.
+    Not,
+    /// Unary identity (buffer).
+    Buf,
+    /// 2:1 multiplexer: `MUX(sel, a, b)` selects `a` when `sel` is false.
+    Mux,
+}
+
+/// All gate types, in a stable order (useful for vocabularies and tests).
+pub const ALL_GATE_TYPES: [GateType; 9] = [
+    GateType::And,
+    GateType::Or,
+    GateType::Nand,
+    GateType::Nor,
+    GateType::Xor,
+    GateType::Xnor,
+    GateType::Not,
+    GateType::Buf,
+    GateType::Mux,
+];
+
+impl GateType {
+    /// Returns the canonical upper-case mnemonic (`"AND"`, `"MUX"`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateType::And => "AND",
+            GateType::Or => "OR",
+            GateType::Nand => "NAND",
+            GateType::Nor => "NOR",
+            GateType::Xor => "XOR",
+            GateType::Xnor => "XNOR",
+            GateType::Not => "NOT",
+            GateType::Buf => "BUF",
+            GateType::Mux => "MUX",
+        }
+    }
+
+    /// Whether this gate type accepts a variable number (≥ 2) of inputs.
+    pub fn is_variadic(self) -> bool {
+        matches!(
+            self,
+            GateType::And
+                | GateType::Or
+                | GateType::Nand
+                | GateType::Nor
+                | GateType::Xor
+                | GateType::Xnor
+        )
+    }
+
+    /// Whether `n` is a legal input count for this gate type.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateType::Not | GateType::Buf => n == 1,
+            GateType::Mux => n == 3,
+            _ => n >= 2,
+        }
+    }
+
+    /// Whether the gate's binary form is associative, so a `k`-input
+    /// instance can be decomposed into a tree of 2-input instances of the
+    /// *same* type (`AND`, `OR`, `XOR`). Inverting variadic gates
+    /// (`NAND`/`NOR`/`XNOR`) are *not* associative and need a mixed
+    /// decomposition (see [`crate::binarize`]).
+    pub fn is_associative(self) -> bool {
+        matches!(self, GateType::And | GateType::Or | GateType::Xor)
+    }
+
+    /// For an inverting variadic gate, the non-inverting gate that computes
+    /// the reduction before the final complemented stage
+    /// (`NAND` → `AND`, `NOR` → `OR`, `XNOR` → `XOR`).
+    pub fn deinverted(self) -> Option<GateType> {
+        match self {
+            GateType::Nand => Some(GateType::And),
+            GateType::Nor => Some(GateType::Or),
+            GateType::Xnor => Some(GateType::Xor),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the gate over the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a legal arity for this gate type
+    /// (see [`GateType::arity_ok`]).
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.arity_ok(inputs.len()),
+            "gate {self} cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateType::And => inputs.iter().all(|&b| b),
+            GateType::Or => inputs.iter().any(|&b| b),
+            GateType::Nand => !inputs.iter().all(|&b| b),
+            GateType::Nor => !inputs.iter().any(|&b| b),
+            GateType::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateType::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateType::Not => !inputs[0],
+            GateType::Buf => inputs[0],
+            GateType::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+
+    /// Computes the full truth table of this gate for `n` inputs, packed
+    /// little-endian: bit `i` of the result is the output for the input
+    /// assignment whose bit `j` is `(i >> j) & 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a legal arity or `n > 6` (table would not fit
+    /// the return type).
+    pub fn truth_table(self, n: usize) -> u64 {
+        assert!(n <= 6, "truth tables supported up to 6 inputs");
+        let mut table = 0u64;
+        let mut buf = [false; 6];
+        for row in 0..(1u64 << n) {
+            for (j, slot) in buf.iter_mut().enumerate().take(n) {
+                *slot = (row >> j) & 1 == 1;
+            }
+            if self.eval(&buf[..n]) {
+                table |= 1 << row;
+            }
+        }
+        table
+    }
+}
+
+impl fmt::Display for GateType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing a [`GateType`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateTypeError {
+    text: String,
+}
+
+impl fmt::Display for ParseGateTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate type `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseGateTypeError {}
+
+impl FromStr for GateType {
+    type Err = ParseGateTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateType::And),
+            "OR" => Ok(GateType::Or),
+            "NAND" => Ok(GateType::Nand),
+            "NOR" => Ok(GateType::Nor),
+            "XOR" => Ok(GateType::Xor),
+            "XNOR" => Ok(GateType::Xnor),
+            "NOT" | "INV" => Ok(GateType::Not),
+            "BUF" | "BUFF" => Ok(GateType::Buf),
+            "MUX" => Ok(GateType::Mux),
+            _ => Err(ParseGateTypeError { text: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_binary() {
+        let cases = [
+            (GateType::And, [false, false, false, true]),
+            (GateType::Or, [false, true, true, true]),
+            (GateType::Nand, [true, true, true, false]),
+            (GateType::Nor, [true, false, false, false]),
+            (GateType::Xor, [false, true, true, false]),
+            (GateType::Xnor, [true, false, false, true]),
+        ];
+        for (g, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = i & 1 == 1;
+                let b = i >> 1 & 1 == 1;
+                assert_eq!(g.eval(&[a, b]), e, "{g}({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_unary_and_mux() {
+        assert!(GateType::Not.eval(&[false]));
+        assert!(!GateType::Not.eval(&[true]));
+        assert!(GateType::Buf.eval(&[true]));
+        // MUX(sel, a, b): sel=0 -> a, sel=1 -> b
+        assert!(GateType::Mux.eval(&[false, true, false]));
+        assert!(!GateType::Mux.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn variadic_eval() {
+        assert!(GateType::And.eval(&[true, true, true, true]));
+        assert!(!GateType::And.eval(&[true, true, false, true]));
+        assert!(GateType::Xor.eval(&[true, true, true]));
+        assert!(!GateType::Xnor.eval(&[true, true, true]));
+        assert!(GateType::Nor.eval(&[false, false, false]));
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateType::Not.arity_ok(1));
+        assert!(!GateType::Not.arity_ok(2));
+        assert!(GateType::Mux.arity_ok(3));
+        assert!(!GateType::Mux.arity_ok(2));
+        assert!(GateType::And.arity_ok(2));
+        assert!(GateType::And.arity_ok(5));
+        assert!(!GateType::And.arity_ok(1));
+    }
+
+    #[test]
+    fn truth_table_matches_eval() {
+        for g in ALL_GATE_TYPES {
+            let n = match g {
+                GateType::Not | GateType::Buf => 1,
+                GateType::Mux => 3,
+                _ => 3,
+            };
+            if !g.arity_ok(n) {
+                continue;
+            }
+            let table = g.truth_table(n);
+            for row in 0..(1u64 << n) {
+                let inputs: Vec<bool> = (0..n).map(|j| (row >> j) & 1 == 1).collect();
+                assert_eq!((table >> row) & 1 == 1, g.eval(&inputs), "{g} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for g in ALL_GATE_TYPES {
+            let parsed: GateType = g.mnemonic().parse().expect("round trip");
+            assert_eq!(parsed, g);
+        }
+        assert!("FROB".parse::<GateType>().is_err());
+    }
+
+    #[test]
+    fn deinverted_pairs() {
+        assert_eq!(GateType::Nand.deinverted(), Some(GateType::And));
+        assert_eq!(GateType::Nor.deinverted(), Some(GateType::Or));
+        assert_eq!(GateType::Xnor.deinverted(), Some(GateType::Xor));
+        assert_eq!(GateType::And.deinverted(), None);
+        assert_eq!(GateType::Mux.deinverted(), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! # rebert-netlist
+//!
+//! Gate-level netlist substrate for the ReBERT (DATE 2025)
+//! reproduction: data structures, a `.bench`-style text format, logic
+//! simulation, k-input → 2-input decomposition, fan-in cone extraction, and
+//! the binary-tree view of a bit's fan-in used by the tokenizer.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use rebert_netlist::{binarize, parse_bench, BitTree, NetlistStats, Simulator};
+//!
+//! // 1. Parse a gate-level netlist.
+//! let nl = parse_bench("demo", "\
+//! INPUT(a)
+//! INPUT(b)
+//! INPUT(c)
+//! s = XOR(a, b, c)
+//! q = DFF(s)
+//! OUTPUT(s)
+//! ")?;
+//!
+//! // 2. Simulate it.
+//! let sim = Simulator::new(&nl)?;
+//! let s = nl.find_net("s").expect("net");
+//! assert!(sim.eval_net(s, &[true, false, false], &[false]));
+//!
+//! // 3. Standardize to 2-input gates and extract the bit's fan-in tree.
+//! let (bin, _) = binarize(&nl);
+//! let tree = BitTree::extract(&bin, bin.bits()[0], 6);
+//! assert!(tree.depth() >= 2);
+//!
+//! // 4. Summarize.
+//! let stats = NetlistStats::of(&nl);
+//! assert_eq!(stats.ffs, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod binarize;
+mod cone;
+mod gate;
+mod netlist;
+mod opt;
+mod parser;
+mod sim;
+mod stats;
+mod tree;
+mod verilog;
+
+pub use binarize::{binarize, BinarizeStats};
+pub use cone::Cone;
+pub use gate::{GateType, ParseGateTypeError, ALL_GATE_TYPES};
+pub use netlist::{Dff, DffId, Driver, Gate, GateId, NetId, Netlist, NetlistError};
+pub use opt::{optimize, OptStats};
+pub use parser::{parse_bench, write_bench, ParseError};
+pub use sim::Simulator;
+pub use stats::NetlistStats;
+pub use tree::{BitTree, TreeNode};
+pub use verilog::{parse_verilog, write_verilog, VerilogError};

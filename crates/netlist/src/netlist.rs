@@ -1,0 +1,710 @@
+//! The gate-level netlist arena: nets, gates, flip-flops, and validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::GateType;
+
+/// Identifier of a net (a named signal) inside one [`Netlist`].
+///
+/// `NetId`s are dense indices; they are only meaningful relative to the
+/// netlist that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the raw dense index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a combinational gate inside one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Returns the raw dense index of this gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of a D flip-flop inside one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DffId(pub(crate) u32);
+
+impl DffId {
+    /// Returns the raw dense index of this flip-flop.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DffId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ff{}", self.0)
+    }
+}
+
+/// A combinational gate instance: a type, ordered input nets, one output net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The logic function of the gate.
+    pub gtype: GateType,
+    /// Ordered fan-in nets (order matters for `MUX`).
+    pub inputs: Vec<NetId>,
+    /// The single output net driven by this gate.
+    pub output: NetId,
+}
+
+/// A D flip-flop: on each clock the value on `d` is transferred to `q`.
+///
+/// In the ReBERT formulation the **bits** of a design are exactly the `d`
+/// nets of its flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dff {
+    /// Data input net (the "bit" signal).
+    pub d: NetId,
+    /// State output net.
+    pub q: NetId,
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// Driven from outside the circuit.
+    PrimaryInput,
+    /// Driven by the output of a combinational gate.
+    Gate(GateId),
+    /// Driven by the `q` output of a flip-flop.
+    Dff(DffId),
+    /// Constant logic zero.
+    ConstZero,
+    /// Constant logic one.
+    ConstOne,
+}
+
+/// A gate-level netlist: an arena of named nets, combinational gates, and
+/// D flip-flops, with declared primary inputs and outputs.
+///
+/// Construction is incremental through the `add_*` methods; structural
+/// invariants (single driver per net, legal gate arities, acyclic
+/// combinational logic) are enforced eagerly where cheap and by
+/// [`Netlist::validate`] for the global properties.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_netlist::{GateType, Netlist};
+///
+/// let mut nl = Netlist::new("toy");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let s = nl.add_net("s");
+/// nl.add_gate(GateType::Xor, vec![a, b], s).unwrap();
+/// let q = nl.add_net("q");
+/// nl.add_dff(s, q).unwrap();
+/// nl.add_output(s);
+/// assert!(nl.validate().is_ok());
+/// assert_eq!(nl.bits().len(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<String>,
+    drivers: Vec<Driver>,
+    #[serde(skip)]
+    name_to_net: HashMap<String, NetId>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    /// Whether each net has an explicit driver attached. Rebuilt after
+    /// deserialization by [`Netlist::rebuild_caches`].
+    #[serde(skip)]
+    driven: Vec<bool>,
+}
+
+/// Error produced when building or validating a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net name was declared twice.
+    DuplicateNet(String),
+    /// A net already has a driver and a second was added.
+    MultipleDrivers(String),
+    /// A gate was given an illegal number of inputs.
+    BadArity {
+        /// The offending gate type.
+        gtype: GateType,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// A net is read or written that does not belong to this netlist.
+    UnknownNet(NetId),
+    /// A net has no driver after construction finished.
+    Undriven(String),
+    /// The combinational logic contains a cycle through the named net.
+    CombinationalCycle(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(n) => write!(f, "duplicate net `{n}`"),
+            NetlistError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            NetlistError::BadArity { gtype, got } => {
+                write!(f, "gate {gtype} cannot take {got} inputs")
+            }
+            NetlistError::UnknownNet(id) => write!(f, "net {id} does not exist"),
+            NetlistError::Undriven(n) => write!(f, "net `{n}` has no driver"),
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through net `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            net_names: Vec::new(),
+            drivers: Vec::new(),
+            name_to_net: HashMap::new(),
+            gates: Vec::new(),
+            dffs: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+            driven: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets in the netlist.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Declared primary inputs, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Declared primary outputs, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// All gates, indexable by [`GateId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops, indexable by [`DffId::index`].
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Looks up a gate by id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Looks up a flip-flop by id.
+    pub fn dff(&self, id: DffId) -> &Dff {
+        &self.dffs[id.index()]
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.index()]
+    }
+
+    /// Finds a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.name_to_net.get(name).copied()
+    }
+
+    /// What drives the given net.
+    pub fn driver(&self, id: NetId) -> Driver {
+        self.drivers[id.index()]
+    }
+
+    /// Iterates over `(NetId, &str)` for all nets.
+    pub fn iter_nets(&self) -> impl Iterator<Item = (NetId, &str)> {
+        self.net_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n.as_str()))
+    }
+
+    /// Adds a fresh undriven net.
+    ///
+    /// If `name` is already taken a unique suffix is appended, so the
+    /// returned id always denotes a brand-new net.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let mut name = name.into();
+        if self.name_to_net.contains_key(&name) {
+            let mut i = 1usize;
+            loop {
+                let cand = format!("{name}_{i}");
+                if !self.name_to_net.contains_key(&cand) {
+                    name = cand;
+                    break;
+                }
+                i += 1;
+            }
+        }
+        let id = NetId(self.net_names.len() as u32);
+        self.name_to_net.insert(name.clone(), id);
+        self.net_names.push(name);
+        // Placeholder; a real driver must be attached before validate().
+        // `driven` distinguishes "not yet driven" from an explicit constant.
+        self.drivers.push(Driver::ConstZero);
+        self.driven.push(false);
+        id
+    }
+
+    /// Declares a primary input and returns its net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.drivers[id.index()] = Driver::PrimaryInput;
+        self.driven[id.index()] = true;
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Creates a constant-driven net (`value` = the constant).
+    pub fn add_const(&mut self, name: impl Into<String>, value: bool) -> NetId {
+        let id = self.add_net(name);
+        self.drivers[id.index()] = if value {
+            Driver::ConstOne
+        } else {
+            Driver::ConstZero
+        };
+        self.driven[id.index()] = true;
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn add_output(&mut self, net: NetId) {
+        self.primary_outputs.push(net);
+    }
+
+    /// Turns an existing *undriven* net into a primary input.
+    ///
+    /// Used by netlist-to-netlist translations (e.g. [`crate::binarize`])
+    /// that first mirror all net names and then re-attach drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is already driven or does not exist.
+    pub fn promote_to_input(&mut self, net: NetId) {
+        assert!(net.index() < self.net_names.len(), "unknown net {net}");
+        assert!(
+            !self.driven[net.index()],
+            "net `{}` is already driven",
+            self.net_names[net.index()]
+        );
+        self.drivers[net.index()] = Driver::PrimaryInput;
+        self.driven[net.index()] = true;
+        self.primary_inputs.push(net);
+    }
+
+    /// Turns an existing *undriven* net into a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is already driven or does not exist.
+    pub fn promote_to_const(&mut self, net: NetId, value: bool) {
+        assert!(net.index() < self.net_names.len(), "unknown net {net}");
+        assert!(
+            !self.driven[net.index()],
+            "net `{}` is already driven",
+            self.net_names[net.index()]
+        );
+        self.drivers[net.index()] = if value {
+            Driver::ConstOne
+        } else {
+            Driver::ConstZero
+        };
+        self.driven[net.index()] = true;
+    }
+
+    /// Adds a combinational gate driving `output`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] for an illegal input count,
+    /// [`NetlistError::UnknownNet`] if any net id is foreign, and
+    /// [`NetlistError::MultipleDrivers`] if `output` is already driven.
+    pub fn add_gate(
+        &mut self,
+        gtype: GateType,
+        inputs: Vec<NetId>,
+        output: NetId,
+    ) -> Result<GateId, NetlistError> {
+        if !gtype.arity_ok(inputs.len()) {
+            return Err(NetlistError::BadArity {
+                gtype,
+                got: inputs.len(),
+            });
+        }
+        for &n in inputs.iter().chain(std::iter::once(&output)) {
+            if n.index() >= self.net_names.len() {
+                return Err(NetlistError::UnknownNet(n));
+            }
+        }
+        if self.driven[output.index()] {
+            return Err(NetlistError::MultipleDrivers(
+                self.net_names[output.index()].clone(),
+            ));
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.drivers[output.index()] = Driver::Gate(id);
+        self.driven[output.index()] = true;
+        self.gates.push(Gate {
+            gtype,
+            inputs,
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Convenience: adds a gate with a freshly created output net and
+    /// returns that net.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::add_gate`].
+    pub fn add_gate_new_net(
+        &mut self,
+        gtype: GateType,
+        inputs: Vec<NetId>,
+        name: impl Into<String>,
+    ) -> Result<NetId, NetlistError> {
+        let out = self.add_net(name);
+        self.add_gate(gtype, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Adds a D flip-flop with data input `d` driving state output `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] for foreign ids and
+    /// [`NetlistError::MultipleDrivers`] if `q` is already driven.
+    pub fn add_dff(&mut self, d: NetId, q: NetId) -> Result<DffId, NetlistError> {
+        for &n in &[d, q] {
+            if n.index() >= self.net_names.len() {
+                return Err(NetlistError::UnknownNet(n));
+            }
+        }
+        if self.driven[q.index()] {
+            return Err(NetlistError::MultipleDrivers(
+                self.net_names[q.index()].clone(),
+            ));
+        }
+        let id = DffId(self.dffs.len() as u32);
+        self.drivers[q.index()] = Driver::Dff(id);
+        self.driven[q.index()] = true;
+        self.dffs.push(Dff { d, q });
+        Ok(id)
+    }
+
+    /// The **bits** of the design, in flip-flop declaration order: the data
+    /// input net of every flip-flop. This is the ReBERT definition — bits
+    /// are "signals feeding into sequential components".
+    pub fn bits(&self) -> Vec<NetId> {
+        self.dffs.iter().map(|ff| ff.d).collect()
+    }
+
+    /// Replaces the logic of gate `id` in place. Used by the corruption
+    /// engine for 1-for-1 template substitution when arities match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new arity is illegal for `gtype`.
+    pub fn replace_gate_logic(&mut self, id: GateId, gtype: GateType, inputs: Vec<NetId>) {
+        assert!(gtype.arity_ok(inputs.len()));
+        let g = &mut self.gates[id.index()];
+        g.gtype = gtype;
+        g.inputs = inputs;
+    }
+
+    /// Checks global structural invariants:
+    ///
+    /// * every net that is consumed by a gate, flip-flop, or primary output
+    ///   has a driver;
+    /// * the combinational gate graph is acyclic (flip-flops legally break
+    ///   cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Driver presence for every consumed net.
+        let mut consumed: Vec<bool> = vec![false; self.net_names.len()];
+        for g in &self.gates {
+            for &n in &g.inputs {
+                consumed[n.index()] = true;
+            }
+        }
+        for ff in &self.dffs {
+            consumed[ff.d.index()] = true;
+        }
+        for &n in &self.primary_outputs {
+            consumed[n.index()] = true;
+        }
+        for (i, &c) in consumed.iter().enumerate() {
+            if c && !self.driven[i] {
+                return Err(NetlistError::Undriven(self.net_names[i].clone()));
+            }
+        }
+        // Acyclicity of combinational logic via topological order.
+        self.topo_order().map(|_| ())
+    }
+
+    /// Returns the gates in a topological order of the combinational graph
+    /// (inputs before the gates that read them). Flip-flop outputs and
+    /// primary inputs are sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if no such order exists.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        let n = self.gates.len();
+        let mut indegree = vec![0usize; n];
+        // fanout adjacency from gate -> gates reading its output
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                if let Driver::Gate(src) = self.drivers[inp.index()] {
+                    readers[src.index()].push(gi as u32);
+                    indegree[gi] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&g| indegree[g as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            order.push(GateId(g));
+            for &r in &readers[g as usize] {
+                indegree[r as usize] -= 1;
+                if indegree[r as usize] == 0 {
+                    queue.push(r);
+                }
+            }
+        }
+        if order.len() != n {
+            let culprit = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .map(|gi| self.net_name(self.gates[gi].output).to_owned())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalCycle(culprit));
+        }
+        Ok(order)
+    }
+
+}
+
+impl Netlist {
+    /// Rebuilds derived lookup state after deserialization.
+    ///
+    /// `serde` skips the internal driven-flag cache; call this after
+    /// deserializing a netlist by hand. All public constructors and parsers
+    /// already do it.
+    pub fn rebuild_caches(&mut self) {
+        self.driven = vec![false; self.net_names.len()];
+        for &pi in &self.primary_inputs {
+            self.driven[pi.index()] = true;
+        }
+        for g in &self.gates {
+            self.driven[g.output.index()] = true;
+        }
+        for ff in &self.dffs {
+            self.driven[ff.q.index()] = true;
+        }
+        for (i, d) in self.drivers.iter().enumerate() {
+            if matches!(d, Driver::ConstOne | Driver::ConstZero) {
+                // Constants count as driven only if they were explicitly
+                // created through add_const; after deserialization we cannot
+                // distinguish, so treat them as driven.
+                self.driven[i] = true;
+            }
+        }
+        self.name_to_net = self
+            .net_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), NetId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_ff_toy() -> Netlist {
+        let mut nl = Netlist::new("toy");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.add_net("s");
+        nl.add_gate(GateType::Xor, vec![a, b], s).unwrap();
+        let q = nl.add_net("q");
+        nl.add_dff(s, q).unwrap();
+        nl.add_output(s);
+        nl
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let nl = xor_ff_toy();
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.dff_count(), 1);
+        assert_eq!(nl.bits(), vec![nl.find_net("s").unwrap()]);
+    }
+
+    #[test]
+    fn duplicate_names_are_uniquified() {
+        let mut nl = Netlist::new("d");
+        let a = nl.add_net("x");
+        let b = nl.add_net("x");
+        assert_ne!(a, b);
+        assert_ne!(nl.net_name(a), nl.net_name(b));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let o = nl.add_net("o");
+        nl.add_gate(GateType::And, vec![a, b], o).unwrap();
+        let err = nl.add_gate(GateType::Or, vec![a, b], o).unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers(_)));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let o = nl.add_net("o");
+        let err = nl.add_gate(GateType::And, vec![a], o).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }));
+    }
+
+    #[test]
+    fn undriven_consumed_net_detected() {
+        let mut nl = Netlist::new("u");
+        let a = nl.add_input("a");
+        let floating = nl.add_net("floating");
+        let o = nl.add_net("o");
+        nl.add_gate(GateType::And, vec![a, floating], o).unwrap();
+        assert!(matches!(nl.validate(), Err(NetlistError::Undriven(_))));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateType::And, vec![a, y], x).unwrap();
+        nl.add_gate(GateType::Or, vec![a, x], y).unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn dff_breaks_cycle() {
+        // x = AND(a, q); q = DFF(x) — legal sequential loop.
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_net("q");
+        let x = nl.add_net("x");
+        nl.add_gate(GateType::And, vec![a, q], x).unwrap();
+        nl.add_dff(x, q).unwrap();
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let m = nl.add_gate_new_net(GateType::And, vec![a, b], "m").unwrap();
+        let o = nl.add_gate_new_net(GateType::Not, vec![m], "o").unwrap();
+        nl.add_output(o);
+        let order = nl.topo_order().unwrap();
+        let pos = |gid: GateId| order.iter().position(|&g| g == gid).unwrap();
+        // gate 0 drives m, gate 1 reads m.
+        assert!(pos(GateId(0)) < pos(GateId(1)));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds() {
+        let nl = xor_ff_toy();
+        let js = serde_json::to_string(&nl).unwrap();
+        let mut back: Netlist = serde_json::from_str(&js).unwrap();
+        back.rebuild_caches();
+        assert!(back.validate().is_ok());
+        assert_eq!(back.find_net("s"), nl.find_net("s"));
+        assert_eq!(back.gate_count(), nl.gate_count());
+    }
+
+    #[test]
+    fn constants_are_driven() {
+        let mut nl = Netlist::new("k");
+        let one = nl.add_const("vcc", true);
+        let a = nl.add_input("a");
+        let o = nl.add_gate_new_net(GateType::And, vec![a, one], "o").unwrap();
+        nl.add_output(o);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.driver(one), Driver::ConstOne);
+    }
+}

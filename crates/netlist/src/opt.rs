@@ -1,0 +1,510 @@
+//! Netlist optimization passes: constant folding, buffer sweeping, and
+//! dead-logic elimination.
+//!
+//! These mirror what a synthesis tool's cleanup does — and they matter to
+//! reverse engineering in two ways: real-world inputs have been through
+//! them (so benchmarks should too), and they are *another* source of the
+//! structural-pattern erosion that breaks template-based recovery.
+
+use std::collections::HashMap;
+
+use crate::gate::GateType;
+use crate::netlist::{Driver, Netlist, NetId};
+
+/// Statistics reported by [`optimize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// `BUF` gates (and aliases) swept.
+    pub buffers_swept: usize,
+    /// Gates whose output folded to a constant or alias.
+    pub gates_folded: usize,
+    /// Gates removed because nothing observes them.
+    pub dead_gates_removed: usize,
+}
+
+/// Where a folded net's value now comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolved {
+    Net(NetId),
+    Const(bool),
+}
+
+/// Runs constant folding + buffer sweeping, then dead-logic elimination,
+/// returning a functionally-equivalent, usually smaller netlist.
+///
+/// Primary inputs/outputs and flip-flops (and therefore the **bits**) are
+/// preserved; only combinational structure changes.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert_netlist::{optimize, parse_bench};
+///
+/// let nl = parse_bench("t", "\
+/// INPUT(a)
+/// one = CONST1
+/// w = AND(a, one)   # folds to a
+/// y = BUF(w)        # sweeps
+/// OUTPUT(y)
+/// ")?;
+/// let (opt, stats) = optimize(&nl);
+/// assert_eq!(opt.gate_count(), 0); // the output is rewired to `a` directly
+/// assert!(stats.gates_folded >= 1);
+/// assert!(stats.buffers_swept >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize(nl: &Netlist) -> (Netlist, OptStats) {
+    let mut stats = OptStats::default();
+    let folded = fold(nl, &mut stats);
+    let cleaned = dce(&folded, &mut stats);
+    (cleaned, stats)
+}
+
+fn fold(nl: &Netlist, stats: &mut OptStats) -> Netlist {
+    let mut out = Netlist::new(nl.name());
+    let mut map: HashMap<NetId, Resolved> = HashMap::new();
+    let mut const_nets: [Option<NetId>; 2] = [None, None];
+
+    for &pi in nl.primary_inputs() {
+        let id = out.add_input(nl.net_name(pi));
+        map.insert(pi, Resolved::Net(id));
+    }
+    for (id, name) in nl.iter_nets() {
+        match nl.driver(id) {
+            Driver::ConstOne => {
+                map.insert(id, Resolved::Const(true));
+                let _ = name;
+            }
+            Driver::ConstZero if name.starts_with("__const") => {
+                map.insert(id, Resolved::Const(false));
+            }
+            _ => {}
+        }
+    }
+    // Pre-create flip-flop outputs (sequential sources).
+    for ff in nl.dffs() {
+        let q = out.add_net(nl.net_name(ff.q));
+        map.insert(ff.q, Resolved::Net(q));
+    }
+
+    let materialize = |out: &mut Netlist,
+                       const_nets: &mut [Option<NetId>; 2],
+                       r: Resolved|
+     -> NetId {
+        match r {
+            Resolved::Net(n) => n,
+            Resolved::Const(v) => {
+                let slot = &mut const_nets[v as usize];
+                *slot.get_or_insert_with(|| {
+                    out.add_const(format!("__const_{}", v as u8), v)
+                })
+            }
+        }
+    };
+
+    let order = nl.topo_order().expect("input netlist validated by caller");
+    for gid in order {
+        let g = nl.gate(gid);
+        let ins: Vec<Resolved> = g
+            .inputs
+            .iter()
+            .map(|i| *map.get(i).expect("topological order resolves inputs"))
+            .collect();
+        let simplified = simplify(g.gtype, &ins);
+        match simplified {
+            Simplified::Const(v) => {
+                map.insert(g.output, Resolved::Const(v));
+                stats.gates_folded += 1;
+            }
+            Simplified::Alias(r) => {
+                map.insert(g.output, r);
+                if g.gtype == GateType::Buf {
+                    stats.buffers_swept += 1;
+                } else {
+                    stats.gates_folded += 1;
+                }
+            }
+            Simplified::Gate(gtype, kept) => {
+                let input_nets: Vec<NetId> = kept
+                    .into_iter()
+                    .map(|r| materialize(&mut out, &mut const_nets, r))
+                    .collect();
+                let o = out.add_net(nl.net_name(g.output));
+                out.add_gate(gtype, input_nets, o)
+                    .expect("fresh output net");
+                map.insert(g.output, Resolved::Net(o));
+            }
+        }
+    }
+    for ff in nl.dffs() {
+        let d = materialize(&mut out, &mut const_nets, map[&ff.d]);
+        let q = match map[&ff.q] {
+            Resolved::Net(n) => n,
+            Resolved::Const(_) => unreachable!("q nets are pre-created"),
+        };
+        out.add_dff(d, q).expect("pre-created q net is undriven");
+    }
+    for &po in nl.primary_outputs() {
+        let id = materialize(&mut out, &mut const_nets, map[&po]);
+        out.add_output(id);
+    }
+    out
+}
+
+enum Simplified {
+    Const(bool),
+    Alias(Resolved),
+    Gate(GateType, Vec<Resolved>),
+}
+
+fn simplify(gtype: GateType, ins: &[Resolved]) -> Simplified {
+    use Resolved::{Const, Net};
+    match gtype {
+        GateType::Buf => Simplified::Alias(ins[0]),
+        GateType::Not => match ins[0] {
+            Const(v) => Simplified::Const(!v),
+            r @ Net(_) => Simplified::Gate(GateType::Not, vec![r]),
+        },
+        GateType::And | GateType::Nand => {
+            let invert = gtype == GateType::Nand;
+            let mut kept = Vec::new();
+            for &r in ins {
+                match r {
+                    Const(false) => return Simplified::Const(invert),
+                    Const(true) => {}
+                    Net(_) => kept.push(r),
+                }
+            }
+            finish_reduction(GateType::And, invert, kept, true)
+        }
+        GateType::Or | GateType::Nor => {
+            let invert = gtype == GateType::Nor;
+            let mut kept = Vec::new();
+            for &r in ins {
+                match r {
+                    Const(true) => return Simplified::Const(!invert),
+                    Const(false) => {}
+                    Net(_) => kept.push(r),
+                }
+            }
+            finish_reduction(GateType::Or, invert, kept, false)
+        }
+        GateType::Xor | GateType::Xnor => {
+            let mut parity = gtype == GateType::Xnor;
+            let mut kept = Vec::new();
+            for &r in ins {
+                match r {
+                    Const(v) => parity ^= v,
+                    Net(_) => kept.push(r),
+                }
+            }
+            match (kept.len(), parity) {
+                (0, p) => Simplified::Const(p),
+                (1, false) => Simplified::Alias(kept[0]),
+                (1, true) => Simplified::Gate(GateType::Not, kept),
+                (_, false) => Simplified::Gate(GateType::Xor, kept),
+                (_, true) => Simplified::Gate(GateType::Xnor, kept),
+            }
+        }
+        GateType::Mux => {
+            let (sel, a, b) = (ins[0], ins[1], ins[2]);
+            match sel {
+                Const(false) => Simplified::Alias(a),
+                Const(true) => Simplified::Alias(b),
+                Net(_) => {
+                    if a == b {
+                        return Simplified::Alias(a);
+                    }
+                    match (a, b) {
+                        (Const(false), Const(true)) => Simplified::Alias(sel),
+                        (Const(true), Const(false)) => {
+                            Simplified::Gate(GateType::Not, vec![sel])
+                        }
+                        _ => Simplified::Gate(GateType::Mux, vec![sel, a, b]),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn finish_reduction(
+    base: GateType,
+    invert: bool,
+    kept: Vec<Resolved>,
+    empty_value: bool,
+) -> Simplified {
+    match kept.len() {
+        0 => Simplified::Const(empty_value ^ invert),
+        1 if !invert => Simplified::Alias(kept[0]),
+        1 => Simplified::Gate(GateType::Not, kept),
+        _ => {
+            // Re-emit the inverting form directly when folding NAND/NOR.
+            let gtype = match (base, invert) {
+                (GateType::And, true) => GateType::Nand,
+                (GateType::Or, true) => GateType::Nor,
+                (g, _) => g,
+            };
+            Simplified::Gate(gtype, kept)
+        }
+    }
+}
+
+fn dce(nl: &Netlist, stats: &mut OptStats) -> Netlist {
+    // Mark nets observed by POs or flip-flop data inputs, backwards.
+    let mut live = vec![false; nl.net_count()];
+    let mut stack: Vec<NetId> = Vec::new();
+    for &po in nl.primary_outputs() {
+        stack.push(po);
+    }
+    for ff in nl.dffs() {
+        stack.push(ff.d);
+    }
+    while let Some(net) = stack.pop() {
+        if live[net.index()] {
+            continue;
+        }
+        live[net.index()] = true;
+        if let Driver::Gate(gid) = nl.driver(net) {
+            for &inp in &nl.gate(gid).inputs {
+                stack.push(inp);
+            }
+        }
+    }
+
+    let mut out = Netlist::new(nl.name());
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in nl.primary_inputs() {
+        map.insert(pi, out.add_input(nl.net_name(pi)));
+    }
+    for (id, name) in nl.iter_nets() {
+        if !live[id.index()] {
+            continue;
+        }
+        match nl.driver(id) {
+            Driver::ConstOne => {
+                map.insert(id, out.add_const(name, true));
+            }
+            Driver::ConstZero if name.starts_with("__const") => {
+                map.insert(id, out.add_const(name, false));
+            }
+            _ => {}
+        }
+    }
+    for ff in nl.dffs() {
+        let q = out.add_net(nl.net_name(ff.q));
+        map.insert(ff.q, q);
+    }
+    for gid in nl.topo_order().expect("validated") {
+        let g = nl.gate(gid);
+        if !live[g.output.index()] {
+            stats.dead_gates_removed += 1;
+            continue;
+        }
+        let ins: Vec<NetId> = g.inputs.iter().map(|i| map[i]).collect();
+        let o = out.add_net(nl.net_name(g.output));
+        out.add_gate(g.gtype, ins, o).expect("fresh output");
+        map.insert(g.output, o);
+    }
+    for ff in nl.dffs() {
+        out.add_dff(map[&ff.d], map[&ff.q]).expect("q undriven");
+    }
+    for &po in nl.primary_outputs() {
+        out.add_output(map[&po]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+    use crate::sim::Simulator;
+
+    fn assert_equiv(a: &Netlist, b: &Netlist) {
+        let n = a.primary_inputs().len();
+        assert!(n <= 8);
+        let sa = Simulator::new(a).unwrap();
+        let sb = Simulator::new(b).unwrap();
+        let za = vec![false; a.dff_count()];
+        let zb = vec![false; b.dff_count()];
+        for row in 0..(1u32 << n) {
+            let ins: Vec<bool> = (0..n).map(|j| (row >> j) & 1 == 1).collect();
+            let va = sa.eval_combinational(&ins, &za);
+            let vb = sb.eval_combinational(&ins, &zb);
+            for (k, (&pa, &pb)) in a
+                .primary_outputs()
+                .iter()
+                .zip(b.primary_outputs())
+                .enumerate()
+            {
+                assert_eq!(va[pa.index()], vb[pb.index()], "PO {k} pattern {row:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constants_fold_through() {
+        let nl = parse_bench(
+            "t",
+            "\
+INPUT(a)
+one = CONST1
+w1 = AND(a, one)
+w2 = OR(w1, one)
+w3 = XOR(w2, one)
+OUTPUT(w3)
+",
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&nl);
+        // w2 = 1, w3 = NOT(1) = 0 → output is constant zero.
+        assert_eq!(opt.gate_count(), 0);
+        assert!(stats.gates_folded >= 2);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn buffers_swept() {
+        let nl = parse_bench(
+            "t",
+            "\
+INPUT(a)
+INPUT(b)
+w = AND(a, b)
+x = BUF(w)
+y = BUF(x)
+OUTPUT(y)
+",
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&nl);
+        assert_eq!(stats.buffers_swept, 2);
+        assert_eq!(opt.gate_count(), 1);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn dead_logic_removed() {
+        let nl = parse_bench(
+            "t",
+            "\
+INPUT(a)
+INPUT(b)
+used = AND(a, b)
+dead1 = OR(a, b)
+dead2 = NOT(dead1)
+OUTPUT(used)
+",
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&nl);
+        assert_eq!(stats.dead_gates_removed, 2);
+        assert_eq!(opt.gate_count(), 1);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn mux_folds() {
+        let nl = parse_bench(
+            "t",
+            "\
+INPUT(s)
+INPUT(a)
+zero = CONST0
+one = CONST1
+m1 = MUX(s, zero, one)
+m2 = MUX(s, one, zero)
+m3 = MUX(s, a, a)
+OUTPUT(m1)
+OUTPUT(m2)
+OUTPUT(m3)
+",
+        )
+        .unwrap();
+        let (opt, _) = optimize(&nl);
+        // m1 = s (alias), m2 = NOT(s), m3 = a (alias): one NOT survives.
+        assert_eq!(opt.gate_count(), 1);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn xor_parity_folding() {
+        let nl = parse_bench(
+            "t",
+            "\
+INPUT(a)
+one = CONST1
+w = XOR(a, one)
+y = XNOR(w, one)
+OUTPUT(y)
+",
+        )
+        .unwrap();
+        let (opt, _) = optimize(&nl);
+        // XOR(a,1) = NOT a; XNOR(NOT a, 1) = NOT a ... net effect one NOT.
+        assert!(opt.gate_count() <= 1);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn sequential_logic_preserved() {
+        let nl = parse_bench(
+            "t",
+            "\
+INPUT(en)
+one = CONST1
+g = AND(en, one)
+nq = XOR(q, g)
+q = DFF(nq)
+OUTPUT(q)
+",
+        )
+        .unwrap();
+        let (opt, _) = optimize(&nl);
+        assert_eq!(opt.dff_count(), 1);
+        assert!(opt.validate().is_ok());
+        let mut sa = Simulator::new(&nl).unwrap();
+        let mut sb = Simulator::new(&opt).unwrap();
+        for i in 0..6 {
+            let en = i % 2 == 0;
+            sa.step(&[en]);
+            sb.step(&[en]);
+            assert_eq!(sa.state(), sb.state(), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn nand_with_true_input_becomes_not() {
+        let nl = parse_bench(
+            "t",
+            "\
+INPUT(a)
+one = CONST1
+y = NAND(a, one)
+OUTPUT(y)
+",
+        )
+        .unwrap();
+        let (opt, _) = optimize(&nl);
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(opt.gates()[0].gtype, GateType::Not);
+        assert_equiv(&nl, &opt);
+    }
+
+    #[test]
+    fn idempotent_on_clean_netlists() {
+        let nl = parse_bench(
+            "t",
+            "INPUT(a)\nINPUT(b)\ny = NAND(a, b)\nz = XOR(y, a)\nOUTPUT(z)\n",
+        )
+        .unwrap();
+        let (once, _) = optimize(&nl);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(once.gate_count(), twice.gate_count());
+        assert_eq!(stats.gates_folded, 0);
+        assert_eq!(stats.dead_gates_removed, 0);
+    }
+}

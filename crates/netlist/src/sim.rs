@@ -1,0 +1,225 @@
+//! Logic simulation of netlists.
+//!
+//! [`Simulator`] evaluates the combinational logic of a [`Netlist`] for
+//! given primary-input and flip-flop-state values, and can step the
+//! sequential state. It is the workhorse behind the equivalence checks in
+//! the corruption engine (`rebert-circuits`).
+
+use crate::netlist::{Driver, GateId, Netlist, NetId, NetlistError};
+
+/// A combinational + sequential evaluator over a fixed netlist.
+///
+/// The simulator snapshots a topological gate order at construction, so
+/// repeated evaluations are linear passes with no graph traversal.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert_netlist::{parse_bench, Simulator};
+///
+/// let nl = parse_bench("toy", "INPUT(a)\nINPUT(b)\ny = XOR(a, b)\nOUTPUT(y)\n")?;
+/// let mut sim = Simulator::new(&nl)?;
+/// let vals = sim.eval_combinational(&[true, false], &[]);
+/// let y = nl.find_net("y").expect("net exists");
+/// assert!(vals[y.index()]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    /// Current flip-flop state (q values), one per DFF.
+    state: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator for `netlist`, with all flip-flops reset to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// logic is cyclic.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = netlist.topo_order()?;
+        Ok(Simulator {
+            netlist,
+            order,
+            state: vec![false; netlist.dff_count()],
+        })
+    }
+
+    /// The current flip-flop state vector (one `q` value per DFF, in
+    /// declaration order).
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overrides the flip-flop state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the netlist's DFF count.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Evaluates all nets combinationally.
+    ///
+    /// `inputs` supplies primary-input values in declaration order and
+    /// `state` supplies flip-flop `q` values in declaration order (pass the
+    /// stored state with [`Simulator::state`], or any vector for "what-if"
+    /// evaluation). The result is indexed by [`NetId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice has the wrong length.
+    pub fn eval_combinational(&self, inputs: &[bool], state: &[bool]) -> Vec<bool> {
+        let nl = self.netlist;
+        assert_eq!(inputs.len(), nl.primary_inputs().len(), "PI width mismatch");
+        assert_eq!(state.len(), nl.dff_count(), "state width mismatch");
+        let mut vals = vec![false; nl.net_count()];
+        for (i, &pi) in nl.primary_inputs().iter().enumerate() {
+            vals[pi.index()] = inputs[i];
+        }
+        for (i, ff) in nl.dffs().iter().enumerate() {
+            vals[ff.q.index()] = state[i];
+        }
+        for (id, _) in nl.iter_nets() {
+            if let Driver::ConstOne = nl.driver(id) {
+                vals[id.index()] = true;
+            }
+        }
+        let mut in_buf: Vec<bool> = Vec::with_capacity(4);
+        for &gid in &self.order {
+            let g = nl.gate(gid);
+            in_buf.clear();
+            in_buf.extend(g.inputs.iter().map(|&n| vals[n.index()]));
+            vals[g.output.index()] = g.gtype.eval(&in_buf);
+        }
+        vals
+    }
+
+    /// Evaluates one value, given full primary-input and state vectors.
+    pub fn eval_net(&self, net: NetId, inputs: &[bool], state: &[bool]) -> bool {
+        self.eval_combinational(inputs, state)[net.index()]
+    }
+
+    /// Advances the sequential state by one clock: evaluates the
+    /// combinational logic with the stored state, then latches every DFF's
+    /// `d` into its `q`. Returns the net values *before* the clock edge.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let vals = self.eval_combinational(inputs, &self.state.clone());
+        for (i, ff) in self.netlist.dffs().iter().enumerate() {
+            self.state[i] = vals[ff.d.index()];
+        }
+        vals
+    }
+
+    /// Resets all flip-flops to zero.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|b| *b = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+axb = XOR(a, b)
+s = XOR(axb, cin)
+t1 = AND(a, b)
+t2 = AND(axb, cin)
+cout = OR(t1, t2)
+OUTPUT(s)
+OUTPUT(cout)
+";
+        let nl = parse_bench("fa", src).expect("parse");
+        let sim = Simulator::new(&nl).expect("sim");
+        let s = nl.find_net("s").unwrap();
+        let cout = nl.find_net("cout").unwrap();
+        for row in 0..8u8 {
+            let a = row & 1 == 1;
+            let b = row >> 1 & 1 == 1;
+            let cin = row >> 2 & 1 == 1;
+            let vals = sim.eval_combinational(&[a, b, cin], &[]);
+            let sum = (a as u8) + (b as u8) + (cin as u8);
+            assert_eq!(vals[s.index()], sum & 1 == 1, "sum row {row}");
+            assert_eq!(vals[cout.index()], sum >= 2, "carry row {row}");
+        }
+    }
+
+    #[test]
+    fn counter_steps() {
+        // 2-bit counter: q0 toggles, q1 toggles when q0 is 1.
+        let src = "\
+INPUT(en)
+nq0 = XOR(q0, en)
+t = AND(q0, en)
+nq1 = XOR(q1, t)
+q0 = DFF(nq0)
+q1 = DFF(nq1)
+OUTPUT(q1)
+";
+        let nl = parse_bench("cnt", src).expect("parse");
+        let mut sim = Simulator::new(&nl).expect("sim");
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push((sim.state()[0], sim.state()[1]));
+            sim.step(&[true]);
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (false, false),
+                (true, false),
+                (false, true),
+                (true, true),
+                (false, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let src = "\
+INPUT(a)
+one = CONST1
+y = AND(a, one)
+z = NOR(a, one)
+OUTPUT(y)
+OUTPUT(z)
+";
+        let nl = parse_bench("c", src).expect("parse");
+        let sim = Simulator::new(&nl).expect("sim");
+        let y = nl.find_net("y").unwrap();
+        let z = nl.find_net("z").unwrap();
+        let vals = sim.eval_combinational(&[true], &[]);
+        assert!(vals[y.index()]);
+        assert!(!vals[z.index()]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let src = "\
+INPUT(d)
+q = DFF(d)
+OUTPUT(q)
+";
+        let nl = parse_bench("r", src).expect("parse");
+        let mut sim = Simulator::new(&nl).expect("sim");
+        sim.step(&[true]);
+        assert_eq!(sim.state(), &[true]);
+        sim.reset();
+        assert_eq!(sim.state(), &[false]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Summary statistics of a netlist (used for Table I).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateType;
+use crate::netlist::Netlist;
+
+/// Aggregate statistics of one netlist, in the shape of the paper's
+/// Table I columns plus a per-gate-type histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of flip-flops (= number of bits).
+    pub ffs: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Gate count per type.
+    pub by_type: BTreeMap<GateType, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use rebert_netlist::{parse_bench, NetlistStats};
+    ///
+    /// let nl = parse_bench("t", "INPUT(a)\nq = DFF(a)\nOUTPUT(q)\n")?;
+    /// let stats = NetlistStats::of(&nl);
+    /// assert_eq!(stats.ffs, 1);
+    /// assert_eq!(stats.gates, 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(nl: &Netlist) -> Self {
+        let mut by_type = BTreeMap::new();
+        for g in nl.gates() {
+            *by_type.entry(g.gtype).or_insert(0) += 1;
+        }
+        NetlistStats {
+            name: nl.name().to_owned(),
+            gates: nl.gate_count(),
+            ffs: nl.dff_count(),
+            inputs: nl.primary_inputs().len(),
+            outputs: nl.primary_outputs().len(),
+            nets: nl.net_count(),
+            by_type,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates, {} FFs, {} PIs, {} POs, {} nets",
+            self.name, self.gates, self.ffs, self.inputs, self.outputs, self.nets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+
+    #[test]
+    fn counts_by_type() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+x = AND(a, b)
+y = AND(a, x)
+z = NOT(y)
+q = DFF(z)
+OUTPUT(z)
+";
+        let nl = parse_bench("s", src).unwrap();
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.gates, 3);
+        assert_eq!(st.ffs, 1);
+        assert_eq!(st.by_type[&GateType::And], 2);
+        assert_eq!(st.by_type[&GateType::Not], 1);
+        assert!(st.to_string().contains("3 gates"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Binary tree representation of a bit's fan-in cone.
+//!
+//! For each **bit** (a flip-flop's `d` net) ReBERT builds a binary tree of
+//! the sub-circuit obtained by back-tracing `k` levels through the
+//! *binarized* netlist (paper §II-A.1). Interior nodes are gates; leaves are
+//! the signals feeding the sub-circuit (primary inputs, flip-flop outputs,
+//! constants, or nets cut off by the depth bound).
+//!
+//! The **pre-order traversal** of this tree is the token sequence used by
+//! the model (paper Fig. 2), with leaf signal names generalized to a single
+//! `X` token.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::GateType;
+use crate::netlist::{Driver, Netlist, NetId};
+
+/// A node of a [`BitTree`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// An interior gate node with one or two children (indices into the
+    /// tree's node arena).
+    Gate {
+        /// The gate's logic function.
+        gtype: GateType,
+        /// Left child index.
+        left: u32,
+        /// Right child index, absent for unary gates.
+        right: Option<u32>,
+    },
+    /// A leaf: an input signal of the sub-circuit. Carries the originating
+    /// net so callers can inspect provenance; tokenization generalizes all
+    /// leaves to `X`.
+    Leaf {
+        /// The net this leaf represents.
+        net: NetId,
+    },
+}
+
+/// The binary fan-in tree of one bit.
+///
+/// Nodes are stored in an arena with the **root at index 0**; child links
+/// are arena indices. Use [`BitTree::preorder`] for the canonical traversal
+/// order used by tokenization.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert_netlist::{binarize, parse_bench, BitTree};
+///
+/// let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\ns = XOR(a, b)\nq = DFF(s)\nOUTPUT(s)\n")?;
+/// let (bin, _) = binarize(&nl);
+/// let bit = bin.bits()[0];
+/// let tree = BitTree::extract(&bin, bit, 6);
+/// assert_eq!(tree.depth(), 2); // XOR over two leaves
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitTree {
+    /// The bit (net) this tree was extracted for.
+    pub bit: NetId,
+    nodes: Vec<TreeNode>,
+}
+
+impl BitTree {
+    /// Extracts the fan-in binary tree of `bit`, back-tracing at most
+    /// `k` gate levels. Traversal stops early at primary inputs, flip-flop
+    /// outputs, and constants; nets cut by the depth bound become leaves.
+    ///
+    /// The netlist should already be binarized (every gate ≤ 2 inputs);
+    /// wider gates are truncated to their first two inputs with a
+    /// debug-mode assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a gate with more than two inputs is
+    /// encountered.
+    pub fn extract(nl: &Netlist, bit: NetId, k: usize) -> Self {
+        let mut nodes = Vec::new();
+        // Reserve slot 0 for the root.
+        Self::build(nl, bit, k, &mut nodes);
+        BitTree { bit, nodes }
+    }
+
+    fn build(nl: &Netlist, net: NetId, depth: usize, nodes: &mut Vec<TreeNode>) -> u32 {
+        let my_index = nodes.len() as u32;
+        if depth == 0 {
+            nodes.push(TreeNode::Leaf { net });
+            return my_index;
+        }
+        match nl.driver(net) {
+            Driver::Gate(gid) => {
+                let g = nl.gate(gid);
+                debug_assert!(
+                    g.inputs.len() <= 2,
+                    "BitTree::extract expects a binarized netlist"
+                );
+                // Placeholder; children are appended after, then patched.
+                nodes.push(TreeNode::Gate {
+                    gtype: g.gtype,
+                    left: 0,
+                    right: None,
+                });
+                let left = Self::build(nl, g.inputs[0], depth - 1, nodes);
+                let right = g
+                    .inputs
+                    .get(1)
+                    .map(|&n| Self::build(nl, n, depth - 1, nodes));
+                if let TreeNode::Gate {
+                    left: l, right: r, ..
+                } = &mut nodes[my_index as usize]
+                {
+                    *l = left;
+                    *r = right;
+                }
+                my_index
+            }
+            _ => {
+                nodes.push(TreeNode::Leaf { net });
+                my_index
+            }
+        }
+    }
+
+    /// The arena of nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true for extracted trees).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The tree's depth: a single leaf has depth 1.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[TreeNode], i: u32) -> usize {
+            match &nodes[i as usize] {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Gate { left, right, .. } => {
+                    let l = rec(nodes, *left);
+                    let r = right.map(|r| rec(nodes, r)).unwrap_or(0);
+                    1 + l.max(r)
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Returns the node indices in pre-order (root, left subtree, right
+    /// subtree) — the canonical sequence order for tokenization.
+    pub fn preorder(&self) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![0u32];
+        if self.nodes.is_empty() {
+            return order;
+        }
+        while let Some(i) = stack.pop() {
+            order.push(i);
+            if let TreeNode::Gate { left, right, .. } = &self.nodes[i as usize] {
+                // Push right first so left is visited first.
+                if let Some(r) = right {
+                    stack.push(*r);
+                }
+                stack.push(*left);
+            }
+        }
+        order
+    }
+
+    /// For each node (in arena order) computes `(parent, is_right_child)`;
+    /// the root's parent is `None`. Useful for positional encodings.
+    pub fn parents(&self) -> Vec<Option<(u32, bool)>> {
+        let mut parents = vec![None; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let TreeNode::Gate { left, right, .. } = n {
+                parents[*left as usize] = Some((i as u32, false));
+                if let Some(r) = right {
+                    parents[*r as usize] = Some((i as u32, true));
+                }
+            }
+        }
+        parents
+    }
+
+    /// Count of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::binarize;
+    use crate::parser::parse_bench;
+
+    fn toy() -> Netlist {
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+w1 = AND(a, b)
+w2 = OR(w1, c)
+w3 = NOT(w2)
+q = DFF(w3)
+OUTPUT(w3)
+";
+        let (bin, _) = binarize(&parse_bench("toy", src).unwrap());
+        bin
+    }
+
+    #[test]
+    fn extract_shapes() {
+        let nl = toy();
+        let bit = nl.bits()[0];
+        let tree = BitTree::extract(&nl, bit, 6);
+        // NOT -> OR -> (AND -> (a, b), c)
+        assert_eq!(tree.depth(), 4);
+        assert_eq!(tree.leaf_count(), 3);
+        assert_eq!(tree.len(), 6);
+        match &tree.nodes()[0] {
+            TreeNode::Gate { gtype, right, .. } => {
+                assert_eq!(*gtype, GateType::Not);
+                assert!(right.is_none());
+            }
+            _ => panic!("root should be the NOT gate"),
+        }
+    }
+
+    #[test]
+    fn depth_bound_cuts() {
+        let nl = toy();
+        let bit = nl.bits()[0];
+        let tree = BitTree::extract(&nl, bit, 1);
+        // Only the NOT is expanded; its input becomes a leaf.
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.leaf_count(), 1);
+        let t0 = BitTree::extract(&nl, bit, 0);
+        assert_eq!(t0.depth(), 1);
+        assert_eq!(t0.len(), 1);
+    }
+
+    #[test]
+    fn preorder_matches_paper_example() {
+        // Fig. 2-style: root with two subtrees traversed root-left-right.
+        let nl = toy();
+        let tree = BitTree::extract(&nl, nl.bits()[0], 6);
+        let order = tree.preorder();
+        assert_eq!(order[0], 0, "pre-order starts at the root");
+        assert_eq!(order.len(), tree.len());
+        // In this arena construction, build order == pre-order.
+        let expected: Vec<u32> = (0..tree.len() as u32).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn ff_outputs_are_leaves() {
+        let src = "\
+INPUT(a)
+d0 = XOR(a, q1)
+d1 = NOT(q0)
+q0 = DFF(d0)
+q1 = DFF(d1)
+OUTPUT(q0)
+";
+        let (nl, _) = binarize(&parse_bench("ff", src).unwrap());
+        let bits = nl.bits();
+        let tree = BitTree::extract(&nl, bits[0], 6);
+        // d0 = XOR(a, q1): both children are leaves even with k=6 because
+        // `a` is a PI and `q1` is a DFF output.
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn parents_are_consistent() {
+        let nl = toy();
+        let tree = BitTree::extract(&nl, nl.bits()[0], 6);
+        let parents = tree.parents();
+        assert!(parents[0].is_none());
+        let mut child_count = vec![0usize; tree.len()];
+        for p in parents.iter().flatten() {
+            child_count[p.0 as usize] += 1;
+        }
+        for (i, n) in tree.nodes().iter().enumerate() {
+            match n {
+                TreeNode::Leaf { .. } => assert_eq!(child_count[i], 0),
+                TreeNode::Gate { right, .. } => {
+                    assert_eq!(child_count[i], if right.is_some() { 2 } else { 1 })
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! A structural-Verilog subset: the netlist format synthesis tools emit.
+//!
+//! Reverse-engineering inputs in practice are flattened gate-level
+//! Verilog. This module reads and writes the scalar structural subset:
+//!
+//! ```verilog
+//! module top (a, b, y);
+//!   input a, b;
+//!   output y;
+//!   wire w1;
+//!   nand g0 (w1, a, b);      // primitive: output first, then inputs
+//!   not  g1 (y, w1);
+//!   dff  r0 (q, w1);         // sequential: q output, d input
+//!   assign y2 = w1;          // alias (lowered to a BUF)
+//! endmodule
+//! ```
+//!
+//! Supported primitives: `and or nand nor xor xnor not buf mux dff`,
+//! `assign` aliases, `//` and `/* */` comments, multiple declarations per
+//! line. Vectors (`[3:0]`) are out of scope — flattened netlists use
+//! scalar bit names (`q_reg_3_` etc.), which parse fine as identifiers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::GateType;
+use crate::netlist::{Netlist, NetlistError};
+
+/// Error produced while parsing structural Verilog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerilogError {
+    /// A construct outside the supported subset. Carries the 1-based line.
+    Unsupported {
+        /// 1-based line number.
+        line: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// Malformed syntax.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// No `module` declaration found.
+    MissingModule,
+    /// A structural invariant was violated while building the netlist.
+    Netlist {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying error.
+        source: NetlistError,
+    },
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogError::Unsupported { line, text } => {
+                write!(f, "line {line}: unsupported construct `{text}`")
+            }
+            VerilogError::Syntax { line, text } => {
+                write!(f, "line {line}: syntax error `{text}`")
+            }
+            VerilogError::MissingModule => write!(f, "no module declaration found"),
+            VerilogError::Netlist { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for VerilogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerilogError::Netlist { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    let mut in_block = false;
+    while let Some(c) = chars.next() {
+        if in_block {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                in_block = false;
+            } else if c == '\n' {
+                out.push('\n'); // keep line numbers stable
+            }
+            continue;
+        }
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for nc in chars.by_ref() {
+                        if nc == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                Some('*') => {
+                    chars.next();
+                    in_block = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Parses the structural-Verilog subset into a [`Netlist`].
+///
+/// The module name becomes the design name (an explicit `name` overrides
+/// it when non-empty).
+///
+/// # Errors
+///
+/// Returns a [`VerilogError`] locating the first problem.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "
+/// module half_adder (a, b, s, c);
+///   input a, b;
+///   output s, c;
+///   xor g0 (s, a, b);
+///   and g1 (c, a, b);
+/// endmodule
+/// ";
+/// let nl = rebert_netlist::parse_verilog("", src)?;
+/// assert_eq!(nl.name(), "half_adder");
+/// assert_eq!(nl.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_verilog(name: &str, src: &str) -> Result<Netlist, VerilogError> {
+    let cleaned = strip_comments(src);
+    // Split into statements terminated by `;`, tracking line numbers.
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    let mut current = String::new();
+    let mut stmt_line = 1usize;
+    let mut line = 1usize;
+    for c in cleaned.chars() {
+        if c == '\n' {
+            line += 1;
+        }
+        if c == ';' {
+            statements.push((stmt_line, current.trim().to_owned()));
+            current.clear();
+            stmt_line = line;
+        } else {
+            if current.trim().is_empty() {
+                stmt_line = line;
+            }
+            current.push(c);
+        }
+    }
+    // `endmodule` has no semicolon; whatever remains must be it or blank.
+    let tail = current.trim();
+    if !tail.is_empty() && tail != "endmodule" {
+        return Err(VerilogError::Syntax {
+            line: stmt_line,
+            text: tail.chars().take(40).collect(),
+        });
+    }
+
+    let mut module_name = String::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // (line, gate kind, output, inputs)
+    let mut instances: Vec<(usize, String, String, Vec<String>)> = Vec::new();
+
+    for (lineno, stmt) in &statements {
+        let stmt = stmt.replace(['\n', '\r'], " ");
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt == "endmodule" {
+            continue;
+        }
+        let (head, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt, ""));
+        match head {
+            "module" => {
+                let rest = rest.trim();
+                let name_end = rest
+                    .find(|c: char| c == '(' || c.is_whitespace())
+                    .unwrap_or(rest.len());
+                module_name = rest[..name_end].to_owned();
+                // Port list is re-declared by input/output statements.
+            }
+            "input" | "output" | "wire" | "reg" => {
+                let names = rest
+                    .split(',')
+                    .map(|n| n.trim().trim_end_matches(';').to_owned())
+                    .filter(|n| !n.is_empty());
+                for n in names {
+                    if n.contains('[') {
+                        return Err(VerilogError::Unsupported {
+                            line: *lineno,
+                            text: format!("vector declaration `{n}`"),
+                        });
+                    }
+                    match head {
+                        "input" => inputs.push(n),
+                        "output" => outputs.push(n),
+                        _ => {} // wires/regs are implicit
+                    }
+                }
+            }
+            "assign" => {
+                let (lhs, rhs) = rest.split_once('=').ok_or_else(|| VerilogError::Syntax {
+                    line: *lineno,
+                    text: stmt.to_owned(),
+                })?;
+                let rhs = rhs.trim();
+                if !is_identifier(rhs) {
+                    return Err(VerilogError::Unsupported {
+                        line: *lineno,
+                        text: format!("assign expression `{rhs}` (aliases only)"),
+                    });
+                }
+                instances.push((
+                    *lineno,
+                    "buf".to_owned(),
+                    lhs.trim().to_owned(),
+                    vec![rhs.to_owned()],
+                ));
+            }
+            prim => {
+                // `<prim> <instance_name> ( out, in... )`
+                let open = rest.find('(').ok_or_else(|| VerilogError::Syntax {
+                    line: *lineno,
+                    text: stmt.to_owned(),
+                })?;
+                let close = rest.rfind(')').ok_or_else(|| VerilogError::Syntax {
+                    line: *lineno,
+                    text: stmt.to_owned(),
+                })?;
+                let ports: Vec<String> = rest[open + 1..close]
+                    .split(',')
+                    .map(|p| p.trim().to_owned())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                if ports.len() < 2 {
+                    return Err(VerilogError::Syntax {
+                        line: *lineno,
+                        text: stmt.to_owned(),
+                    });
+                }
+                instances.push((
+                    *lineno,
+                    prim.to_ascii_lowercase(),
+                    ports[0].clone(),
+                    ports[1..].to_vec(),
+                ));
+            }
+        }
+    }
+
+    if module_name.is_empty() {
+        return Err(VerilogError::MissingModule);
+    }
+    let design = if name.is_empty() { &module_name } else { name };
+    let mut nl = Netlist::new(design);
+    let mut ids: HashMap<String, crate::NetId> = HashMap::new();
+    for n in &inputs {
+        let id = nl.add_input(n);
+        ids.insert(n.clone(), id);
+    }
+    let intern = |nl: &mut Netlist, ids: &mut HashMap<String, crate::NetId>, n: &str| {
+        if let Some(&id) = ids.get(n) {
+            id
+        } else {
+            let id = nl.add_net(n);
+            ids.insert(n.to_owned(), id);
+            id
+        }
+    };
+    for (lineno, kind, out_name, in_names) in &instances {
+        let out = intern(&mut nl, &mut ids, out_name);
+        let ins: Vec<_> = in_names
+            .iter()
+            .map(|n| intern(&mut nl, &mut ids, n))
+            .collect();
+        if kind == "dff" {
+            if ins.len() != 1 {
+                return Err(VerilogError::Syntax {
+                    line: *lineno,
+                    text: format!("dff takes one data input, got {}", ins.len()),
+                });
+            }
+            nl.add_dff(ins[0], out).map_err(|source| VerilogError::Netlist {
+                line: *lineno,
+                source,
+            })?;
+        } else {
+            let gtype: GateType = kind.parse().map_err(|_| VerilogError::Unsupported {
+                line: *lineno,
+                text: format!("primitive `{kind}`"),
+            })?;
+            nl.add_gate(gtype, ins, out)
+                .map_err(|source| VerilogError::Netlist {
+                    line: *lineno,
+                    source,
+                })?;
+        }
+    }
+    for n in &outputs {
+        let id = *ids.entry(n.clone()).or_insert_with(|| nl.add_net(n));
+        nl.add_output(id);
+    }
+    Ok(nl)
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        && !s.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Serializes a netlist as structural Verilog accepted by
+/// [`parse_verilog`].
+pub fn write_verilog(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let ports: Vec<&str> = nl
+        .primary_inputs()
+        .iter()
+        .chain(nl.primary_outputs())
+        .map(|&n| nl.net_name(n))
+        .collect();
+    out.push_str(&format!("module {} ({});\n", sanitize(nl.name()), ports.join(", ")));
+    for &pi in nl.primary_inputs() {
+        out.push_str(&format!("  input {};\n", nl.net_name(pi)));
+    }
+    for &po in nl.primary_outputs() {
+        out.push_str(&format!("  output {};\n", nl.net_name(po)));
+    }
+    for (gi, g) in nl.gates().iter().enumerate() {
+        let ins: Vec<&str> = g.inputs.iter().map(|&n| nl.net_name(n)).collect();
+        out.push_str(&format!(
+            "  {} g{gi} ({}, {});\n",
+            g.gtype.mnemonic().to_ascii_lowercase(),
+            nl.net_name(g.output),
+            ins.join(", ")
+        ));
+    }
+    for (fi, ff) in nl.dffs().iter().enumerate() {
+        out.push_str(&format!(
+            "  dff r{fi} ({}, {});\n",
+            nl.net_name(ff.q),
+            nl.net_name(ff.d)
+        ));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "top".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    const COUNTER: &str = "
+/* 2-bit counter with enable */
+module counter (en, q1);
+  input en;
+  output q1;
+  wire nq0, t, nq1; // next-state nets
+  xor x0 (nq0, q0, en);
+  and a0 (t, q0, en);
+  xor x1 (nq1, q1, t);
+  dff r0 (q0, nq0);
+  dff r1 (q1, nq1);
+endmodule
+";
+
+    #[test]
+    fn parses_counter() {
+        let nl = parse_verilog("", COUNTER).expect("parse");
+        assert_eq!(nl.name(), "counter");
+        assert_eq!(nl.gate_count(), 3);
+        assert_eq!(nl.dff_count(), 2);
+        assert!(nl.validate().is_ok());
+        let mut sim = Simulator::new(&nl).expect("sim");
+        for _ in 0..3 {
+            sim.step(&[true]);
+        }
+        assert_eq!(sim.state(), &[true, true]);
+    }
+
+    #[test]
+    fn assign_becomes_buf() {
+        let src = "
+module alias_demo (a, y);
+  input a;
+  output y;
+  assign y = a;
+endmodule
+";
+        let nl = parse_verilog("", src).expect("parse");
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.gates()[0].gtype, GateType::Buf);
+    }
+
+    #[test]
+    fn comments_do_not_break_line_numbers() {
+        let src = "
+module m (a, y); // ports
+  input a;
+  /* block
+     comment */
+  output y;
+  frobnicate g0 (y, a);
+endmodule
+";
+        let err = parse_verilog("", src).unwrap_err();
+        match err {
+            VerilogError::Unsupported { line, .. } => assert_eq!(line, 7),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn vectors_rejected() {
+        let src = "module m (a); input a[3:0]; endmodule";
+        assert!(matches!(
+            parse_verilog("", src),
+            Err(VerilogError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_module_rejected() {
+        assert!(matches!(
+            parse_verilog("", "input a;"),
+            Err(VerilogError::MissingModule)
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let nl = parse_verilog("", COUNTER).expect("parse");
+        let text = write_verilog(&nl);
+        let back = parse_verilog("", &text).expect("reparse");
+        assert_eq!(back.gate_count(), nl.gate_count());
+        assert_eq!(back.dff_count(), nl.dff_count());
+        let mut sa = Simulator::new(&nl).unwrap();
+        let mut sb = Simulator::new(&back).unwrap();
+        for i in 0..6 {
+            let en = i % 2 == 0;
+            sa.step(&[en]);
+            sb.step(&[en]);
+            assert_eq!(sa.state(), sb.state(), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn bench_and_verilog_agree() {
+        // The same design through both formats is the same netlist.
+        let nl = parse_verilog("", COUNTER).expect("parse verilog");
+        let bench_text = crate::parser::write_bench(&nl);
+        let from_bench = crate::parser::parse_bench("counter", &bench_text).expect("parse bench");
+        assert_eq!(from_bench.gate_count(), nl.gate_count());
+        assert_eq!(from_bench.dff_count(), nl.dff_count());
+    }
+
+    #[test]
+    fn mux_primitive_supported() {
+        let src = "
+module m (s, a, b, y);
+  input s, a, b;
+  output y;
+  mux m0 (y, s, a, b);
+endmodule
+";
+        let nl = parse_verilog("", src).expect("parse");
+        assert_eq!(nl.gates()[0].gtype, GateType::Mux);
+        let sim = Simulator::new(&nl).unwrap();
+        let y = nl.find_net("y").unwrap();
+        // s=0 -> a
+        assert!(sim.eval_net(y, &[false, true, false], &[]));
+        // s=1 -> b
+        assert!(!sim.eval_net(y, &[true, true, false], &[]));
+    }
+}

@@ -1,0 +1,252 @@
+//! Parameter storage and the per-forward binding context.
+//!
+//! All trainable tensors live in one [`ParamStore`]; layers hold
+//! [`ParamId`] handles. Each forward pass opens a [`Forward`] context that
+//! lazily binds parameters onto a fresh autograd tape (one leaf per
+//! parameter per pass) so gradients can be read back after
+//! [`rebert_tensor::Tape::backward`].
+
+use std::collections::HashMap;
+
+use rebert_tensor::{Tape, Tensor, VarId};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// Raw index of this parameter.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns every trainable tensor of a model.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_nn::ParamStore;
+/// use rebert_tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("w", Tensor::zeros(2, 2));
+/// assert_eq!(store.get(w).shape(), (2, 2));
+/// assert_eq!(store.name(w), "w");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    names: Vec<String>,
+    tensors: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
+        self.names.push(name.into());
+        self.tensors.push(tensor);
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// The parameter's current value.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterates `(ParamId, name, tensor)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ParamId(i), self.names[i].as_str(), t))
+    }
+
+    /// All parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.tensors.len()).map(ParamId)
+    }
+}
+
+/// A forward-pass context: a fresh tape plus lazy parameter binding.
+#[derive(Debug)]
+pub struct Forward<'a> {
+    /// The autograd tape for this pass; layers record ops on it directly.
+    pub tape: Tape,
+    store: &'a ParamStore,
+    bound: HashMap<ParamId, VarId>,
+}
+
+impl<'a> Forward<'a> {
+    /// Opens a forward pass over `store`.
+    pub fn new(store: &'a ParamStore) -> Self {
+        Forward {
+            tape: Tape::new(),
+            store,
+            bound: HashMap::new(),
+        }
+    }
+
+    /// Returns the tape leaf bound to parameter `id`, creating it on first
+    /// use in this pass.
+    pub fn param(&mut self, id: ParamId) -> VarId {
+        if let Some(&v) = self.bound.get(&id) {
+            return v;
+        }
+        let v = self.tape.leaf(self.store.get(id).clone());
+        self.bound.insert(id, v);
+        v
+    }
+
+    /// Records a non-trainable input.
+    pub fn input(&mut self, t: Tensor) -> VarId {
+        self.tape.leaf(t)
+    }
+
+    /// After `tape.backward`, extracts the gradient of each bound
+    /// parameter (zeros if the parameter was off the loss path).
+    pub fn param_grads(&self, grads: &[Option<Tensor>]) -> HashMap<ParamId, Tensor> {
+        self.bound
+            .iter()
+            .map(|(&pid, &vid)| {
+                let t = self.store.get(pid);
+                let g = grads[vid.index()]
+                    .clone()
+                    .unwrap_or_else(|| Tensor::zeros(t.rows(), t.cols()));
+                (pid, g)
+            })
+            .collect()
+    }
+}
+
+/// Accumulates gradients across samples for mini-batch training.
+#[derive(Debug, Clone, Default)]
+pub struct GradAccumulator {
+    sums: HashMap<ParamId, Tensor>,
+    count: usize,
+}
+
+impl GradAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample's parameter gradients.
+    pub fn add(&mut self, grads: HashMap<ParamId, Tensor>) {
+        for (pid, g) in grads {
+            match self.sums.get_mut(&pid) {
+                Some(acc) => *acc = acc.add(&g),
+                None => {
+                    self.sums.insert(pid, g);
+                }
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Number of accumulated samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Consumes the accumulator, returning mean gradients.
+    pub fn mean(self) -> HashMap<ParamId, Tensor> {
+        let n = self.count.max(1) as f32;
+        self.sums
+            .into_iter()
+            .map(|(pid, g)| (pid, g.scale(1.0 / n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_round_trip() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::full(2, 3, 1.0));
+        let b = store.add("b", Tensor::zeros(1, 4));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scalar_count(), 10);
+        assert_eq!(store.name(a), "a");
+        store.get_mut(b).data_mut()[0] = 5.0;
+        assert_eq!(store.get(b).data()[0], 5.0);
+    }
+
+    #[test]
+    fn forward_binds_each_param_once() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::full(1, 1, 2.0));
+        let mut fwd = Forward::new(&store);
+        let v1 = fwd.param(w);
+        let v2 = fwd.param(w);
+        assert_eq!(v1, v2);
+        assert_eq!(fwd.tape.len(), 1);
+    }
+
+    #[test]
+    fn grads_extracted_for_bound_params() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::full(1, 1, 3.0));
+        let unused = store.add("unused", Tensor::full(1, 1, 9.0));
+        let mut fwd = Forward::new(&store);
+        let wv = fwd.param(w);
+        let _uv = fwd.param(unused);
+        let x = fwd.input(Tensor::full(1, 1, 4.0));
+        let y = fwd.tape.matmul(wv, x);
+        let loss = fwd.tape.mean_all(y);
+        let grads = fwd.tape.backward(loss);
+        let pg = fwd.param_grads(&grads);
+        assert!((pg[&w].data()[0] - 4.0).abs() < 1e-6);
+        // Unused parameter gets a zero gradient, not a panic.
+        assert_eq!(pg[&unused].data()[0], 0.0);
+    }
+
+    #[test]
+    fn accumulator_means() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 1));
+        let mut acc = GradAccumulator::new();
+        for v in [1.0f32, 3.0] {
+            let mut g = HashMap::new();
+            g.insert(w, Tensor::full(1, 1, v));
+            acc.add(g);
+        }
+        assert_eq!(acc.count(), 2);
+        let mean = acc.mean();
+        assert!((mean[&w].data()[0] - 2.0).abs() < 1e-6);
+    }
+}

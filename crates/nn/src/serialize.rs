@@ -1,0 +1,100 @@
+//! Checkpointing: saving and loading a [`ParamStore`] as JSON.
+//!
+//! JSON keeps checkpoints human-inspectable and dependency-light; the
+//! models this workspace trains are small (≤ a few million scalars), so
+//! the size overhead is acceptable.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use crate::param::ParamStore;
+
+/// Error raised when saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// Writes the parameter store to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on I/O or serialization failure.
+pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), store)?;
+    Ok(())
+}
+
+/// Reads a parameter store from `path`.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on I/O or deserialization failure.
+pub fn load_params(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_tensor::Tensor;
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[1.5, -2.5]]));
+        let dir = std::env::temp_dir().join("rebert_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.json");
+        save_params(&store, &path).unwrap();
+        let back = load_params(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(w), store.get(w));
+        assert_eq!(back.name(w), "w");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_params("/nonexistent/rebert/params.json").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

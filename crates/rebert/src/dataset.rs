@@ -1,0 +1,308 @@
+//! Training-data generation (paper §III-A.2).
+//!
+//! From each benchmark circuit, corrupted variants are produced for
+//! R-Index ∈ {0, 0.2, …, 1}; bits are tokenized, all bit pairs are
+//! considered, positives/negatives are balanced **1 : 1.2**, and at most
+//! **5,000 samples per circuit** enter the training set. Leave-one-out
+//! cross-validation trains on every benchmark except the one under test.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rebert_circuits::{corrupt, GeneratedCircuit};
+use rebert_netlist::{binarize, BitTree, Netlist};
+use serde::{Deserialize, Serialize};
+
+use crate::token::{tokenize_bit, PairSequence, Token};
+use crate::tree_embed::tree_codes;
+
+/// A labeled training/evaluation sample: one tokenized bit pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairSample {
+    /// The joint token sequence and tree codes.
+    pub seq: PairSequence,
+    /// Whether the two bits belong to the same word.
+    pub label: bool,
+    /// Source benchmark name.
+    pub circuit: String,
+    /// The pair's flip-flop indices.
+    pub bits: (usize, usize),
+}
+
+/// Knobs for dataset generation. The defaults are the paper's values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Fan-in back-trace depth `k`.
+    pub k_levels: usize,
+    /// Tree positional code width.
+    pub code_width: usize,
+    /// Maximum joint sequence length.
+    pub max_seq: usize,
+    /// Negative : positive ratio (paper: 1.2).
+    pub neg_ratio: f64,
+    /// Maximum samples contributed by any one circuit (paper: 5,000).
+    pub max_per_circuit: usize,
+    /// Corruption levels used for augmentation (paper: 0 to 1 step 0.2).
+    pub r_indexes: Vec<f64>,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            k_levels: 6,
+            code_width: 32,
+            max_seq: 288,
+            neg_ratio: 1.2,
+            max_per_circuit: 5000,
+            r_indexes: vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Derives the sequence parameters from a model configuration so the
+    /// dataset matches what the model expects.
+    pub fn for_model(cfg: &crate::model::ReBertConfig) -> Self {
+        DatasetConfig {
+            k_levels: cfg.k_levels,
+            code_width: cfg.code_width,
+            max_seq: cfg.max_seq,
+            ..Default::default()
+        }
+    }
+}
+
+/// Tokenizes every bit of a netlist: returns, per flip-flop (in flip-flop
+/// order), the pre-order token sequence and aligned tree codes.
+///
+/// The netlist is binarized internally (§II-A.1).
+pub fn bit_sequences(
+    nl: &Netlist,
+    k_levels: usize,
+    code_width: usize,
+) -> Vec<(Vec<Token>, Vec<Vec<f32>>)> {
+    let (bin, _) = binarize(nl);
+    bin.bits()
+        .iter()
+        .map(|&bit| {
+            let tree = BitTree::extract(&bin, bit, k_levels);
+            let toks = tokenize_bit(&tree);
+            let codes = tree_codes(&tree, code_width);
+            (toks, codes)
+        })
+        .collect()
+}
+
+/// Generates **all** labeled pair samples of one netlist variant (no
+/// balancing, no caps) — the evaluation-side view of a circuit.
+pub fn all_pairs(
+    nl: &Netlist,
+    labels: &rebert_circuits::WordLabels,
+    cfg: &DatasetConfig,
+) -> Vec<PairSample> {
+    let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
+    let assign = labels.assignment();
+    let n = seqs.len();
+    let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            let (ta, ca) = &seqs[i];
+            let (tb, cb) = &seqs[j];
+            let seq = PairSequence::build(ta, ca, tb, cb, cfg.code_width, cfg.max_seq);
+            out.push(PairSample {
+                seq,
+                label: assign[i] == assign[j],
+                circuit: nl.name().to_owned(),
+                bits: (i, j),
+            });
+        }
+    }
+    out
+}
+
+/// Builds the balanced training set from several benchmark circuits,
+/// applying R-Index augmentation, the 1 : `neg_ratio` class balance, and
+/// the per-circuit cap. Deterministic for a fixed seed.
+pub fn training_samples(
+    circuits: &[&GeneratedCircuit],
+    cfg: &DatasetConfig,
+    seed: u64,
+) -> Vec<PairSample> {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for (ci, c) in circuits.iter().enumerate() {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (ri, &r) in cfg.r_indexes.iter().enumerate() {
+            let variant = if r == 0.0 {
+                c.netlist.clone()
+            } else {
+                let (v, _) = corrupt(
+                    &c.netlist,
+                    r,
+                    seed ^ ((ci as u64) << 32) ^ (ri as u64),
+                );
+                v
+            };
+            for s in all_pairs(&variant, &c.labels, cfg) {
+                if s.label {
+                    pos.push(s);
+                } else {
+                    neg.push(s);
+                }
+            }
+        }
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        // Balance 1 : neg_ratio, then cap the circuit's contribution.
+        let cap = cfg.max_per_circuit;
+        // Solve n_pos + n_neg <= cap with n_neg = ratio * n_pos.
+        let max_pos_by_cap = (cap as f64 / (1.0 + cfg.neg_ratio)).floor() as usize;
+        let n_pos = pos
+            .len()
+            .min(max_pos_by_cap)
+            .min((neg.len() as f64 / cfg.neg_ratio).floor() as usize)
+            .max(usize::from(!pos.is_empty() && !neg.is_empty()));
+        let n_neg = ((n_pos as f64 * cfg.neg_ratio).round() as usize).min(neg.len());
+        out.extend(pos.into_iter().take(n_pos));
+        out.extend(neg.into_iter().take(n_neg));
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Splits `circuits` into the leave-one-out fold for `test_idx`:
+/// `(training circuits, test circuit)`.
+///
+/// # Panics
+///
+/// Panics if `test_idx` is out of range.
+pub fn loo_split(
+    circuits: &[GeneratedCircuit],
+    test_idx: usize,
+) -> (Vec<&GeneratedCircuit>, &GeneratedCircuit) {
+    assert!(test_idx < circuits.len(), "test index out of range");
+    let train = circuits
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != test_idx)
+        .map(|(_, c)| c)
+        .collect();
+    (train, &circuits[test_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_circuits::{generate, Profile};
+
+    fn small_circuit(seed: u64) -> GeneratedCircuit {
+        named_circuit("tst", seed)
+    }
+
+    fn named_circuit(name: &str, seed: u64) -> GeneratedCircuit {
+        generate(&Profile::new(name, 80, 12, 3), seed)
+    }
+
+    fn small_cfg() -> DatasetConfig {
+        DatasetConfig {
+            k_levels: 3,
+            code_width: 8,
+            max_seq: 64,
+            r_indexes: vec![0.0, 0.5],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bit_sequences_cover_all_ffs() {
+        let c = small_circuit(1);
+        let seqs = bit_sequences(&c.netlist, 3, 8);
+        assert_eq!(seqs.len(), c.netlist.dff_count());
+        for (toks, codes) in &seqs {
+            assert_eq!(toks.len(), codes.len());
+            assert!(!toks.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_complete_and_labeled() {
+        let c = small_circuit(2);
+        let cfg = small_cfg();
+        let pairs = all_pairs(&c.netlist, &c.labels, &cfg);
+        let n = c.netlist.dff_count();
+        assert_eq!(pairs.len(), n * (n - 1) / 2);
+        let positives = pairs.iter().filter(|p| p.label).count();
+        let expected: usize = c
+            .labels
+            .words()
+            .iter()
+            .map(|w| w.len() * (w.len() - 1) / 2)
+            .sum();
+        assert_eq!(positives, expected);
+    }
+
+    #[test]
+    fn training_samples_balanced_and_capped() {
+        let circuits = [named_circuit("tstA", 3), named_circuit("tstB", 4)];
+        let refs: Vec<&GeneratedCircuit> = circuits.iter().collect();
+        let mut cfg = small_cfg();
+        cfg.max_per_circuit = 50;
+        let samples = training_samples(&refs, &cfg, 9);
+        assert!(!samples.is_empty());
+        // Per-circuit cap respected.
+        for c in &circuits {
+            let from_c = samples
+                .iter()
+                .filter(|s| s.circuit == c.netlist.name())
+                .count();
+            assert!(from_c <= 50, "{} contributed {from_c}", c.netlist.name());
+        }
+        // Ratio approximately 1 : 1.2 overall.
+        let pos = samples.iter().filter(|s| s.label).count();
+        let neg = samples.len() - pos;
+        assert!(pos > 0 && neg > 0);
+        let ratio = neg as f64 / pos as f64;
+        assert!((0.9..=1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn training_samples_deterministic() {
+        let circuits = [small_circuit(5)];
+        let refs: Vec<&GeneratedCircuit> = circuits.iter().collect();
+        let cfg = small_cfg();
+        let a = training_samples(&refs, &cfg, 11);
+        let b = training_samples(&refs, &cfg, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loo_split_excludes_test() {
+        let circuits = vec![small_circuit(6), small_circuit(7), small_circuit(8)];
+        let (train, test) = loo_split(&circuits, 1);
+        assert_eq!(train.len(), 2);
+        assert!(std::ptr::eq(test, &circuits[1]));
+        assert!(!train.iter().any(|c| std::ptr::eq(*c, test)));
+    }
+
+    #[test]
+    fn corruption_augmentation_changes_sequences() {
+        let c = small_circuit(9);
+        let cfg = small_cfg();
+        let clean = all_pairs(&c.netlist, &c.labels, &cfg);
+        let (bad, _) = corrupt(&c.netlist, 1.0, 1);
+        let noisy = all_pairs(&bad, &c.labels, &cfg);
+        assert_eq!(clean.len(), noisy.len());
+        // Labels identical, sequences different.
+        let same_labels = clean
+            .iter()
+            .zip(&noisy)
+            .all(|(a, b)| a.label == b.label && a.bits == b.bits);
+        assert!(same_labels);
+        let some_changed = clean
+            .iter()
+            .zip(&noisy)
+            .any(|(a, b)| a.seq.tokens != b.seq.tokens);
+        assert!(some_changed, "full corruption should alter token sequences");
+    }
+}

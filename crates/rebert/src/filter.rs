@@ -1,0 +1,144 @@
+//! The Jaccard pre-filter (paper §II-C).
+//!
+//! Before a pair reaches the model, ReBERT computes the Jaccard similarity
+//! `J(A,B) = |A ∩ B| / |A ∪ B|` of the two bits' token sets; pairs below
+//! the threshold (0.7 in the paper) are assigned score −1 and skipped,
+//! "effectively reducing computational efforts by early discarding of less
+//! relevant pairs".
+
+use std::collections::HashMap;
+
+use crate::token::Token;
+
+/// The paper's filtering threshold.
+pub const PAPER_JACCARD_THRESHOLD: f64 = 0.7;
+
+/// Jaccard similarity of the two sequences' token **multisets**
+/// (bag-of-tokens): intersection and union count multiplicities.
+///
+/// Multisets rather than sets keep the filter discriminative on netlist
+/// sequences, whose alphabet is tiny (a handful of gate types), so plain
+/// set Jaccard would saturate at 1.0 for almost every pair.
+///
+/// Returns a value in `[0, 1]`; two empty sequences score 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{jaccard, Token};
+/// use rebert_netlist::GateType;
+///
+/// let a = [Token::Gate(GateType::And), Token::X, Token::X];
+/// let b = [Token::Gate(GateType::And), Token::X, Token::X];
+/// assert_eq!(jaccard(&a, &b), 1.0);
+/// let c = [Token::Gate(GateType::Or), Token::X];
+/// assert!(jaccard(&a, &c) < 1.0);
+/// ```
+pub fn jaccard(a: &[Token], b: &[Token]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let count = |ts: &[Token]| {
+        let mut m: HashMap<Token, usize> = HashMap::new();
+        for &t in ts {
+            *m.entry(t).or_insert(0) += 1;
+        }
+        m
+    };
+    let ca = count(a);
+    let cb = count(b);
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (t, &na) in &ca {
+        let nb = cb.get(t).copied().unwrap_or(0);
+        inter += na.min(nb);
+        union += na.max(nb);
+    }
+    for (t, &nb) in &cb {
+        if !ca.contains_key(t) {
+            union += nb;
+        }
+    }
+    inter as f64 / union as f64
+}
+
+/// Set-based Jaccard over distinct tokens (provided for comparison and
+/// used by the filter ablation).
+pub fn jaccard_set(a: &[Token], b: &[Token]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<Token> = a.iter().copied().collect();
+    let sb: HashSet<Token> = b.iter().copied().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Decides whether a pair passes the filter (similarity ≥ `threshold`).
+pub fn passes_filter(a: &[Token], b: &[Token], threshold: f64) -> bool {
+    jaccard(a, b) >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::GateType;
+
+    fn seq(spec: &[(GateType, usize)], xs: usize) -> Vec<Token> {
+        let mut v = Vec::new();
+        for &(g, n) in spec {
+            v.extend(std::iter::repeat_n(Token::Gate(g), n));
+        }
+        v.extend(std::iter::repeat_n(Token::X, xs));
+        v
+    }
+
+    #[test]
+    fn identical_sequences_score_one() {
+        let a = seq(&[(GateType::And, 2), (GateType::Xor, 1)], 3);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert!(passes_filter(&a, &a, PAPER_JACCARD_THRESHOLD));
+    }
+
+    #[test]
+    fn disjoint_sequences_score_zero() {
+        let a = vec![Token::Gate(GateType::And)];
+        let b = vec![Token::Gate(GateType::Or)];
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert!(!passes_filter(&a, &b, PAPER_JACCARD_THRESHOLD));
+    }
+
+    #[test]
+    fn multiset_jaccard_sees_count_differences() {
+        // Same token *set* but different counts.
+        let a = seq(&[(GateType::And, 4)], 4);
+        let b = seq(&[(GateType::And, 1)], 7);
+        assert_eq!(jaccard_set(&a, &b), 1.0, "set variant saturates");
+        assert!(jaccard(&a, &b) < 1.0, "multiset variant discriminates");
+    }
+
+    #[test]
+    fn known_value() {
+        // a = {AND×2, X}, b = {AND×1, X×2}: inter = 1+1 = 2, union = 2+2 = 4.
+        let a = seq(&[(GateType::And, 2)], 1);
+        let b = seq(&[(GateType::And, 1)], 2);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let e: Vec<Token> = vec![];
+        let a = seq(&[(GateType::And, 1)], 0);
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = seq(&[(GateType::And, 2), (GateType::Not, 3)], 5);
+        let b = seq(&[(GateType::And, 1), (GateType::Xor, 2)], 4);
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+    }
+}

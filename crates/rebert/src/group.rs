@@ -1,0 +1,410 @@
+//! Score matrix and word generation (paper §II-D).
+//!
+//! Pairwise predictions fill a symmetric [`ScoreMatrix`] (filtered pairs
+//! hold −1). The grouping threshold is **⅓ · max(score matrix)** — the
+//! paper's adaptive rule — and all bits connected by above-threshold edges
+//! form one word (graph connected components).
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel score for pairs discarded by the Jaccard filter.
+pub const FILTERED_SCORE: f32 = -1.0;
+
+/// A symmetric matrix of pairwise same-word scores over `n` bits.
+///
+/// # Examples
+///
+/// ```
+/// use rebert::ScoreMatrix;
+///
+/// let mut m = ScoreMatrix::new(3);
+/// m.set(0, 1, 0.9);
+/// assert_eq!(m.get(1, 0), 0.9);                    // symmetric
+/// assert_eq!(m.get(0, 2), -1.0);                    // default: filtered
+/// assert!((m.threshold() - 0.3).abs() < 1e-6);      // max/3 rule
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreMatrix {
+    n: usize,
+    // Upper triangle, row-major, excluding the diagonal.
+    scores: Vec<f32>,
+}
+
+impl ScoreMatrix {
+    /// Creates an `n × n` matrix with every pair marked filtered.
+    pub fn new(n: usize) -> Self {
+        let len = n * n.saturating_sub(1) / 2;
+        ScoreMatrix {
+            n,
+            scores: vec![FILTERED_SCORE; len],
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i != j && i < self.n && j < self.n);
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row a in the packed upper triangle.
+        a * self.n - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    /// Sets the score of pair `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, score: f32) {
+        assert!(i != j, "diagonal has no score");
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        let idx = self.idx(i, j);
+        self.scores[idx] = score;
+    }
+
+    /// Reads the score of pair `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(i != j, "diagonal has no score");
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.scores[self.idx(i, j)]
+    }
+
+    /// The maximum score in the matrix (−1 if everything is filtered).
+    pub fn max_score(&self) -> f32 {
+        self.scores.iter().copied().fold(FILTERED_SCORE, f32::max)
+    }
+
+    /// The paper's adaptive threshold: `max(score matrix) / 3`.
+    pub fn threshold(&self) -> f32 {
+        (self.max_score() / 3.0).max(0.0)
+    }
+
+    /// Fraction of pairs that were filtered.
+    pub fn filtered_fraction(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        let filtered = self
+            .scores
+            .iter()
+            .filter(|&&s| s == FILTERED_SCORE)
+            .count();
+        filtered as f64 / self.scores.len() as f64
+    }
+}
+
+/// Groups bits into words: every pair scoring strictly above `threshold`
+/// gets an edge, and connected components become words (singletons stay
+/// single-bit words).
+///
+/// Returns the word assignment as a vector `out[i] = word id`, with dense
+/// ids `0..#words`.
+pub fn group_bits(matrix: &ScoreMatrix, threshold: f32) -> Vec<usize> {
+    let n = matrix.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if matrix.get(i, j) > threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+    uf.dense_assignment()
+}
+
+/// Groups with the paper's adaptive `max/3` threshold.
+pub fn group_bits_adaptive(matrix: &ScoreMatrix) -> Vec<usize> {
+    group_bits(matrix, matrix.threshold())
+}
+
+/// A minimal union-find (disjoint set) over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Finds the representative of `x` (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+
+    /// Flattens to dense component ids `0..#components` in first-seen
+    /// order.
+    pub fn dense_assignment(&mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut map = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let root = self.find(i);
+            let next = map.len();
+            let id = *map.entry(root).or_insert(next);
+            out.push(id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_storage() {
+        let mut m = ScoreMatrix::new(4);
+        m.set(2, 0, 0.75);
+        assert_eq!(m.get(0, 2), 0.75);
+        assert_eq!(m.get(2, 0), 0.75);
+        assert_eq!(m.get(1, 3), FILTERED_SCORE);
+    }
+
+    #[test]
+    fn threshold_is_third_of_max() {
+        let mut m = ScoreMatrix::new(3);
+        m.set(0, 1, 0.9);
+        m.set(1, 2, 0.3);
+        assert!((m.threshold() - 0.3).abs() < 1e-6);
+        // All-filtered matrix: threshold clamps to 0 (no negative edges).
+        let empty = ScoreMatrix::new(3);
+        assert_eq!(empty.threshold(), 0.0);
+    }
+
+    #[test]
+    fn grouping_by_connected_components() {
+        let mut m = ScoreMatrix::new(5);
+        m.set(0, 1, 0.9); // above
+        m.set(1, 2, 0.8); // above — transitively joins 0-1-2
+        m.set(3, 4, 0.1); // below
+        let assign = group_bits(&m, 0.5);
+        assert_eq!(assign[0], assign[1]);
+        assert_eq!(assign[1], assign[2]);
+        assert_ne!(assign[0], assign[3]);
+        assert_ne!(assign[3], assign[4], "3 and 4 stay singletons");
+    }
+
+    #[test]
+    fn adaptive_grouping_uses_max_over_three() {
+        let mut m = ScoreMatrix::new(3);
+        m.set(0, 1, 0.9); // threshold becomes 0.3
+        m.set(1, 2, 0.31);
+        m.set(0, 2, 0.29);
+        let assign = group_bits_adaptive(&m);
+        assert_eq!(assign[0], assign[1]);
+        assert_eq!(assign[1], assign[2], "0.31 > 0.3 joins transitively");
+    }
+
+    #[test]
+    fn filtered_pairs_never_join() {
+        let m = ScoreMatrix::new(4);
+        let assign = group_bits_adaptive(&m);
+        // Everything filtered: all singletons.
+        let distinct: std::collections::HashSet<_> = assign.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn filtered_fraction_counts() {
+        let mut m = ScoreMatrix::new(3);
+        m.set(0, 1, 0.5);
+        assert!((m.filtered_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+        let dense = uf.dense_assignment();
+        assert_eq!(dense, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_access_panics() {
+        let m = ScoreMatrix::new(3);
+        let _ = m.get(1, 1);
+    }
+}
+
+/// Average-linkage agglomerative grouping — an alternative word generator
+/// to the paper's connected-components rule.
+///
+/// Connected components merge transitively: one spurious above-threshold
+/// edge fuses two words. Average linkage instead merges the two clusters
+/// with the highest *mean* pairwise score, stopping when no pair of
+/// clusters averages above `threshold` — trading the paper's simplicity
+/// for robustness to isolated false positives. Filtered pairs (−1) count
+/// against the average, so clusters with little evidence do not merge.
+///
+/// Returns a dense assignment like [`group_bits`].
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{group_bits_agglomerative, ScoreMatrix};
+///
+/// let mut m = ScoreMatrix::new(4);
+/// m.set(0, 1, 0.9);
+/// m.set(2, 3, 0.9);
+/// m.set(1, 2, 0.5); // one spurious link
+/// let assign = group_bits_agglomerative(&m, 0.45);
+/// // 0-1 and 2-3 merge; the cross link alone cannot pull the two
+/// // clusters together because the *average* cross score is low.
+/// assert_eq!(assign[0], assign[1]);
+/// assert_eq!(assign[2], assign[3]);
+/// assert_ne!(assign[0], assign[2]);
+/// ```
+pub fn group_bits_agglomerative(matrix: &ScoreMatrix, threshold: f32) -> Vec<usize> {
+    let n = matrix.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Cluster membership lists; None = merged away.
+    let mut clusters: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+
+    let avg_link = |a: &[usize], b: &[usize]| -> f32 {
+        let mut total = 0.0f32;
+        for &i in a {
+            for &j in b {
+                total += matrix.get(i, j);
+            }
+        }
+        total / (a.len() * b.len()) as f32
+    };
+
+    loop {
+        // Find the best pair of live clusters.
+        let mut best: Option<(usize, usize, f32)> = None;
+        let live: Vec<usize> = (0..clusters.len())
+            .filter(|&c| clusters[c].is_some())
+            .collect();
+        for (ai, &a) in live.iter().enumerate() {
+            for &b in &live[ai + 1..] {
+                let score = avg_link(
+                    clusters[a].as_ref().expect("live"),
+                    clusters[b].as_ref().expect("live"),
+                );
+                if best.map_or(true, |(_, _, s)| score > s) {
+                    best = Some((a, b, score));
+                }
+            }
+        }
+        match best {
+            Some((a, b, score)) if score > threshold => {
+                let merged = clusters[b].take().expect("live");
+                clusters[a].as_mut().expect("live").extend(merged);
+            }
+            _ => break,
+        }
+    }
+
+    let mut assign = vec![0usize; n];
+    let mut next = 0usize;
+    for c in clusters.into_iter().flatten() {
+        for i in c {
+            assign[i] = next;
+        }
+        next += 1;
+    }
+    // Dense re-id in first-seen order for stability.
+    let mut map = std::collections::HashMap::new();
+    assign
+        .iter()
+        .map(|&w| {
+            let next = map.len();
+            *map.entry(w).or_insert(next)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod agglomerative_tests {
+    use super::*;
+
+    #[test]
+    fn resists_single_spurious_edge() {
+        // Two clean 3-bit words bridged by one false positive: connected
+        // components fuse them, average linkage does not.
+        let mut m = ScoreMatrix::new(6);
+        for w in [[0usize, 1, 2], [3, 4, 5]] {
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    m.set(w[i], w[j], 0.95);
+                }
+            }
+        }
+        m.set(2, 3, 0.6); // spurious cross edge
+        let cc = group_bits(&m, 0.5);
+        assert_eq!(cc[0], cc[5], "connected components over-merge");
+        let agg = group_bits_agglomerative(&m, 0.5);
+        assert_eq!(agg[0], agg[2]);
+        assert_eq!(agg[3], agg[5]);
+        assert_ne!(agg[0], agg[3], "average linkage resists the bridge");
+    }
+
+    #[test]
+    fn all_filtered_stays_singletons() {
+        let m = ScoreMatrix::new(5);
+        let assign = group_bits_agglomerative(&m, 0.0);
+        let distinct: std::collections::HashSet<_> = assign.iter().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let m = ScoreMatrix::new(0);
+        assert!(group_bits_agglomerative(&m, 0.3).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_cc_on_clean_separation() {
+        let mut m = ScoreMatrix::new(4);
+        m.set(0, 1, 0.9);
+        m.set(2, 3, 0.9);
+        let cc = group_bits(&m, 0.5);
+        let agg = group_bits_agglomerative(&m, 0.5);
+        assert_eq!(cc, agg);
+    }
+}

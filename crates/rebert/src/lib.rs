@@ -1,0 +1,69 @@
+//! # rebert
+//!
+//! A from-scratch Rust reproduction of **ReBERT** ("LLM for Gate-Level to
+//! Word-Level Reverse Engineering", DATE 2025): recovering multi-bit
+//! *word* groupings from flattened gate-level netlists with a BERT-style
+//! pairwise classifier over fan-in-cone token sequences.
+//!
+//! ## Pipeline (paper Fig. 1)
+//!
+//! 1. **Tokenization** ([`tokenize_bit`], [`PairSequence`]) — each bit's
+//!    binary fan-in tree (depth `k`) is flattened by pre-order traversal;
+//!    pairs are joined as `[CLS] a… [SEP] b…`.
+//! 2. **Embedding** ([`ReBertModel`]) — learned word + sequential
+//!    positional + tree positional ([`tree_codes`]) embeddings.
+//! 3. **Pair-wise prediction** — a Jaccard pre-filter ([`jaccard`]) then a
+//!    BERT encoder/pooler/classifier.
+//! 4. **Word generation** ([`ScoreMatrix`], [`group_bits_adaptive`]) —
+//!    adaptive `max/3` threshold, connected components.
+//!
+//! Quality is measured with the Adjusted Rand Index ([`ari`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rebert::{ari, ReBertConfig, ReBertModel};
+//! use rebert_circuits::{generate, Profile};
+//!
+//! // A small benchmark circuit with known word structure.
+//! let circuit = generate(&Profile::new("demo", 100, 12, 3), 7);
+//!
+//! // An untrained model still runs the full pipeline end to end.
+//! let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+//! let recovered = model.recover_words(&circuit.netlist);
+//! let score = ari(&circuit.labels.assignment(), &recovered.assignment);
+//! assert!((-1.0..=1.0).contains(&score));
+//! ```
+//!
+//! Training uses [`training_samples`] (leave-one-out splits via
+//! [`loo_split`]) and [`train`]; trained models persist with
+//! [`save_model`] / [`load_model`].
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod filter;
+mod group;
+mod metrics;
+mod model;
+mod persist;
+mod pipeline;
+mod token;
+mod train;
+mod tree_embed;
+
+pub use dataset::{
+    all_pairs, bit_sequences, loo_split, training_samples, DatasetConfig, PairSample,
+};
+pub use filter::{jaccard, jaccard_set, passes_filter, PAPER_JACCARD_THRESHOLD};
+pub use group::{
+    group_bits, group_bits_adaptive, group_bits_agglomerative, ScoreMatrix, UnionFind,
+    FILTERED_SCORE,
+};
+pub use metrics::{ari, pair_scores, PairScores};
+pub use model::{EmbeddingFlags, ReBertConfig, ReBertModel};
+pub use persist::{load_model, save_model, PersistError};
+pub use pipeline::{PipelineStats, RecoveredWords};
+pub use token::{tokenize_bit, PairSequence, Token, Vocab};
+pub use train::{accuracy, train, TrainConfig, TrainReport};
+pub use tree_embed::{child_code, tree_codes};

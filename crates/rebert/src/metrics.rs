@@ -1,0 +1,176 @@
+//! Evaluation metrics: Adjusted Rand Index and pairwise scores
+//! (paper §III-A.3).
+
+use std::collections::HashMap;
+
+/// Adjusted Rand Index between two clusterings given as assignment
+/// vectors (`assign[i]` = cluster id of element `i`). Ranges in `[-1, 1]`:
+/// 1 is a perfect match, 0 is chance level.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use rebert::ari;
+///
+/// assert_eq!(ari(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0); // same partition
+/// assert!(ari(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.1);   // unrelated
+/// ```
+pub fn ari(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "assignment length mismatch");
+    let n = truth.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let mut contingency: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut rows: HashMap<usize, u64> = HashMap::new();
+    let mut cols: HashMap<usize, u64> = HashMap::new();
+    for (&t, &p) in truth.iter().zip(pred) {
+        *contingency.entry((t, p)).or_insert(0) += 1;
+        *rows.entry(t).or_insert(0) += 1;
+        *cols.entry(p).or_insert(0) += 1;
+    }
+    let c2 = |x: u64| (x * x.saturating_sub(1) / 2) as f64;
+    let index: f64 = contingency.values().map(|&v| c2(v)).sum();
+    let sum_rows: f64 = rows.values().map(|&v| c2(v)).sum();
+    let sum_cols: f64 = cols.values().map(|&v| c2(v)).sum();
+    let total_pairs = c2(n as u64);
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions are all-singletons or one big cluster on both
+        // sides: define as perfect agreement when identical, else 0.
+        return if index == max_index { 1.0 } else { 0.0 };
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// Pairwise precision/recall/F1 of a predicted grouping against truth:
+/// a "positive" is an unordered pair of elements placed in the same group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairScores {
+    /// Fraction of predicted same-group pairs that are truly same-group.
+    pub precision: f64,
+    /// Fraction of true same-group pairs that were predicted.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes [`PairScores`] for two assignment vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn pair_scores(truth: &[usize], pred: &[usize]) -> PairScores {
+    assert_eq!(truth.len(), pred.len(), "assignment length mismatch");
+    let n = truth.len();
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fne = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let t = truth[i] == truth[j];
+            let p = pred[i] == pred[j];
+            match (t, p) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fne += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fne == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fne) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairScores {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_one() {
+        assert_eq!(ari(&[0, 0, 1, 1, 2], &[5, 5, 9, 9, 7]), 1.0);
+    }
+
+    #[test]
+    fn known_sklearn_value() {
+        // sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,0,1,2]) = 0.5714285714285715
+        let v = ari(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+        assert!((v - 0.571_428_571_428_571_5).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn another_sklearn_value() {
+        // adjusted_rand_score([0,0,1,2],[0,0,1,1]) is symmetric = 0.5714...
+        let v = ari(&[0, 0, 1, 2], &[0, 0, 1, 1]);
+        assert!((v - 0.571_428_571_428_571_5).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn chance_level_near_zero() {
+        // A partition vs a fully crossed partition.
+        let truth = [0, 0, 0, 1, 1, 1];
+        let pred = [0, 1, 2, 0, 1, 2];
+        // sklearn gives −0.3636… for this fully crossed pair; "chance
+        // level" means far from 1, not exactly 0.
+        let v = ari(&truth, &pred);
+        assert!(v.abs() < 0.5, "got {v}");
+    }
+
+    #[test]
+    fn worse_than_chance_is_negative() {
+        // Deliberately anti-correlated grouping.
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 0, 1];
+        assert!(ari(&truth, &pred) <= 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(ari(&[0], &[3]), 1.0);
+        assert_eq!(ari(&[], &[]), 1.0);
+        // All singletons on both sides: identical partitions.
+        assert_eq!(ari(&[0, 1, 2], &[2, 0, 1]), 1.0);
+        // One big cluster on both sides.
+        assert_eq!(ari(&[0, 0, 0], &[1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn pair_scores_known_values() {
+        // truth: {0,1} {2,3}; pred: {0,1,2} {3}
+        // true positives: (0,1). predicted pairs: (0,1),(0,2),(1,2) => tp=1 fp=2.
+        // true pairs: (0,1),(2,3) => fn=1.
+        let s = pair_scores(&[0, 0, 1, 1], &[0, 0, 0, 1]);
+        assert!((s.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!(s.f1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = ari(&[0, 1], &[0]);
+    }
+}

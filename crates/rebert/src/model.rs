@@ -1,0 +1,400 @@
+//! The ReBERT model: the three embedding schemes (§II-B) feeding the
+//! BERT classifier (§II-C).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rebert_nn::{BertClassifier, BertConfig, Embedding, Forward, Linear, ParamStore};
+use rebert_tensor::{sigmoid, Tensor, VarId};
+use serde::{Deserialize, Serialize};
+
+use crate::token::{PairSequence, Vocab};
+
+/// Which of the three embedding schemes are active (all three in the
+/// paper; the ablation bench disables them one at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddingFlags {
+    /// Learned token (word) embedding (§II-B.1).
+    pub word: bool,
+    /// Learned sequential positional embedding (§II-B.2).
+    pub position: bool,
+    /// Tree-based positional embedding (§II-B.3).
+    pub tree: bool,
+}
+
+impl Default for EmbeddingFlags {
+    fn default() -> Self {
+        EmbeddingFlags {
+            word: true,
+            position: true,
+            tree: true,
+        }
+    }
+}
+
+/// Full ReBERT hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReBertConfig {
+    /// Encoder hyperparameters.
+    pub bert: BertConfig,
+    /// Maximum joint sequence length (longer pairs are truncated).
+    pub max_seq: usize,
+    /// Width of the tree positional code (must be even).
+    pub code_width: usize,
+    /// Fan-in back-trace depth `k` (paper uses 6).
+    pub k_levels: usize,
+    /// Jaccard pre-filter threshold (paper uses 0.7).
+    pub jaccard_threshold: f64,
+    /// Active embedding schemes.
+    pub embeddings: EmbeddingFlags,
+}
+
+impl ReBertConfig {
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        ReBertConfig {
+            bert: BertConfig::tiny(),
+            max_seq: 64,
+            code_width: 8,
+            k_levels: 3,
+            jaccard_threshold: 0.7,
+            embeddings: EmbeddingFlags::default(),
+        }
+    }
+
+    /// Default experiment configuration (single-core friendly).
+    pub fn small() -> Self {
+        ReBertConfig {
+            bert: BertConfig::small(),
+            max_seq: 128,
+            code_width: 24,
+            k_levels: 4,
+            jaccard_threshold: 0.7,
+            embeddings: EmbeddingFlags::default(),
+        }
+    }
+
+    /// Paper-faithful settings: `k = 6`, 12 attention heads, Jaccard 0.7.
+    /// (Hidden sizes remain scaled; see `DESIGN.md`.)
+    pub fn paper() -> Self {
+        ReBertConfig {
+            bert: BertConfig::paper(),
+            max_seq: 288,
+            code_width: 32,
+            k_levels: 6,
+            jaccard_threshold: 0.7,
+            embeddings: EmbeddingFlags::default(),
+        }
+    }
+}
+
+/// The trainable ReBERT model: embeddings + encoder + pooler + head.
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{PairSequence, ReBertConfig, ReBertModel, Token};
+///
+/// let model = ReBertModel::new(ReBertConfig::tiny(), 42);
+/// let toks = vec![Token::X, Token::X];
+/// let codes = vec![vec![0.0; 8]; 2];
+/// let pair = PairSequence::build(&toks, &codes, &toks, &codes, 8, 64);
+/// let p = model.predict(&pair);
+/// assert!((0.0..=1.0).contains(&p));
+/// ```
+#[derive(Debug)]
+pub struct ReBertModel {
+    config: ReBertConfig,
+    vocab: Vocab,
+    store: ParamStore,
+    word_emb: Embedding,
+    pos_emb: Embedding,
+    tree_proj: Linear,
+    classifier: BertClassifier,
+}
+
+impl ReBertModel {
+    /// Builds a model with fresh seeded parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no embedding scheme is enabled or `code_width` is odd.
+    pub fn new(config: ReBertConfig, seed: u64) -> Self {
+        assert!(
+            config.embeddings.word || config.embeddings.position || config.embeddings.tree,
+            "at least one embedding scheme must be enabled"
+        );
+        assert!(
+            config.code_width >= 2 && config.code_width.is_multiple_of(2),
+            "code_width must be a positive even number"
+        );
+        let mut rng = ChaCha20Rng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let vocab = Vocab::new();
+        let d = config.bert.d_model;
+        let word_emb = Embedding::new(&mut store, &mut rng, "emb.word", vocab.len(), d);
+        let pos_emb = Embedding::new(&mut store, &mut rng, "emb.pos", config.max_seq, d);
+        let tree_proj = Linear::new(&mut store, &mut rng, "emb.tree", config.code_width, d);
+        let classifier = BertClassifier::new(&mut store, &mut rng, "bert", &config.bert);
+        ReBertModel {
+            config,
+            vocab,
+            store,
+            word_emb,
+            pos_emb,
+            tree_proj,
+            classifier,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReBertConfig {
+        &self.config
+    }
+
+    /// The fixed vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Read access to the parameters (for checkpointing/inspection).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable access to the parameters (for the optimizer).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Replaces the parameter store (checkpoint loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement has a different number of parameters.
+    pub fn set_store(&mut self, store: ParamStore) {
+        assert_eq!(
+            store.len(),
+            self.store.len(),
+            "checkpoint parameter count mismatch"
+        );
+        self.store = store;
+    }
+
+    /// Builds the combined embedding matrix for a pair sequence and runs
+    /// the classifier, returning the `1 × 1` logit on the forward tape.
+    ///
+    /// Exposed so the trainer can attach a loss to the same tape.
+    pub fn logit_on<'a>(&'a self, fwd: &mut Forward<'a>, pair: &PairSequence) -> VarId {
+        let ids = self.vocab.encode(&pair.tokens);
+        let n = ids.len();
+        let flags = self.config.embeddings;
+        let mut x: Option<VarId> = None;
+        let add = |fwd: &mut Forward<'a>, acc: Option<VarId>, v: VarId| match acc {
+            None => Some(v),
+            Some(a) => Some(fwd.tape.add(a, v)),
+        };
+        if flags.word {
+            let w = self.word_emb.forward(fwd, &ids);
+            x = add(fwd, x, w);
+        }
+        if flags.position {
+            let pos_ids: Vec<usize> = (0..n).map(|i| i.min(self.config.max_seq - 1)).collect();
+            let p = self.pos_emb.forward(fwd, &pos_ids);
+            x = add(fwd, x, p);
+        }
+        if flags.tree {
+            let w = self.config.code_width;
+            let mut flat = Vec::with_capacity(n * w);
+            for code in &pair.codes {
+                debug_assert_eq!(code.len(), w, "code width mismatch");
+                flat.extend_from_slice(code);
+            }
+            let codes = fwd.input(Tensor::from_vec(n, w, flat));
+            let t = self.tree_proj.forward(fwd, codes);
+            x = add(fwd, x, t);
+        }
+        let x = x.expect("at least one embedding enabled (checked in new)");
+        self.classifier.logit(fwd, x)
+    }
+
+    /// Predicts the probability that the pair's two bits belong to the
+    /// same word.
+    pub fn predict(&self, pair: &PairSequence) -> f32 {
+        let mut fwd = Forward::new(&self.store);
+        let z = self.logit_on(&mut fwd, pair);
+        sigmoid(fwd.tape.value(z).data()[0])
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+    use rebert_netlist::GateType;
+
+    fn pair(cfg: &ReBertConfig) -> PairSequence {
+        let toks = vec![Token::Gate(GateType::And), Token::X, Token::X];
+        let codes = vec![vec![0.0; cfg.code_width]; 3];
+        PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq)
+    }
+
+    #[test]
+    fn predict_in_unit_interval() {
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 0);
+        let p = model.predict(&pair(&cfg));
+        assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ReBertConfig::tiny();
+        let a = ReBertModel::new(cfg.clone(), 7);
+        let b = ReBertModel::new(cfg.clone(), 7);
+        assert_eq!(a.predict(&pair(&cfg)), b.predict(&pair(&cfg)));
+        let c = ReBertModel::new(cfg.clone(), 8);
+        assert_ne!(a.predict(&pair(&cfg)), c.predict(&pair(&cfg)));
+    }
+
+    #[test]
+    fn embedding_flags_change_output() {
+        let mut cfg = ReBertConfig::tiny();
+        let full = ReBertModel::new(cfg.clone(), 3);
+        cfg.embeddings.tree = false;
+        let no_tree = ReBertModel::new(cfg.clone(), 3);
+        // Same seed, same pair, different active embeddings => different
+        // prediction (tree codes of non-root tokens are nonzero).
+        let toks = vec![Token::Gate(GateType::And), Token::X, Token::X];
+        let codes = vec![
+            vec![0.0; cfg.code_width],
+            {
+                let mut c = vec![0.0; cfg.code_width];
+                c[0] = 1.0;
+                c
+            },
+            {
+                let mut c = vec![0.0; cfg.code_width];
+                c[1] = 1.0;
+                c
+            },
+        ];
+        let p = PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq);
+        assert_ne!(full.predict(&p), no_tree.predict(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one embedding")]
+    fn all_disabled_rejected() {
+        let mut cfg = ReBertConfig::tiny();
+        cfg.embeddings = EmbeddingFlags {
+            word: false,
+            position: false,
+            tree: false,
+        };
+        let _ = ReBertModel::new(cfg, 0);
+    }
+
+    #[test]
+    fn long_sequences_clamp_position_ids() {
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 0);
+        // Build a pair longer than max_seq via pad_to; prediction must not
+        // panic thanks to position clamping.
+        let toks = vec![Token::X; 10];
+        let codes = vec![vec![0.0; cfg.code_width]; 10];
+        let mut p =
+            PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq);
+        p.pad_to(cfg.max_seq + 8);
+        let v = model.predict(&p);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn parameter_count_is_substantial() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+        assert!(model.parameter_count() > 1000);
+    }
+}
+
+impl ReBertModel {
+    /// Predicts same-word probabilities for a batch of pairs, fanning the
+    /// work out over `threads` OS threads (sequences are independent, so
+    /// this scales linearly on multicore machines; `threads = 1` is
+    /// equivalent to mapping [`ReBertModel::predict`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn predict_batch(&self, pairs: &[PairSequence], threads: usize) -> Vec<f32> {
+        assert!(threads > 0, "at least one thread required");
+        if threads == 1 || pairs.len() < 2 {
+            return pairs.iter().map(|p| self.predict(p)).collect();
+        }
+        let chunk = pairs.len().div_ceil(threads);
+        let mut out = vec![0.0f32; pairs.len()];
+        crossbeam::scope(|scope| {
+            for (slot, work) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (o, p) in slot.iter_mut().zip(work) {
+                        *o = self.predict(p);
+                    }
+                });
+            }
+        })
+        .expect("prediction threads do not panic");
+        out
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::token::Token;
+    use rebert_netlist::GateType;
+
+    #[test]
+    fn model_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReBertModel>();
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 5);
+        let mk = |g: GateType| {
+            let toks = vec![Token::Gate(g), Token::X, Token::X];
+            let codes = vec![vec![0.0; cfg.code_width]; 3];
+            PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq)
+        };
+        let pairs = vec![
+            mk(GateType::And),
+            mk(GateType::Or),
+            mk(GateType::Xor),
+            mk(GateType::Nand),
+            mk(GateType::Nor),
+        ];
+        let serial: Vec<f32> = pairs.iter().map(|p| model.predict(p)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(model.predict_batch(&pairs, threads), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 5);
+        assert!(model.predict_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 5);
+        let _ = model.predict_batch(&[], 0);
+    }
+}

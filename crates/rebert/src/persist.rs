@@ -1,0 +1,119 @@
+//! Model checkpointing: config + parameters as one JSON file.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use rebert_nn::ParamStore;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ReBertConfig, ReBertModel};
+
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    config: ReBertConfig,
+    store: ParamStore,
+}
+
+/// Error raised when saving or loading a model checkpoint.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model checkpoint i/o error: {e}"),
+            PersistError::Json(e) => write!(f, "model checkpoint format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Saves the model (configuration and all parameters) to `path`.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] on I/O or serialization failure.
+pub fn save_model(model: &ReBertModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let ckpt = Checkpoint {
+        config: model.config().clone(),
+        store: model.store().clone(),
+    };
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), &ckpt)?;
+    Ok(())
+}
+
+/// Loads a model saved by [`save_model`]: reconstructs the architecture
+/// from the stored configuration and installs the stored parameters.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] on I/O or deserialization failure.
+pub fn load_model(path: impl AsRef<Path>) -> Result<ReBertModel, PersistError> {
+    let file = File::open(path)?;
+    let ckpt: Checkpoint = serde_json::from_reader(BufReader::new(file))?;
+    // Parameter registration order is deterministic for a given config,
+    // so a fresh model's ParamIds line up with the stored tensors.
+    let mut model = ReBertModel::new(ckpt.config, 0);
+    model.set_store(ckpt.store);
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ReBertConfig;
+    use crate::token::{PairSequence, Token};
+
+    #[test]
+    fn save_load_preserves_predictions() {
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 99);
+        let toks = vec![Token::X, Token::X, Token::X];
+        let codes = vec![vec![0.0; cfg.code_width]; 3];
+        let pair = PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, 64);
+        let before = model.predict(&pair);
+
+        let dir = std::env::temp_dir().join("rebert_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.predict(&pair), before);
+        assert_eq!(loaded.config(), model.config());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_model("/nonexistent/rebert/model.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

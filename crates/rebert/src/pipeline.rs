@@ -1,0 +1,148 @@
+//! The end-to-end recovery pipeline: netlist → score matrix → words
+//! (Fig. 1 of the paper).
+
+use std::time::{Duration, Instant};
+
+use rebert_netlist::Netlist;
+
+use crate::dataset::bit_sequences;
+use crate::filter::jaccard;
+use crate::group::{group_bits_adaptive, ScoreMatrix};
+use crate::model::ReBertModel;
+use crate::token::PairSequence;
+
+/// Telemetry from one pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total bit pairs considered.
+    pub pairs_total: usize,
+    /// Pairs discarded by the Jaccard pre-filter.
+    pub pairs_filtered: usize,
+    /// Pairs scored by the model.
+    pub pairs_scored: usize,
+    /// Wall-clock time of the full recovery.
+    pub elapsed: Duration,
+}
+
+/// The result of word recovery on a netlist.
+#[derive(Debug, Clone)]
+pub struct RecoveredWords {
+    /// Word assignment: `assignment[i]` is the word id of bit `i`
+    /// (flip-flop order), with dense ids.
+    pub assignment: Vec<usize>,
+    /// The full pairwise score matrix (filtered pairs hold −1).
+    pub score_matrix: ScoreMatrix,
+    /// Run telemetry.
+    pub stats: PipelineStats,
+}
+
+impl RecoveredWords {
+    /// The recovered words as lists of bit indices.
+    pub fn words(&self) -> Vec<Vec<usize>> {
+        let n_words = self.assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut words = vec![Vec::new(); n_words];
+        for (bit, &w) in self.assignment.iter().enumerate() {
+            words[w].push(bit);
+        }
+        words
+    }
+}
+
+impl ReBertModel {
+    /// Recovers word-level groupings from a gate-level netlist:
+    /// tokenizes every bit, Jaccard-filters the pairs, scores survivors
+    /// with the model, and groups with the adaptive `max/3` threshold.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use rebert::{ReBertConfig, ReBertModel};
+    /// use rebert_circuits::{generate, Profile};
+    ///
+    /// let model = ReBertModel::new(ReBertConfig::small(), 0);
+    /// let c = generate(&Profile::new("demo", 100, 16, 4), 1);
+    /// let recovered = model.recover_words(&c.netlist);
+    /// assert_eq!(recovered.assignment.len(), 16);
+    /// ```
+    pub fn recover_words(&self, nl: &Netlist) -> RecoveredWords {
+        let start = Instant::now();
+        let cfg = self.config();
+        let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
+        let n = seqs.len();
+        let mut matrix = ScoreMatrix::new(n);
+        let mut filtered = 0usize;
+        let mut scored = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                let (ta, ca) = &seqs[i];
+                let (tb, cb) = &seqs[j];
+                if jaccard(ta, tb) < cfg.jaccard_threshold {
+                    filtered += 1;
+                    continue; // score stays at the −1 sentinel
+                }
+                let pair =
+                    PairSequence::build(ta, ca, tb, cb, cfg.code_width, cfg.max_seq);
+                matrix.set(i, j, self.predict(&pair));
+                scored += 1;
+            }
+        }
+        let assignment = group_bits_adaptive(&matrix);
+        let pairs_total = n * n.saturating_sub(1) / 2;
+        RecoveredWords {
+            assignment,
+            score_matrix: matrix,
+            stats: PipelineStats {
+                pairs_total,
+                pairs_filtered: filtered,
+                pairs_scored: scored,
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ReBertConfig;
+    use rebert_circuits::{generate, Profile};
+
+    #[test]
+    fn recovery_covers_every_bit() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+        let c = generate(&Profile::new("demo", 80, 10, 3), 2);
+        let rec = model.recover_words(&c.netlist);
+        assert_eq!(rec.assignment.len(), 10);
+        assert_eq!(
+            rec.stats.pairs_total,
+            rec.stats.pairs_filtered + rec.stats.pairs_scored
+        );
+        // Words partition the bits.
+        let total: usize = rec.words().iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn stats_track_filtering() {
+        let mut cfg = ReBertConfig::tiny();
+        cfg.jaccard_threshold = 1.01; // filter everything
+        let model = ReBertModel::new(cfg, 0);
+        let c = generate(&Profile::new("demo", 80, 8, 2), 3);
+        let rec = model.recover_words(&c.netlist);
+        assert_eq!(rec.stats.pairs_scored, 0);
+        assert_eq!(rec.stats.pairs_filtered, rec.stats.pairs_total);
+        // Everything filtered => all singleton words.
+        assert_eq!(rec.words().len(), 8);
+    }
+
+    #[test]
+    fn no_filtering_scores_all_pairs() {
+        let mut cfg = ReBertConfig::tiny();
+        cfg.jaccard_threshold = 0.0;
+        let model = ReBertModel::new(cfg, 0);
+        let c = generate(&Profile::new("demo", 80, 6, 2), 4);
+        let rec = model.recover_words(&c.netlist);
+        assert_eq!(rec.stats.pairs_filtered, 0);
+        assert_eq!(rec.stats.pairs_scored, 15);
+    }
+}

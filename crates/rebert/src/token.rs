@@ -1,0 +1,293 @@
+//! Tokenization of bits and bit pairs (paper §II-A, Fig. 2).
+//!
+//! A bit's binary fan-in tree is flattened by **pre-order traversal** into
+//! a sequence of tokens: interior nodes contribute their gate type, leaves
+//! contribute the generalized input token `X` (the paper drops concrete
+//! signal names — "the specific names contribute minimally to prediction
+//! accuracy but introduce unnecessary complexity into the vocabulary").
+//!
+//! A **pair sequence** for two bits is `[CLS] a… [SEP] b…`, optionally
+//! padded with `[PAD]` to a uniform length.
+
+use std::fmt;
+
+use rebert_netlist::{BitTree, GateType, TreeNode, ALL_GATE_TYPES};
+use serde::{Deserialize, Serialize};
+
+/// One token of a netlist sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Token {
+    /// Sequence-start classification token (BERT `[CLS]`).
+    Cls,
+    /// Separator between the two bits' sequences (BERT `[SEP]`).
+    Sep,
+    /// Padding token (BERT `[PAD]`).
+    Pad,
+    /// Generalized sub-circuit input (any leaf signal).
+    X,
+    /// An interior gate node.
+    Gate(GateType),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Cls => f.write_str("[CLS]"),
+            Token::Sep => f.write_str("[SEP]"),
+            Token::Pad => f.write_str("[PAD]"),
+            Token::X => f.write_str("X"),
+            Token::Gate(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+/// The fixed token vocabulary: 4 specials + one id per gate type.
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{Token, Vocab};
+///
+/// let vocab = Vocab::new();
+/// assert_eq!(vocab.id(Token::Cls), 0);
+/// assert!(vocab.len() > 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {}
+
+impl Vocab {
+    /// Creates the vocabulary (stateless; the mapping is fixed).
+    pub fn new() -> Self {
+        Vocab {}
+    }
+
+    /// The integer id of a token.
+    pub fn id(&self, t: Token) -> usize {
+        match t {
+            Token::Cls => 0,
+            Token::Sep => 1,
+            Token::Pad => 2,
+            Token::X => 3,
+            Token::Gate(g) => {
+                4 + ALL_GATE_TYPES
+                    .iter()
+                    .position(|&x| x == g)
+                    .expect("every gate type is in ALL_GATE_TYPES")
+            }
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        4 + ALL_GATE_TYPES.len()
+    }
+
+    /// Vocabularies are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Converts a token slice into ids.
+    pub fn encode(&self, tokens: &[Token]) -> Vec<usize> {
+        tokens.iter().map(|&t| self.id(t)).collect()
+    }
+}
+
+/// Flattens a bit's fan-in tree into its pre-order token sequence.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert::{tokenize_bit, Token};
+/// use rebert_netlist::{binarize, parse_bench, BitTree, GateType};
+///
+/// let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\ns = AND(a, b)\nq = DFF(s)\nOUTPUT(s)\n")?;
+/// let (bin, _) = binarize(&nl);
+/// let tree = BitTree::extract(&bin, bin.bits()[0], 6);
+/// let toks = tokenize_bit(&tree);
+/// assert_eq!(toks, vec![Token::Gate(GateType::And), Token::X, Token::X]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tokenize_bit(tree: &BitTree) -> Vec<Token> {
+    tree.preorder()
+        .into_iter()
+        .map(|i| match &tree.nodes()[i as usize] {
+            TreeNode::Gate { gtype, .. } => Token::Gate(*gtype),
+            TreeNode::Leaf { .. } => Token::X,
+        })
+        .collect()
+}
+
+/// A tokenized pair of bits ready for embedding: the joint token sequence
+/// and, aligned with it, each token's tree positional code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairSequence {
+    /// `[CLS] a… [SEP] b…` tokens (plus optional `[PAD]`s).
+    pub tokens: Vec<Token>,
+    /// Per-token tree positional code (see `tree_embed` (see [`crate::tree_codes`]));
+    /// all-zero for special tokens.
+    pub codes: Vec<Vec<f32>>,
+}
+
+impl PairSequence {
+    /// Builds the joint sequence for two tokenized bits with their
+    /// pre-computed tree codes.
+    ///
+    /// `max_len` truncates the result (keeping `[CLS]`, the separator, and
+    /// a balanced share of each bit's tokens) so attention cost stays
+    /// bounded; pass `usize::MAX` for no truncation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if token and code lengths disagree.
+    pub fn build(
+        a_tokens: &[Token],
+        a_codes: &[Vec<f32>],
+        b_tokens: &[Token],
+        b_codes: &[Vec<f32>],
+        code_width: usize,
+        max_len: usize,
+    ) -> Self {
+        assert_eq!(a_tokens.len(), a_codes.len(), "bit A token/code mismatch");
+        assert_eq!(b_tokens.len(), b_codes.len(), "bit B token/code mismatch");
+        // Budget: [CLS] + a + [SEP] + b <= max_len.
+        let budget = max_len.saturating_sub(2);
+        let (take_a, take_b) = if a_tokens.len() + b_tokens.len() <= budget {
+            (a_tokens.len(), b_tokens.len())
+        } else {
+            let half = budget / 2;
+            let ta = a_tokens.len().min(half.max(budget.saturating_sub(b_tokens.len())));
+            let tb = b_tokens.len().min(budget - ta);
+            (ta, tb)
+        };
+        let zero = vec![0.0f32; code_width];
+        let mut tokens = Vec::with_capacity(take_a + take_b + 2);
+        let mut codes = Vec::with_capacity(take_a + take_b + 2);
+        tokens.push(Token::Cls);
+        codes.push(zero.clone());
+        tokens.extend_from_slice(&a_tokens[..take_a]);
+        codes.extend(a_codes[..take_a].iter().cloned());
+        tokens.push(Token::Sep);
+        codes.push(zero.clone());
+        tokens.extend_from_slice(&b_tokens[..take_b]);
+        codes.extend(b_codes[..take_b].iter().cloned());
+        PairSequence { tokens, codes }
+    }
+
+    /// Sequence length in tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the sequence is empty (never true for built pairs).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Pads with `[PAD]` (zero codes) to exactly `len`, mirroring the
+    /// paper's uniform-length formatting. No-op if already longer.
+    pub fn pad_to(&mut self, len: usize) {
+        let width = self.codes.first().map(Vec::len).unwrap_or(0);
+        while self.tokens.len() < len {
+            self.tokens.push(Token::Pad);
+            self.codes.push(vec![0.0; width]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::{binarize, parse_bench};
+
+    fn tree_for(src: &str) -> BitTree {
+        let (bin, _) = binarize(&parse_bench("t", src).unwrap());
+        BitTree::extract(&bin, bin.bits()[0], 6)
+    }
+
+    #[test]
+    fn preorder_token_order_matches_fig2() {
+        // Fig. 2-like: d = OR(AND(a,b), NOT(c)) => OR AND X X NOT X.
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+w1 = AND(a, b)
+w2 = NOT(c)
+d = OR(w1, w2)
+q = DFF(d)
+OUTPUT(d)
+";
+        let toks = tokenize_bit(&tree_for(src));
+        let s: Vec<String> = toks.iter().map(|t| t.to_string()).collect();
+        assert_eq!(s, vec!["OR", "AND", "X", "X", "NOT", "X"]);
+    }
+
+    #[test]
+    fn vocab_ids_are_dense_and_unique() {
+        let v = Vocab::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut all = vec![Token::Cls, Token::Sep, Token::Pad, Token::X];
+        all.extend(ALL_GATE_TYPES.iter().map(|&g| Token::Gate(g)));
+        for t in all {
+            let id = v.id(t);
+            assert!(id < v.len(), "{t} id {id} out of range");
+            assert!(seen.insert(id), "duplicate id {id} for {t}");
+        }
+        assert_eq!(seen.len(), v.len());
+    }
+
+    #[test]
+    fn pair_sequence_layout() {
+        let a = vec![Token::Gate(GateType::And), Token::X, Token::X];
+        let b = vec![Token::Gate(GateType::Or), Token::X, Token::X];
+        let ac = vec![vec![0.0; 4]; 3];
+        let bc = vec![vec![1.0; 4]; 3];
+        let pair = PairSequence::build(&a, &ac, &b, &bc, 4, usize::MAX);
+        assert_eq!(pair.len(), 8);
+        assert_eq!(pair.tokens[0], Token::Cls);
+        assert_eq!(pair.tokens[4], Token::Sep);
+        assert_eq!(pair.codes[0], vec![0.0; 4]);
+        assert_eq!(pair.codes[5], vec![1.0; 4]);
+    }
+
+    #[test]
+    fn truncation_respects_budget() {
+        let a = vec![Token::X; 100];
+        let b = vec![Token::X; 100];
+        let ac = vec![vec![0.0; 2]; 100];
+        let bc = vec![vec![0.0; 2]; 100];
+        let pair = PairSequence::build(&a, &ac, &b, &bc, 2, 64);
+        assert!(pair.len() <= 64);
+        assert_eq!(pair.tokens[0], Token::Cls);
+        assert!(pair.tokens.contains(&Token::Sep));
+    }
+
+    #[test]
+    fn asymmetric_truncation_fills_budget() {
+        // Short A, long B: B gets the leftover budget.
+        let a = vec![Token::X; 5];
+        let b = vec![Token::X; 100];
+        let ac = vec![vec![0.0; 2]; 5];
+        let bc = vec![vec![0.0; 2]; 100];
+        let pair = PairSequence::build(&a, &ac, &b, &bc, 2, 64);
+        assert_eq!(pair.len(), 64);
+    }
+
+    #[test]
+    fn pad_to_extends_with_pad_tokens() {
+        let a = vec![Token::X];
+        let ac = vec![vec![0.0; 2]];
+        let mut pair = PairSequence::build(&a, &ac, &a, &ac, 2, usize::MAX);
+        let before = pair.len();
+        pair.pad_to(before + 3);
+        assert_eq!(pair.len(), before + 3);
+        assert_eq!(pair.tokens[before], Token::Pad);
+        assert_eq!(pair.codes[before], vec![0.0; 2]);
+        // Padding to a smaller length is a no-op.
+        pair.pad_to(1);
+        assert_eq!(pair.len(), before + 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Tree-based positional codes (paper §II-B.3, Fig. 3).
+//!
+//! Each node of a bit's binary tree gets a positional code built from its
+//! root-to-node path: the **root is the zero vector**; each child takes
+//! its parent's code **right-shifted by two digits** with `10` prepended
+//! for a left child and `01` for a right child. Codes are collected in
+//! pre-order, aligned with the token sequence.
+//!
+//! The shift-register formulation means a fixed code width `W` keeps the
+//! `W/2` most recent moves — deeper ancestry falls off the end, exactly
+//! like the paper's description. The model maps the code into the hidden
+//! dimension through a learned linear projection (the standard treatment
+//! from Shiv & Quirk's tree transformers, which the paper cites).
+
+use rebert_netlist::{BitTree, TreeNode};
+
+/// Computes per-node tree positional codes for `tree`, **in pre-order**
+/// (aligned with [`crate::tokenize_bit`]), each of width `code_width`.
+///
+/// # Panics
+///
+/// Panics if `code_width` is odd or zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert::tree_codes;
+/// use rebert_netlist::{binarize, parse_bench, BitTree};
+///
+/// let nl = parse_bench("t", "INPUT(a)\nINPUT(b)\ns = AND(a, b)\nq = DFF(s)\nOUTPUT(s)\n")?;
+/// let (bin, _) = binarize(&nl);
+/// let tree = BitTree::extract(&bin, bin.bits()[0], 6);
+/// let codes = tree_codes(&tree, 6);
+/// assert_eq!(codes[0], vec![0.0; 6]);          // root is the zero vector
+/// assert_eq!(&codes[1][..2], &[1.0, 0.0]);      // left child starts with 10
+/// assert_eq!(&codes[2][..2], &[0.0, 1.0]);      // right child starts with 01
+/// # Ok(())
+/// # }
+/// ```
+pub fn tree_codes(tree: &BitTree, code_width: usize) -> Vec<Vec<f32>> {
+    assert!(
+        code_width >= 2 && code_width.is_multiple_of(2),
+        "code_width must be a positive even number"
+    );
+    let n = tree.len();
+    let mut codes_by_node: Vec<Vec<f32>> = vec![vec![0.0; code_width]; n];
+    // Walk the arena from the root; parents are always created before
+    // children in BitTree's arena, but traverse explicitly for clarity.
+    let mut stack: Vec<u32> = if n > 0 { vec![0] } else { vec![] };
+    while let Some(i) = stack.pop() {
+        if let TreeNode::Gate { left, right, .. } = &tree.nodes()[i as usize] {
+            let parent = codes_by_node[i as usize].clone();
+            codes_by_node[*left as usize] = child_code(&parent, true);
+            stack.push(*left);
+            if let Some(r) = right {
+                codes_by_node[*r as usize] = child_code(&parent, false);
+                stack.push(*r);
+            }
+        }
+    }
+    // Emit in pre-order to align with the token sequence.
+    tree.preorder()
+        .into_iter()
+        .map(|i| codes_by_node[i as usize].clone())
+        .collect()
+}
+
+/// One shift step of the paper's encoding: right-shift the parent code by
+/// two digits and prepend `10` (left child) or `01` (right child).
+pub fn child_code(parent: &[f32], is_left: bool) -> Vec<f32> {
+    let w = parent.len();
+    let mut code = vec![0.0f32; w];
+    if is_left {
+        code[0] = 1.0;
+        code[1] = 0.0;
+    } else {
+        code[0] = 0.0;
+        code[1] = 1.0;
+    }
+    // Parent digits shift right by two; the last two fall off.
+    code[2..w].copy_from_slice(&parent[..w - 2]);
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::{binarize, parse_bench};
+
+    fn tree_for(src: &str, k: usize) -> BitTree {
+        let (bin, _) = binarize(&parse_bench("t", src).unwrap());
+        BitTree::extract(&bin, bin.bits()[0], k)
+    }
+
+    const THREE_NODE: &str = "\
+INPUT(a)
+INPUT(b)
+s = AND(a, b)
+q = DFF(s)
+OUTPUT(s)
+";
+
+    #[test]
+    fn fig3_three_node_example() {
+        // Fig. 3: root 0…0, left child 10 0…, right child 01 0….
+        let codes = tree_codes(&tree_for(THREE_NODE, 6), 6);
+        assert_eq!(codes.len(), 3);
+        assert_eq!(codes[0], vec![0.0; 6]);
+        assert_eq!(codes[1], vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(codes[2], vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn grandchild_shifts_parent_marker() {
+        // d = AND(OR(a,b), c): pre-order AND OR X X X.
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+w = OR(a, b)
+d = AND(w, c)
+q = DFF(d)
+OUTPUT(d)
+";
+        let codes = tree_codes(&tree_for(src, 6), 8);
+        // node1 = OR (left child of root): 10 000000
+        assert_eq!(&codes[1][..4], &[1.0, 0.0, 0.0, 0.0]);
+        // node2 = a (left child of OR): 10 then parent's 10 shifted: 1010 0000
+        assert_eq!(&codes[2][..4], &[1.0, 0.0, 1.0, 0.0]);
+        // node3 = b (right child of OR): 01 10 0000
+        assert_eq!(&codes[3][..4], &[0.0, 1.0, 1.0, 0.0]);
+        // node4 = c (right child of root): 01 000000
+        assert_eq!(&codes[4][..4], &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn deep_paths_truncate_gracefully() {
+        // A chain of NOTs deeper than the code can hold.
+        let src = "\
+INPUT(a)
+w1 = NOT(a)
+w2 = NOT(w1)
+w3 = NOT(w2)
+w4 = NOT(w3)
+w5 = NOT(w4)
+q = DFF(w5)
+OUTPUT(w5)
+";
+        let codes = tree_codes(&tree_for(src, 6), 4);
+        // Every non-root node is a left (only) child: marker 10 at front,
+        // older moves shifted off. All codes stay width 4 and finite.
+        for c in &codes {
+            assert_eq!(c.len(), 4);
+        }
+        // Depth ≥ 2 nodes all look like 1010 (two most recent left moves).
+        assert_eq!(codes[2], vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(codes[5], vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn codes_align_with_preorder_tokens() {
+        let tree = tree_for(THREE_NODE, 6);
+        let codes = tree_codes(&tree, 6);
+        let tokens = crate::token::tokenize_bit(&tree);
+        assert_eq!(codes.len(), tokens.len());
+    }
+
+    #[test]
+    fn sibling_codes_differ() {
+        let codes = tree_codes(&tree_for(THREE_NODE, 6), 6);
+        assert_ne!(codes[1], codes[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_width_rejected() {
+        let _ = tree_codes(&tree_for(THREE_NODE, 6), 5);
+    }
+}

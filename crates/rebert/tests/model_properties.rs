@@ -1,0 +1,106 @@
+//! Property-based tests of the model surface: predictions are valid
+//! probabilities for arbitrary token sequences, deterministic, and
+//! sensitive to the inputs they should be sensitive to.
+
+use proptest::prelude::*;
+use rebert::{PairSequence, ReBertConfig, ReBertModel, Token};
+use rebert_netlist::ALL_GATE_TYPES;
+
+fn token_strategy() -> impl Strategy<Value = Token> {
+    (0usize..=ALL_GATE_TYPES.len()).prop_map(|i| {
+        if i == ALL_GATE_TYPES.len() {
+            Token::X
+        } else {
+            Token::Gate(ALL_GATE_TYPES[i])
+        }
+    })
+}
+
+fn bit_strategy(max_len: usize) -> impl Strategy<Value = Vec<Token>> {
+    prop::collection::vec(token_strategy(), 1..max_len)
+}
+
+fn zero_codes(n: usize, w: usize) -> Vec<Vec<f32>> {
+    vec![vec![0.0; w]; n]
+}
+
+fn model() -> &'static ReBertModel {
+    use std::sync::OnceLock;
+    static MODEL: OnceLock<ReBertModel> = OnceLock::new();
+    MODEL.get_or_init(|| ReBertModel::new(ReBertConfig::tiny(), 0xFEED))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_are_probabilities(a in bit_strategy(20), b in bit_strategy(20)) {
+        let m = model();
+        let w = m.config().code_width;
+        let pair = PairSequence::build(
+            &a, &zero_codes(a.len(), w), &b, &zero_codes(b.len(), w), w, m.config().max_seq,
+        );
+        let p = m.predict(&pair);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+        prop_assert!(p.is_finite());
+    }
+
+    #[test]
+    fn predictions_are_deterministic(a in bit_strategy(12)) {
+        let m = model();
+        let w = m.config().code_width;
+        let pair = PairSequence::build(
+            &a, &zero_codes(a.len(), w), &a, &zero_codes(a.len(), w), w, m.config().max_seq,
+        );
+        prop_assert_eq!(m.predict(&pair), m.predict(&pair));
+    }
+
+    #[test]
+    fn truncated_sequences_still_predict(a in bit_strategy(200), b in bit_strategy(200)) {
+        // Longer than max_seq: truncation must keep the pipeline alive.
+        let m = model();
+        let w = m.config().code_width;
+        let pair = PairSequence::build(
+            &a, &zero_codes(a.len(), w), &b, &zero_codes(b.len(), w), w, m.config().max_seq,
+        );
+        prop_assert!(pair.len() <= m.config().max_seq);
+        prop_assert!(m.predict(&pair).is_finite());
+    }
+
+    #[test]
+    fn tree_codes_change_predictions(a in bit_strategy(8)) {
+        // The tree positional embedding must actually reach the output:
+        // flipping a code bit on some token changes the prediction
+        // (generically — allow rare exact ties by checking inequality of
+        // the *pair* of score vectors across several tokens).
+        let m = model();
+        let w = m.config().code_width;
+        let base = PairSequence::build(
+            &a, &zero_codes(a.len(), w), &a, &zero_codes(a.len(), w), w, m.config().max_seq,
+        );
+        let mut altered = base.clone();
+        for code in altered.codes.iter_mut().skip(1) {
+            code[0] = 1.0;
+        }
+        let p0 = m.predict(&base);
+        let p1 = m.predict(&altered);
+        prop_assert!((p0 - p1).abs() > 0.0, "tree codes had no effect");
+    }
+}
+
+#[test]
+fn order_of_bits_matters_little_for_identical_bits() {
+    // swap(a, b) with a == b is literally the same sequence.
+    let m = model();
+    let w = m.config().code_width;
+    let a = vec![Token::Gate(ALL_GATE_TYPES[0]), Token::X, Token::X];
+    let pair_ab = PairSequence::build(
+        &a,
+        &zero_codes(3, w),
+        &a,
+        &zero_codes(3, w),
+        w,
+        m.config().max_seq,
+    );
+    assert_eq!(m.predict(&pair_ab), m.predict(&pair_ab.clone()));
+}

@@ -1,0 +1,140 @@
+//! Paper-fidelity checks: the constants, defaults, and behavioural
+//! details the DATE 2025 paper specifies, pinned as tests so refactors
+//! cannot silently drift from the publication.
+
+use rebert::{
+    ari, group_bits_adaptive, jaccard, tokenize_bit, tree_codes, DatasetConfig, PairSequence,
+    ReBertConfig, ScoreMatrix, Token, Vocab, FILTERED_SCORE, PAPER_JACCARD_THRESHOLD,
+};
+use rebert_netlist::{binarize, parse_bench, BitTree, GateType};
+
+#[test]
+fn paper_constants() {
+    // §II-C: "token sequence pairs with a Jaccard similarity score lower
+    // than 0.7 are filtered out, and their pairwise score is set to −1".
+    assert_eq!(PAPER_JACCARD_THRESHOLD, 0.7);
+    assert_eq!(FILTERED_SCORE, -1.0);
+
+    // §III-A.2 defaults: R-Index 0..1 step 0.2; ratio 1:1.2; cap 5000;
+    // §II-A.1: k = 6.
+    let d = DatasetConfig::default();
+    assert_eq!(d.r_indexes, vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0]);
+    assert!((d.neg_ratio - 1.2).abs() < 1e-12);
+    assert_eq!(d.max_per_circuit, 5000);
+    assert_eq!(d.k_levels, 6);
+
+    // §II-C: "we use 12 heads for every multi-head attention block".
+    assert_eq!(ReBertConfig::paper().bert.n_heads, 12);
+    assert_eq!(ReBertConfig::paper().k_levels, 6);
+    assert!((ReBertConfig::paper().jaccard_threshold - 0.7).abs() < 1e-12);
+}
+
+#[test]
+fn fig2_tokenization_example() {
+    // Fig. 2: bit = OR(AND(X,X), NOT(X)) → "OR AND X X NOT X", leaf names
+    // generalized to X.
+    let src = "\
+INPUT(x1)
+INPUT(x2)
+INPUT(x3)
+a = AND(x1, x2)
+n = NOT(x3)
+d = OR(a, n)
+q = DFF(d)
+OUTPUT(d)
+";
+    let (bin, _) = binarize(&parse_bench("fig2", src).unwrap());
+    let tree = BitTree::extract(&bin, bin.bits()[0], 3);
+    let toks: Vec<String> = tokenize_bit(&tree).iter().map(|t| t.to_string()).collect();
+    assert_eq!(toks, ["OR", "AND", "X", "X", "NOT", "X"]);
+    // No concrete signal name survives tokenization.
+    assert!(toks.iter().all(|t| t != "x1" && t != "x2" && t != "x3"));
+}
+
+#[test]
+fn fig3_tree_code_example() {
+    // Fig. 3: a 3-node tree — root all-zero; children differ in the
+    // leading 2-digit marker (10 left, 01 right).
+    let src = "INPUT(a)\nINPUT(b)\nd = AND(a, b)\nq = DFF(d)\nOUTPUT(d)\n";
+    let (bin, _) = binarize(&parse_bench("fig3", src).unwrap());
+    let tree = BitTree::extract(&bin, bin.bits()[0], 3);
+    let codes = tree_codes(&tree, 6);
+    assert_eq!(codes[0], vec![0.0; 6], "root is the zero vector");
+    assert_eq!(&codes[1][..2], &[1.0, 0.0], "left child marker is 10");
+    assert_eq!(&codes[2][..2], &[0.0, 1.0], "right child marker is 01");
+}
+
+#[test]
+fn pair_sequence_uses_sep_between_bits() {
+    // §II-A.3: "concatenated into a single token sequence, after
+    // inserting a special token [SEP]".
+    let toks = vec![Token::X, Token::X];
+    let codes = vec![vec![0.0; 4]; 2];
+    let pair = PairSequence::build(&toks, &codes, &toks, &codes, 4, 64);
+    let seps = pair.tokens.iter().filter(|&&t| t == Token::Sep).count();
+    assert_eq!(seps, 1);
+    assert_eq!(pair.tokens[0], Token::Cls);
+}
+
+#[test]
+fn adaptive_threshold_is_one_third_of_max() {
+    // §II-D: "the threshold is defined as 1/3 max(score matrix)".
+    let mut m = ScoreMatrix::new(4);
+    m.set(0, 1, 0.96);
+    m.set(2, 3, 0.31);
+    assert!((m.threshold() - 0.32).abs() < 1e-6);
+    let assign = group_bits_adaptive(&m);
+    assert_eq!(assign[0], assign[1], "0.96 > 0.32 joins");
+    assert_ne!(assign[2], assign[3], "0.31 < 0.32 stays apart");
+}
+
+#[test]
+fn filtered_pairs_hold_minus_one() {
+    let m = ScoreMatrix::new(3);
+    assert_eq!(m.get(0, 1), -1.0);
+    assert_eq!(m.get(1, 2), FILTERED_SCORE);
+}
+
+#[test]
+fn vocabulary_is_gates_plus_specials_only() {
+    // §II-A.2: names generalize to X, so the vocabulary is tiny and
+    // closed: [CLS], [SEP], [PAD], X, and one token per gate type.
+    let v = Vocab::new();
+    assert_eq!(v.len(), 4 + rebert_netlist::ALL_GATE_TYPES.len());
+}
+
+#[test]
+fn jaccard_formula_matches_definition() {
+    // J(A,B) = |A ∩ B| / |A ∪ B| over token multisets.
+    let a = vec![
+        Token::Gate(GateType::And),
+        Token::Gate(GateType::And),
+        Token::X,
+    ];
+    let b = vec![Token::Gate(GateType::And), Token::X, Token::X];
+    // inter = min(2,1) + min(1,2) = 2; union = max(2,1) + max(1,2) = 4.
+    assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn ari_definition_reference_values() {
+    // §III-A.3 ranges: perfect 1, random ≈ 0, worse-than-random < 0.
+    assert_eq!(ari(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+    assert!(ari(&[0, 0, 1, 1], &[0, 1, 0, 1]) <= 0.0);
+}
+
+#[test]
+fn loo_cv_uses_all_other_circuits() {
+    use rebert::loo_split;
+    use rebert_circuits::{generate, Profile};
+    let circuits: Vec<_> = (0..4)
+        .map(|i| generate(&Profile::new(format!("c{i}"), 60, 10, 2), i as u64))
+        .collect();
+    for test_idx in 0..4 {
+        let (train, test) = loo_split(&circuits, test_idx);
+        assert_eq!(train.len(), 3);
+        assert!(train
+            .iter()
+            .all(|c| c.netlist.name() != test.netlist.name()));
+    }
+}

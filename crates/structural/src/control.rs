@@ -1,0 +1,258 @@
+//! Control-signal word identification — the paper's secondary comparator
+//! (Tashjian & Davoodi, DAC'15; reference \[13\]).
+//!
+//! The idea: bits of the same word are typically gated by the **same
+//! control signals** (load enables, mux selects), so grouping flip-flops
+//! by the set of high-fanout control nets in their fan-in cones recovers
+//! words. The paper notes this family "faces challenges due to the vast
+//! number of control signals automatically inserted by the CAD tools" —
+//! which is exactly how it behaves here: glue logic and corruption dilute
+//! the control-set signature.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use rebert_netlist::{Cone, Netlist, NetId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the control-signal baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlConfig {
+    /// Nets driving at least this many gate inputs count as control
+    /// signals.
+    pub min_fanout: usize,
+    /// Fan-in back-trace depth when collecting each bit's control set.
+    pub k_levels: usize,
+    /// Two bits group together when the Jaccard similarity of their
+    /// control sets reaches this threshold.
+    pub set_similarity: f64,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            min_fanout: 3,
+            k_levels: 6,
+            set_similarity: 0.99,
+        }
+    }
+}
+
+/// Telemetry from a control-signal recovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlStats {
+    /// Number of nets classified as control signals.
+    pub control_signals: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Result of control-signal word recovery.
+#[derive(Debug, Clone)]
+pub struct ControlRecovery {
+    /// `assignment[i]` = word id of bit `i` (dense ids).
+    pub assignment: Vec<usize>,
+    /// Run telemetry.
+    pub stats: ControlStats,
+}
+
+/// Computes the fanout (number of gate-input loads) of every net.
+pub fn net_fanouts(nl: &Netlist) -> Vec<usize> {
+    let mut fanout = vec![0usize; nl.net_count()];
+    for g in nl.gates() {
+        for &inp in &g.inputs {
+            fanout[inp.index()] += 1;
+        }
+    }
+    fanout
+}
+
+/// Recovers words by shared-control-set matching.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_circuits::{generate, Profile};
+/// use rebert_structural::{recover_words_by_control, ControlConfig};
+///
+/// let c = generate(&Profile::new("demo", 120, 16, 4), 3);
+/// let rec = recover_words_by_control(&c.netlist, &ControlConfig::default());
+/// assert_eq!(rec.assignment.len(), 16);
+/// ```
+pub fn recover_words_by_control(nl: &Netlist, cfg: &ControlConfig) -> ControlRecovery {
+    let start = Instant::now();
+    let fanout = net_fanouts(nl);
+    let is_control: HashSet<NetId> = nl
+        .iter_nets()
+        .filter(|(id, _)| fanout[id.index()] >= cfg.min_fanout)
+        .map(|(id, _)| id)
+        .collect();
+
+    // Each bit's control signature: control nets inside its cone.
+    let bits = nl.bits();
+    let signatures: Vec<HashSet<NetId>> = bits
+        .iter()
+        .map(|&bit| {
+            let cone = Cone::trace(nl, bit, cfg.k_levels);
+            let mut set = HashSet::new();
+            for gid in &cone.gates {
+                for &inp in &nl.gate(*gid).inputs {
+                    if is_control.contains(&inp) {
+                        set.insert(inp);
+                    }
+                }
+            }
+            set
+        })
+        .collect();
+
+    let jaccard = |a: &HashSet<NetId>, b: &HashSet<NetId>| -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0; // no control evidence: do not group
+        }
+        let inter = a.intersection(b).count();
+        let union = a.union(b).count();
+        inter as f64 / union as f64
+    };
+
+    let n = bits.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if jaccard(&signatures[i], &signatures[j]) >= cfg.set_similarity {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut map = HashMap::new();
+    let mut assignment = Vec::with_capacity(n);
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let next = map.len();
+        assignment.push(*map.entry(root).or_insert(next));
+    }
+    ControlRecovery {
+        assignment,
+        stats: ControlStats {
+            control_signals: is_control.len(),
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::parse_bench;
+
+    /// Two 2-bit registers with distinct load enables.
+    const TWO_REGS: &str = "\
+INPUT(lda)
+INPUT(ldb)
+INPUT(d0)
+INPUT(d1)
+INPUT(d2)
+INPUT(d3)
+a0 = MUX(lda, qa0, d0)
+a1 = MUX(lda, qa1, d1)
+b0 = MUX(ldb, qb0, d2)
+b1 = MUX(ldb, qb1, d3)
+qa0 = DFF(a0)
+qa1 = DFF(a1)
+qb0 = DFF(b0)
+qb1 = DFF(b1)
+OUTPUT(qa1)
+OUTPUT(qb1)
+";
+
+    #[test]
+    fn fanout_counts() {
+        let nl = parse_bench("t", TWO_REGS).unwrap();
+        let fanout = net_fanouts(&nl);
+        let lda = nl.find_net("lda").unwrap();
+        assert_eq!(fanout[lda.index()], 2);
+        let d0 = nl.find_net("d0").unwrap();
+        assert_eq!(fanout[d0.index()], 1);
+    }
+
+    #[test]
+    fn groups_by_shared_enable() {
+        let nl = parse_bench("t", TWO_REGS).unwrap();
+        let cfg = ControlConfig {
+            min_fanout: 2,
+            k_levels: 4,
+            set_similarity: 0.99,
+        };
+        let rec = recover_words_by_control(&nl, &cfg);
+        assert_eq!(rec.assignment.len(), 4);
+        assert_eq!(rec.assignment[0], rec.assignment[1], "register A grouped");
+        assert_eq!(rec.assignment[2], rec.assignment[3], "register B grouped");
+        assert_ne!(rec.assignment[0], rec.assignment[2], "registers separate");
+        assert_eq!(rec.stats.control_signals, 2);
+    }
+
+    #[test]
+    fn no_control_evidence_means_singletons() {
+        // Pure combinational feeds with no shared high-fanout nets.
+        let src = "\
+INPUT(a)
+INPUT(b)
+d0 = NOT(a)
+d1 = NOT(b)
+q0 = DFF(d0)
+q1 = DFF(d1)
+OUTPUT(q0)
+";
+        let nl = parse_bench("t", src).unwrap();
+        let rec = recover_words_by_control(&nl, &ControlConfig::default());
+        assert_ne!(rec.assignment[0], rec.assignment[1]);
+    }
+
+    #[test]
+    fn dilution_by_spurious_controls_degrades_grouping() {
+        // The paper's critique: extra CAD-inserted control-like signals
+        // blur the signature. Adding a shared high-fanout net to every
+        // cone makes the two registers' signatures more alike.
+        let src = "\
+INPUT(lda)
+INPUT(ldb)
+INPUT(glob)
+INPUT(d0)
+INPUT(d1)
+INPUT(d2)
+INPUT(d3)
+x0 = AND(d0, glob)
+x1 = AND(d1, glob)
+x2 = AND(d2, glob)
+x3 = AND(d3, glob)
+a0 = MUX(lda, qa0, x0)
+a1 = MUX(lda, qa1, x1)
+b0 = MUX(ldb, qb0, x2)
+b1 = MUX(ldb, qb1, x3)
+qa0 = DFF(a0)
+qa1 = DFF(a1)
+qb0 = DFF(b0)
+qb1 = DFF(b1)
+OUTPUT(qa1)
+";
+        let nl = parse_bench("t", src).unwrap();
+        let cfg = ControlConfig {
+            min_fanout: 2,
+            k_levels: 4,
+            set_similarity: 0.3, // looser threshold + diluted sets...
+        };
+        let rec = recover_words_by_control(&nl, &cfg);
+        // ...over-merges: registers A and B collapse into one word.
+        assert_eq!(rec.assignment[0], rec.assignment[2]);
+    }
+}

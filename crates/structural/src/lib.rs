@@ -1,0 +1,37 @@
+//! # rebert-structural
+//!
+//! The structural-matching baseline for word-level netlist reverse
+//! engineering — a reimplementation, from the published description, of
+//! the register-identification approach the ReBERT paper compares against
+//! (Meade et al., ISCAS 2016, reference \[12\]).
+//!
+//! Bits are grouped by recursive fan-in-tree similarity: exact gate-type
+//! matching at corresponding nodes with best-pairing child alignment.
+//! This is strong on clean netlists and collapses under the paper's
+//! equivalence-preserving gate replacement — the behaviour Table II
+//! quantifies.
+//!
+//! ## Example
+//!
+//! ```
+//! use rebert_circuits::{generate, Profile};
+//! use rebert_structural::{recover_words, StructuralConfig};
+//!
+//! let c = generate(&Profile::new("demo", 120, 16, 4), 3);
+//! let recovered = recover_words(&c.netlist, &StructuralConfig::default());
+//! assert_eq!(recovered.assignment.len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+mod control;
+mod pipeline;
+mod similarity;
+
+pub use control::{
+    net_fanouts, recover_words_by_control, ControlConfig, ControlRecovery, ControlStats,
+};
+pub use pipeline::{
+    recover_words, StructuralConfig, StructuralRecovery, StructuralStats, Threshold,
+};
+pub use similarity::tree_similarity;

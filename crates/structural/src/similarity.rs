@@ -1,0 +1,213 @@
+//! Recursive fan-in-tree similarity — the structural-matching baseline
+//! (Meade et al., ISCAS'16; the paper's comparator \[12\]).
+//!
+//! Two bits are similar when their fan-in trees match structurally: equal
+//! gate types at corresponding nodes, with children aligned by the best
+//! pairing. Type mismatches score zero — the rigidity that makes the
+//! method fast on clean netlists and brittle under gate-replacement
+//! corruption, which is precisely the phenomenon the ReBERT paper
+//! exploits.
+
+use std::collections::HashMap;
+
+use rebert_netlist::{BitTree, TreeNode};
+
+/// Computes the structural similarity of two bit fan-in trees in
+/// `[0, 1]`: 1 for structurally identical trees, 0 for a root gate-type
+/// mismatch.
+///
+/// The recursion follows the classic register-matching formulation:
+///
+/// * leaf vs leaf → 1;
+/// * leaf vs gate → 0;
+/// * gates of different types → 0;
+/// * gates of the same type → `(1 + best child pairing) / (1 + #children)`,
+///   where for binary nodes the pairing is the better of the straight and
+///   crossed child alignments.
+///
+/// Memoized over node pairs, so reconvergent trees stay polynomial.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rebert_netlist::{binarize, parse_bench, BitTree};
+/// use rebert_structural::tree_similarity;
+///
+/// let src = "\
+/// INPUT(a)
+/// INPUT(b)
+/// d0 = AND(a, b)
+/// d1 = AND(b, a)
+/// q0 = DFF(d0)
+/// q1 = DFF(d1)
+/// OUTPUT(d0)
+/// ";
+/// let (bin, _) = binarize(&parse_bench("t", src)?);
+/// let t0 = BitTree::extract(&bin, bin.bits()[0], 6);
+/// let t1 = BitTree::extract(&bin, bin.bits()[1], 6);
+/// assert_eq!(tree_similarity(&t0, &t1), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tree_similarity(a: &BitTree, b: &BitTree) -> f64 {
+    let mut memo: HashMap<(u32, u32), f64> = HashMap::new();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    node_sim(a, b, 0, 0, &mut memo)
+}
+
+fn node_sim(
+    a: &BitTree,
+    b: &BitTree,
+    ai: u32,
+    bi: u32,
+    memo: &mut HashMap<(u32, u32), f64>,
+) -> f64 {
+    if let Some(&s) = memo.get(&(ai, bi)) {
+        return s;
+    }
+    let s = match (&a.nodes()[ai as usize], &b.nodes()[bi as usize]) {
+        (TreeNode::Leaf { .. }, TreeNode::Leaf { .. }) => 1.0,
+        (TreeNode::Leaf { .. }, _) | (_, TreeNode::Leaf { .. }) => 0.0,
+        (
+            TreeNode::Gate {
+                gtype: ga,
+                left: la,
+                right: ra,
+            },
+            TreeNode::Gate {
+                gtype: gb,
+                left: lb,
+                right: rb,
+            },
+        ) => {
+            if ga != gb {
+                0.0
+            } else {
+                match (ra, rb) {
+                    (None, None) => {
+                        let c = node_sim(a, b, *la, *lb, memo);
+                        (1.0 + c) / 2.0
+                    }
+                    (Some(ra), Some(rb)) => {
+                        let straight = node_sim(a, b, *la, *lb, memo)
+                            + node_sim(a, b, *ra, *rb, memo);
+                        let crossed = node_sim(a, b, *la, *rb, memo)
+                            + node_sim(a, b, *ra, *lb, memo);
+                        (1.0 + straight.max(crossed)) / 3.0
+                    }
+                    // Same type but different arity (unary vs binary):
+                    // align the single child with the better of the two.
+                    (None, Some(rb)) => {
+                        let best = node_sim(a, b, *la, *lb, memo)
+                            .max(node_sim(a, b, *la, *rb, memo));
+                        (1.0 + best) / 3.0
+                    }
+                    (Some(ra), None) => {
+                        let best = node_sim(a, b, *la, *lb, memo)
+                            .max(node_sim(a, b, *ra, *lb, memo));
+                        (1.0 + best) / 3.0
+                    }
+                }
+            }
+        }
+    };
+    memo.insert((ai, bi), s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::{binarize, parse_bench, Netlist};
+
+    fn trees(src: &str) -> Vec<BitTree> {
+        let (bin, _): (Netlist, _) = binarize(&parse_bench("t", src).unwrap());
+        bin.bits()
+            .iter()
+            .map(|&b| BitTree::extract(&bin, b, 6))
+            .collect()
+    }
+
+    #[test]
+    fn identical_structures_score_one() {
+        let ts = trees(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+             d0 = AND(a, b)\nd1 = AND(c, d)\nq0 = DFF(d0)\nq1 = DFF(d1)\nOUTPUT(d0)\n",
+        );
+        assert_eq!(tree_similarity(&ts[0], &ts[1]), 1.0);
+    }
+
+    #[test]
+    fn root_type_mismatch_scores_zero() {
+        let ts = trees(
+            "INPUT(a)\nINPUT(b)\n\
+             d0 = AND(a, b)\nd1 = OR(a, b)\nq0 = DFF(d0)\nq1 = DFF(d1)\nOUTPUT(d0)\n",
+        );
+        assert_eq!(tree_similarity(&ts[0], &ts[1]), 0.0);
+    }
+
+    #[test]
+    fn crossed_children_still_match() {
+        // d0 = AND(NOT(a), b), d1 = AND(b, NOT(a)): children swapped.
+        let ts = trees(
+            "INPUT(a)\nINPUT(b)\nna = NOT(a)\n\
+             d0 = AND(na, b)\nd1 = AND(b, na)\nq0 = DFF(d0)\nq1 = DFF(d1)\nOUTPUT(d0)\n",
+        );
+        assert_eq!(tree_similarity(&ts[0], &ts[1]), 1.0);
+    }
+
+    #[test]
+    fn partial_match_is_between_zero_and_one() {
+        // Same root AND, one subtree differs in type.
+        let ts = trees(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+             w0 = NOT(a)\nw1 = XOR(c, d)\n\
+             d0 = AND(w0, b)\nd1 = AND(w1, b)\n\
+             q0 = DFF(d0)\nq1 = DFF(d1)\nOUTPUT(d0)\n",
+        );
+        let s = tree_similarity(&ts[0], &ts[1]);
+        assert!(s > 0.0 && s < 1.0, "s = {s}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let ts = trees(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nw = OR(a, b)\n\
+             d0 = AND(w, c)\nd1 = AND(a, c)\nq0 = DFF(d0)\nq1 = DFF(d1)\nOUTPUT(d0)\n",
+        );
+        assert_eq!(
+            tree_similarity(&ts[0], &ts[1]),
+            tree_similarity(&ts[1], &ts[0])
+        );
+    }
+
+    #[test]
+    fn corruption_collapses_similarity() {
+        // The ReBERT premise: equivalent-gate replacement destroys
+        // structural similarity. NAND vs OR(NOT, NOT) are equivalent but
+        // structurally disjoint.
+        let ts = trees(
+            "INPUT(a)\nINPUT(b)\n\
+             d0 = NAND(a, b)\n\
+             na = NOT(a)\nnb = NOT(b)\nd1 = OR(na, nb)\n\
+             q0 = DFF(d0)\nq1 = DFF(d1)\nOUTPUT(d0)\n",
+        );
+        assert_eq!(tree_similarity(&ts[0], &ts[1]), 0.0);
+    }
+
+    #[test]
+    fn deeper_match_scores_higher_than_shallow() {
+        let ts = trees(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+             w0 = OR(a, b)\nw1 = OR(c, d)\nw2 = XOR(c, d)\n\
+             d0 = AND(w0, c)\nd1 = AND(w1, c)\nd2 = AND(w2, c)\n\
+             q0 = DFF(d0)\nq1 = DFF(d1)\nq2 = DFF(d2)\nOUTPUT(d0)\n",
+        );
+        let deep = tree_similarity(&ts[0], &ts[1]); // OR subtree matches
+        let shallow = tree_similarity(&ts[0], &ts[2]); // XOR subtree mismatches
+        assert!(deep > shallow, "{deep} <= {shallow}");
+    }
+}

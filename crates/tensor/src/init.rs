@@ -1,0 +1,68 @@
+//! Weight initialization.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Samples a `rows × cols` tensor from `N(0, std²)`.
+pub fn normal<R: Rng>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Tensor {
+    // Box–Muller, to avoid depending on rand_distr.
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < rows * cols {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot-uniform initialization for a `fan_in × fan_out` weight.
+pub fn xavier<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let dist = rand::distributions::Uniform::new_inclusive(-bound, bound);
+    let data = (0..fan_in * fan_out)
+        .map(|_| dist.sample(rng))
+        .collect();
+    Tensor::from_vec(fan_in, fan_out, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = ChaCha20Rng::seed_from_u64(0);
+        let t = normal(&mut rng, 100, 100, 0.5);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let t = xavier(&mut rng, 64, 64);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound + 1e-6));
+        // Not degenerate.
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = normal(&mut ChaCha20Rng::seed_from_u64(7), 4, 4, 1.0);
+        let b = normal(&mut ChaCha20Rng::seed_from_u64(7), 4, 4, 1.0);
+        assert_eq!(a, b);
+    }
+}

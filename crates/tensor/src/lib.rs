@@ -1,0 +1,35 @@
+//! # rebert-tensor
+//!
+//! Minimal deep-learning substrate for the ReBERT reproduction: a dense
+//! 2-D `f32` [`Tensor`] and a reverse-mode autograd [`Tape`] with exactly
+//! the operations a BERT-style encoder needs (matmul, softmax, layer norm,
+//! GELU, embedding gather, column slicing for attention heads, BCE loss).
+//!
+//! Built from scratch because the established Rust DL frameworks do not
+//! yet support the paper's custom tree positional embeddings cleanly (see
+//! `DESIGN.md` for the substitution rationale).
+//!
+//! ## Example: differentiate a tiny expression
+//!
+//! ```
+//! use rebert_tensor::{Tape, Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let w = tape.leaf(Tensor::from_rows(&[&[3.0]]));
+//! let x = tape.leaf(Tensor::from_rows(&[&[2.0]]));
+//! let y = tape.matmul(w, x);          // y = w·x
+//! let loss = tape.mean_all(y);
+//! let grads = tape.backward(loss);
+//! let dw = grads[w.index()].as_ref().expect("on path");
+//! assert!((dw.data()[0] - 2.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod init;
+mod tape;
+mod tensor;
+
+pub use init::{normal, xavier};
+pub use tape::{gelu, gelu_grad, sigmoid, Tape, VarId};
+pub use tensor::Tensor;

@@ -1,0 +1,545 @@
+//! Reverse-mode automatic differentiation over [`Tensor`]s.
+//!
+//! A [`Tape`] records each operation as it executes; [`Tape::backward`]
+//! then walks the record in reverse, producing gradients for every node.
+//! Model code inserts its parameters as leaves at the start of each
+//! forward pass and reads their gradients back by [`VarId`] afterwards.
+//!
+//! Gradient correctness for every operation is property-tested against
+//! central finite differences (see the crate tests).
+
+use crate::tensor::Tensor;
+
+/// Identifier of a node on a [`Tape`]. Only meaningful for the tape that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// The raw index of this node on its tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Input with no parents (parameter or constant).
+    Leaf,
+    /// `C = A @ B`.
+    MatMul(VarId, VarId),
+    /// `C = A @ B^T` (the transpose is folded into the kernel).
+    MatMulNt(VarId, VarId),
+    /// `C = A + B` (same shape).
+    Add(VarId, VarId),
+    /// `C = A + bias` with `bias` a `1 × cols` row broadcast over rows.
+    AddBias(VarId, VarId),
+    /// Elementwise product.
+    Mul(VarId, VarId),
+    /// `C = c · A`.
+    Scale(VarId, f32),
+    /// GELU activation (tanh approximation).
+    Gelu(VarId),
+    /// Hyperbolic tangent.
+    Tanh(VarId),
+    /// Rectified linear unit.
+    Relu(VarId),
+    /// Logistic sigmoid.
+    Sigmoid(VarId),
+    /// Row-wise softmax.
+    SoftmaxRows(VarId),
+    /// Row-wise layer normalization with learnable `gamma`/`beta`
+    /// (`1 × cols` each).
+    LayerNorm {
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        eps: f32,
+    },
+    /// Columns `[start, start+len)` of the parent.
+    ColSlice { a: VarId, start: usize, len: usize },
+    /// Horizontal concatenation of parts with identical row counts.
+    ColConcat(Vec<VarId>),
+    /// Single row `row` of the parent as a `1 × cols` tensor.
+    RowSlice { a: VarId, row: usize },
+    /// Rows of `table` selected by `ids` (embedding lookup).
+    Gather { table: VarId, ids: Vec<usize> },
+    /// Mean of all elements, as `1 × 1`.
+    MeanAll(VarId),
+    /// Mean binary-cross-entropy-with-logits loss against constant
+    /// targets, as `1 × 1`. `logits` and `targets` share shape.
+    BceWithLogits { logits: VarId, targets: Tensor },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A gradient tape: forward operations append nodes, `backward` fills in
+/// gradients.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_tensor::{Tape, Tensor};
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_rows(&[&[2.0]]));
+/// let y = tape.mul(x, x); // y = x²
+/// let grads = tape.backward(y);
+/// // dy/dx = 2x = 4
+/// assert!((grads[x.index()].as_ref().unwrap().data()[0] - 4.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> VarId {
+        self.nodes.push(Node { value, op });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Records an input (parameter or constant).
+    pub fn leaf(&mut self, value: Tensor) -> VarId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records `a @ b`.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Records `a @ b^T` — the scores kernel of scaled dot-product
+    /// attention (`Q @ K^T`), without materializing the transpose.
+    pub fn matmul_nt(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.push(v, Op::MatMulNt(a, b))
+    }
+
+    /// Records `a + b` (same shape).
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Records `a + bias` with row broadcasting.
+    pub fn add_bias(&mut self, a: VarId, bias: VarId) -> VarId {
+        let v = self.value(a).add_bias(self.value(bias));
+        self.push(v, Op::AddBias(a, bias))
+    }
+
+    /// Records the elementwise product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Records `c · a`.
+    pub fn scale(&mut self, a: VarId, c: f32) -> VarId {
+        let v = self.value(a).scale(c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// Records the GELU activation (tanh approximation).
+    pub fn gelu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(gelu);
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Records `tanh(a)`.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Records `relu(a)`.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Records the logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Records a row-wise softmax.
+    pub fn softmax_rows(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).softmax_rows();
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Records row-wise layer normalization with learnable scale/shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma`/`beta` are not `1 × cols` of `x`.
+    pub fn layer_norm(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
+        let xt = self.value(x);
+        let g = self.value(gamma);
+        let b = self.value(beta);
+        assert_eq!(g.shape(), (1, xt.cols()), "gamma shape");
+        assert_eq!(b.shape(), (1, xt.cols()), "beta shape");
+        let mut out = Tensor::zeros(xt.rows(), xt.cols());
+        for i in 0..xt.rows() {
+            let row = xt.row(i);
+            let (mean, var) = row_mean_var(row);
+            let inv = 1.0 / (var + eps).sqrt();
+            for j in 0..xt.cols() {
+                let xhat = (row[j] - mean) * inv;
+                out[(i, j)] = xhat * g.data()[j] + b.data()[j];
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+    }
+
+    /// Records a column slice `[start, start+len)`.
+    pub fn col_slice(&mut self, a: VarId, start: usize, len: usize) -> VarId {
+        let v = self.value(a).col_slice(start, len);
+        self.push(v, Op::ColSlice { a, start, len })
+    }
+
+    /// Records a horizontal concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn col_concat(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "col_concat of nothing");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut out = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let t = self.value(p);
+            assert_eq!(t.rows(), rows, "col_concat row mismatch");
+            for i in 0..rows {
+                out.row_mut(i)[off..off + t.cols()].copy_from_slice(t.row(i));
+            }
+            off += t.cols();
+        }
+        self.push(out, Op::ColConcat(parts.to_vec()))
+    }
+
+    /// Records extraction of one row as `1 × cols`.
+    pub fn row_slice(&mut self, a: VarId, row: usize) -> VarId {
+        let v = Tensor::row_vector(self.value(a).row(row));
+        self.push(v, Op::RowSlice { a, row })
+    }
+
+    /// Records an embedding lookup: row `ids[i]` of `table` becomes row
+    /// `i` of the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn gather(&mut self, table: VarId, ids: &[usize]) -> VarId {
+        let t = self.value(table);
+        let mut out = Tensor::zeros(ids.len(), t.cols());
+        for (i, &id) in ids.iter().enumerate() {
+            assert!(id < t.rows(), "gather id {id} out of range");
+            out.row_mut(i).copy_from_slice(t.row(id));
+        }
+        self.push(
+            out,
+            Op::Gather {
+                table,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Records the mean of all elements as a `1 × 1` tensor.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::from_rows(&[&[self.value(a).mean()]]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Records the mean binary-cross-entropy-with-logits loss against
+    /// constant `targets` (same shape as the logits), as `1 × 1`.
+    ///
+    /// Uses the numerically stable form
+    /// `max(z, 0) − z·t + ln(1 + e^(−|z|))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn bce_with_logits(&mut self, logits: VarId, targets: Tensor) -> VarId {
+        let z = self.value(logits);
+        assert_eq!(z.shape(), targets.shape(), "target shape mismatch");
+        let mut total = 0.0f32;
+        for (zi, ti) in z.data().iter().zip(targets.data()) {
+            total += zi.max(0.0) - zi * ti + (-zi.abs()).exp().ln_1p();
+        }
+        let v = Tensor::from_rows(&[&[total / z.len() as f32]]);
+        self.push(v, Op::BceWithLogits { logits, targets })
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (which must be
+    /// `1 × 1`) and returns per-node gradients, indexed by
+    /// [`VarId::index`]. Nodes not on the path to `loss` keep `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1 × 1` tensor.
+    pub fn backward(&self, loss: VarId) -> Vec<Option<Tensor>> {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward must start from a scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::from_rows(&[&[1.0]]));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(grad_out) = grads[idx].clone() else {
+                continue;
+            };
+            match &self.nodes[idx].op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let da = grad_out.matmul_nt(self.value(*b));
+                    let db = self.value(*a).matmul_tn(&grad_out);
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::MatMulNt(a, b) => {
+                    // C = A B^T  =>  dA = dC B ;  dB = dC^T A.
+                    let da = grad_out.matmul(self.value(*b));
+                    let db = grad_out.matmul_tn(self.value(*a));
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, grad_out.clone());
+                    accumulate(&mut grads, b.0, grad_out);
+                }
+                Op::AddBias(a, bias) => {
+                    accumulate(&mut grads, bias.0, grad_out.col_sums());
+                    accumulate(&mut grads, a.0, grad_out);
+                }
+                Op::Mul(a, b) => {
+                    let da = grad_out.mul(self.value(*b));
+                    let db = grad_out.mul(self.value(*a));
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::Scale(a, c) => accumulate(&mut grads, a.0, grad_out.scale(*c)),
+                Op::Gelu(a) => {
+                    let x = self.value(*a);
+                    let da = Tensor::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.data()
+                            .iter()
+                            .zip(grad_out.data())
+                            .map(|(&xi, &gi)| gelu_grad(xi) * gi)
+                            .collect(),
+                    );
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let da = Tensor::from_vec(
+                        y.rows(),
+                        y.cols(),
+                        y.data()
+                            .iter()
+                            .zip(grad_out.data())
+                            .map(|(&yi, &gi)| (1.0 - yi * yi) * gi)
+                            .collect(),
+                    );
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Relu(a) => {
+                    let x = self.value(*a);
+                    let da = Tensor::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.data()
+                            .iter()
+                            .zip(grad_out.data())
+                            .map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 })
+                            .collect(),
+                    );
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let da = Tensor::from_vec(
+                        y.rows(),
+                        y.cols(),
+                        y.data()
+                            .iter()
+                            .zip(grad_out.data())
+                            .map(|(&yi, &gi)| yi * (1.0 - yi) * gi)
+                            .collect(),
+                    );
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[idx].value;
+                    let mut da = Tensor::zeros(y.rows(), y.cols());
+                    for i in 0..y.rows() {
+                        let yr = y.row(i);
+                        let gr = grad_out.row(i);
+                        let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+                        for j in 0..y.cols() {
+                            da[(i, j)] = yr[j] * (gr[j] - dot);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::LayerNorm { x, gamma, beta, eps } => {
+                    let xt = self.value(*x);
+                    let g = self.value(*gamma);
+                    let n = xt.cols() as f32;
+                    let mut dx = Tensor::zeros(xt.rows(), xt.cols());
+                    let mut dgamma = Tensor::zeros(1, xt.cols());
+                    let mut dbeta = Tensor::zeros(1, xt.cols());
+                    for i in 0..xt.rows() {
+                        let row = xt.row(i);
+                        let (mean, var) = row_mean_var(row);
+                        let inv = 1.0 / (var + eps).sqrt();
+                        // dy/dxhat = gamma; accumulate per-row stats.
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        let gr = grad_out.row(i);
+                        let mut xhat = vec![0.0f32; xt.cols()];
+                        let mut dxhat = vec![0.0f32; xt.cols()];
+                        for j in 0..xt.cols() {
+                            xhat[j] = (row[j] - mean) * inv;
+                            dxhat[j] = gr[j] * g.data()[j];
+                            sum_dxhat += dxhat[j];
+                            sum_dxhat_xhat += dxhat[j] * xhat[j];
+                            dgamma.data_mut()[j] += gr[j] * xhat[j];
+                            dbeta.data_mut()[j] += gr[j];
+                        }
+                        for j in 0..xt.cols() {
+                            dx[(i, j)] = inv
+                                * (dxhat[j] - sum_dxhat / n - xhat[j] * sum_dxhat_xhat / n);
+                        }
+                    }
+                    accumulate(&mut grads, x.0, dx);
+                    accumulate(&mut grads, gamma.0, dgamma);
+                    accumulate(&mut grads, beta.0, dbeta);
+                }
+                Op::ColSlice { a, start, len } => {
+                    let src = self.value(*a);
+                    let mut da = Tensor::zeros(src.rows(), src.cols());
+                    for i in 0..grad_out.rows() {
+                        da.row_mut(i)[*start..*start + *len].copy_from_slice(grad_out.row(i));
+                    }
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::ColConcat(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let w = self.value(p).cols();
+                        let dp = grad_out.col_slice(off, w);
+                        accumulate(&mut grads, p.0, dp);
+                        off += w;
+                    }
+                }
+                Op::RowSlice { a, row } => {
+                    let src = self.value(*a);
+                    let mut da = Tensor::zeros(src.rows(), src.cols());
+                    da.row_mut(*row).copy_from_slice(grad_out.row(0));
+                    accumulate(&mut grads, a.0, da);
+                }
+                Op::Gather { table, ids } => {
+                    let t = self.value(*table);
+                    let mut dt = Tensor::zeros(t.rows(), t.cols());
+                    for (i, &id) in ids.iter().enumerate() {
+                        let gr = grad_out.row(i);
+                        for (j, &g) in gr.iter().enumerate() {
+                            dt[(id, j)] += g;
+                        }
+                    }
+                    accumulate(&mut grads, table.0, dt);
+                }
+                Op::MeanAll(a) => {
+                    let src = self.value(*a);
+                    let g = grad_out.data()[0] / src.len() as f32;
+                    accumulate(&mut grads, a.0, Tensor::full(src.rows(), src.cols(), g));
+                }
+                Op::BceWithLogits { logits, targets } => {
+                    let z = self.value(*logits);
+                    let scale = grad_out.data()[0] / z.len() as f32;
+                    let dz = Tensor::from_vec(
+                        z.rows(),
+                        z.cols(),
+                        z.data()
+                            .iter()
+                            .zip(targets.data())
+                            .map(|(&zi, &ti)| (sigmoid(zi) - ti) * scale)
+                            .collect(),
+                    );
+                    accumulate(&mut grads, logits.0, dz);
+                }
+            }
+        }
+        grads
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
+    match &mut grads[idx] {
+        Some(existing) => *existing = existing.add(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn row_mean_var(row: &[f32]) -> (f32, f32) {
+    let n = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    (mean, var)
+}
+
+/// Logistic sigmoid `1 / (1 + e^(−x))`.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// GELU activation, tanh approximation (the BERT standard).
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}

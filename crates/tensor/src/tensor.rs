@@ -1,0 +1,537 @@
+//! A dense, row-major 2-D `f32` tensor.
+//!
+//! Everything the BERT encoder needs is expressible over 2-D matrices
+//! (sequences are `seq_len × d_model` matrices), so this crate deliberately
+//! avoids an N-dimensional tensor: shapes stay auditable and the autograd
+//! tape (see [`crate::tape`]) stays simple.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix of `f32`, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use rebert_tensor::Tensor;
+///
+/// let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c, a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Creates a tensor from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Tensor::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// A row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A row as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order; adequate for the model
+    /// sizes this workspace trains (hundreds of columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a_ik * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self @ other^T` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self^T @ other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a_ki * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "mul shape mismatch");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `c`.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// Adds a `1 × cols` bias row to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols()`.
+    pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.shape(), (1, self.cols), "bias shape mismatch");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                *v += bias.data[j];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sums as a `1 × cols` row vector.
+    pub fn col_sums(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for i in 0..self.rows {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                out.data[j] += v;
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let row = out.row_mut(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts columns `[start, start+len)` as a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn col_slice(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.cols, "column slice out of bounds");
+        let mut out = Tensor::zeros(self.rows, len);
+        for i in 0..self.rows {
+            out.row_mut(i)
+                .copy_from_slice(&self.row(i)[start..start + len]);
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Tensor {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tensor {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>9.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, 1.0, -1.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = a.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+        }
+        // Large values do not overflow (stabilized).
+        assert!((s[(1, 0)] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn add_bias_broadcasts() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bias = Tensor::row_vector(&[10.0, 20.0]);
+        let out = a.add_bias(&bias);
+        assert_eq!(out, Tensor::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+    }
+
+    #[test]
+    fn col_slice_extracts() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]);
+        let s = a.col_slice(1, 2);
+        assert_eq!(s, Tensor::from_rows(&[&[2.0, 3.0], &[6.0, 7.0]]));
+    }
+
+    #[test]
+    fn col_sums_accumulate() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.col_sums(), Tensor::row_vector(&[4.0, 6.0]));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b), Tensor::from_rows(&[&[4.0, 2.0]]));
+        assert_eq!(a.sub(&b), Tensor::from_rows(&[&[-2.0, -6.0]]));
+        assert_eq!(a.mul(&b), Tensor::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(a.scale(2.0), Tensor::from_rows(&[&[2.0, -4.0]]));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Tensor::from_rows(&[&[1.5, -2.5]]);
+        let js = serde_json::to_string(&a).unwrap();
+        let back: Tensor = serde_json::from_str(&js).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Tensor::zeros(2, 2);
+        assert!(!a.to_string().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! API-contract tests for the tensor substrate: thread-safety markers,
+//! shape validation, and numeric edge cases.
+
+use rebert_tensor::{gelu, gelu_grad, sigmoid, Tape, Tensor};
+
+#[test]
+fn tensor_and_tape_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Tensor>();
+    assert_send_sync::<Tape>();
+}
+
+#[test]
+fn scalar_activation_reference_values() {
+    assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    assert!(sigmoid(20.0) > 0.999_999);
+    assert!(sigmoid(-20.0) < 1e-6);
+    // GELU anchors: gelu(0) = 0; gelu(x) → x for large x; odd-ish shape.
+    assert_eq!(gelu(0.0), 0.0);
+    assert!((gelu(6.0) - 6.0).abs() < 1e-3);
+    assert!(gelu(-6.0).abs() < 1e-3);
+    // Derivative at 0 is 0.5.
+    assert!((gelu_grad(0.0) - 0.5).abs() < 1e-6);
+}
+
+#[test]
+fn softmax_handles_uniform_and_extreme_rows() {
+    let t = Tensor::from_rows(&[
+        &[0.0, 0.0, 0.0],
+        &[-1e30, 0.0, -1e30],
+        &[1e30, 1e30, 1e30],
+    ]);
+    let s = t.softmax_rows();
+    for i in 0..3 {
+        let sum: f32 = s.row(i).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+        assert!(s.row(i).iter().all(|v| v.is_finite()));
+    }
+    assert!((s[(1, 1)] - 1.0).abs() < 1e-6);
+}
+
+#[test]
+#[should_panic(expected = "shape mismatch")]
+fn add_rejects_shape_mismatch() {
+    let a = Tensor::zeros(2, 3);
+    let b = Tensor::zeros(3, 2);
+    let _ = a.add(&b);
+}
+
+#[test]
+#[should_panic(expected = "bias shape mismatch")]
+fn add_bias_rejects_bad_bias() {
+    let a = Tensor::zeros(2, 3);
+    let bias = Tensor::zeros(1, 2);
+    let _ = a.add_bias(&bias);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn col_slice_rejects_overflow() {
+    let a = Tensor::zeros(2, 3);
+    let _ = a.col_slice(2, 2);
+}
+
+#[test]
+#[should_panic(expected = "scalar")]
+fn backward_requires_scalar_loss() {
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::zeros(2, 2));
+    let _ = tape.backward(x);
+}
+
+#[test]
+fn backward_skips_nodes_off_the_loss_path() {
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_rows(&[&[1.0]]));
+    let unused = tape.leaf(Tensor::from_rows(&[&[9.0]]));
+    let dead_branch = tape.mul(unused, unused);
+    let loss = tape.mean_all(x);
+    let grads = tape.backward(loss);
+    assert!(grads[x.index()].is_some());
+    assert!(grads[unused.index()].is_none());
+    assert!(grads[dead_branch.index()].is_none());
+}
+
+#[test]
+fn gather_repeated_rows_accumulate_gradient() {
+    let mut tape = Tape::new();
+    let table = tape.leaf(Tensor::from_rows(&[&[1.0], &[2.0]]));
+    let g = tape.gather(table, &[0, 0, 0, 1]);
+    let loss = tape.mean_all(g);
+    let grads = tape.backward(loss);
+    let dt = grads[table.index()].as_ref().expect("on path");
+    // Row 0 selected three times: 3 × 1/4; row 1 once: 1/4.
+    assert!((dt[(0, 0)] - 0.75).abs() < 1e-6);
+    assert!((dt[(1, 0)] - 0.25).abs() < 1e-6);
+}
+
+#[test]
+fn diamond_graph_accumulates_both_paths() {
+    // y = x*x + x*x: dy/dx = 4x.
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_rows(&[&[3.0]]));
+    let a = tape.mul(x, x);
+    let b = tape.mul(x, x);
+    let y = tape.add(a, b);
+    let loss = tape.mean_all(y);
+    let grads = tape.backward(loss);
+    let dx = grads[x.index()].as_ref().expect("on path");
+    assert!((dx.data()[0] - 12.0).abs() < 1e-5);
+}
+
+#[test]
+fn values_are_queryable_after_backward() {
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_rows(&[&[2.0]]));
+    let y = tape.sigmoid(x);
+    let loss = tape.mean_all(y);
+    let _ = tape.backward(loss);
+    assert!((tape.value(y).data()[0] - sigmoid(2.0)).abs() < 1e-7);
+    assert_eq!(tape.len(), 3);
+}

@@ -1,0 +1,311 @@
+//! Finite-difference gradient checks for every tape operation.
+//!
+//! Each check builds the same computation twice: once on a tape (analytic
+//! gradient) and many times with perturbed inputs (numeric gradient), and
+//! compares them elementwise.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rebert_tensor::{normal, Tape, Tensor, VarId};
+
+/// Central finite-difference gradient of `f` with respect to `input`,
+/// where `f` maps the input tensor to a scalar.
+fn numeric_grad(input: &Tensor, f: impl Fn(&Tensor) -> f32) -> Tensor {
+    const H: f32 = 1e-2;
+    let mut grad = Tensor::zeros(input.rows(), input.cols());
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += H;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= H;
+        grad.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * H);
+    }
+    grad
+}
+
+/// Checks analytic vs numeric gradients for a graph described by
+/// `build`: it receives a tape and the list of leaf VarIds (one per input
+/// tensor) and must return the scalar loss VarId.
+fn check(inputs: &[Tensor], build: impl Fn(&mut Tape, &[VarId]) -> VarId, tol: f32) {
+    // Analytic.
+    let mut tape = Tape::new();
+    let vars: Vec<VarId> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = build(&mut tape, &vars);
+    let grads = tape.backward(loss);
+
+    for (pi, input) in inputs.iter().enumerate() {
+        let numeric = numeric_grad(input, |perturbed| {
+            let mut t = Tape::new();
+            let vars: Vec<VarId> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, orig)| {
+                    t.leaf(if i == pi {
+                        perturbed.clone()
+                    } else {
+                        orig.clone()
+                    })
+                })
+                .collect();
+            let l = build(&mut t, &vars);
+            t.value(l).data()[0]
+        });
+        let analytic = grads[vars[pi].index()]
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(input.rows(), input.cols()));
+        let diff = analytic.max_abs_diff(&numeric);
+        assert!(
+            diff < tol,
+            "input {pi}: max grad diff {diff} (analytic {analytic}, numeric {numeric})"
+        );
+    }
+}
+
+fn rng() -> ChaCha20Rng {
+    ChaCha20Rng::seed_from_u64(0xC0FFEE)
+}
+
+#[test]
+fn matmul_grads() {
+    let mut r = rng();
+    let a = normal(&mut r, 3, 4, 0.5);
+    let b = normal(&mut r, 4, 2, 0.5);
+    check(
+        &[a, b],
+        |t, v| {
+            let c = t.matmul(v[0], v[1]);
+            t.mean_all(c)
+        },
+        1e-3,
+    );
+}
+
+#[test]
+fn add_and_bias_grads() {
+    let mut r = rng();
+    let a = normal(&mut r, 3, 3, 0.5);
+    let b = normal(&mut r, 3, 3, 0.5);
+    let bias = normal(&mut r, 1, 3, 0.5);
+    check(
+        &[a.clone(), b],
+        |t, v| {
+            let c = t.add(v[0], v[1]);
+            t.mean_all(c)
+        },
+        1e-3,
+    );
+    check(
+        &[a, bias],
+        |t, v| {
+            let c = t.add_bias(v[0], v[1]);
+            t.mean_all(c)
+        },
+        1e-3,
+    );
+}
+
+#[test]
+fn mul_scale_grads() {
+    let mut r = rng();
+    let a = normal(&mut r, 2, 5, 0.5);
+    let b = normal(&mut r, 2, 5, 0.5);
+    check(
+        &[a.clone(), b],
+        |t, v| {
+            let c = t.mul(v[0], v[1]);
+            t.mean_all(c)
+        },
+        1e-3,
+    );
+    check(
+        &[a],
+        |t, v| {
+            let c = t.scale(v[0], -2.5);
+            t.mean_all(c)
+        },
+        1e-3,
+    );
+}
+
+#[test]
+fn activation_grads() {
+    let mut r = rng();
+    let a = normal(&mut r, 3, 4, 1.0);
+    for act in 0..4 {
+        check(
+            &[a.clone()],
+            move |t, v| {
+                let y = match act {
+                    0 => t.gelu(v[0]),
+                    1 => t.tanh(v[0]),
+                    2 => t.sigmoid(v[0]),
+                    _ => {
+                        // Shift away from the ReLU kink to keep finite
+                        // differences meaningful.
+                        let one = t.leaf(Tensor::full(3, 4, 0.35));
+                        let shifted = t.add(v[0], one);
+                        t.relu(shifted)
+                    }
+                };
+                t.mean_all(y)
+            },
+            2e-3,
+        );
+    }
+}
+
+#[test]
+fn softmax_grads() {
+    let mut r = rng();
+    let a = normal(&mut r, 3, 5, 1.0);
+    let w = normal(&mut r, 3, 5, 1.0);
+    // Weighted sum to make the loss sensitive to all entries.
+    check(
+        &[a, w.clone()],
+        |t, v| {
+            let s = t.softmax_rows(v[0]);
+            let weighted = t.mul(s, v[1]);
+            t.mean_all(weighted)
+        },
+        2e-3,
+    );
+}
+
+#[test]
+fn layer_norm_grads() {
+    let mut r = rng();
+    let x = normal(&mut r, 3, 6, 1.0);
+    let gamma = normal(&mut r, 1, 6, 0.5);
+    let beta = normal(&mut r, 1, 6, 0.5);
+    let w = normal(&mut r, 3, 6, 1.0);
+    check(
+        &[x, gamma, beta, w],
+        |t, v| {
+            let y = t.layer_norm(v[0], v[1], v[2], 1e-5);
+            let weighted = t.mul(y, v[3]);
+            t.mean_all(weighted)
+        },
+        5e-3,
+    );
+}
+
+#[test]
+fn slicing_grads() {
+    let mut r = rng();
+    let a = normal(&mut r, 3, 8, 0.5);
+    check(
+        &[a.clone()],
+        |t, v| {
+            let s = t.col_slice(v[0], 2, 4);
+            t.mean_all(s)
+        },
+        1e-3,
+    );
+    check(
+        &[a.clone()],
+        |t, v| {
+            let s = t.row_slice(v[0], 1);
+            t.mean_all(s)
+        },
+        1e-3,
+    );
+    let b = normal(&mut r, 3, 2, 0.5);
+    check(
+        &[a, b],
+        |t, v| {
+            let c = t.col_concat(&[v[0], v[1]]);
+            t.mean_all(c)
+        },
+        1e-3,
+    );
+}
+
+#[test]
+fn gather_grads() {
+    let mut r = rng();
+    let table = normal(&mut r, 6, 4, 0.5);
+    check(
+        &[table],
+        |t, v| {
+            // Repeated index exercises gradient accumulation.
+            let g = t.gather(v[0], &[1, 3, 1]);
+            t.mean_all(g)
+        },
+        1e-3,
+    );
+}
+
+#[test]
+fn bce_with_logits_grads() {
+    let mut r = rng();
+    let logits = normal(&mut r, 4, 1, 1.0);
+    let targets = Tensor::from_vec(4, 1, vec![1.0, 0.0, 1.0, 0.0]);
+    check(
+        &[logits],
+        move |t, v| t.bce_with_logits(v[0], targets.clone()),
+        2e-3,
+    );
+}
+
+#[test]
+fn two_layer_mlp_composite() {
+    // End-to-end: x -> Linear -> GELU -> Linear -> BCE.
+    let mut r = rng();
+    let x = normal(&mut r, 2, 6, 0.7);
+    let w1 = normal(&mut r, 6, 5, 0.5);
+    let b1 = normal(&mut r, 1, 5, 0.2);
+    let w2 = normal(&mut r, 5, 1, 0.5);
+    let b2 = normal(&mut r, 1, 1, 0.2);
+    let targets = Tensor::from_vec(2, 1, vec![1.0, 0.0]);
+    check(
+        &[x, w1, b1, w2, b2],
+        move |t, v| {
+            let h = t.matmul(v[0], v[1]);
+            let h = t.add_bias(h, v[2]);
+            let h = t.gelu(h);
+            let z = t.matmul(h, v[3]);
+            let z = t.add_bias(z, v[4]);
+            t.bce_with_logits(z, targets.clone())
+        },
+        3e-3,
+    );
+}
+
+#[test]
+fn attention_shaped_composite() {
+    // A single attention head: softmax(Q K^T / sqrt(d)) V.
+    let mut r = rng();
+    let x = normal(&mut r, 4, 6, 0.6);
+    let wq = normal(&mut r, 6, 3, 0.5);
+    let wk = normal(&mut r, 6, 3, 0.5);
+    let wv = normal(&mut r, 6, 3, 0.5);
+    check(
+        &[x, wq, wk, wv],
+        |t, v| {
+            let q = t.matmul(v[0], v[1]);
+            let k = t.matmul(v[0], v[2]);
+            let val = t.matmul(v[0], v[3]);
+            let scores = t.matmul_nt(q, k);
+            let scaled = t.scale(scores, 1.0 / (3.0f32).sqrt());
+            let probs = t.softmax_rows(scaled);
+            let ctx = t.matmul(probs, val);
+            t.mean_all(ctx)
+        },
+        3e-3,
+    );
+}
+
+#[test]
+fn matmul_nt_grads() {
+    let mut r = rng();
+    let a = normal(&mut r, 3, 4, 0.5);
+    let b = normal(&mut r, 5, 4, 0.5);
+    check(
+        &[a, b],
+        |t, v| {
+            let c = t.matmul_nt(v[0], v[1]);
+            t.mean_all(c)
+        },
+        1e-3,
+    );
+}

@@ -1,0 +1,89 @@
+//! **Baseline comparison** — why structural matching breaks.
+//!
+//! Shows the structural baseline's similarity scores on a clean register
+//! file, then applies a single equivalence-preserving gate replacement
+//! (the paper's `NAND → OR(NOT, NOT)` example) and shows the similarity
+//! collapse — the failure mode ReBERT's learned representation avoids.
+//!
+//! ```text
+//! cargo run -p rebert-examples --bin baseline_comparison
+//! ```
+
+use rebert::ari;
+use rebert_circuits::{corrupt, generate, Profile};
+use rebert_netlist::{binarize, parse_bench, BitTree};
+use rebert_structural::{recover_words, tree_similarity, StructuralConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Micro view: one pair of bits ---------------------------------
+    let clean = parse_bench(
+        "pair",
+        "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+d0 = NAND(a, b)
+d1 = NAND(c, d)
+q0 = DFF(d0)
+q1 = DFF(d1)
+OUTPUT(q0)
+",
+    )?;
+    let (bin, _) = binarize(&clean);
+    let t0 = BitTree::extract(&bin, bin.bits()[0], 6);
+    let t1 = BitTree::extract(&bin, bin.bits()[1], 6);
+    println!(
+        "clean pair  NAND(a,b) vs NAND(c,d):        similarity = {:.2}",
+        tree_similarity(&t0, &t1)
+    );
+
+    // The paper's §III-A.1 example: A = NAND(B, C) → A = OR(NOT(B), NOT(C)).
+    let replaced = parse_bench(
+        "pair_r",
+        "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+d0 = NAND(a, b)
+nc = NOT(c)
+nd = NOT(d)
+d1 = OR(nc, nd)
+q0 = DFF(d0)
+q1 = DFF(d1)
+OUTPUT(q0)
+",
+    )?;
+    let (bin_r, _) = binarize(&replaced);
+    let r0 = BitTree::extract(&bin_r, bin_r.bits()[0], 6);
+    let r1 = BitTree::extract(&bin_r, bin_r.bits()[1], 6);
+    println!(
+        "replaced    NAND(a,b) vs OR(NOT c, NOT d): similarity = {:.2}  (same function!)",
+        tree_similarity(&r0, &r1)
+    );
+
+    // --- Macro view: a whole benchmark across R-Index ------------------
+    let circuit = generate(&Profile::new("demo", 200, 32, 6), 99);
+    let truth = circuit.labels.assignment();
+    let cfg = StructuralConfig {
+        k_levels: 4,
+        ..Default::default()
+    };
+    println!("\nstructural ARI on a 32-bit benchmark:");
+    for r in [0.0, 0.3, 0.6, 1.0] {
+        let netlist = if r == 0.0 {
+            circuit.netlist.clone()
+        } else {
+            corrupt(&circuit.netlist, r, 5).0
+        };
+        let rec = recover_words(&netlist, &cfg);
+        println!(
+            "  R-Index {r:.1}: ARI {:>6.3}  (threshold used {:.3}, {} pairs)",
+            ari(&truth, &rec.assignment),
+            rec.stats.threshold_used,
+            rec.stats.pairs
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! **Corruption robustness** — the paper's central claim in one plot.
+//!
+//! Sweeps R-Index from 0 to 1 on a single benchmark and prints the ARI
+//! series of the structural baseline vs a (lightly) trained ReBERT —
+//! the Table II row structure as an ASCII chart.
+//!
+//! ```text
+//! cargo run -p rebert-examples --release --bin corruption_robustness
+//! ```
+
+use rebert::{
+    ari, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig,
+};
+use rebert_circuits::{corrupt, generate, Profile};
+use rebert_structural::{recover_words, StructuralConfig};
+
+fn bar(v: f64) -> String {
+    let width = (v.max(0.0) * 40.0).round() as usize;
+    "█".repeat(width)
+}
+
+fn main() {
+    let train_a = generate(&Profile::new("train_a", 150, 24, 5), 11);
+    let train_b = generate(&Profile::new("train_b", 180, 30, 6), 12);
+    let test = generate(&Profile::new("target", 160, 24, 5), 13);
+
+    let mut mcfg = ReBertConfig::small();
+    mcfg.k_levels = 4;
+    let mut dcfg = DatasetConfig::for_model(&mcfg);
+    dcfg.r_indexes = vec![0.0, 0.4, 0.8];
+    dcfg.max_per_circuit = 600;
+    let samples = training_samples(&[&train_a, &train_b], &dcfg, 14);
+    let mut model = ReBertModel::new(mcfg, 15);
+    println!("training on {} samples…", samples.len());
+    train(
+        &mut model,
+        &samples,
+        &TrainConfig {
+            epochs: 8,
+            lr: 1e-3,
+            batch_size: 16,
+            seed: 16,
+            weight_decay: 0.01,
+            warmup_frac: 0.1,
+        },
+    );
+
+    let scfg = StructuralConfig {
+        k_levels: 4,
+        ..Default::default()
+    };
+    let truth = test.labels.assignment();
+    println!("\nR-Index   Structural  ReBERT");
+    for r in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let netlist = if r == 0.0 {
+            test.netlist.clone()
+        } else {
+            corrupt(&test.netlist, r, 17).0
+        };
+        let s = ari(&truth, &recover_words(&netlist, &scfg).assignment);
+        let b = ari(&truth, &model.recover_words(&netlist).assignment);
+        println!("{r:>6.1}    {s:>9.3}  {b:>6.3}");
+        println!("          S {}", bar(s));
+        println!("          R {}", bar(b));
+    }
+    println!("\nThe paper's finding: the structural method collapses at mid R-Index");
+    println!("(patterns half-corrupted) while ReBERT degrades gracefully.");
+}

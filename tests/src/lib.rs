@@ -1,0 +1,97 @@
+//! Shared helpers for the cross-crate integration tests: random netlist
+//! construction used by the property-based suites.
+
+use rebert_netlist::{GateType, Netlist};
+
+/// A compact, deterministic recipe for building a random-but-valid
+/// netlist: used as the `proptest` value type (shrinkable), expanded into
+/// a real [`Netlist`] by [`build_netlist`].
+#[derive(Debug, Clone)]
+pub struct NetlistRecipe {
+    /// Number of primary inputs (≥ 1).
+    pub n_inputs: usize,
+    /// One entry per gate: `(gate type selector, input selectors)`.
+    /// Selectors index into the set of already-created nets, modulo its
+    /// size, so any recipe is structurally valid and acyclic.
+    pub gates: Vec<(u8, Vec<u8>)>,
+    /// Indices (modulo net count) of nets to register through flip-flops.
+    pub ff_sources: Vec<u8>,
+}
+
+/// The gate types a recipe selector can choose from.
+pub const RECIPE_GATES: [GateType; 8] = [
+    GateType::And,
+    GateType::Or,
+    GateType::Nand,
+    GateType::Nor,
+    GateType::Xor,
+    GateType::Xnor,
+    GateType::Not,
+    GateType::Buf,
+];
+
+/// Expands a recipe into a valid netlist (always validates).
+pub fn build_netlist(recipe: &NetlistRecipe) -> Netlist {
+    let mut nl = Netlist::new("random");
+    let mut nets: Vec<_> = (0..recipe.n_inputs.max(1))
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
+    for (gi, (gsel, insels)) in recipe.gates.iter().enumerate() {
+        let gtype = RECIPE_GATES[*gsel as usize % RECIPE_GATES.len()];
+        let arity = match gtype {
+            GateType::Not | GateType::Buf => 1,
+            _ => insels.len().clamp(2, 3),
+        };
+        let inputs: Vec<_> = (0..arity)
+            .map(|k| {
+                let sel = insels.get(k).copied().unwrap_or(k as u8);
+                nets[sel as usize % nets.len()]
+            })
+            .collect();
+        let out = nl
+            .add_gate_new_net(gtype, inputs, format!("g{gi}"))
+            .expect("recipe gates read existing nets and drive fresh ones");
+        nets.push(out);
+    }
+    for (fi, sel) in recipe.ff_sources.iter().enumerate() {
+        let d = nets[*sel as usize % nets.len()];
+        let q = nl.add_net(format!("q{fi}"));
+        nl.add_dff(d, q).expect("fresh q net");
+    }
+    // Observe the last net so nothing is trivially dead.
+    if let Some(&last) = nets.last() {
+        nl.add_output(last);
+    }
+    nl
+}
+
+/// Exhaustively compares two netlists on all shared (non-internal) nets
+/// over every primary-input pattern and a zero FF state. Panics on the
+/// first mismatch; caller guarantees ≤ `max_inputs` PIs.
+pub fn assert_functionally_equal(a: &Netlist, b: &Netlist, max_inputs: usize) {
+    use rebert_netlist::Simulator;
+    assert_eq!(a.primary_inputs().len(), b.primary_inputs().len());
+    let n = a.primary_inputs().len();
+    assert!(n <= max_inputs, "too many inputs for exhaustive check");
+    let sim_a = Simulator::new(a).expect("acyclic");
+    let sim_b = Simulator::new(b).expect("acyclic");
+    let sa = vec![false; a.dff_count()];
+    let sb = vec![false; b.dff_count()];
+    for row in 0..(1u32 << n) {
+        let inputs: Vec<bool> = (0..n).map(|j| (row >> j) & 1 == 1).collect();
+        let va = sim_a.eval_combinational(&inputs, &sa);
+        let vb = sim_b.eval_combinational(&inputs, &sb);
+        for (id_a, name) in a.iter_nets() {
+            if name.starts_with("__") {
+                continue;
+            }
+            if let Some(id_b) = b.find_net(name) {
+                assert_eq!(
+                    va[id_a.index()],
+                    vb[id_b.index()],
+                    "net `{name}` differs on pattern {row:b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the corruption engine and binarization over
+//! randomly generated netlists: both transformations must preserve the
+//! circuit function exactly, on every input pattern.
+
+use proptest::prelude::*;
+use rebert_circuits::corrupt;
+use rebert_integration_tests::{build_netlist, NetlistRecipe};
+use rebert_netlist::binarize;
+
+fn recipe_strategy() -> impl Strategy<Value = NetlistRecipe> {
+    (
+        1usize..=6,
+        prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 1..=3)),
+            1..=20,
+        ),
+        prop::collection::vec(any::<u8>(), 1..=6),
+    )
+        .prop_map(|(n_inputs, gates, ff_sources)| NetlistRecipe {
+            n_inputs,
+            gates,
+            ff_sources,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_recipes_build_valid_netlists(recipe in recipe_strategy()) {
+        let nl = build_netlist(&recipe);
+        prop_assert!(nl.validate().is_ok());
+        prop_assert_eq!(nl.dff_count(), recipe.ff_sources.len());
+    }
+
+    #[test]
+    fn corruption_preserves_function(
+        recipe in recipe_strategy(),
+        r in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let nl = build_netlist(&recipe);
+        let (bad, stats) = corrupt(&nl, r, seed);
+        prop_assert!(bad.validate().is_ok());
+        prop_assert_eq!(stats.visited, nl.gate_count());
+        rebert_integration_tests::assert_functionally_equal(&nl, &bad, 6);
+    }
+
+    #[test]
+    fn binarize_preserves_function(recipe in recipe_strategy()) {
+        let nl = build_netlist(&recipe);
+        let (bin, _) = binarize(&nl);
+        prop_assert!(bin.validate().is_ok());
+        prop_assert!(bin.gates().iter().all(|g| g.inputs.len() <= 2));
+        rebert_integration_tests::assert_functionally_equal(&nl, &bin, 6);
+    }
+
+    #[test]
+    fn corrupt_then_binarize_preserves_function(
+        recipe in recipe_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // The exact composition the evaluation pipeline applies.
+        let nl = build_netlist(&recipe);
+        let (bad, _) = corrupt(&nl, 0.7, seed);
+        let (bin, _) = binarize(&bad);
+        rebert_integration_tests::assert_functionally_equal(&nl, &bin, 6);
+    }
+
+    #[test]
+    fn corruption_never_touches_bits(
+        recipe in recipe_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let nl = build_netlist(&recipe);
+        let (bad, _) = corrupt(&nl, 1.0, seed);
+        let names: Vec<&str> = nl.bits().iter().map(|&b| nl.net_name(b)).collect();
+        let names_bad: Vec<&str> = bad.bits().iter().map(|&b| bad.net_name(b)).collect();
+        prop_assert_eq!(names, names_bad);
+    }
+
+    #[test]
+    fn r_zero_changes_nothing(recipe in recipe_strategy(), seed in any::<u64>()) {
+        let nl = build_netlist(&recipe);
+        let (same, stats) = corrupt(&nl, 0.0, seed);
+        prop_assert_eq!(stats.replaced, 0);
+        prop_assert_eq!(same.gate_count(), nl.gate_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimize_preserves_function(recipe in recipe_strategy()) {
+        let nl = build_netlist(&recipe);
+        let (opt, _) = rebert_netlist::optimize(&nl);
+        prop_assert!(opt.validate().is_ok());
+        // Compare on primary outputs (optimization may remove internal nets).
+        let n = nl.primary_inputs().len();
+        let sim_a = rebert_netlist::Simulator::new(&nl).unwrap();
+        let sim_b = rebert_netlist::Simulator::new(&opt).unwrap();
+        let za = vec![false; nl.dff_count()];
+        let zb = vec![false; opt.dff_count()];
+        for row in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|j| (row >> j) & 1 == 1).collect();
+            let va = sim_a.eval_combinational(&inputs, &za);
+            let vb = sim_b.eval_combinational(&inputs, &zb);
+            for (k, (&pa, &pb)) in nl
+                .primary_outputs()
+                .iter()
+                .zip(opt.primary_outputs())
+                .enumerate()
+            {
+                prop_assert_eq!(va[pa.index()], vb[pb.index()], "PO {} row {}", k, row);
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_never_grows_the_netlist(recipe in recipe_strategy()) {
+        let nl = build_netlist(&recipe);
+        let (opt, _) = rebert_netlist::optimize(&nl);
+        prop_assert!(opt.gate_count() <= nl.gate_count());
+    }
+
+    #[test]
+    fn corrupt_then_optimize_round_trip_equivalent(
+        recipe in recipe_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Corruption inflates, optimization deflates; function is fixed.
+        let nl = build_netlist(&recipe);
+        let (bad, _) = corrupt(&nl, 1.0, seed);
+        let (opt, _) = rebert_netlist::optimize(&bad);
+        let n = nl.primary_inputs().len();
+        let sim_a = rebert_netlist::Simulator::new(&nl).unwrap();
+        let sim_b = rebert_netlist::Simulator::new(&opt).unwrap();
+        let za = vec![false; nl.dff_count()];
+        let zb = vec![false; opt.dff_count()];
+        for row in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|j| (row >> j) & 1 == 1).collect();
+            let va = sim_a.eval_combinational(&inputs, &za);
+            let vb = sim_b.eval_combinational(&inputs, &zb);
+            for (&pa, &pb) in nl.primary_outputs().iter().zip(opt.primary_outputs()) {
+                prop_assert_eq!(va[pa.index()], vb[pb.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the metric and grouping layer: ARI axioms,
+//! score-matrix symmetry, and grouping invariances.
+
+use proptest::prelude::*;
+use rebert::{ari, group_bits, group_bits_adaptive, jaccard, pair_scores, ScoreMatrix, Token};
+use rebert_netlist::{GateType, ALL_GATE_TYPES};
+
+fn assignment_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..k, n)
+}
+
+fn token_seq_strategy() -> impl Strategy<Value = Vec<Token>> {
+    prop::collection::vec(0usize..=ALL_GATE_TYPES.len(), 0..20).prop_map(|ids| {
+        ids.into_iter()
+            .map(|i| {
+                if i == ALL_GATE_TYPES.len() {
+                    Token::X
+                } else {
+                    Token::Gate(ALL_GATE_TYPES[i])
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ari_identity_axiom(assign in assignment_strategy(12, 4)) {
+        prop_assert_eq!(ari(&assign, &assign), 1.0);
+    }
+
+    #[test]
+    fn ari_symmetry(a in assignment_strategy(10, 3), b in assignment_strategy(10, 3)) {
+        let lhs = ari(&a, &b);
+        let rhs = ari(&b, &a);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn ari_relabeling_invariance(a in assignment_strategy(10, 3), b in assignment_strategy(10, 3)) {
+        // Renaming cluster ids must not change the score.
+        let relabeled: Vec<usize> = b.iter().map(|&x| 100 - x * 7).collect();
+        let lhs = ari(&a, &b);
+        let rhs = ari(&a, &relabeled);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ari_bounded(a in assignment_strategy(9, 4), b in assignment_strategy(9, 4)) {
+        let v = ari(&a, &b);
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&v), "ari = {}", v);
+    }
+
+    #[test]
+    fn pair_scores_bounded(a in assignment_strategy(8, 3), b in assignment_strategy(8, 3)) {
+        let s = pair_scores(&a, &b);
+        for v in [s.precision, s.recall, s.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn jaccard_axioms(a in token_seq_strategy(), b in token_seq_strategy()) {
+        let ab = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((jaccard(&b, &a) - ab).abs() < 1e-12, "symmetry");
+        prop_assert_eq!(jaccard(&a, &a), 1.0, "identity");
+    }
+
+    #[test]
+    fn score_matrix_symmetry(
+        entries in prop::collection::vec((0usize..8, 0usize..8, 0.0f32..1.0), 0..24)
+    ) {
+        let mut m = ScoreMatrix::new(8);
+        for (i, j, s) in entries {
+            if i != j {
+                m.set(i, j, s);
+            }
+        }
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    prop_assert_eq!(m.get(i, j), m.get(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_produces_dense_partition(
+        entries in prop::collection::vec((0usize..10, 0usize..10, 0.0f32..1.0), 0..40),
+        threshold in 0.0f32..1.0,
+    ) {
+        let mut m = ScoreMatrix::new(10);
+        for (i, j, s) in entries {
+            if i != j {
+                m.set(i, j, s);
+            }
+        }
+        let assign = group_bits(&m, threshold);
+        prop_assert_eq!(assign.len(), 10);
+        // Dense ids 0..k.
+        let max = assign.iter().copied().max().unwrap_or(0);
+        for w in 0..=max {
+            prop_assert!(assign.contains(&w), "missing word id {}", w);
+        }
+        // Monotonicity: raising the threshold never merges more.
+        let coarser = group_bits(&m, threshold * 0.5);
+        let finer_words = assign.iter().collect::<std::collections::HashSet<_>>().len();
+        let coarser_words = coarser.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assert!(coarser_words <= finer_words);
+    }
+
+    #[test]
+    fn adaptive_grouping_never_uses_negative_threshold(
+        entries in prop::collection::vec((0usize..6, 0usize..6, 0.0f32..1.0), 0..10)
+    ) {
+        let mut m = ScoreMatrix::new(6);
+        for (i, j, s) in entries {
+            if i != j {
+                m.set(i, j, s);
+            }
+        }
+        // Must not panic, and filtered (−1) pairs must never join.
+        let assign = group_bits_adaptive(&m);
+        prop_assert_eq!(assign.len(), 6);
+    }
+}
+
+#[test]
+fn jaccard_gate_type_sanity() {
+    // Deterministic anchor next to the property tests.
+    let a = vec![Token::Gate(GateType::And); 3];
+    let b = vec![Token::Gate(GateType::Or); 3];
+    assert_eq!(jaccard(&a, &b), 0.0);
+}

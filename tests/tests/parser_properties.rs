@@ -1,0 +1,69 @@
+//! Property-based round-trip tests of the `.bench` text format, over
+//! both random recipes and the benchmark generator's output.
+
+use proptest::prelude::*;
+use rebert_circuits::{generate, Profile};
+use rebert_integration_tests::{build_netlist, NetlistRecipe};
+use rebert_netlist::{parse_bench, write_bench};
+
+fn recipe_strategy() -> impl Strategy<Value = NetlistRecipe> {
+    (
+        1usize..=5,
+        prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 1..=3)),
+            1..=15,
+        ),
+        prop::collection::vec(any::<u8>(), 0..=4),
+    )
+        .prop_map(|(n_inputs, gates, ff_sources)| NetlistRecipe {
+            n_inputs,
+            gates,
+            ff_sources,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn write_parse_round_trip_preserves_structure(recipe in recipe_strategy()) {
+        let nl = build_netlist(&recipe);
+        let text = write_bench(&nl);
+        let back = parse_bench(nl.name(), &text).expect("round trip parses");
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(back.gate_count(), nl.gate_count());
+        prop_assert_eq!(back.dff_count(), nl.dff_count());
+        prop_assert_eq!(back.primary_inputs().len(), nl.primary_inputs().len());
+        prop_assert_eq!(back.primary_outputs().len(), nl.primary_outputs().len());
+        // Same gate types per output net name.
+        for g in nl.gates() {
+            let name = nl.net_name(g.output);
+            let id = back.find_net(name).expect("net survives");
+            match back.driver(id) {
+                rebert_netlist::Driver::Gate(gid) => {
+                    prop_assert_eq!(back.gate(gid).gtype, g.gtype);
+                }
+                other => prop_assert!(false, "net `{}` driver {:?}", name, other),
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_function(recipe in recipe_strategy()) {
+        let nl = build_netlist(&recipe);
+        let text = write_bench(&nl);
+        let back = parse_bench(nl.name(), &text).expect("round trip parses");
+        rebert_integration_tests::assert_functionally_equal(&nl, &back, 5);
+    }
+
+    #[test]
+    fn generated_benchmarks_round_trip(seed in 0u64..64, ffs in 8usize..24) {
+        let words = (ffs / 4).max(2);
+        let c = generate(&Profile::new("prop", 60, ffs, words), seed);
+        let text = write_bench(&c.netlist);
+        let back = parse_bench("prop", &text).expect("generator output parses");
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(back.dff_count(), c.netlist.dff_count());
+        prop_assert_eq!(back.gate_count(), c.netlist.gate_count());
+    }
+}
