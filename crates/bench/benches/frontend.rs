@@ -30,12 +30,7 @@ fn bench_frontend(c: &mut Criterion) {
         b.iter(|| trees.iter().map(tokenize_bit).collect::<Vec<_>>())
     });
     group.bench_function("tree_codes_all", |b| {
-        b.iter(|| {
-            trees
-                .iter()
-                .map(|t| tree_codes(t, 32))
-                .collect::<Vec<_>>()
-        })
+        b.iter(|| trees.iter().map(|t| tree_codes(t, 32)).collect::<Vec<_>>())
     });
     group.bench_function("bit_sequences_k4", |b| b.iter(|| bit_sequences(nl, 4, 24)));
     let seqs = bit_sequences(nl, 4, 24);

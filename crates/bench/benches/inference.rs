@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the tape-free batched inference engine:
+//! `recover_words` end to end on an ITC'99-scale circuit, taped vs
+//! tape-free single-pair prediction, and the blocked matmul kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebert::{ReBertConfig, ReBertModel, ScoreScratch};
+use rebert_circuits::{generate, Profile};
+use rebert_tensor::Tensor;
+
+/// An ITC'99-like profile (b03-class size) per the acceptance criterion.
+fn itc99_like() -> Profile {
+    Profile::new("itc99_like", 400, 32, 8)
+}
+
+fn bench_recover_end_to_end(c: &mut Criterion) {
+    let circuit = generate(&itc99_like(), 0x1399);
+    let mut cfg = ReBertConfig::small();
+    cfg.k_levels = 4;
+    let model = ReBertModel::new(cfg, 0);
+
+    let mut group = c.benchmark_group("recover_words_itc99");
+    group.sample_size(10);
+    group.bench_function("engine_1_thread", |b| {
+        b.iter(|| model.recover_words_with(&circuit.netlist, 1))
+    });
+    group.bench_function("engine_all_cores", |b| {
+        b.iter(|| model.recover_words_with(&circuit.netlist, 0))
+    });
+    group.finish();
+}
+
+fn bench_predict_taped_vs_infer(c: &mut Criterion) {
+    let circuit = generate(&itc99_like(), 0x1399);
+    let mut cfg = ReBertConfig::small();
+    cfg.k_levels = 4;
+    let model = ReBertModel::new(cfg.clone(), 0);
+    // One representative surviving pair from the real pipeline inputs.
+    let seqs = rebert::bit_sequences(&circuit.netlist, cfg.k_levels, cfg.code_width);
+    let (ta, ca) = &seqs[0];
+    let (tb, cb) = &seqs[1];
+    let pair = rebert::PairSequence::build(ta, ca, tb, cb, cfg.code_width, cfg.max_seq);
+
+    let mut group = c.benchmark_group("predict_single_pair");
+    group.bench_function("taped", |b| b.iter(|| model.predict(&pair)));
+    group.bench_function("tape_free_cold", |b| b.iter(|| model.predict_infer(&pair)));
+    let mut scratch = ScoreScratch::new();
+    group.bench_function("tape_free_warm_scratch", |b| {
+        b.iter(|| model.predict_with_scratch(&pair, &mut scratch))
+    });
+    group.finish();
+}
+
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for (m, k, n) in [(64usize, 64usize, 64usize), (128, 64, 256)] {
+        let a = Tensor::full(m, k, 0.25);
+        let bt = Tensor::full(k, n, 0.5);
+        let nt = Tensor::full(n, k, 0.5);
+        group.bench_function(format!("matmul_{m}x{k}x{n}"), |b| b.iter(|| a.matmul(&bt)));
+        group.bench_function(format!("matmul_nt_{m}x{k}x{n}"), |b| {
+            b.iter(|| a.matmul_nt(&nt))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recover_end_to_end,
+    bench_predict_taped_vs_infer,
+    bench_matmul_kernels
+);
+criterion_main!(benches);

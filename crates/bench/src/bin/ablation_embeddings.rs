@@ -72,7 +72,10 @@ fn main() {
         samples.len(),
         test.profile.name
     );
-    println!("{:<28} {:>10} {:>10} {:>10}", "variant", "train acc", "ARI r=0", "ARI r=0.4");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "variant", "train acc", "ARI r=0", "ARI r=0.4"
+    );
     let truth = test.labels.assignment();
     let (corrupted, _) = corrupt(&test.netlist, 0.4, EXPERIMENT_SEED);
     for (name, flags) in variants {

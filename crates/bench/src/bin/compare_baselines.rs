@@ -14,9 +14,7 @@
 use rebert::{ari, train, training_samples, ReBertModel};
 use rebert_bench::{benchmark_suite, Scale, EXPERIMENT_SEED, R_INDEXES};
 use rebert_circuits::corrupt;
-use rebert_structural::{
-    recover_words, recover_words_by_control, ControlConfig, StructuralConfig,
-};
+use rebert_structural::{recover_words, recover_words_by_control, ControlConfig, StructuralConfig};
 
 fn main() {
     let scale = Scale::from_args();
@@ -62,7 +60,10 @@ fn main() {
             corrupt(&test.netlist, r, EXPERIMENT_SEED ^ ri as u64).0
         };
         let s = ari(&truth, &recover_words(&netlist, &scfg).assignment);
-        let c = ari(&truth, &recover_words_by_control(&netlist, &ccfg).assignment);
+        let c = ari(
+            &truth,
+            &recover_words_by_control(&netlist, &ccfg).assignment,
+        );
         let b = ari(&truth, &model.recover_words(&netlist).assignment);
         println!("{r:>8.1} {s:>12.3} {c:>14.3} {b:>10.3}");
     }

@@ -48,7 +48,10 @@ fn main() {
 
     // ---- paper-layout printing ------------------------------------------
     let header: String = names.iter().map(|n| format!("{n:>7}")).collect();
-    println!("\n{:<8} {:<11}{header} {:>9}", "R-Index", "Method", "Average");
+    println!(
+        "\n{:<8} {:<11}{header} {:>9}",
+        "R-Index", "Method", "Average"
+    );
     let mut per_bench_s = vec![0.0f64; names.len()];
     let mut per_bench_r = vec![0.0f64; names.len()];
     for (ri, &r) in R_INDEXES.iter().enumerate() {
@@ -62,7 +65,11 @@ fn main() {
         } else {
             0.0
         };
-        println!("{:<8} {:<11}{s_cells} {s_avg:>9.3}", format!("{r:.1}"), "Structural");
+        println!(
+            "{:<8} {:<11}{s_cells} {s_avg:>9.3}",
+            format!("{r:.1}"),
+            "Structural"
+        );
         println!(
             "{:<8} {:<11}{r_cells} {r_avg:>9.3} ({improv:+.1}%)",
             "", "ReBERT"
@@ -73,8 +80,14 @@ fn main() {
         }
     }
     let nr = R_INDEXES.len() as f64;
-    let s_cells: String = per_bench_s.iter().map(|v| format!("{:>7.3}", v / nr)).collect();
-    let r_cells: String = per_bench_r.iter().map(|v| format!("{:>7.3}", v / nr)).collect();
+    let s_cells: String = per_bench_s
+        .iter()
+        .map(|v| format!("{:>7.3}", v / nr))
+        .collect();
+    let r_cells: String = per_bench_r
+        .iter()
+        .map(|v| format!("{:>7.3}", v / nr))
+        .collect();
     let imp_cells: String = per_bench_s
         .iter()
         .zip(&per_bench_r)

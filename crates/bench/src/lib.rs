@@ -17,8 +17,7 @@
 use std::time::{Duration, Instant};
 
 use rebert::{
-    ari, loo_split, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel,
-    TrainConfig,
+    ari, loo_split, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig,
 };
 use rebert_circuits::{corrupt, itc99_profiles, itc99_profiles_scaled, GeneratedCircuit};
 use rebert_circuits::{generate, Profile};

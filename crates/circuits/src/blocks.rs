@@ -7,7 +7,7 @@
 //! become the ground-truth word labels.
 
 use rand::Rng;
-use rebert_netlist::{GateType, Netlist, NetId};
+use rebert_netlist::{GateType, NetId, Netlist};
 
 /// Low-level helper: 2:1 mux as a single `MUX` gate.
 pub fn mux2(nl: &mut Netlist, sel: NetId, a: NetId, b: NetId, name: &str) -> NetId {
@@ -345,20 +345,12 @@ pub fn build_block<R: Rng>(
             let mut low_zero: Vec<Option<NetId>> = vec![None; width + 1];
             for i in 1..=width {
                 let nq = nl
-                    .add_gate_new_net(
-                        GateType::Not,
-                        vec![q[i - 1]],
-                        format!("{prefix}_nz{i}"),
-                    )
+                    .add_gate_new_net(GateType::Not, vec![q[i - 1]], format!("{prefix}_nz{i}"))
                     .expect("fresh net");
                 low_zero[i] = Some(match low_zero[i - 1] {
                     None => nq,
                     Some(prev) => nl
-                        .add_gate_new_net(
-                            GateType::And,
-                            vec![prev, nq],
-                            format!("{prefix}_lz{i}"),
-                        )
+                        .add_gate_new_net(GateType::And, vec![prev, nq], format!("{prefix}_lz{i}"))
                         .expect("fresh net"),
                 });
             }
@@ -405,22 +397,14 @@ pub fn build_block<R: Rng>(
                             format!("{prefix}_g{i}"),
                         )
                         .expect("fresh net");
-                    nl.add_gate_new_net(
-                        GateType::Xor,
-                        vec![q[i], gated],
-                        format!("{prefix}_d{i}"),
-                    )
-                    .expect("fresh net")
+                    nl.add_gate_new_net(GateType::Xor, vec![q[i], gated], format!("{prefix}_d{i}"))
+                        .expect("fresh net")
                 })
                 .collect()
         }
         BlockKind::JohnsonCounter => {
             let nq_last = nl
-                .add_gate_new_net(
-                    GateType::Not,
-                    vec![q[width - 1]],
-                    format!("{prefix}_fb"),
-                )
+                .add_gate_new_net(GateType::Not, vec![q[width - 1]], format!("{prefix}_fb"))
                 .expect("fresh net");
             (0..width)
                 .map(|i| {
@@ -483,11 +467,7 @@ pub fn build_block<R: Rng>(
                 let raw = pick(rng, &ctx.data_pool);
                 let data = decorate(nl, raw, &format!("{prefix}_dd{i}"));
                 let gated = nl
-                    .add_gate_new_net(
-                        GateType::And,
-                        vec![data, enable],
-                        format!("{prefix}_g{i}"),
-                    )
+                    .add_gate_new_net(GateType::And, vec![data, enable], format!("{prefix}_g{i}"))
                     .expect("fresh net");
                 nl.add_gate_new_net(GateType::Xor, vec![q[i], gated], format!("{prefix}_d{i}"))
                     .expect("fresh net")
@@ -561,7 +541,8 @@ mod tests {
         // inputs: en, load, din0, din1
         for expected in 1..=5u8 {
             sim.step(&[true, false, false, false]);
-            let got = sim.state()[0] as u8 | (sim.state()[1] as u8) << 1 | (sim.state()[2] as u8) << 2;
+            let got =
+                sim.state()[0] as u8 | (sim.state()[1] as u8) << 1 | (sim.state()[2] as u8) << 2;
             assert_eq!(got, expected % 8);
         }
         // Disabled: holds.
@@ -687,12 +668,7 @@ mod tests {
         let sim = Simulator::new(&nl).unwrap();
         for x in 0..4u8 {
             for y in 0..4u8 {
-                let inputs = vec![
-                    x & 1 == 1,
-                    x >> 1 & 1 == 1,
-                    y & 1 == 1,
-                    y >> 1 & 1 == 1,
-                ];
+                let inputs = vec![x & 1 == 1, x >> 1 & 1 == 1, y & 1 == 1, y >> 1 & 1 == 1];
                 let vals = sim.eval_combinational(&inputs, &[]);
                 assert_eq!(vals[eq.index()], x == y);
             }
@@ -741,7 +717,11 @@ mod new_block_tests {
         for _ in 0..8 {
             sim.step(&[true, false, false]);
             let cur = state_value(&sim);
-            assert_eq!((prev ^ cur).count_ones(), 1, "gray property {prev:03b}->{cur:03b}");
+            assert_eq!(
+                (prev ^ cur).count_ones(),
+                1,
+                "gray property {prev:03b}->{cur:03b}"
+            );
             seen.insert(cur);
             prev = cur;
         }
@@ -886,6 +866,10 @@ mod flavor_tests {
                 })
                 .collect()
         };
-        assert_ne!(shape(&ta), shape(&tb), "flavors must differentiate instances");
+        assert_ne!(
+            shape(&ta),
+            shape(&tb),
+            "flavors must differentiate instances"
+        );
     }
 }

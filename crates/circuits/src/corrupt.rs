@@ -9,7 +9,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
-use rebert_netlist::{Driver, Netlist, NetId};
+use rebert_netlist::{Driver, NetId, Netlist};
 
 use crate::equiv::{templates_for, TemplateRef};
 
@@ -227,7 +227,10 @@ OUTPUT(cout)
         let (c, _) = corrupt(&nl, 0.5, 100);
         // Different seed very likely differs in at least gate count or types.
         let same = a.gate_count() == c.gate_count()
-            && a.gates().iter().zip(c.gates()).all(|(x, y)| x.gtype == y.gtype);
+            && a.gates()
+                .iter()
+                .zip(c.gates())
+                .all(|(x, y)| x.gtype == y.gtype);
         assert!(!same, "different seeds should corrupt differently");
     }
 

@@ -140,17 +140,18 @@ fn step(gtype: GateType, args: Vec<TemplateRef>) -> TemplateStep {
 /// this function panics if an internal template is wrong (caught by tests).
 pub fn templates_for(gtype: GateType, arity: usize) -> Vec<Template> {
     let mut out: Vec<Template> = Vec::new();
-    let mut push = |target: GateType, arity: usize, label: &'static str, steps: Vec<TemplateStep>| {
-        let t = Template {
-            target,
-            arity,
-            steps,
-            label,
+    let mut push =
+        |target: GateType, arity: usize, label: &'static str, steps: Vec<TemplateStep>| {
+            let t = Template {
+                target,
+                arity,
+                steps,
+                label,
+            };
+            t.verify()
+                .unwrap_or_else(|e| panic!("internal template invalid: {e}"));
+            out.push(t);
         };
-        t.verify()
-            .unwrap_or_else(|e| panic!("internal template invalid: {e}"));
-        out.push(t);
-    };
 
     match (gtype, arity) {
         (GateType::Nand, 2) => {
@@ -504,8 +505,7 @@ mod tests {
                     continue;
                 }
                 for t in templates_for(g, arity) {
-                    let single_same =
-                        t.steps.len() == 1 && t.steps[0].gtype == g;
+                    let single_same = t.steps.len() == 1 && t.steps[0].gtype == g;
                     assert!(!single_same, "{} is an identity template", t.label);
                 }
             }

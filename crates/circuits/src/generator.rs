@@ -21,7 +21,7 @@
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
-use rebert_netlist::{GateType, Netlist, NetId};
+use rebert_netlist::{GateType, NetId, Netlist};
 use serde::{Deserialize, Serialize};
 
 use crate::blocks::{build_block, BlockCtx, ALL_BLOCK_KINDS};
@@ -292,8 +292,7 @@ mod tests {
         assert_eq!(a.netlist.gate_count(), b.netlist.gate_count());
         assert_eq!(a.labels, b.labels);
         let c = generate(&p, 4);
-        let differs = a.netlist.gate_count() != c.netlist.gate_count()
-            || a.labels != c.labels;
+        let differs = a.netlist.gate_count() != c.netlist.gate_count() || a.labels != c.labels;
         assert!(differs, "different seeds should differ");
     }
 

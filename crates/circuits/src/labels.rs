@@ -92,9 +92,7 @@ impl WordLabels {
 
     /// Whether two bits belong to the same word.
     pub fn same_word(&self, a: usize, b: usize) -> bool {
-        self.words
-            .iter()
-            .any(|w| w.contains(&a) && w.contains(&b))
+        self.words.iter().any(|w| w.contains(&a) && w.contains(&b))
     }
 
     /// Width of the largest word.
@@ -105,7 +103,12 @@ impl WordLabels {
 
 impl fmt::Display for WordLabels {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} words over {} bits", self.word_count(), self.bit_count())
+        write!(
+            f,
+            "{} words over {} bits",
+            self.word_count(),
+            self.bit_count()
+        )
     }
 }
 

@@ -30,8 +30,7 @@ mod labels;
 mod profiles;
 
 pub use blocks::{
-    build_block, eq_comparator, mux2, ripple_add, BlockCtx, BlockKind, BuiltBlock,
-    ALL_BLOCK_KINDS,
+    build_block, eq_comparator, mux2, ripple_add, BlockCtx, BlockKind, BuiltBlock, ALL_BLOCK_KINDS,
 };
 pub use corrupt::{corrupt, CorruptStats};
 pub use equiv::{templates_for, Template, TemplateRef, TemplateStep, VerifyTemplateError};

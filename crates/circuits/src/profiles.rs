@@ -101,7 +101,10 @@ mod tests {
         let ps = itc99_profiles();
         assert_eq!(ps.len(), 12);
         let ffs: Vec<usize> = ps.iter().map(|p| p.ffs).collect();
-        assert_eq!(ffs, vec![30, 66, 34, 49, 21, 31, 121, 53, 245, 449, 1415, 3320]);
+        assert_eq!(
+            ffs,
+            vec![30, 66, 34, 49, 21, 31, 121, 53, 245, 449, 1415, 3320]
+        );
     }
 
     #[test]

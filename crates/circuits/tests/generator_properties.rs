@@ -7,12 +7,10 @@ use rebert_circuits::{corrupt, generate, Profile};
 use rebert_netlist::Simulator;
 
 fn profile_strategy() -> impl Strategy<Value = Profile> {
-    (2usize..=8, 8usize..=48, 40usize..=400).prop_filter_map(
-        "words must fit in ffs",
-        |(words, ffs, gates)| {
+    (2usize..=8, 8usize..=48, 40usize..=400)
+        .prop_filter_map("words must fit in ffs", |(words, ffs, gates)| {
             (ffs >= words * 2).then(|| Profile::new("prop", gates, ffs, words))
-        },
-    )
+        })
 }
 
 proptest! {

@@ -126,10 +126,7 @@ mod tests {
         let a = parse(&["train", "--epochs", "4"]);
         assert_eq!(a.get_or("epochs", 8usize).unwrap(), 4);
         assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
-        assert!(matches!(
-            a.get_or::<usize>("epochs", 0).map(|_| ()),
-            Ok(())
-        ));
+        assert!(matches!(a.get_or::<usize>("epochs", 0).map(|_| ()), Ok(())));
     }
 
     #[test]
@@ -152,7 +149,10 @@ mod tests {
     #[test]
     fn missing_option_reported() {
         let a = parse(&["recover"]);
-        assert!(matches!(a.require("model"), Err(ArgsError::MissingOption("model"))));
+        assert!(matches!(
+            a.require("model"),
+            Err(ArgsError::MissingOption("model"))
+        ));
     }
 
     #[test]

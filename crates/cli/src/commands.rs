@@ -3,8 +3,8 @@
 use std::path::Path;
 
 use rebert::{
-    ari, load_model, save_model, train, training_samples, DatasetConfig, ReBertConfig,
-    ReBertModel, TrainConfig,
+    ari, load_model, save_model, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel,
+    TrainConfig,
 };
 use rebert_circuits::{corrupt, generate, profile, Profile};
 use rebert_netlist::{optimize, NetlistStats};
@@ -52,9 +52,11 @@ COMMANDS
             [--seed N] [--epochs N] [--cap N]
             Generate training benchmarks and fit a ReBERT model.
   recover   --model <model.json> --in <file>
-            [--labels <labels.json>] [--baseline]
-            Recover words; print ARI when labels are given; --baseline
-            also runs structural matching.
+            [--labels <labels.json>] [--baseline] [--threads N]
+            Recover words on the batched inference engine (--threads 0 =
+            all cores, the default); prints per-phase timings and pair
+            throughput; print ARI when labels are given; --baseline also
+            runs structural matching.
   help      Show this text.
 ";
 
@@ -182,16 +184,27 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
 fn cmd_recover(args: &Args) -> Result<String, CliError> {
     let model = load_model(Path::new(args.require("model")?))?;
     let input = read_netlist(Path::new(args.require("in")?))?;
-    let rec = model.recover_words(&input);
+    let threads = args.get_or("threads", 0usize)?;
+    let rec = model.recover_words_with(&input, threads);
+    let s = &rec.stats;
     let mut out = format!(
         "{}: {} bits -> {} words ({} pairs scored, {} filtered, {:?})\n",
         input.name(),
         rec.assignment.len(),
         rec.words().len(),
-        rec.stats.pairs_scored,
-        rec.stats.pairs_filtered,
-        rec.stats.elapsed
+        s.pairs_scored,
+        s.pairs_filtered,
+        s.elapsed
     );
+    out.push_str(&format!(
+        "  phases: tokenize {:?} | filter {:?} | score {:?} ({:.0} pairs/s, {} threads) | group {:?}\n",
+        s.tokenize_time,
+        s.filter_time,
+        s.score_time,
+        s.pairs_per_sec,
+        rebert::resolve_threads(threads),
+        s.group_time
+    ));
     for (wi, word) in rec.words().iter().enumerate() {
         let names: Vec<&str> = word
             .iter()
@@ -202,10 +215,14 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
     if let Some(labels_path) = args.get("labels") {
         let labels = read_labels(Path::new(labels_path))?;
         let truth = labels.assignment();
-        out.push_str(&format!("ReBERT ARI: {:.3}\n", ari(&truth, &rec.assignment)));
+        out.push_str(&format!(
+            "ReBERT ARI: {:.3}\n",
+            ari(&truth, &rec.assignment)
+        ));
         if args.flag("baseline") {
             let scfg = StructuralConfig {
                 k_levels: model.config().k_levels,
+                threads,
                 ..Default::default()
             };
             let srec = recover_words(&input, &scfg);

@@ -14,7 +14,7 @@
 //!   1- and 2-input nodes.
 
 use crate::gate::GateType;
-use crate::netlist::{Gate, Netlist, NetId};
+use crate::netlist::{Gate, NetId, Netlist};
 
 /// Statistics reported by [`binarize`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,9 +114,11 @@ fn emit_binary(
             let nsel = fresh(out, tmp);
             out.add_gate(GateType::Not, vec![sel], nsel).expect("fresh");
             let ta = fresh(out, tmp);
-            out.add_gate(GateType::And, vec![nsel, a], ta).expect("fresh");
+            out.add_gate(GateType::And, vec![nsel, a], ta)
+                .expect("fresh");
             let tb = fresh(out, tmp);
-            out.add_gate(GateType::And, vec![sel, b], tb).expect("fresh");
+            out.add_gate(GateType::And, vec![sel, b], tb)
+                .expect("fresh");
             out.add_gate(GateType::Or, vec![ta, tb], g.output)
                 .expect("output free");
             stats.muxes_expanded += 1;
@@ -134,7 +136,8 @@ fn emit_binary(
             let mut acc = g.inputs[0];
             for &next in &g.inputs[1..g.inputs.len() - 1] {
                 let t = fresh(out, tmp);
-                out.add_gate(reduce_type, vec![acc, next], t).expect("fresh");
+                out.add_gate(reduce_type, vec![acc, next], t)
+                    .expect("fresh");
                 stats.gates_added += 1;
                 acc = t;
             }
@@ -200,9 +203,7 @@ mod tests {
     #[test]
     fn wide_inverting_gates_preserved() {
         for op in ["NAND", "NOR", "XNOR", "XOR", "OR"] {
-            let src = format!(
-                "INPUT(a)\nINPUT(b)\nINPUT(c)\ny = {op}(a, b, c)\nOUTPUT(y)\n"
-            );
+            let src = format!("INPUT(a)\nINPUT(b)\nINPUT(c)\ny = {op}(a, b, c)\nOUTPUT(y)\n");
             let nl = parse_bench("w", &src).unwrap();
             let (bin, _) = binarize(&nl);
             assert!(bin.validate().is_ok(), "{op}");

@@ -7,7 +7,7 @@
 
 use std::collections::HashSet;
 
-use crate::netlist::{Driver, GateId, Netlist, NetId};
+use crate::netlist::{Driver, GateId, NetId, Netlist};
 
 /// The fan-in cone of a net: gates and boundary nets within `k` levels.
 #[derive(Debug, Clone, PartialEq, Eq)]

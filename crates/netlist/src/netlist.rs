@@ -521,7 +521,9 @@ impl Netlist {
                 }
             }
         }
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&g| indegree[g as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&g| indegree[g as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
@@ -545,7 +547,6 @@ impl Netlist {
         }
         Ok(order)
     }
-
 }
 
 impl Netlist {
@@ -702,7 +703,9 @@ mod tests {
         let mut nl = Netlist::new("k");
         let one = nl.add_const("vcc", true);
         let a = nl.add_input("a");
-        let o = nl.add_gate_new_net(GateType::And, vec![a, one], "o").unwrap();
+        let o = nl
+            .add_gate_new_net(GateType::And, vec![a, one], "o")
+            .unwrap();
         nl.add_output(o);
         assert!(nl.validate().is_ok());
         assert_eq!(nl.driver(one), Driver::ConstOne);

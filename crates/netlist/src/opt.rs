@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use crate::gate::GateType;
-use crate::netlist::{Driver, Netlist, NetId};
+use crate::netlist::{Driver, NetId, Netlist};
 
 /// Statistics reported by [`optimize`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,20 +89,16 @@ fn fold(nl: &Netlist, stats: &mut OptStats) -> Netlist {
         map.insert(ff.q, Resolved::Net(q));
     }
 
-    let materialize = |out: &mut Netlist,
-                       const_nets: &mut [Option<NetId>; 2],
-                       r: Resolved|
-     -> NetId {
-        match r {
-            Resolved::Net(n) => n,
-            Resolved::Const(v) => {
-                let slot = &mut const_nets[v as usize];
-                *slot.get_or_insert_with(|| {
-                    out.add_const(format!("__const_{}", v as u8), v)
-                })
+    let materialize =
+        |out: &mut Netlist, const_nets: &mut [Option<NetId>; 2], r: Resolved| -> NetId {
+            match r {
+                Resolved::Net(n) => n,
+                Resolved::Const(v) => {
+                    let slot = &mut const_nets[v as usize];
+                    *slot.get_or_insert_with(|| out.add_const(format!("__const_{}", v as u8), v))
+                }
             }
-        }
-    };
+        };
 
     let order = nl.topo_order().expect("input netlist validated by caller");
     for gid in order {
@@ -219,9 +215,7 @@ fn simplify(gtype: GateType, ins: &[Resolved]) -> Simplified {
                     }
                     match (a, b) {
                         (Const(false), Const(true)) => Simplified::Alias(sel),
-                        (Const(true), Const(false)) => {
-                            Simplified::Gate(GateType::Not, vec![sel])
-                        }
+                        (Const(true), Const(false)) => Simplified::Gate(GateType::Not, vec![sel]),
                         _ => Simplified::Gate(GateType::Mux, vec![sel, a, b]),
                     }
                 }

@@ -195,10 +195,7 @@ pub fn parse_bench(name: &str, src: &str) -> Result<Netlist, ParseError> {
                     line,
                     name: other.to_owned(),
                 })?;
-                let inputs: Vec<_> = args
-                    .iter()
-                    .map(|a| intern(&mut nl, &mut ids, a))
-                    .collect();
+                let inputs: Vec<_> = args.iter().map(|a| intern(&mut nl, &mut ids, a)).collect();
                 nl.add_gate(gtype, inputs, out)
                     .map_err(|source| ParseError::Netlist { line, source })?;
             }

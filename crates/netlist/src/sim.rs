@@ -5,7 +5,7 @@
 //! sequential state. It is the workhorse behind the equivalence checks in
 //! the corruption engine (`rebert-circuits`).
 
-use crate::netlist::{Driver, GateId, Netlist, NetId, NetlistError};
+use crate::netlist::{Driver, GateId, NetId, Netlist, NetlistError};
 
 /// A combinational + sequential evaluator over a fixed netlist.
 ///

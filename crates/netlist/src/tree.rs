@@ -13,7 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::gate::GateType;
-use crate::netlist::{Driver, Netlist, NetId};
+use crate::netlist::{Driver, NetId, Netlist};
 
 /// A node of a [`BitTree`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -297,10 +297,11 @@ pub fn parse_verilog(name: &str, src: &str) -> Result<Netlist, VerilogError> {
                     text: format!("dff takes one data input, got {}", ins.len()),
                 });
             }
-            nl.add_dff(ins[0], out).map_err(|source| VerilogError::Netlist {
-                line: *lineno,
-                source,
-            })?;
+            nl.add_dff(ins[0], out)
+                .map_err(|source| VerilogError::Netlist {
+                    line: *lineno,
+                    source,
+                })?;
         } else {
             let gtype: GateType = kind.parse().map_err(|_| VerilogError::Unsupported {
                 line: *lineno,
@@ -337,7 +338,11 @@ pub fn write_verilog(nl: &Netlist) -> String {
         .chain(nl.primary_outputs())
         .map(|&n| nl.net_name(n))
         .collect();
-    out.push_str(&format!("module {} ({});\n", sanitize(nl.name()), ports.join(", ")));
+    out.push_str(&format!(
+        "module {} ({});\n",
+        sanitize(nl.name()),
+        ports.join(", ")
+    ));
     for &pi in nl.primary_inputs() {
         out.push_str(&format!("  input {};\n", nl.net_name(pi)));
     }
@@ -367,7 +372,13 @@ pub fn write_verilog(nl: &Netlist) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "top".to_owned()

@@ -15,12 +15,12 @@ use crate::param::{Forward, ParamStore};
 /// decomposition.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiHeadAttention {
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    n_heads: usize,
-    d_model: usize,
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) n_heads: usize,
+    pub(crate) d_model: usize,
 }
 
 impl MultiHeadAttention {

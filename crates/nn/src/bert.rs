@@ -60,21 +60,16 @@ impl BertConfig {
 /// + Add&Norm (post-norm, as in the original BERT).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EncoderLayer {
-    attn: MultiHeadAttention,
-    ln1: LayerNorm,
-    ff1: Linear,
-    ff2: Linear,
-    ln2: LayerNorm,
+    pub(crate) attn: MultiHeadAttention,
+    pub(crate) ln1: LayerNorm,
+    pub(crate) ff1: Linear,
+    pub(crate) ff2: Linear,
+    pub(crate) ln2: LayerNorm,
 }
 
 impl EncoderLayer {
     /// Creates one encoder layer's parameters under `name.*`.
-    pub fn new<R: Rng>(
-        store: &mut ParamStore,
-        rng: &mut R,
-        name: &str,
-        cfg: &BertConfig,
-    ) -> Self {
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, name: &str, cfg: &BertConfig) -> Self {
         EncoderLayer {
             attn: MultiHeadAttention::new(
                 store,
@@ -108,18 +103,13 @@ impl EncoderLayer {
 /// The full encoder stack.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BertEncoder {
-    layers: Vec<EncoderLayer>,
+    pub(crate) layers: Vec<EncoderLayer>,
     config: BertConfig,
 }
 
 impl BertEncoder {
     /// Creates `cfg.n_layers` encoder layers under `name.layer<i>.*`.
-    pub fn new<R: Rng>(
-        store: &mut ParamStore,
-        rng: &mut R,
-        name: &str,
-        cfg: &BertConfig,
-    ) -> Self {
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, name: &str, cfg: &BertConfig) -> Self {
         let layers = (0..cfg.n_layers)
             .map(|i| EncoderLayer::new(store, rng, &format!("{name}.layer{i}"), cfg))
             .collect();
@@ -147,7 +137,7 @@ impl BertEncoder {
 /// state, producing a fixed-size sequence representation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Pooler {
-    dense: Linear,
+    pub(crate) dense: Linear,
 }
 
 impl Pooler {
@@ -171,19 +161,14 @@ impl Pooler {
 /// sigmoid.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BertClassifier {
-    encoder: BertEncoder,
-    pooler: Pooler,
-    head: Linear,
+    pub(crate) encoder: BertEncoder,
+    pub(crate) pooler: Pooler,
+    pub(crate) head: Linear,
 }
 
 impl BertClassifier {
     /// Creates all parameters under `name.*`.
-    pub fn new<R: Rng>(
-        store: &mut ParamStore,
-        rng: &mut R,
-        name: &str,
-        cfg: &BertConfig,
-    ) -> Self {
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, name: &str, cfg: &BertConfig) -> Self {
         BertClassifier {
             encoder: BertEncoder::new(store, rng, &format!("{name}.encoder"), cfg),
             pooler: Pooler::new(store, rng, &format!("{name}.pooler"), cfg.d_model),
@@ -258,9 +243,7 @@ mod tests {
                 let mut fwd = Forward::new(&store);
                 let xv = fwd.input(x.clone());
                 let z = model.logit(&mut fwd, xv);
-                let loss = fwd
-                    .tape
-                    .bce_with_logits(z, Tensor::from_rows(&[&[*t]]));
+                let loss = fwd.tape.bce_with_logits(z, Tensor::from_rows(&[&[*t]]));
                 total += fwd.tape.value(loss).data()[0];
                 let grads = fwd.tape.backward(loss);
                 for (pid, g) in fwd.param_grads(&grads) {

@@ -9,8 +9,8 @@ use crate::param::{Forward, ParamId, ParamStore};
 /// A fully connected layer `y = x W + b`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Linear {
-    w: ParamId,
-    b: ParamId,
+    pub(crate) w: ParamId,
+    pub(crate) b: ParamId,
     in_dim: usize,
     out_dim: usize,
 }
@@ -57,9 +57,9 @@ impl Linear {
 /// Row-wise layer normalization with learnable scale and shift.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LayerNorm {
-    gamma: ParamId,
-    beta: ParamId,
-    eps: f32,
+    pub(crate) gamma: ParamId,
+    pub(crate) beta: ParamId,
+    pub(crate) eps: f32,
 }
 
 impl LayerNorm {
@@ -81,7 +81,7 @@ impl LayerNorm {
 /// A learned embedding table mapping integer ids to `dim`-vectors.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Embedding {
-    table: ParamId,
+    pub(crate) table: ParamId,
     vocab: usize,
     dim: usize,
 }

@@ -31,6 +31,7 @@
 mod adam;
 mod attention;
 mod bert;
+mod infer;
 mod layers;
 mod param;
 mod serialize;
@@ -38,6 +39,7 @@ mod serialize;
 pub use adam::Adam;
 pub use attention::MultiHeadAttention;
 pub use bert::{BertClassifier, BertConfig, BertEncoder, EncoderLayer, Pooler};
+pub use infer::InferScratch;
 pub use layers::{Embedding, LayerNorm, Linear};
 pub use param::{Forward, GradAccumulator, ParamId, ParamStore};
 pub use serialize::{load_params, save_params, CheckpointError};

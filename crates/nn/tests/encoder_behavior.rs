@@ -4,8 +4,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use rebert_nn::{
-    load_params, save_params, Adam, BertClassifier, BertConfig, BertEncoder, Forward,
-    ParamStore,
+    load_params, save_params, Adam, BertClassifier, BertConfig, BertEncoder, Forward, ParamStore,
 };
 use rebert_tensor::{normal, Tensor};
 

@@ -137,11 +137,7 @@ pub fn training_samples(
             let variant = if r == 0.0 {
                 c.netlist.clone()
             } else {
-                let (v, _) = corrupt(
-                    &c.netlist,
-                    r,
-                    seed ^ ((ci as u64) << 32) ^ (ri as u64),
-                );
+                let (v, _) = corrupt(&c.netlist, r, seed ^ ((ci as u64) << 32) ^ (ri as u64));
                 v
             };
             for s in all_pairs(&variant, &c.labels, cfg) {

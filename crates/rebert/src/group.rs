@@ -95,11 +95,7 @@ impl ScoreMatrix {
         if self.scores.is_empty() {
             return 0.0;
         }
-        let filtered = self
-            .scores
-            .iter()
-            .filter(|&&s| s == FILTERED_SCORE)
-            .count();
+        let filtered = self.scores.iter().filter(|&&s| s == FILTERED_SCORE).count();
         filtered as f64 / self.scores.len() as f64
     }
 }

@@ -61,7 +61,7 @@ pub use group::{
     FILTERED_SCORE,
 };
 pub use metrics::{ari, pair_scores, PairScores};
-pub use model::{EmbeddingFlags, ReBertConfig, ReBertModel};
+pub use model::{resolve_threads, EmbeddingFlags, ReBertConfig, ReBertModel, ScoreScratch};
 pub use persist::{load_model, save_model, PersistError};
 pub use pipeline::{PipelineStats, RecoveredWords};
 pub use token::{tokenize_bit, PairSequence, Token, Vocab};

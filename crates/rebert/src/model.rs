@@ -1,9 +1,11 @@
 //! The ReBERT model: the three embedding schemes (§II-B) feeding the
 //! BERT classifier (§II-C).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use rebert_nn::{BertClassifier, BertConfig, Embedding, Forward, Linear, ParamStore};
+use rebert_nn::{BertClassifier, BertConfig, Embedding, Forward, InferScratch, Linear, ParamStore};
 use rebert_tensor::{sigmoid, Tensor, VarId};
 use serde::{Deserialize, Serialize};
 
@@ -307,8 +309,7 @@ mod tests {
         // panic thanks to position clamping.
         let toks = vec![Token::X; 10];
         let codes = vec![vec![0.0; cfg.code_width]; 10];
-        let mut p =
-            PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq);
+        let mut p = PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq);
         p.pad_to(cfg.max_seq + 8);
         let v = model.predict(&p);
         assert!(v.is_finite());
@@ -321,33 +322,173 @@ mod tests {
     }
 }
 
+/// Pairs per work-stealing batch in [`ReBertModel::score_pairs`].
+///
+/// Small enough that Jaccard-filtered survivor sets (irregular sequence
+/// lengths) balance well across cores, large enough that the atomic
+/// cursor is not contended.
+const SCORE_BATCH: usize = 32;
+
+/// Resolves a thread-count knob: `0` means "use all available cores".
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Per-thread scratch state for tape-free scoring: the neural-net
+/// buffers plus the embedding-side staging tensors. Reused across pairs,
+/// so a warm scratch scores with zero allocations.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    nn: InferScratch,
+    codes: Tensor,
+    tree_out: Tensor,
+    ids: Vec<usize>,
+    pos_ids: Vec<usize>,
+}
+
+impl ScoreScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ReBertModel {
-    /// Predicts same-word probabilities for a batch of pairs, fanning the
-    /// work out over `threads` OS threads (sequences are independent, so
-    /// this scales linearly on multicore machines; `threads = 1` is
-    /// equivalent to mapping [`ReBertModel::predict`]).
+    /// Tape-free prediction: same value as [`ReBertModel::predict`]
+    /// bit-for-bit (the inference path mirrors every taped operation),
+    /// several times faster, and allocation-free with a warm scratch.
+    pub fn predict_with_scratch(&self, pair: &PairSequence, scratch: &mut ScoreScratch) -> f32 {
+        sigmoid(self.infer_logit(pair, scratch))
+    }
+
+    /// Tape-free prediction with a one-shot scratch. Prefer
+    /// [`ReBertModel::predict_with_scratch`] or
+    /// [`ReBertModel::score_pairs`] in loops.
+    pub fn predict_infer(&self, pair: &PairSequence) -> f32 {
+        self.predict_with_scratch(pair, &mut ScoreScratch::new())
+    }
+
+    /// Builds the combined embedding matrix into the scratch and runs the
+    /// tape-free classifier, mirroring [`ReBertModel::logit_on`] exactly.
+    fn infer_logit(&self, pair: &PairSequence, s: &mut ScoreScratch) -> f32 {
+        let flags = self.config.embeddings;
+        s.ids.clear();
+        s.ids.extend(pair.tokens.iter().map(|&t| self.vocab.id(t)));
+        let n = s.ids.len();
+        let x = s.nn.input_mut(n, self.config.bert.d_model);
+        let mut have = false;
+        if flags.word {
+            self.word_emb.gather_into(&self.store, &s.ids, x);
+            have = true;
+        }
+        if flags.position {
+            s.pos_ids.clear();
+            s.pos_ids
+                .extend((0..n).map(|i| i.min(self.config.max_seq - 1)));
+            if have {
+                self.pos_emb.gather_add(&self.store, &s.pos_ids, x);
+            } else {
+                self.pos_emb.gather_into(&self.store, &s.pos_ids, x);
+                have = true;
+            }
+        }
+        if flags.tree {
+            let w = self.config.code_width;
+            s.codes.resize(n, w);
+            for (i, code) in pair.codes.iter().enumerate() {
+                debug_assert_eq!(code.len(), w, "code width mismatch");
+                s.codes.row_mut(i).copy_from_slice(code);
+            }
+            self.tree_proj
+                .infer_into(&self.store, &s.codes, &mut s.tree_out);
+            if have {
+                x.add_assign(&s.tree_out);
+            } else {
+                x.data_mut().copy_from_slice(s.tree_out.data());
+            }
+        }
+        self.classifier.infer_logit(&self.store, &mut s.nn)
+    }
+
+    /// Scores a batch of pairs on the tape-free engine, fanning the work
+    /// out over `threads` OS threads (`0` = all available cores).
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Scheduling is work stealing over an atomic pair-index cursor in
+    /// [`SCORE_BATCH`]-sized batches — Jaccard-filtered survivors have
+    /// irregular sequence lengths, so fixed chunks would leave cores
+    /// idle. Results are written by pair index, so the output is
+    /// deterministic and independent of the thread count.
+    pub fn score_pairs(&self, pairs: &[PairSequence], threads: usize) -> Vec<f32> {
+        let refs: Vec<&PairSequence> = pairs.iter().collect();
+        self.score_pair_refs(&refs, threads)
+    }
+
+    /// [`ReBertModel::score_pairs`] over borrowed pairs — lets callers
+    /// score sequences owned elsewhere (e.g. evaluation samples) without
+    /// cloning them.
+    pub fn score_pair_refs(&self, pairs: &[&PairSequence], threads: usize) -> Vec<f32> {
+        let threads = resolve_threads(threads);
+        let n = pairs.len();
+        if threads == 1 || n <= SCORE_BATCH {
+            let mut scratch = ScoreScratch::new();
+            return pairs
+                .iter()
+                .map(|p| self.predict_with_scratch(p, &mut scratch))
+                .collect();
+        }
+        let workers = threads.min(n.div_ceil(SCORE_BATCH));
+        let cursor = AtomicUsize::new(0);
+        let batches: Vec<(usize, Vec<f32>)> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move |_| {
+                        let mut scratch = ScoreScratch::new();
+                        let mut done = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(SCORE_BATCH, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + SCORE_BATCH).min(n);
+                            let scores: Vec<f32> = pairs[start..end]
+                                .iter()
+                                .map(|p| self.predict_with_scratch(p, &mut scratch))
+                                .collect();
+                            done.push((start, scores));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scoring threads do not panic"))
+                .collect()
+        })
+        .expect("scoring scope does not panic");
+        let mut out = vec![0.0f32; n];
+        for (start, scores) in batches {
+            out[start..start + scores.len()].copy_from_slice(&scores);
+        }
+        out
+    }
+
+    /// Predicts same-word probabilities for a batch of pairs.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `score_pairs`: tape-free scoring with work-stealing batches \
+                instead of fixed chunks over the taped forward"
+    )]
     pub fn predict_batch(&self, pairs: &[PairSequence], threads: usize) -> Vec<f32> {
         assert!(threads > 0, "at least one thread required");
-        if threads == 1 || pairs.len() < 2 {
-            return pairs.iter().map(|p| self.predict(p)).collect();
-        }
-        let chunk = pairs.len().div_ceil(threads);
-        let mut out = vec![0.0f32; pairs.len()];
-        crossbeam::scope(|scope| {
-            for (slot, work) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (o, p) in slot.iter_mut().zip(work) {
-                        *o = self.predict(p);
-                    }
-                });
-            }
-        })
-        .expect("prediction threads do not panic");
-        out
+        self.score_pairs(pairs, threads)
     }
 }
 
@@ -357,6 +498,21 @@ mod batch_tests {
     use crate::token::Token;
     use rebert_netlist::GateType;
 
+    fn demo_pairs(cfg: &ReBertConfig) -> Vec<PairSequence> {
+        let mk = |g: GateType| {
+            let toks = vec![Token::Gate(g), Token::X, Token::X];
+            let codes = vec![vec![0.0; cfg.code_width]; 3];
+            PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq)
+        };
+        vec![
+            mk(GateType::And),
+            mk(GateType::Or),
+            mk(GateType::Xor),
+            mk(GateType::Nand),
+            mk(GateType::Nor),
+        ]
+    }
+
     #[test]
     fn model_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
@@ -364,37 +520,62 @@ mod batch_tests {
     }
 
     #[test]
-    fn batch_matches_serial() {
+    fn infer_matches_taped_predict() {
         let cfg = ReBertConfig::tiny();
         let model = ReBertModel::new(cfg.clone(), 5);
-        let mk = |g: GateType| {
-            let toks = vec![Token::Gate(g), Token::X, Token::X];
-            let codes = vec![vec![0.0; cfg.code_width]; 3];
-            PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq)
-        };
-        let pairs = vec![
-            mk(GateType::And),
-            mk(GateType::Or),
-            mk(GateType::Xor),
-            mk(GateType::Nand),
-            mk(GateType::Nor),
-        ];
-        let serial: Vec<f32> = pairs.iter().map(|p| model.predict(p)).collect();
-        for threads in [1usize, 2, 4, 8] {
-            assert_eq!(model.predict_batch(&pairs, threads), serial, "{threads} threads");
+        for pair in demo_pairs(&cfg) {
+            let taped = model.predict(&pair);
+            let infer = model.predict_infer(&pair);
+            assert_eq!(
+                taped.to_bits(),
+                infer.to_bits(),
+                "taped {taped} infer {infer}"
+            );
         }
+    }
+
+    #[test]
+    fn score_pairs_matches_serial_for_any_thread_count() {
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 5);
+        let pairs = demo_pairs(&cfg);
+        let serial: Vec<f32> = pairs.iter().map(|p| model.predict(p)).collect();
+        for threads in [0usize, 1, 2, 4, 8] {
+            assert_eq!(
+                model.score_pairs(&pairs, threads),
+                serial,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn deprecated_predict_batch_delegates() {
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 5);
+        let pairs = demo_pairs(&cfg);
+        #[allow(deprecated)]
+        let batch = model.predict_batch(&pairs, 2);
+        assert_eq!(batch, model.score_pairs(&pairs, 1));
     }
 
     #[test]
     fn empty_batch_is_fine() {
         let model = ReBertModel::new(ReBertConfig::tiny(), 5);
-        assert!(model.predict_batch(&[], 4).is_empty());
+        assert!(model.score_pairs(&[], 4).is_empty());
     }
 
     #[test]
     #[should_panic(expected = "at least one thread")]
-    fn zero_threads_rejected() {
+    fn zero_threads_rejected_by_deprecated_api() {
         let model = ReBertModel::new(ReBertConfig::tiny(), 5);
+        #[allow(deprecated)]
         let _ = model.predict_batch(&[], 0);
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
     }
 }

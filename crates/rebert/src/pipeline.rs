@@ -11,8 +11,8 @@ use crate::group::{group_bits_adaptive, ScoreMatrix};
 use crate::model::ReBertModel;
 use crate::token::PairSequence;
 
-/// Telemetry from one pipeline run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Telemetry from one pipeline run, including a per-phase breakdown.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineStats {
     /// Total bit pairs considered.
     pub pairs_total: usize,
@@ -20,6 +20,17 @@ pub struct PipelineStats {
     pub pairs_filtered: usize,
     /// Pairs scored by the model.
     pub pairs_scored: usize,
+    /// Model-scoring throughput: `pairs_scored / score_time` (0 when
+    /// nothing was scored).
+    pub pairs_per_sec: f64,
+    /// Time spent tokenizing bit fan-in cones into sequences.
+    pub tokenize_time: Duration,
+    /// Time spent on the Jaccard pre-filter and pair assembly.
+    pub filter_time: Duration,
+    /// Time spent scoring surviving pairs with the model.
+    pub score_time: Duration,
+    /// Time spent grouping bits into words from the score matrix.
+    pub group_time: Duration,
     /// Wall-clock time of the full recovery.
     pub elapsed: Duration,
 }
@@ -53,6 +64,9 @@ impl ReBertModel {
     /// tokenizes every bit, Jaccard-filters the pairs, scores survivors
     /// with the model, and groups with the adaptive `max/3` threshold.
     ///
+    /// Uses all available cores; see [`ReBertModel::recover_words_with`]
+    /// for an explicit thread count.
+    ///
     /// # Examples
     ///
     /// ```no_run
@@ -65,13 +79,26 @@ impl ReBertModel {
     /// assert_eq!(recovered.assignment.len(), 16);
     /// ```
     pub fn recover_words(&self, nl: &Netlist) -> RecoveredWords {
+        self.recover_words_with(nl, 0)
+    }
+
+    /// [`ReBertModel::recover_words`] with an explicit scoring thread
+    /// count (`0` = all available cores). Surviving pairs are scored on
+    /// the tape-free batched engine ([`ReBertModel::score_pairs`]); the
+    /// recovered assignment is identical for every thread count.
+    pub fn recover_words_with(&self, nl: &Netlist, threads: usize) -> RecoveredWords {
         let start = Instant::now();
         let cfg = self.config();
+
         let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
         let n = seqs.len();
+        let tokenize_time = start.elapsed();
+
+        let filter_start = Instant::now();
         let mut matrix = ScoreMatrix::new(n);
         let mut filtered = 0usize;
-        let mut scored = 0usize;
+        let mut survivors: Vec<(usize, usize)> = Vec::new();
+        let mut pairs: Vec<PairSequence> = Vec::new();
         for i in 0..n {
             for j in i + 1..n {
                 let (ta, ca) = &seqs[i];
@@ -80,14 +107,37 @@ impl ReBertModel {
                     filtered += 1;
                     continue; // score stays at the −1 sentinel
                 }
-                let pair =
-                    PairSequence::build(ta, ca, tb, cb, cfg.code_width, cfg.max_seq);
-                matrix.set(i, j, self.predict(&pair));
-                scored += 1;
+                survivors.push((i, j));
+                pairs.push(PairSequence::build(
+                    ta,
+                    ca,
+                    tb,
+                    cb,
+                    cfg.code_width,
+                    cfg.max_seq,
+                ));
             }
         }
+        let filter_time = filter_start.elapsed();
+
+        let score_start = Instant::now();
+        let scores = self.score_pairs(&pairs, threads);
+        let score_time = score_start.elapsed();
+
+        let group_start = Instant::now();
+        for (&(i, j), &p) in survivors.iter().zip(&scores) {
+            matrix.set(i, j, p);
+        }
         let assignment = group_bits_adaptive(&matrix);
+        let group_time = group_start.elapsed();
+
+        let scored = pairs.len();
         let pairs_total = n * n.saturating_sub(1) / 2;
+        let pairs_per_sec = if scored == 0 {
+            0.0
+        } else {
+            scored as f64 / score_time.as_secs_f64().max(f64::MIN_POSITIVE)
+        };
         RecoveredWords {
             assignment,
             score_matrix: matrix,
@@ -95,6 +145,11 @@ impl ReBertModel {
                 pairs_total,
                 pairs_filtered: filtered,
                 pairs_scored: scored,
+                pairs_per_sec,
+                tokenize_time,
+                filter_time,
+                score_time,
+                group_time,
                 elapsed: start.elapsed(),
             },
         }
@@ -131,6 +186,7 @@ mod tests {
         let rec = model.recover_words(&c.netlist);
         assert_eq!(rec.stats.pairs_scored, 0);
         assert_eq!(rec.stats.pairs_filtered, rec.stats.pairs_total);
+        assert_eq!(rec.stats.pairs_per_sec, 0.0);
         // Everything filtered => all singleton words.
         assert_eq!(rec.words().len(), 8);
     }
@@ -144,5 +200,35 @@ mod tests {
         let rec = model.recover_words(&c.netlist);
         assert_eq!(rec.stats.pairs_filtered, 0);
         assert_eq!(rec.stats.pairs_scored, 15);
+        assert!(rec.stats.pairs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn assignment_is_thread_count_invariant() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 9);
+        let c = generate(&Profile::new("demo", 90, 12, 3), 5);
+        let base = model.recover_words_with(&c.netlist, 1);
+        for threads in [2usize, 4] {
+            let rec = model.recover_words_with(&c.netlist, threads);
+            assert_eq!(rec.assignment, base.assignment, "{threads} threads");
+            for i in 0..12 {
+                for j in (i + 1)..12 {
+                    assert_eq!(
+                        rec.score_matrix.get(i, j).to_bits(),
+                        base.score_matrix.get(i, j).to_bits(),
+                        "score ({i},{j}) with {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_timings_sum_below_elapsed() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+        let c = generate(&Profile::new("demo", 80, 8, 2), 6);
+        let s = model.recover_words(&c.netlist).stats;
+        let phases = s.tokenize_time + s.filter_time + s.score_time + s.group_time;
+        assert!(phases <= s.elapsed);
     }
 }

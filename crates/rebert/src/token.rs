@@ -158,7 +158,9 @@ impl PairSequence {
             (a_tokens.len(), b_tokens.len())
         } else {
             let half = budget / 2;
-            let ta = a_tokens.len().min(half.max(budget.saturating_sub(b_tokens.len())));
+            let ta = a_tokens
+                .len()
+                .min(half.max(budget.saturating_sub(b_tokens.len())));
             let tb = b_tokens.len().min(budget - ta);
             (ta, tb)
         };

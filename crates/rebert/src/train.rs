@@ -95,9 +95,7 @@ pub fn train(model: &mut ReBertModel, samples: &[PairSample], cfg: &TrainConfig)
                 let target = if sample.label { 1.0 } else { 0.0 };
                 let mut fwd = Forward::new(model.store());
                 let z = model.logit_on(&mut fwd, &sample.seq);
-                let loss = fwd
-                    .tape
-                    .bce_with_logits(z, Tensor::from_rows(&[&[target]]));
+                let loss = fwd.tape.bce_with_logits(z, Tensor::from_rows(&[&[target]]));
                 total_loss += fwd.tape.value(loss).data()[0] as f64;
                 let grads = fwd.tape.backward(loss);
                 acc.add(fwd.param_grads(&grads));
@@ -121,13 +119,20 @@ pub fn train(model: &mut ReBertModel, samples: &[PairSample], cfg: &TrainConfig)
 }
 
 /// Fraction of samples classified correctly at threshold 0.5.
+///
+/// Evaluates on the tape-free batched engine
+/// ([`ReBertModel::score_pair_refs`]) across all available cores; the
+/// scores are bit-identical to serial [`ReBertModel::predict`].
 pub fn accuracy(model: &ReBertModel, samples: &[PairSample]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
+    let seqs: Vec<&crate::token::PairSequence> = samples.iter().map(|s| &s.seq).collect();
+    let scores = model.score_pair_refs(&seqs, 0);
     let correct = samples
         .iter()
-        .filter(|s| (model.predict(&s.seq) >= 0.5) == s.label)
+        .zip(&scores)
+        .filter(|(s, &p)| (p >= 0.5) == s.label)
         .count();
     correct as f64 / samples.len() as f64
 }
@@ -146,14 +151,7 @@ mod tests {
             let toks = vec![Token::Gate(g), Token::X, Token::X];
             let codes = vec![vec![0.0; cfg.code_width]; 3];
             PairSample {
-                seq: PairSequence::build(
-                    &toks,
-                    &codes,
-                    &toks,
-                    &codes,
-                    cfg.code_width,
-                    cfg.max_seq,
-                ),
+                seq: PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, cfg.max_seq),
                 label,
                 circuit: "toy".into(),
                 bits: (idx, idx + 1),

@@ -12,7 +12,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use rebert_netlist::{Cone, Netlist, NetId};
+use rebert_netlist::{Cone, NetId, Netlist};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the control-signal baseline.

@@ -25,6 +25,10 @@ pub struct StructuralConfig {
     pub k_levels: usize,
     /// Grouping threshold policy.
     pub threshold: Threshold,
+    /// Threads for the pairwise similarity sweep (`0` = all available
+    /// cores). The similarity matrix is identical for any thread count.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for StructuralConfig {
@@ -32,6 +36,7 @@ impl Default for StructuralConfig {
         StructuralConfig {
             k_levels: 6,
             threshold: Threshold::Adaptive,
+            threads: 0,
         }
     }
 }
@@ -71,6 +76,63 @@ pub struct StructuralRecovery {
 /// let rec = recover_words(&c.netlist, &StructuralConfig::default());
 /// assert_eq!(rec.assignment.len(), 12);
 /// ```
+/// Upper-triangle pairwise similarities in `(i, j)` row-major order,
+/// computed over `threads` workers (`0` = all cores) stealing rows from
+/// an atomic cursor. Row order is restored on merge, so the result is
+/// deterministic and thread-count-invariant.
+fn similarity_sweep(trees: &[BitTree], threads: usize) -> Vec<f64> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let n = trees.len();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    // Small sweeps don't amortize thread spawns.
+    if threads <= 1 || n < 32 {
+        let mut sims = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                sims.push(tree_similarity(&trees[i], &trees[j]));
+            }
+        }
+        return sims;
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let rows = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut done: Vec<(usize, Vec<f64>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut row = Vec::with_capacity(n - i - 1);
+                        for j in i + 1..n {
+                            row.push(tree_similarity(&trees[i], &trees[j]));
+                        }
+                        done.push((i, row));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for h in handles {
+            for (i, row) in h.join().expect("similarity worker panicked") {
+                rows[i] = row;
+            }
+        }
+        rows
+    })
+    .expect("crossbeam scope");
+    rows.into_iter().flatten().collect()
+}
+
 pub fn recover_words(nl: &Netlist, cfg: &StructuralConfig) -> StructuralRecovery {
     let start = Instant::now();
     let (bin, _) = binarize(nl);
@@ -80,12 +142,7 @@ pub fn recover_words(nl: &Netlist, cfg: &StructuralConfig) -> StructuralRecovery
         .map(|&b| BitTree::extract(&bin, b, cfg.k_levels))
         .collect();
     let n = trees.len();
-    let mut sims = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-    for i in 0..n {
-        for j in i + 1..n {
-            sims.push(tree_similarity(&trees[i], &trees[j]));
-        }
-    }
+    let sims = similarity_sweep(&trees, cfg.threads);
     let max_sim = sims.iter().copied().fold(0.0, f64::max);
     let threshold_used = match cfg.threshold {
         Threshold::Adaptive => max_sim / 3.0,
@@ -157,8 +214,7 @@ mod tests {
         let mut corrupted_total = 0.0;
         for seed in 0..3 {
             let (bad, _) = corrupt(&c.netlist, 0.5, seed);
-            corrupted_total +=
-                rebert_ari(&truth, &recover_words(&bad, &cfg).assignment);
+            corrupted_total += rebert_ari(&truth, &recover_words(&bad, &cfg).assignment);
         }
         let corrupted = corrupted_total / 3.0;
         assert!(
@@ -175,11 +231,35 @@ mod tests {
             &StructuralConfig {
                 k_levels: 4,
                 threshold: Threshold::Fixed(2.0), // impossible: all singletons
+                ..StructuralConfig::default()
             },
         );
         let distinct: std::collections::HashSet<_> = rec.assignment.iter().collect();
         assert_eq!(distinct.len(), 10);
         assert_eq!(rec.stats.threshold_used, 2.0);
+    }
+
+    #[test]
+    fn similarity_sweep_is_thread_count_invariant() {
+        let c = generate(&Profile::new("demo", 200, 40, 5), 25);
+        let base = recover_words(
+            &c.netlist,
+            &StructuralConfig {
+                threads: 1,
+                ..StructuralConfig::default()
+            },
+        );
+        for threads in [2usize, 4] {
+            let rec = recover_words(
+                &c.netlist,
+                &StructuralConfig {
+                    threads,
+                    ..StructuralConfig::default()
+                },
+            );
+            assert_eq!(rec.similarities, base.similarities, "{threads} threads");
+            assert_eq!(rec.assignment, base.assignment, "{threads} threads");
+        }
     }
 
     #[test]

@@ -92,22 +92,22 @@ fn node_sim(
                         (1.0 + c) / 2.0
                     }
                     (Some(ra), Some(rb)) => {
-                        let straight = node_sim(a, b, *la, *lb, memo)
-                            + node_sim(a, b, *ra, *rb, memo);
-                        let crossed = node_sim(a, b, *la, *rb, memo)
-                            + node_sim(a, b, *ra, *lb, memo);
+                        let straight =
+                            node_sim(a, b, *la, *lb, memo) + node_sim(a, b, *ra, *rb, memo);
+                        let crossed =
+                            node_sim(a, b, *la, *rb, memo) + node_sim(a, b, *ra, *lb, memo);
                         (1.0 + straight.max(crossed)) / 3.0
                     }
                     // Same type but different arity (unary vs binary):
                     // align the single child with the better of the two.
                     (None, Some(rb)) => {
-                        let best = node_sim(a, b, *la, *lb, memo)
-                            .max(node_sim(a, b, *la, *rb, memo));
+                        let best =
+                            node_sim(a, b, *la, *lb, memo).max(node_sim(a, b, *la, *rb, memo));
                         (1.0 + best) / 3.0
                     }
                     (Some(ra), None) => {
-                        let best = node_sim(a, b, *la, *lb, memo)
-                            .max(node_sim(a, b, *ra, *lb, memo));
+                        let best =
+                            node_sim(a, b, *la, *lb, memo).max(node_sim(a, b, *ra, *lb, memo));
                         (1.0 + best) / 3.0
                     }
                 }

@@ -26,9 +26,7 @@ pub fn normal<R: Rng>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Tensor
 pub fn xavier<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     let dist = rand::distributions::Uniform::new_inclusive(-bound, bound);
-    let data = (0..fan_in * fan_out)
-        .map(|_| dist.sample(rng))
-        .collect();
+    let data = (0..fan_in * fan_out).map(|_| dist.sample(rng)).collect();
     Tensor::from_vec(fan_in, fan_out, data)
 }
 
@@ -43,7 +41,11 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(0);
         let t = normal(&mut rng, 100, 100, 0.5);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");

@@ -31,5 +31,5 @@ mod tape;
 mod tensor;
 
 pub use init::{normal, xavier};
-pub use tape::{gelu, gelu_grad, sigmoid, Tape, VarId};
+pub use tape::{gelu, gelu_grad, row_mean_var, sigmoid, Tape, VarId};
 pub use tensor::Tensor;

@@ -216,7 +216,15 @@ impl Tape {
                 out[(i, j)] = xhat * g.data()[j] + b.data()[j];
             }
         }
-        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+        )
     }
 
     /// Records a column slice `[start, start+len)`.
@@ -416,7 +424,12 @@ impl Tape {
                     }
                     accumulate(&mut grads, a.0, da);
                 }
-                Op::LayerNorm { x, gamma, beta, eps } => {
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                } => {
                     let xt = self.value(*x);
                     let g = self.value(*gamma);
                     let n = xt.cols() as f32;
@@ -442,8 +455,8 @@ impl Tape {
                             dbeta.data_mut()[j] += gr[j];
                         }
                         for j in 0..xt.cols() {
-                            dx[(i, j)] = inv
-                                * (dxhat[j] - sum_dxhat / n - xhat[j] * sum_dxhat_xhat / n);
+                            dx[(i, j)] =
+                                inv * (dxhat[j] - sum_dxhat / n - xhat[j] * sum_dxhat_xhat / n);
                         }
                     }
                     accumulate(&mut grads, x.0, dx);
@@ -516,7 +529,11 @@ fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
     }
 }
 
-fn row_mean_var(row: &[f32]) -> (f32, f32) {
+/// Mean and (population) variance of one row, as used by layer norm.
+///
+/// Public so the tape-free inference path normalizes with *exactly* the
+/// same arithmetic as the taped forward.
+pub fn row_mean_var(row: &[f32]) -> (f32, f32) {
     let n = row.len() as f32;
     let mean = row.iter().sum::<f32>() / n;
     let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;

@@ -149,60 +149,164 @@ impl Tensor {
 
     /// Matrix product `self @ other`.
     ///
-    /// Uses the cache-friendly i-k-j loop order; adequate for the model
-    /// sizes this workspace trains (hundreds of columns).
+    /// Backed by the register-blocked kernel of [`Tensor::matmul_into`];
+    /// accumulation per output element stays sequential in `k`, so results
+    /// are deterministic and independent of the blocking factors.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self @ other` written into `out` (resized as
+    /// needed, reusing its allocation). The hot path of the inference
+    /// engine: no per-call allocation once `out`'s capacity is warm.
+    ///
+    /// The kernel processes `MR × NR` output tiles with the full `k`
+    /// reduction kept innermost per tile, so each output element
+    /// accumulates in plain ascending-`k` order (bit-identical to the
+    /// naive triple loop) while the compiler holds the tile in registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_ik * b_row[j];
+        out.resize(self.rows, other.cols);
+        const MR: usize = 2;
+        const NR: usize = 16;
+        let (m, kdim, n) = (self.rows, self.cols, other.cols);
+        let a = &self.data;
+        let b = &other.data;
+        let o = &mut out.data;
+        let mut i = 0;
+        while i < m {
+            let ib = MR.min(m - i);
+            let mut j = 0;
+            // Full tiles: every loop bound is a constant, so the `MR × NR`
+            // accumulator lives in vector registers.
+            if ib == MR {
+                while j + NR <= n {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for k in 0..kdim {
+                        let b_row: &[f32; NR] =
+                            b[k * n + j..k * n + j + NR].try_into().expect("NR slice");
+                        for (r, acc_r) in acc.iter_mut().enumerate() {
+                            let a_ik = a[(i + r) * kdim + k];
+                            for (acc_rc, &bv) in acc_r.iter_mut().zip(b_row) {
+                                *acc_rc += a_ik * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_r) in acc.iter().enumerate() {
+                        let row = i + r;
+                        o[row * n + j..row * n + j + NR].copy_from_slice(acc_r);
+                    }
+                    j += NR;
                 }
             }
+            // Edge tiles (right fringe and short bottom rows).
+            while j < n {
+                let jb = NR.min(n - j);
+                let mut acc = [[0.0f32; NR]; MR];
+                for k in 0..kdim {
+                    let b_row = &b[k * n + j..k * n + j + jb];
+                    for (r, acc_r) in acc.iter_mut().enumerate().take(ib) {
+                        let a_ik = a[(i + r) * kdim + k];
+                        for (c, &bv) in b_row.iter().enumerate() {
+                            acc_r[c] += a_ik * bv;
+                        }
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate().take(ib) {
+                    let row = i + r;
+                    o[row * n + j..row * n + j + jb].copy_from_slice(&acc_r[..jb]);
+                }
+                j += jb;
+            }
+            i += MR;
         }
-        out
     }
 
-    /// Matrix product `self @ other^T` without materializing the transpose.
+    /// Matrix product `self @ other^T`.
+    ///
+    /// Materializes `other`'s transpose and runs the blocked
+    /// [`Tensor::matmul_into`] kernel: each output element still
+    /// accumulates its products in ascending-`k` order, so the result is
+    /// bit-identical to the direct dot-product kernel
+    /// ([`Tensor::matmul_nt_into`]) while the inner loops vectorize.
+    /// Prefer [`Tensor::matmul_nt_into`] with caller-owned scratch when
+    /// the extra allocation matters.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut t = Tensor::zeros(other.cols, other.rows);
+        other.transpose_into(&mut t);
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_into(&t, &mut out);
+        out
+    }
+
+    /// Matrix product `self @ other^T` written into `out` (resized as
+    /// needed, reusing its allocation).
+    ///
+    /// Both operands are traversed row-wise (unit stride), and output
+    /// tiles of `MR × NR` dot products share each loaded operand row
+    /// across the tile. Each dot product uses a single accumulator in
+    /// ascending-`k` order, matching the naive kernel bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
+        out.resize(self.rows, other.rows);
+        const MR: usize = 4;
+        const NR: usize = 4;
+        let (m, kdim, n) = (self.rows, self.cols, other.rows);
+        let a = &self.data;
+        let b = &other.data;
+        let o = &mut out.data;
+        let mut i = 0;
+        while i < m {
+            let ib = MR.min(m - i);
+            let mut j = 0;
+            while j < n {
+                let jb = NR.min(n - j);
+                let mut acc = [[0.0f32; NR]; MR];
+                for (r, acc_r) in acc.iter_mut().enumerate().take(ib) {
+                    let a_row = &a[(i + r) * kdim..(i + r + 1) * kdim];
+                    for (c, acc_rc) in acc_r.iter_mut().enumerate().take(jb) {
+                        let b_row = &b[(j + c) * kdim..(j + c + 1) * kdim];
+                        let mut sum = 0.0f32;
+                        for (&av, &bv) in a_row.iter().zip(b_row) {
+                            sum += av * bv;
+                        }
+                        *acc_rc = sum;
+                    }
                 }
-                out[(i, j)] = acc;
+                for (r, acc_r) in acc.iter().enumerate().take(ib) {
+                    let row = i + r;
+                    o[row * n + j..row * n + j + jb].copy_from_slice(&acc_r[..jb]);
+                }
+                j += jb;
             }
+            i += MR;
         }
-        out
     }
 
     /// Matrix product `self^T @ other` without materializing the transpose.
@@ -237,12 +341,20 @@ impl Tensor {
     /// The transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// The transpose written into `out` (resized as needed, reusing its
+    /// allocation).
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        out.resize(self.cols, self.rows);
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+            let src = self.row(i);
+            for (j, &v) in src.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
             }
         }
-        out
     }
 
     /// Elementwise sum.
@@ -296,6 +408,58 @@ impl Tensor {
         out
     }
 
+    /// Reshapes to `rows × cols`, reusing the existing allocation.
+    ///
+    /// Element values after a resize are unspecified (the inference
+    /// scratch buffers always overwrite them); the only guarantee is that
+    /// no reallocation happens when the new size fits the capacity.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds a `1 × cols` bias row to every row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols()`.
+    pub fn add_bias_assign(&mut self, bias: &Tensor) {
+        assert_eq!(bias.shape(), (1, self.cols), "bias shape mismatch");
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (v, &b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Multiplies every element by `c` in place.
+    pub fn scale_assign(&mut self, c: f32) {
+        for v in &mut self.data {
+            *v *= c;
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
     /// Applies `f` elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
@@ -346,8 +510,14 @@ impl Tensor {
     /// Row-wise softmax (numerically stabilized).
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
+        out.softmax_rows_inplace();
+        out
+    }
+
+    /// Row-wise softmax in place (numerically stabilized).
+    pub fn softmax_rows_inplace(&mut self) {
         for i in 0..self.rows {
-            let row = out.row_mut(i);
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -360,7 +530,6 @@ impl Tensor {
                 }
             }
         }
-        out
     }
 
     /// Extracts columns `[start, start+len)` as a new tensor.
@@ -369,13 +538,24 @@ impl Tensor {
     ///
     /// Panics if the range exceeds the column count.
     pub fn col_slice(&self, start: usize, len: usize) -> Tensor {
-        assert!(start + len <= self.cols, "column slice out of bounds");
         let mut out = Tensor::zeros(self.rows, len);
+        self.col_slice_into(start, len, &mut out);
+        out
+    }
+
+    /// Extracts columns `[start, start+len)` into `out` (resized as
+    /// needed, reusing its allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn col_slice_into(&self, start: usize, len: usize, out: &mut Tensor) {
+        assert!(start + len <= self.cols, "column slice out of bounds");
+        out.resize(self.rows, len);
         for i in 0..self.rows {
             out.row_mut(i)
                 .copy_from_slice(&self.row(i)[start..start + len]);
         }
-        out
     }
 
     /// Frobenius norm.
@@ -395,6 +575,14 @@ impl Tensor {
             .zip(&other.data)
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
+    }
+}
+
+impl Default for Tensor {
+    /// An empty `0 × 0` tensor — the natural seed for scratch buffers
+    /// that grow on first use.
+    fn default() -> Self {
+        Tensor::zeros(0, 0)
     }
 }
 
@@ -519,6 +707,113 @@ mod tests {
         let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    /// Reference triple-loop product for validating the blocked kernels.
+    fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                for j in 0..b.cols() {
+                    out[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random fill (no external RNG needed here).
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let data = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        // Odd sizes exercise every remainder path of the MR×NR tiling.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 16, 16), (5, 17, 19), (33, 9, 2)] {
+            let a = pseudo_random(m, k, (m * 31 + k) as u64);
+            let b = pseudo_random(k, n, (k * 31 + n) as u64);
+            assert_eq!(a.matmul(&b), matmul_naive(&a, &b), "{m}x{k} @ {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_nt_matches_naive_bitwise() {
+        for (m, k, n) in [(1, 3, 1), (3, 5, 7), (4, 8, 4), (5, 17, 19), (2, 9, 33)] {
+            let a = pseudo_random(m, k, (m + k) as u64);
+            let b = pseudo_random(n, k, (n * 7 + k) as u64);
+            assert_eq!(
+                a.matmul_nt(&b),
+                matmul_naive(&a, &b.transpose()),
+                "{m}x{k} @ ({n}x{k})^T"
+            );
+            // The scratch-friendly dot-product kernel agrees bitwise with
+            // the transpose-and-block path.
+            let mut out = Tensor::zeros(0, 0);
+            a.matmul_nt_into(&b, &mut out);
+            assert_eq!(out, a.matmul_nt(&b), "nt_into vs nt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_allocations() {
+        let a = pseudo_random(6, 5, 1);
+        let b = pseudo_random(5, 9, 2);
+        let mut out = Tensor::zeros(100, 100); // larger: capacity is reused
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let mut out_nt = Tensor::zeros(1, 1); // smaller: grows in place
+        a.matmul_nt_into(&a, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_nt(&a));
+        let mut slice = Tensor::zeros(2, 2);
+        a.col_slice_into(1, 3, &mut slice);
+        assert_eq!(slice, a.col_slice(1, 3));
+    }
+
+    #[test]
+    fn inplace_ops_match_pure_ops() {
+        let a = pseudo_random(4, 6, 3);
+        let b = pseudo_random(4, 6, 4);
+        let bias = pseudo_random(1, 6, 5);
+
+        let mut t = a.clone();
+        t.add_assign(&b);
+        assert_eq!(t, a.add(&b));
+
+        let mut t = a.clone();
+        t.add_bias_assign(&bias);
+        assert_eq!(t, a.add_bias(&bias));
+
+        let mut t = a.clone();
+        t.scale_assign(0.37);
+        assert_eq!(t, a.scale(0.37));
+
+        let mut t = a.clone();
+        t.map_inplace(|x| x.tanh());
+        assert_eq!(t, a.map(f32::tanh));
+
+        let mut t = a.clone();
+        t.softmax_rows_inplace();
+        assert_eq!(t, a.softmax_rows());
+    }
+
+    #[test]
+    fn resize_reshapes_and_preserves_capacity() {
+        let mut t = Tensor::zeros(8, 8);
+        let cap = t.data.capacity();
+        t.resize(2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.data.capacity(), cap, "shrinking must not reallocate");
     }
 
     #[test]

@@ -25,11 +25,7 @@ fn scalar_activation_reference_values() {
 
 #[test]
 fn softmax_handles_uniform_and_extreme_rows() {
-    let t = Tensor::from_rows(&[
-        &[0.0, 0.0, 0.0],
-        &[-1e30, 0.0, -1e30],
-        &[1e30, 1e30, 1e30],
-    ]);
+    let t = Tensor::from_rows(&[&[0.0, 0.0, 0.0], &[-1e30, 0.0, -1e30], &[1e30, 1e30, 1e30]]);
     let s = t.softmax_rows();
     for i in 0..3 {
         let sum: f32 = s.row(i).iter().sum();

@@ -8,9 +8,7 @@
 //! cargo run -p rebert-examples --release --bin corruption_robustness
 //! ```
 
-use rebert::{
-    ari, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig,
-};
+use rebert::{ari, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig};
 use rebert_circuits::{corrupt, generate, Profile};
 use rebert_structural::{recover_words, StructuralConfig};
 

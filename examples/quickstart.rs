@@ -86,10 +86,7 @@ OUTPUT(qe)
         recovered.stats.elapsed
     );
     for (wi, word) in recovered.words().iter().enumerate() {
-        let names: Vec<&str> = word
-            .iter()
-            .map(|&b| nl.net_name(nl.bits()[b]))
-            .collect();
+        let names: Vec<&str> = word.iter().map(|&b| nl.net_name(nl.bits()[b])).collect();
         println!("word {wi}: bits {word:?} ({})", names.join(", "));
     }
     Ok(())

@@ -9,9 +9,7 @@
 //! cargo run -p rebert-examples --release --bin word_recovery
 //! ```
 
-use rebert::{
-    ari, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig,
-};
+use rebert::{ari, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig};
 use rebert_circuits::{generate, Profile};
 
 fn main() {

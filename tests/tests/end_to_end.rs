@@ -3,8 +3,8 @@
 //! the complete paper workflow at miniature scale.
 
 use rebert::{
-    accuracy, ari, load_model, save_model, train, training_samples, DatasetConfig,
-    ReBertConfig, ReBertModel, TrainConfig,
+    accuracy, ari, load_model, save_model, train, training_samples, DatasetConfig, ReBertConfig,
+    ReBertModel, TrainConfig,
 };
 use rebert_circuits::{corrupt, generate, Profile};
 use rebert_structural::{recover_words, StructuralConfig};
