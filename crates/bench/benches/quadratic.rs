@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the class-deduplicated quadratic phase:
+//! filter/assembly sweeps (bit pairs vs cone-class pairs) and end-to-end
+//! recovery at N ∈ {64, 256, 1024} bits with controlled cone duplication.
+//!
+//! The reference (bit-pair) recovery path is skipped at 1024 bits — it is
+//! quadratic in bit pairs and would take minutes per sample; the scaling
+//! trend is visible from 64 → 256.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebert::{bit_sequences, jaccard, jaccard_counts, ConeClasses, ReBertConfig, ReBertModel};
+use rebert_bench::duplicated_netlist;
+
+/// Bench sizes in bits, per the acceptance criterion.
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+/// Replication factor of each cone class (≥ 4× per the acceptance
+/// criterion — ITC'99-style replicated datapath slices).
+const DUPLICATION: usize = 8;
+
+fn bench_filter_assembly(c: &mut Criterion) {
+    let cfg = ReBertConfig::tiny();
+    let mut group = c.benchmark_group("quadratic_filter");
+    for &n in &SIZES {
+        let nl = duplicated_netlist("dup_filter", n, DUPLICATION);
+        let seqs = bit_sequences(&nl, cfg.k_levels, cfg.code_width);
+
+        // PR 1 path: slice Jaccard once per bit pair.
+        group.bench_with_input(BenchmarkId::new("bit_pairs", n), &seqs, |b, seqs| {
+            b.iter(|| {
+                let mut survivors = 0usize;
+                for i in 0..seqs.len() {
+                    for j in i + 1..seqs.len() {
+                        if jaccard(&seqs[i].0, &seqs[j].0) >= cfg.jaccard_threshold {
+                            survivors += 1;
+                        }
+                    }
+                }
+                survivors
+            })
+        });
+
+        // Dedup path: classification + histogram Jaccard per class pair.
+        group.bench_with_input(BenchmarkId::new("cone_classes", n), &seqs, |b, seqs| {
+            b.iter(|| {
+                let classes = ConeClasses::build(seqs);
+                let k = classes.len() as u32;
+                let mut survivors = 0usize;
+                for a in 0..k {
+                    for b2 in a..k {
+                        if jaccard_counts(classes.histogram(a), classes.histogram(b2))
+                            >= cfg.jaccard_threshold
+                        {
+                            survivors += 1;
+                        }
+                    }
+                }
+                survivors
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recover_end_to_end(c: &mut Criterion) {
+    let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+    let mut group = c.benchmark_group("quadratic_recover");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let nl = duplicated_netlist("dup_recover", n, DUPLICATION);
+        group.bench_function(BenchmarkId::new("dedup", n), |b| {
+            b.iter(|| model.recover_words_with(&nl, 0))
+        });
+        if n <= 256 {
+            group.bench_function(BenchmarkId::new("reference", n), |b| {
+                b.iter(|| model.recover_words_reference(&nl, 0))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_assembly, bench_recover_end_to_end);
+criterion_main!(benches);

@@ -21,6 +21,7 @@ use rebert::{
 };
 use rebert_circuits::{corrupt, itc99_profiles, itc99_profiles_scaled, GeneratedCircuit};
 use rebert_circuits::{generate, Profile};
+use rebert_netlist::{GateType, Netlist};
 use rebert_structural::{recover_words, StructuralConfig};
 
 /// The corruption levels evaluated by the paper's Table II.
@@ -220,6 +221,65 @@ pub fn fmt_secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// Builds a synthetic netlist with **controlled cone duplication** for the
+/// quadratic-phase benchmarks: `n_bits` flip-flops whose fan-in cones fall
+/// into `⌈n_bits / duplication⌉` distinct shape classes, each class
+/// replicated `duplication` times (like the replicated datapath slices of
+/// ITC'99-style designs). Cone shapes are drawn injectively from the gate
+/// alphabet so distinct classes never collide, and every bit of one class
+/// tokenizes to a bit-identical `(tokens, codes)` cone.
+///
+/// Deterministic; the result passes `Netlist::validate`.
+///
+/// # Panics
+///
+/// Panics if `n_bits` or `duplication` is zero.
+pub fn duplicated_netlist(name: &str, n_bits: usize, duplication: usize) -> Netlist {
+    assert!(n_bits >= 1 && duplication >= 1, "empty duplication profile");
+    const BIN: [GateType; 6] = [
+        GateType::And,
+        GateType::Or,
+        GateType::Xor,
+        GateType::Nand,
+        GateType::Nor,
+        GateType::Xnor,
+    ];
+    let mut nl = Netlist::new(name);
+    let pis: Vec<_> = (0..8).map(|i| nl.add_input(format!("pi{i}"))).collect();
+    let n_classes = n_bits.div_ceil(duplication);
+    for bit in 0..n_bits {
+        let class = bit / duplication;
+        // Injective class → shape mapping: three gate choices plus an
+        // optional NOT wrapper (6 × 6 × 6 × 2 = 432 distinct shapes).
+        assert!(
+            class < 432,
+            "duplication profile exceeds the shape alphabet"
+        );
+        let (g0, g1, g2) = (BIN[class % 6], BIN[(class / 6) % 6], BIN[(class / 36) % 6]);
+        let wrap_not = (class / 216) % 2 == 1;
+        let leaf = |i: usize| pis[(bit + i) % pis.len()];
+        let l = nl
+            .add_gate_new_net(g1, vec![leaf(0), leaf(1)], format!("b{bit}_l"))
+            .expect("fresh net");
+        let r = nl
+            .add_gate_new_net(g2, vec![leaf(2), leaf(3)], format!("b{bit}_r"))
+            .expect("fresh net");
+        let mut d = nl
+            .add_gate_new_net(g0, vec![l, r], format!("b{bit}_d"))
+            .expect("fresh net");
+        if wrap_not {
+            d = nl
+                .add_gate_new_net(GateType::Not, vec![d], format!("b{bit}_n"))
+                .expect("fresh net");
+        }
+        let q = nl.add_net(format!("b{bit}_q"));
+        nl.add_dff(d, q).expect("fresh flip-flop");
+        nl.add_output(q);
+    }
+    debug_assert!(n_classes <= 432);
+    nl
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +306,36 @@ mod tests {
             assert_eq!(x.netlist.gate_count(), y.netlist.gate_count());
             assert_eq!(x.labels, y.labels);
         }
+    }
+
+    #[test]
+    fn duplicated_netlist_has_controlled_classes() {
+        use rebert::{bit_sequences, ConeClasses};
+        let nl = duplicated_netlist("dup", 64, 8);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.dff_count(), 64);
+        let seqs = bit_sequences(&nl, 4, 8);
+        let classes = ConeClasses::build(&seqs);
+        assert_eq!(classes.len(), 8, "64 bits / 8x duplication");
+        for c in 0..classes.len() as u32 {
+            assert_eq!(classes.members(c).len(), 8);
+        }
+        assert!((classes.duplication_rate() - 8.0).abs() < 1e-9);
+        // No duplication: every bit its own class.
+        let unique = duplicated_netlist("uniq", 12, 1);
+        let useqs = bit_sequences(&unique, 4, 8);
+        assert_eq!(ConeClasses::build(&useqs).len(), 12);
+    }
+
+    #[test]
+    fn duplicated_netlist_dedup_recovery_matches_reference() {
+        let nl = duplicated_netlist("dup_eq", 24, 4);
+        let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+        let dedup = model.recover_words_with(&nl, 0);
+        let reference = model.recover_words_reference(&nl, 0);
+        assert_eq!(dedup.assignment, reference.assignment);
+        assert!(dedup.stats.pairs_memoized > 0, "duplication must memoize");
+        assert!(dedup.stats.class_pairs_scored < reference.stats.pairs_scored);
     }
 
     #[test]

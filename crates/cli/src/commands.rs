@@ -54,9 +54,11 @@ COMMANDS
   recover   --model <model.json> --in <file>
             [--labels <labels.json>] [--baseline] [--threads N]
             Recover words on the batched inference engine (--threads 0 =
-            all cores, the default); prints per-phase timings and pair
-            throughput; print ARI when labels are given; --baseline also
-            runs structural matching.
+            all cores, the default); the quadratic phase deduplicates
+            structurally identical cones and scores each unique class
+            pair once; prints per-phase timings, pair throughput, and
+            cone-dedup counters; print ARI when labels are given;
+            --baseline also runs structural matching.
   help      Show this text.
 ";
 
@@ -204,6 +206,10 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
         s.pairs_per_sec,
         rebert::resolve_threads(threads),
         s.group_time
+    ));
+    out.push_str(&format!(
+        "  cone dedup: {} classes | {} class pairs scored | {} pairs memoized\n",
+        s.classes, s.class_pairs_scored, s.pairs_memoized
     ));
     for (wi, word) in rec.words().iter().enumerate() {
         let names: Vec<&str> = word

@@ -93,6 +93,170 @@ pub fn bit_sequences(
         .collect()
 }
 
+/// Dense identifier of a cone equivalence class (see [`ConeClasses`]).
+pub type ClassId = u32;
+
+/// Hash/equality view of one bit's cone as the pair `(tokens, codes)`,
+/// with the `f32` codes compared **bitwise** — two bits land in the same
+/// class exactly when the model would see byte-identical input for them.
+struct ConeKey<'a> {
+    tokens: &'a [Token],
+    codes: &'a [Vec<f32>],
+}
+
+impl std::hash::Hash for ConeKey<'_> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tokens.hash(state);
+        self.codes.len().hash(state);
+        for code in self.codes {
+            for &c in code {
+                state.write_u32(c.to_bits());
+            }
+        }
+    }
+}
+
+impl PartialEq for ConeKey<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tokens == other.tokens
+            && self.codes.len() == other.codes.len()
+            && self.codes.iter().zip(other.codes).all(|(a, b)| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+    }
+}
+
+impl Eq for ConeKey<'_> {}
+
+/// Equivalence classes of bits whose tokenized cones — the `(tokens,
+/// codes)` pair produced by [`bit_sequences`] — are bit-identical.
+///
+/// On ITC'99-style netlists many register bits are replicated datapath
+/// slices, so whole groups of bits share one cone. Classifying them once
+/// turns the pipeline's quadratic phase from per-*bit*-pair work into
+/// per-*class*-pair work: the Jaccard filter and the model each run once
+/// per class pair and the result is broadcast to every member bit pair
+/// (see `ReBertModel::recover_words_with`).
+///
+/// Class ids are dense (`0..len()`) in first-seen bit order, so
+/// `members(c)` lists are sorted ascending and
+/// `representative(c) == members(c)[0]`.
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{bit_sequences, ConeClasses};
+/// use rebert_circuits::{generate, Profile};
+///
+/// let c = generate(&Profile::new("demo", 100, 12, 3), 7);
+/// let seqs = bit_sequences(&c.netlist, 3, 8);
+/// let classes = ConeClasses::build(&seqs);
+/// assert!(classes.len() >= 1 && classes.len() <= seqs.len());
+/// let c0 = classes.class_of(0);
+/// assert!(classes.members(c0).contains(&0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeClasses {
+    class_of: Vec<ClassId>,
+    members: Vec<Vec<usize>>,
+    histograms: Vec<Vec<u32>>,
+}
+
+impl ConeClasses {
+    /// Groups the tokenized bits of [`bit_sequences`] into cone classes
+    /// and precomputes one token histogram per class.
+    pub fn build(seqs: &[(Vec<Token>, Vec<Vec<f32>>)]) -> Self {
+        let vocab = crate::token::Vocab::new();
+        let mut index: std::collections::HashMap<ConeKey<'_>, ClassId> =
+            std::collections::HashMap::with_capacity(seqs.len());
+        let mut class_of = Vec::with_capacity(seqs.len());
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut histograms: Vec<Vec<u32>> = Vec::new();
+        for (bit, (tokens, codes)) in seqs.iter().enumerate() {
+            let key = ConeKey { tokens, codes };
+            let next = members.len() as ClassId;
+            let id = *index.entry(key).or_insert(next);
+            if id == next {
+                members.push(Vec::new());
+                histograms.push(vocab.histogram(tokens));
+            }
+            members[id as usize].push(bit);
+            class_of.push(id);
+        }
+        ConeClasses {
+            class_of,
+            members,
+            histograms,
+        }
+    }
+
+    /// Number of distinct classes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no bits (and hence no classes).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of classified bits.
+    pub fn bits(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// The class of bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn class_of(&self, bit: usize) -> ClassId {
+        self.class_of[bit]
+    }
+
+    /// Per-bit class assignment, in flip-flop order.
+    pub fn assignments(&self) -> &[ClassId] {
+        &self.class_of
+    }
+
+    /// The bits of class `c`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn members(&self, c: ClassId) -> &[usize] {
+        &self.members[c as usize]
+    }
+
+    /// The representative bit of class `c` — its lowest member index.
+    /// Every member's cone is bit-identical to the representative's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn representative(&self, c: ClassId) -> usize {
+        self.members[c as usize][0]
+    }
+
+    /// Token histogram of class `c` over the fixed vocabulary
+    /// ([`crate::Vocab::histogram`] of the representative's tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn histogram(&self, c: ClassId) -> &[u32] {
+        &self.histograms[c as usize]
+    }
+
+    /// Mean bits per class (`1.0` = no cone duplication at all).
+    pub fn duplication_rate(&self) -> f64 {
+        if self.members.is_empty() {
+            return 1.0;
+        }
+        self.class_of.len() as f64 / self.members.len() as f64
+    }
+}
+
 /// Generates **all** labeled pair samples of one netlist variant (no
 /// balancing, no caps) — the evaluation-side view of a circuit.
 pub fn all_pairs(
@@ -219,6 +383,67 @@ mod tests {
             assert_eq!(toks.len(), codes.len());
             assert!(!toks.is_empty());
         }
+    }
+
+    #[test]
+    fn cone_classes_partition_bits() {
+        let c = small_circuit(1);
+        let seqs = bit_sequences(&c.netlist, 3, 8);
+        let classes = ConeClasses::build(&seqs);
+        assert_eq!(classes.bits(), seqs.len());
+        assert!(classes.len() >= 1 && classes.len() <= seqs.len());
+        // Members partition 0..n and agree with class_of.
+        let mut seen = vec![false; seqs.len()];
+        for cid in 0..classes.len() as ClassId {
+            let m = classes.members(cid);
+            assert!(!m.is_empty());
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "members sorted");
+            assert_eq!(classes.representative(cid), m[0]);
+            for &bit in m {
+                assert_eq!(classes.class_of(bit), cid);
+                assert!(!seen[bit]);
+                seen[bit] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Dense first-seen ids: the first bit is always class 0.
+        assert_eq!(classes.class_of(0), 0);
+        assert!(classes.duplication_rate() >= 1.0);
+    }
+
+    #[test]
+    fn cone_classes_group_identical_cones_only() {
+        let c = small_circuit(2);
+        let seqs = bit_sequences(&c.netlist, 3, 8);
+        let classes = ConeClasses::build(&seqs);
+        for i in 0..seqs.len() {
+            for j in i + 1..seqs.len() {
+                let same = classes.class_of(i) == classes.class_of(j);
+                let identical = seqs[i].0 == seqs[j].0
+                    && seqs[i].1.iter().zip(&seqs[j].1).all(|(a, b)| {
+                        a.iter()
+                            .zip(b.iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                    })
+                    && seqs[i].1.len() == seqs[j].1.len();
+                assert_eq!(same, identical, "bits {i},{j}");
+            }
+        }
+        // Class histograms match the representative's token counts.
+        let vocab = crate::token::Vocab::new();
+        for cid in 0..classes.len() as ClassId {
+            let rep = classes.representative(cid);
+            assert_eq!(classes.histogram(cid), vocab.histogram(&seqs[rep].0));
+        }
+    }
+
+    #[test]
+    fn cone_classes_empty_input() {
+        let classes = ConeClasses::build(&[]);
+        assert!(classes.is_empty());
+        assert_eq!(classes.len(), 0);
+        assert_eq!(classes.bits(), 0);
+        assert_eq!(classes.duplication_rate(), 1.0);
     }
 
     #[test]

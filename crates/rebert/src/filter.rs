@@ -62,6 +62,53 @@ pub fn jaccard(a: &[Token], b: &[Token]) -> f64 {
     inter as f64 / union as f64
 }
 
+/// Multiset Jaccard over precomputed token **histograms** (see
+/// [`crate::Vocab::histogram`]): one pass over two small count arrays
+/// instead of rebuilding hash maps per pair.
+///
+/// Produces exactly the same value as [`jaccard`] on the token slices the
+/// histograms were counted from — intersection and union are the same
+/// integer sums, so the final division is bit-identical. The slice-based
+/// [`jaccard`] remains the reference API; this variant is what the
+/// class-deduplicated pipeline calls once per *cone-class* pair.
+///
+/// Histograms of different lengths are zero-extended (a shorter histogram
+/// simply lacks trailing vocabulary entries). Two all-zero histograms —
+/// two empty sequences — score 1.0, matching [`jaccard`].
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{jaccard, jaccard_counts, Token, Vocab};
+/// use rebert_netlist::GateType;
+///
+/// let v = Vocab::new();
+/// let a = [Token::Gate(GateType::And), Token::X, Token::X];
+/// let b = [Token::Gate(GateType::And), Token::X];
+/// let exact = jaccard(&a, &b);
+/// let fast = jaccard_counts(&v.histogram(&a), &v.histogram(&b));
+/// assert_eq!(exact.to_bits(), fast.to_bits());
+/// ```
+pub fn jaccard_counts(a: &[u32], b: &[u32]) -> f64 {
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    let common = a.len().min(b.len());
+    for i in 0..common {
+        inter += a[i].min(b[i]) as usize;
+        union += a[i].max(b[i]) as usize;
+    }
+    for &x in &a[common..] {
+        union += x as usize;
+    }
+    for &x in &b[common..] {
+        union += x as usize;
+    }
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
 /// Set-based Jaccard over distinct tokens (provided for comparison and
 /// used by the filter ablation).
 pub fn jaccard_set(a: &[Token], b: &[Token]) -> f64 {
@@ -140,5 +187,37 @@ mod tests {
         let a = seq(&[(GateType::And, 2), (GateType::Not, 3)], 5);
         let b = seq(&[(GateType::And, 1), (GateType::Xor, 2)], 4);
         assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+    }
+
+    #[test]
+    fn counts_variant_matches_slice_jaccard_bitwise() {
+        use crate::token::Vocab;
+        let v = Vocab::new();
+        let cases = [
+            (
+                seq(&[(GateType::And, 2), (GateType::Xor, 1)], 3),
+                seq(&[(GateType::And, 1)], 7),
+            ),
+            (seq(&[(GateType::Or, 5)], 0), seq(&[(GateType::Nand, 2)], 2)),
+            (seq(&[], 4), seq(&[], 4)),
+            (seq(&[(GateType::Not, 1)], 1), seq(&[(GateType::Not, 1)], 1)),
+        ];
+        for (a, b) in &cases {
+            let exact = jaccard(a, b);
+            let fast = jaccard_counts(&v.histogram(a), &v.histogram(b));
+            assert_eq!(exact.to_bits(), fast.to_bits(), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn counts_variant_zero_extends_short_histograms() {
+        // {2×t0} vs {1×t0, 3×t1}: inter = 1, union = 2 + 3 = 5.
+        assert!((jaccard_counts(&[2], &[1, 3]) - 0.2).abs() < 1e-12);
+        assert!((jaccard_counts(&[1, 3], &[2]) - 0.2).abs() < 1e-12);
+        // Both empty / all-zero: 1.0 like two empty sequences.
+        assert_eq!(jaccard_counts(&[], &[]), 1.0);
+        assert_eq!(jaccard_counts(&[0, 0], &[]), 1.0);
+        // One empty: 0.0.
+        assert_eq!(jaccard_counts(&[1], &[]), 0.0);
     }
 }

@@ -13,7 +13,11 @@
 //! 2. **Embedding** ([`ReBertModel`]) — learned word + sequential
 //!    positional + tree positional ([`tree_codes`]) embeddings.
 //! 3. **Pair-wise prediction** — a Jaccard pre-filter ([`jaccard`]) then a
-//!    BERT encoder/pooler/classifier.
+//!    BERT encoder/pooler/classifier. The quadratic phase is deduplicated
+//!    over cone equivalence classes ([`ConeClasses`], [`jaccard_counts`]):
+//!    each unique class pair is filtered and scored once and the memoized
+//!    score is broadcast to all member bit pairs, bitwise-identical to
+//!    per-bit-pair scoring.
 //! 4. **Word generation** ([`ScoreMatrix`], [`group_bits_adaptive`]) —
 //!    adaptive `max/3` threshold, connected components.
 //!
@@ -46,6 +50,7 @@ mod filter;
 mod group;
 mod metrics;
 mod model;
+mod par;
 mod persist;
 mod pipeline;
 mod token;
@@ -53,9 +58,10 @@ mod train;
 mod tree_embed;
 
 pub use dataset::{
-    all_pairs, bit_sequences, loo_split, training_samples, DatasetConfig, PairSample,
+    all_pairs, bit_sequences, loo_split, training_samples, ClassId, ConeClasses, DatasetConfig,
+    PairSample,
 };
-pub use filter::{jaccard, jaccard_set, passes_filter, PAPER_JACCARD_THRESHOLD};
+pub use filter::{jaccard, jaccard_counts, jaccard_set, passes_filter, PAPER_JACCARD_THRESHOLD};
 pub use group::{
     group_bits, group_bits_adaptive, group_bits_agglomerative, ScoreMatrix, UnionFind,
     FILTERED_SCORE,

@@ -1,8 +1,6 @@
 //! The ReBERT model: the three embedding schemes (§II-B) feeding the
 //! BERT classifier (§II-C).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use rebert_nn::{BertClassifier, BertConfig, Embedding, Forward, InferScratch, Linear, ParamStore};
@@ -433,51 +431,13 @@ impl ReBertModel {
     /// score sequences owned elsewhere (e.g. evaluation samples) without
     /// cloning them.
     pub fn score_pair_refs(&self, pairs: &[&PairSequence], threads: usize) -> Vec<f32> {
-        let threads = resolve_threads(threads);
-        let n = pairs.len();
-        if threads == 1 || n <= SCORE_BATCH {
-            let mut scratch = ScoreScratch::new();
-            return pairs
-                .iter()
-                .map(|p| self.predict_with_scratch(p, &mut scratch))
-                .collect();
-        }
-        let workers = threads.min(n.div_ceil(SCORE_BATCH));
-        let cursor = AtomicUsize::new(0);
-        let batches: Vec<(usize, Vec<f32>)> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let cursor = &cursor;
-                    scope.spawn(move |_| {
-                        let mut scratch = ScoreScratch::new();
-                        let mut done = Vec::new();
-                        loop {
-                            let start = cursor.fetch_add(SCORE_BATCH, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            let end = (start + SCORE_BATCH).min(n);
-                            let scores: Vec<f32> = pairs[start..end]
-                                .iter()
-                                .map(|p| self.predict_with_scratch(p, &mut scratch))
-                                .collect();
-                            done.push((start, scores));
-                        }
-                        done
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("scoring threads do not panic"))
-                .collect()
-        })
-        .expect("scoring scope does not panic");
-        let mut out = vec![0.0f32; n];
-        for (start, scores) in batches {
-            out[start..start + scores.len()].copy_from_slice(&scores);
-        }
-        out
+        crate::par::par_map_batched(
+            pairs,
+            threads,
+            SCORE_BATCH,
+            ScoreScratch::new,
+            |scratch, p| self.predict_with_scratch(p, scratch),
+        )
     }
 
     /// Predicts same-word probabilities for a batch of pairs.

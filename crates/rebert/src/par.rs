@@ -1,0 +1,123 @@
+//! Deterministic work-stealing parallel map, shared by the model's batch
+//! scorer and the pipeline's class-pair sweep.
+//!
+//! Work items are claimed in fixed-size batches off an atomic cursor —
+//! netlist workloads are irregular (Jaccard-filtered survivors, mixed
+//! sequence lengths), so fixed per-thread chunks would leave cores idle.
+//! Results are scattered back by item index, making the output identical
+//! for every thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on `threads` OS threads (`0` = all available
+/// cores), returning results in item order.
+///
+/// Each worker owns one `mk_state()` value (e.g. an inference scratch)
+/// that is reused across its items; `f` must be a pure function of the
+/// item and its state for the output to be thread-count-invariant. Falls
+/// back to a plain serial map when one thread suffices or the workload
+/// fits in a single batch.
+pub(crate) fn par_map_batched<T, R, S, G, F>(
+    items: &[T],
+    threads: usize,
+    batch: usize,
+    mk_state: G,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = crate::model::resolve_threads(threads);
+    let n = items.len();
+    if threads == 1 || n <= batch {
+        let mut state = mk_state();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let workers = threads.min(n.div_ceil(batch));
+    let cursor = AtomicUsize::new(0);
+    let batches: Vec<(usize, Vec<R>)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                let mk_state = &mk_state;
+                scope.spawn(move |_| {
+                    let mut state = mk_state();
+                    let mut done = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + batch).min(n);
+                        let results: Vec<R> = items[start..end]
+                            .iter()
+                            .map(|item| f(&mut state, item))
+                            .collect();
+                        done.push((start, results));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker threads do not panic"))
+            .collect()
+    })
+    .expect("parallel scope does not panic");
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for (start, results) in batches {
+        for (offset, r) in results.into_iter().enumerate() {
+            out[start + offset] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index is computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_in_item_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let got = par_map_batched(&items, threads, 16, || (), |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused() {
+        // State counts items handled by its worker; the total over all
+        // workers must equal the item count (serial path: one state).
+        let items = vec![0u8; 100];
+        let results = par_map_batched(
+            &items,
+            1,
+            8,
+            || 0usize,
+            |count, _| {
+                *count += 1;
+                *count
+            },
+        );
+        assert_eq!(*results.last().unwrap(), 100, "one serial state");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_batched(&empty, 4, 8, || (), |_, &x| x).is_empty());
+        let one = vec![7u32];
+        assert_eq!(par_map_batched(&one, 4, 8, || (), |_, &x| x + 1), vec![8]);
+    }
+}

@@ -1,15 +1,33 @@
 //! The end-to-end recovery pipeline: netlist → score matrix → words
 //! (Fig. 1 of the paper).
+//!
+//! The quadratic phase is **class-deduplicated**: bits with bit-identical
+//! `(tokens, codes)` cones are grouped into [`ConeClasses`], the Jaccard
+//! filter and the model run once per *class* pair, and the memoized score
+//! is broadcast to every member bit pair. Replicated datapath slices make
+//! cone duplication common on ITC'99-style netlists, so the number of
+//! model calls can drop quadratically while the produced score matrix
+//! stays bitwise-identical to the per-bit-pair reference path
+//! ([`ReBertModel::recover_words_reference`]).
 
 use std::time::{Duration, Instant};
 
 use rebert_netlist::Netlist;
 
-use crate::dataset::bit_sequences;
-use crate::filter::jaccard;
+use crate::dataset::{bit_sequences, ConeClasses};
+use crate::filter::{jaccard, jaccard_counts};
 use crate::group::{group_bits_adaptive, ScoreMatrix};
 use crate::model::ReBertModel;
+use crate::par::par_map_batched;
 use crate::token::PairSequence;
+
+/// Class pairs per work-stealing batch in the filter/assembly sweep.
+///
+/// A class-pair step is orders of magnitude cheaper than a model call
+/// (one histogram pass plus, for survivors, one sequence assembly), so
+/// batches are much larger than the scorer's to keep the atomic cursor
+/// uncontended.
+const SWEEP_BATCH: usize = 512;
 
 /// Telemetry from one pipeline run, including a per-phase breakdown.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,18 +36,31 @@ pub struct PipelineStats {
     pub pairs_total: usize,
     /// Pairs discarded by the Jaccard pre-filter.
     pub pairs_filtered: usize,
-    /// Pairs scored by the model.
+    /// Bit pairs that received a model-derived score.
     pub pairs_scored: usize,
-    /// Model-scoring throughput: `pairs_scored / score_time` (0 when
-    /// nothing was scored).
+    /// Distinct cone classes among the bits (`0` when the bit-pair
+    /// reference path was used and classes were never computed).
+    pub classes: usize,
+    /// Unique class-pair sequences actually run through the model. On the
+    /// reference path this equals [`PipelineStats::pairs_scored`].
+    pub class_pairs_scored: usize,
+    /// Bit pairs whose score was reused from a memoized class pair
+    /// instead of a fresh model call
+    /// (`pairs_scored − class_pairs_scored`; `0` on the reference path).
+    pub pairs_memoized: usize,
+    /// Effective scoring throughput: `pairs_scored / score_time` (0 when
+    /// nothing was scored). With memoization this exceeds the model's raw
+    /// per-call throughput.
     pub pairs_per_sec: f64,
     /// Time spent tokenizing bit fan-in cones into sequences.
     pub tokenize_time: Duration,
-    /// Time spent on the Jaccard pre-filter and pair assembly.
+    /// Time spent classifying cones, Jaccard-filtering, and assembling
+    /// the surviving pair sequences.
     pub filter_time: Duration,
     /// Time spent scoring surviving pairs with the model.
     pub score_time: Duration,
-    /// Time spent grouping bits into words from the score matrix.
+    /// Time spent broadcasting scores into the matrix and grouping bits
+    /// into words.
     pub group_time: Duration,
     /// Wall-clock time of the full recovery.
     pub elapsed: Duration,
@@ -48,15 +79,36 @@ pub struct RecoveredWords {
 }
 
 impl RecoveredWords {
-    /// The recovered words as lists of bit indices.
+    /// The recovered words as lists of bit indices, re-numbered densely
+    /// in first-seen bit order — word ids in `assignment` may be sparse
+    /// (e.g. when an assignment was constructed externally), and no empty
+    /// words are materialized for unused ids.
     pub fn words(&self) -> Vec<Vec<usize>> {
-        let n_words = self.assignment.iter().copied().max().map_or(0, |m| m + 1);
-        let mut words = vec![Vec::new(); n_words];
+        let mut index: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut words: Vec<Vec<usize>> = Vec::new();
         for (bit, &w) in self.assignment.iter().enumerate() {
-            words[w].push(bit);
+            let next = words.len();
+            let slot = *index.entry(w).or_insert(next);
+            if slot == next {
+                words.push(Vec::new());
+            }
+            words[slot].push(bit);
         }
         words
     }
+}
+
+/// Outcome of one unordered class pair in the parallel filter/assembly
+/// sweep: either filtered, or up to two representative sequences (one per
+/// orientation in which member bit pairs occur).
+struct SweptClassPair {
+    filtered: bool,
+    /// `[CLS] repr(a) [SEP] repr(b)` — the lower class id first.
+    lo_hi: Option<PairSequence>,
+    /// `[CLS] repr(b) [SEP] repr(a)` — for bit pairs `(i, j)`, `i < j`,
+    /// whose lower bit belongs to the *higher* class id. `None` for
+    /// diagonal pairs or when no such bit pair exists.
+    hi_lo: Option<PairSequence>,
 }
 
 impl ReBertModel {
@@ -82,10 +134,19 @@ impl ReBertModel {
         self.recover_words_with(nl, 0)
     }
 
-    /// [`ReBertModel::recover_words`] with an explicit scoring thread
-    /// count (`0` = all available cores). Surviving pairs are scored on
-    /// the tape-free batched engine ([`ReBertModel::score_pairs`]); the
-    /// recovered assignment is identical for every thread count.
+    /// [`ReBertModel::recover_words`] with an explicit thread count
+    /// (`0` = all available cores) for both the class-pair sweep and the
+    /// scorer.
+    ///
+    /// The quadratic phase works on **cone classes** ([`ConeClasses`]):
+    /// Jaccard runs once per class pair over precomputed histograms
+    /// ([`crate::jaccard_counts`]), one representative [`PairSequence`]
+    /// per surviving (ordered) class pair is scored on the tape-free
+    /// batched engine ([`ReBertModel::score_pairs`]), and the memoized
+    /// score is broadcast to all member bit pairs. Because the tape-free
+    /// forward is deterministic on identical inputs, the assignment and
+    /// score matrix are **bitwise-identical** to the per-bit-pair
+    /// reference path for every thread count.
     pub fn recover_words_with(&self, nl: &Netlist, threads: usize) -> RecoveredWords {
         let start = Instant::now();
         let cfg = self.config();
@@ -95,7 +156,145 @@ impl ReBertModel {
         let tokenize_time = start.elapsed();
 
         let filter_start = Instant::now();
+        let classes = ConeClasses::build(&seqs);
+        let k = classes.len();
+
+        // Linearized unordered class pairs (a ≤ b); diagonal pairs only
+        // exist when the class holds at least one bit pair.
+        let mut class_pairs: Vec<(u32, u32)> = Vec::with_capacity(k * (k + 1) / 2);
+        for a in 0..k as u32 {
+            if classes.members(a).len() >= 2 {
+                class_pairs.push((a, a));
+            }
+            for b in a + 1..k as u32 {
+                class_pairs.push((a, b));
+            }
+        }
+
+        // Parallel sweep: Jaccard once per class pair, then assemble the
+        // representative sequence(s) for survivors. Deterministic because
+        // results are collected in class-pair order.
+        let swept: Vec<SweptClassPair> = par_map_batched(
+            &class_pairs,
+            threads,
+            SWEEP_BATCH,
+            || (),
+            |_, &(a, b)| {
+                if jaccard_counts(classes.histogram(a), classes.histogram(b))
+                    < cfg.jaccard_threshold
+                {
+                    return SweptClassPair {
+                        filtered: true,
+                        lo_hi: None,
+                        hi_lo: None,
+                    };
+                }
+                let (ma, mb) = (classes.members(a), classes.members(b));
+                let (ta, ca) = &seqs[classes.representative(a)];
+                let (tb, cb) = &seqs[classes.representative(b)];
+                let build = |xt: &[crate::token::Token],
+                             xc: &[Vec<f32>],
+                             yt: &[crate::token::Token],
+                             yc: &[Vec<f32>]| {
+                    PairSequence::build(xt, xc, yt, yc, cfg.code_width, cfg.max_seq)
+                };
+                // Orientation (a-first) serves bit pairs (i, j), i < j,
+                // with i ∈ a and j ∈ b — it exists iff min(a) < max(b).
+                let last = |m: &[usize]| *m.last().expect("classes are non-empty");
+                let lo_hi = (a == b || ma[0] < last(mb)).then(|| build(ta, ca, tb, cb));
+                let hi_lo = (a != b && mb[0] < last(ma)).then(|| build(tb, cb, ta, ca));
+                SweptClassPair {
+                    filtered: false,
+                    lo_hi,
+                    hi_lo,
+                }
+            },
+        );
+
+        // Deterministic survivor indexing: walk class pairs in linear
+        // order, assigning each needed orientation one slot in `pairs`.
+        // `memo[ci * k + cj]` maps the *ordered* class pair of a bit pair
+        // (class of the lower bit index first) to its score slot.
+        const NO_SCORE: u32 = u32::MAX;
+        let mut memo = vec![NO_SCORE; k * k];
+        let mut pairs: Vec<PairSequence> = Vec::new();
+        let mut filtered = 0usize;
+        for (&(a, b), swept_pair) in class_pairs.iter().zip(swept) {
+            let (ai, bi) = (a as usize, b as usize);
+            let count = if a == b {
+                let m = classes.members(a).len();
+                m * (m - 1) / 2
+            } else {
+                classes.members(a).len() * classes.members(b).len()
+            };
+            if swept_pair.filtered {
+                filtered += count;
+                continue;
+            }
+            if let Some(seq) = swept_pair.lo_hi {
+                memo[ai * k + bi] = pairs.len() as u32;
+                pairs.push(seq);
+            }
+            if let Some(seq) = swept_pair.hi_lo {
+                memo[bi * k + ai] = pairs.len() as u32;
+                pairs.push(seq);
+            }
+        }
+        let filter_time = filter_start.elapsed();
+
+        let score_start = Instant::now();
+        let scores = self.score_pairs(&pairs, threads);
+        let score_time = score_start.elapsed();
+
+        let group_start = Instant::now();
         let mut matrix = ScoreMatrix::new(n);
+        for i in 0..n {
+            let ci = classes.class_of(i) as usize;
+            for j in i + 1..n {
+                let slot = memo[ci * k + classes.class_of(j) as usize];
+                if slot != NO_SCORE {
+                    matrix.set(i, j, scores[slot as usize]);
+                }
+            }
+        }
+        let assignment = group_bits_adaptive(&matrix);
+        let group_time = group_start.elapsed();
+
+        let pairs_total = n * n.saturating_sub(1) / 2;
+        let scored = pairs_total - filtered;
+        self.finish(
+            assignment,
+            matrix,
+            PipelinePhases {
+                pairs_total,
+                filtered,
+                scored,
+                classes: k,
+                class_pairs_scored: pairs.len(),
+                tokenize_time,
+                filter_time,
+                score_time,
+                group_time,
+                elapsed: start.elapsed(),
+            },
+        )
+    }
+
+    /// The pre-deduplication **reference path**: Jaccard and the model
+    /// run once per surviving *bit* pair, with no cone classification or
+    /// memoization. Kept for equivalence testing and benchmarking — its
+    /// assignment and score matrix are bitwise-identical to
+    /// [`ReBertModel::recover_words_with`] at every thread count, it is
+    /// just quadratically slower on netlists with duplicated cones.
+    pub fn recover_words_reference(&self, nl: &Netlist, threads: usize) -> RecoveredWords {
+        let start = Instant::now();
+        let cfg = self.config();
+
+        let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
+        let n = seqs.len();
+        let tokenize_time = start.elapsed();
+
+        let filter_start = Instant::now();
         let mut filtered = 0usize;
         let mut survivors: Vec<(usize, usize)> = Vec::new();
         let mut pairs: Vec<PairSequence> = Vec::new();
@@ -125,6 +324,7 @@ impl ReBertModel {
         let score_time = score_start.elapsed();
 
         let group_start = Instant::now();
+        let mut matrix = ScoreMatrix::new(n);
         for (&(i, j), &p) in survivors.iter().zip(&scores) {
             matrix.set(i, j, p);
         }
@@ -132,28 +332,70 @@ impl ReBertModel {
         let group_time = group_start.elapsed();
 
         let scored = pairs.len();
-        let pairs_total = n * n.saturating_sub(1) / 2;
-        let pairs_per_sec = if scored == 0 {
-            0.0
-        } else {
-            scored as f64 / score_time.as_secs_f64().max(f64::MIN_POSITIVE)
-        };
-        RecoveredWords {
+        self.finish(
             assignment,
-            score_matrix: matrix,
-            stats: PipelineStats {
-                pairs_total,
-                pairs_filtered: filtered,
-                pairs_scored: scored,
-                pairs_per_sec,
+            matrix,
+            PipelinePhases {
+                pairs_total: n * n.saturating_sub(1) / 2,
+                filtered,
+                scored,
+                classes: 0,
+                class_pairs_scored: scored,
                 tokenize_time,
                 filter_time,
                 score_time,
                 group_time,
                 elapsed: start.elapsed(),
             },
+        )
+    }
+
+    /// Assembles the result struct and derived stats shared by both
+    /// pipeline paths.
+    fn finish(
+        &self,
+        assignment: Vec<usize>,
+        matrix: ScoreMatrix,
+        p: PipelinePhases,
+    ) -> RecoveredWords {
+        let pairs_per_sec = if p.scored == 0 {
+            0.0
+        } else {
+            p.scored as f64 / p.score_time.as_secs_f64().max(f64::MIN_POSITIVE)
+        };
+        RecoveredWords {
+            assignment,
+            score_matrix: matrix,
+            stats: PipelineStats {
+                pairs_total: p.pairs_total,
+                pairs_filtered: p.filtered,
+                pairs_scored: p.scored,
+                classes: p.classes,
+                class_pairs_scored: p.class_pairs_scored,
+                pairs_memoized: p.scored - p.class_pairs_scored,
+                pairs_per_sec,
+                tokenize_time: p.tokenize_time,
+                filter_time: p.filter_time,
+                score_time: p.score_time,
+                group_time: p.group_time,
+                elapsed: p.elapsed,
+            },
         }
     }
+}
+
+/// Raw per-phase measurements handed to [`ReBertModel::finish`].
+struct PipelinePhases {
+    pairs_total: usize,
+    filtered: usize,
+    scored: usize,
+    classes: usize,
+    class_pairs_scored: usize,
+    tokenize_time: Duration,
+    filter_time: Duration,
+    score_time: Duration,
+    group_time: Duration,
+    elapsed: Duration,
 }
 
 #[cfg(test)]
@@ -187,6 +429,8 @@ mod tests {
         assert_eq!(rec.stats.pairs_scored, 0);
         assert_eq!(rec.stats.pairs_filtered, rec.stats.pairs_total);
         assert_eq!(rec.stats.pairs_per_sec, 0.0);
+        assert_eq!(rec.stats.class_pairs_scored, 0);
+        assert_eq!(rec.stats.pairs_memoized, 0);
         // Everything filtered => all singleton words.
         assert_eq!(rec.words().len(), 8);
     }
@@ -201,6 +445,12 @@ mod tests {
         assert_eq!(rec.stats.pairs_filtered, 0);
         assert_eq!(rec.stats.pairs_scored, 15);
         assert!(rec.stats.pairs_per_sec > 0.0);
+        // Dedup bookkeeping is consistent.
+        assert!(rec.stats.classes >= 1 && rec.stats.classes <= 6);
+        assert_eq!(
+            rec.stats.pairs_memoized,
+            rec.stats.pairs_scored - rec.stats.class_pairs_scored
+        );
     }
 
     #[test]
@@ -224,11 +474,77 @@ mod tests {
     }
 
     #[test]
+    fn dedup_matches_reference_bitwise() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 11);
+        let c = generate(&Profile::new("demo", 120, 14, 4), 6);
+        let dedup = model.recover_words_with(&c.netlist, 1);
+        let reference = model.recover_words_reference(&c.netlist, 1);
+        assert_eq!(dedup.assignment, reference.assignment);
+        assert_eq!(dedup.stats.pairs_total, reference.stats.pairs_total);
+        assert_eq!(dedup.stats.pairs_filtered, reference.stats.pairs_filtered);
+        assert_eq!(dedup.stats.pairs_scored, reference.stats.pairs_scored);
+        for i in 0..14 {
+            for j in (i + 1)..14 {
+                assert_eq!(
+                    dedup.score_matrix.get(i, j).to_bits(),
+                    reference.score_matrix.get(i, j).to_bits(),
+                    "score ({i},{j})"
+                );
+            }
+        }
+        // The dedup path never calls the model more often than the
+        // reference path scores bit pairs.
+        assert!(dedup.stats.class_pairs_scored <= reference.stats.pairs_scored);
+        assert_eq!(reference.stats.pairs_memoized, 0);
+        assert_eq!(reference.stats.classes, 0);
+    }
+
+    #[test]
     fn phase_timings_sum_below_elapsed() {
         let model = ReBertModel::new(ReBertConfig::tiny(), 0);
         let c = generate(&Profile::new("demo", 80, 8, 2), 6);
         let s = model.recover_words(&c.netlist).stats;
         let phases = s.tokenize_time + s.filter_time + s.score_time + s.group_time;
         assert!(phases <= s.elapsed);
+    }
+
+    #[test]
+    fn words_handle_sparse_assignments() {
+        // Word ids straight from an external source need not be dense:
+        // `words()` must re-number them without materializing empty words.
+        let rec = RecoveredWords {
+            assignment: vec![5, 9, 5, 2],
+            score_matrix: ScoreMatrix::new(4),
+            stats: PipelineStats {
+                pairs_total: 6,
+                pairs_filtered: 6,
+                pairs_scored: 0,
+                classes: 0,
+                class_pairs_scored: 0,
+                pairs_memoized: 0,
+                pairs_per_sec: 0.0,
+                tokenize_time: Duration::ZERO,
+                filter_time: Duration::ZERO,
+                score_time: Duration::ZERO,
+                group_time: Duration::ZERO,
+                elapsed: Duration::ZERO,
+            },
+        };
+        let words = rec.words();
+        assert_eq!(words, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn words_of_single_bit_word_netlist() {
+        // Every word a single bit: recovery must yield exactly `ffs`
+        // words with no empties, regardless of word-id sparsity.
+        let mut cfg = ReBertConfig::tiny();
+        cfg.jaccard_threshold = 1.01; // keep every bit a singleton
+        let model = ReBertModel::new(cfg, 0);
+        let c = generate(&Profile::new("demo", 60, 6, 6), 8);
+        let rec = model.recover_words(&c.netlist);
+        let words = rec.words();
+        assert_eq!(words.len(), 6);
+        assert!(words.iter().all(|w| w.len() == 1));
     }
 }

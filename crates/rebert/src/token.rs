@@ -91,6 +91,32 @@ impl Vocab {
     pub fn encode(&self, tokens: &[Token]) -> Vec<usize> {
         tokens.iter().map(|&t| self.id(t)).collect()
     }
+
+    /// Counts token occurrences into a dense histogram over the fixed
+    /// vocabulary: `histogram(ts)[id(t)]` is the multiplicity of `t`.
+    ///
+    /// The vocabulary is tiny, so a count array beats a hash map for the
+    /// multiset operations of the Jaccard pre-filter (see
+    /// [`crate::jaccard_counts`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rebert::{Token, Vocab};
+    ///
+    /// let vocab = Vocab::new();
+    /// let h = vocab.histogram(&[Token::X, Token::X, Token::Cls]);
+    /// assert_eq!(h[vocab.id(Token::X)], 2);
+    /// assert_eq!(h[vocab.id(Token::Cls)], 1);
+    /// assert_eq!(h.len(), vocab.len());
+    /// ```
+    pub fn histogram(&self, tokens: &[Token]) -> Vec<u32> {
+        let mut h = vec![0u32; self.len()];
+        for &t in tokens {
+            h[self.id(t)] += 1;
+        }
+        h
+    }
 }
 
 /// Flattens a bit's fan-in tree into its pre-order token sequence.
@@ -239,6 +265,25 @@ OUTPUT(d)
             assert!(seen.insert(id), "duplicate id {id} for {t}");
         }
         assert_eq!(seen.len(), v.len());
+    }
+
+    #[test]
+    fn histogram_counts_multiplicities() {
+        let v = Vocab::new();
+        let toks = vec![
+            Token::Gate(GateType::And),
+            Token::X,
+            Token::Gate(GateType::And),
+            Token::X,
+            Token::X,
+        ];
+        let h = v.histogram(&toks);
+        assert_eq!(h.len(), v.len());
+        assert_eq!(h[v.id(Token::Gate(GateType::And))], 2);
+        assert_eq!(h[v.id(Token::X)], 3);
+        assert_eq!(h.iter().sum::<u32>() as usize, toks.len());
+        // Empty sequence: all-zero histogram.
+        assert!(v.histogram(&[]).iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Equivalence properties of the class-deduplicated quadratic phase:
+//! `recover_words_with` (cone-class memoization) must produce the same
+//! `assignment` and a bitwise-identical `score_matrix` as the per-bit-pair
+//! reference path (`recover_words_reference`) across random profiles,
+//! model seeds, thread counts, and corruption (R-Index) levels — and
+//! `jaccard_counts` over histograms must equal `jaccard` over slices.
+
+use proptest::prelude::*;
+use rebert::{
+    jaccard, jaccard_counts, PairSequence, ReBertConfig, ReBertModel, RecoveredWords, Token, Vocab,
+};
+use rebert_circuits::{corrupt, generate, Profile};
+use rebert_netlist::{Netlist, ALL_GATE_TYPES};
+
+fn token_strategy() -> impl Strategy<Value = Token> {
+    (0usize..=ALL_GATE_TYPES.len()).prop_map(|i| {
+        if i == ALL_GATE_TYPES.len() {
+            Token::X
+        } else {
+            Token::Gate(ALL_GATE_TYPES[i])
+        }
+    })
+}
+
+fn assert_bitwise_equal(dedup: &RecoveredWords, reference: &RecoveredWords, ctx: &str) {
+    assert_eq!(dedup.assignment, reference.assignment, "{ctx}: assignment");
+    let n = dedup.assignment.len();
+    assert_eq!(reference.score_matrix.len(), n, "{ctx}: matrix size");
+    for i in 0..n {
+        for j in i + 1..n {
+            assert_eq!(
+                dedup.score_matrix.get(i, j).to_bits(),
+                reference.score_matrix.get(i, j).to_bits(),
+                "{ctx}: score ({i},{j})"
+            );
+        }
+    }
+    assert_eq!(
+        dedup.stats.pairs_filtered, reference.stats.pairs_filtered,
+        "{ctx}: filtered count"
+    );
+    assert_eq!(
+        dedup.stats.pairs_scored, reference.stats.pairs_scored,
+        "{ctx}: scored count"
+    );
+}
+
+fn check_equivalence(model: &ReBertModel, nl: &Netlist, threads: usize, ctx: &str) {
+    let dedup = model.recover_words_with(nl, threads);
+    let reference = model.recover_words_reference(nl, threads);
+    assert_bitwise_equal(&dedup, &reference, ctx);
+    // Memoization bookkeeping: the dedup path never runs the model more
+    // often than the reference path, and the split adds up.
+    assert!(
+        dedup.stats.class_pairs_scored <= reference.stats.pairs_scored,
+        "{ctx}"
+    );
+    assert_eq!(
+        dedup.stats.pairs_scored,
+        dedup.stats.class_pairs_scored + dedup.stats.pairs_memoized,
+        "{ctx}"
+    );
+    assert!(dedup.stats.classes >= 1 || nl.dff_count() == 0, "{ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole property: class-deduplicated recovery is
+    /// bitwise-equal to the bit-pair path for random circuit profiles,
+    /// model seeds, thread counts, and corruption levels.
+    #[test]
+    fn dedup_equals_reference(
+        gates in 60usize..140,
+        ffs in 4usize..11,
+        words in 2usize..4,
+        circuit_seed in 0u64..1000,
+        model_seed in 0u64..6,
+        threads in 1usize..4,
+        r_level in 0usize..3,
+    ) {
+        let words = words.min(ffs);
+        let c = generate(&Profile::new("prop", gates, ffs, words), circuit_seed);
+        let nl = match [0.0, 0.5, 1.0][r_level] {
+            0.0 => c.netlist,
+            r => corrupt(&c.netlist, r, circuit_seed ^ 0xC0DE).0,
+        };
+        let model = ReBertModel::new(ReBertConfig::tiny(), model_seed);
+        check_equivalence(
+            &model, &nl, threads,
+            &format!("gates={gates} ffs={ffs} seed={circuit_seed} r={r_level} threads={threads}"),
+        );
+    }
+
+    /// `jaccard_counts` over vocabulary histograms equals the slice-based
+    /// `jaccard` bit for bit.
+    #[test]
+    fn jaccard_counts_equals_slice_jaccard(
+        a in prop::collection::vec(token_strategy(), 0..40),
+        b in prop::collection::vec(token_strategy(), 0..40),
+    ) {
+        let v = Vocab::new();
+        let exact = jaccard(&a, &b);
+        let fast = jaccard_counts(&v.histogram(&a), &v.histogram(&b));
+        prop_assert_eq!(exact.to_bits(), fast.to_bits(), "{} vs {}", exact, fast);
+    }
+}
+
+/// A focused matrix over jaccard thresholds, including the degenerate
+/// filter-everything and filter-nothing regimes, at several thread counts.
+#[test]
+fn dedup_equals_reference_across_thresholds() {
+    let c = generate(&Profile::new("thr", 100, 10, 3), 77);
+    for threshold in [0.0, 0.7, 1.0, 1.01] {
+        let mut cfg = ReBertConfig::tiny();
+        cfg.jaccard_threshold = threshold;
+        let model = ReBertModel::new(cfg, 5);
+        for threads in [1usize, 2, 0] {
+            check_equivalence(
+                &model,
+                &c.netlist,
+                threads,
+                &format!("threshold={threshold} threads={threads}"),
+            );
+        }
+    }
+}
+
+/// Full-corruption netlists still dedup correctly (corruption perturbs
+/// cones, shrinking classes — equivalence must not depend on how much
+/// duplication survives).
+#[test]
+fn dedup_equals_reference_under_full_corruption() {
+    let c = generate(&Profile::new("corr", 120, 9, 3), 13);
+    let (bad, _) = corrupt(&c.netlist, 1.0, 99);
+    let model = ReBertModel::new(ReBertConfig::tiny(), 2);
+    check_equivalence(&model, &bad, 2, "r=1.0");
+}
+
+/// Larger truncated pairs: sequences longer than `max_seq` exercise the
+/// truncation branch of `PairSequence::build` in both paths.
+#[test]
+fn dedup_equals_reference_with_truncation() {
+    let mut cfg = ReBertConfig::tiny();
+    cfg.max_seq = 24; // force truncation of deeper cones
+    cfg.k_levels = 5;
+    let model = ReBertModel::new(cfg, 4);
+    let c = generate(&Profile::new("trunc", 150, 8, 2), 21);
+    check_equivalence(&model, &c.netlist, 1, "truncating");
+}
+
+/// Sanity: the memoized representative sequence really is what the
+/// reference path builds for every member bit pair (spot-checked via the
+/// public tokenization APIs).
+#[test]
+fn representative_sequences_match_member_sequences() {
+    use rebert::{bit_sequences, ConeClasses};
+    let c = generate(&Profile::new("repr", 100, 12, 3), 3);
+    let cfg = ReBertConfig::tiny();
+    let seqs = bit_sequences(&c.netlist, cfg.k_levels, cfg.code_width);
+    let classes = ConeClasses::build(&seqs);
+    for i in 0..seqs.len() {
+        for j in i + 1..seqs.len() {
+            let (ci, cj) = (classes.class_of(i), classes.class_of(j));
+            let (ri, rj) = (classes.representative(ci), classes.representative(cj));
+            let member = PairSequence::build(
+                &seqs[i].0,
+                &seqs[i].1,
+                &seqs[j].0,
+                &seqs[j].1,
+                cfg.code_width,
+                cfg.max_seq,
+            );
+            let repr = PairSequence::build(
+                &seqs[ri].0,
+                &seqs[ri].1,
+                &seqs[rj].0,
+                &seqs[rj].1,
+                cfg.code_width,
+                cfg.max_seq,
+            );
+            assert_eq!(member.tokens, repr.tokens, "pair ({i},{j})");
+            assert_eq!(member.codes.len(), repr.codes.len(), "pair ({i},{j})");
+        }
+    }
+}
