@@ -27,6 +27,20 @@ pub enum ArgsError {
         /// The raw value.
         value: String,
     },
+    /// A `--key value` option the subcommand does not define.
+    UnknownOption {
+        /// The option name as given (without `--`).
+        given: String,
+        /// The closest accepted option name, if one is plausibly meant.
+        suggestion: Option<&'static str>,
+    },
+    /// A bare flag the subcommand does not define.
+    UnknownFlag {
+        /// The flag as given.
+        given: String,
+        /// The closest accepted flag or option name, if any.
+        suggestion: Option<&'static str>,
+    },
 }
 
 impl fmt::Display for ArgsError {
@@ -37,8 +51,50 @@ impl fmt::Display for ArgsError {
             ArgsError::BadValue { option, value } => {
                 write!(f, "option --{option} has invalid value `{value}`")
             }
+            ArgsError::UnknownOption { given, suggestion } => {
+                write!(f, "unknown option --{given}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean --{s}?)")?;
+                }
+                Ok(())
+            }
+            ArgsError::UnknownFlag { given, suggestion } => {
+                write!(f, "unknown flag `{given}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean --{s}?)")?;
+                }
+                Ok(())
+            }
         }
     }
+}
+
+/// Edit distance (insert/delete/substitute, each cost 1) used for
+/// "did you mean" hints.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The accepted name closest to `given`, if it is close enough to be a
+/// plausible typo (distance ≤ 2, or ≤ 1 for very short names).
+fn closest(given: &str, accepted: &[&'static str]) -> Option<&'static str> {
+    accepted
+        .iter()
+        .map(|&name| (levenshtein(given, name), name))
+        .min()
+        .filter(|&(d, name)| d <= if name.len() <= 4 { 1 } else { 2 })
+        .map(|(_, name)| name)
 }
 
 impl std::error::Error for ArgsError {}
@@ -101,6 +157,46 @@ impl Args {
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// Strict validation: every parsed `--key value` option must be in
+    /// `options` and every flag in `flags`, otherwise the nearest
+    /// accepted spelling is suggested. Subcommands call this before
+    /// touching any value, so a typo like `--modle` fails loudly instead
+    /// of silently falling back to a default.
+    pub fn expect_only(
+        &self,
+        options: &[&'static str],
+        flags: &[&'static str],
+    ) -> Result<(), ArgsError> {
+        // Deterministic order for error reporting (HashMap iteration is
+        // not) — report the lexicographically first offender.
+        let mut unknown: Vec<&String> = self
+            .options
+            .keys()
+            .filter(|k| !options.contains(&k.as_str()))
+            .collect();
+        unknown.sort();
+        if let Some(given) = unknown.first() {
+            // A misspelled *flag* can land in the option map when it
+            // happens to be followed by a value-looking token; search
+            // both tables for the hint.
+            let mut accepted: Vec<&'static str> = options.to_vec();
+            accepted.extend_from_slice(flags);
+            return Err(ArgsError::UnknownOption {
+                given: (*given).clone(),
+                suggestion: closest(given, &accepted),
+            });
+        }
+        if let Some(given) = self.flags.iter().find(|f| !flags.contains(&f.as_str())) {
+            let mut accepted: Vec<&'static str> = flags.to_vec();
+            accepted.extend_from_slice(options);
+            return Err(ArgsError::UnknownFlag {
+                given: given.clone(),
+                suggestion: closest(given, &accepted),
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +256,100 @@ mod tests {
         // `--fast` at the end (no value following) is a flag.
         let a = parse(&["table", "--fast"]);
         assert!(a.flag("fast"));
+    }
+
+    #[test]
+    fn expect_only_accepts_known_names() {
+        let a = parse(&["recover", "--model", "m.json", "--in", "x.bench", "--baseline"]);
+        a.expect_only(&["model", "in", "labels", "threads"], &["baseline"])
+            .expect("all names known");
+    }
+
+    #[test]
+    fn unknown_option_rejected_with_suggestion() {
+        let a = parse(&["recover", "--modle", "m.json"]);
+        let err = a
+            .expect_only(&["model", "in", "labels", "threads"], &["baseline"])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::UnknownOption {
+                given: "modle".into(),
+                suggestion: Some("model"),
+            }
+        );
+        assert!(err.to_string().contains("did you mean --model?"));
+    }
+
+    #[test]
+    fn unknown_option_without_a_close_match_has_no_suggestion() {
+        let a = parse(&["recover", "--frobnicate", "yes"]);
+        let err = a
+            .expect_only(&["model", "in"], &[])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::UnknownOption {
+                given: "frobnicate".into(),
+                suggestion: None,
+            }
+        );
+        assert!(!err.to_string().contains("did you mean"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected_with_suggestion() {
+        let a = parse(&["recover", "--model", "m.json", "--baselin"]);
+        let err = a
+            .expect_only(&["model", "in"], &["baseline"])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::UnknownFlag {
+                given: "baselin".into(),
+                suggestion: Some("baseline"),
+            }
+        );
+    }
+
+    #[test]
+    fn stray_positional_is_an_unknown_flag() {
+        let a = parse(&["stats", "extra.bench"]);
+        let err = a.expect_only(&["in"], &[]).unwrap_err();
+        assert!(matches!(err, ArgsError::UnknownFlag { .. }));
+    }
+
+    #[test]
+    fn misspelled_flag_consuming_a_value_still_suggests_the_flag() {
+        // `--baselne x.bench` parses as an option; the hint must still
+        // find the intended flag across tables.
+        let a = parse(&["recover", "--baselne", "x.bench"]);
+        let err = a.expect_only(&["model", "in"], &["baseline"]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::UnknownOption {
+                given: "baselne".into(),
+                suggestion: Some("baseline"),
+            }
+        );
+    }
+
+    #[test]
+    fn short_names_use_a_tighter_typo_budget() {
+        // Distance 2 from a 2-char name is not a plausible typo.
+        assert_eq!(closest("xy", &["in"]), None);
+        assert_eq!(closest("ni", &["in"]), None);
+        assert_eq!(closest("i", &["in"]), Some("in"));
+        assert_eq!(closest("queue", &["queue"]), Some("queue"));
+        assert_eq!(closest("deadline-m", &["deadline-ms"]), Some("deadline-ms"));
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("model", "modle"), 2);
     }
 }

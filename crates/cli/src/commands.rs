@@ -26,6 +26,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "stats" => cmd_stats(args),
         "train" => cmd_train(args),
         "recover" => cmd_recover(args),
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(format!("unknown subcommand `{other}` (try `rebert help`)").into()),
     }
@@ -59,8 +61,47 @@ COMMANDS
             pair once; prints per-phase timings, pair throughput, and
             cone-dedup counters; print ARI when labels are given;
             --baseline also runs structural matching.
+  serve     --model <model.json> [--addr <host:port>] [--threads N]
+            [--queue N] [--deadline-ms N]
+            Run the resident word-recovery daemon: the checkpoint loads
+            once and stays warm across requests. POST /recover accepts
+            .bench or Verilog bodies; GET /metrics exposes Prometheus
+            counters, queue depth, and per-phase histograms; a full
+            queue answers 503 + Retry-After; SIGTERM/SIGINT (or POST
+            /shutdown) drains in-flight work and exits cleanly.
+            Defaults: --addr 127.0.0.1:7878, --queue 32,
+            --deadline-ms 0 (unbounded).
+  submit    --addr <host:port> --in <file> [--labels <labels.json>]
+            [--deadline-ms N]
+            Send a netlist to a running daemon and print the recovered
+            words (ARI when labels are given).
   help      Show this text.
+
+Unknown options and flags are rejected with a nearest-spelling hint.
 ";
+
+/// `--options` and bare flags accepted per subcommand; [`run`] enforces
+/// them via [`Args::expect_only`] before any value is read.
+const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
+    ("generate", &["profile", "out", "seed", "gates", "ffs", "words"], &[]),
+    ("corrupt", &["in", "out", "r", "seed"], &[]),
+    ("optimize", &["in", "out"], &[]),
+    ("stats", &["in"], &[]),
+    ("train", &["profiles", "model", "seed", "epochs", "cap", "k"], &[]),
+    ("recover", &["model", "in", "labels", "threads"], &["baseline"]),
+    ("serve", &["model", "addr", "threads", "queue", "deadline-ms"], &[]),
+    ("submit", &["addr", "in", "labels", "deadline-ms"], &[]),
+];
+
+/// Rejects any option or flag the subcommand's table does not list.
+fn validate(args: &Args) -> Result<(), CliError> {
+    let (_, options, flags) = COMMAND_TABLES
+        .iter()
+        .find(|(name, _, _)| *name == args.command)
+        .ok_or_else(|| format!("no option table for `{}`", args.command))?;
+    args.expect_only(options, flags)?;
+    Ok(())
+}
 
 fn parse_profile(args: &Args) -> Result<Profile, CliError> {
     let name = args.require("profile")?;
@@ -77,6 +118,7 @@ fn parse_profile(args: &Args) -> Result<Profile, CliError> {
 }
 
 fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
     let p = parse_profile(args)?;
     let seed = args.get_or("seed", 42u64)?;
     let out = Path::new(args.require("out")?);
@@ -96,6 +138,7 @@ fn cmd_generate(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_corrupt(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
     let input = read_netlist(Path::new(args.require("in")?))?;
     let r: f64 = args.get_or("r", 0.4)?;
     if !(0.0..=1.0).contains(&r) {
@@ -114,6 +157,7 @@ fn cmd_corrupt(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_optimize(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
     let input = read_netlist(Path::new(args.require("in")?))?;
     let (opt, stats) = optimize(&input);
     let out = Path::new(args.require("out")?);
@@ -130,6 +174,7 @@ fn cmd_optimize(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
     let input = read_netlist(Path::new(args.require("in")?))?;
     let st = NetlistStats::of(&input);
     let mut out = format!("{st}\n");
@@ -140,6 +185,7 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_train(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
     let names = args.require("profiles")?;
     let seed = args.get_or("seed", 42u64)?;
     let circuits: Vec<_> = names
@@ -184,6 +230,7 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_recover(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
     let model = load_model(Path::new(args.require("model")?))?;
     let input = read_netlist(Path::new(args.require("in")?))?;
     let threads = args.get_or("threads", 0usize)?;
@@ -237,6 +284,113 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
                 ari(&truth, &srec.assignment)
             ));
         }
+    }
+    Ok(out)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
+    let model = load_model(Path::new(args.require("model")?))?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let threads = args.get_or("threads", 0usize)?;
+    let queue = args.get_or("queue", 32usize)?;
+    let deadline_ms = args.get_or("deadline-ms", 0u64)?;
+
+    let session = rebert::RecoverySession::new(model, threads);
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let config = rebert_serve::ServeConfig {
+        queue_capacity: queue,
+        default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+    };
+    let server = rebert_serve::serve(session, listener, config)?;
+    // Printed before the blocking drain loop so callers (and the CI
+    // smoke test) can tell the daemon is up.
+    println!("rebert-serve listening on {} (queue {queue})", server.addr());
+    rebert_serve::run_until_shutdown(server);
+    Ok("drained in-flight work, shut down cleanly".to_owned())
+}
+
+fn cmd_submit(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
+    let addr = args.require("addr")?;
+    let path = Path::new(args.require("in")?);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let format = if crate::io::is_verilog(path) {
+        "verilog"
+    } else {
+        "bench"
+    };
+    let deadline_ms = args.get_or("deadline-ms", 0u64)?;
+    let reply = rebert_serve::submit_recover(
+        addr,
+        &text,
+        Some(format),
+        (deadline_ms > 0).then_some(deadline_ms),
+    )
+    .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
+    if reply.status != 200 {
+        return Err(format!(
+            "daemon answered {}: {}",
+            reply.status,
+            reply.body_text().trim()
+        )
+        .into());
+    }
+
+    let json = rebert::json::Json::parse(&reply.body_text())
+        .map_err(|e| format!("unparseable daemon reply: {e}"))?;
+    let field = |key: &str| -> Result<&rebert::json::Json, CliError> {
+        json.get(key)
+            .ok_or_else(|| format!("daemon reply lacks `{key}`").into())
+    };
+    let bits = field("bits")?.as_usize().unwrap_or(0);
+    let words = field("words")?.as_array().map(<[_]>::to_vec).unwrap_or_default();
+    let names = field("names")?.as_array().map(<[_]>::to_vec).unwrap_or_default();
+    let stats = field("stats")?;
+    let stat = |key: &str| stats.get(key).and_then(rebert::json::Json::as_u64).unwrap_or(0);
+
+    let mut out = format!(
+        "{}: {} bits -> {} words ({} pairs scored, {} filtered, {}ms on the daemon)\n",
+        field("design")?.as_str().unwrap_or("?"),
+        bits,
+        words.len(),
+        stat("pairs_scored"),
+        stat("pairs_filtered"),
+        stat("elapsed_us") / 1000,
+    );
+    out.push_str(&format!(
+        "  cone dedup: {} classes | {} class pairs scored | {} pairs memoized\n",
+        stat("classes"),
+        stat("class_pairs_scored"),
+        stat("pairs_memoized")
+    ));
+    for (wi, word) in words.iter().enumerate() {
+        let members: Vec<&str> = word
+            .as_array()
+            .map(|bits| {
+                bits.iter()
+                    .filter_map(|b| b.as_usize())
+                    .filter_map(|b| names.get(b).and_then(rebert::json::Json::as_str))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push_str(&format!("  word {wi}: {members:?}\n"));
+    }
+    if let Some(labels_path) = args.get("labels") {
+        let labels = read_labels(Path::new(labels_path))?;
+        let assignment: Vec<usize> = field("assignment")?
+            .as_array()
+            .map(|a| a.iter().filter_map(|v| v.as_usize()).collect())
+            .unwrap_or_default();
+        if assignment.len() != bits {
+            return Err("daemon reply assignment is malformed".into());
+        }
+        out.push_str(&format!(
+            "ReBERT ARI: {:.3}\n",
+            ari(&labels.assignment(), &assignment)
+        ));
     }
     Ok(out)
 }
@@ -360,6 +514,96 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("unknown profile"));
+    }
+
+    #[test]
+    fn typo_option_rejected_with_hint() {
+        let err = run(&args(&["recover", "--modle", "m.json", "--in", "x.bench"])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown option --modle"), "{msg}");
+        assert!(msg.contains("did you mean --model?"), "{msg}");
+    }
+
+    #[test]
+    fn every_command_rejects_unknown_options() {
+        for cmd in ["generate", "corrupt", "optimize", "stats", "train", "recover", "serve", "submit"] {
+            let err = run(&args(&[cmd, "--no-such-option", "x"])).unwrap_err();
+            assert!(
+                err.to_string().contains("unknown option"),
+                "`{cmd}` accepted a bogus option: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn stray_flag_rejected() {
+        let err = run(&args(&["recover", "--model", "m.json", "--in", "x.bench", "--baselines"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("did you mean --baseline?"), "{err}");
+    }
+
+    #[test]
+    fn serve_reports_bind_failures() {
+        let model_path = tmp("serve_bind.model.json");
+        save_model(&ReBertModel::new(ReBertConfig::tiny(), 0), &model_path).unwrap();
+        let err = run(&args(&[
+            "serve",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--addr",
+            "256.0.0.1:99999",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot bind"), "{err}");
+    }
+
+    #[test]
+    fn submit_reports_unreachable_daemon() {
+        let bench = tmp("submit_dead.bench");
+        std::fs::write(&bench, "INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n").unwrap();
+        let err = run(&args(&[
+            "submit",
+            "--addr",
+            "127.0.0.1:1",
+            "--in",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot reach daemon"), "{err}");
+    }
+
+    #[test]
+    fn submit_round_trips_through_a_live_daemon() {
+        // Boot an in-process daemon, then drive it through the exact
+        // code path `rebert submit` users hit.
+        let circuit = rebert_circuits::generate(&Profile::new("sub", 100, 8, 2), 11);
+        let bench = tmp("submit_live.bench");
+        let labels = tmp("submit_live.labels.json");
+        write_netlist(&circuit.netlist, &bench).unwrap();
+        write_labels(&circuit.labels, &labels).unwrap();
+
+        let session =
+            rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 2), 1);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server =
+            rebert_serve::serve(session, listener, rebert_serve::ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        let out = run(&args(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--in",
+            bench.to_str().unwrap(),
+            "--labels",
+            labels.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("8 bits"), "{out}");
+        assert!(out.contains("word 0:"), "{out}");
+        assert!(out.contains("cone dedup:"), "{out}");
+        assert!(out.contains("ReBERT ARI:"), "{out}");
+        server.shutdown();
     }
 
     #[test]

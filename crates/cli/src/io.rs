@@ -4,6 +4,7 @@
 use std::fmt;
 use std::path::Path;
 
+use rebert::json::Json;
 use rebert_circuits::WordLabels;
 use rebert_netlist::{parse_bench, parse_verilog, write_bench, write_verilog, Netlist};
 
@@ -17,7 +18,7 @@ pub enum IoError {
     /// Verilog parse failure.
     Verilog(rebert_netlist::VerilogError),
     /// Label JSON failure.
-    Labels(serde_json::Error),
+    Labels(String),
 }
 
 impl fmt::Display for IoError {
@@ -81,24 +82,55 @@ pub fn write_netlist(nl: &Netlist, path: &Path) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Reads ground-truth word labels from JSON.
+/// Reads ground-truth word labels from JSON (`{"words": [[0,1], …]}`,
+/// the schema `rebert generate` writes).
 ///
 /// # Errors
 ///
 /// Returns an [`IoError`] on filesystem or deserialization failure.
 pub fn read_labels(path: &Path) -> Result<WordLabels, IoError> {
     let text = std::fs::read_to_string(path)?;
-    serde_json::from_str(&text).map_err(IoError::Labels)
+    let json = Json::parse(&text).map_err(|e| IoError::Labels(e.to_string()))?;
+    let words_json = json
+        .get("words")
+        .and_then(Json::as_array)
+        .ok_or_else(|| IoError::Labels("labels file lacks a `words` array".to_owned()))?;
+    let mut words: Vec<Vec<usize>> = Vec::with_capacity(words_json.len());
+    let mut seen = std::collections::HashSet::new();
+    for (wi, word) in words_json.iter().enumerate() {
+        let bits = word
+            .as_array()
+            .ok_or_else(|| IoError::Labels(format!("word {wi} is not an array")))?;
+        let mut out = Vec::with_capacity(bits.len());
+        for bit in bits {
+            let b = bit
+                .as_usize()
+                .ok_or_else(|| IoError::Labels(format!("word {wi} holds a non-integer bit")))?;
+            if !seen.insert(b) {
+                return Err(IoError::Labels(format!("bit {b} appears in two words")));
+            }
+            out.push(b);
+        }
+        words.push(out);
+    }
+    Ok(WordLabels::new(words))
 }
 
-/// Writes word labels as JSON.
+/// Writes word labels as JSON in the schema [`read_labels`] accepts.
 ///
 /// # Errors
 ///
-/// Returns an [`IoError`] on filesystem or serialization failure.
+/// Returns an [`IoError`] on filesystem failure.
 pub fn write_labels(labels: &WordLabels, path: &Path) -> Result<(), IoError> {
-    let text = serde_json::to_string_pretty(labels).map_err(IoError::Labels)?;
-    std::fs::write(path, text)?;
+    let words = Json::Arr(
+        labels
+            .words()
+            .iter()
+            .map(|w| Json::Arr(w.iter().map(|&b| Json::uint(b as u64)).collect()))
+            .collect(),
+    );
+    let json = Json::Obj(vec![("words".to_owned(), words)]);
+    std::fs::write(path, format!("{json}\n"))?;
     Ok(())
 }
 
@@ -140,6 +172,24 @@ mod tests {
         write_labels(&labels, &path).unwrap();
         let back = read_labels(&path).unwrap();
         assert_eq!(back, labels);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_labels_rejected() {
+        let path = tmp("bad_labels.json");
+        for (text, what) in [
+            ("{]", "unparseable JSON"),
+            ("{\"bits\": []}", "missing words key"),
+            ("{\"words\": 3}", "words not an array"),
+            ("{\"words\": [3]}", "word not an array"),
+            ("{\"words\": [[\"a\"]]}", "non-integer bit"),
+            ("{\"words\": [[0, 1], [1]]}", "duplicate bit"),
+        ] {
+            std::fs::write(&path, text).unwrap();
+            let err = read_labels(&path).unwrap_err();
+            assert!(matches!(err, IoError::Labels(_)), "{what}: {err:?}");
+        }
         std::fs::remove_file(path).ok();
     }
 

@@ -48,11 +48,13 @@
 mod dataset;
 mod filter;
 mod group;
+pub mod json;
 mod metrics;
 mod model;
 mod par;
 mod persist;
 mod pipeline;
+mod session;
 mod token;
 mod train;
 mod tree_embed;
@@ -70,6 +72,7 @@ pub use metrics::{ari, pair_scores, PairScores};
 pub use model::{resolve_threads, EmbeddingFlags, ReBertConfig, ReBertModel, ScoreScratch};
 pub use persist::{load_model, save_model, PersistError};
 pub use pipeline::{PipelineStats, RecoveredWords};
+pub use session::{CancelToken, Cancelled, RecoverySession};
 pub use token::{tokenize_bit, PairSequence, Token, Vocab};
 pub use train::{accuracy, train, TrainConfig, TrainReport};
 pub use tree_embed::{child_code, tree_codes};

@@ -7,6 +7,7 @@ use rebert_nn::{BertClassifier, BertConfig, Embedding, Forward, InferScratch, Li
 use rebert_tensor::{sigmoid, Tensor, VarId};
 use serde::{Deserialize, Serialize};
 
+use crate::session::{CancelToken, ScratchLease, ScratchPool};
 use crate::token::{PairSequence, Vocab};
 
 /// Which of the three embedding schemes are active (all three in the
@@ -431,24 +432,41 @@ impl ReBertModel {
     /// score sequences owned elsewhere (e.g. evaluation samples) without
     /// cloning them.
     pub fn score_pair_refs(&self, pairs: &[&PairSequence], threads: usize) -> Vec<f32> {
-        crate::par::par_map_batched(
+        self.score_refs_ctx(pairs, threads, None, None)
+            .expect("uncancellable scoring always completes")
+    }
+
+    /// [`ReBertModel::score_pairs`] with cooperative cancellation:
+    /// returns `None` if `cancel` tripped before every pair was scored
+    /// (workers stop claiming batches within one batch of the trip).
+    pub fn try_score_pairs(
+        &self,
+        pairs: &[PairSequence],
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Option<Vec<f32>> {
+        let refs: Vec<&PairSequence> = pairs.iter().collect();
+        self.score_refs_ctx(&refs, threads, Some(cancel), None)
+    }
+
+    /// The shared scoring loop: optional cancellation, and optionally a
+    /// [`ScratchPool`] so resident sessions reuse warm buffers instead of
+    /// allocating per call.
+    pub(crate) fn score_refs_ctx(
+        &self,
+        pairs: &[&PairSequence],
+        threads: usize,
+        cancel: Option<&CancelToken>,
+        scratches: Option<&ScratchPool>,
+    ) -> Option<Vec<f32>> {
+        crate::par::try_par_map_batched(
             pairs,
             threads,
             SCORE_BATCH,
-            ScoreScratch::new,
-            |scratch, p| self.predict_with_scratch(p, scratch),
+            cancel,
+            || scratches.map_or_else(ScratchLease::fresh, ScratchPool::lease),
+            |lease, p| self.predict_with_scratch(p, lease.scratch_mut()),
         )
-    }
-
-    /// Predicts same-word probabilities for a batch of pairs.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `score_pairs`: tape-free scoring with work-stealing batches \
-                instead of fixed chunks over the taped forward"
-    )]
-    pub fn predict_batch(&self, pairs: &[PairSequence], threads: usize) -> Vec<f32> {
-        assert!(threads > 0, "at least one thread required");
-        self.score_pairs(pairs, threads)
     }
 }
 
@@ -510,27 +528,23 @@ mod batch_tests {
     }
 
     #[test]
-    fn deprecated_predict_batch_delegates() {
-        let cfg = ReBertConfig::tiny();
-        let model = ReBertModel::new(cfg.clone(), 5);
-        let pairs = demo_pairs(&cfg);
-        #[allow(deprecated)]
-        let batch = model.predict_batch(&pairs, 2);
-        assert_eq!(batch, model.score_pairs(&pairs, 1));
-    }
-
-    #[test]
     fn empty_batch_is_fine() {
         let model = ReBertModel::new(ReBertConfig::tiny(), 5);
         assert!(model.score_pairs(&[], 4).is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_rejected_by_deprecated_api() {
-        let model = ReBertModel::new(ReBertConfig::tiny(), 5);
-        #[allow(deprecated)]
-        let _ = model.predict_batch(&[], 0);
+    fn try_score_pairs_completes_or_aborts() {
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 5);
+        let pairs = demo_pairs(&cfg);
+        let token = CancelToken::new();
+        let scored = model
+            .try_score_pairs(&pairs, 2, &token)
+            .expect("untripped token completes");
+        assert_eq!(scored, model.score_pairs(&pairs, 1));
+        token.cancel();
+        assert_eq!(model.try_score_pairs(&pairs, 2, &token), None);
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //! sequence lengths), so fixed per-thread chunks would leave cores idle.
 //! Results are scattered back by item index, making the output identical
 //! for every thread count.
+//!
+//! Cancellation is cooperative: when a [`CancelToken`] is supplied,
+//! every worker polls it before claiming a batch and stops claiming once
+//! it trips, so an aborted map returns within one batch of work per
+//! worker and never yields a partial result.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::session::CancelToken;
 
 /// Maps `f` over `items` on `threads` OS threads (`0` = all available
 /// cores), returning results in item order.
@@ -17,6 +24,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// item and its state for the output to be thread-count-invariant. Falls
 /// back to a plain serial map when one thread suffices or the workload
 /// fits in a single batch.
+///
+/// Production callers thread a [`CancelToken`] and use
+/// [`try_par_map_batched`] directly; this wrapper stays as the
+/// uncancellable reference entry point for the determinism tests.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn par_map_batched<T, R, S, G, F>(
     items: &[T],
     threads: usize,
@@ -30,11 +42,41 @@ where
     G: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
+    try_par_map_batched(items, threads, batch, None, mk_state, f)
+        .expect("uncancellable map always completes")
+}
+
+/// [`par_map_batched`] with cooperative cancellation: returns `None` if
+/// `cancel` tripped before every item was computed. A token that trips
+/// only after the last batch was claimed still yields the complete
+/// result — cancellation is best-effort, never a partial answer.
+pub(crate) fn try_par_map_batched<T, R, S, G, F>(
+    items: &[T],
+    threads: usize,
+    batch: usize,
+    cancel: Option<&CancelToken>,
+    mk_state: G,
+    f: F,
+) -> Option<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let threads = crate::model::resolve_threads(threads);
     let n = items.len();
     if threads == 1 || n <= batch {
         let mut state = mk_state();
-        return items.iter().map(|item| f(&mut state, item)).collect();
+        let mut out = Vec::with_capacity(n);
+        for chunk in items.chunks(batch.max(1)) {
+            if cancelled() {
+                return None;
+            }
+            out.extend(chunk.iter().map(|item| f(&mut state, item)));
+        }
+        return Some(out);
     }
     let workers = threads.min(n.div_ceil(batch));
     let cursor = AtomicUsize::new(0);
@@ -44,10 +86,14 @@ where
                 let cursor = &cursor;
                 let f = &f;
                 let mk_state = &mk_state;
+                let cancelled = &cancelled;
                 scope.spawn(move |_| {
                     let mut state = mk_state();
                     let mut done = Vec::new();
                     loop {
+                        if cancelled() {
+                            break;
+                        }
                         let start = cursor.fetch_add(batch, Ordering::Relaxed);
                         if start >= n {
                             break;
@@ -71,14 +117,23 @@ where
     .expect("parallel scope does not panic");
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
+    let mut filled = 0usize;
     for (start, results) in batches {
         for (offset, r) in results.into_iter().enumerate() {
             out[start + offset] = Some(r);
+            filled += 1;
         }
     }
-    out.into_iter()
-        .map(|r| r.expect("every index is computed exactly once"))
-        .collect()
+    // A cancelled map leaves unclaimed holes; only a complete scatter is
+    // returned (a token tripping after the final claim changes nothing).
+    if filled < n {
+        return None;
+    }
+    Some(
+        out.into_iter()
+            .map(|r| r.expect("every index is computed exactly once"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -119,5 +174,51 @@ mod tests {
         assert!(par_map_batched(&empty, 4, 8, || (), |_, &x| x).is_empty());
         let one = vec![7u32];
         assert_eq!(par_map_batched(&one, 4, 8, || (), |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_for_any_thread_count() {
+        let items: Vec<usize> = (0..300).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 2, 4] {
+            let got =
+                try_par_map_batched(&items, threads, 16, Some(&token), || (), |_, &x| x);
+            assert_eq!(got, None, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn untripped_token_yields_full_result() {
+        let items: Vec<usize> = (0..300).collect();
+        let token = CancelToken::new();
+        for threads in [1usize, 3] {
+            let got =
+                try_par_map_batched(&items, threads, 16, Some(&token), || (), |_, &x| x * 2)
+                    .expect("completes");
+            assert_eq!(got.len(), 300, "{threads} threads");
+            assert_eq!(got[299], 598);
+        }
+    }
+
+    #[test]
+    fn mid_flight_cancellation_stops_claiming() {
+        // Trip the token from inside the map after a few items; the map
+        // must return None without touching every item.
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..100_000).collect();
+        let token = CancelToken::new();
+        let seen = AtomicUsize::new(0);
+        let got = try_par_map_batched(&items, 2, 8, Some(&token), || (), |_, &x| {
+            if seen.fetch_add(1, Ordering::Relaxed) == 20 {
+                token.cancel();
+            }
+            x
+        });
+        assert_eq!(got, None);
+        assert!(
+            seen.load(Ordering::Relaxed) < items.len(),
+            "cancellation should stop the sweep early"
+        );
     }
 }

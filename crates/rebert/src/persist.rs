@@ -1,35 +1,41 @@
 //! Model checkpointing: config + parameters as one JSON file.
+//!
+//! Serialization is hand-rolled on [`crate::json`] (same field layout as
+//! the previous serde-derived schema, so old checkpoints stay loadable)
+//! and loading **validates** the stored parameter tensors against the
+//! architecture the stored config implies: every tensor must exist, in
+//! registration order, with the registered name and shape. A truncated
+//! or mismatched checkpoint fails with a descriptive
+//! [`PersistError::Shape`] instead of panicking mid-forward.
 
 use std::fmt;
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::fmt::Write as _;
 use std::path::Path;
 
 use rebert_nn::ParamStore;
-use serde::{Deserialize, Serialize};
+use rebert_tensor::Tensor;
 
-use crate::model::{ReBertConfig, ReBertModel};
-
-#[derive(Serialize, Deserialize)]
-struct Checkpoint {
-    config: ReBertConfig,
-    store: ParamStore,
-}
+use crate::json::Json;
+use crate::model::{EmbeddingFlags, ReBertConfig, ReBertModel};
 
 /// Error raised when saving or loading a model checkpoint.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// JSON (de)serialization failure.
-    Json(serde_json::Error),
+    /// The file is not a well-formed checkpoint document.
+    Format(String),
+    /// The stored parameters do not match the architecture the stored
+    /// config implies (wrong count, name, or tensor shape).
+    Shape(String),
 }
 
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "model checkpoint i/o error: {e}"),
-            PersistError::Json(e) => write!(f, "model checkpoint format error: {e}"),
+            PersistError::Format(e) => write!(f, "model checkpoint format error: {e}"),
+            PersistError::Shape(e) => write!(f, "model checkpoint shape error: {e}"),
         }
     }
 }
@@ -38,7 +44,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Io(e) => Some(e),
-            PersistError::Json(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -49,41 +55,270 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
-        PersistError::Json(e)
-    }
+fn format_err(context: &str) -> PersistError {
+    PersistError::Format(format!("missing or invalid `{context}`"))
 }
 
 /// Saves the model (configuration and all parameters) to `path`.
 ///
 /// # Errors
 ///
-/// Returns a [`PersistError`] on I/O or serialization failure.
+/// Returns a [`PersistError`] on I/O failure.
 pub fn save_model(model: &ReBertModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let ckpt = Checkpoint {
-        config: model.config().clone(),
-        store: model.store().clone(),
-    };
-    let file = File::create(path)?;
-    serde_json::to_writer(BufWriter::new(file), &ckpt)?;
+    std::fs::write(path, encode_checkpoint(model.config(), model.store()))?;
     Ok(())
 }
 
+/// Renders a checkpoint document; streamed into one string rather than
+/// building a [`Json`] tree (stores hold hundreds of thousands of
+/// scalars).
+pub(crate) fn encode_checkpoint(config: &ReBertConfig, store: &ParamStore) -> String {
+    let mut out = String::with_capacity(64 + store.scalar_count() * 10);
+    out.push_str("{\"config\":");
+    out.push_str(&encode_config(config).to_string());
+    out.push_str(",\"store\":{\"names\":[");
+    for (i, (_, name, _)) in store.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::json::write_json_string(&mut out, name).expect("writing to String");
+    }
+    out.push_str("],\"tensors\":[");
+    for (i, (_, _, t)) in store.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (rows, cols) = t.shape();
+        write!(out, "{{\"rows\":{rows},\"cols\":{cols},\"data\":[").expect("writing to String");
+        for (j, v) in t.data().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            if v.is_finite() {
+                write!(out, "{v}").expect("writing to String");
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn encode_config(cfg: &ReBertConfig) -> Json {
+    Json::Obj(vec![
+        (
+            "bert".to_owned(),
+            Json::Obj(vec![
+                ("d_model".to_owned(), Json::uint(cfg.bert.d_model as u64)),
+                ("n_heads".to_owned(), Json::uint(cfg.bert.n_heads as u64)),
+                ("n_layers".to_owned(), Json::uint(cfg.bert.n_layers as u64)),
+                ("d_ff".to_owned(), Json::uint(cfg.bert.d_ff as u64)),
+            ]),
+        ),
+        ("max_seq".to_owned(), Json::uint(cfg.max_seq as u64)),
+        ("code_width".to_owned(), Json::uint(cfg.code_width as u64)),
+        ("k_levels".to_owned(), Json::uint(cfg.k_levels as u64)),
+        (
+            "jaccard_threshold".to_owned(),
+            Json::num(cfg.jaccard_threshold),
+        ),
+        (
+            "embeddings".to_owned(),
+            Json::Obj(vec![
+                ("word".to_owned(), Json::Bool(cfg.embeddings.word)),
+                ("position".to_owned(), Json::Bool(cfg.embeddings.position)),
+                ("tree".to_owned(), Json::Bool(cfg.embeddings.tree)),
+            ]),
+        ),
+    ])
+}
+
+fn decode_usize(doc: &Json, ctx: &str) -> Result<usize, PersistError> {
+    doc.as_usize().ok_or_else(|| format_err(ctx))
+}
+
+fn decode_config(doc: &Json) -> Result<ReBertConfig, PersistError> {
+    let bert = doc.get("bert").ok_or_else(|| format_err("config.bert"))?;
+    let emb = doc
+        .get("embeddings")
+        .ok_or_else(|| format_err("config.embeddings"))?;
+    let field = |obj: &Json, name: &str, ctx: &str| -> Result<usize, PersistError> {
+        decode_usize(obj.get(name).ok_or_else(|| format_err(ctx))?, ctx)
+    };
+    let flag = |name: &str| -> Result<bool, PersistError> {
+        emb.get(name)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format_err(&format!("config.embeddings.{name}")))
+    };
+    let mut cfg = ReBertConfig::tiny();
+    cfg.bert.d_model = field(bert, "d_model", "config.bert.d_model")?;
+    cfg.bert.n_heads = field(bert, "n_heads", "config.bert.n_heads")?;
+    cfg.bert.n_layers = field(bert, "n_layers", "config.bert.n_layers")?;
+    cfg.bert.d_ff = field(bert, "d_ff", "config.bert.d_ff")?;
+    cfg.max_seq = field(doc, "max_seq", "config.max_seq")?;
+    cfg.code_width = field(doc, "code_width", "config.code_width")?;
+    cfg.k_levels = field(doc, "k_levels", "config.k_levels")?;
+    cfg.jaccard_threshold = doc
+        .get("jaccard_threshold")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format_err("config.jaccard_threshold"))?;
+    cfg.embeddings = EmbeddingFlags {
+        word: flag("word")?,
+        position: flag("position")?,
+        tree: flag("tree")?,
+    };
+    // Mirror the constructor's invariants as errors instead of panics,
+    // so a tampered config cannot abort the loading process.
+    if !(cfg.embeddings.word || cfg.embeddings.position || cfg.embeddings.tree) {
+        return Err(PersistError::Format(
+            "config enables no embedding scheme".to_owned(),
+        ));
+    }
+    if cfg.code_width < 2 || cfg.code_width % 2 != 0 {
+        return Err(PersistError::Format(format!(
+            "config code_width {} is not a positive even number",
+            cfg.code_width
+        )));
+    }
+    if cfg.bert.n_heads == 0
+        || cfg.bert.d_model == 0
+        || cfg.bert.d_model % cfg.bert.n_heads != 0
+        || cfg.max_seq == 0
+    {
+        return Err(PersistError::Format(format!(
+            "config dimensions are inconsistent (d_model {}, n_heads {}, max_seq {})",
+            cfg.bert.d_model, cfg.bert.n_heads, cfg.max_seq
+        )));
+    }
+    Ok(cfg)
+}
+
+fn decode_store(doc: &Json) -> Result<ParamStore, PersistError> {
+    let names = doc
+        .get("names")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format_err("store.names"))?;
+    let tensors = doc
+        .get("tensors")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format_err("store.tensors"))?;
+    if names.len() != tensors.len() {
+        return Err(PersistError::Format(format!(
+            "store has {} names but {} tensors",
+            names.len(),
+            tensors.len()
+        )));
+    }
+    let mut store = ParamStore::new();
+    for (i, (name, tensor)) in names.iter().zip(tensors).enumerate() {
+        let name = name
+            .as_str()
+            .ok_or_else(|| format_err(&format!("store.names[{i}]")))?;
+        let rows = decode_usize(
+            tensor
+                .get("rows")
+                .ok_or_else(|| format_err(&format!("store.tensors[{i}].rows")))?,
+            "rows",
+        )?;
+        let cols = decode_usize(
+            tensor
+                .get("cols")
+                .ok_or_else(|| format_err(&format!("store.tensors[{i}].cols")))?,
+            "cols",
+        )?;
+        let data = tensor
+            .get("data")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format_err(&format!("store.tensors[{i}].data")))?;
+        if data.len() != rows * cols {
+            return Err(PersistError::Format(format!(
+                "tensor `{name}` declares {rows}x{cols} but holds {} scalars",
+                data.len()
+            )));
+        }
+        let mut flat = Vec::with_capacity(data.len());
+        for v in data {
+            flat.push(
+                v.as_f32()
+                    .ok_or_else(|| format_err(&format!("tensor `{name}` data")))?,
+            );
+        }
+        store.add(name, Tensor::from_vec(rows, cols, flat));
+    }
+    Ok(store)
+}
+
+/// Verifies that `store` matches the parameter layout a fresh model
+/// built from `fresh` would register: same count, and for every slot the
+/// same name and tensor shape.
+pub(crate) fn validate_store(fresh: &ReBertModel, store: &ParamStore) -> Result<(), PersistError> {
+    let expected = fresh.store();
+    if store.len() != expected.len() {
+        return Err(PersistError::Shape(format!(
+            "checkpoint holds {} parameter tensors but the stored config \
+             (vocab {}, hidden {}, {} heads, {} layers) requires {}",
+            store.len(),
+            fresh.vocab().len(),
+            fresh.config().bert.d_model,
+            fresh.config().bert.n_heads,
+            fresh.config().bert.n_layers,
+            expected.len()
+        )));
+    }
+    for (id, name, want) in expected.iter() {
+        let got = store.get(id);
+        if store.name(id) != name {
+            return Err(PersistError::Shape(format!(
+                "parameter {} is named `{}` in the checkpoint but the \
+                 config registers `{name}` at that slot",
+                id.index(),
+                store.name(id)
+            )));
+        }
+        if got.shape() != want.shape() {
+            return Err(PersistError::Shape(format!(
+                "parameter `{name}` has shape {:?} in the checkpoint but \
+                 the config requires {:?}",
+                got.shape(),
+                want.shape()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds a model from an already-decoded config + store, validating
+/// shapes first (shared by [`load_model`] and tests).
+pub(crate) fn install_checkpoint(
+    config: ReBertConfig,
+    store: ParamStore,
+) -> Result<ReBertModel, PersistError> {
+    // Parameter registration order is deterministic for a given config,
+    // so a fresh model's ParamIds line up with the stored tensors.
+    let mut model = ReBertModel::new(config, 0);
+    validate_store(&model, &store)?;
+    model.set_store(store);
+    Ok(model)
+}
+
 /// Loads a model saved by [`save_model`]: reconstructs the architecture
-/// from the stored configuration and installs the stored parameters.
+/// from the stored configuration, validates that every stored tensor
+/// matches the shape that architecture registers, and installs the
+/// parameters.
 ///
 /// # Errors
 ///
-/// Returns a [`PersistError`] on I/O or deserialization failure.
+/// Returns a [`PersistError`] on I/O failure, malformed JSON
+/// ([`PersistError::Format`]), or a config/parameter mismatch
+/// ([`PersistError::Shape`]).
 pub fn load_model(path: impl AsRef<Path>) -> Result<ReBertModel, PersistError> {
-    let file = File::open(path)?;
-    let ckpt: Checkpoint = serde_json::from_reader(BufReader::new(file))?;
-    // Parameter registration order is deterministic for a given config,
-    // so a fresh model's ParamIds line up with the stored tensors.
-    let mut model = ReBertModel::new(ckpt.config, 0);
-    model.set_store(ckpt.store);
-    Ok(model)
+    let text = std::fs::read_to_string(path)?;
+    let doc = Json::parse(&text).map_err(|e| PersistError::Format(e.to_string()))?;
+    let config = decode_config(doc.get("config").ok_or_else(|| format_err("config"))?)?;
+    let store = decode_store(doc.get("store").ok_or_else(|| format_err("store"))?)?;
+    install_checkpoint(config, store)
 }
 
 #[cfg(test)]
@@ -92,18 +327,26 @@ mod tests {
     use crate::model::ReBertConfig;
     use crate::token::{PairSequence, Token};
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rebert_persist_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn demo_pair(cfg: &ReBertConfig) -> PairSequence {
+        let toks = vec![Token::X, Token::X, Token::X];
+        let codes = vec![vec![0.0; cfg.code_width]; 3];
+        PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, 64)
+    }
+
     #[test]
     fn save_load_preserves_predictions() {
         let cfg = ReBertConfig::tiny();
         let model = ReBertModel::new(cfg.clone(), 99);
-        let toks = vec![Token::X, Token::X, Token::X];
-        let codes = vec![vec![0.0; cfg.code_width]; 3];
-        let pair = PairSequence::build(&toks, &codes, &toks, &codes, cfg.code_width, 64);
+        let pair = demo_pair(&cfg);
         let before = model.predict(&pair);
 
-        let dir = std::env::temp_dir().join("rebert_persist_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
+        let path = tmp("model.json");
         save_model(&model, &path).unwrap();
         let loaded = load_model(&path).unwrap();
         assert_eq!(loaded.predict(&pair), before);
@@ -115,5 +358,79 @@ mod tests {
     fn load_missing_file_errors() {
         let err = load_model("/nonexistent/rebert/model.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn garbage_file_reports_format_error() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "{\"config\": nonsense").unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_tensor_reports_format_error() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 4);
+        let path = tmp("truncated.json");
+        save_model(&model, &path).unwrap();
+        // Drop one scalar from the first tensor's data array.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let data = text.find("\"data\":[").expect("tensor data") + "\"data\":[".len();
+        let comma = text[data..].find(',').expect("more than one scalar") + data;
+        let tampered = format!("{}{}", &text[..data], &text[comma + 1..]);
+        std::fs::write(&path, tampered).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+        assert!(err.to_string().contains("scalars"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn config_store_mismatch_reports_shape_error() {
+        // Regression: a checkpoint whose config says `d_ff: 32` but whose
+        // tensors were trained at `d_ff: 64` must fail at load with a
+        // descriptive shape error, not panic mid-forward.
+        let mut big = ReBertConfig::tiny();
+        big.bert.d_ff *= 2;
+        let model = ReBertModel::new(big, 7);
+        let path = tmp("mismatch.json");
+        save_model(&model, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let wrong = text.replacen(
+            &format!("\"d_ff\":{}", model.config().bert.d_ff),
+            &format!("\"d_ff\":{}", model.config().bert.d_ff / 2),
+            1,
+        );
+        assert_ne!(wrong, text, "tamper must hit the config");
+        std::fs::write(&path, wrong).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Shape(_)), "{err}");
+        assert!(err.to_string().contains("shape"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn layer_count_mismatch_reports_tensor_count() {
+        let mut deep = ReBertConfig::tiny();
+        deep.bert.n_layers += 1;
+        let donor = ReBertModel::new(ReBertConfig::tiny(), 1);
+        // Claim the deeper config over the shallow model's tensors.
+        let err = install_checkpoint(deep, donor.store().clone()).unwrap_err();
+        assert!(matches!(err, PersistError::Shape(_)), "{err}");
+        assert!(err.to_string().contains("requires"), "{err}");
+    }
+
+    #[test]
+    fn renamed_parameter_rejected() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 2);
+        let mut store = ParamStore::new();
+        for (i, (_, name, t)) in model.store().iter().enumerate() {
+            let name = if i == 0 { "emb.bogus" } else { name };
+            store.add(name, t.clone());
+        }
+        let err = install_checkpoint(ReBertConfig::tiny(), store).unwrap_err();
+        assert!(matches!(err, PersistError::Shape(_)), "{err}");
+        assert!(err.to_string().contains("emb.bogus"), "{err}");
     }
 }

@@ -18,7 +18,8 @@ use crate::dataset::{bit_sequences, ConeClasses};
 use crate::filter::{jaccard, jaccard_counts};
 use crate::group::{group_bits_adaptive, ScoreMatrix};
 use crate::model::ReBertModel;
-use crate::par::par_map_batched;
+use crate::par::try_par_map_batched;
+use crate::session::{CancelToken, ScratchPool};
 use crate::token::PairSequence;
 
 /// Class pairs per work-stealing batch in the filter/assembly sweep.
@@ -98,6 +99,18 @@ impl RecoveredWords {
     }
 }
 
+/// Per-run plumbing for [`ReBertModel::run_recovery`]: the thread-count
+/// knob plus the session-supplied extras (cancellation, warm scratches).
+/// One-shot entry points pass `None` for both.
+pub(crate) struct RunCtx<'a> {
+    /// OS threads for the sweep and the scorer (`0` = all cores).
+    pub threads: usize,
+    /// Cooperative abort checked at every phase boundary and batch claim.
+    pub cancel: Option<&'a CancelToken>,
+    /// Warm scratch buffers from a resident session.
+    pub scratches: Option<&'a ScratchPool>,
+}
+
 /// Outcome of one unordered class pair in the parallel filter/assembly
 /// sweep: either filtered, or up to two representative sequences (one per
 /// orientation in which member bit pairs occur).
@@ -148,8 +161,26 @@ impl ReBertModel {
     /// score matrix are **bitwise-identical** to the per-bit-pair
     /// reference path for every thread count.
     pub fn recover_words_with(&self, nl: &Netlist, threads: usize) -> RecoveredWords {
+        self.run_recovery(
+            nl,
+            RunCtx {
+                threads,
+                cancel: None,
+                scratches: None,
+            },
+        )
+        .expect("recovery without a cancel token always completes")
+    }
+
+    /// The class-deduplicated pipeline with per-run plumbing: called by
+    /// [`ReBertModel::recover_words_with`] (no extras) and by
+    /// [`crate::RecoverySession`] (warm scratches + cancellation).
+    /// Returns `None` only if `ctx.cancel` tripped mid-run; no partial
+    /// result ever escapes.
+    pub(crate) fn run_recovery(&self, nl: &Netlist, ctx: RunCtx<'_>) -> Option<RecoveredWords> {
         let start = Instant::now();
         let cfg = self.config();
+        let threads = ctx.threads;
 
         let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
         let n = seqs.len();
@@ -174,10 +205,11 @@ impl ReBertModel {
         // Parallel sweep: Jaccard once per class pair, then assemble the
         // representative sequence(s) for survivors. Deterministic because
         // results are collected in class-pair order.
-        let swept: Vec<SweptClassPair> = par_map_batched(
+        let swept: Vec<SweptClassPair> = try_par_map_batched(
             &class_pairs,
             threads,
             SWEEP_BATCH,
+            ctx.cancel,
             || (),
             |_, &(a, b)| {
                 if jaccard_counts(classes.histogram(a), classes.histogram(b))
@@ -209,7 +241,7 @@ impl ReBertModel {
                     hi_lo,
                 }
             },
-        );
+        )?;
 
         // Deterministic survivor indexing: walk class pairs in linear
         // order, assigning each needed orientation one slot in `pairs`.
@@ -243,7 +275,8 @@ impl ReBertModel {
         let filter_time = filter_start.elapsed();
 
         let score_start = Instant::now();
-        let scores = self.score_pairs(&pairs, threads);
+        let pair_refs: Vec<&PairSequence> = pairs.iter().collect();
+        let scores = self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches)?;
         let score_time = score_start.elapsed();
 
         let group_start = Instant::now();
@@ -262,7 +295,7 @@ impl ReBertModel {
 
         let pairs_total = n * n.saturating_sub(1) / 2;
         let scored = pairs_total - filtered;
-        self.finish(
+        Some(self.finish(
             assignment,
             matrix,
             PipelinePhases {
@@ -277,7 +310,7 @@ impl ReBertModel {
                 group_time,
                 elapsed: start.elapsed(),
             },
-        )
+        ))
     }
 
     /// The pre-deduplication **reference path**: Jaccard and the model

@@ -1,0 +1,341 @@
+//! Resident recovery sessions: a loaded model plus warm per-thread
+//! scoring scratches, with cooperative cancellation.
+//!
+//! A one-shot `rebert recover` pays model construction and scratch
+//! warm-up on every invocation. A [`RecoverySession`] keeps that state
+//! alive between requests: scoring scratches are leased to worker
+//! threads and returned warm, so steady-state requests run
+//! allocation-free. [`CancelToken`] threads a deadline (or an explicit
+//! abort) through the pipeline's atomic-cursor work loops — workers stop
+//! claiming batches as soon as the token trips, and the session stays
+//! reusable afterwards.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rebert_netlist::Netlist;
+
+use crate::model::{ReBertModel, ScoreScratch};
+use crate::pipeline::{RecoveredWords, RunCtx};
+
+/// Cooperative cancellation handle: an explicit flag plus an optional
+/// deadline. Cloneable; all clones observe the same cancellation.
+///
+/// Work loops poll [`CancelToken::is_cancelled`] once per claimed batch,
+/// so cancellation latency is bounded by one batch of work (a few dozen
+/// model calls at most).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + budget)
+    }
+
+    /// A token that auto-cancels at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Trips the token; every holder observes it on the next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.flag.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+/// Error returned when a recovery was aborted by its [`CancelToken`]
+/// (deadline exceeded or explicit cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("word recovery cancelled (deadline exceeded or explicit abort)")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A pool of warm [`ScoreScratch`]es shared across requests. Workers
+/// lease a scratch for the duration of one parallel map and return it on
+/// drop, so buffer capacity (and the pages backing it) survive between
+/// requests.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    free: Mutex<Vec<ScoreScratch>>,
+}
+
+impl ScratchPool {
+    /// Takes a warm scratch (or a fresh one when the pool is empty).
+    pub(crate) fn lease(&self) -> ScratchLease<'_> {
+        let scratch = self
+            .free
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default();
+        ScratchLease {
+            pool: Some(self),
+            scratch,
+        }
+    }
+
+    #[cfg(test)]
+    fn warm_count(&self) -> usize {
+        self.free.lock().expect("scratch pool lock").len()
+    }
+}
+
+/// A leased scratch: hands the buffer back to its pool on drop. A lease
+/// without a pool ([`ScratchLease::fresh`]) just drops the buffer.
+#[derive(Debug)]
+pub(crate) struct ScratchLease<'a> {
+    pool: Option<&'a ScratchPool>,
+    scratch: ScoreScratch,
+}
+
+impl<'a> ScratchLease<'a> {
+    /// A pool-less lease for one-shot scoring.
+    pub(crate) fn fresh() -> ScratchLease<'a> {
+        ScratchLease {
+            pool: None,
+            scratch: ScoreScratch::new(),
+        }
+    }
+
+    /// The scratch buffers.
+    pub(crate) fn scratch_mut(&mut self) -> &mut ScoreScratch {
+        &mut self.scratch
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool {
+            let scratch = std::mem::take(&mut self.scratch);
+            pool.free.lock().expect("scratch pool lock").push(scratch);
+        }
+    }
+}
+
+/// A resident word-recovery session: the model, its thread-count knob,
+/// and a pool of warm scoring scratches.
+///
+/// Results are bitwise-identical to the one-shot
+/// [`ReBertModel::recover_words_with`] path — the session only changes
+/// where scratch buffers come from and adds cancellation points.
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{CancelToken, RecoverySession, ReBertConfig, ReBertModel};
+/// use rebert_circuits::{generate, Profile};
+///
+/// let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+/// let session = RecoverySession::new(model, 1);
+/// let c = generate(&Profile::new("demo", 80, 8, 2), 3);
+/// let rec = session.recover(&c.netlist);
+/// assert_eq!(rec.assignment.len(), 8);
+/// // A pre-cancelled token aborts without poisoning the session.
+/// let token = CancelToken::new();
+/// token.cancel();
+/// assert!(session.try_recover(&c.netlist, &token).is_err());
+/// assert_eq!(session.recover(&c.netlist).assignment, rec.assignment);
+/// ```
+#[derive(Debug)]
+pub struct RecoverySession {
+    model: ReBertModel,
+    threads: usize,
+    scratches: ScratchPool,
+}
+
+impl RecoverySession {
+    /// Wraps a model into a resident session scoring with `threads` OS
+    /// threads (`0` = all available cores).
+    pub fn new(model: ReBertModel, threads: usize) -> Self {
+        RecoverySession {
+            model,
+            threads,
+            scratches: ScratchPool::default(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &ReBertModel {
+        &self.model
+    }
+
+    /// The configured thread-count knob (`0` = all cores).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Recovers words with warm scratches and no cancellation.
+    pub fn recover(&self, nl: &Netlist) -> RecoveredWords {
+        self.try_recover(nl, &CancelToken::new())
+            .expect("a fresh token never cancels")
+    }
+
+    /// Recovers words, aborting cooperatively if `cancel` trips. On
+    /// cancellation the session remains fully reusable: leased scratches
+    /// are returned to the pool and no partial result escapes.
+    pub fn try_recover(
+        &self,
+        nl: &Netlist,
+        cancel: &CancelToken,
+    ) -> Result<RecoveredWords, Cancelled> {
+        self.model
+            .run_recovery(
+                nl,
+                RunCtx {
+                    threads: self.threads,
+                    cancel: Some(cancel),
+                    scratches: Some(&self.scratches),
+                },
+            )
+            .ok_or(Cancelled)
+    }
+
+    /// Consumes the session, returning the model (e.g. to re-checkpoint).
+    pub fn into_model(self) -> ReBertModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ReBertConfig;
+    use rebert_circuits::{generate, Profile};
+
+    #[test]
+    fn session_matches_one_shot_bitwise() {
+        let mk = || ReBertModel::new(ReBertConfig::tiny(), 13);
+        let c = generate(&Profile::new("demo", 100, 12, 3), 4);
+        let offline = mk().recover_words_with(&c.netlist, 1);
+        let session = RecoverySession::new(mk(), 1);
+        for round in 0..3 {
+            let rec = session.recover(&c.netlist);
+            assert_eq!(rec.assignment, offline.assignment, "round {round}");
+            for i in 0..12 {
+                for j in (i + 1)..12 {
+                    assert_eq!(
+                        rec.score_matrix.get(i, j).to_bits(),
+                        offline.score_matrix.get(i, j).to_bits(),
+                        "round {round} score ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_is_thread_count_invariant() {
+        let c = generate(&Profile::new("demo", 90, 10, 3), 6);
+        let base = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), 1)
+            .recover(&c.netlist);
+        for threads in [2usize, 4] {
+            let session = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), threads);
+            assert_eq!(
+                session.recover(&c.netlist).assignment,
+                base.assignment,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn scratches_return_to_pool_warm() {
+        let session = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 0), 1);
+        let c = generate(&Profile::new("demo", 80, 8, 2), 5);
+        assert_eq!(session.scratches.warm_count(), 0);
+        let _ = session.recover(&c.netlist);
+        let after_first = session.scratches.warm_count();
+        assert!(after_first >= 1, "scoring leased at least one scratch");
+        let _ = session.recover(&c.netlist);
+        // Steady state: the pool does not grow without bound.
+        assert_eq!(session.scratches.warm_count(), after_first);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_and_session_survives() {
+        let session = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 2), 2);
+        let c = generate(&Profile::new("demo", 120, 14, 4), 7);
+        let clean = session.recover(&c.netlist);
+
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(session.try_recover(&c.netlist, &token).unwrap_err(), Cancelled);
+
+        // An expired deadline behaves the same way.
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(
+            session.try_recover(&c.netlist, &expired).unwrap_err(),
+            Cancelled
+        );
+
+        // The session is not poisoned: results stay bitwise-identical.
+        let again = session.recover(&c.netlist);
+        assert_eq!(again.assignment, clean.assignment);
+    }
+
+    #[test]
+    fn generous_deadline_completes() {
+        let session = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 1), 1);
+        let c = generate(&Profile::new("demo", 80, 8, 2), 8);
+        let token = CancelToken::with_deadline(Duration::from_secs(600));
+        let rec = session.try_recover(&c.netlist, &token).expect("finishes");
+        assert_eq!(rec.assignment, session.recover(&c.netlist).assignment);
+    }
+
+    #[test]
+    fn token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_token_trips_after_expiry() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.deadline().is_some());
+        assert!(CancelToken::new().deadline().is_none());
+    }
+}

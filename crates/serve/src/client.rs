@@ -1,0 +1,144 @@
+//! A tiny blocking HTTP client for talking to the daemon — used by
+//! `rebert submit` and the integration tests. One request per
+//! connection, mirroring the server's `Connection: close` discipline.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed daemon reply.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// A header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad_reply(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// Sends one request and reads the full reply.
+///
+/// # Errors
+///
+/// Returns the connect/transport error, or `InvalidData` if the reply
+/// is not parseable HTTP.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: rebert\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_reply(format!("bad status line `{}`", status_line.trim_end())))?;
+
+    let mut reply_headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_reply(format!("bad reply header `{line}`")))?;
+        reply_headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    // The server always closes after one response, so read to EOF.
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    Ok(HttpReply {
+        status,
+        headers: reply_headers,
+        body,
+    })
+}
+
+/// Submits a netlist to `POST /recover`.
+///
+/// `format` is `Some("bench")`/`Some("verilog")` to pin the parser, or
+/// `None` to let the daemon sniff. `deadline_ms` bounds the recovery.
+///
+/// # Errors
+///
+/// Transport or reply-parse failure; HTTP-level errors (400/503/504)
+/// come back as a normal [`HttpReply`].
+pub fn submit_recover(
+    addr: impl ToSocketAddrs,
+    netlist_text: &str,
+    format: Option<&str>,
+    deadline_ms: Option<u64>,
+) -> std::io::Result<HttpReply> {
+    let deadline_text = deadline_ms.map(|ms| ms.to_string());
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(f) = format {
+        headers.push(("X-Rebert-Format", f));
+    }
+    if let Some(d) = &deadline_text {
+        headers.push(("X-Rebert-Deadline-Ms", d));
+    }
+    http_request(addr, "POST", "/recover", &headers, netlist_text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_header_lookup_is_case_insensitive() {
+        let reply = HttpReply {
+            status: 503,
+            headers: vec![("retry-after".into(), "1".into())],
+            body: b"{}".to_vec(),
+        };
+        assert_eq!(reply.header("Retry-After"), Some("1"));
+        assert_eq!(reply.header("RETRY-AFTER"), Some("1"));
+        assert_eq!(reply.header("missing"), None);
+        assert_eq!(reply.body_text(), "{}");
+    }
+
+    #[test]
+    fn connect_to_dead_port_fails_with_io_error() {
+        // Port 1 on localhost is essentially never listening.
+        assert!(http_request("127.0.0.1:1", "GET", "/healthz", &[], b"").is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! A minimal HTTP/1.1 server/message layer over `std::io` — just enough
+//! for the daemon's request/response cycle (one request per connection,
+//! `Connection: close`), with hard limits on header and body sizes so a
+//! misbehaving client cannot exhaust the process.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted request body (netlists are text; 64 MiB is generous).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure (or client hang-up mid-request).
+    Io(io::Error),
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// The request exceeds a size limit (maps to 413).
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http request: {m}"),
+            HttpError::TooLarge(what) => write!(f, "request {what} too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request: method, target (path plus optional query), headers
+/// in arrival order, and the raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request target, e.g. `/recover?format=bench`.
+    pub target: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// A header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Err(HttpError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-line",
+            )));
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                buf.extend_from_slice(&available[..i]);
+                r.consume(i + 1);
+                break;
+            }
+            None => {
+                let n = available.len();
+                buf.extend_from_slice(available);
+                r.consume(n);
+            }
+        }
+        if buf.len() > MAX_LINE {
+            return Err(HttpError::TooLarge("header line"));
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    if buf.len() > MAX_LINE {
+        return Err(HttpError::TooLarge("header line"));
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-utf8 header line".into()))
+}
+
+/// Reads one request. Returns `Ok(None)` if the client closed the
+/// connection cleanly before sending anything.
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    // Peek for clean EOF before the request line.
+    if r.fill_buf()?.is_empty() {
+        return Ok(None);
+    }
+    let line = read_line(r)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line lacks a target".into()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line lacks a version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// The canonical reason phrase for the handful of statuses the daemon
+/// emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Connection` are added on write).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: &rebert::json::Json) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response (HTTP/1.1, `Connection: close`).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /recover?x=1 HTTP/1.1\r\nHost: localhost\r\nX-Rebert-Deadline-Ms: 250\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/recover");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("X-REBERT-DEADLINE-MS"), Some("250"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let req = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(req.path(), "/healthz");
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(matches!(
+            parse("NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: cow\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n")
+            .header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

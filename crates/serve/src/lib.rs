@@ -1,0 +1,53 @@
+//! # rebert-serve
+//!
+//! A resident word-recovery daemon for the ReBERT reproduction. The
+//! one-shot `rebert recover` pays checkpoint load and scratch warm-up on
+//! every invocation; this crate keeps a [`rebert::RecoverySession`]
+//! alive behind a small dependency-free HTTP/1.1 server, so repeated
+//! recoveries run against a warm model.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint          | Semantics |
+//! |-------------------|-----------|
+//! | `POST /recover`   | Body is a `.bench` or Verilog netlist (`X-Rebert-Format: bench\|verilog`, sniffed otherwise). Optional `X-Rebert-Deadline-Ms` bounds the recovery. Returns recovered words + pipeline stats as JSON. |
+//! | `GET /healthz`    | Liveness probe (`200 ok`). |
+//! | `GET /metrics`    | Prometheus text exposition: request counters, queue depth, in-flight gauge, per-phase timing histograms, pairs/sec, cone-dedup counters. |
+//! | `POST /shutdown`  | Requests a graceful drain (also triggered by SIGINT/SIGTERM). |
+//!
+//! ## Semantics
+//!
+//! * **Backpressure** — jobs flow through a bounded queue
+//!   ([`queue::Bounded`]); when it is full, submissions get `503` with
+//!   `Retry-After` instead of queueing invisibly.
+//! * **Deadlines** — each request's deadline becomes a
+//!   [`rebert::CancelToken`] threaded through the scoring work loops;
+//!   overdue recoveries abort cooperatively with `504` and the session
+//!   stays warm.
+//! * **Graceful shutdown** — on SIGINT/SIGTERM (or `POST /shutdown`)
+//!   the daemon stops accepting, drains queued work, answers every
+//!   in-flight connection, and exits 0.
+//!
+//! ```no_run
+//! use rebert::{ReBertConfig, ReBertModel, RecoverySession};
+//! use rebert_serve::{serve, ServeConfig};
+//!
+//! let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+//! let session = RecoverySession::new(model, 0);
+//! let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! let server = serve(session, listener, ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! rebert_serve::run_until_shutdown(server);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+mod server;
+
+pub use client::{http_request, submit_recover, HttpReply};
+pub use metrics::Metrics;
+pub use server::{run_until_shutdown, serve, signals, ServeConfig, Server};

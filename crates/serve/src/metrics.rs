@@ -1,0 +1,351 @@
+//! Daemon telemetry rendered in the Prometheus text exposition format.
+//!
+//! Everything is lock-free atomics except the request-counter map (one
+//! short mutex per finished request), so recording never contends with
+//! the scoring threads. Phase timings land in fixed-bucket histograms;
+//! the pairs counters mirror [`rebert::PipelineStats`] cumulatively
+//! across requests.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rebert::PipelineStats;
+
+/// Histogram bucket upper bounds, in seconds. Spans sub-millisecond
+/// grouping up to multi-second scoring runs; `+Inf` is implicit.
+pub const BUCKETS: [f64; 9] = [0.001, 0.005, 0.02, 0.1, 0.25, 1.0, 2.5, 10.0, 60.0];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (saturating at zero).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket duration histogram ([`BUCKETS`] plus `+Inf`). The sum
+/// is tracked in integer microseconds so recording stays a pair of
+/// atomic adds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [Counter; BUCKETS.len() + 1],
+    sum_micros: Counter,
+    count: Counter,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        let slot = BUCKETS
+            .iter()
+            .position(|&le| secs <= le)
+            .unwrap_or(BUCKETS.len());
+        self.counts[slot].inc();
+        self.sum_micros.add(d.as_micros().min(u64::MAX as u128) as u64);
+        self.count.inc();
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, le) in BUCKETS.iter().enumerate() {
+            cumulative += self.counts[i].get();
+            let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{le}\"}} {cumulative}");
+        }
+        cumulative += self.counts[BUCKETS.len()].get();
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {cumulative}");
+        let sum = self.sum_micros.get() as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum{{{trim}}} {sum}", trim = labels.trim_end_matches(','));
+        let _ = writeln!(
+            out,
+            "{name}_count{{{trim}}} {count}",
+            trim = labels.trim_end_matches(','),
+            count = self.count.get()
+        );
+    }
+}
+
+/// The pipeline phases exported as histogram label values, in order.
+pub const PHASES: [&str; 5] = ["tokenize", "filter", "score", "group", "total"];
+
+/// All daemon metrics. One instance lives for the life of the server and
+/// is shared by the connection threads, the executor, and the `/metrics`
+/// handler.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `(endpoint, outcome)` → finished-request count.
+    requests: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
+    /// Jobs waiting in the bounded queue right now.
+    pub queue_depth: Gauge,
+    /// Recoveries executing right now (0 or 1 with a single executor).
+    pub inflight: Gauge,
+    /// Jobs refused with 503 because the queue was full.
+    pub rejected_total: Counter,
+    /// Jobs aborted by their deadline (504).
+    pub deadline_total: Counter,
+    /// Cumulative bit pairs scored (memoized broadcasts included).
+    pub pairs_scored_total: Counter,
+    /// Cumulative unique class-pair model calls.
+    pub class_pairs_scored_total: Counter,
+    /// Cumulative bit pairs served from the class-pair memo.
+    pub pairs_memoized_total: Counter,
+    /// Cumulative cone classes observed across requests.
+    pub classes_total: Counter,
+    /// Scoring throughput of the most recent completed recovery,
+    /// stored as `f64::to_bits`.
+    last_pairs_per_sec: AtomicU64,
+    /// Per-phase recovery timing histograms, indexed like [`PHASES`].
+    phase: [Histogram; PHASES.len()],
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one finished request against `(endpoint, outcome)`.
+    pub fn count_request(&self, endpoint: &'static str, outcome: &'static str) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics request map lock")
+            .entry((endpoint, outcome))
+            .or_insert(0) += 1;
+    }
+
+    /// The count recorded for `(endpoint, outcome)`.
+    pub fn request_count(&self, endpoint: &str, outcome: &str) -> u64 {
+        self.requests
+            .lock()
+            .expect("metrics request map lock")
+            .iter()
+            .filter(|((e, o), _)| *e == endpoint && *o == outcome)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Folds one completed recovery's stats into the counters and
+    /// histograms.
+    pub fn record_recovery(&self, stats: &PipelineStats) {
+        self.pairs_scored_total.add(stats.pairs_scored as u64);
+        self.class_pairs_scored_total
+            .add(stats.class_pairs_scored as u64);
+        self.pairs_memoized_total.add(stats.pairs_memoized as u64);
+        self.classes_total.add(stats.classes as u64);
+        self.last_pairs_per_sec
+            .store(stats.pairs_per_sec.to_bits(), Ordering::Relaxed);
+        let durations = [
+            stats.tokenize_time,
+            stats.filter_time,
+            stats.score_time,
+            stats.group_time,
+            stats.elapsed,
+        ];
+        for (h, d) in self.phase.iter().zip(durations) {
+            h.observe(d);
+        }
+    }
+
+    /// The per-phase histogram for one of [`PHASES`].
+    pub fn phase_histogram(&self, phase: &str) -> Option<&Histogram> {
+        PHASES
+            .iter()
+            .position(|p| *p == phase)
+            .map(|i| &self.phase[i])
+    }
+
+    /// Renders everything in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP rebert_requests_total Finished HTTP requests by endpoint and outcome.\n# TYPE rebert_requests_total counter\n");
+        for ((endpoint, outcome), count) in
+            self.requests.lock().expect("metrics request map lock").iter()
+        {
+            let _ = writeln!(
+                out,
+                "rebert_requests_total{{endpoint=\"{endpoint}\",outcome=\"{outcome}\"}} {count}"
+            );
+        }
+
+        let gauges_and_counters: [(&str, &str, &str, u64); 8] = [
+            ("rebert_queue_depth", "gauge", "Jobs waiting in the bounded queue.", self.queue_depth.get()),
+            ("rebert_inflight", "gauge", "Recoveries executing right now.", self.inflight.get()),
+            ("rebert_rejected_total", "counter", "Jobs refused with 503 (queue full or shutting down).", self.rejected_total.get()),
+            ("rebert_deadline_exceeded_total", "counter", "Jobs aborted by their deadline (504).", self.deadline_total.get()),
+            ("rebert_pairs_scored_total", "counter", "Cumulative bit pairs scored, memoized broadcasts included.", self.pairs_scored_total.get()),
+            ("rebert_class_pairs_scored_total", "counter", "Cumulative unique class-pair model calls.", self.class_pairs_scored_total.get()),
+            ("rebert_pairs_memoized_total", "counter", "Cumulative bit pairs served from the class-pair memo.", self.pairs_memoized_total.get()),
+            ("rebert_cone_classes_total", "counter", "Cumulative cone classes across recoveries.", self.classes_total.get()),
+        ];
+        for (name, kind, help, value) in gauges_and_counters {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}");
+        }
+
+        let pps = f64::from_bits(self.last_pairs_per_sec.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "# HELP rebert_pairs_per_sec Scoring throughput of the most recent recovery.\n# TYPE rebert_pairs_per_sec gauge\nrebert_pairs_per_sec {pps}"
+        );
+
+        out.push_str("# HELP rebert_phase_seconds Recovery pipeline phase durations.\n# TYPE rebert_phase_seconds histogram\n");
+        for (phase, h) in PHASES.iter().zip(&self.phase) {
+            h.render(&mut out, "rebert_phase_seconds", &format!("phase=\"{phase}\","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> PipelineStats {
+        PipelineStats {
+            pairs_total: 10,
+            pairs_filtered: 4,
+            pairs_scored: 6,
+            classes: 3,
+            class_pairs_scored: 4,
+            pairs_memoized: 2,
+            pairs_per_sec: 123.5,
+            tokenize_time: Duration::from_micros(800),
+            filter_time: Duration::from_millis(3),
+            score_time: Duration::from_millis(40),
+            group_time: Duration::from_micros(90),
+            elapsed: Duration::from_millis(44),
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_move() {
+        let m = Metrics::new();
+        m.count_request("recover", "ok");
+        m.count_request("recover", "ok");
+        m.count_request("metrics", "ok");
+        assert_eq!(m.request_count("recover", "ok"), 2);
+        assert_eq!(m.request_count("metrics", "ok"), 1);
+        assert_eq!(m.request_count("recover", "rejected"), 0);
+        m.inflight.inc();
+        assert_eq!(m.inflight.get(), 1);
+        m.inflight.dec();
+        m.inflight.dec(); // saturates
+        assert_eq!(m.inflight.get(), 0);
+        m.queue_depth.set(7);
+        assert_eq!(m.queue_depth.get(), 7);
+    }
+
+    #[test]
+    fn recovery_stats_accumulate() {
+        let m = Metrics::new();
+        m.record_recovery(&sample_stats());
+        m.record_recovery(&sample_stats());
+        assert_eq!(m.pairs_scored_total.get(), 12);
+        assert_eq!(m.class_pairs_scored_total.get(), 8);
+        assert_eq!(m.pairs_memoized_total.get(), 4);
+        assert_eq!(m.classes_total.get(), 6);
+        assert_eq!(m.phase_histogram("score").unwrap().count(), 2);
+        assert_eq!(m.phase_histogram("nonsense").map(Histogram::count), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(500)); // ≤ 0.001
+        h.observe(Duration::from_millis(50)); // ≤ 0.1
+        h.observe(Duration::from_secs(120)); // +Inf only
+        let mut out = String::new();
+        h.render(&mut out, "x", "");
+        let mut last = 0u64;
+        let mut inf = 0u64;
+        for line in out.lines() {
+            if let Some(rest) = line.strip_prefix("x_bucket{") {
+                let v: u64 = rest.split(' ').nth(1).unwrap().parse().unwrap();
+                assert!(v >= last, "buckets must be cumulative: {out}");
+                last = v;
+                inf = v;
+            }
+        }
+        assert_eq!(inf, 3, "+Inf bucket counts every observation");
+        assert!(out.contains("x_count{} 3"));
+    }
+
+    #[test]
+    fn render_emits_help_and_type_for_every_family() {
+        let m = Metrics::new();
+        m.count_request("recover", "ok");
+        m.record_recovery(&sample_stats());
+        let text = m.render();
+        for family in [
+            "rebert_requests_total",
+            "rebert_queue_depth",
+            "rebert_inflight",
+            "rebert_rejected_total",
+            "rebert_deadline_exceeded_total",
+            "rebert_pairs_scored_total",
+            "rebert_class_pairs_scored_total",
+            "rebert_pairs_memoized_total",
+            "rebert_cone_classes_total",
+            "rebert_pairs_per_sec",
+            "rebert_phase_seconds",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
+            assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
+        }
+        assert!(text.contains("rebert_phase_seconds_bucket{phase=\"score\",le=\"+Inf\"} 1"));
+        assert!(text.contains("rebert_phase_seconds_count{phase=\"total\"} 1"));
+        assert!(text.contains("rebert_pairs_per_sec 123.5"));
+    }
+}

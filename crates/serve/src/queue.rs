@@ -1,0 +1,176 @@
+//! A bounded MPSC job queue built on `Mutex` + `Condvar`.
+//!
+//! Producers (connection threads) never block: [`Bounded::try_push`]
+//! fails fast when the queue is full so the caller can answer 503 with
+//! `Retry-After` instead of building an invisible backlog. The single
+//! consumer (the executor) blocks in [`Bounded::pop`]; after
+//! [`Bounded::close`] it drains whatever is already queued and then
+//! observes `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. The job is handed back so the caller can
+/// reply to its client.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure, retry later.
+    Full(T),
+    /// The queue is shutting down and takes no new work.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue with a blocking consumer.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    wakeup: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking, or reports why it cannot.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.wakeup.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. Returns `None` only once the queue is
+    /// closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.wakeup.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Stops accepting new items; queued items still drain via
+    /// [`Bounded::pop`].
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.wakeup.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = Bounded::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = Bounded::new(2);
+        q.try_push('a').unwrap();
+        q.try_push('b').unwrap();
+        assert_eq!(q.try_push('c'), Err(PushError::Full('c')));
+        assert_eq!(q.pop(), Some('a'));
+        q.try_push('c').unwrap();
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn push_wakes_a_blocked_consumer() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+}

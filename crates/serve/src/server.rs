@@ -1,0 +1,517 @@
+//! The daemon: accept loop, bounded job queue, single recovery
+//! executor, and graceful shutdown.
+//!
+//! One connection thread per request (connections are short-lived:
+//! `Connection: close`), all funneling into a [`Bounded`] queue consumed
+//! by a single executor thread that owns the [`RecoverySession`]. The
+//! queue is the backpressure boundary: when it is full the daemon
+//! answers `503` with `Retry-After` instead of buffering unbounded work.
+//! Each job may carry a deadline; the executor threads it into the
+//! session as a [`CancelToken`], so an overdue recovery aborts
+//! cooperatively (`504`) without poisoning the warm session.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rebert::json::Json;
+use rebert::{CancelToken, Cancelled, RecoveredWords, RecoverySession};
+use rebert_netlist::{parse_bench, parse_verilog, Netlist};
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{Bounded, PushError};
+
+/// How often the accept loop polls for shutdown between connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Daemon knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Jobs the queue holds before new submissions get `503`.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not set
+    /// `X-Rebert-Deadline-Ms` themselves. `None` = unbounded.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 32,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One queued recovery: the parsed netlist, an optional absolute
+/// deadline (measured from request arrival), and the reply channel back
+/// to the connection thread.
+struct Job {
+    netlist: Arc<Netlist>,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<RecoveredWords, Cancelled>>,
+}
+
+/// State shared by the accept loop, connection threads, the executor,
+/// and the owning [`Server`] handle.
+struct Shared {
+    queue: Bounded<Job>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running daemon. Dropping it (or calling [`Server::shutdown`])
+/// drains in-flight work and stops every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    executor_thread: Option<JoinHandle<()>>,
+}
+
+/// Starts serving `session` on `listener`. The listener is switched to
+/// non-blocking so the accept loop can observe shutdown requests.
+///
+/// # Errors
+///
+/// Returns the [`std::io::Error`] if the listener cannot be configured.
+pub fn serve(
+    session: RecoverySession,
+    listener: TcpListener,
+    config: ServeConfig,
+) -> std::io::Result<Server> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        queue: Bounded::new(config.queue_capacity),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        config,
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let executor_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("rebert-executor".into())
+            .spawn(move || executor_loop(&session, &shared))?
+    };
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("rebert-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(Server {
+        shared,
+        addr,
+        accept_thread: Some(accept_thread),
+        executor_thread: Some(executor_thread),
+    })
+}
+
+impl Server {
+    /// The bound address (useful with an ephemeral port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Whether a shutdown was requested (signal handler, `POST
+    /// /shutdown`, or [`Server::request_shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags the daemon to shut down without blocking; follow with
+    /// [`Server::shutdown`] to drain and join.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stop accepting, let queued jobs drain through
+    /// the executor, answer every in-flight connection, and join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.request_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // New pushes now fail Closed; queued jobs still drain.
+        self.shared.queue.close();
+        if let Some(t) = self.executor_thread.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn list lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Pops jobs until the queue closes and drains; replies on each job's
+/// channel. A cancelled recovery leaves the session warm and reusable.
+fn executor_loop(session: &RecoverySession, shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth.set(shared.queue.len() as u64);
+        shared.metrics.inflight.inc();
+        let token = match job.deadline {
+            Some(d) => CancelToken::with_deadline_at(d),
+            None => CancelToken::new(),
+        };
+        let result = session.try_recover(&job.netlist, &token);
+        match &result {
+            Ok(rec) => shared.metrics.record_recovery(&rec.stats),
+            Err(Cancelled) => shared.metrics.deadline_total.inc(),
+        }
+        shared.metrics.inflight.dec();
+        // A send error just means the client hung up; the work is done
+        // either way.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Accepts connections until shutdown, one short-lived thread each.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared_for_conn = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("rebert-conn".into())
+                    .spawn(move || handle_connection(stream, &shared_for_conn));
+                let mut conns = shared.conns.lock().expect("conn list lock");
+                conns.retain(|c| !c.is_finished());
+                if let Ok(h) = handle {
+                    conns.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake).
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Serves exactly one request on `stream` and closes it.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let arrival = Instant::now();
+    let _ = stream.set_nodelay(true);
+    let response = match read_request(&mut BufReader::new(&stream)) {
+        Ok(None) => return, // clean pre-request hang-up
+        Ok(Some(req)) => route(&req, arrival, shared),
+        Err(HttpError::Io(_)) => return, // client died mid-request
+        Err(HttpError::Malformed(m)) => {
+            shared.metrics.count_request("other", "bad_request");
+            error_response(400, &format!("malformed request: {m}"))
+        }
+        Err(HttpError::TooLarge(what)) => {
+            shared.metrics.count_request("other", "bad_request");
+            error_response(413, &format!("request {what} too large"))
+        }
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+/// A JSON `{"error": …}` body with the given status.
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, &Json::Obj(vec![("error".into(), Json::str(message))]))
+}
+
+/// Dispatches one parsed request.
+fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => {
+            shared.metrics.count_request("healthz", "ok");
+            Response::text(200, "ok\n")
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.queue_depth.set(shared.queue.len() as u64);
+            shared.metrics.count_request("metrics", "ok");
+            let body = shared.metrics.render();
+            Response {
+                status: 200,
+                headers: vec![(
+                    "Content-Type".into(),
+                    "text/plain; version=0.0.4; charset=utf-8".into(),
+                )],
+                body: body.into_bytes(),
+            }
+        }
+        ("POST", "/recover") => handle_recover(req, arrival, shared),
+        ("POST", "/shutdown") => {
+            shared.metrics.count_request("shutdown", "ok");
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::text(200, "draining\n")
+        }
+        (_, "/healthz" | "/metrics" | "/recover" | "/shutdown") => {
+            shared.metrics.count_request("other", "bad_request");
+            error_response(405, &format!("method {} not allowed here", req.method))
+        }
+        (_, path) => {
+            shared.metrics.count_request("other", "not_found");
+            error_response(404, &format!("no such endpoint: {path}"))
+        }
+    }
+}
+
+/// Whether a netlist body looks like Verilog rather than `.bench`.
+/// Used only when the client does not say via `X-Rebert-Format`.
+fn sniff_verilog(body: &str) -> bool {
+    body.lines()
+        .map(str::trim_start)
+        .any(|l| l.starts_with("module ") || l.starts_with("module\t"))
+}
+
+/// `POST /recover`: parse, enqueue with backpressure, await the verdict.
+fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.metrics.rejected_total.inc();
+        shared.metrics.count_request("recover", "rejected");
+        return error_response(503, "daemon is shutting down").header("Retry-After", "5");
+    }
+
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => {
+            shared.metrics.count_request("recover", "bad_request");
+            return error_response(400, "netlist body is not valid utf-8");
+        }
+    };
+    let format = req.header("x-rebert-format");
+    let netlist = match format {
+        Some("bench") => parse_bench("request", body).map_err(|e| e.to_string()),
+        Some("verilog") => parse_verilog("request", body).map_err(|e| e.to_string()),
+        Some(other) => Err(format!(
+            "unknown X-Rebert-Format `{other}` (expected `bench` or `verilog`)"
+        )),
+        None if sniff_verilog(body) => parse_verilog("request", body).map_err(|e| e.to_string()),
+        None => parse_bench("request", body).map_err(|e| e.to_string()),
+    };
+    let netlist = match netlist {
+        Ok(nl) => Arc::new(nl),
+        Err(msg) => {
+            shared.metrics.count_request("recover", "bad_request");
+            return error_response(400, &msg);
+        }
+    };
+
+    let deadline = match req.header("x-rebert-deadline-ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Some(arrival + Duration::from_millis(ms)),
+            Err(_) => {
+                shared.metrics.count_request("recover", "bad_request");
+                return error_response(400, &format!("bad X-Rebert-Deadline-Ms `{raw}`"));
+            }
+        },
+        None => shared.config.default_deadline.map(|d| arrival + d),
+    };
+
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        netlist: Arc::clone(&netlist),
+        deadline,
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.metrics.rejected_total.inc();
+            shared.metrics.count_request("recover", "rejected");
+            return error_response(503, "recovery queue is full, retry shortly")
+                .header("Retry-After", "1");
+        }
+        Err(PushError::Closed(_)) => {
+            shared.metrics.rejected_total.inc();
+            shared.metrics.count_request("recover", "rejected");
+            return error_response(503, "daemon is shutting down").header("Retry-After", "5");
+        }
+    }
+    shared.metrics.queue_depth.set(shared.queue.len() as u64);
+
+    match rx.recv() {
+        Ok(Ok(rec)) => {
+            shared.metrics.count_request("recover", "ok");
+            Response::json(200, &recovery_json(&netlist, &rec))
+        }
+        Ok(Err(Cancelled)) => {
+            shared.metrics.count_request("recover", "deadline");
+            error_response(504, "recovery deadline exceeded")
+        }
+        Err(_) => {
+            // The executor is gone — only possible mid-shutdown race.
+            shared.metrics.count_request("recover", "error");
+            error_response(500, "executor unavailable")
+        }
+    }
+}
+
+/// The `POST /recover` success payload.
+pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
+    let bits = nl.bits();
+    let names = Json::Arr(bits.iter().map(|&b| Json::str(nl.net_name(b))).collect());
+    let words = Json::Arr(
+        rec.words()
+            .into_iter()
+            .map(|w| Json::Arr(w.into_iter().map(|b| Json::uint(b as u64)).collect()))
+            .collect(),
+    );
+    let assignment = Json::Arr(rec.assignment.iter().map(|&w| Json::uint(w as u64)).collect());
+    let s = &rec.stats;
+    let micros = |d: Duration| Json::uint(d.as_micros().min(u64::MAX as u128) as u64);
+    let stats = Json::Obj(vec![
+        ("pairs_total".into(), Json::uint(s.pairs_total as u64)),
+        ("pairs_filtered".into(), Json::uint(s.pairs_filtered as u64)),
+        ("pairs_scored".into(), Json::uint(s.pairs_scored as u64)),
+        ("classes".into(), Json::uint(s.classes as u64)),
+        (
+            "class_pairs_scored".into(),
+            Json::uint(s.class_pairs_scored as u64),
+        ),
+        ("pairs_memoized".into(), Json::uint(s.pairs_memoized as u64)),
+        ("pairs_per_sec".into(), Json::num(s.pairs_per_sec)),
+        ("tokenize_us".into(), micros(s.tokenize_time)),
+        ("filter_us".into(), micros(s.filter_time)),
+        ("score_us".into(), micros(s.score_time)),
+        ("group_us".into(), micros(s.group_time)),
+        ("elapsed_us".into(), micros(s.elapsed)),
+    ]);
+    Json::Obj(vec![
+        ("design".into(), Json::str(nl.name())),
+        ("bits".into(), Json::uint(bits.len() as u64)),
+        ("words".into(), words),
+        ("assignment".into(), assignment),
+        ("names".into(), names),
+        ("stats".into(), stats),
+    ])
+}
+
+/// Process-wide signal plumbing: SIGINT/SIGTERM set a flag the serve
+/// loop polls, so the daemon drains instead of dying mid-request.
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    /// Whether SIGINT or SIGTERM arrived since [`install`].
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::SeqCst)
+    }
+
+    /// Test/support hook: mark the flag as if a signal had arrived.
+    pub fn trigger() {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    /// Installs handlers for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        extern "C" fn on_signal(_signum: i32) {
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(2, handler);
+            signal(15, handler);
+        }
+    }
+
+    #[cfg(not(unix))]
+    /// No-op off unix; `POST /shutdown` still works.
+    pub fn install() {}
+}
+
+/// Blocks until a signal or a `POST /shutdown` arrives, then drains the
+/// daemon gracefully. This is the `rebert serve` main loop.
+pub fn run_until_shutdown(server: Server) {
+    signals::install();
+    while !server.shutdown_requested() && !signals::signalled() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert::{ReBertConfig, ReBertModel};
+    use rebert_circuits::{generate, Profile};
+
+    #[test]
+    fn sniffer_separates_dialects() {
+        assert!(sniff_verilog("module top(a);\nendmodule\n"));
+        assert!(sniff_verilog("  \n\tmodule x;\n"));
+        assert!(!sniff_verilog("INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n"));
+        // `module` inside a net name must not trigger the sniffer.
+        assert!(!sniff_verilog("INPUT(module_clk_a)\n"));
+    }
+
+    #[test]
+    fn recovery_json_shape() {
+        let c = generate(&Profile::new("demo", 80, 8, 2), 9);
+        let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+        let rec = model.recover_words(&c.netlist);
+        let json = recovery_json(&c.netlist, &rec);
+        assert_eq!(json.get("bits").and_then(Json::as_usize), Some(8));
+        assert_eq!(json.get("design").and_then(Json::as_str), Some("demo"));
+        let assignment = json.get("assignment").and_then(Json::as_array).unwrap();
+        assert_eq!(assignment.len(), 8);
+        let names = json.get("names").and_then(Json::as_array).unwrap();
+        assert_eq!(names.len(), 8);
+        let stats = json.get("stats").unwrap();
+        assert_eq!(
+            stats.get("pairs_total").and_then(Json::as_usize),
+            Some(rec.stats.pairs_total)
+        );
+        assert_eq!(
+            stats.get("pairs_memoized").and_then(Json::as_usize),
+            Some(rec.stats.pairs_memoized)
+        );
+        // Round-trips through the parser.
+        let text = json.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("bits").and_then(Json::as_usize), Some(8));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.queue_capacity >= 1);
+        assert!(cfg.default_deadline.is_none());
+    }
+}

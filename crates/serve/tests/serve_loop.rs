@@ -1,0 +1,419 @@
+//! End-to-end loopback tests for the daemon: a real `TcpListener` on an
+//! ephemeral port, real connections, and the same recovery engine the
+//! offline CLI uses. Pins the serving contract: bit-identical results
+//! versus offline recovery, 503 backpressure, deadline 504s that leave
+//! the session warm, 400s on malformed input, graceful drain, and a
+//! well-formed Prometheus exposition.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use rebert::{ReBertConfig, ReBertModel, RecoverySession};
+use rebert_circuits::{generate, GeneratedCircuit, Profile};
+use rebert_netlist::{parse_bench, write_bench, write_verilog};
+use rebert_serve::{http_request, serve, submit_recover, ServeConfig, Server};
+
+/// Boots a daemon on an ephemeral loopback port.
+fn boot(model: ReBertModel, threads: usize, queue: usize, deadline: Option<Duration>) -> Server {
+    let session = RecoverySession::new(model, threads);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let config = ServeConfig {
+        queue_capacity: queue,
+        default_deadline: deadline,
+    };
+    serve(session, listener, config).expect("serve")
+}
+
+fn tiny_model(seed: u64) -> ReBertModel {
+    ReBertModel::new(ReBertConfig::tiny(), seed)
+}
+
+/// A model + circuit pair heavy enough that one recovery takes long
+/// enough (hundreds of model calls, no Jaccard filtering) to observe
+/// queued and in-flight states from the outside.
+fn heavy_setup() -> (ReBertModel, GeneratedCircuit) {
+    let mut cfg = ReBertConfig::small();
+    cfg.jaccard_threshold = 0.0;
+    let model = ReBertModel::new(cfg, 3);
+    let circuit = generate(&Profile::new("load", 600, 48, 6), 21);
+    (model, circuit)
+}
+
+fn json_field<'a>(json: &'a rebert::json::Json, key: &str) -> &'a rebert::json::Json {
+    json.get(key).unwrap_or_else(|| panic!("missing field `{key}`"))
+}
+
+#[test]
+fn loopback_matches_offline_recovery_bit_for_bit() {
+    let c = generate(&Profile::new("demo", 120, 12, 3), 5);
+    let bench = write_bench(&c.netlist);
+
+    // The offline truth, computed on the same parsed-from-text netlist
+    // the daemon will see.
+    let offline_nl = parse_bench("request", &bench).expect("round-trip parse");
+    let offline = tiny_model(13).recover_words_with(&offline_nl, 1);
+
+    let server = boot(tiny_model(13), 2, 8, None);
+    let addr = server.addr();
+    for round in 0..2 {
+        let reply = submit_recover(addr, &bench, Some("bench"), None).expect("submit");
+        assert_eq!(reply.status, 200, "round {round}: {}", reply.body_text());
+        let json = rebert::json::Json::parse(&reply.body_text()).expect("response json");
+        let assignment: Vec<usize> = json_field(&json, "assignment")
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_usize().unwrap())
+            .collect();
+        assert_eq!(assignment, offline.assignment, "round {round}");
+        assert_eq!(json_field(&json, "bits").as_usize(), Some(12));
+        let stats = json_field(&json, "stats");
+        assert_eq!(
+            json_field(stats, "pairs_total").as_usize(),
+            Some(offline.stats.pairs_total)
+        );
+        assert_eq!(
+            json_field(stats, "pairs_filtered").as_usize(),
+            Some(offline.stats.pairs_filtered)
+        );
+        assert_eq!(
+            json_field(stats, "pairs_scored").as_usize(),
+            Some(offline.stats.pairs_scored)
+        );
+        assert_eq!(
+            json_field(stats, "class_pairs_scored").as_usize(),
+            Some(offline.stats.class_pairs_scored)
+        );
+        // Words are derived from the assignment the same way offline.
+        let words = json_field(&json, "words").as_array().unwrap();
+        assert_eq!(words.len(), offline.words().len(), "round {round}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn verilog_bodies_are_sniffed_and_parsed() {
+    let c = generate(&Profile::new("vdemo", 100, 8, 2), 6);
+    let verilog = write_verilog(&c.netlist);
+    let server = boot(tiny_model(1), 1, 4, None);
+    let reply = submit_recover(server.addr(), &verilog, None, None).expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let json = rebert::json::Json::parse(&reply.body_text()).unwrap();
+    assert_eq!(json_field(&json, "bits").as_usize(), Some(8));
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_503_and_retry_after() {
+    let (model, circuit) = heavy_setup();
+    let bench = write_bench(&circuit.netlist);
+    let server = boot(model, 1, 1, None);
+    let addr = server.addr();
+
+    // Six concurrent submissions into a single-slot queue with a single
+    // executor: at most one runs and one waits, so at least four must be
+    // turned away with backpressure.
+    let submits: Vec<_> = (0..6)
+        .map(|_| {
+            let bench = bench.clone();
+            std::thread::spawn(move || submit_recover(addr, &bench, Some("bench"), None))
+        })
+        .collect();
+    let replies: Vec<_> = submits
+        .into_iter()
+        .map(|t| t.join().unwrap().expect("transport"))
+        .collect();
+
+    let ok = replies.iter().filter(|r| r.status == 200).count();
+    let rejected: Vec<_> = replies.iter().filter(|r| r.status == 503).collect();
+    assert_eq!(ok + rejected.len(), 6, "only 200s and 503s expected");
+    assert!(ok >= 1, "at least the first job completes");
+    assert!(!rejected.is_empty(), "a single-slot queue must shed load");
+    for r in &rejected {
+        assert_eq!(r.header("Retry-After"), Some("1"), "{}", r.body_text());
+        assert!(r.body_text().contains("queue is full"));
+    }
+    assert!(server.metrics().rejected_total.get() >= rejected.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_yields_504_and_leaves_the_session_warm() {
+    let (model, circuit) = heavy_setup();
+    let bench = write_bench(&circuit.netlist);
+
+    // Offline truth for the post-504 sanity check.
+    let offline_nl = parse_bench("request", &bench).unwrap();
+    let (offline_model, _) = heavy_setup();
+    let offline = offline_model.recover_words_with(&offline_nl, 2);
+
+    let server = boot(model, 2, 4, None);
+    let addr = server.addr();
+
+    // A zero-millisecond budget has already expired by the time the
+    // executor picks the job up, so the abort path is deterministic.
+    let reply = submit_recover(addr, &bench, Some("bench"), Some(0)).expect("submit");
+    assert_eq!(reply.status, 504, "{}", reply.body_text());
+    assert!(reply.body_text().contains("deadline"));
+    assert_eq!(server.metrics().deadline_total.get(), 1);
+
+    // The session is not poisoned: an unbounded request on the same
+    // daemon still produces the offline answer.
+    let reply = submit_recover(addr, &bench, Some("bench"), None).expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let json = rebert::json::Json::parse(&reply.body_text()).unwrap();
+    let assignment: Vec<usize> = json_field(&json, "assignment")
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_usize().unwrap())
+        .collect();
+    assert_eq!(assignment, offline.assignment);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_inputs_get_400s() {
+    let server = boot(tiny_model(2), 1, 4, None);
+    let addr = server.addr();
+
+    // A body that is not a netlist in either dialect.
+    let reply = submit_recover(addr, "this is not a netlist\n", None, None).unwrap();
+    assert_eq!(reply.status, 400);
+    assert!(reply.body_text().contains("error"));
+
+    // An explicit format that does not exist.
+    let reply = submit_recover(addr, "INPUT(a)\n", Some("vhdl"), None).unwrap();
+    assert_eq!(reply.status, 400);
+    assert!(reply.body_text().contains("vhdl"));
+
+    // A non-numeric deadline.
+    let reply = http_request(
+        addr,
+        "POST",
+        "/recover",
+        &[("X-Rebert-Deadline-Ms", "soon")],
+        b"INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n",
+    )
+    .unwrap();
+    assert_eq!(reply.status, 400);
+    assert!(reply.body_text().contains("Deadline"));
+
+    // Bytes that are not HTTP at all.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+
+    // Unknown endpoint and wrong method.
+    assert_eq!(http_request(addr, "GET", "/nope", &[], b"").unwrap().status, 404);
+    assert_eq!(http_request(addr, "PUT", "/recover", &[], b"").unwrap().status, 405);
+    assert_eq!(http_request(addr, "POST", "/metrics", &[], b"").unwrap().status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_work() {
+    let (model, circuit) = heavy_setup();
+    let bench = write_bench(&circuit.netlist);
+    let server = boot(model, 1, 4, None);
+    let addr = server.addr();
+
+    let submits: Vec<_> = (0..2)
+        .map(|_| {
+            let bench = bench.clone();
+            std::thread::spawn(move || submit_recover(addr, &bench, Some("bench"), None))
+        })
+        .collect();
+
+    // Wait until one job is in flight and the other is queued (falls
+    // through after a generous timeout if recovery is unexpectedly
+    // fast — both replies are still asserted below).
+    let patience = Instant::now();
+    while server.metrics().queue_depth.get() < 1 && patience.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Drain: both already-accepted jobs must complete with 200 even
+    // though the daemon is shutting down around them.
+    server.shutdown();
+    for t in submits {
+        let reply = t.join().unwrap().expect("transport");
+        assert_eq!(reply.status, 200, "{}", reply.body_text());
+    }
+
+    // The listener is gone: nothing answers on that port any more.
+    assert!(http_request(addr, "GET", "/healthz", &[], b"").is_err());
+}
+
+#[test]
+fn shutdown_endpoint_flags_the_drain() {
+    let server = boot(tiny_model(4), 1, 4, None);
+    let addr = server.addr();
+    assert!(!server.shutdown_requested());
+    let reply = http_request(addr, "POST", "/shutdown", &[], b"").unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(server.shutdown_requested());
+    // Once the flag is up, new recoveries are refused.
+    let reply = submit_recover(addr, "INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n", None, None).unwrap();
+    assert_eq!(reply.status, 503);
+    assert_eq!(reply.header("Retry-After"), Some("5"));
+    server.shutdown();
+}
+
+#[test]
+fn healthz_answers_ok() {
+    let server = boot(tiny_model(5), 1, 4, None);
+    let reply = http_request(server.addr(), "GET", "/healthz", &[], b"").unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.body_text(), "ok\n");
+    server.shutdown();
+}
+
+/// One parsed Prometheus sample: metric name, sorted label pairs, value.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// A strict-enough parser for the Prometheus text exposition format:
+/// every non-comment line must be `name[{labels}] value`, every sample's
+/// family must have HELP and TYPE comments, and values must be finite.
+fn parse_prometheus(text: &str) -> Vec<Sample> {
+    let mut helps = std::collections::HashSet::new();
+    let mut types = std::collections::HashSet::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helps.insert(rest.split(' ').next().unwrap().to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap().to_owned();
+            let kind = it.next().expect("TYPE line has a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE `{kind}` in `{line}`"
+            );
+            types.insert(name);
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment `{line}`");
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad sample `{line}`"));
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in `{line}`"));
+        assert!(value.is_finite(), "non-finite value in `{line}`");
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let rest = rest.strip_suffix('}').unwrap_or_else(|| panic!("unclosed labels `{line}`"));
+                let mut labels = Vec::new();
+                for pair in rest.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=').unwrap_or_else(|| panic!("bad label `{pair}`"));
+                    let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| panic!("unquoted label value `{pair}`"));
+                    labels.push((k.to_owned(), v.to_owned()));
+                }
+                labels.sort();
+                (name.to_owned(), labels)
+            }
+            None => (series.to_owned(), Vec::new()),
+        };
+        samples.push(Sample { name, labels, value });
+    }
+    for s in &samples {
+        let family = s
+            .name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count")
+            .to_owned();
+        assert!(
+            helps.contains(&s.name) || helps.contains(&family),
+            "no HELP for `{}`",
+            s.name
+        );
+        assert!(
+            types.contains(&s.name) || types.contains(&family),
+            "no TYPE for `{}`",
+            s.name
+        );
+    }
+    samples
+}
+
+#[test]
+fn metrics_exposition_is_well_formed_and_tracks_requests() {
+    let c = generate(&Profile::new("demo", 100, 10, 2), 7);
+    let bench = write_bench(&c.netlist);
+    let server = boot(tiny_model(6), 1, 4, None);
+    let addr = server.addr();
+
+    assert_eq!(submit_recover(addr, &bench, None, None).unwrap().status, 200);
+    assert_eq!(submit_recover(addr, "garbage", None, None).unwrap().status, 400);
+
+    let reply = http_request(addr, "GET", "/metrics", &[], b"").unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.header("Content-Type").unwrap().starts_with("text/plain"));
+    let samples = parse_prometheus(&reply.body_text());
+
+    let find = |name: &str, want: &[(&str, &str)]| -> f64 {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && want.iter().all(|(k, v)| {
+                        s.labels.iter().any(|(lk, lv)| lk == k && lv == v)
+                    })
+            })
+            .unwrap_or_else(|| panic!("missing sample {name} {want:?}"))
+            .value
+    };
+
+    assert_eq!(find("rebert_requests_total", &[("endpoint", "recover"), ("outcome", "ok")]), 1.0);
+    assert_eq!(
+        find("rebert_requests_total", &[("endpoint", "recover"), ("outcome", "bad_request")]),
+        1.0
+    );
+    assert_eq!(find("rebert_inflight", &[]), 0.0);
+    assert_eq!(find("rebert_queue_depth", &[]), 0.0);
+    assert!(find("rebert_pairs_scored_total", &[]) >= 1.0);
+    assert!(find("rebert_pairs_per_sec", &[]) > 0.0);
+    assert_eq!(find("rebert_phase_seconds_count", &[("phase", "score")]), 1.0);
+
+    // Histogram buckets are cumulative and end at +Inf == count, for
+    // every phase.
+    for phase in ["tokenize", "filter", "score", "group", "total"] {
+        let mut buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|s| {
+                s.name == "rebert_phase_seconds_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "phase" && v == phase)
+            })
+            .map(|s| {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| if v == "+Inf" { f64::INFINITY } else { v.parse().unwrap() })
+                    .expect("bucket has le");
+                (le, s.value)
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!(!buckets.is_empty(), "no buckets for phase {phase}");
+        for pair in buckets.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "non-cumulative buckets for {phase}");
+        }
+        let (last_le, last) = buckets[buckets.len() - 1];
+        assert!(last_le.is_infinite());
+        assert_eq!(last, find("rebert_phase_seconds_count", &[("phase", phase)]));
+    }
+    server.shutdown();
+}
