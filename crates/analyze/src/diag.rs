@@ -1,0 +1,270 @@
+//! The diagnostic model: severities, single findings, and reports with
+//! human-readable and [`rebert::json`] renderers.
+
+use std::fmt;
+
+use rebert::json::Json;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Recovery quality degrades but the pipeline runs.
+    Warning,
+    /// The netlist violates a structural invariant; results on it are
+    /// meaningless. Serve refuses such inputs with a 422.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in renderings (`"error"` / `"warning"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a stable code, a severity, the nets and gates involved
+/// (by name, since ids are netlist-relative), and a human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable kebab-case code (see [`crate::codes`]).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Net names involved, in a lint-defined meaningful order (e.g. a
+    /// cycle path in feed order).
+    pub nets: Vec<String>,
+    /// Output-net names of the gates involved.
+    pub gates: Vec<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no nets/gates attached.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            nets: Vec::new(),
+            gates: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Attaches involved nets (builder style).
+    pub fn with_nets(mut self, nets: Vec<String>) -> Self {
+        self.nets = nets;
+        self
+    }
+
+    /// Attaches involved gates (builder style).
+    pub fn with_gates(mut self, gates: Vec<String>) -> Self {
+        self.gates = gates;
+        self
+    }
+
+    /// The single-line human rendering:
+    /// `error[undriven-net]: net `x` has no driver (nets: x)`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if !self.nets.is_empty() {
+            out.push_str(&format!(" (nets: {})", self.nets.join(", ")));
+        }
+        if !self.gates.is_empty() {
+            out.push_str(&format!(" (gates: {})", self.gates.join(", ")));
+        }
+        out
+    }
+
+    /// The JSON object rendering.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".to_owned(), Json::str(self.code)),
+            ("severity".to_owned(), Json::str(self.severity.as_str())),
+            (
+                "nets".to_owned(),
+                Json::Arr(self.nets.iter().map(Json::str).collect()),
+            ),
+            (
+                "gates".to_owned(),
+                Json::Arr(self.gates.iter().map(Json::str).collect()),
+            ),
+            ("message".to_owned(), Json::str(&self.message)),
+        ])
+    }
+}
+
+/// An ordered collection of diagnostics from one lint run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The findings, in emission order (errors are not sorted above
+    /// warnings; lints run in a fixed order so output is deterministic).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every diagnostic of another report.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether this report should fail a lint run: errors always do,
+    /// warnings only under `--deny warnings`.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && self.warning_count() > 0)
+    }
+
+    /// Whether any diagnostic carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// The multi-line human rendering: one line per diagnostic plus a
+    /// summary line (`"clean"` when empty).
+    pub fn render_human(&self) -> String {
+        if self.is_clean() {
+            return "clean: no diagnostics".to_owned();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        let (e, w) = (self.error_count(), self.warning_count());
+        let plural = |n: usize| if n == 1 { "" } else { "s" };
+        out.push_str(&format!(
+            "{e} error{}, {w} warning{}",
+            plural(e),
+            plural(w)
+        ));
+        out
+    }
+
+    /// The JSON rendering:
+    /// `{"errors": E, "warnings": W, "diagnostics": [...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("errors".to_owned(), Json::uint(self.error_count() as u64)),
+            (
+                "warnings".to_owned(),
+                Json::uint(self.warning_count() as u64),
+            ),
+            (
+                "diagnostics".to_owned(),
+                Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(codes::UNDRIVEN_NET, Severity::Error, "net `x` has no driver")
+                .with_nets(vec!["x".into()]),
+        );
+        r.push(
+            Diagnostic::new(codes::DEAD_LOGIC, Severity::Warning, "1 dead gate")
+                .with_gates(vec!["g_out".into()]),
+        );
+        r
+    }
+
+    #[test]
+    fn counts_and_predicates() {
+        let r = sample();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert!(r.fails(false));
+        assert!(r.fails(true));
+        assert!(r.has_code(codes::DEAD_LOGIC));
+        assert!(!r.has_code(codes::COMB_CYCLE));
+
+        let mut warn_only = Report::new();
+        warn_only.push(Diagnostic::new(codes::DEAD_LOGIC, Severity::Warning, "w"));
+        assert!(!warn_only.fails(false));
+        assert!(warn_only.fails(true));
+        assert!(Report::new().is_clean());
+        assert!(!Report::new().fails(true));
+    }
+
+    #[test]
+    fn human_rendering_shape() {
+        let text = sample().render_human();
+        assert!(text.contains("error[undriven-net]: net `x` has no driver (nets: x)"));
+        assert!(text.contains("warning[dead-logic]: 1 dead gate (gates: g_out)"));
+        assert!(text.ends_with("1 error, 1 warning"), "{text}");
+        assert_eq!(Report::new().render_human(), "clean: no diagnostics");
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let text = sample().to_json().to_string();
+        let v = Json::parse(&text).expect("valid json");
+        assert_eq!(v.get("errors").and_then(Json::as_usize), Some(1));
+        assert_eq!(v.get("warnings").and_then(Json::as_usize), Some(1));
+        let diags = v.get("diagnostics").and_then(Json::as_array).unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(
+            diags[0].get("code").and_then(Json::as_str),
+            Some("undriven-net")
+        );
+        assert_eq!(
+            diags[0].get("severity").and_then(Json::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            diags[0].get("nets").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

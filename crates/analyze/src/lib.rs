@@ -1,0 +1,83 @@
+//! Static analysis for ReBERT inputs: a diagnostic framework plus a
+//! battery of netlist lints and pipeline pre-flight checks.
+//!
+//! ReBERT's accuracy degrades *silently* on malformed or pathological
+//! netlists — undriven nets binarize as constants, dead logic skews cone
+//! statistics, fan-in deeper than `k` levels truncates token sequences,
+//! and a non-positive maximum score degenerates the adaptive `max/3`
+//! grouping threshold. This crate diagnoses those conditions up front
+//! instead of letting the pipeline produce garbage words with no
+//! explanation.
+//!
+//! Three consumers share the pass:
+//!
+//! * the `rebert lint` CLI subcommand (human or `--json` output),
+//! * the `rebert-serve` daemon's pre-flight (422 + diagnostics JSON for
+//!   hard errors instead of recovering words from a broken netlist),
+//! * the pipeline warning hook ([`rebert::PipelineStats`] `warnings`),
+//!   which points back at `rebert lint` for the full battery.
+//!
+//! Entry points: [`lint_source`] (parse + convert parse errors into
+//! diagnostics), [`lint_netlist`] (structural battery on a parsed
+//! netlist), and [`lint_with`] (structural battery plus the
+//! [`LintOptions`]-driven pipeline checks).
+
+#![warn(missing_docs)]
+
+mod diag;
+mod lints;
+mod pipeline;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use lints::{lint_netlist, lint_source, SourceFormat};
+pub use pipeline::{lint_with, LintOptions, DEFAULT_K_LEVELS};
+
+/// Stable diagnostic codes emitted by this crate.
+///
+/// Codes are kebab-case and never reused; `rebert lint --json` consumers
+/// and the CI fixture battery key on them.
+pub mod codes {
+    /// A consumed net with no driver.
+    pub const UNDRIVEN_NET: &str = "undriven-net";
+    /// A net with more than one driver.
+    pub const MULTI_DRIVEN_NET: &str = "multi-driven-net";
+    /// A flip-flop whose data input has no driver (an undriven *bit*).
+    pub const FLOATING_DFF_INPUT: &str = "floating-dff-input";
+    /// A combinational cycle, reported as a full net path.
+    pub const COMB_CYCLE: &str = "comb-cycle";
+    /// A gate whose input count is illegal for its type.
+    pub const ARITY_MISMATCH: &str = "arity-mismatch";
+    /// A net name declared twice in the source.
+    pub const DUPLICATE_NET: &str = "duplicate-net";
+    /// An unknown gate mnemonic or cell primitive in the source.
+    pub const UNKNOWN_GATE: &str = "unknown-gate";
+    /// Source text that does not parse for any other reason.
+    pub const PARSE_ERROR: &str = "parse-error";
+    /// Gates unreachable backwards from any bit or primary output.
+    pub const DEAD_LOGIC: &str = "dead-logic";
+    /// Gates with a constant-driven input that a fold pass would remove.
+    pub const CONST_FOLDABLE: &str = "const-foldable";
+    /// Bits whose fan-in exceeds `k` levels, truncating their sequences.
+    pub const CONE_TRUNCATED: &str = "cone-truncated";
+    /// Tokens outside the checkpoint vocabulary.
+    pub const VOCAB_OOV: &str = "vocab-oov";
+    /// The Jaccard filter / score distribution degenerates grouping.
+    pub const DEGENERATE_THRESHOLD: &str = "degenerate-threshold";
+
+    /// Every code this crate can emit, for exhaustive fixture batteries.
+    pub const ALL_CODES: &[&str] = &[
+        UNDRIVEN_NET,
+        MULTI_DRIVEN_NET,
+        FLOATING_DFF_INPUT,
+        COMB_CYCLE,
+        ARITY_MISMATCH,
+        DUPLICATE_NET,
+        UNKNOWN_GATE,
+        PARSE_ERROR,
+        DEAD_LOGIC,
+        CONST_FOLDABLE,
+        CONE_TRUNCATED,
+        VOCAB_OOV,
+        DEGENERATE_THRESHOLD,
+    ];
+}

@@ -1,0 +1,262 @@
+//! Pipeline-level pre-flight checks: conditions that parse and validate
+//! cleanly but degrade recovery quality — truncated cones, out-of-vocab
+//! tokens against a checkpoint, and a Jaccard threshold that filters
+//! every pair.
+
+use rebert::{bit_sequences, jaccard, Vocab};
+use rebert_netlist::{binarize, Cone, Netlist};
+
+use crate::codes;
+use crate::diag::{Diagnostic, Report, Severity};
+use crate::lints::lint_netlist;
+
+/// The paper's cone depth bound `k`; bits with deeper fan-in truncate.
+pub const DEFAULT_K_LEVELS: usize = 6;
+
+/// All-pairs Jaccard is quadratic; skip the degenerate-threshold check
+/// past this many bits rather than stall the lint pass.
+const JACCARD_PAIR_LIMIT: usize = 256;
+
+/// Knobs for the pipeline-level checks in [`lint_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintOptions {
+    /// Cone depth bound used to audit truncation.
+    pub k_levels: usize,
+    /// Tree-embedding code width used when materialising token sequences.
+    pub code_width: usize,
+    /// When set, warn if *every* bit pair falls below this Jaccard
+    /// similarity (the pre-filter would make every bit a singleton word).
+    pub jaccard_threshold: Option<f64>,
+    /// When set, warn about tokens whose vocabulary id is outside a
+    /// checkpoint's embedding table of this many rows.
+    pub vocab_rows: Option<usize>,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            k_levels: DEFAULT_K_LEVELS,
+            code_width: 32,
+            jaccard_threshold: None,
+            vocab_rows: None,
+        }
+    }
+}
+
+/// Runs the structural battery plus the pipeline-level checks.
+///
+/// Pipeline checks binarize the netlist and trace cones, which assumes a
+/// structurally sound input — so they are skipped when the structural
+/// pass reports any error.
+pub fn lint_with(nl: &Netlist, opts: &LintOptions) -> Report {
+    let mut report = lint_netlist(nl);
+    if report.has_errors() {
+        return report;
+    }
+    lint_cone_truncation(nl, opts, &mut report);
+    if opts.vocab_rows.is_some() || opts.jaccard_threshold.is_some() {
+        lint_sequences(nl, opts, &mut report);
+    }
+    report
+}
+
+/// Bits whose fan-in runs deeper than `k` levels: their token sequences
+/// stop at the cut, so the model never sees the logic beyond it.
+fn lint_cone_truncation(nl: &Netlist, opts: &LintOptions, report: &mut Report) {
+    let (bin, _) = binarize(nl);
+    let bits = bin.bits();
+    if bits.is_empty() {
+        return;
+    }
+    // Trace with one extra level of budget: a cone that still reaches
+    // depth k + 1 was cut short at k.
+    let truncated: Vec<String> = bits
+        .iter()
+        .filter(|&&bit| Cone::trace(&bin, bit, opts.k_levels + 1).depth > opts.k_levels)
+        .map(|&bit| bin.net_name(bit).to_owned())
+        .collect();
+    if !truncated.is_empty() {
+        report.push(
+            Diagnostic::new(
+                codes::CONE_TRUNCATED,
+                Severity::Warning,
+                format!(
+                    "{} of {} bits have fan-in deeper than k = {} levels; \
+                     their token sequences are truncated",
+                    truncated.len(),
+                    bits.len(),
+                    opts.k_levels
+                ),
+            )
+            .with_nets(truncated),
+        );
+    }
+}
+
+/// Token-sequence checks that need the materialised per-bit sequences:
+/// vocabulary coverage against a checkpoint and the static
+/// degenerate-threshold pre-check.
+fn lint_sequences(nl: &Netlist, opts: &LintOptions, report: &mut Report) {
+    let seqs = bit_sequences(nl, opts.k_levels, opts.code_width);
+    if seqs.is_empty() {
+        return;
+    }
+
+    if let Some(rows) = opts.vocab_rows {
+        let vocab = Vocab::new();
+        let total: usize = seqs.iter().map(|(toks, _)| toks.len()).sum();
+        let oov: usize = seqs
+            .iter()
+            .flat_map(|(toks, _)| toks.iter())
+            .filter(|&&t| vocab.id(t) >= rows)
+            .count();
+        if oov > 0 {
+            report.push(Diagnostic::new(
+                codes::VOCAB_OOV,
+                Severity::Warning,
+                format!(
+                    "{oov} of {total} tokens ({:.1}%) fall outside the \
+                     checkpoint vocabulary of {rows} rows; their embeddings \
+                     are undefined",
+                    100.0 * oov as f64 / total.max(1) as f64
+                ),
+            ));
+        }
+    }
+
+    if let Some(threshold) = opts.jaccard_threshold {
+        let n = seqs.len();
+        if (2..=JACCARD_PAIR_LIMIT).contains(&n) {
+            let mut best = f64::NEG_INFINITY;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    best = best.max(jaccard(&seqs[i].0, &seqs[j].0));
+                }
+            }
+            if best < threshold {
+                report.push(Diagnostic::new(
+                    codes::DEGENERATE_THRESHOLD,
+                    Severity::Warning,
+                    format!(
+                        "best pairwise Jaccard similarity {best:.3} is below \
+                         the pre-filter threshold {threshold}; every bit pair \
+                         would be filtered and every bit becomes a singleton \
+                         word"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebert_netlist::parse_bench;
+
+    fn bench(src: &str) -> Netlist {
+        parse_bench("t", src).expect("fixture parses")
+    }
+
+    /// A NOT chain of `depth` gates feeding one DFF.
+    fn chain(depth: usize) -> Netlist {
+        let mut src = String::from("INPUT(a)\n");
+        let mut prev = "a".to_owned();
+        for i in 0..depth {
+            src.push_str(&format!("n{i} = NOT({prev})\n"));
+            prev = format!("n{i}");
+        }
+        src.push_str(&format!("q = DFF({prev})\nOUTPUT(q)\n"));
+        bench(&src)
+    }
+
+    #[test]
+    fn shallow_cones_pass_deep_cones_warn() {
+        let opts = LintOptions::default();
+        let shallow = lint_with(&chain(3), &opts);
+        assert!(shallow.is_clean(), "{}", shallow.render_human());
+
+        let deep = lint_with(&chain(9), &opts);
+        assert!(deep.has_code(codes::CONE_TRUNCATED), "{}", deep.render_human());
+        assert!(!deep.has_errors());
+        let d = deep
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::CONE_TRUNCATED)
+            .unwrap();
+        assert!(d.message.contains("1 of 1 bits"), "{}", d.message);
+        assert_eq!(d.nets.len(), 1);
+    }
+
+    #[test]
+    fn truncation_respects_configured_k() {
+        let nl = chain(9);
+        let relaxed = LintOptions {
+            k_levels: 12,
+            ..LintOptions::default()
+        };
+        assert!(lint_with(&nl, &relaxed).is_clean());
+        let strict = LintOptions {
+            k_levels: 2,
+            ..LintOptions::default()
+        };
+        assert!(lint_with(&nl, &strict).has_code(codes::CONE_TRUNCATED));
+    }
+
+    #[test]
+    fn vocab_coverage_against_checkpoint_rows() {
+        let nl = chain(2);
+        let full = LintOptions {
+            vocab_rows: Some(Vocab::new().len()),
+            ..LintOptions::default()
+        };
+        assert!(lint_with(&nl, &full).is_clean());
+
+        // A checkpoint with a 2-row embedding table cannot represent
+        // gate tokens at all.
+        let tiny = LintOptions {
+            vocab_rows: Some(2),
+            ..LintOptions::default()
+        };
+        let r = lint_with(&nl, &tiny);
+        assert!(r.has_code(codes::VOCAB_OOV), "{}", r.render_human());
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn degenerate_threshold_pre_check() {
+        let nl = bench(
+            "INPUT(a)\nINPUT(b)\nx = AND(a, b)\ny = OR(a, b)\n\
+             q0 = DFF(x)\nq1 = DFF(y)\nOUTPUT(q0)\nOUTPUT(q1)\n",
+        );
+        // A threshold above 1.0 filters every pair by construction.
+        let impossible = LintOptions {
+            jaccard_threshold: Some(1.01),
+            ..LintOptions::default()
+        };
+        let r = lint_with(&nl, &impossible);
+        assert!(r.has_code(codes::DEGENERATE_THRESHOLD), "{}", r.render_human());
+
+        let permissive = LintOptions {
+            jaccard_threshold: Some(0.0),
+            ..LintOptions::default()
+        };
+        assert!(lint_with(&nl, &permissive).is_clean());
+    }
+
+    #[test]
+    fn pipeline_checks_skip_on_structural_errors() {
+        // Deep chain AND an undriven net: the structural error must
+        // suppress the cone audit rather than binarize a broken netlist.
+        let mut src = String::from("INPUT(a)\nbad = AND(a, ghost)\n");
+        let mut prev = "bad".to_owned();
+        for i in 0..9 {
+            src.push_str(&format!("n{i} = NOT({prev})\n"));
+            prev = format!("n{i}");
+        }
+        src.push_str(&format!("q = DFF({prev})\nOUTPUT(q)\n"));
+        let r = lint_with(&bench(&src), &LintOptions::default());
+        assert!(r.has_code(codes::UNDRIVEN_NET));
+        assert!(!r.has_code(codes::CONE_TRUNCATED));
+    }
+}

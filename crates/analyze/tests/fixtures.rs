@@ -1,0 +1,154 @@
+//! The fixture battery: every lint code has a fixture (or options
+//! configuration) that trips it and one that passes it, and the clean
+//! fixture is clean under the full default pass.
+//!
+//! CI runs `rebert lint` over the same files; this test keeps the
+//! fixtures honest even when run without the CLI.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rebert_analyze::{codes, lint_netlist, lint_source, lint_with, LintOptions, SourceFormat};
+
+/// Locates `examples/fixtures` both under cargo (manifest-relative) and
+/// under the standalone harness (cwd-relative).
+fn fixture_dir() -> PathBuf {
+    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest).join("../../examples/fixtures");
+        if p.is_dir() {
+            return p;
+        }
+    }
+    for candidate in [
+        "examples/fixtures",
+        "../examples/fixtures",
+        "../../examples/fixtures",
+        "../../../examples/fixtures",
+    ] {
+        let p = PathBuf::from(candidate);
+        if p.is_dir() {
+            return p;
+        }
+    }
+    panic!("examples/fixtures not found from {:?}", std::env::current_dir());
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = fixture_dir().join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn clean_fixture_is_clean_under_the_full_pass() {
+    let nl = lint_source("clean", &read_fixture("clean.bench"), SourceFormat::Bench)
+        .expect("clean fixture parses");
+    let r = lint_with(&nl, &LintOptions::default());
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn parse_level_fixtures_trip_their_codes() {
+    let cases: &[(&str, &str)] = &[
+        ("multi_driven.bench", codes::MULTI_DRIVEN_NET),
+        ("duplicate_net.bench", codes::DUPLICATE_NET),
+        ("unknown_gate.bench", codes::UNKNOWN_GATE),
+        ("arity_mismatch.bench", codes::ARITY_MISMATCH),
+        ("parse_error.bench", codes::PARSE_ERROR),
+    ];
+    for (file, code) in cases {
+        let report = lint_source(file, &read_fixture(file), SourceFormat::Bench)
+            .expect_err("defect fixture must not parse");
+        assert!(report.has_code(code), "{file}: {}", report.render_human());
+        assert!(report.has_errors(), "{file}");
+    }
+}
+
+#[test]
+fn structural_error_fixtures_trip_their_codes() {
+    let cases: &[(&str, &str)] = &[
+        ("undriven_net.bench", codes::UNDRIVEN_NET),
+        ("floating_dff.bench", codes::FLOATING_DFF_INPUT),
+        ("comb_cycle.bench", codes::COMB_CYCLE),
+    ];
+    for (file, code) in cases {
+        let nl = lint_source(file, &read_fixture(file), SourceFormat::Bench)
+            .expect("fixture parses; the defect is structural");
+        let report = lint_netlist(&nl);
+        assert!(report.has_code(code), "{file}: {}", report.render_human());
+        assert!(report.has_errors(), "{file}");
+    }
+}
+
+#[test]
+fn warning_fixtures_trip_their_codes_without_errors() {
+    let cases: &[(&str, &str)] = &[
+        ("dead_logic.bench", codes::DEAD_LOGIC),
+        ("const_fold.bench", codes::CONST_FOLDABLE),
+        ("cone_trunc.bench", codes::CONE_TRUNCATED),
+    ];
+    for (file, code) in cases {
+        let nl = lint_source(file, &read_fixture(file), SourceFormat::Bench)
+            .expect("fixture parses");
+        let report = lint_with(&nl, &LintOptions::default());
+        assert!(report.has_code(code), "{file}: {}", report.render_human());
+        assert!(!report.has_errors(), "{file}: {}", report.render_human());
+        assert!(report.fails(true), "{file}: --deny warnings must fail");
+        assert!(!report.fails(false), "{file}: plain lint must pass");
+    }
+}
+
+#[test]
+fn option_driven_codes_trip_on_the_clean_fixture() {
+    // vocab-oov and degenerate-threshold depend on checkpoint-derived
+    // options, so the clean fixture both passes (default options) and
+    // trips (adversarial options) each of them.
+    let nl = lint_source("clean", &read_fixture("clean.bench"), SourceFormat::Bench).unwrap();
+
+    let oov = lint_with(
+        &nl,
+        &LintOptions {
+            vocab_rows: Some(2),
+            ..LintOptions::default()
+        },
+    );
+    assert!(oov.has_code(codes::VOCAB_OOV), "{}", oov.render_human());
+
+    let degenerate = lint_with(
+        &nl,
+        &LintOptions {
+            jaccard_threshold: Some(1.01),
+            ..LintOptions::default()
+        },
+    );
+    assert!(
+        degenerate.has_code(codes::DEGENERATE_THRESHOLD),
+        "{}",
+        degenerate.render_human()
+    );
+}
+
+#[test]
+fn every_code_is_exercised_by_the_battery() {
+    let covered = [
+        codes::MULTI_DRIVEN_NET,
+        codes::DUPLICATE_NET,
+        codes::UNKNOWN_GATE,
+        codes::ARITY_MISMATCH,
+        codes::PARSE_ERROR,
+        codes::UNDRIVEN_NET,
+        codes::FLOATING_DFF_INPUT,
+        codes::COMB_CYCLE,
+        codes::DEAD_LOGIC,
+        codes::CONST_FOLDABLE,
+        codes::CONE_TRUNCATED,
+        codes::VOCAB_OOV,
+        codes::DEGENERATE_THRESHOLD,
+    ];
+    for code in codes::ALL_CODES {
+        assert!(
+            covered.contains(code),
+            "code `{code}` has no fixture in the battery"
+        );
+    }
+    assert_eq!(covered.len(), codes::ALL_CODES.len());
+}

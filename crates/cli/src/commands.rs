@@ -16,6 +16,23 @@ use crate::io::{read_labels, read_netlist, write_labels, write_netlist};
 /// Top-level CLI error: any subcommand failure with a printable message.
 pub type CliError = Box<dyn std::error::Error>;
 
+/// A lint run that found problems. Carries the fully rendered report
+/// (human or JSON, per `--json`) so `main` can print it to stdout —
+/// where scripted consumers expect it — while still exiting non-zero.
+#[derive(Debug)]
+pub struct LintFailure {
+    /// The rendered report body.
+    pub body: String,
+}
+
+impl std::fmt::Display for LintFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.body)
+    }
+}
+
+impl std::error::Error for LintFailure {}
+
 /// Dispatches a parsed command line. Returns the text to print on
 /// success (kept out of `main` so commands are unit-testable).
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -24,6 +41,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "corrupt" => cmd_corrupt(args),
         "optimize" => cmd_optimize(args),
         "stats" => cmd_stats(args),
+        "lint" => cmd_lint(args),
         "train" => cmd_train(args),
         "recover" => cmd_recover(args),
         "serve" => cmd_serve(args),
@@ -50,6 +68,15 @@ COMMANDS
             Constant folding, buffer sweeping, dead-logic elimination.
   stats     --in <file>
             Print gate/FF/word-relevant statistics.
+  lint      --in <file> [--json] [--deny warnings] [--k N]
+            [--model <model.json>]
+            Run the static-analysis battery: undriven / multi-driven
+            nets, floating DFF inputs, combinational cycles (full path),
+            dead logic, foldable constants, cones truncated past k
+            levels. With --model, also audit vocabulary coverage and the
+            Jaccard pre-filter threshold against that checkpoint. Exits
+            non-zero on errors (or on warnings under --deny warnings);
+            --json renders machine-readable diagnostics.
   train     --profiles <b03,b08,...> --model <out.json>
             [--seed N] [--epochs N] [--cap N]
             Generate training benchmarks and fit a ReBERT model.
@@ -87,6 +114,7 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
     ("corrupt", &["in", "out", "r", "seed"], &[]),
     ("optimize", &["in", "out"], &[]),
     ("stats", &["in"], &[]),
+    ("lint", &["in", "k", "model", "deny"], &["json"]),
     ("train", &["profiles", "model", "seed", "epochs", "cap", "k"], &[]),
     ("recover", &["model", "in", "labels", "threads"], &["baseline"]),
     ("serve", &["model", "addr", "threads", "queue", "deadline-ms"], &[]),
@@ -182,6 +210,59 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!("  {g:<5} {n}\n"));
     }
     Ok(out)
+}
+
+fn cmd_lint(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
+    let path = Path::new(args.require("in")?);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let format = if crate::io::is_verilog(path) {
+        rebert_analyze::SourceFormat::Verilog
+    } else {
+        rebert_analyze::SourceFormat::Bench
+    };
+    let deny_warnings = match args.get("deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(format!("--deny accepts only `warnings`, got `{other}`").into())
+        }
+    };
+
+    let mut opts = rebert_analyze::LintOptions::default();
+    if let Some(model_path) = args.get("model") {
+        // Pipeline checks are calibrated to the checkpoint that will
+        // consume the netlist: its cone depth, code width, vocabulary
+        // size, and Jaccard pre-filter threshold.
+        let model = load_model(Path::new(model_path))?;
+        let cfg = model.config();
+        opts.k_levels = cfg.k_levels;
+        opts.code_width = cfg.code_width;
+        opts.jaccard_threshold = Some(cfg.jaccard_threshold);
+        opts.vocab_rows = Some(model.vocab().len());
+    }
+    opts.k_levels = args.get_or("k", opts.k_levels)?;
+
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    let report = match rebert_analyze::lint_source(name, &text, format) {
+        Ok(nl) => rebert_analyze::lint_with(&nl, &opts),
+        Err(report) => report,
+    };
+
+    let body = if args.flag("json") {
+        report.to_json().to_string()
+    } else {
+        report.render_human()
+    };
+    if report.fails(deny_warnings) {
+        Err(Box::new(LintFailure { body }))
+    } else {
+        Ok(body)
+    }
 }
 
 fn cmd_train(args: &Args) -> Result<String, CliError> {
@@ -525,8 +606,109 @@ mod tests {
     }
 
     #[test]
+    fn lint_clean_netlist_passes() {
+        let bench = tmp("lint_clean.bench");
+        std::fs::write(
+            &bench,
+            "INPUT(a)\nINPUT(b)\nx = AND(a, b)\nq = DFF(x)\nOUTPUT(q)\n",
+        )
+        .unwrap();
+        let out = run(&args(&["lint", "--in", bench.to_str().unwrap()])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_errors_fail_with_the_rendered_report() {
+        let bench = tmp("lint_undriven.bench");
+        std::fs::write(&bench, "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap();
+        let err = run(&args(&["lint", "--in", bench.to_str().unwrap()])).unwrap_err();
+        let lint = err
+            .downcast_ref::<LintFailure>()
+            .expect("lint failures carry their report");
+        assert!(lint.body.contains("undriven-net"), "{}", lint.body);
+        assert!(lint.body.contains("1 error"), "{}", lint.body);
+    }
+
+    #[test]
+    fn lint_json_output_parses_with_rebert_json() {
+        let bench = tmp("lint_json.bench");
+        std::fs::write(&bench, "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap();
+        let err =
+            run(&args(&["lint", "--in", bench.to_str().unwrap(), "--json"])).unwrap_err();
+        let body = &err.downcast_ref::<LintFailure>().unwrap().body;
+        let json = rebert::json::Json::parse(body).expect("lint --json emits valid JSON");
+        assert_eq!(json.get("errors").and_then(rebert::json::Json::as_usize), Some(1));
+        let diags = json
+            .get("diagnostics")
+            .and_then(rebert::json::Json::as_array)
+            .unwrap();
+        assert_eq!(
+            diags[0].get("code").and_then(rebert::json::Json::as_str),
+            Some("undriven-net")
+        );
+    }
+
+    #[test]
+    fn lint_deny_warnings_promotes_warnings_to_failure() {
+        let bench = tmp("lint_dead.bench");
+        std::fs::write(
+            &bench,
+            "INPUT(a)\nINPUT(b)\nx = AND(a, b)\ndead = XOR(a, b)\nq = DFF(x)\nOUTPUT(q)\n",
+        )
+        .unwrap();
+        // Plain lint: warning, exit 0.
+        let out = run(&args(&["lint", "--in", bench.to_str().unwrap()])).unwrap();
+        assert!(out.contains("dead-logic"), "{out}");
+        // --deny warnings: same report, now a failure.
+        let err = run(&args(&[
+            "lint",
+            "--in",
+            bench.to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ]))
+        .unwrap_err();
+        assert!(err.downcast_ref::<LintFailure>().is_some());
+        // Any other --deny value is a usage error, not a lint failure.
+        let err = run(&args(&[
+            "lint",
+            "--in",
+            bench.to_str().unwrap(),
+            "--deny",
+            "everything",
+        ]))
+        .unwrap_err();
+        assert!(err.downcast_ref::<LintFailure>().is_none());
+    }
+
+    #[test]
+    fn lint_with_model_audits_pipeline_settings() {
+        let model_path = tmp("lint_model.json");
+        save_model(&ReBertModel::new(ReBertConfig::tiny(), 0), &model_path).unwrap();
+        let bench = tmp("lint_model.bench");
+        std::fs::write(
+            &bench,
+            "INPUT(a)\nINPUT(b)\nx = AND(a, b)\ny = OR(a, x)\nq0 = DFF(x)\nq1 = DFF(y)\nOUTPUT(q0)\nOUTPUT(q1)\n",
+        )
+        .unwrap();
+        let out = run(&args(&[
+            "lint",
+            "--in",
+            bench.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The tiny checkpoint's vocabulary covers every token and the
+        // netlist is structurally sound, so at most calibration
+        // warnings appear — never an error.
+        assert!(!out.contains("error["), "{out}");
+        assert!(!out.contains("vocab-oov"), "{out}");
+    }
+
+    #[test]
     fn every_command_rejects_unknown_options() {
-        for cmd in ["generate", "corrupt", "optimize", "stats", "train", "recover", "serve", "submit"] {
+        for cmd in ["generate", "corrupt", "optimize", "stats", "lint", "train", "recover", "serve", "submit"] {
             let err = run(&args(&[cmd, "--no-such-option", "x"])).unwrap_err();
             assert!(
                 err.to_string().contains("unknown option"),

@@ -19,7 +19,14 @@ fn main() {
     match commands::run(&parsed) {
         Ok(out) => println!("{out}"),
         Err(e) => {
-            eprintln!("error: {e}");
+            // A failed lint still prints its report to stdout (scripts
+            // parse it, especially with --json); only the exit code
+            // carries the verdict. Everything else is a plain error.
+            if let Some(lint) = e.downcast_ref::<commands::LintFailure>() {
+                println!("{lint}");
+            } else {
+                eprintln!("error: {e}");
+            }
             std::process::exit(1);
         }
     }

@@ -477,8 +477,22 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Returns the first violated invariant.
+    /// Returns the first violated invariant. Lint passes that want the
+    /// full list use [`Netlist::validate_all`].
     pub fn validate(&self) -> Result<(), NetlistError> {
+        match self.validate_all().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Collects **every** violated structural invariant instead of
+    /// stopping at the first: all undriven-but-consumed nets (in net
+    /// declaration order) followed by one
+    /// [`NetlistError::CombinationalCycle`] per distinct combinational
+    /// cycle. An empty vector means the netlist is valid.
+    pub fn validate_all(&self) -> Vec<NetlistError> {
+        let mut errors = Vec::new();
         // Driver presence for every consumed net.
         let mut consumed: Vec<bool> = vec![false; self.net_names.len()];
         for g in &self.gates {
@@ -494,11 +508,25 @@ impl Netlist {
         }
         for (i, &c) in consumed.iter().enumerate() {
             if c && !self.driven[i] {
-                return Err(NetlistError::Undriven(self.net_names[i].clone()));
+                errors.push(NetlistError::Undriven(self.net_names[i].clone()));
             }
         }
-        // Acyclicity of combinational logic via topological order.
-        self.topo_order().map(|_| ())
+        for cycle in self.combinational_cycles() {
+            let name = cycle
+                .first()
+                .map(|&n| self.net_name(n).to_owned())
+                .unwrap_or_default();
+            errors.push(NetlistError::CombinationalCycle(name));
+        }
+        errors
+    }
+
+    /// Whether the net has an explicit driver attached. Undriven nets
+    /// report a placeholder [`Driver::ConstZero`] from
+    /// [`Netlist::driver`]; this distinguishes that placeholder from a
+    /// real constant.
+    pub fn is_driven(&self, id: NetId) -> bool {
+        self.driven[id.index()]
     }
 
     /// Returns the gates in a topological order of the combinational graph
@@ -546,6 +574,95 @@ impl Netlist {
             return Err(NetlistError::CombinationalCycle(culprit));
         }
         Ok(order)
+    }
+
+    /// Every distinct combinational cycle as a full net path: the output
+    /// nets of the gates along the cycle, in feed order (each net is an
+    /// input to the gate driving the next entry; the last feeds the
+    /// first). An acyclic netlist yields an empty vector.
+    ///
+    /// Two cycles sharing a gate are reported as one path — the goal is a
+    /// human-readable witness for every cyclic region, not an enumeration
+    /// of all simple cycles (which can be exponential).
+    pub fn combinational_cycles(&self) -> Vec<Vec<NetId>> {
+        let n = self.gates.len();
+        // Kahn's algorithm; gates left with a positive indegree are the
+        // cyclic core plus its downstream cone.
+        let mut indegree = vec![0usize; n];
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                if let Driver::Gate(src) = self.drivers[inp.index()] {
+                    readers[src.index()].push(gi as u32);
+                    indegree[gi] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&g| indegree[g as usize] == 0)
+            .collect();
+        let mut head = 0;
+        let mut remaining = n;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            remaining -= 1;
+            for &r in &readers[g as usize] {
+                indegree[r as usize] -= 1;
+                if indegree[r as usize] == 0 {
+                    queue.push(r);
+                }
+            }
+        }
+        if remaining == 0 {
+            return Vec::new();
+        }
+        let stuck = |g: usize| indegree[g] > 0;
+        // DFS restricted to stuck gates with an explicit stack; a grey
+        // (on-path) neighbour closes a cycle. Blackened gates are never
+        // revisited, so each cyclic region yields one witness path.
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; n];
+        let mut cycles = Vec::new();
+        for root in 0..n {
+            if !stuck(root) || color[root] != WHITE {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            let mut path: Vec<usize> = vec![root];
+            color[root] = GREY;
+            while !stack.is_empty() {
+                let (g, next) = *stack.last().expect("stack is non-empty");
+                if let Some(&r) = readers[g].get(next) {
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    let r = r as usize;
+                    if !stuck(r) {
+                        continue;
+                    }
+                    match color[r] {
+                        WHITE => {
+                            color[r] = GREY;
+                            stack.push((r, 0));
+                            path.push(r);
+                        }
+                        GREY => {
+                            let from = path.iter().position(|&p| p == r).expect("grey is on path");
+                            cycles.push(
+                                path[from..].iter().map(|&gi| self.gates[gi].output).collect(),
+                            );
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[g] = BLACK;
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        cycles
     }
 }
 
@@ -696,6 +813,94 @@ mod tests {
         assert!(back.validate().is_ok());
         assert_eq!(back.find_net("s"), nl.find_net("s"));
         assert_eq!(back.gate_count(), nl.gate_count());
+    }
+
+    #[test]
+    fn validate_all_collects_every_violation() {
+        // Two undriven consumed nets AND a combinational cycle in the
+        // same netlist: the single-error API reports the first, the
+        // collecting API reports all three.
+        let mut nl = Netlist::new("multi");
+        let a = nl.add_input("a");
+        let f1 = nl.add_net("float1");
+        let f2 = nl.add_net("float2");
+        let o1 = nl.add_net("o1");
+        let o2 = nl.add_net("o2");
+        nl.add_gate(GateType::And, vec![a, f1], o1).unwrap();
+        nl.add_gate(GateType::Or, vec![a, f2], o2).unwrap();
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateType::And, vec![a, y], x).unwrap();
+        nl.add_gate(GateType::Or, vec![a, x], y).unwrap();
+
+        let all = nl.validate_all();
+        assert_eq!(all.len(), 3, "{all:?}");
+        assert_eq!(all[0], NetlistError::Undriven("float1".into()));
+        assert_eq!(all[1], NetlistError::Undriven("float2".into()));
+        assert!(matches!(all[2], NetlistError::CombinationalCycle(_)));
+        // The thin wrapper still surfaces exactly the first violation.
+        assert_eq!(nl.validate(), Err(NetlistError::Undriven("float1".into())));
+    }
+
+    #[test]
+    fn validate_all_empty_on_valid_netlist() {
+        assert!(xor_ff_toy().validate_all().is_empty());
+    }
+
+    #[test]
+    fn combinational_cycles_report_full_paths() {
+        // x = AND(a, y); y = OR(a, x): one cycle through nets {x, y}.
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateType::And, vec![a, y], x).unwrap();
+        nl.add_gate(GateType::Or, vec![a, x], y).unwrap();
+        let cycles = nl.combinational_cycles();
+        assert_eq!(cycles.len(), 1);
+        let names: Vec<&str> = cycles[0].iter().map(|&n| nl.net_name(n)).collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"x") && names.contains(&"y"));
+    }
+
+    #[test]
+    fn disjoint_cycles_are_reported_separately() {
+        let mut nl = Netlist::new("c2");
+        let a = nl.add_input("a");
+        for tag in ["p", "q"] {
+            let x = nl.add_net(format!("{tag}_x"));
+            let y = nl.add_net(format!("{tag}_y"));
+            nl.add_gate(GateType::And, vec![a, y], x).unwrap();
+            nl.add_gate(GateType::Or, vec![a, x], y).unwrap();
+        }
+        assert_eq!(nl.combinational_cycles().len(), 2);
+        // Gates downstream of a cycle are not themselves a cycle.
+        assert!(xor_ff_toy().combinational_cycles().is_empty());
+    }
+
+    #[test]
+    fn downstream_of_cycle_is_not_a_cycle() {
+        // z = NOT(x) hangs off the cycle; the only reported path is x/y.
+        let mut nl = Netlist::new("c3");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate(GateType::And, vec![a, y], x).unwrap();
+        nl.add_gate(GateType::Or, vec![a, x], y).unwrap();
+        nl.add_gate_new_net(GateType::Not, vec![x], "z").unwrap();
+        let cycles = nl.combinational_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 2);
+    }
+
+    #[test]
+    fn is_driven_distinguishes_placeholder_from_constant() {
+        let mut nl = Netlist::new("d");
+        let floating = nl.add_net("floating");
+        let gnd = nl.add_const("gnd", false);
+        assert!(!nl.is_driven(floating));
+        assert!(nl.is_driven(gnd));
+        assert_eq!(nl.driver(floating), nl.driver(gnd), "same placeholder");
     }
 
     #[test]

@@ -47,6 +47,18 @@ pub enum ParseError {
     },
 }
 
+impl ParseError {
+    /// The 1-based source line the error points at. Every variant
+    /// carries one, so diagnostics can always anchor to the input.
+    pub fn line(&self) -> usize {
+        match self {
+            ParseError::Syntax { line, .. }
+            | ParseError::UnknownGate { line, .. }
+            | ParseError::Netlist { line, .. } => *line,
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -325,6 +337,28 @@ OUTPUT(y)
     fn unknown_gate_reported() {
         let err = parse_bench("bad", "INPUT(a)\ny = FROB(a, a)\n").unwrap_err();
         assert!(matches!(err, ParseError::UnknownGate { .. }));
+    }
+
+    #[test]
+    fn every_variant_carries_and_displays_its_line() {
+        // One input per variant; each error must expose the 1-based line
+        // through both `line()` and its `Display` rendering.
+        let cases: &[(&str, usize)] = &[
+            ("INPUT(a)\nfoo bar baz\n", 2),                  // Syntax
+            ("INPUT(a)\n\ny = FROB(a, a)\n", 3),             // UnknownGate
+            ("INPUT(a)\nINPUT(a)\n", 2),                     // Netlist(DuplicateNet)
+            ("INPUT(a)\nINPUT(b)\n\ny = NOT(a, b)\n", 4),    // Netlist(BadArity)
+            ("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n", 3),       // Netlist(MultipleDrivers)
+            ("INPUT(a)\nOUTPUT(zz)\n", 2),                   // Syntax (undefined OUTPUT)
+        ];
+        for (src, want) in cases {
+            let err = parse_bench("bad", src).unwrap_err();
+            assert_eq!(err.line(), *want, "line() for {src:?}: {err}");
+            assert!(
+                err.to_string().contains(&format!("line {want}")),
+                "Display misses line for {src:?}: {err}"
+            );
+        }
     }
 
     #[test]

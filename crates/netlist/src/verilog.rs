@@ -54,6 +54,19 @@ pub enum VerilogError {
     },
 }
 
+impl VerilogError {
+    /// The 1-based source line the error points at, when the error is
+    /// anchored to one (`MissingModule` is a whole-file property).
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            VerilogError::Unsupported { line, .. }
+            | VerilogError::Syntax { line, .. }
+            | VerilogError::Netlist { line, .. } => Some(*line),
+            VerilogError::MissingModule => None,
+        }
+    }
+}
+
 impl fmt::Display for VerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -209,6 +222,21 @@ pub fn parse_verilog(name: &str, src: &str) -> Result<Netlist, VerilogError> {
                         });
                     }
                     match head {
+                        // A redeclared port would otherwise be silently
+                        // uniquified by the netlist arena ("a" -> "a_1"),
+                        // disconnecting it from its uses.
+                        "input" if inputs.contains(&n) => {
+                            return Err(VerilogError::Netlist {
+                                line: *lineno,
+                                source: NetlistError::DuplicateNet(n),
+                            });
+                        }
+                        "output" if outputs.contains(&n) => {
+                            return Err(VerilogError::Netlist {
+                                line: *lineno,
+                                source: NetlistError::DuplicateNet(n),
+                            });
+                        }
                         "input" => inputs.push(n),
                         "output" => outputs.push(n),
                         _ => {} // wires/regs are implicit
@@ -467,6 +495,109 @@ endmodule
             parse_verilog("", "input a;"),
             Err(VerilogError::MissingModule)
         ));
+    }
+
+    #[test]
+    fn unknown_cell_is_a_clean_error() {
+        let src = "
+module m (a, y);
+  input a;
+  output y;
+  magic_cell u0 (y, a);
+endmodule
+";
+        let err = parse_verilog("", src).unwrap_err();
+        match &err {
+            VerilogError::Unsupported { line, text } => {
+                assert_eq!(*line, 5);
+                assert!(text.contains("magic_cell"), "{text}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(err.line(), Some(5));
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_clean_error() {
+        // `not` takes exactly one input; two is a structural error, not
+        // a panic.
+        let src = "
+module m (a, b, y);
+  input a, b;
+  output y;
+  not g0 (y, a, b);
+endmodule
+";
+        let err = parse_verilog("", src).unwrap_err();
+        match &err {
+            VerilogError::Netlist { line, source } => {
+                assert_eq!(*line, 5);
+                assert!(matches!(source, NetlistError::BadArity { got: 2, .. }));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn multi_driven_net_is_a_clean_error() {
+        let src = "
+module m (a, y);
+  input a;
+  output y;
+  not g0 (y, a);
+  buf g1 (y, a);
+endmodule
+";
+        let err = parse_verilog("", src).unwrap_err();
+        match &err {
+            VerilogError::Netlist { line, source } => {
+                assert_eq!(*line, 6);
+                assert!(matches!(source, NetlistError::MultipleDrivers(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn redeclared_wire_is_a_clean_error() {
+        let src = "
+module m (a, y);
+  input a;
+  input a;
+  output y;
+  not g0 (y, a);
+endmodule
+";
+        let err = parse_verilog("", src).unwrap_err();
+        match &err {
+            VerilogError::Netlist { line, source } => {
+                assert_eq!(*line, 4);
+                assert_eq!(*source, NetlistError::DuplicateNet("a".into()));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // Same guard for outputs, including repeats inside one statement.
+        let src = "
+module m (a, y);
+  input a;
+  output y, y;
+  not g0 (y, a);
+endmodule
+";
+        assert!(matches!(
+            parse_verilog("", src),
+            Err(VerilogError::Netlist {
+                source: NetlistError::DuplicateNet(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_module_has_no_anchor_line() {
+        let err = parse_verilog("", "input a;").unwrap_err();
+        assert_eq!(err.line(), None);
+        assert!(err.to_string().contains("no module declaration"));
     }
 
     #[test]

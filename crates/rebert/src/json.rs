@@ -306,6 +306,12 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // Duplicate keys are ambiguous (RFC 8259 leaves the behaviour
+            // undefined); checkpoints and request bodies never need them,
+            // so reject instead of silently keeping one of the values.
+            if fields.iter().any(|(k, _): &(String, Json)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
             self.skip_ws();
             self.eat(b':')?;
             self.skip_ws();
@@ -519,8 +525,117 @@ mod tests {
             "[1] garbage",
             "\"unterminated",
             r#""\ud800x""#,
+            r#"{"a":1,"a":2}"#,
         ] {
             assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn duplicate_object_keys_rejected() {
+        let err = Json::parse(r#"{"k":1,"b":2,"k":3}"#).unwrap_err();
+        assert!(err.message.contains("duplicate object key `k`"), "{err}");
+        // Nested objects are checked too; same key at different depths is
+        // fine.
+        assert!(Json::parse(r#"{"a":{"x":1,"x":2}}"#).is_err());
+        assert!(Json::parse(r#"{"a":{"a":1}}"#).is_ok());
+        // Escapes are resolved before comparison: "\u0061" is "a".
+        assert!(Json::parse(r#"{"a":1,"\u0061":2}"#).is_err());
+    }
+
+    // ---- hand-rolled property tests (seeded, deterministic) ----------
+    //
+    // The offline harness compiles these without proptest, so the
+    // generators are driven directly by a seeded ChaCha stream.
+
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    /// An adversarial string: quotes, backslashes, control characters,
+    /// multi-byte scalars, and near-surrogate code points.
+    fn gen_string(rng: &mut ChaCha20Rng) -> String {
+        const POOL: &[char] = &[
+            'a', 'Z', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1f}', '☃', '\u{1F0A1}',
+            '\u{D7FF}', '\u{E000}', '\u{FFFD}', '{', '}', '[', ']', ',', ':', 'é',
+        ];
+        let len = rng.gen_range(0..8usize);
+        (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+    }
+
+    fn gen_value(rng: &mut ChaCha20Rng, depth: usize) -> Json {
+        let pick = if depth >= 4 {
+            rng.gen_range(0..4u32) // leaves only
+        } else {
+            rng.gen_range(0..6u32)
+        };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            2 => Json::num(f64::from(rng.gen_range(-1000i32..1000)) * 0.125),
+            3 => Json::Str(gen_string(rng)),
+            4 => Json::Arr((0..rng.gen_range(0..4usize)).map(|_| gen_value(rng, depth + 1)).collect()),
+            _ => {
+                let n = rng.gen_range(0..4usize);
+                let mut fields: Vec<(String, Json)> = Vec::new();
+                for _ in 0..n {
+                    let key = gen_string(rng);
+                    if fields.iter().any(|(k, _)| *k == key) {
+                        continue; // writer output must stay parseable
+                    }
+                    let v = gen_value(rng, depth + 1);
+                    fields.push((key, v));
+                }
+                Json::Obj(fields)
+            }
+        }
+    }
+
+    #[test]
+    fn random_documents_round_trip_exactly() {
+        let mut rng = ChaCha20Rng::seed_from_u64(0x5eed_1);
+        for i in 0..500 {
+            let v = gen_value(&mut rng, 0);
+            let text = v.to_string();
+            let back = Json::parse(&text).unwrap_or_else(|e| panic!("case {i}: {e}: {text}"));
+            assert_eq!(back, v, "case {i}: {text}");
+            // Stability: writing the re-parsed value is byte-identical.
+            assert_eq!(back.to_string(), text, "case {i}");
+        }
+    }
+
+    #[test]
+    fn mutated_documents_never_panic_and_stay_strict() {
+        // Random single-character edits of valid documents: the parser
+        // must cleanly accept or reject, and anything accepted must
+        // round-trip through its own writer.
+        let mut rng = ChaCha20Rng::seed_from_u64(0x5eed_2);
+        for i in 0..500 {
+            let chars: Vec<char> = gen_value(&mut rng, 0).to_string().chars().collect();
+            let mut mutated = chars.clone();
+            const GLYPHS: &[char] = &['{', '}', '[', ']', '"', ',', ':', '\\', '0', 'e', '-', ' '];
+            match rng.gen_range(0..3u32) {
+                0 if !mutated.is_empty() => {
+                    let at = rng.gen_range(0..mutated.len());
+                    mutated[at] = GLYPHS[rng.gen_range(0..GLYPHS.len())];
+                }
+                1 if !mutated.is_empty() => {
+                    mutated.remove(rng.gen_range(0..mutated.len()));
+                }
+                _ => {
+                    let at = rng.gen_range(0..=mutated.len());
+                    mutated.insert(at, GLYPHS[rng.gen_range(0..GLYPHS.len())]);
+                }
+            }
+            let text: String = mutated.into_iter().collect();
+            if let Ok(v) = Json::parse(&text) {
+                let rewritten = v.to_string();
+                assert_eq!(
+                    Json::parse(&rewritten).as_ref(),
+                    Ok(&v),
+                    "case {i}: accepted `{text}` but failed to round-trip"
+                );
+            }
         }
     }
 

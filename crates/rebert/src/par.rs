@@ -222,3 +222,95 @@ mod tests {
         );
     }
 }
+
+/// Exhaustive interleaving checks of the batched-cursor claim protocol,
+/// run with `RUSTFLAGS="--cfg loom" cargo test -p rebert --lib loom`.
+///
+/// `par_map_batched` itself runs on crossbeam's scoped threads, which
+/// loom cannot instrument, so these models restate the protocol —
+/// workers `fetch_add` a shared cursor to claim index batches, optionally
+/// polling a cancel flag before each claim — on loom primitives and
+/// assert the invariants the scatter phase relies on: every index is
+/// claimed at most once, a completed sweep claimed every index, and a
+/// cancelled sweep is detectable (never mistaken for a full result).
+#[cfg(all(test, loom))]
+mod loom_models {
+    use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    const ITEMS: usize = 3;
+    const BATCH: usize = 1;
+
+    fn worker(cursor: &AtomicUsize, claims: &[AtomicUsize], cancel: Option<&AtomicBool>) -> usize {
+        let mut claimed = 0;
+        loop {
+            if let Some(flag) = cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return claimed;
+                }
+            }
+            let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
+            if start >= ITEMS {
+                return claimed;
+            }
+            for i in start..(start + BATCH).min(ITEMS) {
+                claims[i].fetch_add(1, Ordering::Relaxed);
+                claimed += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn loom_every_index_claimed_exactly_once() {
+        loom::model(|| {
+            let cursor = Arc::new(AtomicUsize::new(0));
+            let claims: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let cursor = Arc::clone(&cursor);
+                    let claims = Arc::clone(&claims);
+                    thread::spawn(move || worker(&cursor, &claims, None))
+                })
+                .collect();
+            let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            assert_eq!(total, ITEMS, "a completed sweep visits everything");
+            for (i, c) in claims.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} claimed once");
+            }
+        });
+    }
+
+    #[test]
+    fn loom_cancellation_is_all_or_nothing() {
+        loom::model(|| {
+            let cursor = Arc::new(AtomicUsize::new(0));
+            let cancel = Arc::new(AtomicBool::new(false));
+            let claims: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+            let w = {
+                let cursor = Arc::clone(&cursor);
+                let cancel = Arc::clone(&cancel);
+                let claims = Arc::clone(&claims);
+                thread::spawn(move || worker(&cursor, &claims, Some(&cancel)))
+            };
+            let canceller = {
+                let cancel = Arc::clone(&cancel);
+                thread::spawn(move || cancel.store(true, Ordering::Relaxed))
+            };
+            let filled = w.join().unwrap();
+            canceller.join().unwrap();
+            // Whatever the interleaving: no duplicates, and the scatter
+            // phase's `filled < n` check cleanly separates "cancelled"
+            // from "complete" — a partial fill is never reported whole.
+            for c in claims.iter() {
+                assert!(c.load(Ordering::Relaxed) <= 1, "no index claimed twice");
+            }
+            assert!(filled <= ITEMS);
+            let claimed_total: usize =
+                claims.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            assert_eq!(claimed_total, filled, "claim ledger matches fill count");
+        });
+    }
+}

@@ -65,6 +65,13 @@ pub struct PipelineStats {
     pub group_time: Duration,
     /// Wall-clock time of the full recovery.
     pub elapsed: Duration,
+    /// Human-readable warnings about conditions that silently degrade
+    /// recovery quality: netlist invariant violations, a Jaccard filter
+    /// that removed every pair, or a degenerate `max(score)/3` grouping
+    /// threshold. Purely observational — the presence of warnings never
+    /// changes scores or the assignment. The full structural battery
+    /// lives in the `rebert-analyze` crate (`rebert lint`).
+    pub warnings: Vec<String>,
 }
 
 /// The result of word recovery on a netlist.
@@ -181,6 +188,7 @@ impl ReBertModel {
         let start = Instant::now();
         let cfg = self.config();
         let threads = ctx.threads;
+        let warnings = netlist_warnings(nl);
 
         let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
         let n = seqs.len();
@@ -309,6 +317,7 @@ impl ReBertModel {
                 score_time,
                 group_time,
                 elapsed: start.elapsed(),
+                warnings,
             },
         ))
     }
@@ -322,6 +331,7 @@ impl ReBertModel {
     pub fn recover_words_reference(&self, nl: &Netlist, threads: usize) -> RecoveredWords {
         let start = Instant::now();
         let cfg = self.config();
+        let warnings = netlist_warnings(nl);
 
         let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
         let n = seqs.len();
@@ -379,6 +389,7 @@ impl ReBertModel {
                 score_time,
                 group_time,
                 elapsed: start.elapsed(),
+                warnings,
             },
         )
     }
@@ -396,6 +407,20 @@ impl ReBertModel {
         } else {
             p.scored as f64 / p.score_time.as_secs_f64().max(f64::MIN_POSITIVE)
         };
+        let mut warnings = p.warnings;
+        if p.pairs_total > 0 && p.scored == 0 {
+            warnings.push(format!(
+                "jaccard pre-filter removed all {} bit pairs; every bit becomes a \
+                 singleton word (degenerate-threshold)",
+                p.pairs_total
+            ));
+        } else if p.scored > 0 && matrix.max_score() <= 0.0 {
+            warnings.push(format!(
+                "degenerate score threshold: max pairwise score {} is not positive, \
+                 so the adaptive max/3 cut cannot separate words (degenerate-threshold)",
+                matrix.max_score()
+            ));
+        }
         RecoveredWords {
             assignment,
             score_matrix: matrix,
@@ -412,9 +437,21 @@ impl ReBertModel {
                 score_time: p.score_time,
                 group_time: p.group_time,
                 elapsed: p.elapsed,
+                warnings,
             },
         }
     }
+}
+
+/// Cheap structural pre-flight shared by both pipeline paths: any
+/// violated netlist invariant silently degrades the recovery (undriven
+/// nets binarize as constants, cycles truncate cones), so surface them
+/// as [`PipelineStats::warnings`] while still running to completion.
+fn netlist_warnings(nl: &Netlist) -> Vec<String> {
+    nl.validate_all()
+        .into_iter()
+        .map(|e| format!("netlist invariant violated: {e} (see `rebert lint`)"))
+        .collect()
 }
 
 /// Raw per-phase measurements handed to [`ReBertModel::finish`].
@@ -429,6 +466,9 @@ struct PipelinePhases {
     score_time: Duration,
     group_time: Duration,
     elapsed: Duration,
+    /// Pre-phase warnings (netlist invariants); threshold degeneracy is
+    /// appended by `finish` once the matrix exists.
+    warnings: Vec<String>,
 }
 
 #[cfg(test)]
@@ -450,6 +490,8 @@ mod tests {
         // Words partition the bits.
         let total: usize = rec.words().iter().map(Vec::len).sum();
         assert_eq!(total, 10);
+        // A valid generated netlist with scored pairs raises no warnings.
+        assert!(rec.stats.warnings.is_empty(), "{:?}", rec.stats.warnings);
     }
 
     #[test]
@@ -464,8 +506,13 @@ mod tests {
         assert_eq!(rec.stats.pairs_per_sec, 0.0);
         assert_eq!(rec.stats.class_pairs_scored, 0);
         assert_eq!(rec.stats.pairs_memoized, 0);
-        // Everything filtered => all singleton words.
+        // Everything filtered => all singleton words, flagged as such.
         assert_eq!(rec.words().len(), 8);
+        assert!(
+            rec.stats.warnings.iter().any(|w| w.contains("singleton")),
+            "{:?}",
+            rec.stats.warnings
+        );
     }
 
     #[test]
@@ -561,10 +608,43 @@ mod tests {
                 score_time: Duration::ZERO,
                 group_time: Duration::ZERO,
                 elapsed: Duration::ZERO,
+                warnings: Vec::new(),
             },
         };
         let words = rec.words();
         assert_eq!(words, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn invalid_netlist_warns_but_still_recovers() {
+        use rebert_netlist::{GateType, Netlist};
+        // Two bits whose cones read an undriven net: recovery completes
+        // (the placeholder binarizes as a constant) but the stats call
+        // out the violated invariant.
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let floating = nl.add_net("floating");
+        for i in 0..2 {
+            let x = nl
+                .add_gate_new_net(GateType::And, vec![a, floating], format!("x{i}"))
+                .unwrap();
+            let q = nl.add_net(format!("q{i}"));
+            nl.add_dff(x, q).unwrap();
+        }
+        let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+        let rec = model.recover_words(&nl);
+        assert_eq!(rec.assignment.len(), 2);
+        assert!(
+            rec.stats.warnings.iter().any(|w| w.contains("no driver")),
+            "{:?}",
+            rec.stats.warnings
+        );
+        // The reference path reports the same pre-phase warnings.
+        let reference = model.recover_words_reference(&nl, 1);
+        assert_eq!(
+            reference.stats.warnings.iter().filter(|w| w.contains("no driver")).count(),
+            rec.stats.warnings.iter().filter(|w| w.contains("no driver")).count()
+        );
     }
 
     #[test]

@@ -266,6 +266,7 @@ mod tests {
             score_time: Duration::from_millis(40),
             group_time: Duration::from_micros(90),
             elapsed: Duration::from_millis(44),
+            warnings: Vec::new(),
         }
     }
 

@@ -8,6 +8,13 @@
 //! observes `None`.
 
 use std::collections::VecDeque;
+
+// Under `--cfg loom` the queue runs on loom's model-checked primitives
+// so the tests below can exhaustively explore interleavings; production
+// builds use the std primitives directly.
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
 use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused. The job is handed back so the caller can
@@ -100,7 +107,7 @@ impl<T> Bounded<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -172,5 +179,99 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.try_push(7).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+}
+
+/// Exhaustive interleaving checks, run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p rebert-serve --lib loom`.
+///
+/// Each model spawns at most two helper threads (loom's scheduler caps
+/// at four total) and asserts the queue invariants the serve loop leans
+/// on: no lost or duplicated items, close-wakes-consumers, and refusal
+/// semantics while full or closed.
+#[cfg(all(test, loom))]
+mod loom_models {
+    use super::*;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    #[test]
+    fn loom_push_then_pop_hands_the_item_over() {
+        loom::model(|| {
+            let q = Arc::new(Bounded::<u32>::new(1));
+            let producer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_push(7).expect("capacity 1, one push"))
+            };
+            // The consumer may block before or after the push lands;
+            // either way the wakeup must deliver exactly the item.
+            let got = q.pop();
+            producer.join().unwrap();
+            assert_eq!(got, Some(7));
+        });
+    }
+
+    #[test]
+    fn loom_shutdown_while_full_loses_nothing() {
+        loom::model(|| {
+            let q = Arc::new(Bounded::<u32>::new(1));
+            q.try_push(1).expect("pre-filled to capacity");
+            let producer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_push(2))
+            };
+            let closer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.close())
+            };
+            let refused = producer.join().unwrap();
+            closer.join().unwrap();
+            // The racing push must be refused one way or the other and
+            // must hand the job back for a 503 reply.
+            match refused {
+                Err(PushError::Full(2)) | Err(PushError::Closed(2)) => {}
+                other => panic!("racing push must be refused, got {other:?}"),
+            }
+            // The queued item still drains after close.
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn loom_close_wakes_a_blocked_consumer() {
+        loom::model(|| {
+            let q = Arc::new(Bounded::<u32>::new(1));
+            let closer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.close())
+            };
+            // Whether the consumer blocks first or the close lands
+            // first, pop must return None rather than sleep forever.
+            assert_eq!(q.pop(), None);
+            closer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn loom_concurrent_producers_neither_lose_nor_duplicate() {
+        loom::model(|| {
+            let q = Arc::new(Bounded::<u32>::new(2));
+            let p1 = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_push(1).expect("capacity 2, two pushes"))
+            };
+            let p2 = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_push(2).expect("capacity 2, two pushes"))
+            };
+            p1.join().unwrap();
+            p2.join().unwrap();
+            q.close();
+            let mut drained = vec![q.pop(), q.pop()];
+            drained.sort();
+            assert_eq!(drained, vec![Some(1), Some(2)]);
+            assert_eq!(q.pop(), None);
+        });
     }
 }

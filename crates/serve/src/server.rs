@@ -328,6 +328,25 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
         }
     };
 
+    // Pre-flight: recovery on a structurally broken netlist produces
+    // garbage words with no hint of why, so hard lint errors are
+    // answered up front with the full diagnostics instead. Warnings
+    // (dead logic, foldable constants, ...) do not block; they come
+    // back in the success payload.
+    let preflight = rebert_analyze::lint_netlist(&netlist);
+    if preflight.has_errors() {
+        shared.metrics.count_request("recover", "lint_rejected");
+        let report = preflight.to_json();
+        let mut fields = vec![(
+            "error".to_owned(),
+            Json::str("netlist failed lint pre-flight; see diagnostics"),
+        )];
+        if let Json::Obj(inner) = report {
+            fields.extend(inner);
+        }
+        return Response::json(422, &Json::Obj(fields));
+    }
+
     let deadline = match req.header("x-rebert-deadline-ms") {
         Some(raw) => match raw.parse::<u64>() {
             Ok(ms) => Some(arrival + Duration::from_millis(ms)),
@@ -408,6 +427,7 @@ pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
         ("group_us".into(), micros(s.group_time)),
         ("elapsed_us".into(), micros(s.elapsed)),
     ]);
+    let warnings = Json::Arr(s.warnings.iter().map(Json::str).collect());
     Json::Obj(vec![
         ("design".into(), Json::str(nl.name())),
         ("bits".into(), Json::uint(bits.len() as u64)),
@@ -415,6 +435,7 @@ pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
         ("assignment".into(), assignment),
         ("names".into(), names),
         ("stats".into(), stats),
+        ("warnings".into(), warnings),
     ])
 }
 

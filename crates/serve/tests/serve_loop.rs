@@ -215,6 +215,57 @@ fn malformed_inputs_get_400s() {
 }
 
 #[test]
+fn lint_rejected_netlists_get_422_with_diagnostics() {
+    let server = boot(tiny_model(2), 1, 4, None);
+    let addr = server.addr();
+
+    // Parses fine but fails the structural pre-flight: `ghost` is
+    // consumed and never driven. The daemon must refuse to recover
+    // words from it and say exactly why, machine-readably.
+    let broken = "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n";
+    let reply = submit_recover(addr, broken, Some("bench"), None).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body_text());
+    let json = rebert::json::Json::parse(&reply.body_text()).expect("diagnostics are JSON");
+    assert!(json_field(&json, "error")
+        .as_str()
+        .unwrap()
+        .contains("lint"));
+    assert_eq!(json_field(&json, "errors").as_usize(), Some(1));
+    let diags = json_field(&json, "diagnostics").as_array().unwrap();
+    assert_eq!(
+        diags[0].get("code").and_then(rebert::json::Json::as_str),
+        Some("undriven-net")
+    );
+    assert_eq!(
+        diags[0]
+            .get("nets")
+            .and_then(rebert::json::Json::as_array)
+            .and_then(|nets| nets[0].as_str()),
+        Some("ghost")
+    );
+
+    // The refusal must not poison the session: a well-formed follow-up
+    // request on the same daemon still recovers words.
+    let good = "INPUT(a)\nINPUT(b)\nx = AND(a, b)\nq0 = DFF(x)\ny = OR(a, b)\nq1 = DFF(y)\nOUTPUT(q0)\nOUTPUT(q1)\n";
+    let reply = submit_recover(addr, good, Some("bench"), None).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let json = rebert::json::Json::parse(&reply.body_text()).unwrap();
+    assert_eq!(json_field(&json, "bits").as_usize(), Some(2));
+    // The pipeline's warning list rides along in the success payload.
+    // A structurally clean netlist never reports invariant violations
+    // (score-calibration warnings may still appear for a toy model).
+    let warnings = json_field(&json, "warnings").as_array().unwrap();
+    assert!(
+        warnings
+            .iter()
+            .all(|w| !w.as_str().unwrap_or("").contains("invariant")),
+        "{warnings:?}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_queued_work() {
     let (model, circuit) = heavy_setup();
     let bench = write_bench(&circuit.netlist);
