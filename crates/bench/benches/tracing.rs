@@ -1,0 +1,42 @@
+//! Tracing overhead benchmarks.
+//!
+//! The shipped default is *no sink installed*: every instrumentation
+//! point reduces to one relaxed atomic load. `recover_disabled` is the
+//! acceptance column — it must sit within noise of the engine before
+//! instrumentation existed. `recover_ring_debug` shows the cost of the
+//! always-on serve ring, and `enabled_check` prices the gate itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebert::{ReBertConfig, ReBertModel};
+use rebert_circuits::{generate, Profile};
+use rebert_obs::{Level, RingSink};
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let circuit = generate(&Profile::new("trace_bench", 400, 32, 8), 0x1399);
+    let mut cfg = ReBertConfig::small();
+    cfg.k_levels = 4;
+    let model = ReBertModel::new(cfg, 0);
+
+    let mut group = c.benchmark_group("tracing_overhead");
+    group.sample_size(10);
+    group.bench_function("recover_disabled", |b| {
+        b.iter(|| model.recover_words_with(&circuit.netlist, 1))
+    });
+    group.bench_function("recover_ring_debug", |b| {
+        let ring = Arc::new(RingSink::new(1 << 16, Level::Debug));
+        let id = rebert_obs::install(ring.clone());
+        b.iter(|| model.recover_words_with(&circuit.netlist, 1));
+        rebert_obs::uninstall(id);
+    });
+    group.finish();
+
+    // The disabled-path gate in isolation: one relaxed load + compare.
+    c.bench_function("enabled_check_disabled", |b| {
+        b.iter(|| criterion::black_box(rebert_obs::enabled(Level::Debug)))
+    });
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

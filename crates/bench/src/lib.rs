@@ -16,6 +16,8 @@
 
 use std::time::{Duration, Instant};
 
+use rebert_obs as obs;
+
 use rebert::{
     ari, loo_split, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig,
 };
@@ -44,7 +46,18 @@ pub enum Scale {
 impl Scale {
     /// Parses `--fast` / `--full-scale` style CLI flags; unknown flags are
     /// ignored so binaries can layer their own.
+    ///
+    /// Also installs the process-wide stderr logger (once): the library
+    /// reports fold progress through `rebert-obs` rather than printing,
+    /// so the experiment binaries opt back into the old stderr
+    /// visibility here. `REBERT_LOG` overrides the level (default
+    /// `info`); library consumers that never call this stay silent.
     pub fn from_args() -> Scale {
+        use std::sync::{Arc, OnceLock};
+        static LOGGER: OnceLock<obs::SinkId> = OnceLock::new();
+        LOGGER.get_or_init(|| {
+            obs::install(Arc::new(obs::StderrSink::from_env(obs::Level::Info)))
+        });
         let args: Vec<String> = std::env::args().collect();
         if args.iter().any(|a| a == "--fast") {
             Scale::Fast
@@ -209,9 +222,12 @@ pub fn train_fold_model(
     let samples = training_samples(&train_set, &ds_cfg, EXPERIMENT_SEED ^ test_idx as u64);
     let mut model = ReBertModel::new(model_cfg, EXPERIMENT_SEED);
     let report = train(&mut model, &samples, &scale.train_config());
-    eprintln!(
-        "  fold {test_idx}: {} samples, losses {:?}, train acc {:.3}",
-        report.samples, report.epoch_losses, report.final_accuracy
+    obs::info!(
+        "bench",
+        "fold {test_idx}: {} samples, losses {:?}, train acc {:.3}",
+        report.samples,
+        report.epoch_losses,
+        report.final_accuracy
     );
     model
 }

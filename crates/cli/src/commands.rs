@@ -36,6 +36,10 @@ impl std::error::Error for LintFailure {}
 /// Dispatches a parsed command line. Returns the text to print on
 /// success (kept out of `main` so commands are unit-testable).
 pub fn run(args: &Args) -> Result<String, CliError> {
+    // Install tracing sinks first so every subcommand's spans land in
+    // them; the guard uninstalls (and writes `--trace-out`) when the
+    // command returns, success or failure.
+    let _trace = crate::tracing::init(args)?;
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "corrupt" => cmd_corrupt(args),
@@ -104,6 +108,16 @@ COMMANDS
             words (ARI when labels are given).
   help      Show this text.
 
+OBSERVABILITY (train / recover / serve / submit)
+  --log-level <error|warn|info|debug|trace>
+            Mirror span and event records to stderr (the REBERT_LOG
+            environment variable sets the same default).
+  --trace-out <file.json>
+            On exit, write a Chrome trace-event timeline of the run —
+            pipeline phases, per-worker scoring batches, training
+            epochs, served requests — loadable in Perfetto
+            (https://ui.perfetto.dev) or chrome://tracing.
+
 Unknown options and flags are rejected with a nearest-spelling hint.
 ";
 
@@ -115,10 +129,10 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
     ("optimize", &["in", "out"], &[]),
     ("stats", &["in"], &[]),
     ("lint", &["in", "k", "model", "deny"], &["json"]),
-    ("train", &["profiles", "model", "seed", "epochs", "cap", "k"], &[]),
-    ("recover", &["model", "in", "labels", "threads"], &["baseline"]),
-    ("serve", &["model", "addr", "threads", "queue", "deadline-ms"], &[]),
-    ("submit", &["addr", "in", "labels", "deadline-ms"], &[]),
+    ("train", &["profiles", "model", "seed", "epochs", "cap", "k", "log-level", "trace-out"], &[]),
+    ("recover", &["model", "in", "labels", "threads", "log-level", "trace-out"], &["baseline"]),
+    ("serve", &["model", "addr", "threads", "queue", "deadline-ms", "log-level", "trace-out"], &[]),
+    ("submit", &["addr", "in", "labels", "deadline-ms", "log-level", "trace-out"], &[]),
 ];
 
 /// Rejects any option or flag the subcommand's table does not list.
@@ -383,6 +397,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let config = rebert_serve::ServeConfig {
         queue_capacity: queue,
         default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        ..rebert_serve::ServeConfig::default()
     };
     let server = rebert_serve::serve(session, listener, config)?;
     // Printed before the blocking drain loop so callers (and the CI
@@ -412,8 +427,11 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
     )
     .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
     if reply.status != 200 {
+        // The request id lets the daemon side of a failure be found in
+        // its logs and `GET /debug/trace` output.
+        let request_id = reply.header("X-Rebert-Request-Id").unwrap_or("unknown");
         return Err(format!(
-            "daemon answered {}: {}",
+            "daemon answered {} (request {request_id}): {}",
             reply.status,
             reply.body_text().trim()
         )
@@ -786,6 +804,85 @@ mod tests {
         assert!(out.contains("cone dedup:"), "{out}");
         assert!(out.contains("ReBERT ARI:"), "{out}");
         server.shutdown();
+    }
+
+    #[test]
+    fn submit_errors_carry_the_daemon_request_id() {
+        // A netlist that parses but fails the daemon's lint pre-flight
+        // (undriven `ghost`): submit must surface the 422 *and* the
+        // request id so the failure can be found in `/debug/trace`.
+        let bench = tmp("submit_422.bench");
+        std::fs::write(&bench, "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap();
+
+        let session =
+            rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), 1);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server =
+            rebert_serve::serve(session, listener, rebert_serve::ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        let err = run(&args(&["submit", "--addr", &addr, "--in", bench.to_str().unwrap()]))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("daemon answered 422"), "{msg}");
+        assert!(msg.contains("(request req-"), "{msg}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn recover_trace_out_writes_phase_spans() {
+        let bench = tmp("trace.bench");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "120",
+            "--ffs",
+            "12",
+            "--words",
+            "3",
+            "--seed",
+            "8",
+            "--out",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model_path = tmp("trace.model.json");
+        save_model(&ReBertModel::new(ReBertConfig::tiny(), 0), &model_path).unwrap();
+        let trace_path = tmp("trace.json");
+
+        let out = run(&args(&[
+            "recover",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--in",
+            bench.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("12 bits"), "{out}");
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let json = rebert::json::Json::parse(&text).expect("trace parses with rebert::json");
+        let events = json
+            .get("traceEvents")
+            .and_then(rebert::json::Json::as_array)
+            .expect("traceEvents array")
+            .to_vec();
+        // All four pipeline phases appear as balanced duration spans.
+        for phase in ["tokenize", "filter", "score", "group"] {
+            for ph in ["B", "E"] {
+                assert!(
+                    events.iter().any(|e| {
+                        e.get("name").and_then(rebert::json::Json::as_str) == Some(phase)
+                            && e.get("ph").and_then(rebert::json::Json::as_str) == Some(ph)
+                    }),
+                    "missing {ph} event for phase `{phase}`"
+                );
+            }
+        }
     }
 
     #[test]

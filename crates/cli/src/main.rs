@@ -6,6 +6,7 @@
 mod args;
 mod commands;
 mod io;
+mod tracing;
 
 fn main() {
     let parsed = match args::Args::parse(std::env::args().skip(1)) {

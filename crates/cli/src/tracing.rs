@@ -1,0 +1,142 @@
+//! Per-invocation tracing setup: the `--log-level` and `--trace-out`
+//! options shared by the long-running subcommands.
+//!
+//! Nothing is installed when neither option (nor `REBERT_LOG`) is
+//! given, so the default CLI run keeps tracing in its disabled,
+//! one-atomic-load state. The returned [`TraceGuard`] uninstalls
+//! whatever was installed when it drops — and writes the Chrome
+//! trace-event file for `--trace-out`, ready to load in Perfetto or
+//! `chrome://tracing`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rebert_obs as obs;
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// Sinks installed for one CLI invocation; see the module docs.
+pub struct TraceGuard {
+    stderr: Option<obs::SinkId>,
+    chrome: Option<(obs::SinkId, Arc<obs::ChromeTraceSink>, PathBuf)>,
+}
+
+impl TraceGuard {
+    /// Whether this invocation installed any sink at all.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_active(&self) -> bool {
+        self.stderr.is_some() || self.chrome.is_some()
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.stderr.take() {
+            obs::uninstall(id);
+        }
+        if let Some((id, sink, path)) = self.chrome.take() {
+            // Uninstall first so the file captures a quiesced trace
+            // (open spans are synthetically closed by the exporter).
+            obs::uninstall(id);
+            match sink.write_to(&path) {
+                Ok(()) => eprintln!("trace written to {}", path.display()),
+                Err(e) => eprintln!("error: cannot write trace `{}`: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Installs sinks according to `--log-level` (or the `REBERT_LOG`
+/// environment variable) and `--trace-out`.
+///
+/// # Errors
+///
+/// Fails on an unparseable `--log-level`; a bad `REBERT_LOG` value is
+/// ignored (the environment must not break scripted runs).
+pub fn init(args: &Args) -> Result<TraceGuard, CliError> {
+    let mut guard = TraceGuard {
+        stderr: None,
+        chrome: None,
+    };
+    let stderr_level = match args.get("log-level") {
+        Some(raw) => Some(obs::Level::parse(raw).ok_or_else(|| {
+            format!("bad --log-level `{raw}` (error|warn|info|debug|trace)")
+        })?),
+        None => std::env::var("REBERT_LOG")
+            .ok()
+            .and_then(|v| obs::Level::parse(&v)),
+    };
+    if let Some(level) = stderr_level {
+        guard.stderr = Some(obs::install(Arc::new(obs::StderrSink::new(level))));
+    }
+    if let Some(path) = args.get("trace-out") {
+        let sink = Arc::new(obs::ChromeTraceSink::new(obs::Level::Debug));
+        let id = obs::install(Arc::clone(&sink) as Arc<dyn obs::Sink>);
+        guard.chrome = Some((id, sink, PathBuf::from(path)));
+    }
+    Ok(guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    #[test]
+    fn no_flags_installs_nothing() {
+        let guard = init(&args(&["recover"])).unwrap();
+        assert!(!guard.is_active());
+    }
+
+    #[test]
+    fn bad_log_level_is_a_usage_error() {
+        let err = match init(&args(&["recover", "--log-level", "loud"])) {
+            Ok(_) => panic!("`loud` must not parse as a level"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("--log-level"), "{err}");
+    }
+
+    #[test]
+    fn log_level_installs_and_uninstalls_a_stderr_sink() {
+        let guard = init(&args(&["recover", "--log-level", "error"])).unwrap();
+        assert!(guard.is_active());
+        assert!(obs::enabled(obs::Level::Error));
+        drop(guard);
+    }
+
+    #[test]
+    fn trace_out_writes_a_parseable_chrome_trace_on_drop() {
+        let path = std::env::temp_dir()
+            .join("rebert_cli_tracing_tests")
+            .join("unit.trace.json");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let guard = init(&args(&[
+            "recover",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        {
+            let sp = obs::span(obs::Level::Info, "cli-test", "unit-root");
+            sp.end();
+        }
+        drop(guard);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = rebert::json::Json::parse(&text).expect("trace file is valid JSON");
+        let events = json
+            .get("traceEvents")
+            .and_then(rebert::json::Json::as_array)
+            .expect("traceEvents array");
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(rebert::json::Json::as_str) == Some("unit-root")
+            }),
+            "the span recorded while the guard was live is exported"
+        );
+    }
+}

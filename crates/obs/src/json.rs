@@ -1,9 +1,12 @@
 //! Minimal self-contained JSON: a value model, a strict parser, and a
 //! writer, with no external dependencies.
 //!
-//! Used by model checkpointing ([`crate::persist`]) and by the
-//! `rebert-serve` daemon for request/response bodies, so the whole
-//! serving path runs without pulling a JSON crate into the hot loop.
+//! Lives in `rebert-obs` (the workspace's base crate) so both the
+//! tracing exporters here and the higher layers — model checkpointing
+//! (`rebert::persist`), the `rebert-serve` daemon's request/response
+//! bodies, `rebert-analyze` reports — share one implementation without
+//! pulling a JSON crate into the hot loop. `rebert` re-exports it as
+//! `rebert::json`, which is the name the rest of the workspace uses.
 //! Numbers keep their literal text ([`Json::Num`]): the writer emits the
 //! shortest round-trip representation of the value it was given, and the
 //! reader re-parses the literal at the requested width, so `f32`
@@ -190,7 +193,7 @@ impl fmt::Display for Json {
 }
 
 /// Writes `s` as a JSON string literal with escaping.
-pub(crate) fn write_json_string(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+pub fn write_json_string(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
     out.write_str("\"")?;
     for c in s.chars() {
         match c {

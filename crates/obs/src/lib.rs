@@ -1,0 +1,383 @@
+//! # rebert-obs — dependency-free structured tracing
+//!
+//! The workspace's observability core: span/event records with
+//! monotonic timestamps, thread ids, levels, and key/value fields;
+//! thread-local span stacks with RAII [`SpanGuard`]s; a bounded
+//! [`RingSink`] that never blocks recording threads; and pluggable
+//! [`Sink`]s — a level-filtered stderr logger, a JSONL exporter, and a
+//! Chrome trace-event exporter loadable in Perfetto. Like the rest of
+//! the workspace (`rebert::json`, the serve HTTP stack) it is
+//! hand-rolled with no external dependencies, so instrumenting the
+//! scoring hot paths pulls nothing beneath them.
+//!
+//! ## Zero cost when disabled
+//!
+//! The dispatcher keeps the maximum level any installed sink wants in
+//! one atomic. With no sink installed, [`enabled`] is a relaxed load
+//! and a compare — spans, events, and the logging macros all bail
+//! before building anything. The disabled-tracing benchmark
+//! (`crates/bench/benches/tracing.rs`) pins the score-path overhead.
+//!
+//! ## Shape
+//!
+//! ```text
+//! span!/event!/macros ──> enabled()? ──> Record ──> dispatch ──┬─> StderrSink
+//!        │                                                    ├─> JsonlSink
+//!   thread-local stack                                        ├─> ChromeTraceSink
+//!   (ids, ctx fields)  <── TraceCtx (cross-thread adoption)   └─> RingSink (bounded,
+//!                                                                  never blocks)
+//! ```
+//!
+//! A span opened on one thread is referenced from another by shipping
+//! a [`TraceCtx`] ([`current_ctx`] / [`enter_ctx`]): the serve daemon
+//! captures the request's root-span context (carrying the generated
+//! request id as a field) into the executor job, and
+//! `rebert::par` workers adopt the caller's context so per-batch
+//! events land under the scoring span on per-thread tracks.
+//!
+//! The JSON module used across the workspace also lives here (see
+//! [`json`]); `rebert` re-exports it as `rebert::json`.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod record;
+pub mod ring;
+pub mod sink;
+pub mod span;
+
+pub use record::{Field, Kind, Level, Record, Value};
+pub use ring::RingSink;
+pub use sink::{record_json, ChromeTraceSink, JsonlSink, Sink, StderrSink};
+pub use span::{
+    current_ctx, enter_ctx, event, event_with, message, now_micros, span, span_with, thread_id,
+    CtxGuard, SpanGuard, TraceCtx,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The maximum level any installed sink admits; 0 = tracing disabled.
+/// This is the whole fast path: [`enabled`] is one relaxed load.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+type Registry = RwLock<Vec<(u64, Arc<dyn Sink>)>>;
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+static NEXT_SINK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Handle returned by [`install`]; pass to [`uninstall`] to remove the
+/// sink again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+/// Installs a sink. Records at or below the sink's
+/// [`Sink::max_level`] start flowing to it immediately; the global
+/// gate widens to admit them.
+pub fn install(sink: Arc<dyn Sink>) -> SinkId {
+    let id = NEXT_SINK.fetch_add(1, Ordering::Relaxed);
+    let mut reg = registry().write().unwrap();
+    reg.push((id, sink));
+    recompute_gate(&reg);
+    SinkId(id)
+}
+
+/// Removes a previously installed sink (flushing it) and narrows the
+/// global gate. Unknown ids are ignored, so double-uninstall is safe.
+pub fn uninstall(id: SinkId) {
+    let removed = {
+        let mut reg = registry().write().unwrap();
+        let before = reg.len();
+        let removed: Vec<_> = {
+            let mut kept = Vec::with_capacity(before);
+            let mut gone = Vec::new();
+            for entry in reg.drain(..) {
+                if entry.0 == id.0 {
+                    gone.push(entry.1);
+                } else {
+                    kept.push(entry);
+                }
+            }
+            *reg = kept;
+            gone
+        };
+        recompute_gate(&reg);
+        removed
+    };
+    // Flush outside the registry lock: flushing may do I/O.
+    for sink in removed {
+        sink.flush();
+    }
+}
+
+fn recompute_gate(reg: &[(u64, Arc<dyn Sink>)]) {
+    let max = reg
+        .iter()
+        .map(|(_, s)| s.max_level() as u8)
+        .max()
+        .unwrap_or(0);
+    MAX_LEVEL.store(max, Ordering::SeqCst);
+}
+
+/// Whether a record at `level` would reach any installed sink. One
+/// relaxed atomic load — this is the check on every hot path.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Whether any sink is installed at all.
+#[inline]
+pub fn active() -> bool {
+    MAX_LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// Flushes every installed sink.
+pub fn flush_all() {
+    let sinks: Vec<Arc<dyn Sink>> = {
+        let reg = registry().read().unwrap();
+        reg.iter().map(|(_, s)| Arc::clone(s)).collect()
+    };
+    for sink in sinks {
+        sink.flush();
+    }
+}
+
+/// Delivers a finished record to every installed sink that admits its
+/// level. Called by `span`/`event`; not part of the public API surface
+/// users normally touch, but public so higher crates can inject
+/// synthetic records in tests.
+pub fn dispatch(rec: Record) {
+    let reg = registry().read().unwrap();
+    for (_, sink) in reg.iter() {
+        if rec.level as u8 <= sink.max_level() as u8 {
+            sink.record(&rec);
+        }
+    }
+}
+
+/// Logs a formatted message at an explicit level:
+/// `log!(Level::Info, "serve", "listening on {addr}")`.
+///
+/// Expands to a gate check first — when disabled, the format arguments
+/// are never evaluated.
+#[macro_export]
+macro_rules! log {
+    ($lvl:expr, $target:expr, $($arg:tt)+) => {{
+        let lvl = $lvl;
+        if $crate::enabled(lvl) {
+            $crate::message(lvl, $target, ::std::format!($($arg)+));
+        }
+    }};
+}
+
+/// Logs at [`Level::Error`]: `error!("serve", "accept failed: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)+) => { $crate::log!($crate::Level::Error, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)+) => { $crate::log!($crate::Level::Warn, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)+) => { $crate::log!($crate::Level::Info, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)+) => { $crate::log!($crate::Level::Debug, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $($arg:tt)+) => { $crate::log!($crate::Level::Trace, $target, $($arg)+) };
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Global tracing state is process-wide; tests that install sinks
+    /// serialize on this.
+    pub(crate) fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_spans_are_dead() {
+        let _g = global_lock();
+        assert!(!active());
+        assert!(!enabled(Level::Error));
+        let sp = span(Level::Info, "test", "nothing");
+        assert!(!sp.is_live());
+        assert_eq!(sp.id(), 0);
+        // Events and macros are no-ops; this must not panic.
+        event(Level::Info, "test", "nothing");
+        info!("test", "also nothing {}", 1);
+    }
+
+    #[test]
+    fn install_widens_and_uninstall_narrows_the_gate() {
+        let _g = global_lock();
+        let id = install(Arc::new(RingSink::new(16, Level::Debug)));
+        assert!(enabled(Level::Debug));
+        assert!(!enabled(Level::Trace));
+        let id2 = install(Arc::new(RingSink::new(16, Level::Trace)));
+        assert!(enabled(Level::Trace));
+        uninstall(id2);
+        assert!(enabled(Level::Debug));
+        assert!(!enabled(Level::Trace));
+        uninstall(id);
+        assert!(!active());
+        // Double uninstall is harmless.
+        uninstall(id);
+    }
+
+    #[test]
+    fn spans_nest_and_records_flow_to_the_ring() {
+        let _g = global_lock();
+        let ring = Arc::new(RingSink::new(64, Level::Trace));
+        let id = install(ring.clone());
+        {
+            let outer = span(Level::Info, "test", "outer");
+            assert!(outer.is_live());
+            {
+                let mut inner = span_with(
+                    Level::Debug,
+                    "test",
+                    "inner",
+                    vec![("k", Value::U64(7))],
+                );
+                inner.add_field("done", true);
+                event_with(Level::Trace, "test", "tick", vec![("i", Value::U64(1))]);
+                let begins: Vec<Record> = ring
+                    .drain()
+                    .into_iter()
+                    .filter(|r| r.kind == Kind::Begin || r.kind == Kind::Instant)
+                    .collect();
+                assert_eq!(begins.len(), 3);
+                assert_eq!(begins[0].name, "outer");
+                assert_eq!(begins[0].parent, 0);
+                assert_eq!(begins[1].name, "inner");
+                assert_eq!(begins[1].parent, outer.id());
+                assert_eq!(begins[1].fields, vec![("k", Value::U64(7))]);
+                // The instant event hangs off the innermost open span.
+                assert_eq!(begins[2].name, "tick");
+                assert_eq!(begins[2].span, inner.id());
+            }
+            let ends = ring.drain();
+            assert_eq!(ends.len(), 1);
+            assert_eq!(ends[0].kind, Kind::End);
+            assert_eq!(ends[0].name, "inner");
+            assert_eq!(ends[0].fields, vec![("done", Value::Bool(true))]);
+        }
+        uninstall(id);
+    }
+
+    #[test]
+    fn end_at_pins_the_duration_exactly() {
+        let _g = global_lock();
+        let ring = Arc::new(RingSink::new(16, Level::Trace));
+        let id = install(ring.clone());
+        let sp = span(Level::Info, "test", "timed");
+        let begin_ts = ring.drain()[0].ts_micros;
+        sp.end_at(std::time::Duration::from_micros(12_345));
+        let end = &ring.drain()[0];
+        assert_eq!(end.ts_micros, begin_ts + 12_345);
+        uninstall(id);
+    }
+
+    #[test]
+    fn ctx_adoption_carries_span_and_fields_across_threads() {
+        let _g = global_lock();
+        let ring = Arc::new(RingSink::new(64, Level::Trace));
+        let id = install(ring.clone());
+        let root = span(Level::Info, "test", "root");
+        let ctx = current_ctx().with_field("request_id", "req-42");
+        assert_eq!(ctx.span(), root.id());
+        let ctx2 = ctx.clone();
+        std::thread::spawn(move || {
+            let _c = enter_ctx(&ctx2);
+            let _child = span(Level::Info, "test", "child");
+            event(Level::Info, "test", "worker_tick");
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let recs = ring.drain();
+        let child = recs
+            .iter()
+            .find(|r| r.name == "child" && r.kind == Kind::Begin)
+            .unwrap();
+        assert_eq!(child.parent, ctx.span());
+        assert!(child
+            .fields
+            .contains(&("request_id", Value::Str("req-42".to_string()))));
+        let tick = recs.iter().find(|r| r.name == "worker_tick").unwrap();
+        assert_eq!(tick.span, child.span);
+        assert!(tick
+            .fields
+            .contains(&("request_id", Value::Str("req-42".to_string()))));
+        // Different thread, different track.
+        let root_begin = recs
+            .iter()
+            .find(|r| r.name == "root" && r.kind == Kind::Begin)
+            .unwrap();
+        assert_ne!(child.thread, root_begin.thread);
+        uninstall(id);
+    }
+
+    #[test]
+    fn level_filtering_respects_each_sinks_ceiling() {
+        let _g = global_lock();
+        let coarse = Arc::new(RingSink::new(16, Level::Warn));
+        let fine = Arc::new(RingSink::new(16, Level::Debug));
+        let a = install(coarse.clone());
+        let b = install(fine.clone());
+        event(Level::Warn, "test", "warned");
+        event(Level::Debug, "test", "debugged");
+        event(Level::Trace, "test", "traced"); // above both ceilings
+        let coarse_names: Vec<&str> = coarse.drain().iter().map(|r| r.name).collect();
+        let fine_names: Vec<&str> = fine.drain().iter().map(|r| r.name).collect();
+        assert_eq!(coarse_names, vec!["warned"]);
+        assert_eq!(fine_names, vec!["warned", "debugged"]);
+        uninstall(a);
+        uninstall(b);
+    }
+
+    #[test]
+    fn macros_format_lazily_and_land_as_log_events() {
+        let _g = global_lock();
+        let ring = Arc::new(RingSink::new(16, Level::Info));
+        let id = install(ring.clone());
+        let mut evaluated = false;
+        debug!("test", "{}", {
+            evaluated = true;
+            "never"
+        });
+        assert!(!evaluated, "format args ran despite a closed gate");
+        info!("test", "hello {}", 42);
+        let recs = ring.drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "log");
+        assert_eq!(
+            recs[0].fields,
+            vec![("message", Value::Str("hello 42".to_string()))]
+        );
+        uninstall(id);
+    }
+}

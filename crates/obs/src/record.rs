@@ -1,0 +1,249 @@
+//! The wire-level data model: levels, field values, and the one record
+//! type every sink consumes.
+//!
+//! A [`Record`] is deliberately flat and cheap to clone: static names,
+//! a microsecond timestamp on the process-local monotonic clock, a
+//! compact thread id, span/parent ids for reconstructing the tree, and
+//! a small vector of key/value fields. Sinks never get callbacks into
+//! user code — they see finished records only — so a slow sink can at
+//! worst drop data (see [`crate::ring::RingSink`]), never corrupt it.
+
+use std::fmt;
+
+/// Severity / verbosity of a record, ordered `Error < Warn < Info <
+/// Debug < Trace`.
+///
+/// The numeric representation is load-bearing: the global gate keeps
+/// the maximum enabled level in one atomic and [`crate::enabled`]
+/// compares against it with a single relaxed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// High-level lifecycle: phases, epochs, requests.
+    Info = 3,
+    /// Per-batch / per-connection detail.
+    Debug = 4,
+    /// Per-step firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// All levels, ascending verbosity.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// Canonical lower-case name (`"error"`, ..., `"trace"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name, case-insensitively. Accepts the canonical
+    /// names plus the common aliases `warning` and `off`-less synonyms
+    /// used by `RUST_LOG`-style variables.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "err" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs a level from its `repr(u8)` value.
+    pub fn from_u8(v: u8) -> Option<Level> {
+        Level::ALL.into_iter().find(|l| *l as u8 == v)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A field value. Small closed set so sinks can render without
+/// trait objects or reflection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (losses, throughputs, seconds).
+    F64(f64),
+    /// Owned text (request ids, messages, names).
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(f64::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+/// One key/value pair on a record.
+pub type Field = (&'static str, Value);
+
+/// What a record marks on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A span opened (`ph: "B"` in Chrome trace terms).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point event (`ph: "i"`).
+    Instant,
+}
+
+impl Kind {
+    /// The Chrome trace-event phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            Kind::Begin => "B",
+            Kind::End => "E",
+            Kind::Instant => "i",
+        }
+    }
+}
+
+/// One finished tracing record, as handed to every installed sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Microseconds since the process-local monotonic epoch (first
+    /// tracing call in the process). Monotonic per thread.
+    pub ts_micros: u64,
+    /// Begin / End / Instant.
+    pub kind: Kind,
+    /// Severity.
+    pub level: Level,
+    /// Coarse subsystem name (`"pipeline"`, `"par"`, `"serve"`, ...);
+    /// becomes the Chrome trace category.
+    pub target: &'static str,
+    /// Span or event name (`"tokenize"`, `"score_batch"`, ...).
+    pub name: &'static str,
+    /// Compact per-process thread id (small dense integers, assigned
+    /// in thread-creation order as threads first trace something).
+    pub thread: u64,
+    /// Span id this record belongs to: the span itself for
+    /// `Begin`/`End`, the *enclosing* span (0 if none) for `Instant`.
+    pub span: u64,
+    /// Parent span id (0 if root). Only meaningful on `Begin`.
+    pub parent: u64,
+    /// Key/value payload. Context fields adopted from
+    /// [`crate::span::TraceCtx`] are appended after the record's own.
+    pub fields: Vec<Field>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_order_matches_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn level_parse_round_trips_and_accepts_aliases() {
+        for l in Level::ALL {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+            assert_eq!(Level::parse(&l.as_str().to_uppercase()), Some(l));
+            assert_eq!(Level::from_u8(l as u8), Some(l));
+        }
+        assert_eq!(Level::parse(" warning "), Some(Level::Warn));
+        assert_eq!(Level::parse("err"), Some(Level::Error));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::from_u8(0), None);
+        assert_eq!(Level::from_u8(6), None);
+    }
+
+    #[test]
+    fn value_conversions_preserve_payloads() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-2i64), Value::I64(-2));
+        assert_eq!(Value::from(0.5f32), Value::F64(0.5));
+        assert_eq!(Value::from("id"), Value::Str("id".to_string()));
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+
+    #[test]
+    fn kind_phases_are_chrome_letters() {
+        assert_eq!(Kind::Begin.phase(), "B");
+        assert_eq!(Kind::End.phase(), "E");
+        assert_eq!(Kind::Instant.phase(), "i");
+    }
+}

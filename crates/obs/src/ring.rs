@@ -1,0 +1,229 @@
+//! [`RingSink`]: a bounded in-memory ring of records that *never
+//! blocks the recording thread*.
+//!
+//! Scoring workers must not stall on telemetry. The ring therefore
+//! takes its lock with `try_lock` on the write path: if a reader is
+//! mid-drain (or another writer holds the lock for the nanoseconds a
+//! push takes), the record is counted in `dropped_events` and thrown
+//! away instead of waiting. When the ring is full, the *oldest* record
+//! is evicted and counted — recent history is what `/debug/trace`
+//! wants. Readers ([`RingSink::drain`]) take the lock blocking, which
+//! is fine: only debug endpoints and tests read.
+//!
+//! The same source runs on loom primitives under `--cfg loom` (models
+//! at the bottom of this file), alongside the serve queue and par
+//! claim-protocol models.
+
+use std::collections::VecDeque;
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::Mutex;
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::Mutex;
+
+use crate::record::{Level, Record};
+use crate::sink::Sink;
+
+/// Bounded, non-blocking record buffer. See the module docs.
+pub struct RingSink {
+    cap: usize,
+    level: Level,
+    buf: Mutex<VecDeque<Record>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `cap` records (min 1), keeping
+    /// records up to `level`.
+    pub fn new(cap: usize, level: Level) -> RingSink {
+        RingSink {
+            cap: cap.max(1),
+            level,
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The write path: clones `rec` into the ring without ever
+    /// blocking. Contention or overflow increments `dropped_events`.
+    pub fn push(&self, rec: &Record) {
+        match self.buf.try_lock() {
+            Ok(mut q) => {
+                if q.len() == self.cap {
+                    q.pop_front();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                q.push_back(rec.clone());
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes and returns everything currently buffered, oldest
+    /// first. Blocking (reader-side only).
+    pub fn drain(&self) -> Vec<Record> {
+        let mut q = self.buf.lock().unwrap();
+        q.drain(..).collect()
+    }
+
+    /// Records lost so far to overflow-eviction or write contention.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, rec: &Record) {
+        self.push(rec);
+    }
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::record::{Kind, Value};
+
+    fn rec(i: u64) -> Record {
+        Record {
+            ts_micros: i,
+            kind: Kind::Instant,
+            level: Level::Info,
+            target: "test",
+            name: "tick",
+            thread: 1,
+            span: 0,
+            parent: 0,
+            fields: vec![("i", Value::U64(i))],
+        }
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_drops() {
+        let ring = RingSink::new(3, Level::Trace);
+        for i in 0..5 {
+            ring.push(&rec(i));
+        }
+        assert_eq!(ring.dropped_events(), 2);
+        let kept: Vec<u64> = ring.drain().iter().map(|r| r.ts_micros).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert!(ring.is_empty());
+        // The counter survives the drain.
+        assert_eq!(ring.dropped_events(), 2);
+    }
+
+    #[test]
+    fn contended_push_drops_instead_of_blocking() {
+        let ring = RingSink::new(8, Level::Trace);
+        ring.push(&rec(0));
+        let held = ring.buf.lock().unwrap();
+        // Lock is held: the push must return immediately and count a drop.
+        ring.push(&rec(1));
+        assert_eq!(ring.dropped_events(), 1);
+        drop(held);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_at_least_one() {
+        let ring = RingSink::new(0, Level::Trace);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(&rec(7));
+        ring.push(&rec(8));
+        assert_eq!(ring.drain().iter().map(|r| r.ts_micros).collect::<Vec<_>>(), vec![8]);
+        assert_eq!(ring.dropped_events(), 1);
+    }
+}
+
+/// Loom models for the ring's claim that nothing is ever silently
+/// lost: every push is either buffered, evicted-and-counted, or
+/// contention-counted. Run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p rebert-obs --lib loom`.
+#[cfg(all(test, loom))]
+mod loom_models {
+    use super::*;
+    use crate::record::{Kind, Value};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    fn rec(i: u64) -> Record {
+        Record {
+            ts_micros: i,
+            kind: Kind::Instant,
+            level: Level::Info,
+            target: "loom",
+            name: "tick",
+            thread: 1,
+            span: 0,
+            parent: 0,
+            fields: vec![("i", Value::U64(i))],
+        }
+    }
+
+    /// Two producers race into a ring smaller than the total pushed:
+    /// afterwards buffered + dropped always equals pushed, and the
+    /// buffer never exceeds capacity.
+    #[test]
+    fn loom_ring_accounts_for_every_push() {
+        loom::model(|| {
+            let ring = Arc::new(RingSink::new(2, Level::Trace));
+            let a = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    ring.push(&rec(1));
+                    ring.push(&rec(2));
+                })
+            };
+            ring.push(&rec(3));
+            a.join().unwrap();
+            let buffered = ring.drain().len();
+            let dropped = ring.dropped_events() as usize;
+            assert!(buffered <= 2, "ring exceeded capacity: {buffered}");
+            assert_eq!(buffered + dropped, 3, "push lost without being counted");
+        });
+    }
+
+    /// A producer racing a draining reader never blocks and never
+    /// loses a record untracked: the push lands in the drain, in the
+    /// residue, or in the dropped counter.
+    #[test]
+    fn loom_push_vs_drain_never_loses_untracked() {
+        loom::model(|| {
+            let ring = Arc::new(RingSink::new(4, Level::Trace));
+            ring.push(&rec(1));
+            let writer = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.push(&rec(2)))
+            };
+            let drained = ring.drain().len();
+            writer.join().unwrap();
+            let residue = ring.drain().len();
+            let dropped = ring.dropped_events() as usize;
+            assert_eq!(drained + residue + dropped, 2);
+        });
+    }
+}

@@ -1,0 +1,519 @@
+//! The [`Sink`] trait and the three built-in sinks: a level-filtered
+//! human stderr logger, a JSONL exporter, and a Chrome trace-event
+//! exporter whose output loads in Perfetto / `chrome://tracing`.
+//!
+//! Sinks receive finished [`Record`]s only and must be `Send + Sync`.
+//! They must not trace (directly or indirectly) — the dispatcher holds
+//! its registry lock while calling them.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::record::{Kind, Level, Record, Value};
+
+/// A destination for tracing records.
+pub trait Sink: Send + Sync {
+    /// Consumes one record. Called with the dispatcher's registry lock
+    /// held; must be fast and must never block on tracing itself.
+    fn record(&self, rec: &Record);
+
+    /// The most verbose level this sink wants. The dispatcher only
+    /// builds records at all if *some* installed sink wants them, and
+    /// only delivers a record to sinks whose `max_level` admits it.
+    fn max_level(&self) -> Level {
+        Level::Trace
+    }
+
+    /// Flushes any buffered output. Called on uninstall.
+    fn flush(&self) {}
+}
+
+/// Renders a field value as JSON, preserving type.
+pub fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Bool(b) => Json::Bool(*b),
+        Value::U64(n) => Json::uint(*n),
+        Value::I64(n) => Json::Num(n.to_string()),
+        Value::F64(n) => Json::num(*n),
+        Value::Str(s) => Json::str(s.clone()),
+    }
+}
+
+/// Renders a record as one flat JSON object — the JSONL line format
+/// produced by [`JsonlSink`] and by serve's `GET /debug/trace`.
+pub fn record_json(rec: &Record) -> Json {
+    let fields: Vec<(String, Json)> = rec
+        .fields
+        .iter()
+        .map(|(k, v)| (k.to_string(), value_json(v)))
+        .collect();
+    Json::Obj(vec![
+        ("ts_us".to_string(), Json::uint(rec.ts_micros)),
+        ("ph".to_string(), Json::str(rec.kind.phase())),
+        ("level".to_string(), Json::str(rec.level.as_str())),
+        ("target".to_string(), Json::str(rec.target)),
+        ("name".to_string(), Json::str(rec.name)),
+        ("tid".to_string(), Json::uint(rec.thread)),
+        ("span".to_string(), Json::uint(rec.span)),
+        ("parent".to_string(), Json::uint(rec.parent)),
+        ("fields".to_string(), Json::Obj(fields)),
+    ])
+}
+
+/// Human-readable stderr logger with a level ceiling, in the style of
+/// `env_logger`'s default format.
+pub struct StderrSink {
+    level: Level,
+}
+
+impl StderrSink {
+    /// A stderr logger admitting records up to `level`.
+    pub fn new(level: Level) -> StderrSink {
+        StderrSink { level }
+    }
+
+    /// Reads the ceiling from the `REBERT_LOG` environment variable
+    /// (`error` / `warn` / `info` / `debug` / `trace`), falling back
+    /// to `default` when unset or unparseable.
+    pub fn from_env(default: Level) -> StderrSink {
+        let level = std::env::var("REBERT_LOG")
+            .ok()
+            .and_then(|s| Level::parse(&s))
+            .unwrap_or(default);
+        StderrSink { level }
+    }
+
+    fn render(rec: &Record) -> String {
+        let secs = rec.ts_micros as f64 / 1e6;
+        let marker = match rec.kind {
+            Kind::Begin => ">",
+            Kind::End => "<",
+            Kind::Instant => "",
+        };
+        let mut line = format!(
+            "[{secs:11.6}s {:5} {}] {marker}{}",
+            rec.level.as_str(),
+            rec.target,
+            rec.name
+        );
+        for (k, v) in &rec.fields {
+            if *k == "message" {
+                line.push_str(&format!(" {v}"));
+            } else {
+                line.push_str(&format!(" {k}={v}"));
+            }
+        }
+        line
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, rec: &Record) {
+        if rec.level <= self.level {
+            eprintln!("{}", Self::render(rec));
+        }
+    }
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+}
+
+/// Writes one [`record_json`] line per record to an arbitrary writer.
+pub struct JsonlSink<W: Write + Send> {
+    level: Level,
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A JSONL exporter admitting records up to `level`.
+    pub fn new(out: W, level: Level) -> JsonlSink<W> {
+        JsonlSink {
+            level,
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap()
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, rec: &Record) {
+        // Telemetry never takes the process down: I/O errors are
+        // swallowed here and surface as missing lines.
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{}", record_json(rec));
+    }
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+/// Accumulates Chrome trace-event JSON (`{"traceEvents": [...]}`),
+/// loadable in Perfetto or `chrome://tracing`, with one duration track
+/// per thread.
+///
+/// Structural guarantees, relied on by tests and the acceptance
+/// criteria:
+/// - every `E` event closes a `B` previously emitted for the same span
+///   (an `End` whose `Begin` predates the sink is discarded);
+/// - [`finish_json`] synthesizes `E` events for still-open spans at
+///   the maximum observed timestamp, so B/E counts balance per thread;
+/// - within one `tid` track, timestamps are non-decreasing in emission
+///   order (records are appended under one lock).
+///
+/// [`finish_json`]: ChromeTraceSink::finish_json
+pub struct ChromeTraceSink {
+    level: Level,
+    state: Mutex<ChromeState>,
+}
+
+struct ChromeState {
+    events: Vec<Json>,
+    /// Open span id → (name, target, tid), for synthesizing balanced
+    /// `E` events at finish time.
+    open: HashMap<u64, (&'static str, &'static str, u64)>,
+    max_ts: u64,
+}
+
+fn chrome_event(
+    ph: &str,
+    name: &str,
+    cat: &str,
+    ts: u64,
+    tid: u64,
+    args: Vec<(String, Json)>,
+) -> Json {
+    let mut ev = vec![
+        ("ph".to_string(), Json::str(ph)),
+        ("name".to_string(), Json::str(name)),
+        ("cat".to_string(), Json::str(cat)),
+        ("ts".to_string(), Json::uint(ts)),
+        ("pid".to_string(), Json::uint(1)),
+        ("tid".to_string(), Json::uint(tid)),
+    ];
+    if ph == "i" {
+        // Thread-scoped instant marker.
+        ev.push(("s".to_string(), Json::str("t")));
+    }
+    if !args.is_empty() {
+        ev.push(("args".to_string(), Json::Obj(args)));
+    }
+    Json::Obj(ev)
+}
+
+impl ChromeTraceSink {
+    /// A Chrome-trace exporter admitting records up to `level`.
+    pub fn new(level: Level) -> ChromeTraceSink {
+        ChromeTraceSink {
+            level,
+            state: Mutex::new(ChromeState {
+                events: Vec::new(),
+                open: HashMap::new(),
+                max_ts: 0,
+            }),
+        }
+    }
+
+    /// Number of trace events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().events.len()
+    }
+
+    /// Whether no events have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the accumulated trace as a Chrome trace-event document,
+    /// closing any still-open spans so B/E events balance. Does not
+    /// consume the accumulated events.
+    pub fn finish_json(&self) -> Json {
+        let st = self.state.lock().unwrap();
+        let mut events = st.events.clone();
+        // Deterministic order for the synthesized closers.
+        let mut open: Vec<_> = st.open.iter().collect();
+        open.sort_by_key(|(id, _)| **id);
+        for (_, (name, cat, tid)) in open {
+            events.push(chrome_event("E", name, cat, st.max_ts, *tid, Vec::new()));
+        }
+        Json::Obj(vec![
+            ("traceEvents".to_string(), Json::Arr(events)),
+            ("displayTimeUnit".to_string(), Json::str("ms")),
+        ])
+    }
+
+    /// Writes [`finish_json`] to a file.
+    ///
+    /// [`finish_json`]: ChromeTraceSink::finish_json
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.finish_json()))
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&self, rec: &Record) {
+        let args: Vec<(String, Json)> = rec
+            .fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), value_json(v)))
+            .collect();
+        let mut st = self.state.lock().unwrap();
+        st.max_ts = st.max_ts.max(rec.ts_micros);
+        match rec.kind {
+            Kind::Begin => {
+                st.open.insert(rec.span, (rec.name, rec.target, rec.thread));
+                let ev = chrome_event("B", rec.name, rec.target, rec.ts_micros, rec.thread, args);
+                st.events.push(ev);
+            }
+            Kind::End => {
+                // Only close spans we saw open; a stray End (sink
+                // installed mid-span) would unbalance the track.
+                if st.open.remove(&rec.span).is_some() {
+                    let ev =
+                        chrome_event("E", rec.name, rec.target, rec.ts_micros, rec.thread, args);
+                    st.events.push(ev);
+                }
+            }
+            Kind::Instant => {
+                let ev = chrome_event("i", rec.name, rec.target, rec.ts_micros, rec.thread, args);
+                st.events.push(ev);
+            }
+        }
+    }
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Kind;
+
+    fn rec(
+        kind: Kind,
+        name: &'static str,
+        ts: u64,
+        tid: u64,
+        span: u64,
+        fields: Vec<(&'static str, Value)>,
+    ) -> Record {
+        Record {
+            ts_micros: ts,
+            kind,
+            level: Level::Info,
+            target: "test",
+            name,
+            thread: tid,
+            span,
+            parent: 0,
+            fields,
+        }
+    }
+
+    #[test]
+    fn record_json_lines_parse_and_keep_typed_fields() {
+        let r = rec(
+            Kind::Instant,
+            "tick",
+            42,
+            3,
+            9,
+            vec![
+                ("count", Value::U64(5)),
+                ("loss", Value::F64(0.25)),
+                ("ok", Value::Bool(true)),
+                ("id", Value::Str("req \"7\"\n".to_string())),
+            ],
+        );
+        let line = record_json(&r).to_string();
+        let back = Json::parse(&line).expect("JSONL line must parse");
+        assert_eq!(back.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(back.get("name").and_then(Json::as_str), Some("tick"));
+        assert_eq!(back.get("tid").and_then(Json::as_u64), Some(3));
+        let fields = back.get("fields").unwrap();
+        assert_eq!(fields.get("count").and_then(Json::as_u64), Some(5));
+        assert_eq!(fields.get("loss").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(fields.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(fields.get("id").and_then(Json::as_str), Some("req \"7\"\n"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parsable_line_per_record() {
+        let sink = JsonlSink::new(Vec::new(), Level::Trace);
+        for i in 0..4u64 {
+            sink.record(&rec(Kind::Instant, "tick", i, 1, 0, vec![("i", Value::U64(i))]));
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).expect("each JSONL line parses");
+            assert_eq!(v.get("ts_us").and_then(Json::as_u64), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn stderr_render_is_level_tagged_and_message_flattened() {
+        let line = StderrSink::render(&rec(
+            Kind::Instant,
+            "log",
+            1_500_000,
+            2,
+            0,
+            vec![
+                ("message", Value::Str("hello".to_string())),
+                ("request_id", Value::Str("req-1".to_string())),
+            ],
+        ));
+        assert!(line.contains("info"), "level missing: {line}");
+        assert!(line.contains("test"), "target missing: {line}");
+        assert!(line.contains(" hello"), "message not flattened: {line}");
+        assert!(line.contains("request_id=req-1"), "field missing: {line}");
+        assert!(line.contains("1.500000s"), "timestamp missing: {line}");
+    }
+
+    #[test]
+    fn stderr_from_env_parses_rebert_log() {
+        // Env vars are process-global; poke and restore carefully.
+        std::env::set_var("REBERT_LOG", "debug");
+        assert_eq!(StderrSink::from_env(Level::Warn).level, Level::Debug);
+        std::env::set_var("REBERT_LOG", "not-a-level");
+        assert_eq!(StderrSink::from_env(Level::Warn).level, Level::Warn);
+        std::env::remove_var("REBERT_LOG");
+        assert_eq!(StderrSink::from_env(Level::Info).level, Level::Info);
+    }
+
+    /// Splits a Chrome trace document into (ph, ts, tid, name) tuples.
+    fn chrome_events(doc: &Json) -> Vec<(String, u64, u64, String)> {
+        doc.get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array")
+            .iter()
+            .map(|e| {
+                (
+                    e.get("ph").and_then(Json::as_str).unwrap().to_string(),
+                    e.get("ts").and_then(Json::as_u64).unwrap(),
+                    e.get("tid").and_then(Json::as_u64).unwrap(),
+                    e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                )
+            })
+            .collect()
+    }
+
+    /// The structural acceptance checks: the document parses with the
+    /// workspace JSON parser, B/E events balance per thread (never
+    /// going negative), and timestamps are non-decreasing per track.
+    fn assert_well_formed_chrome(doc_text: &str) {
+        let doc = Json::parse(doc_text).expect("Chrome trace JSON parses");
+        let events = chrome_events(&doc);
+        let mut depth: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        let mut last_ts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (ph, ts, tid, name) in &events {
+            let last = last_ts.entry(*tid).or_insert(0);
+            assert!(
+                ts >= last,
+                "track {tid} went backwards at {name}: {ts} < {last}"
+            );
+            *last = *ts;
+            match ph.as_str() {
+                "B" => *depth.entry(*tid).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(*tid).or_insert(0);
+                    *d -= 1;
+                    assert!(*d >= 0, "track {tid}: E without matching B at {name}");
+                }
+                "i" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        for (tid, d) in depth {
+            assert_eq!(d, 0, "track {tid} finished with {d} unclosed B events");
+        }
+    }
+
+    #[test]
+    fn chrome_balances_and_orders_a_simple_nested_trace() {
+        let sink = ChromeTraceSink::new(Level::Trace);
+        sink.record(&rec(Kind::Begin, "outer", 10, 1, 1, vec![]));
+        sink.record(&rec(Kind::Begin, "inner", 20, 1, 2, vec![("k", Value::U64(1))]));
+        sink.record(&rec(Kind::Instant, "tick", 25, 1, 2, vec![]));
+        sink.record(&rec(Kind::End, "inner", 30, 1, 2, vec![]));
+        sink.record(&rec(Kind::End, "outer", 40, 1, 1, vec![]));
+        assert_eq!(sink.len(), 5);
+        assert_well_formed_chrome(&sink.finish_json().to_string());
+    }
+
+    #[test]
+    fn chrome_discards_stray_ends_and_closes_stray_begins() {
+        let sink = ChromeTraceSink::new(Level::Trace);
+        // End for a span whose Begin predates the sink: dropped.
+        sink.record(&rec(Kind::End, "orphan", 5, 1, 99, vec![]));
+        assert!(sink.is_empty());
+        // Begin that never closes: finish synthesizes the E.
+        sink.record(&rec(Kind::Begin, "open", 10, 2, 7, vec![]));
+        sink.record(&rec(Kind::Instant, "late", 50, 2, 7, vec![]));
+        let doc = sink.finish_json().to_string();
+        assert_well_formed_chrome(&doc);
+        let parsed = Json::parse(&doc).unwrap();
+        let events = chrome_events(&parsed);
+        let closer = events.iter().find(|(ph, ..)| ph == "E").expect("synth E");
+        assert_eq!(closer.1, 50, "closer must land at the max observed ts");
+        assert_eq!(closer.3, "open");
+    }
+
+    #[test]
+    fn random_interleaved_traces_stay_well_formed() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha20Rng;
+
+        const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+        for seed in 0..40u64 {
+            let mut rng = ChaCha20Rng::seed_from_u64(seed);
+            let sink = ChromeTraceSink::new(Level::Trace);
+            // Per-thread stacks of open span ids; a global clock that
+            // only moves forward, like the real monotonic source.
+            let mut open: Vec<Vec<u64>> = vec![Vec::new(); 3];
+            let mut next_span = 1u64;
+            let mut ts = 0u64;
+            for _ in 0..rng.gen_range(5..120) {
+                let t = rng.gen_range(0..open.len());
+                let tid = t as u64 + 1;
+                ts += rng.gen_range(0..50);
+                let name = NAMES[rng.gen_range(0..NAMES.len())];
+                match rng.gen_range(0..10) {
+                    // Mostly begins and ends, some instants, and the
+                    // occasional stray End the exporter must reject.
+                    0..=3 => {
+                        let id = next_span;
+                        next_span += 1;
+                        open[t].push(id);
+                        let fields = vec![("seed", Value::U64(seed)), ("s", Value::Str("\"\\\u{7}".into()))];
+                        sink.record(&rec(Kind::Begin, name, ts, tid, id, fields));
+                    }
+                    4..=6 => {
+                        if let Some(id) = open[t].pop() {
+                            sink.record(&rec(Kind::End, name, ts, tid, id, vec![]));
+                        }
+                    }
+                    7..=8 => sink.record(&rec(Kind::Instant, name, ts, tid, 0, vec![])),
+                    _ => sink.record(&rec(Kind::End, name, ts, tid, next_span + 1000, vec![])),
+                }
+            }
+            assert_well_formed_chrome(&sink.finish_json().to_string());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Span lifecycle: monotonic timestamps, compact thread ids, the
+//! thread-local span stack, RAII [`SpanGuard`]s, point events, and
+//! cross-thread context propagation via [`TraceCtx`].
+//!
+//! Everything here is gated on [`crate::enabled`], which is a single
+//! relaxed atomic load when no sink is installed — a disabled span is
+//! one branch and the construction of a dead guard, nothing else.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::record::{Field, Kind, Level, Record, Value};
+
+/// The process-local epoch: set by the first tracing call, so the
+/// first record lands at (or near) t=0.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-local monotonic epoch.
+pub fn now_micros() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static LOCAL: RefCell<LocalCtx> = const { RefCell::new(LocalCtx { stack: Vec::new(), fields: Vec::new() }) };
+}
+
+/// Per-thread tracing state: the stack of open span ids plus any
+/// context fields adopted from another thread (request ids and the
+/// like) that get appended to every record emitted here.
+struct LocalCtx {
+    stack: Vec<u64>,
+    fields: Vec<Field>,
+}
+
+/// Compact per-process id of the calling thread. Assigned densely in
+/// the order threads first touch tracing, so Chrome trace tracks get
+/// small stable numbers instead of opaque OS ids.
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// Opens a span with no fields. See [`span_with`].
+pub fn span(level: Level, target: &'static str, name: &'static str) -> SpanGuard {
+    span_with(level, target, name, Vec::new())
+}
+
+/// Opens a span: emits a `Begin` record, pushes the span onto the
+/// calling thread's stack, and returns a guard whose drop emits the
+/// matching `End`. When tracing is disabled this returns a dead guard
+/// and touches nothing.
+pub fn span_with(
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    fields: Vec<Field>,
+) -> SpanGuard {
+    if !crate::enabled(level) {
+        return SpanGuard {
+            id: 0,
+            begin_micros: 0,
+            level,
+            target,
+            name,
+            live: false,
+            end_fields: Vec::new(),
+            _not_send: PhantomData,
+        };
+    }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let (parent, ctx_fields) = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let parent = l.stack.last().copied().unwrap_or(0);
+        l.stack.push(id);
+        (parent, l.fields.clone())
+    });
+    let ts = now_micros();
+    let mut all = fields;
+    all.extend(ctx_fields);
+    crate::dispatch(Record {
+        ts_micros: ts,
+        kind: Kind::Begin,
+        level,
+        target,
+        name,
+        thread: thread_id(),
+        span: id,
+        parent,
+        fields: all,
+    });
+    SpanGuard {
+        id,
+        begin_micros: ts,
+        level,
+        target,
+        name,
+        live: true,
+        end_fields: Vec::new(),
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII handle for an open span. Dropping it (or calling [`end`] /
+/// [`end_at`]) emits the `End` record and pops the thread-local stack.
+///
+/// Not `Send`: the guard must close on the thread that opened it, so
+/// Begin/End pairs stay balanced per Chrome-trace track. To reference
+/// the span from another thread, ship a [`TraceCtx`] instead.
+///
+/// [`end`]: SpanGuard::end
+/// [`end_at`]: SpanGuard::end_at
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    id: u64,
+    begin_micros: u64,
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    live: bool,
+    end_fields: Vec<Field>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl SpanGuard {
+    /// The span id (0 for a dead guard).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether this guard will emit an `End` record.
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// Attaches a field to the eventual `End` record (losses, counts —
+    /// anything only known once the work finishes). No-op when dead.
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.live {
+            self.end_fields.push((key, value.into()));
+        }
+    }
+
+    /// Closes the span now.
+    pub fn end(self) {
+        // Drop does the work.
+    }
+
+    /// Closes the span with an explicit duration: the `End` record's
+    /// timestamp becomes `begin + dur`. Used by the pipeline so phase
+    /// spans carry *exactly* the durations reported in
+    /// `PipelineStats`. Callers must measure `dur` from a point at or
+    /// after the span was opened, or per-track monotonicity breaks.
+    pub fn end_at(mut self, dur: Duration) {
+        if self.live {
+            let ts = self.begin_micros + dur.as_micros() as u64;
+            self.finish(ts);
+        }
+    }
+
+    fn finish(&mut self, ts: u64) {
+        self.live = false;
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            // Pop through the id rather than blindly popping the top:
+            // a caller that drops guards out of order degrades
+            // gracefully instead of corrupting parentage.
+            if let Some(pos) = l.stack.iter().rposition(|&s| s == self.id) {
+                l.stack.truncate(pos);
+            }
+        });
+        crate::dispatch(Record {
+            ts_micros: ts,
+            kind: Kind::End,
+            level: self.level,
+            target: self.target,
+            name: self.name,
+            thread: thread_id(),
+            span: self.id,
+            parent: 0,
+            fields: std::mem::take(&mut self.end_fields),
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.live {
+            let ts = now_micros();
+            self.finish(ts);
+        }
+    }
+}
+
+/// Emits a point event with no fields. See [`event_with`].
+pub fn event(level: Level, target: &'static str, name: &'static str) {
+    event_with(level, target, name, Vec::new());
+}
+
+/// Emits a point (`Instant`) event under the current span, carrying
+/// the given fields plus any adopted context fields.
+pub fn event_with(level: Level, target: &'static str, name: &'static str, fields: Vec<Field>) {
+    if !crate::enabled(level) {
+        return;
+    }
+    let (span, ctx_fields) = LOCAL.with(|l| {
+        let l = l.borrow();
+        (l.stack.last().copied().unwrap_or(0), l.fields.clone())
+    });
+    let mut all = fields;
+    all.extend(ctx_fields);
+    crate::dispatch(Record {
+        ts_micros: now_micros(),
+        kind: Kind::Instant,
+        level,
+        target,
+        name,
+        thread: thread_id(),
+        span,
+        parent: 0,
+        fields: all,
+    });
+}
+
+/// Emits a free-text log event (what the `error!`/`warn!`/... macros
+/// expand to): an `Instant` named `log` with a `message` field.
+pub fn message(level: Level, target: &'static str, text: String) {
+    event_with(level, target, "log", vec![("message", Value::Str(text))]);
+}
+
+/// A snapshot of the calling thread's tracing context — the current
+/// span id plus adopted fields — cheap to clone and `Send`, for
+/// parenting work that hops threads (worker pools, the serve
+/// executor).
+#[derive(Debug, Clone, Default)]
+pub struct TraceCtx {
+    span: u64,
+    fields: Vec<Field>,
+}
+
+impl TraceCtx {
+    /// The span id new records will parent under (0 = root).
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// Returns the context extended with one more field (e.g. a
+    /// request id) that every record under it will carry.
+    pub fn with_field(mut self, key: &'static str, value: impl Into<Value>) -> TraceCtx {
+        self.fields.push((key, value.into()));
+        self
+    }
+}
+
+/// Captures the calling thread's current context. Empty (and
+/// allocation-free) when tracing is disabled.
+pub fn current_ctx() -> TraceCtx {
+    if !crate::active() {
+        return TraceCtx::default();
+    }
+    LOCAL.with(|l| {
+        let l = l.borrow();
+        TraceCtx {
+            span: l.stack.last().copied().unwrap_or(0),
+            fields: l.fields.clone(),
+        }
+    })
+}
+
+/// Adopts a context on the calling thread: spans and events emitted
+/// until the returned guard drops parent under `ctx.span()` and carry
+/// `ctx`'s fields. Used by worker threads and the serve executor.
+pub fn enter_ctx(ctx: &TraceCtx) -> CtxGuard {
+    let pushed = ctx.span != 0;
+    let added = ctx.fields.len();
+    if pushed || added > 0 {
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            if pushed {
+                l.stack.push(ctx.span);
+            }
+            l.fields.extend(ctx.fields.iter().cloned());
+        });
+    }
+    CtxGuard {
+        pushed,
+        added,
+        _not_send: PhantomData,
+    }
+}
+
+/// Guard returned by [`enter_ctx`]; dropping it restores the thread's
+/// previous context. Not `Send`.
+pub struct CtxGuard {
+    pushed: bool,
+    added: usize,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        if self.pushed || self.added > 0 {
+            LOCAL.with(|l| {
+                let mut l = l.borrow_mut();
+                if self.pushed {
+                    l.stack.pop();
+                }
+                let keep = l.fields.len().saturating_sub(self.added);
+                l.fields.truncate(keep);
+            });
+        }
+    }
+}

@@ -48,7 +48,6 @@
 mod dataset;
 mod filter;
 mod group;
-pub mod json;
 mod metrics;
 mod model;
 mod par;
@@ -58,6 +57,10 @@ mod session;
 mod token;
 mod train;
 mod tree_embed;
+
+/// The workspace JSON module, re-exported from its home in
+/// `rebert-obs` so existing `rebert::json::...` paths keep working.
+pub use rebert_obs::json;
 
 pub use dataset::{
     all_pairs, bit_sequences, loo_split, training_samples, ClassId, ConeClasses, DatasetConfig,

@@ -14,6 +14,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use rebert_obs as obs;
+
 use crate::session::CancelToken;
 
 /// Maps `f` over `items` on `threads` OS threads (`0` = all available
@@ -72,6 +74,12 @@ where
         let mut out = Vec::with_capacity(n);
         for chunk in items.chunks(batch.max(1)) {
             if cancelled() {
+                obs::event_with(
+                    obs::Level::Debug,
+                    "par",
+                    "batch_cancel",
+                    vec![("claimed", out.len().into())],
+                );
                 return None;
             }
             out.extend(chunk.iter().map(|item| f(&mut state, item)));
@@ -80,6 +88,10 @@ where
     }
     let workers = threads.min(n.div_ceil(batch));
     let cursor = AtomicUsize::new(0);
+    // Workers adopt the caller's tracing context so their per-batch
+    // claim/complete spans parent under the scoring (or sweep) phase —
+    // one Chrome-trace duration track per worker thread.
+    let trace_ctx = obs::current_ctx();
     let batches: Vec<(usize, Vec<R>)> = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -87,11 +99,19 @@ where
                 let f = &f;
                 let mk_state = &mk_state;
                 let cancelled = &cancelled;
+                let trace_ctx = &trace_ctx;
                 scope.spawn(move |_| {
+                    let _tracing = obs::enter_ctx(trace_ctx);
                     let mut state = mk_state();
                     let mut done = Vec::new();
                     loop {
                         if cancelled() {
+                            obs::event_with(
+                                obs::Level::Debug,
+                                "par",
+                                "batch_cancel",
+                                vec![("claimed", done.len().into())],
+                            );
                             break;
                         }
                         let start = cursor.fetch_add(batch, Ordering::Relaxed);
@@ -99,10 +119,19 @@ where
                             break;
                         }
                         let end = (start + batch).min(n);
+                        // One span per claimed batch: Begin = claim,
+                        // End = complete, on this worker's track.
+                        let sp = obs::span_with(
+                            obs::Level::Debug,
+                            "par",
+                            "batch",
+                            vec![("start", start.into()), ("len", (end - start).into())],
+                        );
                         let results: Vec<R> = items[start..end]
                             .iter()
                             .map(|item| f(&mut state, item))
                             .collect();
+                        sp.end();
                         done.push((start, results));
                     }
                     done

@@ -13,6 +13,7 @@
 use std::time::{Duration, Instant};
 
 use rebert_netlist::Netlist;
+use rebert_obs as obs;
 
 use crate::dataset::{bit_sequences, ConeClasses};
 use crate::filter::{jaccard, jaccard_counts};
@@ -185,6 +186,12 @@ impl ReBertModel {
     /// Returns `None` only if `ctx.cancel` tripped mid-run; no partial
     /// result ever escapes.
     pub(crate) fn run_recovery(&self, nl: &Netlist, ctx: RunCtx<'_>) -> Option<RecoveredWords> {
+        // Spans open *before* their phase stopwatch starts and close via
+        // `end_at(elapsed)`, so the span durations on the trace are the
+        // exact values reported in `PipelineStats` and end timestamps
+        // never outrun the clock (per-track monotonicity).
+        let mut root = obs::span(obs::Level::Info, "pipeline", "recover");
+        let sp_tokenize = obs::span(obs::Level::Info, "pipeline", "tokenize");
         let start = Instant::now();
         let cfg = self.config();
         let threads = ctx.threads;
@@ -193,7 +200,9 @@ impl ReBertModel {
         let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
         let n = seqs.len();
         let tokenize_time = start.elapsed();
+        sp_tokenize.end_at(tokenize_time);
 
+        let mut sp_filter = obs::span(obs::Level::Info, "pipeline", "filter");
         let filter_start = Instant::now();
         let classes = ConeClasses::build(&seqs);
         let k = classes.len();
@@ -213,7 +222,7 @@ impl ReBertModel {
         // Parallel sweep: Jaccard once per class pair, then assemble the
         // representative sequence(s) for survivors. Deterministic because
         // results are collected in class-pair order.
-        let swept: Vec<SweptClassPair> = try_par_map_batched(
+        let swept = try_par_map_batched(
             &class_pairs,
             threads,
             SWEEP_BATCH,
@@ -249,7 +258,19 @@ impl ReBertModel {
                     hi_lo,
                 }
             },
-        )?;
+        );
+        let swept = match swept {
+            Some(s) => s,
+            None => {
+                obs::event_with(
+                    obs::Level::Info,
+                    "pipeline",
+                    "cancelled",
+                    vec![("phase", "filter".into())],
+                );
+                return None;
+            }
+        };
 
         // Deterministic survivor indexing: walk class pairs in linear
         // order, assigning each needed orientation one slot in `pairs`.
@@ -281,12 +302,31 @@ impl ReBertModel {
             }
         }
         let filter_time = filter_start.elapsed();
+        sp_filter.add_field("classes", k);
+        sp_filter.add_field("class_pairs", class_pairs.len());
+        sp_filter.end_at(filter_time);
 
+        let mut sp_score = obs::span(obs::Level::Info, "pipeline", "score");
         let score_start = Instant::now();
         let pair_refs: Vec<&PairSequence> = pairs.iter().collect();
-        let scores = self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches)?;
+        let scores = self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches);
+        let scores = match scores {
+            Some(s) => s,
+            None => {
+                obs::event_with(
+                    obs::Level::Info,
+                    "pipeline",
+                    "cancelled",
+                    vec![("phase", "score".into())],
+                );
+                return None;
+            }
+        };
         let score_time = score_start.elapsed();
+        sp_score.add_field("class_pairs_scored", pairs.len());
+        sp_score.end_at(score_time);
 
+        let sp_group = obs::span(obs::Level::Info, "pipeline", "group");
         let group_start = Instant::now();
         let mut matrix = ScoreMatrix::new(n);
         for i in 0..n {
@@ -300,9 +340,13 @@ impl ReBertModel {
         }
         let assignment = group_bits_adaptive(&matrix);
         let group_time = group_start.elapsed();
+        sp_group.end_at(group_time);
 
         let pairs_total = n * n.saturating_sub(1) / 2;
         let scored = pairs_total - filtered;
+        root.add_field("bits", n);
+        root.add_field("classes", k);
+        root.add_field("pairs_scored", scored);
         Some(self.finish(
             assignment,
             matrix,
@@ -577,6 +621,94 @@ mod tests {
         assert!(dedup.stats.class_pairs_scored <= reference.stats.pairs_scored);
         assert_eq!(reference.stats.pairs_memoized, 0);
         assert_eq!(reference.stats.classes, 0);
+    }
+
+    #[test]
+    fn phase_spans_match_pipeline_stats_durations() {
+        use rebert_obs::{Kind, Level, RingSink, Value};
+        use std::sync::Arc;
+
+        // 13 bits is unique to this test; other tests' records may land
+        // in the ring concurrently (the gate is process-global), so our
+        // run is identified by the `bits` field on the root span's End.
+        const BITS: usize = 13;
+        let mut cfg = ReBertConfig::tiny();
+        cfg.jaccard_threshold = 0.0; // keep every pair
+        let model = ReBertModel::new(cfg, 3);
+        // 13 near-distinct cones: 74 surviving class pairs, enough to
+        // overflow one SCORE_BATCH and force the parallel score path.
+        let c = generate(&Profile::new("demo", 120, BITS, 13), 8);
+
+        let ring = Arc::new(RingSink::new(65_536, Level::Debug));
+        let sink = rebert_obs::install(ring.clone());
+        let rec = model.recover_words_with(&c.netlist, 2);
+        let records = ring.drain();
+        rebert_obs::uninstall(sink);
+
+        let root_end = records
+            .iter()
+            .find(|r| {
+                r.kind == Kind::End
+                    && r.name == "recover"
+                    && r.fields.contains(&("bits", Value::U64(BITS as u64)))
+            })
+            .expect("root recover span closed with a bits field");
+        let root = root_end.span;
+
+        let expect = [
+            ("tokenize", rec.stats.tokenize_time),
+            ("filter", rec.stats.filter_time),
+            ("score", rec.stats.score_time),
+            ("group", rec.stats.group_time),
+        ];
+        for (name, stat) in expect {
+            let begin = records
+                .iter()
+                .find(|r| r.kind == Kind::Begin && r.name == name && r.parent == root)
+                .unwrap_or_else(|| panic!("phase {name} has a Begin under the root"));
+            let end = records
+                .iter()
+                .find(|r| r.kind == Kind::End && r.span == begin.span)
+                .unwrap_or_else(|| panic!("phase {name} closed"));
+            assert_eq!(
+                (end.ts_micros - begin.ts_micros) as u128,
+                stat.as_micros(),
+                "span duration for {name} must equal PipelineStats"
+            );
+        }
+
+        // The score phase fans out: per-batch worker spans adopt the
+        // caller's context, so they parent under the score span and run
+        // on other threads' tracks.
+        let score_begin = records
+            .iter()
+            .find(|r| r.kind == Kind::Begin && r.name == "score" && r.parent == root)
+            .unwrap();
+        let batches: Vec<_> = records
+            .iter()
+            .filter(|r| {
+                r.kind == Kind::Begin && r.name == "batch" && r.parent == score_begin.span
+            })
+            .collect();
+        assert!(
+            batches.len() >= 2,
+            "expected multiple score batches, got {}",
+            batches.len()
+        );
+        // Batch spans carry each worker's own track id. (No assertion
+        // that tracks differ from the caller's: a test environment may
+        // run scoped workers inline. Cross-thread context adoption is
+        // pinned by rebert-obs's own thread-spawning test.)
+        // Every batch span closes (claim/complete pairing).
+        for b in &batches {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.kind == Kind::End && r.span == b.span),
+                "batch span at index {:?} never completed",
+                b.fields
+            );
+        }
     }
 
     #[test]

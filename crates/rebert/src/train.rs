@@ -3,6 +3,7 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
+use rebert_obs as obs;
 use rebert_nn::{Adam, Forward, GradAccumulator};
 use rebert_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,15 @@ pub struct TrainReport {
 /// println!("final accuracy {:.3}", report.final_accuracy);
 /// ```
 pub fn train(model: &mut ReBertModel, samples: &[PairSample], cfg: &TrainConfig) -> TrainReport {
+    let mut root = obs::span_with(
+        obs::Level::Info,
+        "train",
+        "train",
+        vec![
+            ("samples", samples.len().into()),
+            ("epochs", cfg.epochs.into()),
+        ],
+    );
     let mut rng = ChaCha20Rng::seed_from_u64(cfg.seed);
     let mut adam = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
     let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -79,7 +89,10 @@ pub fn train(model: &mut ReBertModel, samples: &[PairSample], cfg: &TrainConfig)
     let warmup_steps = ((total_steps as f32) * cfg.warmup_frac).ceil() as usize;
     let mut step = 0usize;
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let mut sp_epoch =
+            obs::span_with(obs::Level::Info, "train", "epoch", vec![("epoch", epoch.into())]);
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
@@ -90,27 +103,49 @@ pub fn train(model: &mut ReBertModel, samples: &[PairSample], cfg: &TrainConfig)
                 cfg.lr
             };
             let mut acc = GradAccumulator::new();
+            let mut step_loss = 0.0f64;
             for &si in chunk {
                 let sample = &samples[si];
                 let target = if sample.label { 1.0 } else { 0.0 };
                 let mut fwd = Forward::new(model.store());
                 let z = model.logit_on(&mut fwd, &sample.seq);
                 let loss = fwd.tape.bce_with_logits(z, Tensor::from_rows(&[&[target]]));
-                total_loss += fwd.tape.value(loss).data()[0] as f64;
+                step_loss += fwd.tape.value(loss).data()[0] as f64;
                 let grads = fwd.tape.backward(loss);
                 acc.add(fwd.param_grads(&grads));
             }
+            total_loss += step_loss;
             let mean = acc.mean();
             adam.step(model.store_mut(), &mean);
+            obs::event_with(
+                obs::Level::Trace,
+                "train",
+                "step",
+                vec![
+                    ("step", step.into()),
+                    ("loss", (step_loss / chunk.len().max(1) as f64).into()),
+                    ("lr", f64::from(adam.lr).into()),
+                ],
+            );
         }
-        epoch_losses.push(if samples.is_empty() {
+        let epoch_loss = if samples.is_empty() {
             0.0
         } else {
             (total_loss / samples.len() as f64) as f32
-        });
+        };
+        epoch_losses.push(epoch_loss);
+        let secs = epoch_start.elapsed().as_secs_f64();
+        sp_epoch.add_field("loss", epoch_loss);
+        sp_epoch.add_field(
+            "samples_per_sec",
+            samples.len() as f64 / secs.max(f64::MIN_POSITIVE),
+        );
+        sp_epoch.end();
     }
 
     let final_accuracy = accuracy(model, samples);
+    root.add_field("final_accuracy", final_accuracy);
+    root.end();
     TrainReport {
         epoch_losses,
         final_accuracy,
@@ -190,6 +225,68 @@ mod tests {
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
         assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn training_emits_epoch_spans_with_losses() {
+        use rebert_obs::{Kind, Level, RingSink, Value};
+        use std::sync::Arc;
+
+        let cfg = ReBertConfig::tiny();
+        let mut model = ReBertModel::new(cfg.clone(), 2);
+        // 10 samples is unique to this test (the gate is process-global,
+        // so records from concurrently running tests share the ring).
+        let samples = toy_samples(&cfg, 5);
+        let tcfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+
+        let ring = Arc::new(RingSink::new(16_384, Level::Trace));
+        let sink = rebert_obs::install(ring.clone());
+        let report = train(&mut model, &samples, &tcfg);
+        let records = ring.drain();
+        rebert_obs::uninstall(sink);
+
+        let root = records
+            .iter()
+            .find(|r| {
+                r.kind == Kind::Begin
+                    && r.name == "train"
+                    && r.fields.contains(&("samples", Value::U64(10)))
+            })
+            .expect("root train span");
+        let epochs: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == Kind::Begin && r.name == "epoch" && r.parent == root.span)
+            .collect();
+        assert_eq!(epochs.len(), 2, "one span per epoch");
+        for (i, e) in epochs.iter().enumerate() {
+            let end = records
+                .iter()
+                .find(|r| r.kind == Kind::End && r.span == e.span)
+                .expect("epoch span closes");
+            assert!(
+                end.fields
+                    .contains(&("loss", Value::F64(f64::from(report.epoch_losses[i])))),
+                "epoch {i} End must carry the reported loss; got {:?}",
+                end.fields
+            );
+            assert!(
+                end.fields.iter().any(|(k, _)| *k == "samples_per_sec"),
+                "epoch {i} End must carry throughput"
+            );
+        }
+        // Per-step loss events flow at trace level under the epochs.
+        let steps = records
+            .iter()
+            .filter(|r| r.name == "step" && epochs.iter().any(|e| e.span == r.span))
+            .count();
+        assert_eq!(
+            steps,
+            2 * 10usize.div_ceil(tcfg.batch_size),
+            "one step event per optimizer step"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `GET /healthz`    | Liveness probe (`200 ok`). |
 //! | `GET /metrics`    | Prometheus text exposition: request counters, queue depth, in-flight gauge, per-phase timing histograms, pairs/sec, cone-dedup counters. |
 //! | `POST /shutdown`  | Requests a graceful drain (also triggered by SIGINT/SIGTERM). |
+//! | `GET /debug/trace`| Drains the in-memory trace ring as NDJSON: a meta line (`drained`, `dropped_events`) followed by one span/event record per line. |
 //!
 //! ## Semantics
 //!
@@ -27,6 +28,13 @@
 //! * **Graceful shutdown** — on SIGINT/SIGTERM (or `POST /shutdown`)
 //!   the daemon stops accepting, drains queued work, answers every
 //!   in-flight connection, and exits 0.
+//! * **Request correlation** — every response (including malformed-request
+//!   `400`s) carries an `X-Rebert-Request-Id` header; the same id rides
+//!   on every [`rebert_obs`] record the request produced, and the span
+//!   tree (root `request` span → executor-side pipeline spans) survives
+//!   the queue's thread hop via [`rebert_obs::TraceCtx`]. A bounded
+//!   [`rebert_obs::RingSink`] buffers recent records without ever
+//!   blocking the serving path; `GET /debug/trace` drains it.
 //!
 //! ```no_run
 //! use rebert::{ReBertConfig, ReBertModel, RecoverySession};

@@ -20,6 +20,8 @@ use std::time::{Duration, Instant};
 use rebert::json::Json;
 use rebert::{CancelToken, Cancelled, RecoveredWords, RecoverySession};
 use rebert_netlist::{parse_bench, parse_verilog, Netlist};
+use rebert_obs as obs;
+use rebert_obs::RingSink;
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::metrics::Metrics;
@@ -36,6 +38,11 @@ pub struct ServeConfig {
     /// Deadline applied to requests that do not set
     /// `X-Rebert-Deadline-Ms` themselves. `None` = unbounded.
     pub default_deadline: Option<Duration>,
+    /// Records the always-on trace ring holds for `GET /debug/trace`
+    /// (oldest evicted first; recording never blocks).
+    pub trace_capacity: usize,
+    /// Most verbose level captured into the trace ring.
+    pub trace_level: obs::Level,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +50,8 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_capacity: 32,
             default_deadline: None,
+            trace_capacity: 4096,
+            trace_level: obs::Level::Debug,
         }
     }
 }
@@ -54,6 +63,10 @@ struct Job {
     netlist: Arc<Netlist>,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Result<RecoveredWords, Cancelled>>,
+    /// Tracing context captured on the connection thread: the request's
+    /// root span plus its `request_id` field. The executor adopts it so
+    /// the pipeline's spans parent under the request that queued them.
+    trace: obs::TraceCtx,
 }
 
 /// State shared by the accept loop, connection threads, the executor,
@@ -64,6 +77,8 @@ struct Shared {
     shutdown: AtomicBool,
     config: ServeConfig,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Always-on bounded trace ring, drained by `GET /debug/trace`.
+    trace: Arc<RingSink>,
 }
 
 /// A running daemon. Dropping it (or calling [`Server::shutdown`])
@@ -73,6 +88,7 @@ pub struct Server {
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     executor_thread: Option<JoinHandle<()>>,
+    trace_sink: Option<obs::SinkId>,
 }
 
 /// Starts serving `session` on `listener`. The listener is switched to
@@ -88,13 +104,18 @@ pub fn serve(
 ) -> std::io::Result<Server> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let trace = Arc::new(RingSink::new(config.trace_capacity, config.trace_level));
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         config,
         conns: Mutex::new(Vec::new()),
+        trace: Arc::clone(&trace),
     });
+    // The ring records every request for `GET /debug/trace`; it is
+    // uninstalled (narrowing the global gate back) when the server stops.
+    let trace_sink = obs::install(trace);
 
     let executor_thread = {
         let shared = Arc::clone(&shared);
@@ -114,6 +135,7 @@ pub fn serve(
         addr,
         accept_thread: Some(accept_thread),
         executor_thread: Some(executor_thread),
+        trace_sink: Some(trace_sink),
     })
 }
 
@@ -161,6 +183,9 @@ impl Server {
         for c in conns {
             let _ = c.join();
         }
+        if let Some(id) = self.trace_sink.take() {
+            obs::uninstall(id);
+        }
     }
 }
 
@@ -180,6 +205,10 @@ fn executor_loop(session: &RecoverySession, shared: &Shared) {
             Some(d) => CancelToken::with_deadline_at(d),
             None => CancelToken::new(),
         };
+        // Adopt the request's context: the pipeline's `recover` span (and
+        // everything under it) parents under the request's root span and
+        // carries its `request_id` field, even though it runs over here.
+        let _tracing = obs::enter_ctx(&job.trace);
         let result = session.try_recover(&job.netlist, &token);
         match &result {
             Ok(rec) => shared.metrics.record_recovery(&rec.stats),
@@ -213,8 +242,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
                 std::thread::sleep(ACCEPT_POLL);
             }
-            Err(_) => {
+            Err(e) => {
                 // Transient accept failure (e.g. aborted handshake).
+                obs::warn!("serve", "accept error: {e}");
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -224,13 +254,72 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Allocates a process-unique request id, `req-{pid:x}-{counter}`.
+fn next_request_id() -> String {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    format!(
+        "req-{:x}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Maps a response status to the outcome label used by the metrics, so
+/// the `request_done` trace event and the counters agree.
+fn outcome_label(status: u16) -> &'static str {
+    match status {
+        200 => "ok",
+        400 | 405 | 413 => "bad_request",
+        404 => "not_found",
+        422 => "lint_rejected",
+        503 => "rejected",
+        504 => "deadline",
+        500 => "error",
+        _ => "other",
+    }
+}
+
 /// Serves exactly one request on `stream` and closes it.
+///
+/// Every answered request gets an `X-Rebert-Request-Id` header and a
+/// root `serve/request` span whose `request_id` field matches it; child
+/// spans (including the executor-side recovery) inherit the id as a
+/// context field.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let arrival = Instant::now();
     let _ = stream.set_nodelay(true);
+    let request_id = next_request_id();
     let response = match read_request(&mut BufReader::new(&stream)) {
         Ok(None) => return, // clean pre-request hang-up
-        Ok(Some(req)) => route(&req, arrival, shared),
+        Ok(Some(req)) => {
+            let mut root = obs::span_with(
+                obs::Level::Info,
+                "serve",
+                "request",
+                vec![
+                    ("request_id", request_id.clone().into()),
+                    ("method", req.method.clone().into()),
+                    ("path", req.path().to_owned().into()),
+                ],
+            );
+            let ctx = obs::TraceCtx::default().with_field("request_id", request_id.clone());
+            let ctx_guard = obs::enter_ctx(&ctx);
+            let response = route(&req, arrival, shared);
+            obs::event_with(
+                obs::Level::Info,
+                "serve",
+                "request_done",
+                vec![
+                    ("status", u64::from(response.status).into()),
+                    ("outcome", outcome_label(response.status).into()),
+                ],
+            );
+            drop(ctx_guard);
+            root.add_field("status", u64::from(response.status));
+            root.end();
+            response
+        }
         Err(HttpError::Io(_)) => return, // client died mid-request
         Err(HttpError::Malformed(m)) => {
             shared.metrics.count_request("other", "bad_request");
@@ -242,7 +331,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
     };
     let mut stream = stream;
-    let _ = response.write_to(&mut stream);
+    let _ = response
+        .header("X-Rebert-Request-Id", &request_id)
+        .write_to(&mut stream);
 }
 
 /// A JSON `{"error": …}` body with the given status.
@@ -270,13 +361,17 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
                 body: body.into_bytes(),
             }
         }
+        ("GET", "/debug/trace") => {
+            shared.metrics.count_request("trace", "ok");
+            handle_debug_trace(shared)
+        }
         ("POST", "/recover") => handle_recover(req, arrival, shared),
         ("POST", "/shutdown") => {
             shared.metrics.count_request("shutdown", "ok");
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::text(200, "draining\n")
         }
-        (_, "/healthz" | "/metrics" | "/recover" | "/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/recover" | "/shutdown" | "/debug/trace") => {
             shared.metrics.count_request("other", "bad_request");
             error_response(405, &format!("method {} not allowed here", req.method))
         }
@@ -284,6 +379,30 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
             shared.metrics.count_request("other", "not_found");
             error_response(404, &format!("no such endpoint: {path}"))
         }
+    }
+}
+
+/// `GET /debug/trace`: drains the trace ring as NDJSON. The first line
+/// is a meta object (`drained`, `dropped_events`); every following line
+/// is one trace record. Draining is destructive — each record is
+/// reported exactly once across successive calls.
+fn handle_debug_trace(shared: &Shared) -> Response {
+    let records = shared.trace.drain();
+    let dropped = shared.trace.dropped_events();
+    let meta = Json::Obj(vec![
+        ("drained".into(), Json::uint(records.len() as u64)),
+        ("dropped_events".into(), Json::uint(dropped)),
+    ]);
+    let mut body = meta.to_string();
+    body.push('\n');
+    for rec in &records {
+        body.push_str(&obs::record_json(rec).to_string());
+        body.push('\n');
+    }
+    Response {
+        status: 200,
+        headers: vec![("Content-Type".into(), "application/x-ndjson".into())],
+        body: body.into_bytes(),
     }
 }
 
@@ -363,6 +482,7 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
         netlist: Arc::clone(&netlist),
         deadline,
         reply: tx,
+        trace: obs::current_ctx(),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {}
@@ -534,5 +654,35 @@ mod tests {
         let cfg = ServeConfig::default();
         assert!(cfg.queue_capacity >= 1);
         assert!(cfg.default_deadline.is_none());
+        assert!(cfg.trace_capacity >= 1);
+        assert!(cfg.trace_level >= obs::Level::Info, "requests are traced");
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_prefixed() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        let prefix = format!("req-{:x}-", std::process::id());
+        assert!(a.starts_with(&prefix), "{a}");
+        assert!(b.starts_with(&prefix), "{b}");
+    }
+
+    #[test]
+    fn outcome_labels_match_metrics_vocabulary() {
+        for (status, label) in [
+            (200, "ok"),
+            (400, "bad_request"),
+            (404, "not_found"),
+            (405, "bad_request"),
+            (413, "bad_request"),
+            (422, "lint_rejected"),
+            (500, "error"),
+            (503, "rejected"),
+            (504, "deadline"),
+            (302, "other"),
+        ] {
+            assert_eq!(outcome_label(status), label, "status {status}");
+        }
     }
 }

@@ -21,6 +21,7 @@ fn boot(model: ReBertModel, threads: usize, queue: usize, deadline: Option<Durat
     let config = ServeConfig {
         queue_capacity: queue,
         default_deadline: deadline,
+        ..ServeConfig::default()
     };
     serve(session, listener, config).expect("serve")
 }
@@ -311,6 +312,90 @@ fn shutdown_endpoint_flags_the_drain() {
     let reply = submit_recover(addr, "INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n", None, None).unwrap();
     assert_eq!(reply.status, 503);
     assert_eq!(reply.header("Retry-After"), Some("5"));
+    server.shutdown();
+}
+
+#[test]
+fn debug_trace_correlates_requests_with_their_header_id() {
+    let c = generate(&Profile::new("demo", 100, 8, 2), 11);
+    let bench = write_bench(&c.netlist);
+    let server = boot(tiny_model(9), 1, 4, None);
+    let addr = server.addr();
+
+    let reply = submit_recover(addr, &bench, Some("bench"), None).expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let request_id = reply
+        .header("X-Rebert-Request-Id")
+        .expect("every response carries a request id")
+        .to_owned();
+    assert!(request_id.starts_with("req-"), "{request_id}");
+
+    let trace = http_request(addr, "GET", "/debug/trace", &[], b"").unwrap();
+    assert_eq!(trace.status, 200);
+    assert!(trace
+        .header("Content-Type")
+        .unwrap()
+        .contains("ndjson"));
+    let body = trace.body_text();
+    let mut lines = body.lines();
+    let meta = rebert::json::Json::parse(lines.next().expect("meta line")).expect("meta parses");
+    let drained = json_field(&meta, "drained").as_usize().unwrap();
+    assert!(drained >= 1, "the recover request must be in the ring");
+    assert!(meta.get("dropped_events").is_some());
+    let records: Vec<rebert::json::Json> = lines
+        .map(|l| rebert::json::Json::parse(l).expect("every line is one JSON record"))
+        .collect();
+    assert_eq!(records.len(), drained, "meta count matches the lines");
+
+    let id_of = |r: &rebert::json::Json| {
+        r.get("fields")
+            .and_then(|f| f.get("request_id"))
+            .and_then(rebert::json::Json::as_str)
+            .map(str::to_owned)
+    };
+    // The request's root span is in the drain, tagged with the same id
+    // the client saw in the header.
+    let root = records
+        .iter()
+        .find(|r| {
+            r.get("name").and_then(rebert::json::Json::as_str) == Some("request")
+                && r.get("ph").and_then(rebert::json::Json::as_str) == Some("B")
+                && id_of(r).as_deref() == Some(request_id.as_str())
+        })
+        .expect("root request span with the header's id");
+    let root_span = root.get("span").and_then(rebert::json::Json::as_usize).unwrap();
+    // The pipeline ran on the executor thread, yet its `recover` span
+    // parents under that request root and inherits the id field.
+    let recover = records
+        .iter()
+        .find(|r| {
+            r.get("name").and_then(rebert::json::Json::as_str) == Some("recover")
+                && r.get("ph").and_then(rebert::json::Json::as_str) == Some("B")
+                && id_of(r).as_deref() == Some(request_id.as_str())
+        })
+        .expect("executor-side recover span carries the request id");
+    assert_eq!(
+        recover.get("parent").and_then(rebert::json::Json::as_usize),
+        Some(root_span),
+        "recovery parents under the request span"
+    );
+
+    // Draining is destructive: a second pull starts fresh, and error
+    // responses carry ids too.
+    let reply = submit_recover(addr, "garbage", None, None).unwrap();
+    assert_eq!(reply.status, 400);
+    let err_id = reply
+        .header("X-Rebert-Request-Id")
+        .expect("error responses carry a request id")
+        .to_owned();
+    assert_ne!(err_id, request_id, "ids are unique per request");
+    let trace = http_request(addr, "GET", "/debug/trace", &[], b"").unwrap();
+    let body = trace.body_text();
+    assert!(
+        body.lines().skip(1).any(|l| l.contains(&err_id)),
+        "second drain holds only newer records, including the 400"
+    );
+    assert!(!body.contains(&request_id), "first drain emptied the ring");
     server.shutdown();
 }
 
