@@ -1,11 +1,12 @@
 //! Criterion benchmarks for the tape-free batched inference engine:
 //! `recover_words` end to end on an ITC'99-scale circuit, taped vs
-//! tape-free single-pair prediction, and the blocked matmul kernels.
+//! tape-free single-pair prediction, per-backend scoring (scalar /
+//! runtime-dispatched SIMD / int8), and the blocked matmul kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rebert::{ReBertConfig, ReBertModel, ScoreScratch};
+use rebert::{Backend, ReBertConfig, ReBertModel, ScoreScratch};
 use rebert_circuits::{generate, Profile};
-use rebert_tensor::Tensor;
+use rebert_tensor::{kernels, simd_level, Tensor};
 
 /// An ITC'99-like profile (b03-class size) per the acceptance criterion.
 fn itc99_like() -> Profile {
@@ -50,15 +51,58 @@ fn bench_predict_taped_vs_infer(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-backend single-pair scoring and end-to-end recovery: the numbers
+/// behind the EXPERIMENTS.md scalar / SIMD / int8 table. Unsupported
+/// backends resolve to scalar, so the groups always run; labels carry
+/// the *requested* backend.
+fn bench_backends(c: &mut Criterion) {
+    let circuit = generate(&itc99_like(), 0x1399);
+    let mut cfg = ReBertConfig::small();
+    cfg.k_levels = 4;
+    let model = ReBertModel::new(cfg.clone(), 0);
+    let seqs = rebert::bit_sequences(&circuit.netlist, cfg.k_levels, cfg.code_width);
+    let (ta, ca) = &seqs[0];
+    let (tb, cb) = &seqs[1];
+    let pair = rebert::PairSequence::build(ta, ca, tb, cb, cfg.code_width, cfg.max_seq);
+    // Quantize outside the timed region, as the pipeline does.
+    model.int8_view();
+
+    let mut group = c.benchmark_group("predict_pair_backend");
+    for backend in Backend::ALL {
+        let mut scratch = ScoreScratch::new();
+        group.bench_function(backend.label(), |b| {
+            b.iter(|| model.predict_with_scratch_backend(&pair, &mut scratch, backend))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("recover_words_backend_1_thread");
+    group.sample_size(10);
+    for backend in Backend::ALL {
+        group.bench_function(backend.label(), |b| {
+            b.iter(|| model.recover_words_backend(&circuit.netlist, 1, backend))
+        });
+    }
+    group.finish();
+}
+
 fn bench_matmul_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
+    let level = simd_level();
     for (m, k, n) in [(64usize, 64usize, 64usize), (128, 64, 256)] {
         let a = Tensor::full(m, k, 0.25);
         let bt = Tensor::full(k, n, 0.5);
         let nt = Tensor::full(n, k, 0.5);
+        let mut out = Tensor::zeros(m, n);
         group.bench_function(format!("matmul_{m}x{k}x{n}"), |b| b.iter(|| a.matmul(&bt)));
         group.bench_function(format!("matmul_nt_{m}x{k}x{n}"), |b| {
             b.iter(|| a.matmul_nt(&nt))
+        });
+        group.bench_function(format!("matmul_simd_{m}x{k}x{n}"), |b| {
+            b.iter(|| kernels::matmul_into(level, &a, &bt, &mut out))
+        });
+        group.bench_function(format!("matmul_nt_simd_{m}x{k}x{n}"), |b| {
+            b.iter(|| kernels::matmul_nt_into(level, &a, &nt, &mut out))
         });
     }
     group.finish();
@@ -68,6 +112,7 @@ criterion_group!(
     benches,
     bench_recover_end_to_end,
     bench_predict_taped_vs_infer,
+    bench_backends,
     bench_matmul_kernels
 );
 criterion_main!(benches);

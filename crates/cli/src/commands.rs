@@ -86,12 +86,17 @@ COMMANDS
             Generate training benchmarks and fit a ReBERT model.
   recover   --model <model.json> --in <file>
             [--labels <labels.json>] [--baseline] [--threads N]
+            [--precision <f32|f32-simd|int8>]
             Recover words on the batched inference engine (--threads 0 =
             all cores, the default); the quadratic phase deduplicates
             structurally identical cones and scores each unique class
             pair once; prints per-phase timings, pair throughput, and
             cone-dedup counters; print ARI when labels are given;
-            --baseline also runs structural matching.
+            --baseline also runs structural matching. --precision picks
+            the scoring backend: f32 (default, bitwise-reproducible),
+            f32-simd (runtime-dispatched AVX2/NEON kernels), or int8
+            (per-row quantized weights); unsupported choices fall back
+            to scalar and the resolved backend is printed.
   serve     --model <model.json> [--addr <host:port>] [--threads N]
             [--queue N] [--deadline-ms N]
             Run the resident word-recovery daemon: the checkpoint loads
@@ -103,9 +108,10 @@ COMMANDS
             Defaults: --addr 127.0.0.1:7878, --queue 32,
             --deadline-ms 0 (unbounded).
   submit    --addr <host:port> --in <file> [--labels <labels.json>]
-            [--deadline-ms N]
+            [--deadline-ms N] [--precision <f32|f32-simd|int8>]
             Send a netlist to a running daemon and print the recovered
-            words (ARI when labels are given).
+            words (ARI when labels are given); --precision rides along
+            as the X-Rebert-Precision header.
   help      Show this text.
 
 OBSERVABILITY (train / recover / serve / submit)
@@ -124,15 +130,68 @@ Unknown options and flags are rejected with a nearest-spelling hint.
 /// `--options` and bare flags accepted per subcommand; [`run`] enforces
 /// them via [`Args::expect_only`] before any value is read.
 const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
-    ("generate", &["profile", "out", "seed", "gates", "ffs", "words"], &[]),
+    (
+        "generate",
+        &["profile", "out", "seed", "gates", "ffs", "words"],
+        &[],
+    ),
     ("corrupt", &["in", "out", "r", "seed"], &[]),
     ("optimize", &["in", "out"], &[]),
     ("stats", &["in"], &[]),
     ("lint", &["in", "k", "model", "deny"], &["json"]),
-    ("train", &["profiles", "model", "seed", "epochs", "cap", "k", "log-level", "trace-out"], &[]),
-    ("recover", &["model", "in", "labels", "threads", "log-level", "trace-out"], &["baseline"]),
-    ("serve", &["model", "addr", "threads", "queue", "deadline-ms", "log-level", "trace-out"], &[]),
-    ("submit", &["addr", "in", "labels", "deadline-ms", "log-level", "trace-out"], &[]),
+    (
+        "train",
+        &[
+            "profiles",
+            "model",
+            "seed",
+            "epochs",
+            "cap",
+            "k",
+            "log-level",
+            "trace-out",
+        ],
+        &[],
+    ),
+    (
+        "recover",
+        &[
+            "model",
+            "in",
+            "labels",
+            "threads",
+            "precision",
+            "log-level",
+            "trace-out",
+        ],
+        &["baseline"],
+    ),
+    (
+        "serve",
+        &[
+            "model",
+            "addr",
+            "threads",
+            "queue",
+            "deadline-ms",
+            "log-level",
+            "trace-out",
+        ],
+        &[],
+    ),
+    (
+        "submit",
+        &[
+            "addr",
+            "in",
+            "labels",
+            "deadline-ms",
+            "precision",
+            "log-level",
+            "trace-out",
+        ],
+        &[],
+    ),
 ];
 
 /// Rejects any option or flag the subcommand's table does not list.
@@ -239,9 +298,7 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
     let deny_warnings = match args.get("deny") {
         None => false,
         Some("warnings") => true,
-        Some(other) => {
-            return Err(format!("--deny accepts only `warnings`, got `{other}`").into())
-        }
+        Some(other) => return Err(format!("--deny accepts only `warnings`, got `{other}`").into()),
     };
 
     let mut opts = rebert_analyze::LintOptions::default();
@@ -324,12 +381,24 @@ fn cmd_train(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Parses a `--precision` value into a backend, with a usage error
+/// naming the accepted labels.
+fn parse_precision(args: &Args) -> Result<rebert::Backend, CliError> {
+    match args.get("precision") {
+        None => Ok(rebert::Backend::F32Scalar),
+        Some(raw) => rebert::Backend::parse(raw).ok_or_else(|| {
+            format!("--precision accepts `f32`, `f32-simd`, or `int8`, got `{raw}`").into()
+        }),
+    }
+}
+
 fn cmd_recover(args: &Args) -> Result<String, CliError> {
     validate(args)?;
     let model = load_model(Path::new(args.require("model")?))?;
     let input = read_netlist(Path::new(args.require("in")?))?;
     let threads = args.get_or("threads", 0usize)?;
-    let rec = model.recover_words_with(&input, threads);
+    let backend = parse_precision(args)?;
+    let rec = model.recover_words_backend(&input, threads, backend);
     let s = &rec.stats;
     let mut out = format!(
         "{}: {} bits -> {} words ({} pairs scored, {} filtered, {:?})\n",
@@ -341,12 +410,13 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
         s.elapsed
     );
     out.push_str(&format!(
-        "  phases: tokenize {:?} | filter {:?} | score {:?} ({:.0} pairs/s, {} threads) | group {:?}\n",
+        "  phases: tokenize {:?} | filter {:?} | score {:?} ({:.0} pairs/s, {} threads, {} backend) | group {:?}\n",
         s.tokenize_time,
         s.filter_time,
         s.score_time,
         s.pairs_per_sec,
         rebert::resolve_threads(threads),
+        s.backend,
         s.group_time
     ));
     out.push_str(&format!(
@@ -392,8 +462,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let deadline_ms = args.get_or("deadline-ms", 0u64)?;
 
     let session = rebert::RecoverySession::new(model, threads);
-    let listener = std::net::TcpListener::bind(addr)
-        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
     let config = rebert_serve::ServeConfig {
         queue_capacity: queue,
         default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
@@ -402,7 +472,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let server = rebert_serve::serve(session, listener, config)?;
     // Printed before the blocking drain loop so callers (and the CI
     // smoke test) can tell the daemon is up.
-    println!("rebert-serve listening on {} (queue {queue})", server.addr());
+    println!(
+        "rebert-serve listening on {} (queue {queue})",
+        server.addr()
+    );
     rebert_serve::run_until_shutdown(server);
     Ok("drained in-flight work, shut down cleanly".to_owned())
 }
@@ -419,11 +492,15 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
         "bench"
     };
     let deadline_ms = args.get_or("deadline-ms", 0u64)?;
-    let reply = rebert_serve::submit_recover(
+    // Validated locally so typos fail before the network hop; the
+    // daemon re-validates and answers 400 for anything it cannot parse.
+    let precision = parse_precision(args)?;
+    let reply = rebert_serve::submit_recover_with(
         addr,
         &text,
         Some(format),
         (deadline_ms > 0).then_some(deadline_ms),
+        args.get("precision").map(|_| precision.label()),
     )
     .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
     if reply.status != 200 {
@@ -445,19 +522,34 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
             .ok_or_else(|| format!("daemon reply lacks `{key}`").into())
     };
     let bits = field("bits")?.as_usize().unwrap_or(0);
-    let words = field("words")?.as_array().map(<[_]>::to_vec).unwrap_or_default();
-    let names = field("names")?.as_array().map(<[_]>::to_vec).unwrap_or_default();
+    let words = field("words")?
+        .as_array()
+        .map(<[_]>::to_vec)
+        .unwrap_or_default();
+    let names = field("names")?
+        .as_array()
+        .map(<[_]>::to_vec)
+        .unwrap_or_default();
     let stats = field("stats")?;
-    let stat = |key: &str| stats.get(key).and_then(rebert::json::Json::as_u64).unwrap_or(0);
+    let stat = |key: &str| {
+        stats
+            .get(key)
+            .and_then(rebert::json::Json::as_u64)
+            .unwrap_or(0)
+    };
 
     let mut out = format!(
-        "{}: {} bits -> {} words ({} pairs scored, {} filtered, {}ms on the daemon)\n",
+        "{}: {} bits -> {} words ({} pairs scored, {} filtered, {}ms on the daemon, {} backend)\n",
         field("design")?.as_str().unwrap_or("?"),
         bits,
         words.len(),
         stat("pairs_scored"),
         stat("pairs_filtered"),
         stat("elapsed_us") / 1000,
+        stats
+            .get("backend")
+            .and_then(rebert::json::Json::as_str)
+            .unwrap_or("?"),
     );
     out.push_str(&format!(
         "  cone dedup: {} classes | {} class pairs scored | {} pairs memoized\n",
@@ -651,11 +743,13 @@ mod tests {
     fn lint_json_output_parses_with_rebert_json() {
         let bench = tmp("lint_json.bench");
         std::fs::write(&bench, "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap();
-        let err =
-            run(&args(&["lint", "--in", bench.to_str().unwrap(), "--json"])).unwrap_err();
+        let err = run(&args(&["lint", "--in", bench.to_str().unwrap(), "--json"])).unwrap_err();
         let body = &err.downcast_ref::<LintFailure>().unwrap().body;
         let json = rebert::json::Json::parse(body).expect("lint --json emits valid JSON");
-        assert_eq!(json.get("errors").and_then(rebert::json::Json::as_usize), Some(1));
+        assert_eq!(
+            json.get("errors").and_then(rebert::json::Json::as_usize),
+            Some(1)
+        );
         let diags = json
             .get("diagnostics")
             .and_then(rebert::json::Json::as_array)
@@ -726,7 +820,10 @@ mod tests {
 
     #[test]
     fn every_command_rejects_unknown_options() {
-        for cmd in ["generate", "corrupt", "optimize", "stats", "lint", "train", "recover", "serve", "submit"] {
+        for cmd in [
+            "generate", "corrupt", "optimize", "stats", "lint", "train", "recover", "serve",
+            "submit",
+        ] {
             let err = run(&args(&[cmd, "--no-such-option", "x"])).unwrap_err();
             assert!(
                 err.to_string().contains("unknown option"),
@@ -737,9 +834,19 @@ mod tests {
 
     #[test]
     fn stray_flag_rejected() {
-        let err = run(&args(&["recover", "--model", "m.json", "--in", "x.bench", "--baselines"]))
-            .unwrap_err();
-        assert!(err.to_string().contains("did you mean --baseline?"), "{err}");
+        let err = run(&args(&[
+            "recover",
+            "--model",
+            "m.json",
+            "--in",
+            "x.bench",
+            "--baselines",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean --baseline?"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -782,8 +889,7 @@ mod tests {
         write_netlist(&circuit.netlist, &bench).unwrap();
         write_labels(&circuit.labels, &labels).unwrap();
 
-        let session =
-            rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 2), 1);
+        let session = rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 2), 1);
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let server =
             rebert_serve::serve(session, listener, rebert_serve::ServeConfig::default()).unwrap();
@@ -814,18 +920,112 @@ mod tests {
         let bench = tmp("submit_422.bench");
         std::fs::write(&bench, "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap();
 
-        let session =
-            rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), 1);
+        let session = rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), 1);
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let server =
             rebert_serve::serve(session, listener, rebert_serve::ServeConfig::default()).unwrap();
         let addr = server.addr().to_string();
 
-        let err = run(&args(&["submit", "--addr", &addr, "--in", bench.to_str().unwrap()]))
-            .unwrap_err();
+        let err = run(&args(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--in",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("daemon answered 422"), "{msg}");
         assert!(msg.contains("(request req-"), "{msg}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn recover_precision_selects_backend_and_rejects_unknown_labels() {
+        let bench = tmp("prec.bench");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "100",
+            "--ffs",
+            "10",
+            "--words",
+            "3",
+            "--seed",
+            "12",
+            "--out",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model_path = tmp("prec.model.json");
+        save_model(&ReBertModel::new(ReBertConfig::tiny(), 0), &model_path).unwrap();
+
+        let recover = |extra: &[&str]| {
+            let mut v = vec![
+                "recover",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--in",
+                bench.to_str().unwrap(),
+            ];
+            v.extend_from_slice(extra);
+            run(&args(&v))
+        };
+        // Default and explicit f32 report the scalar backend.
+        let out = recover(&[]).unwrap();
+        assert!(out.contains("f32-scalar backend"), "{out}");
+        let out = recover(&["--precision", "f32"]).unwrap();
+        assert!(out.contains("f32-scalar backend"), "{out}");
+        // int8 always resolves to itself (quantization is host-independent).
+        let out = recover(&["--precision", "int8"]).unwrap();
+        assert!(out.contains("int8 backend"), "{out}");
+        // SIMD reports whatever the host resolves to.
+        let out = recover(&["--precision", "f32-simd"]).unwrap();
+        let resolved = rebert::Backend::F32Simd.effective().label();
+        assert!(out.contains(&format!("{resolved} backend")), "{out}");
+        // Unknown labels are a usage error naming the accepted set.
+        let err = recover(&["--precision", "bf16"]).unwrap_err();
+        assert!(err.to_string().contains("--precision accepts"), "{err}");
+    }
+
+    #[test]
+    fn submit_precision_rides_the_header_and_is_validated_locally() {
+        let circuit = rebert_circuits::generate(&Profile::new("subp", 90, 8, 2), 17);
+        let bench = tmp("submit_prec.bench");
+        write_netlist(&circuit.netlist, &bench).unwrap();
+
+        let session = rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 4), 1);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server =
+            rebert_serve::serve(session, listener, rebert_serve::ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        let out = run(&args(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--in",
+            bench.to_str().unwrap(),
+            "--precision",
+            "int8",
+        ]))
+        .unwrap();
+        assert!(out.contains("int8 backend"), "{out}");
+
+        // A bad label never reaches the daemon.
+        let err = run(&args(&[
+            "submit",
+            "--addr",
+            "127.0.0.1:1",
+            "--in",
+            bench.to_str().unwrap(),
+            "--precision",
+            "fp8",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--precision accepts"), "{err}");
         server.shutdown();
     }
 

@@ -16,10 +16,11 @@
 //! order — so taped and tape-free logits agree bit-for-bit (verified by
 //! this module's tests and the `rebert` crate's property tests).
 
-use rebert_tensor::{gelu, row_mean_var, Tensor};
+use rebert_tensor::Tensor;
 
 use crate::bert::{BertClassifier, BertEncoder, EncoderLayer, Pooler};
-use crate::layers::{Embedding, LayerNorm, Linear};
+use crate::engine::Engine;
+use crate::layers::{Embedding, Linear};
 use crate::param::ParamStore;
 
 /// Reusable intermediate buffers for the tape-free forward pass.
@@ -98,41 +99,19 @@ impl InferScratch {
     }
 }
 
-/// `out = x @ W + b`, allocation-free once `out` is warm. Identical
-/// arithmetic to the taped [`Linear::forward`] (matmul, then broadcast
-/// bias add).
-fn linear_into(lin: &Linear, store: &ParamStore, x: &Tensor, out: &mut Tensor) {
-    x.matmul_into(store.get(lin.w), out);
-    out.add_bias_assign(store.get(lin.b));
-}
-
-/// Row-wise layer norm in place, mirroring the taped op bit-for-bit (the
-/// statistics come from the shared [`row_mean_var`]).
-fn layer_norm_inplace(ln: &LayerNorm, store: &ParamStore, x: &mut Tensor) {
-    let gamma = store.get(ln.gamma);
-    let beta = store.get(ln.beta);
-    let cols = x.cols();
-    assert_eq!(gamma.shape(), (1, cols), "gamma shape");
-    assert_eq!(beta.shape(), (1, cols), "beta shape");
-    let g = gamma.data();
-    let b = beta.data();
-    for i in 0..x.rows() {
-        let row = x.row_mut(i);
-        let (mean, var) = row_mean_var(row);
-        let inv = 1.0 / (var + ln.eps).sqrt();
-        for j in 0..cols {
-            let xhat = (row[j] - mean) * inv;
-            row[j] = xhat * g[j] + b[j];
-        }
-    }
-}
-
 impl Linear {
     /// Tape-free forward: `out = x @ W + b` with `out` reused across
-    /// calls. Public so downstream crates can run auxiliary projections
-    /// (e.g. tree-code embeddings) on the inference path.
+    /// calls, on the bitwise scalar backend. Public so downstream crates
+    /// can run auxiliary projections (e.g. tree-code embeddings) on the
+    /// inference path.
     pub fn infer_into(&self, store: &ParamStore, x: &Tensor, out: &mut Tensor) {
-        linear_into(self, store, x, out);
+        Engine::scalar(store).linear_into(self, x, out);
+    }
+
+    /// Backend-routed forward: like [`Linear::infer_into`] but executed
+    /// by `engine` (SIMD kernels, quantized weights, …).
+    pub fn infer_into_with(&self, engine: &Engine<'_>, x: &Tensor, out: &mut Tensor) {
+        engine.linear_into(self, x, out);
     }
 }
 
@@ -178,12 +157,12 @@ impl Embedding {
 }
 
 impl EncoderLayer {
-    /// Tape-free layer application: updates `s.x` in place.
-    fn infer(&self, store: &ParamStore, s: &mut InferScratch) {
+    /// Backend-routed layer application: updates `s.x` in place.
+    fn infer(&self, engine: &Engine<'_>, s: &mut InferScratch) {
         // Multi-head attention into s.attn_out.
-        linear_into(&self.attn.wq, store, &s.x, &mut s.q);
-        linear_into(&self.attn.wk, store, &s.x, &mut s.k);
-        linear_into(&self.attn.wv, store, &s.x, &mut s.v);
+        engine.linear_into(&self.attn.wq, &s.x, &mut s.q);
+        engine.linear_into(&self.attn.wk, &s.x, &mut s.k);
+        engine.linear_into(&self.attn.wv, &s.x, &mut s.v);
         let seq = s.x.rows();
         let d_head = self.attn.d_model / self.attn.n_heads;
         let scale = 1.0 / (d_head as f32).sqrt();
@@ -193,50 +172,57 @@ impl EncoderLayer {
             s.q.col_slice_into(start, d_head, &mut s.qh);
             s.k.col_slice_into(start, d_head, &mut s.kh);
             s.v.col_slice_into(start, d_head, &mut s.vh);
-            // Q @ K^T via an explicit transpose: per-element accumulation
-            // stays in ascending-k order (bit-identical to the taped
-            // `matmul_nt`), but the blocked kernel vectorizes.
-            s.kh.transpose_into(&mut s.kt);
-            s.qh.matmul_into(&s.kt, &mut s.scores);
+            // Q @ K^T. The scalar engine transposes into s.kt and runs
+            // the blocked matmul (ascending-k accumulation, bit-identical
+            // to the taped `matmul_nt`); SIMD engines fuse the transpose
+            // into the `matmul_nt` kernel and never touch s.kt.
+            engine.attn_scores_into(&s.qh, &s.kh, &mut s.kt, &mut s.scores);
             s.scores.scale_assign(scale);
-            s.scores.softmax_rows_inplace();
-            s.scores.matmul_into(&s.vh, &mut s.ctx);
+            engine.softmax_rows_inplace(&mut s.scores);
+            engine.matmul_into(&s.scores, &s.vh, &mut s.ctx);
             for i in 0..seq {
                 s.concat.row_mut(i)[start..start + d_head].copy_from_slice(s.ctx.row(i));
             }
         }
-        linear_into(&self.attn.wo, store, &s.concat, &mut s.attn_out);
+        engine.linear_into(&self.attn.wo, &s.concat, &mut s.attn_out);
 
         // Residual + norm, feed-forward, residual + norm.
         s.x.add_assign(&s.attn_out);
-        layer_norm_inplace(&self.ln1, store, &mut s.x);
-        linear_into(&self.ff1, store, &s.x, &mut s.ff_inner);
-        s.ff_inner.map_inplace(gelu);
-        linear_into(&self.ff2, store, &s.ff_inner, &mut s.ff_out);
+        engine.layer_norm_inplace(&self.ln1, &mut s.x);
+        engine.linear_into(&self.ff1, &s.x, &mut s.ff_inner);
+        engine.gelu_inplace(&mut s.ff_inner);
+        engine.linear_into(&self.ff2, &s.ff_inner, &mut s.ff_out);
         s.x.add_assign(&s.ff_out);
-        layer_norm_inplace(&self.ln2, store, &mut s.x);
+        engine.layer_norm_inplace(&self.ln2, &mut s.x);
     }
 }
 
 impl BertEncoder {
     /// Tape-free encoder stack over the activation in `scratch`
     /// (filled via [`InferScratch::input_mut`]); the result stays in the
-    /// scratch for the pooler.
+    /// scratch for the pooler. Runs the bitwise scalar backend.
     pub fn infer(&self, store: &ParamStore, scratch: &mut InferScratch) {
+        self.infer_with(&Engine::scalar(store), scratch);
+    }
+
+    /// Backend-routed encoder stack: like [`BertEncoder::infer`] but
+    /// executed by `engine`.
+    pub fn infer_with(&self, engine: &Engine<'_>, scratch: &mut InferScratch) {
         for layer in &self.layers {
-            layer.infer(store, scratch);
+            layer.infer(engine, scratch);
         }
     }
 }
 
 impl Pooler {
-    /// Tape-free pooling of the encoded activation in `scratch`: linear +
-    /// tanh over the first token's hidden state.
-    fn infer(&self, store: &ParamStore, s: &mut InferScratch) {
+    /// Backend-routed pooling of the encoded activation in `scratch`:
+    /// linear + tanh over the first token's hidden state. The tanh is a
+    /// single `1 × d_model` row — it stays scalar on every backend.
+    fn infer(&self, engine: &Engine<'_>, s: &mut InferScratch) {
         let d = s.x.cols();
         s.pooled_in.resize(1, d);
         s.pooled_in.row_mut(0).copy_from_slice(s.x.row(0));
-        linear_into(&self.dense, store, &s.pooled_in, &mut s.pooled);
+        engine.linear_into(&self.dense, &s.pooled_in, &mut s.pooled);
         s.pooled.map_inplace(f32::tanh);
     }
 }
@@ -248,11 +234,22 @@ impl BertClassifier {
     /// Produces the same value as the taped [`BertClassifier::logit`]
     /// bit-for-bit, without recording a tape: no parameter clones, no
     /// stored intermediates, and zero allocations once `scratch` is warm.
+    /// Equivalent to [`BertClassifier::infer_logit_with`] on
+    /// [`Engine::scalar`].
     pub fn infer_logit(&self, store: &ParamStore, scratch: &mut InferScratch) -> f32 {
-        self.encoder.infer(store, scratch);
-        self.pooler.infer(store, scratch);
+        self.infer_logit_with(&Engine::scalar(store), scratch)
+    }
+
+    /// Backend-routed classification logit: the same forward pass as
+    /// [`BertClassifier::infer_logit`], executed by `engine` — SIMD
+    /// kernels and/or int8 weights when the engine carries them. Only
+    /// the scalar engine guarantees bitwise identity with the tape;
+    /// other backends are tolerance-equivalent.
+    pub fn infer_logit_with(&self, engine: &Engine<'_>, scratch: &mut InferScratch) -> f32 {
+        self.encoder.infer_with(engine, scratch);
+        self.pooler.infer(engine, scratch);
         let (pooled, logit) = (&scratch.pooled, &mut scratch.logit);
-        linear_into(&self.head, store, pooled, logit);
+        engine.linear_into(&self.head, pooled, logit);
         logit.data()[0]
     }
 }
@@ -329,6 +326,64 @@ mod tests {
         let warm = run(&short, &mut reused);
         let fresh = run(&short, &mut InferScratch::new());
         assert_eq!(warm.to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn simd_and_int8_backends_track_scalar_logits() {
+        use crate::engine::Backend;
+        use crate::quant::QuantStore;
+
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha20Rng::seed_from_u64(11);
+        let cfg = BertConfig::tiny();
+        let model = BertClassifier::new(&mut store, &mut rng, "m", &cfg);
+        let view = QuantStore::build(&store);
+
+        let mut scratch = InferScratch::new();
+        for seq in [1usize, 4, 7] {
+            let x = normal(&mut rng, seq, cfg.d_model, 1.0);
+            let mut run = |backend: Backend| {
+                scratch
+                    .input_mut(x.rows(), x.cols())
+                    .data_mut()
+                    .copy_from_slice(x.data());
+                let engine = Engine::new(&store, Some(&view), backend);
+                model.infer_logit_with(&engine, &mut scratch)
+            };
+            let reference = run(Backend::F32Scalar);
+            let simd = run(Backend::F32Simd);
+            let int8 = run(Backend::Int8);
+            assert!(reference.is_finite());
+            // SIMD reorders accumulation; drift stays at rounding scale.
+            assert!(
+                (simd - reference).abs() <= 1e-4 + 1e-3 * reference.abs(),
+                "seq {seq}: simd {simd} vs scalar {reference}"
+            );
+            // Int8 perturbs the weights themselves; layer norms keep the
+            // drift bounded but it is a genuinely lossy format.
+            assert!(
+                (int8 - reference).abs() <= 0.1 + 0.1 * reference.abs(),
+                "seq {seq}: int8 {int8} vs scalar {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_engine_with_variant_is_bitwise_identical() {
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha20Rng::seed_from_u64(19);
+        let cfg = BertConfig::tiny();
+        let model = BertClassifier::new(&mut store, &mut rng, "m", &cfg);
+        let x = normal(&mut rng, 5, cfg.d_model, 1.0);
+
+        let direct = infer_logit(&model, &store, &x);
+        let mut scratch = InferScratch::new();
+        scratch
+            .input_mut(x.rows(), x.cols())
+            .data_mut()
+            .copy_from_slice(x.data());
+        let via_engine = model.infer_logit_with(&Engine::scalar(&store), &mut scratch);
+        assert_eq!(direct.to_bits(), via_engine.to_bits());
     }
 
     #[test]

@@ -31,15 +31,19 @@
 mod adam;
 mod attention;
 mod bert;
+mod engine;
 mod infer;
 mod layers;
 mod param;
+mod quant;
 mod serialize;
 
 pub use adam::Adam;
 pub use attention::MultiHeadAttention;
 pub use bert::{BertClassifier, BertConfig, BertEncoder, EncoderLayer, Pooler};
+pub use engine::{Backend, Engine};
 pub use infer::InferScratch;
 pub use layers::{Embedding, LayerNorm, Linear};
 pub use param::{Forward, GradAccumulator, ParamId, ParamStore};
+pub use quant::{QuantStore, QuantTensor};
 pub use serialize::{load_params, save_params, CheckpointError};

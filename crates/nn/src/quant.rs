@@ -1,0 +1,202 @@
+//! Post-training int8 weight quantization.
+//!
+//! [`QuantStore`] is a derived, lossy view of a [`ParamStore`]: every
+//! matrix-shaped parameter (`rows >= 2`) is quantized to `i8` with **one
+//! `f32` scale per row** (symmetric max-abs, `scale = absmax / 127`), a
+//! quarter of the f32 footprint. Vector parameters — biases, layer-norm
+//! `gamma`/`beta`, anything with a single row — stay in f32: they are
+//! O(d) data on O(d²) compute, so quantizing them saves nothing and
+//! costs accuracy.
+//!
+//! Per-row scales matter because BERT-style weight matrices have wildly
+//! different row magnitudes after training; one per-tensor scale would
+//! let a single outlier row flatten everyone else's resolution to a few
+//! effective bits. With per-row scales the worst-case relative rounding
+//! error per weight stays at `1/254` of that row's own range.
+//!
+//! The matmul kernels ([`rebert_tensor::kernels::matmul_q8_into`])
+//! accumulate in f32 — quantization changes the *weights*, never the
+//! arithmetic — so int8 logits track f32 logits closely enough that
+//! word-recovery ARI is preserved (gated by the `int8-parity` CI step).
+
+use rebert_tensor::Tensor;
+
+use crate::param::{ParamId, ParamStore};
+
+/// One matrix parameter quantized to `i8` with per-row `f32` scales.
+#[derive(Debug, Clone)]
+pub struct QuantTensor {
+    rows: usize,
+    cols: usize,
+    scales: Vec<f32>,
+    data: Vec<i8>,
+}
+
+impl QuantTensor {
+    /// Quantizes `t` row-by-row: `scale = absmax / 127`, values rounded
+    /// to nearest. An all-zero row gets scale `0` and zero codes.
+    pub fn quantize(t: &Tensor) -> Self {
+        let (rows, cols) = t.shape();
+        let mut scales = Vec::with_capacity(rows);
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row = t.row(r);
+            let absmax = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if absmax == 0.0 { 0.0 } else { absmax / 127.0 };
+            scales.push(scale);
+            if scale == 0.0 {
+                data.extend(std::iter::repeat_n(0i8, cols));
+            } else {
+                data.extend(row.iter().map(|&v| (v / scale).round() as i8));
+            }
+        }
+        QuantTensor {
+            rows,
+            cols,
+            scales,
+            data,
+        }
+    }
+
+    /// `(rows, cols)` of the original matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows (one scale each).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-row scales, length `rows`.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Row-major `i8` codes, length `rows * cols`.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Reconstructs the lossy f32 matrix (`scale[r] * code`), mainly for
+    /// parity tests.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            let codes = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &qv) in out.row_mut(r).iter_mut().zip(codes) {
+                *o = s * qv as f32;
+            }
+        }
+        out
+    }
+}
+
+/// Int8 view of a full [`ParamStore`], indexed by [`ParamId`].
+///
+/// Matrix parameters get a [`QuantTensor`] slot; vector parameters get
+/// `None` and are served from the f32 store. Derived data only — it is
+/// never serialized; checkpoints stay f32 and the view is rebuilt after
+/// any weight update.
+#[derive(Debug, Clone, Default)]
+pub struct QuantStore {
+    slots: Vec<Option<QuantTensor>>,
+}
+
+impl QuantStore {
+    /// Builds the int8 view of `store`: every parameter with at least two
+    /// rows is quantized.
+    pub fn build(store: &ParamStore) -> Self {
+        let slots = store
+            .iter()
+            .map(|(_, _, t)| {
+                if t.rows() >= 2 {
+                    Some(QuantTensor::quantize(t))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        QuantStore { slots }
+    }
+
+    /// The quantized form of parameter `id`, if it was matrix-shaped.
+    pub fn get(&self, id: ParamId) -> Option<&QuantTensor> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Number of parameters that have a quantized slot.
+    pub fn quantized_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total bytes of int8 codes plus scales (the memory the view adds).
+    pub fn quantized_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|q| q.data.len() + q.scales.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+        let n = (rows * cols) as f32;
+        let data = (0..rows * cols)
+            .map(|i| lo + (hi - lo) * i as f32 / (n - 1.0))
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn quantize_bounds_per_row_error_by_half_step() {
+        let t = ramp(5, 16, -3.0, 2.0);
+        let q = QuantTensor::quantize(&t);
+        let back = q.dequantize();
+        for r in 0..5 {
+            let absmax = t.row(r).iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let half_step = absmax / 127.0 / 2.0 + 1e-7;
+            for (a, b) in t.row(r).iter().zip(back.row(r)) {
+                assert!(
+                    (a - b).abs() <= half_step,
+                    "row {r}: {a} vs {b} (half step {half_step})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_quantize_to_zero_scale_and_codes() {
+        let mut t = Tensor::zeros(3, 4);
+        t.row_mut(1).copy_from_slice(&[1.0, -2.0, 0.5, 2.0]);
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.scales()[0], 0.0);
+        assert_eq!(q.scales()[2], 0.0);
+        assert!(q.data()[..4].iter().all(|&v| v == 0));
+        assert_eq!(q.dequantize().row(0), &[0.0; 4]);
+        // The non-zero row keeps its extremes exactly (±absmax hits ±127).
+        assert_eq!(q.dequantize().row(1)[3], 2.0);
+    }
+
+    #[test]
+    fn store_view_quantizes_matrices_only() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", ramp(4, 4, -1.0, 1.0));
+        let b = store.add("b", ramp(1, 4, -1.0, 1.0));
+        let view = QuantStore::build(&store);
+        assert!(view.get(w).is_some());
+        assert!(view.get(b).is_none());
+        assert_eq!(view.quantized_count(), 1);
+        assert_eq!(view.quantized_bytes(), 16 + 4 * 4);
+    }
+}

@@ -75,6 +75,7 @@ pub use metrics::{ari, pair_scores, PairScores};
 pub use model::{resolve_threads, EmbeddingFlags, ReBertConfig, ReBertModel, ScoreScratch};
 pub use persist::{load_model, save_model, PersistError};
 pub use pipeline::{PipelineStats, RecoveredWords};
+pub use rebert_nn::Backend;
 pub use session::{CancelToken, Cancelled, RecoverySession};
 pub use token::{tokenize_bit, PairSequence, Token, Vocab};
 pub use train::{accuracy, train, TrainConfig, TrainReport};

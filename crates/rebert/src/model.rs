@@ -1,9 +1,14 @@
 //! The ReBERT model: the three embedding schemes (§II-B) feeding the
 //! BERT classifier (§II-C).
 
+use std::sync::OnceLock;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use rebert_nn::{BertClassifier, BertConfig, Embedding, Forward, InferScratch, Linear, ParamStore};
+use rebert_nn::{
+    Backend, BertClassifier, BertConfig, Embedding, Engine, Forward, InferScratch, Linear,
+    ParamStore, QuantStore,
+};
 use rebert_tensor::{sigmoid, Tensor, VarId};
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +112,9 @@ pub struct ReBertModel {
     config: ReBertConfig,
     vocab: Vocab,
     store: ParamStore,
+    /// Lazily built int8 view of the parameters, invalidated on any
+    /// mutable store access (training steps, checkpoint loads).
+    quant: OnceLock<QuantStore>,
     word_emb: Embedding,
     pos_emb: Embedding,
     tree_proj: Linear,
@@ -140,6 +148,7 @@ impl ReBertModel {
             config,
             vocab,
             store,
+            quant: OnceLock::new(),
             word_emb,
             pos_emb,
             tree_proj,
@@ -162,12 +171,15 @@ impl ReBertModel {
         &self.store
     }
 
-    /// Mutable access to the parameters (for the optimizer).
+    /// Mutable access to the parameters (for the optimizer). Drops any
+    /// cached int8 view — it would be stale after a weight update.
     pub fn store_mut(&mut self) -> &mut ParamStore {
+        self.quant.take();
         &mut self.store
     }
 
-    /// Replaces the parameter store (checkpoint loading).
+    /// Replaces the parameter store (checkpoint loading). Drops any
+    /// cached int8 view.
     ///
     /// # Panics
     ///
@@ -178,7 +190,24 @@ impl ReBertModel {
             self.store.len(),
             "checkpoint parameter count mismatch"
         );
+        self.quant.take();
         self.store = store;
+    }
+
+    /// The int8 view of the parameters, built on first use and cached
+    /// until the next mutable store access. Building quantizes every
+    /// matrix parameter (one pass over the weights); callers that will
+    /// serve int8 requests should warm it up front.
+    pub fn int8_view(&self) -> &QuantStore {
+        self.quant.get_or_init(|| QuantStore::build(&self.store))
+    }
+
+    /// An inference engine for `backend`, resolved against host
+    /// capability ([`Backend::effective`]). Int8 engines borrow the
+    /// cached [`ReBertModel::int8_view`], building it if needed.
+    pub fn engine(&self, backend: Backend) -> Engine<'_> {
+        let quant = (backend == Backend::Int8).then(|| self.int8_view());
+        Engine::new(&self.store, quant, backend)
     }
 
     /// Builds the combined embedding matrix for a pair sequence and runs
@@ -363,7 +392,19 @@ impl ReBertModel {
     /// bit-for-bit (the inference path mirrors every taped operation),
     /// several times faster, and allocation-free with a warm scratch.
     pub fn predict_with_scratch(&self, pair: &PairSequence, scratch: &mut ScoreScratch) -> f32 {
-        sigmoid(self.infer_logit(pair, scratch))
+        sigmoid(self.infer_logit(pair, scratch, &Engine::scalar(&self.store)))
+    }
+
+    /// Tape-free prediction on an explicit backend. Scalar reproduces
+    /// [`ReBertModel::predict`] bit-for-bit; SIMD and int8 are faster,
+    /// tolerance-equivalent paths (see `Backend`).
+    pub fn predict_with_scratch_backend(
+        &self,
+        pair: &PairSequence,
+        scratch: &mut ScoreScratch,
+        backend: Backend,
+    ) -> f32 {
+        sigmoid(self.infer_logit(pair, scratch, &self.engine(backend)))
     }
 
     /// Tape-free prediction with a one-shot scratch. Prefer
@@ -374,8 +415,11 @@ impl ReBertModel {
     }
 
     /// Builds the combined embedding matrix into the scratch and runs the
-    /// tape-free classifier, mirroring [`ReBertModel::logit_on`] exactly.
-    fn infer_logit(&self, pair: &PairSequence, s: &mut ScoreScratch) -> f32 {
+    /// tape-free classifier on `engine`, mirroring
+    /// [`ReBertModel::logit_on`] exactly on the scalar engine. Embedding
+    /// gathers always read the f32 store — they are memory-bound lookups
+    /// with nothing to vectorize or quantize.
+    fn infer_logit(&self, pair: &PairSequence, s: &mut ScoreScratch, engine: &Engine<'_>) -> f32 {
         let flags = self.config.embeddings;
         s.ids.clear();
         s.ids.extend(pair.tokens.iter().map(|&t| self.vocab.id(t)));
@@ -405,14 +449,14 @@ impl ReBertModel {
                 s.codes.row_mut(i).copy_from_slice(code);
             }
             self.tree_proj
-                .infer_into(&self.store, &s.codes, &mut s.tree_out);
+                .infer_into_with(engine, &s.codes, &mut s.tree_out);
             if have {
                 x.add_assign(&s.tree_out);
             } else {
                 x.data_mut().copy_from_slice(s.tree_out.data());
             }
         }
-        self.classifier.infer_logit(&self.store, &mut s.nn)
+        self.classifier.infer_logit_with(engine, &mut s.nn)
     }
 
     /// Scores a batch of pairs on the tape-free engine, fanning the work
@@ -428,11 +472,25 @@ impl ReBertModel {
         self.score_pair_refs(&refs, threads)
     }
 
+    /// [`ReBertModel::score_pairs`] on an explicit backend. The scalar
+    /// backend is bitwise-identical to [`ReBertModel::score_pairs`];
+    /// SIMD and int8 trade bitwise identity for throughput.
+    pub fn score_pairs_backend(
+        &self,
+        pairs: &[PairSequence],
+        threads: usize,
+        backend: Backend,
+    ) -> Vec<f32> {
+        let refs: Vec<&PairSequence> = pairs.iter().collect();
+        self.score_refs_ctx(&refs, threads, None, None, backend)
+            .expect("uncancellable scoring always completes")
+    }
+
     /// [`ReBertModel::score_pairs`] over borrowed pairs — lets callers
     /// score sequences owned elsewhere (e.g. evaluation samples) without
     /// cloning them.
     pub fn score_pair_refs(&self, pairs: &[&PairSequence], threads: usize) -> Vec<f32> {
-        self.score_refs_ctx(pairs, threads, None, None)
+        self.score_refs_ctx(pairs, threads, None, None, Backend::F32Scalar)
             .expect("uncancellable scoring always completes")
     }
 
@@ -446,26 +504,30 @@ impl ReBertModel {
         cancel: &CancelToken,
     ) -> Option<Vec<f32>> {
         let refs: Vec<&PairSequence> = pairs.iter().collect();
-        self.score_refs_ctx(&refs, threads, Some(cancel), None)
+        self.score_refs_ctx(&refs, threads, Some(cancel), None, Backend::F32Scalar)
     }
 
-    /// The shared scoring loop: optional cancellation, and optionally a
+    /// The shared scoring loop: optional cancellation, optionally a
     /// [`ScratchPool`] so resident sessions reuse warm buffers instead of
-    /// allocating per call.
+    /// allocating per call, and an execution backend. The engine (and any
+    /// int8 view it needs) is resolved once here, before the fan-out, so
+    /// workers share one immutable engine.
     pub(crate) fn score_refs_ctx(
         &self,
         pairs: &[&PairSequence],
         threads: usize,
         cancel: Option<&CancelToken>,
         scratches: Option<&ScratchPool>,
+        backend: Backend,
     ) -> Option<Vec<f32>> {
+        let engine = self.engine(backend);
         crate::par::try_par_map_batched(
             pairs,
             threads,
             SCORE_BATCH,
             cancel,
             || scratches.map_or_else(ScratchLease::fresh, ScratchPool::lease),
-            |lease, p| self.predict_with_scratch(p, lease.scratch_mut()),
+            |lease, p| sigmoid(self.infer_logit(p, lease.scratch_mut(), &engine)),
         )
     }
 }
@@ -551,5 +613,60 @@ mod batch_tests {
     fn resolve_threads_zero_means_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn backend_scoring_tracks_scalar() {
+        use rebert_nn::Backend;
+
+        let cfg = ReBertConfig::tiny();
+        let model = ReBertModel::new(cfg.clone(), 5);
+        let pairs = demo_pairs(&cfg);
+        let reference = model.score_pairs(&pairs, 1);
+        // The scalar backend IS the default path, bit for bit.
+        assert_eq!(
+            model.score_pairs_backend(&pairs, 1, Backend::F32Scalar),
+            reference
+        );
+        // SIMD and int8 probabilities stay close after the sigmoid.
+        for backend in [Backend::F32Simd, Backend::Int8] {
+            let scored = model.score_pairs_backend(&pairs, 2, backend);
+            assert_eq!(scored.len(), reference.len());
+            for (s, r) in scored.iter().zip(&reference) {
+                assert!(
+                    (s - r).abs() <= 0.05,
+                    "{backend}: probability {s} vs scalar {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_view_rebuilds_after_weight_updates() {
+        use rebert_nn::Backend;
+
+        let cfg = ReBertConfig::tiny();
+        let mut model = ReBertModel::new(cfg.clone(), 5);
+        let pair = demo_pairs(&cfg).remove(0);
+        let mut scratch = ScoreScratch::new();
+        let before = model.predict_with_scratch_backend(&pair, &mut scratch, Backend::Int8);
+
+        // Flip the sign of one feed-forward weight matrix through the
+        // invalidating accessor; a stale cached view would keep serving
+        // the old prediction.
+        let target = model
+            .store()
+            .iter()
+            .find(|(_, name, t)| name.contains("ff1") && t.rows() >= 2)
+            .map(|(id, _, _)| id)
+            .expect("model has a feed-forward weight matrix");
+        model
+            .store_mut()
+            .get_mut(target)
+            .data_mut()
+            .iter_mut()
+            .for_each(|v| *v = -*v);
+        let after = model.predict_with_scratch_backend(&pair, &mut scratch, Backend::Int8);
+        assert_ne!(before.to_bits(), after.to_bits());
     }
 }

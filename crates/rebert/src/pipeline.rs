@@ -13,6 +13,7 @@
 use std::time::{Duration, Instant};
 
 use rebert_netlist::Netlist;
+use rebert_nn::Backend;
 use rebert_obs as obs;
 
 use crate::dataset::{bit_sequences, ConeClasses};
@@ -54,6 +55,10 @@ pub struct PipelineStats {
     /// nothing was scored). With memoization this exceeds the model's raw
     /// per-call throughput.
     pub pairs_per_sec: f64,
+    /// The inference backend that actually scored the pairs — the
+    /// *resolved* choice ([`rebert_nn::Backend::effective`] plus int8
+    /// availability), not necessarily what the caller requested.
+    pub backend: Backend,
     /// Time spent tokenizing bit fan-in cones into sequences.
     pub tokenize_time: Duration,
     /// Time spent classifying cones, Jaccard-filtering, and assembling
@@ -117,6 +122,8 @@ pub(crate) struct RunCtx<'a> {
     pub cancel: Option<&'a CancelToken>,
     /// Warm scratch buffers from a resident session.
     pub scratches: Option<&'a ScratchPool>,
+    /// Requested inference backend for the scorer (resolved per host).
+    pub backend: Backend,
 }
 
 /// Outcome of one unordered class pair in the parallel filter/assembly
@@ -169,12 +176,28 @@ impl ReBertModel {
     /// score matrix are **bitwise-identical** to the per-bit-pair
     /// reference path for every thread count.
     pub fn recover_words_with(&self, nl: &Netlist, threads: usize) -> RecoveredWords {
+        self.recover_words_backend(nl, threads, Backend::F32Scalar)
+    }
+
+    /// [`ReBertModel::recover_words_with`] on an explicit inference
+    /// backend. The scalar backend (the default everywhere else) keeps
+    /// the bitwise-reproducibility guarantees; `F32Simd` and `Int8`
+    /// produce tolerance-equivalent scores several times faster. The
+    /// backend that actually ran is reported in
+    /// [`PipelineStats::backend`].
+    pub fn recover_words_backend(
+        &self,
+        nl: &Netlist,
+        threads: usize,
+        backend: Backend,
+    ) -> RecoveredWords {
         self.run_recovery(
             nl,
             RunCtx {
                 threads,
                 cancel: None,
                 scratches: None,
+                backend,
             },
         )
         .expect("recovery without a cancel token always completes")
@@ -195,6 +218,10 @@ impl ReBertModel {
         let start = Instant::now();
         let cfg = self.config();
         let threads = ctx.threads;
+        // Resolve the backend once up front: this also warms the int8
+        // view (outside the timed score phase) and fixes the label that
+        // stats and metrics will report.
+        let backend = self.engine(ctx.backend).backend();
         let warnings = netlist_warnings(nl);
 
         let seqs = bit_sequences(nl, cfg.k_levels, cfg.code_width);
@@ -309,7 +336,7 @@ impl ReBertModel {
         let mut sp_score = obs::span(obs::Level::Info, "pipeline", "score");
         let score_start = Instant::now();
         let pair_refs: Vec<&PairSequence> = pairs.iter().collect();
-        let scores = self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches);
+        let scores = self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches, backend);
         let scores = match scores {
             Some(s) => s,
             None => {
@@ -356,6 +383,7 @@ impl ReBertModel {
                 scored,
                 classes: k,
                 class_pairs_scored: pairs.len(),
+                backend,
                 tokenize_time,
                 filter_time,
                 score_time,
@@ -428,6 +456,9 @@ impl ReBertModel {
                 scored,
                 classes: 0,
                 class_pairs_scored: scored,
+                // The reference path exists for bitwise equivalence
+                // checks, so it is pinned to the scalar backend.
+                backend: Backend::F32Scalar,
                 tokenize_time,
                 filter_time,
                 score_time,
@@ -476,6 +507,7 @@ impl ReBertModel {
                 class_pairs_scored: p.class_pairs_scored,
                 pairs_memoized: p.scored - p.class_pairs_scored,
                 pairs_per_sec,
+                backend: p.backend,
                 tokenize_time: p.tokenize_time,
                 filter_time: p.filter_time,
                 score_time: p.score_time,
@@ -505,6 +537,7 @@ struct PipelinePhases {
     scored: usize,
     classes: usize,
     class_pairs_scored: usize,
+    backend: Backend,
     tokenize_time: Duration,
     filter_time: Duration,
     score_time: Duration,
@@ -686,9 +719,7 @@ mod tests {
             .unwrap();
         let batches: Vec<_> = records
             .iter()
-            .filter(|r| {
-                r.kind == Kind::Begin && r.name == "batch" && r.parent == score_begin.span
-            })
+            .filter(|r| r.kind == Kind::Begin && r.name == "batch" && r.parent == score_begin.span)
             .collect();
         assert!(
             batches.len() >= 2,
@@ -708,6 +739,32 @@ mod tests {
                 "batch span at index {:?} never completed",
                 b.fields
             );
+        }
+    }
+
+    #[test]
+    fn backend_recovery_reports_and_tracks_scalar() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 9);
+        let c = generate(&Profile::new("demo", 90, 12, 3), 5);
+        let scalar = model.recover_words_with(&c.netlist, 1);
+        assert_eq!(scalar.stats.backend, Backend::F32Scalar);
+
+        for requested in [Backend::F32Simd, Backend::Int8] {
+            let rec = model.recover_words_backend(&c.netlist, 2, requested);
+            // The reported backend is the resolved one (scalar hosts
+            // degrade F32Simd; Int8 always has the scalar q8 kernel).
+            assert_eq!(rec.stats.backend, requested.effective());
+            assert_eq!(rec.assignment.len(), 12);
+            // Scores are tolerance-equivalent to the scalar path.
+            for i in 0..12 {
+                for j in (i + 1)..12 {
+                    let (a, b) = (rec.score_matrix.get(i, j), scalar.score_matrix.get(i, j));
+                    assert!(
+                        (a - b).abs() <= 0.05,
+                        "{requested}: score ({i},{j}) {a} vs {b}"
+                    );
+                }
+            }
         }
     }
 
@@ -735,6 +792,7 @@ mod tests {
                 class_pairs_scored: 0,
                 pairs_memoized: 0,
                 pairs_per_sec: 0.0,
+                backend: Backend::F32Scalar,
                 tokenize_time: Duration::ZERO,
                 filter_time: Duration::ZERO,
                 score_time: Duration::ZERO,
@@ -774,8 +832,17 @@ mod tests {
         // The reference path reports the same pre-phase warnings.
         let reference = model.recover_words_reference(&nl, 1);
         assert_eq!(
-            reference.stats.warnings.iter().filter(|w| w.contains("no driver")).count(),
-            rec.stats.warnings.iter().filter(|w| w.contains("no driver")).count()
+            reference
+                .stats
+                .warnings
+                .iter()
+                .filter(|w| w.contains("no driver"))
+                .count(),
+            rec.stats
+                .warnings
+                .iter()
+                .filter(|w| w.contains("no driver"))
+                .count()
         );
     }
 

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rebert_netlist::Netlist;
+use rebert_nn::Backend;
 
 use crate::model::{ReBertModel, ScoreScratch};
 use crate::pipeline::{RecoveredWords, RunCtx};
@@ -216,6 +217,19 @@ impl RecoverySession {
         nl: &Netlist,
         cancel: &CancelToken,
     ) -> Result<RecoveredWords, Cancelled> {
+        self.try_recover_with(nl, cancel, Backend::F32Scalar)
+    }
+
+    /// [`RecoverySession::try_recover`] on an explicit inference backend
+    /// — the per-request precision knob the serving layer exposes as
+    /// `X-Rebert-Precision`. The resolved backend is reported in the
+    /// result's stats.
+    pub fn try_recover_with(
+        &self,
+        nl: &Netlist,
+        cancel: &CancelToken,
+        backend: Backend,
+    ) -> Result<RecoveredWords, Cancelled> {
         self.model
             .run_recovery(
                 nl,
@@ -223,6 +237,7 @@ impl RecoverySession {
                     threads: self.threads,
                     cancel: Some(cancel),
                     scratches: Some(&self.scratches),
+                    backend,
                 },
             )
             .ok_or(Cancelled)
@@ -264,8 +279,8 @@ mod tests {
     #[test]
     fn session_is_thread_count_invariant() {
         let c = generate(&Profile::new("demo", 90, 10, 3), 6);
-        let base = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), 1)
-            .recover(&c.netlist);
+        let base =
+            RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), 1).recover(&c.netlist);
         for threads in [2usize, 4] {
             let session = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 3), threads);
             assert_eq!(
@@ -297,7 +312,10 @@ mod tests {
 
         let token = CancelToken::new();
         token.cancel();
-        assert_eq!(session.try_recover(&c.netlist, &token).unwrap_err(), Cancelled);
+        assert_eq!(
+            session.try_recover(&c.netlist, &token).unwrap_err(),
+            Cancelled
+        );
 
         // An expired deadline behaves the same way.
         let expired = CancelToken::with_deadline(Duration::ZERO);
@@ -318,6 +336,25 @@ mod tests {
         let token = CancelToken::with_deadline(Duration::from_secs(600));
         let rec = session.try_recover(&c.netlist, &token).expect("finishes");
         assert_eq!(rec.assignment, session.recover(&c.netlist).assignment);
+    }
+
+    #[test]
+    fn session_backend_knob_reports_resolved_backend() {
+        let session = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 13), 1);
+        let c = generate(&Profile::new("demo", 100, 12, 3), 4);
+        let scalar = session.recover(&c.netlist);
+        assert_eq!(scalar.stats.backend, Backend::F32Scalar);
+
+        let token = CancelToken::new();
+        let int8 = session
+            .try_recover_with(&c.netlist, &token, Backend::Int8)
+            .expect("untripped token completes");
+        assert_eq!(int8.stats.backend, Backend::Int8);
+        assert_eq!(int8.assignment.len(), 12);
+        // Sessions stay reusable and bitwise on the default path after
+        // serving an int8 request.
+        let again = session.recover(&c.netlist);
+        assert_eq!(again.assignment, scalar.assignment);
     }
 
     #[test]

@@ -108,6 +108,27 @@ pub fn submit_recover(
     format: Option<&str>,
     deadline_ms: Option<u64>,
 ) -> std::io::Result<HttpReply> {
+    submit_recover_with(addr, netlist_text, format, deadline_ms, None)
+}
+
+/// Submits a netlist to `POST /recover` with an explicit backend.
+///
+/// `precision` is a backend label (`f32`, `f32-simd`, `int8`) sent as
+/// `X-Rebert-Precision`, or `None` for the daemon's default (scalar).
+/// The label is passed through verbatim — an unknown value earns a 400
+/// reply with a diagnostic body rather than a client-side error.
+///
+/// # Errors
+///
+/// Transport or reply-parse failure; HTTP-level errors (400/503/504)
+/// come back as a normal [`HttpReply`].
+pub fn submit_recover_with(
+    addr: impl ToSocketAddrs,
+    netlist_text: &str,
+    format: Option<&str>,
+    deadline_ms: Option<u64>,
+    precision: Option<&str>,
+) -> std::io::Result<HttpReply> {
     let deadline_text = deadline_ms.map(|ms| ms.to_string());
     let mut headers: Vec<(&str, &str)> = Vec::new();
     if let Some(f) = format {
@@ -115,6 +136,9 @@ pub fn submit_recover(
     }
     if let Some(d) = &deadline_text {
         headers.push(("X-Rebert-Deadline-Ms", d));
+    }
+    if let Some(p) = precision {
+        headers.push(("X-Rebert-Precision", p));
     }
     http_request(addr, "POST", "/recover", &headers, netlist_text.as_bytes())
 }

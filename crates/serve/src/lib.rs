@@ -10,7 +10,7 @@
 //!
 //! | Endpoint          | Semantics |
 //! |-------------------|-----------|
-//! | `POST /recover`   | Body is a `.bench` or Verilog netlist (`X-Rebert-Format: bench\|verilog`, sniffed otherwise). Optional `X-Rebert-Deadline-Ms` bounds the recovery. Returns recovered words + pipeline stats as JSON. |
+//! | `POST /recover`   | Body is a `.bench` or Verilog netlist (`X-Rebert-Format: bench\|verilog`, sniffed otherwise). Optional `X-Rebert-Deadline-Ms` bounds the recovery; optional `X-Rebert-Precision: f32\|f32-simd\|int8` selects the scoring backend (unknown values get `400`). Returns recovered words + pipeline stats as JSON. |
 //! | `GET /healthz`    | Liveness probe (`200 ok`). |
 //! | `GET /metrics`    | Prometheus text exposition: request counters, queue depth, in-flight gauge, per-phase timing histograms, pairs/sec, cone-dedup counters. |
 //! | `POST /shutdown`  | Requests a graceful drain (also triggered by SIGINT/SIGTERM). |
@@ -56,6 +56,6 @@ pub mod metrics;
 pub mod queue;
 mod server;
 
-pub use client::{http_request, submit_recover, HttpReply};
+pub use client::{http_request, submit_recover, submit_recover_with, HttpReply};
 pub use metrics::Metrics;
 pub use server::{run_until_shutdown, serve, signals, ServeConfig, Server};

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use rebert::PipelineStats;
+use rebert::{Backend, PipelineStats};
 
 /// Histogram bucket upper bounds, in seconds. Spans sub-millisecond
 /// grouping up to multi-second scoring runs; `+Inf` is implicit.
@@ -88,7 +88,8 @@ impl Histogram {
             .position(|&le| secs <= le)
             .unwrap_or(BUCKETS.len());
         self.counts[slot].inc();
-        self.sum_micros.add(d.as_micros().min(u64::MAX as u128) as u64);
+        self.sum_micros
+            .add(d.as_micros().min(u64::MAX as u128) as u64);
         self.count.inc();
     }
 
@@ -106,7 +107,11 @@ impl Histogram {
         cumulative += self.counts[BUCKETS.len()].get();
         let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {cumulative}");
         let sum = self.sum_micros.get() as f64 / 1e6;
-        let _ = writeln!(out, "{name}_sum{{{trim}}} {sum}", trim = labels.trim_end_matches(','));
+        let _ = writeln!(
+            out,
+            "{name}_sum{{{trim}}} {sum}",
+            trim = labels.trim_end_matches(',')
+        );
         let _ = writeln!(
             out,
             "{name}_count{{{trim}}} {count}",
@@ -145,8 +150,23 @@ pub struct Metrics {
     /// Scoring throughput of the most recent completed recovery,
     /// stored as `f64::to_bits`.
     last_pairs_per_sec: AtomicU64,
+    /// Completed recoveries per inference backend, indexed like
+    /// [`Backend::ALL`]. The label is the *resolved* backend — what
+    /// actually scored the pairs, not what the client requested.
+    backend_requests: [Counter; Backend::ALL.len()],
+    /// Most recent scoring throughput per backend (`f64::to_bits`; zero
+    /// bits until that backend has completed a recovery).
+    backend_pairs_per_sec: [AtomicU64; Backend::ALL.len()],
     /// Per-phase recovery timing histograms, indexed like [`PHASES`].
     phase: [Histogram; PHASES.len()],
+}
+
+/// Index of `backend` into the [`Backend::ALL`]-shaped metric arrays.
+fn backend_slot(backend: Backend) -> usize {
+    Backend::ALL
+        .iter()
+        .position(|b| *b == backend)
+        .expect("Backend::ALL covers every variant")
 }
 
 impl Metrics {
@@ -186,6 +206,9 @@ impl Metrics {
         self.classes_total.add(stats.classes as u64);
         self.last_pairs_per_sec
             .store(stats.pairs_per_sec.to_bits(), Ordering::Relaxed);
+        let slot = backend_slot(stats.backend);
+        self.backend_requests[slot].inc();
+        self.backend_pairs_per_sec[slot].store(stats.pairs_per_sec.to_bits(), Ordering::Relaxed);
         let durations = [
             stats.tokenize_time,
             stats.filter_time,
@@ -196,6 +219,17 @@ impl Metrics {
         for (h, d) in self.phase.iter().zip(durations) {
             h.observe(d);
         }
+    }
+
+    /// Completed recoveries recorded for `backend`.
+    pub fn backend_request_count(&self, backend: Backend) -> u64 {
+        self.backend_requests[backend_slot(backend)].get()
+    }
+
+    /// Most recent scoring throughput recorded for `backend` (0.0 until
+    /// that backend completes a recovery).
+    pub fn backend_pairs_per_sec(&self, backend: Backend) -> f64 {
+        f64::from_bits(self.backend_pairs_per_sec[backend_slot(backend)].load(Ordering::Relaxed))
     }
 
     /// The per-phase histogram for one of [`PHASES`].
@@ -211,8 +245,11 @@ impl Metrics {
         let mut out = String::with_capacity(4096);
 
         out.push_str("# HELP rebert_requests_total Finished HTTP requests by endpoint and outcome.\n# TYPE rebert_requests_total counter\n");
-        for ((endpoint, outcome), count) in
-            self.requests.lock().expect("metrics request map lock").iter()
+        for ((endpoint, outcome), count) in self
+            .requests
+            .lock()
+            .expect("metrics request map lock")
+            .iter()
         {
             let _ = writeln!(
                 out,
@@ -221,17 +258,60 @@ impl Metrics {
         }
 
         let gauges_and_counters: [(&str, &str, &str, u64); 8] = [
-            ("rebert_queue_depth", "gauge", "Jobs waiting in the bounded queue.", self.queue_depth.get()),
-            ("rebert_inflight", "gauge", "Recoveries executing right now.", self.inflight.get()),
-            ("rebert_rejected_total", "counter", "Jobs refused with 503 (queue full or shutting down).", self.rejected_total.get()),
-            ("rebert_deadline_exceeded_total", "counter", "Jobs aborted by their deadline (504).", self.deadline_total.get()),
-            ("rebert_pairs_scored_total", "counter", "Cumulative bit pairs scored, memoized broadcasts included.", self.pairs_scored_total.get()),
-            ("rebert_class_pairs_scored_total", "counter", "Cumulative unique class-pair model calls.", self.class_pairs_scored_total.get()),
-            ("rebert_pairs_memoized_total", "counter", "Cumulative bit pairs served from the class-pair memo.", self.pairs_memoized_total.get()),
-            ("rebert_cone_classes_total", "counter", "Cumulative cone classes across recoveries.", self.classes_total.get()),
+            (
+                "rebert_queue_depth",
+                "gauge",
+                "Jobs waiting in the bounded queue.",
+                self.queue_depth.get(),
+            ),
+            (
+                "rebert_inflight",
+                "gauge",
+                "Recoveries executing right now.",
+                self.inflight.get(),
+            ),
+            (
+                "rebert_rejected_total",
+                "counter",
+                "Jobs refused with 503 (queue full or shutting down).",
+                self.rejected_total.get(),
+            ),
+            (
+                "rebert_deadline_exceeded_total",
+                "counter",
+                "Jobs aborted by their deadline (504).",
+                self.deadline_total.get(),
+            ),
+            (
+                "rebert_pairs_scored_total",
+                "counter",
+                "Cumulative bit pairs scored, memoized broadcasts included.",
+                self.pairs_scored_total.get(),
+            ),
+            (
+                "rebert_class_pairs_scored_total",
+                "counter",
+                "Cumulative unique class-pair model calls.",
+                self.class_pairs_scored_total.get(),
+            ),
+            (
+                "rebert_pairs_memoized_total",
+                "counter",
+                "Cumulative bit pairs served from the class-pair memo.",
+                self.pairs_memoized_total.get(),
+            ),
+            (
+                "rebert_cone_classes_total",
+                "counter",
+                "Cumulative cone classes across recoveries.",
+                self.classes_total.get(),
+            ),
         ];
         for (name, kind, help, value) in gauges_and_counters {
-            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}");
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}"
+            );
         }
 
         let pps = f64::from_bits(self.last_pairs_per_sec.load(Ordering::Relaxed));
@@ -240,9 +320,32 @@ impl Metrics {
             "# HELP rebert_pairs_per_sec Scoring throughput of the most recent recovery.\n# TYPE rebert_pairs_per_sec gauge\nrebert_pairs_per_sec {pps}"
         );
 
+        out.push_str("# HELP rebert_backend_requests_total Completed recoveries by resolved inference backend.\n# TYPE rebert_backend_requests_total counter\n");
+        for backend in Backend::ALL {
+            let _ = writeln!(
+                out,
+                "rebert_backend_requests_total{{backend=\"{}\"}} {}",
+                backend.label(),
+                self.backend_request_count(backend)
+            );
+        }
+        out.push_str("# HELP rebert_backend_pairs_per_sec Most recent scoring throughput by resolved inference backend.\n# TYPE rebert_backend_pairs_per_sec gauge\n");
+        for backend in Backend::ALL {
+            let _ = writeln!(
+                out,
+                "rebert_backend_pairs_per_sec{{backend=\"{}\"}} {}",
+                backend.label(),
+                self.backend_pairs_per_sec(backend)
+            );
+        }
+
         out.push_str("# HELP rebert_phase_seconds Recovery pipeline phase durations.\n# TYPE rebert_phase_seconds histogram\n");
         for (phase, h) in PHASES.iter().zip(&self.phase) {
-            h.render(&mut out, "rebert_phase_seconds", &format!("phase=\"{phase}\","));
+            h.render(
+                &mut out,
+                "rebert_phase_seconds",
+                &format!("phase=\"{phase}\","),
+            );
         }
         out
     }
@@ -261,6 +364,7 @@ mod tests {
             class_pairs_scored: 4,
             pairs_memoized: 2,
             pairs_per_sec: 123.5,
+            backend: Backend::F32Scalar,
             tokenize_time: Duration::from_micros(800),
             filter_time: Duration::from_millis(3),
             score_time: Duration::from_millis(40),
@@ -342,11 +446,46 @@ mod tests {
             "rebert_pairs_per_sec",
             "rebert_phase_seconds",
         ] {
-            assert!(text.contains(&format!("# HELP {family} ")), "missing HELP for {family}");
-            assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}"
+            );
         }
         assert!(text.contains("rebert_phase_seconds_bucket{phase=\"score\",le=\"+Inf\"} 1"));
         assert!(text.contains("rebert_phase_seconds_count{phase=\"total\"} 1"));
         assert!(text.contains("rebert_pairs_per_sec 123.5"));
+        for family in [
+            "rebert_backend_requests_total",
+            "rebert_backend_pairs_per_sec",
+        ] {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+        }
+        assert!(text.contains("rebert_backend_requests_total{backend=\"f32-scalar\"} 1"));
+        assert!(text.contains("rebert_backend_requests_total{backend=\"int8\"} 0"));
+        assert!(text.contains("rebert_backend_pairs_per_sec{backend=\"f32-scalar\"} 123.5"));
+    }
+
+    #[test]
+    fn backend_metrics_track_each_backend_separately() {
+        let m = Metrics::new();
+        let mut stats = sample_stats();
+        m.record_recovery(&stats);
+        stats.backend = Backend::Int8;
+        stats.pairs_per_sec = 500.0;
+        m.record_recovery(&stats);
+        m.record_recovery(&stats);
+        assert_eq!(m.backend_request_count(Backend::F32Scalar), 1);
+        assert_eq!(m.backend_request_count(Backend::Int8), 2);
+        assert_eq!(m.backend_request_count(Backend::F32Simd), 0);
+        assert_eq!(m.backend_pairs_per_sec(Backend::F32Scalar), 123.5);
+        assert_eq!(m.backend_pairs_per_sec(Backend::Int8), 500.0);
+        assert_eq!(m.backend_pairs_per_sec(Backend::F32Simd), 0.0);
     }
 }

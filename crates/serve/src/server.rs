@@ -18,7 +18,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rebert::json::Json;
-use rebert::{CancelToken, Cancelled, RecoveredWords, RecoverySession};
+use rebert::{Backend, CancelToken, Cancelled, RecoveredWords, RecoverySession};
 use rebert_netlist::{parse_bench, parse_verilog, Netlist};
 use rebert_obs as obs;
 use rebert_obs::RingSink;
@@ -62,6 +62,9 @@ impl Default for ServeConfig {
 struct Job {
     netlist: Arc<Netlist>,
     deadline: Option<Instant>,
+    /// Inference backend requested via `X-Rebert-Precision` (validated
+    /// on the connection thread; default scalar).
+    backend: Backend,
     reply: mpsc::Sender<Result<RecoveredWords, Cancelled>>,
     /// Tracing context captured on the connection thread: the request's
     /// root span plus its `request_id` field. The executor adopts it so
@@ -104,6 +107,10 @@ pub fn serve(
 ) -> std::io::Result<Server> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    // Warm the int8 weight view before accepting traffic, so the first
+    // `X-Rebert-Precision: int8` request does not pay the one-off
+    // quantization pass inside its own deadline.
+    session.model().int8_view();
     let trace = Arc::new(RingSink::new(config.trace_capacity, config.trace_level));
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
@@ -209,7 +216,7 @@ fn executor_loop(session: &RecoverySession, shared: &Shared) {
         // everything under it) parents under the request's root span and
         // carries its `request_id` field, even though it runs over here.
         let _tracing = obs::enter_ctx(&job.trace);
-        let result = session.try_recover(&job.netlist, &token);
+        let result = session.try_recover_with(&job.netlist, &token, job.backend);
         match &result {
             Ok(rec) => shared.metrics.record_recovery(&rec.stats),
             Err(Cancelled) => shared.metrics.deadline_total.inc(),
@@ -338,7 +345,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 
 /// A JSON `{"error": …}` body with the given status.
 fn error_response(status: u16, message: &str) -> Response {
-    Response::json(status, &Json::Obj(vec![("error".into(), Json::str(message))]))
+    Response::json(
+        status,
+        &Json::Obj(vec![("error".into(), Json::str(message))]),
+    )
 }
 
 /// Dispatches one parsed request.
@@ -466,6 +476,22 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
         return Response::json(422, &Json::Obj(fields));
     }
 
+    let backend = match req.header("x-rebert-precision") {
+        Some(raw) => match Backend::parse(raw) {
+            Some(b) => b,
+            None => {
+                shared.metrics.count_request("recover", "bad_request");
+                return error_response(
+                    400,
+                    &format!(
+                        "unknown X-Rebert-Precision `{raw}` (expected `f32`, `f32-simd`, or `int8`)"
+                    ),
+                );
+            }
+        },
+        None => Backend::F32Scalar,
+    };
+
     let deadline = match req.header("x-rebert-deadline-ms") {
         Some(raw) => match raw.parse::<u64>() {
             Ok(ms) => Some(arrival + Duration::from_millis(ms)),
@@ -481,6 +507,7 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
     let job = Job {
         netlist: Arc::clone(&netlist),
         deadline,
+        backend,
         reply: tx,
         trace: obs::current_ctx(),
     };
@@ -527,7 +554,12 @@ pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
             .map(|w| Json::Arr(w.into_iter().map(|b| Json::uint(b as u64)).collect()))
             .collect(),
     );
-    let assignment = Json::Arr(rec.assignment.iter().map(|&w| Json::uint(w as u64)).collect());
+    let assignment = Json::Arr(
+        rec.assignment
+            .iter()
+            .map(|&w| Json::uint(w as u64))
+            .collect(),
+    );
     let s = &rec.stats;
     let micros = |d: Duration| Json::uint(d.as_micros().min(u64::MAX as u128) as u64);
     let stats = Json::Obj(vec![
@@ -541,6 +573,7 @@ pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
         ),
         ("pairs_memoized".into(), Json::uint(s.pairs_memoized as u64)),
         ("pairs_per_sec".into(), Json::num(s.pairs_per_sec)),
+        ("backend".into(), Json::str(s.backend.label())),
         ("tokenize_us".into(), micros(s.tokenize_time)),
         ("filter_us".into(), micros(s.filter_time)),
         ("score_us".into(), micros(s.score_time)),

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use rebert::{ReBertConfig, ReBertModel, RecoverySession};
 use rebert_circuits::{generate, GeneratedCircuit, Profile};
 use rebert_netlist::{parse_bench, write_bench, write_verilog};
-use rebert_serve::{http_request, serve, submit_recover, ServeConfig, Server};
+use rebert_serve::{http_request, serve, submit_recover, submit_recover_with, ServeConfig, Server};
 
 /// Boots a daemon on an ephemeral loopback port.
 fn boot(model: ReBertModel, threads: usize, queue: usize, deadline: Option<Duration>) -> Server {
@@ -42,7 +42,8 @@ fn heavy_setup() -> (ReBertModel, GeneratedCircuit) {
 }
 
 fn json_field<'a>(json: &'a rebert::json::Json, key: &str) -> &'a rebert::json::Json {
-    json.get(key).unwrap_or_else(|| panic!("missing field `{key}`"))
+    json.get(key)
+        .unwrap_or_else(|| panic!("missing field `{key}`"))
 }
 
 #[test]
@@ -209,9 +210,22 @@ fn malformed_inputs_get_400s() {
     assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
 
     // Unknown endpoint and wrong method.
-    assert_eq!(http_request(addr, "GET", "/nope", &[], b"").unwrap().status, 404);
-    assert_eq!(http_request(addr, "PUT", "/recover", &[], b"").unwrap().status, 405);
-    assert_eq!(http_request(addr, "POST", "/metrics", &[], b"").unwrap().status, 405);
+    assert_eq!(
+        http_request(addr, "GET", "/nope", &[], b"").unwrap().status,
+        404
+    );
+    assert_eq!(
+        http_request(addr, "PUT", "/recover", &[], b"")
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        http_request(addr, "POST", "/metrics", &[], b"")
+            .unwrap()
+            .status,
+        405
+    );
     server.shutdown();
 }
 
@@ -332,10 +346,7 @@ fn debug_trace_correlates_requests_with_their_header_id() {
 
     let trace = http_request(addr, "GET", "/debug/trace", &[], b"").unwrap();
     assert_eq!(trace.status, 200);
-    assert!(trace
-        .header("Content-Type")
-        .unwrap()
-        .contains("ndjson"));
+    assert!(trace.header("Content-Type").unwrap().contains("ndjson"));
     let body = trace.body_text();
     let mut lines = body.lines();
     let meta = rebert::json::Json::parse(lines.next().expect("meta line")).expect("meta parses");
@@ -363,7 +374,10 @@ fn debug_trace_correlates_requests_with_their_header_id() {
                 && id_of(r).as_deref() == Some(request_id.as_str())
         })
         .expect("root request span with the header's id");
-    let root_span = root.get("span").and_then(rebert::json::Json::as_usize).unwrap();
+    let root_span = root
+        .get("span")
+        .and_then(rebert::json::Json::as_usize)
+        .unwrap();
     // The pipeline ran on the executor thread, yet its `recover` span
     // parents under that request root and inherits the id field.
     let recover = records
@@ -443,16 +457,26 @@ fn parse_prometheus(text: &str) -> Vec<Sample> {
             continue;
         }
         assert!(!line.starts_with('#'), "unexpected comment `{line}`");
-        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad sample `{line}`"));
-        let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in `{line}`"));
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad sample `{line}`"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value in `{line}`"));
         assert!(value.is_finite(), "non-finite value in `{line}`");
         let (name, labels) = match series.split_once('{') {
             Some((name, rest)) => {
-                let rest = rest.strip_suffix('}').unwrap_or_else(|| panic!("unclosed labels `{line}`"));
+                let rest = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unclosed labels `{line}`"));
                 let mut labels = Vec::new();
                 for pair in rest.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair.split_once('=').unwrap_or_else(|| panic!("bad label `{pair}`"));
-                    let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"'))
+                    let (k, v) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("bad label `{pair}`"));
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
                         .unwrap_or_else(|| panic!("unquoted label value `{pair}`"));
                     labels.push((k.to_owned(), v.to_owned()));
                 }
@@ -461,7 +485,11 @@ fn parse_prometheus(text: &str) -> Vec<Sample> {
             }
             None => (series.to_owned(), Vec::new()),
         };
-        samples.push(Sample { name, labels, value });
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
     }
     for s in &samples {
         let family = s
@@ -485,18 +513,88 @@ fn parse_prometheus(text: &str) -> Vec<Sample> {
 }
 
 #[test]
+fn precision_header_selects_backend_and_rejects_unknown_values() {
+    let c = generate(&Profile::new("prec", 100, 10, 2), 8);
+    let bench = write_bench(&c.netlist);
+    let server = boot(tiny_model(9), 1, 4, None);
+    let addr = server.addr();
+
+    // Each recognised label resolves to the backend the host supports
+    // and the response reports the resolved label, not the requested one.
+    let stats_backend = |reply: &rebert_serve::HttpReply| -> String {
+        let json = rebert::json::Json::parse(&reply.body_text()).unwrap();
+        json_field(json_field(&json, "stats"), "backend")
+            .as_str()
+            .expect("stats.backend is a string")
+            .to_owned()
+    };
+    let reply = submit_recover_with(addr, &bench, Some("bench"), None, Some("int8")).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    assert_eq!(stats_backend(&reply), "int8");
+
+    let reply = submit_recover_with(addr, &bench, Some("bench"), None, Some("f32-simd")).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    assert_eq!(
+        stats_backend(&reply),
+        rebert::Backend::F32Simd.effective().label()
+    );
+
+    // No header and an explicit `f32` both mean the scalar default.
+    let reply = submit_recover(addr, &bench, Some("bench"), None).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(stats_backend(&reply), "f32-scalar");
+    let reply = submit_recover_with(addr, &bench, Some("bench"), None, Some("f32")).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(stats_backend(&reply), "f32-scalar");
+
+    // Unknown labels are a client error with a diagnostic body.
+    let reply = submit_recover_with(addr, &bench, Some("bench"), None, Some("fp4")).unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body_text());
+    let body = reply.body_text();
+    assert!(body.contains("X-Rebert-Precision"), "{body}");
+    assert!(body.contains("fp4"), "{body}");
+    assert!(body.contains("int8"), "{body}");
+
+    // The per-backend series track which backends actually served work.
+    let metrics = http_request(addr, "GET", "/metrics", &[], b"").unwrap();
+    let samples = parse_prometheus(&metrics.body_text());
+    let find = |name: &str, backend: &str| -> f64 {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name && s.labels.iter().any(|(k, v)| k == "backend" && v == backend)
+            })
+            .unwrap_or_else(|| panic!("missing sample {name}{{backend={backend}}}"))
+            .value
+    };
+    assert_eq!(find("rebert_backend_requests_total", "int8"), 1.0);
+    assert!(find("rebert_backend_requests_total", "f32-scalar") >= 2.0);
+    assert!(find("rebert_backend_pairs_per_sec", "int8") > 0.0);
+    server.shutdown();
+}
+
+#[test]
 fn metrics_exposition_is_well_formed_and_tracks_requests() {
     let c = generate(&Profile::new("demo", 100, 10, 2), 7);
     let bench = write_bench(&c.netlist);
     let server = boot(tiny_model(6), 1, 4, None);
     let addr = server.addr();
 
-    assert_eq!(submit_recover(addr, &bench, None, None).unwrap().status, 200);
-    assert_eq!(submit_recover(addr, "garbage", None, None).unwrap().status, 400);
+    assert_eq!(
+        submit_recover(addr, &bench, None, None).unwrap().status,
+        200
+    );
+    assert_eq!(
+        submit_recover(addr, "garbage", None, None).unwrap().status,
+        400
+    );
 
     let reply = http_request(addr, "GET", "/metrics", &[], b"").unwrap();
     assert_eq!(reply.status, 200);
-    assert!(reply.header("Content-Type").unwrap().starts_with("text/plain"));
+    assert!(reply
+        .header("Content-Type")
+        .unwrap()
+        .starts_with("text/plain"));
     let samples = parse_prometheus(&reply.body_text());
 
     let find = |name: &str, want: &[(&str, &str)]| -> f64 {
@@ -504,24 +602,36 @@ fn metrics_exposition_is_well_formed_and_tracks_requests() {
             .iter()
             .find(|s| {
                 s.name == name
-                    && want.iter().all(|(k, v)| {
-                        s.labels.iter().any(|(lk, lv)| lk == k && lv == v)
-                    })
+                    && want
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
             })
             .unwrap_or_else(|| panic!("missing sample {name} {want:?}"))
             .value
     };
 
-    assert_eq!(find("rebert_requests_total", &[("endpoint", "recover"), ("outcome", "ok")]), 1.0);
     assert_eq!(
-        find("rebert_requests_total", &[("endpoint", "recover"), ("outcome", "bad_request")]),
+        find(
+            "rebert_requests_total",
+            &[("endpoint", "recover"), ("outcome", "ok")]
+        ),
+        1.0
+    );
+    assert_eq!(
+        find(
+            "rebert_requests_total",
+            &[("endpoint", "recover"), ("outcome", "bad_request")]
+        ),
         1.0
     );
     assert_eq!(find("rebert_inflight", &[]), 0.0);
     assert_eq!(find("rebert_queue_depth", &[]), 0.0);
     assert!(find("rebert_pairs_scored_total", &[]) >= 1.0);
     assert!(find("rebert_pairs_per_sec", &[]) > 0.0);
-    assert_eq!(find("rebert_phase_seconds_count", &[("phase", "score")]), 1.0);
+    assert_eq!(
+        find("rebert_phase_seconds_count", &[("phase", "score")]),
+        1.0
+    );
 
     // Histogram buckets are cumulative and end at +Inf == count, for
     // every phase.
@@ -537,7 +647,13 @@ fn metrics_exposition_is_well_formed_and_tracks_requests() {
                     .labels
                     .iter()
                     .find(|(k, _)| k == "le")
-                    .map(|(_, v)| if v == "+Inf" { f64::INFINITY } else { v.parse().unwrap() })
+                    .map(|(_, v)| {
+                        if v == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            v.parse().unwrap()
+                        }
+                    })
                     .expect("bucket has le");
                 (le, s.value)
             })
@@ -549,7 +665,10 @@ fn metrics_exposition_is_well_formed_and_tracks_requests() {
         }
         let (last_le, last) = buckets[buckets.len() - 1];
         assert!(last_le.is_infinite());
-        assert_eq!(last, find("rebert_phase_seconds_count", &[("phase", phase)]));
+        assert_eq!(
+            last,
+            find("rebert_phase_seconds_count", &[("phase", phase)])
+        );
     }
     server.shutdown();
 }

@@ -1,0 +1,136 @@
+//! NEON kernels (`aarch64`).
+//!
+//! NEON is part of the aarch64 baseline ISA, so unlike the AVX2 path no
+//! runtime detection is needed — the dispatch layer selects this module
+//! whenever the target architecture matches. Only the two matmul
+//! kernels are vectorized here; the element-wise ops (layer norm, GELU,
+//! softmax) fall back to the scalar reference in [`super`], which keeps
+//! the untested-surface on non-x86 hardware small while still
+//! accelerating the dominant cost.
+//!
+//! Same accumulation discipline as the AVX2 module: ascending-`k` per
+//! output lane, fused multiply-adds, scalar fringes.
+
+// Index-based loops mirror the register-tile math and keep the
+// addressing obviously in-bounds next to the pointer arithmetic.
+#![allow(clippy::needless_range_loop)]
+
+use core::arch::aarch64::*;
+
+/// `o = a @ b` for row-major `a: m×k`, `b: k×n`, `o: m×n`.
+///
+/// # Safety
+///
+/// Slice lengths must match the dimensions (`a.len() == m * k`,
+/// `b.len() == k * n`, `o.len() == m * n`).
+pub unsafe fn matmul_into(a: &[f32], b: &[f32], o: &mut [f32], m: usize, kdim: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(o.len(), m * n);
+    let mut i = 0;
+    while i + 4 <= m {
+        matmul_rows::<4>(a, b, o, i, kdim, n);
+        i += 4;
+    }
+    while i < m {
+        matmul_rows::<1>(a, b, o, i, kdim, n);
+        i += 1;
+    }
+}
+
+/// One `MR`-row band: 8-wide tiles (two `float32x4_t`), then a 4-wide
+/// tile, then a scalar column fringe.
+unsafe fn matmul_rows<const MR: usize>(
+    a: &[f32],
+    b: &[f32],
+    o: &mut [f32],
+    i: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = o.as_mut_ptr();
+    let mut j = 0;
+    while j + 8 <= n {
+        let mut acc0 = [vdupq_n_f32(0.0); MR];
+        let mut acc1 = [vdupq_n_f32(0.0); MR];
+        for k in 0..kdim {
+            let b0 = vld1q_f32(bp.add(k * n + j));
+            let b1 = vld1q_f32(bp.add(k * n + j + 4));
+            for r in 0..MR {
+                let av = *ap.add((i + r) * kdim + k);
+                acc0[r] = vfmaq_n_f32(acc0[r], b0, av);
+                acc1[r] = vfmaq_n_f32(acc1[r], b1, av);
+            }
+        }
+        for r in 0..MR {
+            vst1q_f32(op.add((i + r) * n + j), acc0[r]);
+            vst1q_f32(op.add((i + r) * n + j + 4), acc1[r]);
+        }
+        j += 8;
+    }
+    while j + 4 <= n {
+        let mut acc = [vdupq_n_f32(0.0); MR];
+        for k in 0..kdim {
+            let b0 = vld1q_f32(bp.add(k * n + j));
+            for r in 0..MR {
+                acc[r] = vfmaq_n_f32(acc[r], b0, *ap.add((i + r) * kdim + k));
+            }
+        }
+        for r in 0..MR {
+            vst1q_f32(op.add((i + r) * n + j), acc[r]);
+        }
+        j += 4;
+    }
+    while j < n {
+        for r in 0..MR {
+            let mut sum = 0.0f32;
+            for k in 0..kdim {
+                sum += *ap.add((i + r) * kdim + k) * *bp.add(k * n + j);
+            }
+            *op.add((i + r) * n + j) = sum;
+        }
+        j += 1;
+    }
+}
+
+/// `o = a @ b^T` for row-major `a: m×k`, `b: n×k`, `o: m×n` — 4-lane
+/// dot products over the rows of both operands.
+///
+/// # Safety
+///
+/// Slice lengths must match the dimensions.
+pub unsafe fn matmul_nt_into(a: &[f32], b: &[f32], o: &mut [f32], m: usize, kdim: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), n * kdim);
+    debug_assert_eq!(o.len(), m * n);
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = o.as_mut_ptr();
+    for i in 0..m {
+        let ar = ap.add(i * kdim);
+        let mut j = 0;
+        while j < n {
+            let jb = (n - j).min(4);
+            let mut acc = [vdupq_n_f32(0.0); 4];
+            let mut k = 0;
+            while k + 4 <= kdim {
+                let av = vld1q_f32(ar.add(k));
+                for c in 0..jb {
+                    let bv = vld1q_f32(bp.add((j + c) * kdim + k));
+                    acc[c] = vfmaq_f32(acc[c], av, bv);
+                }
+                k += 4;
+            }
+            for c in 0..jb {
+                let mut sum = vaddvq_f32(acc[c]);
+                for kk in k..kdim {
+                    sum += *ar.add(kk) * *bp.add((j + c) * kdim + kk);
+                }
+                *op.add(i * n + j + c) = sum;
+            }
+            j += jb;
+        }
+    }
+}

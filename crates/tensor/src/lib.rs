@@ -27,9 +27,11 @@
 #![warn(missing_docs)]
 
 mod init;
+pub mod kernels;
 mod tape;
 mod tensor;
 
 pub use init::{normal, xavier};
+pub use kernels::{simd_available, simd_level, SimdLevel};
 pub use tape::{gelu, gelu_grad, row_mean_var, sigmoid, Tape, VarId};
 pub use tensor::Tensor;

@@ -238,22 +238,20 @@ impl Tensor {
 
     /// Matrix product `self @ other^T`.
     ///
-    /// Materializes `other`'s transpose and runs the blocked
-    /// [`Tensor::matmul_into`] kernel: each output element still
-    /// accumulates its products in ascending-`k` order, so the result is
-    /// bit-identical to the direct dot-product kernel
-    /// ([`Tensor::matmul_nt_into`]) while the inner loops vectorize.
-    /// Prefer [`Tensor::matmul_nt_into`] with caller-owned scratch when
-    /// the extra allocation matters.
+    /// Backed by the direct dot-product kernel
+    /// [`Tensor::matmul_nt_into`]: both operands are traversed row-wise
+    /// with no transpose materialized, so the wrapper allocates only the
+    /// output. Each dot product accumulates in ascending-`k` order,
+    /// bit-identical to the naive kernel (and to the historical
+    /// transpose-then-matmul formulation, which kept the same
+    /// accumulation order).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        let mut t = Tensor::zeros(other.cols, other.rows);
-        other.transpose_into(&mut t);
         let mut out = Tensor::zeros(self.rows, other.rows);
-        self.matmul_into(&t, &mut out);
+        self.matmul_nt_into(other, &mut out);
         out
     }
 
