@@ -174,11 +174,7 @@ impl Report {
         }
         let (e, w) = (self.error_count(), self.warning_count());
         let plural = |n: usize| if n == 1 { "" } else { "s" };
-        out.push_str(&format!(
-            "{e} error{}, {w} warning{}",
-            plural(e),
-            plural(w)
-        ));
+        out.push_str(&format!("{e} error{}, {w} warning{}", plural(e), plural(w)));
         out
     }
 
@@ -207,8 +203,12 @@ mod tests {
     fn sample() -> Report {
         let mut r = Report::new();
         r.push(
-            Diagnostic::new(codes::UNDRIVEN_NET, Severity::Error, "net `x` has no driver")
-                .with_nets(vec!["x".into()]),
+            Diagnostic::new(
+                codes::UNDRIVEN_NET,
+                Severity::Error,
+                "net `x` has no driver",
+            )
+            .with_nets(vec!["x".into()]),
         );
         r.push(
             Diagnostic::new(codes::DEAD_LOGIC, Severity::Warning, "1 dead gate")
@@ -263,7 +263,10 @@ mod tests {
             Some("error")
         );
         assert_eq!(
-            diags[0].get("nets").and_then(Json::as_array).map(<[Json]>::len),
+            diags[0]
+                .get("nets")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
             Some(1)
         );
     }

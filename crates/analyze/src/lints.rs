@@ -168,10 +168,7 @@ fn lint_drivers(nl: &Netlist, report: &mut Report) {
                 Diagnostic::new(
                     codes::MULTI_DRIVEN_NET,
                     Severity::Error,
-                    format!(
-                        "net `{name}` is driven {} times",
-                        claims[id.index()]
-                    ),
+                    format!("net `{name}` is driven {} times", claims[id.index()]),
                 )
                 .with_nets(vec![name.to_owned()]),
             );
@@ -204,10 +201,7 @@ fn lint_arity(nl: &Netlist, report: &mut Report) {
 /// Combinational cycles, each reported with its full net path.
 fn lint_cycles(nl: &Netlist, report: &mut Report) {
     for cycle in nl.combinational_cycles() {
-        let names: Vec<String> = cycle
-            .iter()
-            .map(|&id| nl.net_name(id).to_owned())
-            .collect();
+        let names: Vec<String> = cycle.iter().map(|&id| nl.net_name(id).to_owned()).collect();
         let mut path = names.join(" -> ");
         if let Some(first) = names.first() {
             path.push_str(" -> ");
@@ -286,8 +280,7 @@ fn lint_const_foldable(nl: &Netlist, report: &mut Report) {
         .iter()
         .filter(|g| {
             g.inputs.iter().any(|&i| {
-                nl.is_driven(i)
-                    && matches!(nl.driver(i), Driver::ConstZero | Driver::ConstOne)
+                nl.is_driven(i) && matches!(nl.driver(i), Driver::ConstZero | Driver::ConstOne)
             })
         })
         .map(|g| nl.net_name(g.output).to_owned())
@@ -333,7 +326,11 @@ mod tests {
         let nl = bench("INPUT(a)\ny = AND(a, ghost)\nq = DFF(phantom)\nOUTPUT(y)\n");
         let r = lint_netlist(&nl);
         assert!(r.has_code(codes::UNDRIVEN_NET), "{}", r.render_human());
-        assert!(r.has_code(codes::FLOATING_DFF_INPUT), "{}", r.render_human());
+        assert!(
+            r.has_code(codes::FLOATING_DFF_INPUT),
+            "{}",
+            r.render_human()
+        );
         assert_eq!(r.error_count(), 2);
         let undriven = r
             .diagnostics
@@ -391,9 +388,7 @@ mod tests {
 
     #[test]
     fn const_inputs_flag_foldable_gates() {
-        let nl = bench(
-            "INPUT(a)\none = CONST1\ny = AND(a, one)\nq = DFF(y)\nOUTPUT(q)\n",
-        );
+        let nl = bench("INPUT(a)\none = CONST1\ny = AND(a, one)\nq = DFF(y)\nOUTPUT(q)\n");
         let r = lint_netlist(&nl);
         assert!(r.has_code(codes::CONST_FOLDABLE), "{}", r.render_human());
         assert!(!r.has_errors());
@@ -421,15 +416,18 @@ mod tests {
             ("INPUT(a)\nfoo bar baz\n", codes::PARSE_ERROR),
             ("INPUT(a)\ny = FROB(a, a)\nOUTPUT(y)\n", codes::UNKNOWN_GATE),
             ("INPUT(a)\nINPUT(a)\n", codes::DUPLICATE_NET),
-            ("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\nOUTPUT(y)\n", codes::ARITY_MISMATCH),
+            (
+                "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\nOUTPUT(y)\n",
+                codes::ARITY_MISMATCH,
+            ),
             (
                 "INPUT(a)\ny = NOT(a)\ny = BUF(a)\nOUTPUT(y)\n",
                 codes::MULTI_DRIVEN_NET,
             ),
         ];
         for (src, code) in cases {
-            let report = lint_source("t", src, SourceFormat::Bench)
-                .expect_err("fixture must not parse");
+            let report =
+                lint_source("t", src, SourceFormat::Bench).expect_err("fixture must not parse");
             assert_eq!(report.diagnostics.len(), 1, "{src:?}");
             let d = &report.diagnostics[0];
             assert_eq!(d.code, *code, "{src:?} -> {}", d.message);
@@ -440,7 +438,8 @@ mod tests {
 
     #[test]
     fn verilog_parse_errors_map_to_codes() {
-        let unknown = "module t(a, y);\n  input a;\n  output y;\n  magic_cell g0 (y, a);\nendmodule\n";
+        let unknown =
+            "module t(a, y);\n  input a;\n  output y;\n  magic_cell g0 (y, a);\nendmodule\n";
         let report = lint_source("t", unknown, SourceFormat::Verilog).unwrap_err();
         assert_eq!(report.diagnostics[0].code, codes::UNKNOWN_GATE);
 

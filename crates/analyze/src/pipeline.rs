@@ -177,7 +177,11 @@ mod tests {
         assert!(shallow.is_clean(), "{}", shallow.render_human());
 
         let deep = lint_with(&chain(9), &opts);
-        assert!(deep.has_code(codes::CONE_TRUNCATED), "{}", deep.render_human());
+        assert!(
+            deep.has_code(codes::CONE_TRUNCATED),
+            "{}",
+            deep.render_human()
+        );
         assert!(!deep.has_errors());
         let d = deep
             .diagnostics
@@ -235,7 +239,11 @@ mod tests {
             ..LintOptions::default()
         };
         let r = lint_with(&nl, &impossible);
-        assert!(r.has_code(codes::DEGENERATE_THRESHOLD), "{}", r.render_human());
+        assert!(
+            r.has_code(codes::DEGENERATE_THRESHOLD),
+            "{}",
+            r.render_human()
+        );
 
         let permissive = LintOptions {
             jaccard_threshold: Some(0.0),

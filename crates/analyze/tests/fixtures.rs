@@ -30,7 +30,10 @@ fn fixture_dir() -> PathBuf {
             return p;
         }
     }
-    panic!("examples/fixtures not found from {:?}", std::env::current_dir());
+    panic!(
+        "examples/fixtures not found from {:?}",
+        std::env::current_dir()
+    );
 }
 
 fn read_fixture(name: &str) -> String {
@@ -87,8 +90,8 @@ fn warning_fixtures_trip_their_codes_without_errors() {
         ("cone_trunc.bench", codes::CONE_TRUNCATED),
     ];
     for (file, code) in cases {
-        let nl = lint_source(file, &read_fixture(file), SourceFormat::Bench)
-            .expect("fixture parses");
+        let nl =
+            lint_source(file, &read_fixture(file), SourceFormat::Bench).expect("fixture parses");
         let report = lint_with(&nl, &LintOptions::default());
         assert!(report.has_code(code), "{file}: {}", report.render_human());
         assert!(!report.has_errors(), "{file}: {}", report.render_human());

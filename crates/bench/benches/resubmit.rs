@@ -1,0 +1,57 @@
+//! Criterion benchmark for the edit-and-resubmit flow the score cache
+//! exists for: a design is recovered once, ~1% of its gates are edited,
+//! and the variant is resubmitted to the same warm session.
+//!
+//! `no_cache` is the pre-cache behaviour — a warm session (scratch
+//! buffers resident, model loaded) that still scores every surviving
+//! class pair of the edited design. `warm_cache` consults the shared
+//! score cache, so only the cone pairs the edit touched hit the model.
+//! Both paths return bitwise-identical words; the gap is pure scoring
+//! work avoided.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebert::{ReBertConfig, ReBertModel, RecoverySession, ScoreCache};
+use rebert_bench::edited_variant;
+use rebert_circuits::{generate, Profile};
+
+/// Fraction of gates the resubmitted design changes.
+const EDIT_FRAC: f64 = 0.01;
+
+fn bench_resubmit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resubmit");
+    group.sample_size(10);
+    for &bits in &[32usize, 64] {
+        let circuit = generate(&Profile::new("resubmit", bits * 12, bits, bits / 4), 0xC0DE);
+        let (edited, changed) = edited_variant(&circuit.netlist, EDIT_FRAC, 7);
+        let mk = || ReBertModel::new(ReBertConfig::small(), 3);
+
+        // Cache-disabled warm session: scratches and weights are
+        // resident, but every class pair is scored from scratch.
+        let plain = RecoverySession::new(mk(), 1);
+        let baseline = plain.recover(&edited);
+        group.bench_function(BenchmarkId::new("no_cache", bits), |b| {
+            b.iter(|| plain.recover(&edited))
+        });
+
+        // Warm persistent cache: the original design and one resubmit
+        // have populated it, so the measured runs are pure lookups.
+        let model = mk();
+        let cache = Arc::new(ScoreCache::new(64 << 20, model.fingerprint()));
+        let session = RecoverySession::with_cache(model, 1, Arc::clone(&cache));
+        session.recover(&circuit.netlist);
+        let warm = session.recover(&edited);
+        assert_eq!(
+            warm.assignment, baseline.assignment,
+            "cached resubmit answers must be identical ({changed} gates edited)"
+        );
+        group.bench_function(BenchmarkId::new("warm_cache", bits), |b| {
+            b.iter(|| session.recover(&edited))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resubmit);
+criterion_main!(benches);

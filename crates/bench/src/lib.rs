@@ -55,9 +55,7 @@ impl Scale {
     pub fn from_args() -> Scale {
         use std::sync::{Arc, OnceLock};
         static LOGGER: OnceLock<obs::SinkId> = OnceLock::new();
-        LOGGER.get_or_init(|| {
-            obs::install(Arc::new(obs::StderrSink::from_env(obs::Level::Info)))
-        });
+        LOGGER.get_or_init(|| obs::install(Arc::new(obs::StderrSink::from_env(obs::Level::Info))));
         let args: Vec<String> = std::env::args().collect();
         if args.iter().any(|a| a == "--fast") {
             Scale::Fast
@@ -296,9 +294,33 @@ pub fn duplicated_netlist(name: &str, n_bits: usize, duplication: usize) -> Netl
     nl
 }
 
+/// A lightly edited variant of `nl` for resubmit benchmarks: roughly
+/// `frac` of the gates undergo equivalence-preserving replacement
+/// (R-Index corruption), modelling an incremental design revision
+/// between two submissions to a warm daemon. Deterministic in `seed`.
+/// Returns the variant and how many gates actually changed.
+pub fn edited_variant(nl: &Netlist, frac: f64, seed: u64) -> (Netlist, usize) {
+    let (edited, stats) = rebert_circuits::corrupt(nl, frac, seed);
+    (edited, stats.replaced)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn edited_variant_is_a_small_deterministic_delta() {
+        let nl = duplicated_netlist("edit", 24, 4);
+        let (a, changed_a) = edited_variant(&nl, 0.05, 9);
+        let (b, changed_b) = edited_variant(&nl, 0.05, 9);
+        assert_eq!(changed_a, changed_b, "same seed, same edit");
+        assert_eq!(
+            rebert_netlist::write_bench(&a),
+            rebert_netlist::write_bench(&b)
+        );
+        assert!(changed_a < nl.gate_count() / 2, "the edit is light");
+        assert_eq!(a.dff_count(), nl.dff_count(), "bits are preserved");
+    }
 
     #[test]
     fn scales_produce_consistent_configs() {

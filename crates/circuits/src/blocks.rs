@@ -247,18 +247,14 @@ pub fn build_block<R: Rng>(
             // d[i] = q[i] XOR carry[i]; carry[0] = enable.
             let mut carry = enable;
             let mut d = Vec::with_capacity(width);
-            for i in 0..width {
+            for (i, &qi) in q.iter().enumerate().take(width) {
                 let di = nl
-                    .add_gate_new_net(GateType::Xor, vec![q[i], carry], format!("{prefix}_d{i}"))
+                    .add_gate_new_net(GateType::Xor, vec![qi, carry], format!("{prefix}_d{i}"))
                     .expect("fresh net");
                 d.push(di);
                 if i + 1 < width {
                     carry = nl
-                        .add_gate_new_net(
-                            GateType::And,
-                            vec![carry, q[i]],
-                            format!("{prefix}_cy{i}"),
-                        )
+                        .add_gate_new_net(GateType::And, vec![carry, qi], format!("{prefix}_cy{i}"))
                         .expect("fresh net");
                 }
             }
@@ -277,9 +273,9 @@ pub fn build_block<R: Rng>(
                 .expect("fresh net");
             let mut carry = enable;
             let mut d = Vec::with_capacity(width);
-            for i in 0..width {
+            for (i, &qi) in q.iter().enumerate().take(width) {
                 let next = nl
-                    .add_gate_new_net(GateType::Xor, vec![q[i], carry], format!("{prefix}_n{i}"))
+                    .add_gate_new_net(GateType::Xor, vec![qi, carry], format!("{prefix}_n{i}"))
                     .expect("fresh net");
                 let di = nl
                     .add_gate_new_net(GateType::And, vec![next, keep], format!("{prefix}_d{i}"))
@@ -287,11 +283,7 @@ pub fn build_block<R: Rng>(
                 d.push(di);
                 if i + 1 < width {
                     carry = nl
-                        .add_gate_new_net(
-                            GateType::And,
-                            vec![carry, q[i]],
-                            format!("{prefix}_cy{i}"),
-                        )
+                        .add_gate_new_net(GateType::And, vec![carry, qi], format!("{prefix}_cy{i}"))
                         .expect("fresh net");
                 }
             }
@@ -418,18 +410,14 @@ pub fn build_block<R: Rng>(
             let mut up_carry = enable;
             let mut down_borrow = enable;
             let mut d = Vec::with_capacity(width);
-            for i in 0..width {
+            for (i, &qi) in q.iter().enumerate().take(width) {
                 let up_next = nl
-                    .add_gate_new_net(
-                        GateType::Xor,
-                        vec![q[i], up_carry],
-                        format!("{prefix}_u{i}"),
-                    )
+                    .add_gate_new_net(GateType::Xor, vec![qi, up_carry], format!("{prefix}_u{i}"))
                     .expect("fresh net");
                 let down_next = nl
                     .add_gate_new_net(
                         GateType::Xor,
-                        vec![q[i], down_borrow],
+                        vec![qi, down_borrow],
                         format!("{prefix}_w{i}"),
                     )
                     .expect("fresh net");
@@ -444,12 +432,12 @@ pub fn build_block<R: Rng>(
                     up_carry = nl
                         .add_gate_new_net(
                             GateType::And,
-                            vec![up_carry, q[i]],
+                            vec![up_carry, qi],
                             format!("{prefix}_uc{i}"),
                         )
                         .expect("fresh net");
                     let nq = nl
-                        .add_gate_new_net(GateType::Not, vec![q[i]], format!("{prefix}_nq{i}"))
+                        .add_gate_new_net(GateType::Not, vec![qi], format!("{prefix}_nq{i}"))
                         .expect("fresh net");
                     down_borrow = nl
                         .add_gate_new_net(

@@ -260,7 +260,14 @@ mod tests {
 
     #[test]
     fn expect_only_accepts_known_names() {
-        let a = parse(&["recover", "--model", "m.json", "--in", "x.bench", "--baseline"]);
+        let a = parse(&[
+            "recover",
+            "--model",
+            "m.json",
+            "--in",
+            "x.bench",
+            "--baseline",
+        ]);
         a.expect_only(&["model", "in", "labels", "threads"], &["baseline"])
             .expect("all names known");
     }
@@ -284,9 +291,7 @@ mod tests {
     #[test]
     fn unknown_option_without_a_close_match_has_no_suggestion() {
         let a = parse(&["recover", "--frobnicate", "yes"]);
-        let err = a
-            .expect_only(&["model", "in"], &[])
-            .unwrap_err();
+        let err = a.expect_only(&["model", "in"], &[]).unwrap_err();
         assert_eq!(
             err,
             ArgsError::UnknownOption {
@@ -300,9 +305,7 @@ mod tests {
     #[test]
     fn unknown_flag_rejected_with_suggestion() {
         let a = parse(&["recover", "--model", "m.json", "--baselin"]);
-        let err = a
-            .expect_only(&["model", "in"], &["baseline"])
-            .unwrap_err();
+        let err = a.expect_only(&["model", "in"], &["baseline"]).unwrap_err();
         assert_eq!(
             err,
             ArgsError::UnknownFlag {

@@ -48,6 +48,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "lint" => cmd_lint(args),
         "train" => cmd_train(args),
         "recover" => cmd_recover(args),
+        "inspect" => cmd_inspect(args),
         "serve" => cmd_serve(args),
         "submit" => cmd_submit(args),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
@@ -87,6 +88,7 @@ COMMANDS
   recover   --model <model.json> --in <file>
             [--labels <labels.json>] [--baseline] [--threads N]
             [--precision <f32|f32-simd|int8>]
+            [--cache-dir <dir>] [--cache-bytes N]
             Recover words on the batched inference engine (--threads 0 =
             all cores, the default); the quadratic phase deduplicates
             structurally identical cones and scores each unique class
@@ -96,22 +98,41 @@ COMMANDS
             the scoring backend: f32 (default, bitwise-reproducible),
             f32-simd (runtime-dispatched AVX2/NEON kernels), or int8
             (per-row quantized weights); unsupported choices fall back
-            to scalar and the resolved backend is printed.
+            to scalar and the resolved backend is printed. --cache-dir
+            persists the content-addressed score cache (keyed by the
+            checkpoint fingerprint) so an edited-and-resubmitted design
+            only re-scores the cones the edit touched; --cache-bytes
+            bounds it (default 64 MiB). Cached scores are bitwise
+            identical to fresh ones.
+  inspect   --model <model.json>
+            Print a checkpoint's identity: architecture summary,
+            parameter count, vocabulary size, and the stable fingerprint
+            that keys the score cache and the serve /metrics info
+            series.
   serve     --model <model.json> [--addr <host:port>] [--threads N]
             [--queue N] [--deadline-ms N]
+            [--cache-bytes N] [--cache-dir <dir>]
             Run the resident word-recovery daemon: the checkpoint loads
             once and stays warm across requests. POST /recover accepts
             .bench or Verilog bodies; GET /metrics exposes Prometheus
-            counters, queue depth, and per-phase histograms; a full
-            queue answers 503 + Retry-After; SIGTERM/SIGINT (or POST
-            /shutdown) drains in-flight work and exits cleanly.
+            counters, queue depth, per-phase histograms, and score-cache
+            hit/miss/eviction series; a full queue answers 503 +
+            Retry-After; SIGTERM/SIGINT (or POST /shutdown) drains
+            in-flight work and exits cleanly. The daemon keeps a
+            cross-request score cache (--cache-bytes, default 64 MiB,
+            0 disables); with --cache-dir it persists across restarts
+            (stale-fingerprint files are ignored), so resubmits after a
+            restart are served warm. Requests may opt out per-call with
+            the X-Rebert-No-Cache header.
             Defaults: --addr 127.0.0.1:7878, --queue 32,
             --deadline-ms 0 (unbounded).
   submit    --addr <host:port> --in <file> [--labels <labels.json>]
             [--deadline-ms N] [--precision <f32|f32-simd|int8>]
+            [--no-cache]
             Send a netlist to a running daemon and print the recovered
             words (ARI when labels are given); --precision rides along
-            as the X-Rebert-Precision header.
+            as the X-Rebert-Precision header; --no-cache asks the
+            daemon to score from scratch (X-Rebert-No-Cache).
   help      Show this text.
 
 OBSERVABILITY (train / recover / serve / submit)
@@ -161,11 +182,14 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
             "labels",
             "threads",
             "precision",
+            "cache-dir",
+            "cache-bytes",
             "log-level",
             "trace-out",
         ],
         &["baseline"],
     ),
+    ("inspect", &["model"], &[]),
     (
         "serve",
         &[
@@ -174,6 +198,8 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
             "threads",
             "queue",
             "deadline-ms",
+            "cache-bytes",
+            "cache-dir",
             "log-level",
             "trace-out",
         ],
@@ -190,7 +216,7 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
             "log-level",
             "trace-out",
         ],
-        &[],
+        &["no-cache"],
     ),
 ];
 
@@ -398,7 +424,43 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
     let input = read_netlist(Path::new(args.require("in")?))?;
     let threads = args.get_or("threads", 0usize)?;
     let backend = parse_precision(args)?;
-    let rec = model.recover_words_backend(&input, threads, backend);
+    let k_levels = model.config().k_levels;
+
+    // With --cache-dir the quadratic phase consults a persistent
+    // content-addressed score cache keyed by the checkpoint fingerprint:
+    // re-running on an edited design only re-scores the cone pairs the
+    // edit touched, bitwise-identically to a cold run.
+    let cache_bytes = args.get_or("cache-bytes", 64usize << 20)?;
+    let (rec, cache_line) = match args.get("cache-dir") {
+        None => (model.recover_words_backend(&input, threads, backend), None),
+        Some(dir) => {
+            let dir = Path::new(dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create cache dir `{}`: {e}", dir.display()))?;
+            let path = dir.join(format!("score-cache-{}.bin", model.fingerprint_hex()));
+            let cache = std::sync::Arc::new(rebert::ScoreCache::load_or_new(
+                &path,
+                cache_bytes,
+                model.fingerprint(),
+            ));
+            let session =
+                rebert::RecoverySession::with_cache(model, threads, std::sync::Arc::clone(&cache));
+            let rec = session
+                .try_recover_opts(&input, &rebert::CancelToken::new(), backend, true)
+                .expect("a fresh token never cancels");
+            cache
+                .flush(&path)
+                .map_err(|e| format!("cannot flush score cache `{}`: {e}", path.display()))?;
+            let line = format!(
+                "  score cache: {} hits | {} misses | {} entries resident -> {}\n",
+                rec.stats.cache_hits,
+                rec.stats.cache_misses,
+                cache.len(),
+                path.display()
+            );
+            (rec, Some(line))
+        }
+    };
     let s = &rec.stats;
     let mut out = format!(
         "{}: {} bits -> {} words ({} pairs scored, {} filtered, {:?})\n",
@@ -423,6 +485,9 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
         "  cone dedup: {} classes | {} class pairs scored | {} pairs memoized\n",
         s.classes, s.class_pairs_scored, s.pairs_memoized
     ));
+    if let Some(line) = cache_line {
+        out.push_str(&line);
+    }
     for (wi, word) in rec.words().iter().enumerate() {
         let names: Vec<&str> = word
             .iter()
@@ -439,7 +504,7 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
         ));
         if args.flag("baseline") {
             let scfg = StructuralConfig {
-                k_levels: model.config().k_levels,
+                k_levels,
                 threads,
                 ..Default::default()
             };
@@ -453,6 +518,37 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `rebert inspect`: print a checkpoint's identity without running
+/// anything — architecture, parameter count, vocabulary size, and the
+/// stable fingerprint that keys the score cache and the daemon's
+/// `rebert_model_info` metrics series.
+fn cmd_inspect(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
+    let path = Path::new(args.require("model")?);
+    let model = load_model(path)?;
+    let cfg = model.config();
+    let mut params = 0usize;
+    let mut tensors = 0usize;
+    for (_, _, t) in model.store().iter() {
+        params += t.data().len();
+        tensors += 1;
+    }
+    Ok(format!(
+        "{}\n  fingerprint: {}\n  encoder: d_model {} | {} layers | {} heads | ff {} | max seq {}\n  pipeline: k-levels {} | code width {} | jaccard threshold {}\n  parameters: {params} floats across {tensors} tensors\n  vocabulary: {} tokens\n",
+        path.display(),
+        model.fingerprint_hex(),
+        cfg.bert.d_model,
+        cfg.bert.n_layers,
+        cfg.bert.n_heads,
+        cfg.bert.d_ff,
+        cfg.max_seq,
+        cfg.k_levels,
+        cfg.code_width,
+        cfg.jaccard_threshold,
+        model.vocab().len(),
+    ))
+}
+
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
     validate(args)?;
     let model = load_model(Path::new(args.require("model")?))?;
@@ -460,6 +556,20 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let threads = args.get_or("threads", 0usize)?;
     let queue = args.get_or("queue", 32usize)?;
     let deadline_ms = args.get_or("deadline-ms", 0u64)?;
+    let cache_bytes = args.get_or("cache-bytes", 64usize << 20)?;
+    // The persisted cache file lives beside the checkpoint's identity:
+    // its name embeds the fingerprint, and the loader additionally
+    // verifies the fingerprint in the header, so a re-trained model
+    // silently starts cold instead of serving stale scores.
+    let cache_path = match args.get("cache-dir") {
+        None => None,
+        Some(dir) => {
+            let dir = Path::new(dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create cache dir `{}`: {e}", dir.display()))?;
+            Some(dir.join(format!("score-cache-{}.bin", model.fingerprint_hex())))
+        }
+    };
 
     let session = rebert::RecoverySession::new(model, threads);
     let listener =
@@ -467,6 +577,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let config = rebert_serve::ServeConfig {
         queue_capacity: queue,
         default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        cache_bytes,
+        cache_path,
         ..rebert_serve::ServeConfig::default()
     };
     let server = rebert_serve::serve(session, listener, config)?;
@@ -495,12 +607,13 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
     // Validated locally so typos fail before the network hop; the
     // daemon re-validates and answers 400 for anything it cannot parse.
     let precision = parse_precision(args)?;
-    let reply = rebert_serve::submit_recover_with(
+    let reply = rebert_serve::submit_recover_opts(
         addr,
         &text,
         Some(format),
         (deadline_ms > 0).then_some(deadline_ms),
         args.get("precision").map(|_| precision.label()),
+        !args.flag("no-cache"),
     )
     .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
     if reply.status != 200 {
@@ -556,6 +669,12 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
         stat("classes"),
         stat("class_pairs_scored"),
         stat("pairs_memoized")
+    ));
+    out.push_str(&format!(
+        "  score cache: {} hits | {} misses (model {})\n",
+        stat("cache_hits"),
+        stat("cache_misses"),
+        field("model_fingerprint")?.as_str().unwrap_or("?"),
     ));
     for (wi, word) in words.iter().enumerate() {
         let members: Vec<&str> = word
@@ -821,8 +940,8 @@ mod tests {
     #[test]
     fn every_command_rejects_unknown_options() {
         for cmd in [
-            "generate", "corrupt", "optimize", "stats", "lint", "train", "recover", "serve",
-            "submit",
+            "generate", "corrupt", "optimize", "stats", "lint", "train", "recover", "inspect",
+            "serve", "submit",
         ] {
             let err = run(&args(&[cmd, "--no-such-option", "x"])).unwrap_err();
             assert!(
@@ -1027,6 +1146,93 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("--precision accepts"), "{err}");
         server.shutdown();
+    }
+
+    #[test]
+    fn inspect_prints_fingerprint_and_architecture() {
+        let model_path = tmp("inspect.model.json");
+        let model = ReBertModel::new(ReBertConfig::tiny(), 7);
+        let fp = model.fingerprint_hex();
+        save_model(&model, &model_path).unwrap();
+        let out = run(&args(&["inspect", "--model", model_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains(&format!("fingerprint: {fp}")), "{out}");
+        assert!(out.contains("d_model 16"), "{out}");
+        assert!(out.contains("parameters:"), "{out}");
+        assert!(out.contains("vocabulary:"), "{out}");
+        // A different seed is a different checkpoint with a different
+        // fingerprint, visibly.
+        let other_path = tmp("inspect_other.model.json");
+        save_model(&ReBertModel::new(ReBertConfig::tiny(), 8), &other_path).unwrap();
+        let other = run(&args(&["inspect", "--model", other_path.to_str().unwrap()])).unwrap();
+        assert!(!other.contains(&fp), "distinct weights, distinct identity");
+    }
+
+    #[test]
+    fn recover_cache_dir_persists_and_serves_hits_bitwise() {
+        let bench = tmp("rcache.bench");
+        run(&args(&[
+            "generate",
+            "--profile",
+            "custom",
+            "--gates",
+            "100",
+            "--ffs",
+            "10",
+            "--words",
+            "3",
+            "--seed",
+            "23",
+            "--out",
+            bench.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let model_path = tmp("rcache.model.json");
+        save_model(&ReBertModel::new(ReBertConfig::tiny(), 5), &model_path).unwrap();
+        let cache_dir = tmp("rcache_dir");
+        std::fs::remove_dir_all(&cache_dir).ok();
+
+        let recover = |cached: bool| {
+            let mut v = vec![
+                "recover",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--in",
+                bench.to_str().unwrap(),
+                "--threads",
+                "1",
+            ];
+            if cached {
+                v.extend_from_slice(&["--cache-dir", cache_dir.to_str().unwrap()]);
+            }
+            run(&args(&v)).unwrap()
+        };
+
+        let cold = recover(false);
+        let first = recover(true);
+        assert!(first.contains("score cache: 0 hits"), "{first}");
+        let persisted: Vec<_> = std::fs::read_dir(&cache_dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            persisted.iter().any(|n| n.starts_with("score-cache-")),
+            "{persisted:?}"
+        );
+
+        let second = recover(true);
+        assert!(second.contains("| 0 misses"), "{second}");
+        // Word output (and everything before the cache line) matches the
+        // cache-free run exactly: the cache changes cost, never answers.
+        let words = |out: &str| {
+            out.lines()
+                .filter(|l| l.trim_start().starts_with("word "))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(words(&cold), words(&first));
+        assert_eq!(words(&cold), words(&second));
+        assert!(!words(&cold).is_empty());
     }
 
     #[test]

@@ -60,9 +60,10 @@ pub fn init(args: &Args) -> Result<TraceGuard, CliError> {
         chrome: None,
     };
     let stderr_level = match args.get("log-level") {
-        Some(raw) => Some(obs::Level::parse(raw).ok_or_else(|| {
-            format!("bad --log-level `{raw}` (error|warn|info|debug|trace)")
-        })?),
+        Some(raw) => Some(
+            obs::Level::parse(raw)
+                .ok_or_else(|| format!("bad --log-level `{raw}` (error|warn|info|debug|trace)"))?,
+        ),
         None => std::env::var("REBERT_LOG")
             .ok()
             .and_then(|v| obs::Level::parse(&v)),
@@ -115,12 +116,7 @@ mod tests {
             .join("rebert_cli_tracing_tests")
             .join("unit.trace.json");
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        let guard = init(&args(&[
-            "recover",
-            "--trace-out",
-            path.to_str().unwrap(),
-        ]))
-        .unwrap();
+        let guard = init(&args(&["recover", "--trace-out", path.to_str().unwrap()])).unwrap();
         {
             let sp = obs::span(obs::Level::Info, "cli-test", "unit-root");
             sp.end();

@@ -650,7 +650,10 @@ impl Netlist {
                         GREY => {
                             let from = path.iter().position(|&p| p == r).expect("grey is on path");
                             cycles.push(
-                                path[from..].iter().map(|&gi| self.gates[gi].output).collect(),
+                                path[from..]
+                                    .iter()
+                                    .map(|&gi| self.gates[gi].output)
+                                    .collect(),
                             );
                         }
                         _ => {}

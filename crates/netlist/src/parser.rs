@@ -344,12 +344,12 @@ OUTPUT(y)
         // One input per variant; each error must expose the 1-based line
         // through both `line()` and its `Display` rendering.
         let cases: &[(&str, usize)] = &[
-            ("INPUT(a)\nfoo bar baz\n", 2),                  // Syntax
-            ("INPUT(a)\n\ny = FROB(a, a)\n", 3),             // UnknownGate
-            ("INPUT(a)\nINPUT(a)\n", 2),                     // Netlist(DuplicateNet)
-            ("INPUT(a)\nINPUT(b)\n\ny = NOT(a, b)\n", 4),    // Netlist(BadArity)
-            ("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n", 3),       // Netlist(MultipleDrivers)
-            ("INPUT(a)\nOUTPUT(zz)\n", 2),                   // Syntax (undefined OUTPUT)
+            ("INPUT(a)\nfoo bar baz\n", 2),               // Syntax
+            ("INPUT(a)\n\ny = FROB(a, a)\n", 3),          // UnknownGate
+            ("INPUT(a)\nINPUT(a)\n", 2),                  // Netlist(DuplicateNet)
+            ("INPUT(a)\nINPUT(b)\n\ny = NOT(a, b)\n", 4), // Netlist(BadArity)
+            ("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n", 3),    // Netlist(MultipleDrivers)
+            ("INPUT(a)\nOUTPUT(zz)\n", 2),                // Syntax (undefined OUTPUT)
         ];
         for (src, want) in cases {
             let err = parse_bench("bad", src).unwrap_err();

@@ -380,7 +380,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -559,11 +561,33 @@ mod tests {
     /// multi-byte scalars, and near-surrogate code points.
     fn gen_string(rng: &mut ChaCha20Rng) -> String {
         const POOL: &[char] = &[
-            'a', 'Z', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1f}', '☃', '\u{1F0A1}',
-            '\u{D7FF}', '\u{E000}', '\u{FFFD}', '{', '}', '[', ']', ',', ':', 'é',
+            'a',
+            'Z',
+            '"',
+            '\\',
+            '/',
+            '\n',
+            '\r',
+            '\t',
+            '\u{0}',
+            '\u{1f}',
+            '☃',
+            '\u{1F0A1}',
+            '\u{D7FF}',
+            '\u{E000}',
+            '\u{FFFD}',
+            '{',
+            '}',
+            '[',
+            ']',
+            ',',
+            ':',
+            'é',
         ];
         let len = rng.gen_range(0..8usize);
-        (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+        (0..len)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())])
+            .collect()
     }
 
     fn gen_value(rng: &mut ChaCha20Rng, depth: usize) -> Json {
@@ -577,7 +601,11 @@ mod tests {
             1 => Json::Bool(rng.gen_bool(0.5)),
             2 => Json::num(f64::from(rng.gen_range(-1000i32..1000)) * 0.125),
             3 => Json::Str(gen_string(rng)),
-            4 => Json::Arr((0..rng.gen_range(0..4usize)).map(|_| gen_value(rng, depth + 1)).collect()),
+            4 => Json::Arr(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| gen_value(rng, depth + 1))
+                    .collect(),
+            ),
             _ => {
                 let n = rng.gen_range(0..4usize);
                 let mut fields: Vec<(String, Json)> = Vec::new();
@@ -596,7 +624,7 @@ mod tests {
 
     #[test]
     fn random_documents_round_trip_exactly() {
-        let mut rng = ChaCha20Rng::seed_from_u64(0x5eed_1);
+        let mut rng = ChaCha20Rng::seed_from_u64(0x5eed1);
         for i in 0..500 {
             let v = gen_value(&mut rng, 0);
             let text = v.to_string();
@@ -612,7 +640,7 @@ mod tests {
         // Random single-character edits of valid documents: the parser
         // must cleanly accept or reject, and anything accepted must
         // round-trip through its own writer.
-        let mut rng = ChaCha20Rng::seed_from_u64(0x5eed_2);
+        let mut rng = ChaCha20Rng::seed_from_u64(0x5eed2);
         for i in 0..500 {
             let chars: Vec<char> = gen_value(&mut rng, 0).to_string().chars().collect();
             let mut mutated = chars.clone();

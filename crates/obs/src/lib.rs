@@ -256,12 +256,8 @@ mod tests {
             let outer = span(Level::Info, "test", "outer");
             assert!(outer.is_live());
             {
-                let mut inner = span_with(
-                    Level::Debug,
-                    "test",
-                    "inner",
-                    vec![("k", Value::U64(7))],
-                );
+                let mut inner =
+                    span_with(Level::Debug, "test", "inner", vec![("k", Value::U64(7))]);
                 inner.add_field("done", true);
                 event_with(Level::Trace, "test", "tick", vec![("i", Value::U64(1))]);
                 let begins: Vec<Record> = ring

@@ -154,7 +154,10 @@ mod tests {
         assert_eq!(ring.capacity(), 1);
         ring.push(&rec(7));
         ring.push(&rec(8));
-        assert_eq!(ring.drain().iter().map(|r| r.ts_micros).collect::<Vec<_>>(), vec![8]);
+        assert_eq!(
+            ring.drain().iter().map(|r| r.ts_micros).collect::<Vec<_>>(),
+            vec![8]
+        );
         assert_eq!(ring.dropped_events(), 1);
     }
 }

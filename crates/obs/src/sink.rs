@@ -354,7 +354,14 @@ mod tests {
     fn jsonl_sink_writes_one_parsable_line_per_record() {
         let sink = JsonlSink::new(Vec::new(), Level::Trace);
         for i in 0..4u64 {
-            sink.record(&rec(Kind::Instant, "tick", i, 1, 0, vec![("i", Value::U64(i))]));
+            sink.record(&rec(
+                Kind::Instant,
+                "tick",
+                i,
+                1,
+                0,
+                vec![("i", Value::U64(i))],
+            ));
         }
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -448,7 +455,14 @@ mod tests {
     fn chrome_balances_and_orders_a_simple_nested_trace() {
         let sink = ChromeTraceSink::new(Level::Trace);
         sink.record(&rec(Kind::Begin, "outer", 10, 1, 1, vec![]));
-        sink.record(&rec(Kind::Begin, "inner", 20, 1, 2, vec![("k", Value::U64(1))]));
+        sink.record(&rec(
+            Kind::Begin,
+            "inner",
+            20,
+            1,
+            2,
+            vec![("k", Value::U64(1))],
+        ));
         sink.record(&rec(Kind::Instant, "tick", 25, 1, 2, vec![]));
         sink.record(&rec(Kind::End, "inner", 30, 1, 2, vec![]));
         sink.record(&rec(Kind::End, "outer", 40, 1, 1, vec![]));
@@ -501,7 +515,10 @@ mod tests {
                         let id = next_span;
                         next_span += 1;
                         open[t].push(id);
-                        let fields = vec![("seed", Value::U64(seed)), ("s", Value::Str("\"\\\u{7}".into()))];
+                        let fields = vec![
+                            ("seed", Value::U64(seed)),
+                            ("s", Value::Str("\"\\\u{7}".into())),
+                        ];
                         sink.record(&rec(Kind::Begin, name, ts, tid, id, fields));
                     }
                     4..=6 => {

@@ -1,0 +1,640 @@
+//! Cross-request cone-score cache: a content-addressed, byte-budgeted
+//! sharded LRU shared by every request of a daemon (or a CLI run), with
+//! warm-restart persistence beside the checkpoint.
+//!
+//! The pipeline's quadratic phase consults the cache *before* the model:
+//! each surviving ordered class pair is keyed by
+//! `(checkpoint fingerprint, backend, cone hash of the first-presented
+//! cone, cone hash of the second)` — see [`ScoreCache::pair_key`] — and
+//! only cache misses reach `ReBertModel::score_pairs`. Because cone
+//! hashes ([`crate::cone_hash`]) identify *byte-identical* model input,
+//! the fingerprint pins the weights, and the backend tag separates
+//! bitwise-exact from tolerance-equivalent engines, a cache hit returns
+//! exactly the score a cold run would compute: cached recovery is
+//! bitwise-identical to cold recovery.
+//!
+//! On resubmit of an edited design this is automatic delta recovery —
+//! unchanged cone pairs are pure lookups, and only pairs touching edited
+//! cones are rescored.
+//!
+//! Concurrency: entries are spread over `N` mutex-guarded shards
+//! selected by the high half of the key (its own independent hash lane),
+//! so concurrent requests rarely contend on a lock. Each shard evicts
+//! its least-recently-used entries once its share of the byte budget is
+//! exceeded. Persistence is a length-prefixed binary file (header:
+//! magic, format version, fingerprint) written atomically via
+//! tmp+rename; stale or corrupt files are ignored on load, never fatal.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rebert_nn::Backend;
+use rebert_obs as obs;
+
+use crate::dataset::StableHasher;
+
+/// On-disk magic of a persisted score cache.
+const MAGIC: [u8; 4] = *b"RBSC";
+/// On-disk format version; files with any other version are ignored.
+const FORMAT_VERSION: u32 = 1;
+/// Bytes of one persisted entry: a 16-byte key plus a 4-byte score.
+const PERSISTED_ENTRY_BYTES: usize = 20;
+/// Header bytes: magic + version + fingerprint + entry count.
+const HEADER_BYTES: usize = 4 + 4 + 8 + 8;
+
+/// One shard: a plain map plus a monotone recency tick driving LRU
+/// eviction. Keys are already uniform 128-bit content hashes, so the
+/// shard size in entries is an exact proxy for its resident bytes.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u128, Entry>,
+    tick: u64,
+}
+
+struct Entry {
+    score: f32,
+    tick: u64,
+}
+
+/// A sharded-lock, byte-budgeted LRU cache of class-pair scores, shared
+/// across requests via `Arc` (see `RecoverySession::with_cache`).
+///
+/// # Examples
+///
+/// ```
+/// use rebert::ScoreCache;
+///
+/// let cache = ScoreCache::new(1 << 20, 0xfeed);
+/// let key = ScoreCache::pair_key(0xfeed, rebert::Backend::F32Scalar, 1, 2);
+/// assert_eq!(cache.get(key), None);
+/// cache.insert(key, 0.75);
+/// assert_eq!(cache.get(key), Some(0.75));
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+pub struct ScoreCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte budget of each shard (total budget / shard count).
+    shard_budget: usize,
+    budget: usize,
+    fingerprint: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ScoreCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoreCache")
+            .field("shards", &self.shards.len())
+            .field("budget", &self.budget)
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl ScoreCache {
+    /// Approximate resident bytes of one cached entry (16-byte key,
+    /// 4-byte score, 8-byte recency tick, plus hash-table overhead).
+    /// The byte budget is accounted in these units, so a budget of
+    /// exactly `ENTRY_BYTES` is a true 1-entry LRU.
+    pub const ENTRY_BYTES: usize = 48;
+
+    /// Shard count for budgets large enough to make lock spreading
+    /// worthwhile; tiny budgets collapse to a single shard so the whole
+    /// cache is one exact LRU.
+    const SHARDS: usize = 16;
+
+    /// Creates an empty cache holding at most `budget_bytes` worth of
+    /// entries ([`ScoreCache::ENTRY_BYTES`] each) for the model whose
+    /// checkpoint fingerprint is `fingerprint`.
+    pub fn new(budget_bytes: usize, fingerprint: u64) -> Self {
+        let n_shards = if budget_bytes >= 4 * Self::SHARDS * Self::ENTRY_BYTES {
+            Self::SHARDS
+        } else {
+            1
+        };
+        ScoreCache {
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_budget: budget_bytes / n_shards,
+            budget: budget_bytes,
+            fingerprint,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache and pre-fills it from a file previously written
+    /// by [`ScoreCache::flush`]. A missing, truncated, corrupt, or
+    /// stale-fingerprint file is ignored (the cache starts cold) —
+    /// loading never fails and never panics on untrusted bytes.
+    pub fn load_or_new(path: &Path, budget_bytes: usize, fingerprint: u64) -> Self {
+        let cache = ScoreCache::new(budget_bytes, fingerprint);
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(_) => return cache, // no persisted cache: cold start
+        };
+        match decode_entries(&bytes, fingerprint) {
+            Ok(entries) => {
+                for (key, score) in entries {
+                    cache.insert(key, score);
+                }
+                obs::event_with(
+                    obs::Level::Info,
+                    "cache",
+                    "load",
+                    vec![("entries", cache.len().into())],
+                );
+            }
+            Err(reason) => {
+                obs::event_with(
+                    obs::Level::Warn,
+                    "cache",
+                    "load_ignored",
+                    vec![("reason", reason.into())],
+                );
+            }
+        }
+        cache
+    }
+
+    /// Derives the content-addressed key of one **ordered** class pair:
+    /// `first`/`second` are the [`crate::cone_hash`]es of the two cones
+    /// in the orientation the model would see them, so `(a, b)` and
+    /// `(b, a)` key distinct entries. The checkpoint fingerprint pins
+    /// the weights and the backend tag keeps bitwise-exact scores from
+    /// ever being served to a tolerance-equivalent engine (or across
+    /// hosts that resolve SIMD differently) — soundness never depends on
+    /// cross-backend score agreement.
+    ///
+    /// The 128-bit key is two independently seeded FNV-1a lanes over the
+    /// same fields; the high lane doubles as the shard selector.
+    pub fn pair_key(fingerprint: u64, backend: Backend, first: u64, second: u64) -> u128 {
+        let mut lo = StableHasher::new();
+        lo.write_u64(fingerprint);
+        lo.write(backend.label().as_bytes());
+        lo.write_u64(first);
+        lo.write_u64(second);
+        let lo = lo.finish();
+        let mut hi = StableHasher::with_seed(0x9e37_79b9_7f4a_7c15);
+        hi.write_u64(second);
+        hi.write_u64(fingerprint);
+        hi.write(backend.label().as_bytes());
+        hi.write_u64(first);
+        let hi = hi.finish();
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        let prefix = (key >> 64) as u64;
+        &self.shards[(prefix % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a score, bumping the entry's recency and the hit/miss
+    /// counters.
+    pub fn get(&self, key: u128) -> Option<f32> {
+        let mut shard = self.shard(key).lock().expect("score cache shard lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(e) => {
+                e.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.score)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a score, then evicts the shard's
+    /// least-recently-used entries until it is back under its share of
+    /// the byte budget. A budget too small for even one entry turns the
+    /// cache into a no-op.
+    pub fn insert(&self, key: u128, score: f32) {
+        if self.shard_budget < Self::ENTRY_BYTES {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("score cache shard lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(key, Entry { score, tick });
+        while shard.map.len() * Self::ENTRY_BYTES > self.shard_budget {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(&k, _)| k)
+                .expect("an over-budget shard is non-empty");
+            shard.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Atomically persists the cache next to the checkpoint: the
+    /// snapshot is written to `<path>.tmp` and renamed over `path`, so a
+    /// crash mid-flush leaves the previous file intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if writing or renaming fails.
+    pub fn flush(&self, path: &Path) -> std::io::Result<()> {
+        let mut sp = obs::span(obs::Level::Info, "cache", "flush");
+        let mut entries: Vec<(u128, f32)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("score cache shard lock");
+            entries.extend(shard.map.iter().map(|(&k, e)| (k, e.score)));
+        }
+        let mut buf = Vec::with_capacity(HEADER_BYTES + entries.len() * PERSISTED_ENTRY_BYTES);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (k, s) in &entries {
+            buf.extend_from_slice(&k.to_le_bytes());
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        sp.add_field("entries", entries.len());
+        sp.add_field("bytes", buf.len());
+        let tmp = path.with_extension("bin.tmp");
+        std::fs::write(&tmp, &buf)?;
+        std::fs::rename(&tmp, path)?;
+        sp.end();
+        Ok(())
+    }
+
+    /// The checkpoint fingerprint this cache was created for (written
+    /// into the persistence header).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("score cache shard lock").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes (`len() * ENTRY_BYTES`).
+    pub fn bytes(&self) -> usize {
+        self.len() * Self::ENTRY_BYTES
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime LRU evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// Parses a persisted cache body, validating magic, version,
+/// fingerprint, and exact length before trusting any entry.
+fn decode_entries(bytes: &[u8], fingerprint: u64) -> Result<Vec<(u128, f32)>, &'static str> {
+    if bytes.len() < HEADER_BYTES {
+        return Err("truncated header");
+    }
+    if bytes[0..4] != MAGIC {
+        return Err("bad magic");
+    }
+    let le8 = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("slice length checked"));
+    if u32::from_le_bytes(bytes[4..8].try_into().expect("slice length checked")) != FORMAT_VERSION {
+        return Err("unknown format version");
+    }
+    if le8(&bytes[8..16]) != fingerprint {
+        return Err("stale fingerprint");
+    }
+    let count = le8(&bytes[16..24]) as usize;
+    let body = &bytes[HEADER_BYTES..];
+    if count
+        .checked_mul(PERSISTED_ENTRY_BYTES)
+        .is_none_or(|len| len != body.len())
+    {
+        return Err("truncated body");
+    }
+    Ok(body
+        .chunks_exact(PERSISTED_ENTRY_BYTES)
+        .map(|chunk| {
+            let key = u128::from_le_bytes(chunk[0..16].try_into().expect("slice length checked"));
+            let score = f32::from_le_bytes(chunk[16..20].try_into().expect("slice length checked"));
+            (key, score)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rebert_cache_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = ScoreCache::new(1 << 16, 7);
+        let k = ScoreCache::pair_key(7, Backend::F32Scalar, 10, 20);
+        assert_eq!(cache.get(k), None);
+        cache.insert(k, 0.5);
+        assert_eq!(cache.get(k), Some(0.5));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), ScoreCache::ENTRY_BYTES);
+        // Re-insert refreshes, never duplicates.
+        cache.insert(k, 0.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_separate_orientation_backend_and_fingerprint() {
+        let base = ScoreCache::pair_key(1, Backend::F32Scalar, 10, 20);
+        assert_ne!(base, ScoreCache::pair_key(1, Backend::F32Scalar, 20, 10));
+        assert_ne!(base, ScoreCache::pair_key(1, Backend::Int8, 10, 20));
+        assert_ne!(base, ScoreCache::pair_key(2, Backend::F32Scalar, 10, 20));
+        // Deterministic across calls (and, being FNV over fixed bytes,
+        // across processes — the property persistence relies on).
+        assert_eq!(base, ScoreCache::pair_key(1, Backend::F32Scalar, 10, 20));
+    }
+
+    #[test]
+    fn single_entry_budget_thrashes_but_works() {
+        let cache = ScoreCache::new(ScoreCache::ENTRY_BYTES, 3);
+        let k1 = ScoreCache::pair_key(3, Backend::F32Scalar, 1, 2);
+        let k2 = ScoreCache::pair_key(3, Backend::F32Scalar, 3, 4);
+        cache.insert(k1, 0.1);
+        assert_eq!(cache.get(k1), Some(0.1));
+        cache.insert(k2, 0.2);
+        // k1 was evicted to stay within the 1-entry budget.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(k1), None);
+        assert_eq!(cache.get(k2), Some(0.2));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_budget_is_a_noop_cache() {
+        let cache = ScoreCache::new(0, 3);
+        let k = ScoreCache::pair_key(3, Backend::F32Scalar, 1, 2);
+        cache.insert(k, 0.9);
+        assert_eq!(cache.get(k), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Budget for exactly two entries in one shard.
+        let cache = ScoreCache::new(2 * ScoreCache::ENTRY_BYTES, 5);
+        assert_eq!(cache.shards.len(), 1, "tiny budgets stay single-shard");
+        let ks: Vec<u128> = (0..3)
+            .map(|i| ScoreCache::pair_key(5, Backend::F32Scalar, i, i + 1))
+            .collect();
+        cache.insert(ks[0], 0.0);
+        cache.insert(ks[1], 0.1);
+        // Touch ks[0] so ks[1] becomes the LRU victim.
+        assert_eq!(cache.get(ks[0]), Some(0.0));
+        cache.insert(ks[2], 0.2);
+        assert_eq!(cache.get(ks[1]), None, "LRU entry evicted");
+        assert_eq!(cache.get(ks[0]), Some(0.0));
+        assert_eq!(cache.get(ks[2]), Some(0.2));
+    }
+
+    #[test]
+    fn large_budgets_shard_and_respect_total_budget() {
+        let budget = 64 * ScoreCache::ENTRY_BYTES * ScoreCache::SHARDS;
+        let cache = ScoreCache::new(budget, 9);
+        assert_eq!(cache.shards.len(), ScoreCache::SHARDS);
+        for i in 0..10_000u64 {
+            cache.insert(ScoreCache::pair_key(9, Backend::F32Scalar, i, i), 0.5);
+        }
+        assert!(cache.bytes() <= budget, "never exceeds the byte budget");
+        assert!(cache.evictions() > 0);
+        assert_eq!(
+            cache.evictions() + cache.len() as u64,
+            10_000,
+            "every insert is either resident or was evicted"
+        );
+    }
+
+    #[test]
+    fn flush_and_load_round_trip() {
+        let path = tmp("roundtrip.bin");
+        let cache = ScoreCache::new(1 << 16, 11);
+        let keys: Vec<u128> = (0..100u64)
+            .map(|i| ScoreCache::pair_key(11, Backend::F32Scalar, i, i + 1))
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            cache.insert(k, i as f32 / 100.0);
+        }
+        cache.flush(&path).unwrap();
+
+        let loaded = ScoreCache::load_or_new(&path, 1 << 16, 11);
+        assert_eq!(loaded.len(), 100);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(
+                loaded.get(k).map(f32::to_bits),
+                Some((i as f32 / 100.0).to_bits()),
+                "entry {i} survives bitwise"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_ignores_poisoned_truncated_and_stale_files() {
+        let assert_cold = |name: &str, bytes: &[u8]| {
+            let path = tmp(name);
+            std::fs::write(&path, bytes).unwrap();
+            let cache = ScoreCache::load_or_new(&path, 1 << 16, 11);
+            assert!(cache.is_empty(), "{name} must load as a cold cache");
+            std::fs::remove_file(path).ok();
+        };
+        // Garbage bytes, empty file, bad magic.
+        assert_cold("poisoned.bin", b"not a cache file at all............");
+        assert_cold("empty.bin", b"");
+        assert_cold("badmagic.bin", &[0u8; 64]);
+
+        // A real file, truncated mid-entry.
+        let path = tmp("source.bin");
+        let cache = ScoreCache::new(1 << 16, 11);
+        for i in 0..10u64 {
+            cache.insert(ScoreCache::pair_key(11, Backend::F32Scalar, i, i), 0.5);
+        }
+        cache.flush(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        assert_cold("truncated.bin", &full[..full.len() - 7]);
+
+        // Wrong format version.
+        let mut wrong_version = full.clone();
+        wrong_version[4] = 0xFF;
+        assert_cold("wrongversion.bin", &wrong_version);
+
+        // Stale fingerprint: valid file for a *different* model.
+        let other = tmp("otherfp.bin");
+        std::fs::write(&other, &full).unwrap();
+        let stale = ScoreCache::load_or_new(&other, 1 << 16, 12);
+        assert!(stale.is_empty(), "stale fingerprint ignored");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(other).ok();
+    }
+
+    #[test]
+    fn load_respects_budget() {
+        let path = tmp("overbudget.bin");
+        let cache = ScoreCache::new(1 << 16, 13);
+        for i in 0..50u64 {
+            cache.insert(ScoreCache::pair_key(13, Backend::F32Scalar, i, i), 0.5);
+        }
+        cache.flush(&path).unwrap();
+        // Reload into a cache that only holds 4 entries.
+        let small = ScoreCache::load_or_new(&path, 4 * ScoreCache::ENTRY_BYTES, 13);
+        assert!(small.len() <= 4);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        use std::sync::Arc;
+        let cache = Arc::new(ScoreCache::new(1 << 20, 21));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = ScoreCache::pair_key(21, Backend::F32Scalar, i, t);
+                        cache.insert(k, (t * 1000 + i) as f32);
+                        assert_eq!(cache.get(k), Some((t * 1000 + i) as f32));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 2000);
+        assert_eq!(cache.hits(), 2000);
+    }
+}
+
+/// Exhaustive interleaving checks of the sharded-LRU insert/lookup/evict
+/// protocol, run with `RUSTFLAGS="--cfg loom" cargo test -p rebert --lib
+/// loom` alongside the batched-cursor models in `par.rs`.
+///
+/// The real `ScoreCache` uses `std` mutexes and atomics, which loom
+/// cannot instrument, so these models restate the per-shard protocol —
+/// lock, tick, insert, evict-while-over-budget, unlock — on loom
+/// primitives and assert the invariants callers rely on: a shard never
+/// exceeds its entry budget, a lookup only ever observes a value that
+/// was inserted under that key (scores are never torn or mixed between
+/// keys), and the eviction counter exactly accounts for entries that
+/// left the map.
+#[cfg(all(test, loom))]
+mod loom_models {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    use loom::sync::{Arc, Mutex};
+    use loom::thread;
+
+    /// Restated shard: (key, score, tick) triples behind one lock.
+    type Shard = Mutex<Vec<(u64, f32, u64)>>;
+
+    const CAP: usize = 1;
+
+    fn insert(shard: &Shard, evictions: &AtomicU64, key: u64, score: f32) {
+        let mut s = shard.lock().unwrap();
+        let tick = s.iter().map(|&(_, _, t)| t).max().unwrap_or(0) + 1;
+        s.retain(|&(k, _, _)| k != key);
+        s.push((key, score, tick));
+        while s.len() > CAP {
+            let oldest = s
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, _, t))| t)
+                .map(|(i, _)| i)
+                .expect("over-budget shard is non-empty");
+            s.remove(oldest);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn get(shard: &Shard, key: u64) -> Option<f32> {
+        let s = shard.lock().unwrap();
+        s.iter().find(|&&(k, _, _)| k == key).map(|&(_, v, _)| v)
+    }
+
+    #[test]
+    fn loom_shard_never_exceeds_budget_and_accounts_evictions() {
+        loom::model(|| {
+            let shard: Arc<Shard> = Arc::new(Mutex::new(Vec::new()));
+            let evictions = Arc::new(AtomicU64::new(0));
+            let writers: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let shard = Arc::clone(&shard);
+                    let evictions = Arc::clone(&evictions);
+                    thread::spawn(move || insert(&shard, &evictions, t, t as f32))
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            let len = shard.lock().unwrap().len();
+            assert!(len <= CAP, "budget respected under every interleaving");
+            assert_eq!(
+                evictions.load(Ordering::Relaxed) + len as u64,
+                2,
+                "every insert is resident or evicted, never both or neither"
+            );
+        });
+    }
+
+    #[test]
+    fn loom_lookup_only_observes_inserted_scores() {
+        loom::model(|| {
+            let shard: Arc<Shard> = Arc::new(Mutex::new(Vec::new()));
+            let evictions = Arc::new(AtomicU64::new(0));
+            let writer = {
+                let shard = Arc::clone(&shard);
+                let evictions = Arc::clone(&evictions);
+                thread::spawn(move || insert(&shard, &evictions, 7, 0.75))
+            };
+            let reader = {
+                let shard = Arc::clone(&shard);
+                thread::spawn(move || get(&shard, 7))
+            };
+            let seen = reader.join().unwrap();
+            writer.join().unwrap();
+            // Concurrent lookup: either a clean miss or exactly the
+            // inserted value — never a torn or foreign score.
+            assert!(seen.is_none() || seen == Some(0.75));
+            assert_eq!(get(&shard, 7), Some(0.75), "insert is durable");
+        });
+    }
+}

@@ -96,24 +96,107 @@ pub fn bit_sequences(
 /// Dense identifier of a cone equivalence class (see [`ConeClasses`]).
 pub type ClassId = u32;
 
-/// Hash/equality view of one bit's cone as the pair `(tokens, codes)`,
-/// with the `f32` codes compared **bitwise** — two bits land in the same
+/// A hand-rolled streaming **FNV-1a** 64-bit hasher.
+///
+/// Unlike `std::collections::hash_map::DefaultHasher`, whose output is
+/// randomized per process, this hash is a pure function of the bytes
+/// fed to it — identical across runs, platforms, and builds — so its
+/// digests are usable as *persistent* content-addressed keys (the
+/// cross-request score cache, checkpoint fingerprints).
+///
+/// # Examples
+///
+/// ```
+/// use rebert::StableHasher;
+///
+/// let mut h = StableHasher::new();
+/// h.write(b"rebert");
+/// let a = h.finish();
+/// let mut h2 = StableHasher::new();
+/// h2.write(b"rebert");
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// FNV-1a 64-bit offset basis.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a 64-bit prime.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher(Self::OFFSET)
+    }
+
+    /// A hasher starting from an arbitrary state — a cheap way to derive
+    /// independent hash lanes over the same bytes.
+    pub fn with_seed(seed: u64) -> Self {
+        StableHasher(seed)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stable 64-bit content hash of one bit's cone — the `(tokens, codes)`
+/// pair produced by [`bit_sequences`], with tokens hashed by their fixed
+/// vocabulary id and codes by their `f32` bit patterns.
+///
+/// Two cones hash equal exactly when the model would see byte-identical
+/// input for them (modulo the negligible 64-bit collision probability,
+/// which [`ConeClasses::build`] guards with a full equality check). The
+/// digest is identical across runs and platforms, which is what lets
+/// cone hashes key the persistent cross-request score cache.
+pub fn cone_hash(tokens: &[Token], codes: &[Vec<f32>]) -> u64 {
+    let vocab = crate::token::Vocab::new();
+    let mut h = StableHasher::new();
+    h.write_u64(tokens.len() as u64);
+    for &t in tokens {
+        h.write_u32(vocab.id(t) as u32);
+    }
+    h.write_u64(codes.len() as u64);
+    for code in codes {
+        h.write_u64(code.len() as u64);
+        for &c in code {
+            h.write_u32(c.to_bits());
+        }
+    }
+    h.finish()
+}
+
+/// Equality view of one bit's cone as the pair `(tokens, codes)`, with
+/// the `f32` codes compared **bitwise** — two bits land in the same
 /// class exactly when the model would see byte-identical input for them.
 struct ConeKey<'a> {
     tokens: &'a [Token],
     codes: &'a [Vec<f32>],
-}
-
-impl std::hash::Hash for ConeKey<'_> {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.tokens.hash(state);
-        self.codes.len().hash(state);
-        for code in self.codes {
-            for &c in code {
-                state.write_u32(c.to_bits());
-            }
-        }
-    }
 }
 
 impl PartialEq for ConeKey<'_> {
@@ -125,8 +208,6 @@ impl PartialEq for ConeKey<'_> {
             })
     }
 }
-
-impl Eq for ConeKey<'_> {}
 
 /// Equivalence classes of bits whose tokenized cones — the `(tokens,
 /// codes)` pair produced by [`bit_sequences`] — are bit-identical.
@@ -151,7 +232,7 @@ impl Eq for ConeKey<'_> {}
 /// let c = generate(&Profile::new("demo", 100, 12, 3), 7);
 /// let seqs = bit_sequences(&c.netlist, 3, 8);
 /// let classes = ConeClasses::build(&seqs);
-/// assert!(classes.len() >= 1 && classes.len() <= seqs.len());
+/// assert!(!classes.is_empty() && classes.len() <= seqs.len());
 /// let c0 = classes.class_of(0);
 /// assert!(classes.members(c0).contains(&0));
 /// ```
@@ -160,26 +241,49 @@ pub struct ConeClasses {
     class_of: Vec<ClassId>,
     members: Vec<Vec<usize>>,
     histograms: Vec<Vec<u32>>,
+    hashes: Vec<u64>,
 }
 
 impl ConeClasses {
     /// Groups the tokenized bits of [`bit_sequences`] into cone classes
-    /// and precomputes one token histogram per class.
+    /// and precomputes one token histogram and one stable content hash
+    /// ([`cone_hash`]) per class.
+    ///
+    /// Grouping is keyed on the stable hash so class identity is a pure
+    /// function of cone content (no process-random hashing involved); a
+    /// hash collision falls back to full bitwise equality, so grouping
+    /// stays exact regardless.
     pub fn build(seqs: &[(Vec<Token>, Vec<Vec<f32>>)]) -> Self {
         let vocab = crate::token::Vocab::new();
-        let mut index: std::collections::HashMap<ConeKey<'_>, ClassId> =
+        let mut index: std::collections::HashMap<u64, Vec<ClassId>> =
             std::collections::HashMap::with_capacity(seqs.len());
         let mut class_of = Vec::with_capacity(seqs.len());
         let mut members: Vec<Vec<usize>> = Vec::new();
         let mut histograms: Vec<Vec<u32>> = Vec::new();
+        let mut hashes: Vec<u64> = Vec::new();
         for (bit, (tokens, codes)) in seqs.iter().enumerate() {
+            let h = cone_hash(tokens, codes);
             let key = ConeKey { tokens, codes };
-            let next = members.len() as ClassId;
-            let id = *index.entry(key).or_insert(next);
-            if id == next {
-                members.push(Vec::new());
-                histograms.push(vocab.histogram(tokens));
-            }
+            let bucket = index.entry(h).or_default();
+            let id = bucket
+                .iter()
+                .copied()
+                .find(|&c| {
+                    let rep = members[c as usize][0];
+                    let (rt, rc) = &seqs[rep];
+                    ConeKey {
+                        tokens: rt,
+                        codes: rc,
+                    } == key
+                })
+                .unwrap_or_else(|| {
+                    let id = members.len() as ClassId;
+                    bucket.push(id);
+                    members.push(Vec::new());
+                    histograms.push(vocab.histogram(tokens));
+                    hashes.push(h);
+                    id
+                });
             members[id as usize].push(bit);
             class_of.push(id);
         }
@@ -187,6 +291,7 @@ impl ConeClasses {
             class_of,
             members,
             histograms,
+            hashes,
         }
     }
 
@@ -246,6 +351,16 @@ impl ConeClasses {
     /// Panics if `c` is out of range.
     pub fn histogram(&self, c: ClassId) -> &[u32] {
         &self.histograms[c as usize]
+    }
+
+    /// Stable content hash ([`cone_hash`]) of class `c`'s cone —
+    /// identical across runs and platforms, shared by every member bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn hash(&self, c: ClassId) -> u64 {
+        self.hashes[c as usize]
     }
 
     /// Mean bits per class (`1.0` = no cone duplication at all).
@@ -391,7 +506,7 @@ mod tests {
         let seqs = bit_sequences(&c.netlist, 3, 8);
         let classes = ConeClasses::build(&seqs);
         assert_eq!(classes.bits(), seqs.len());
-        assert!(classes.len() >= 1 && classes.len() <= seqs.len());
+        assert!(!classes.is_empty() && classes.len() <= seqs.len());
         // Members partition 0..n and agree with class_of.
         let mut seen = vec![false; seqs.len()];
         for cid in 0..classes.len() as ClassId {
@@ -435,6 +550,65 @@ mod tests {
             let rep = classes.representative(cid);
             assert_eq!(classes.histogram(cid), vocab.histogram(&seqs[rep].0));
         }
+    }
+
+    #[test]
+    fn cone_hash_matches_pinned_vectors() {
+        // Pinned digests: the hash is a pure function of cone content,
+        // so these constants must never change across runs, platforms,
+        // or refactors — persisted cache keys depend on it. If this test
+        // fails, the on-disk cache format fingerprint must be bumped.
+        use rebert_netlist::GateType;
+        assert_eq!(cone_hash(&[], &[]), 0x8820_1fb9_60ff_6465);
+        let toks = vec![Token::Cls, Token::Gate(GateType::And), Token::X];
+        assert_eq!(cone_hash(&toks, &[]), 0x3d5e_eb33_bfdf_e511);
+        let codes = vec![vec![0.0f32, 1.0], vec![-0.5, 0.25]];
+        assert_eq!(cone_hash(&toks, &codes), 0xe534_af31_497a_d161);
+        // -0.0 and 0.0 differ bitwise, so they hash differently.
+        let neg = vec![vec![-0.0f32, 1.0], vec![-0.5, 0.25]];
+        assert_ne!(cone_hash(&toks, &codes), cone_hash(&toks, &neg));
+    }
+
+    #[test]
+    fn stable_hasher_matches_fnv1a_reference() {
+        // FNV-1a test vectors (64-bit) from the reference description.
+        let digest = |bytes: &[u8]| {
+            let mut h = StableHasher::new();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest(b"foobar"), 0x8594_4171_f739_67e8);
+        // Length prefixes keep concatenation ambiguity out of cone
+        // hashes: ("ab", "c") and ("a", "bc") digests must differ.
+        let with_parts = |parts: &[&[u8]]| {
+            let mut h = StableHasher::new();
+            for p in parts {
+                h.write_u64(p.len() as u64);
+                h.write(p);
+            }
+            h.finish()
+        };
+        assert_ne!(with_parts(&[b"ab", b"c"]), with_parts(&[b"a", b"bc"]));
+    }
+
+    #[test]
+    fn class_hashes_agree_with_membership() {
+        let c = small_circuit(3);
+        let seqs = bit_sequences(&c.netlist, 3, 8);
+        let classes = ConeClasses::build(&seqs);
+        // Every bit's cone hash equals its class hash, and distinct
+        // classes carry distinct hashes on real circuits.
+        for (bit, (toks, codes)) in seqs.iter().enumerate() {
+            assert_eq!(cone_hash(toks, codes), classes.hash(classes.class_of(bit)));
+        }
+        let mut hashes: Vec<u64> = (0..classes.len() as ClassId)
+            .map(|c| classes.hash(c))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), classes.len(), "class hashes are distinct");
     }
 
     #[test]

@@ -322,7 +322,7 @@ pub fn group_bits_agglomerative(matrix: &ScoreMatrix, threshold: f32) -> Vec<usi
                     clusters[a].as_ref().expect("live"),
                     clusters[b].as_ref().expect("live"),
                 );
-                if best.map_or(true, |(_, _, s)| score > s) {
+                if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((a, b, score));
                 }
             }
@@ -337,12 +337,10 @@ pub fn group_bits_agglomerative(matrix: &ScoreMatrix, threshold: f32) -> Vec<usi
     }
 
     let mut assign = vec![0usize; n];
-    let mut next = 0usize;
-    for c in clusters.into_iter().flatten() {
+    for (next, c) in clusters.into_iter().flatten().enumerate() {
         for i in c {
             assign[i] = next;
         }
-        next += 1;
     }
     // Dense re-id in first-seen order for stability.
     let mut map = std::collections::HashMap::new();

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod dataset;
 mod filter;
 mod group;
@@ -62,9 +63,10 @@ mod tree_embed;
 /// `rebert-obs` so existing `rebert::json::...` paths keep working.
 pub use rebert_obs::json;
 
+pub use cache::ScoreCache;
 pub use dataset::{
-    all_pairs, bit_sequences, loo_split, training_samples, ClassId, ConeClasses, DatasetConfig,
-    PairSample,
+    all_pairs, bit_sequences, cone_hash, loo_split, training_samples, ClassId, ConeClasses,
+    DatasetConfig, PairSample, StableHasher,
 };
 pub use filter::{jaccard, jaccard_counts, jaccard_set, passes_filter, PAPER_JACCARD_THRESHOLD};
 pub use group::{

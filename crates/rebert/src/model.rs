@@ -115,6 +115,9 @@ pub struct ReBertModel {
     /// Lazily built int8 view of the parameters, invalidated on any
     /// mutable store access (training steps, checkpoint loads).
     quant: OnceLock<QuantStore>,
+    /// Lazily computed checkpoint fingerprint, invalidated alongside
+    /// `quant` — both are pure functions of the current weights.
+    fingerprint: OnceLock<u64>,
     word_emb: Embedding,
     pos_emb: Embedding,
     tree_proj: Linear,
@@ -149,6 +152,7 @@ impl ReBertModel {
             vocab,
             store,
             quant: OnceLock::new(),
+            fingerprint: OnceLock::new(),
             word_emb,
             pos_emb,
             tree_proj,
@@ -172,9 +176,11 @@ impl ReBertModel {
     }
 
     /// Mutable access to the parameters (for the optimizer). Drops any
-    /// cached int8 view — it would be stale after a weight update.
+    /// cached int8 view and fingerprint — both would be stale after a
+    /// weight update.
     pub fn store_mut(&mut self) -> &mut ParamStore {
         self.quant.take();
+        self.fingerprint.take();
         &mut self.store
     }
 
@@ -191,7 +197,30 @@ impl ReBertModel {
             "checkpoint parameter count mismatch"
         );
         self.quant.take();
+        self.fingerprint.take();
         self.store = store;
+    }
+
+    /// Stable 64-bit content fingerprint of the checkpoint: an FNV-1a
+    /// hash ([`crate::StableHasher`]) over the exact bytes
+    /// [`crate::save_model`] would write (config + every parameter
+    /// scalar). Computed once and cached until the next mutable store
+    /// access, identical across runs and platforms, and therefore usable
+    /// as the model component of persistent cache keys — two models
+    /// fingerprint equal only if they score every pair identically.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = crate::dataset::StableHasher::new();
+            h.write(crate::persist::encode_checkpoint(&self.config, &self.store).as_bytes());
+            h.finish()
+        })
+    }
+
+    /// [`ReBertModel::fingerprint`] rendered as fixed-width lowercase
+    /// hex — the form shown by `rebert inspect`, the serve payload's
+    /// `model_fingerprint`, and the `/metrics` info series.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
     }
 
     /// The int8 view of the parameters, built on first use and cached

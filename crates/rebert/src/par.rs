@@ -211,8 +211,7 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         for threads in [1usize, 2, 4] {
-            let got =
-                try_par_map_batched(&items, threads, 16, Some(&token), || (), |_, &x| x);
+            let got = try_par_map_batched(&items, threads, 16, Some(&token), || (), |_, &x| x);
             assert_eq!(got, None, "{threads} threads");
         }
     }
@@ -222,9 +221,8 @@ mod tests {
         let items: Vec<usize> = (0..300).collect();
         let token = CancelToken::new();
         for threads in [1usize, 3] {
-            let got =
-                try_par_map_batched(&items, threads, 16, Some(&token), || (), |_, &x| x * 2)
-                    .expect("completes");
+            let got = try_par_map_batched(&items, threads, 16, Some(&token), || (), |_, &x| x * 2)
+                .expect("completes");
             assert_eq!(got.len(), 300, "{threads} threads");
             assert_eq!(got[299], 598);
         }
@@ -238,12 +236,19 @@ mod tests {
         let items: Vec<usize> = (0..100_000).collect();
         let token = CancelToken::new();
         let seen = AtomicUsize::new(0);
-        let got = try_par_map_batched(&items, 2, 8, Some(&token), || (), |_, &x| {
-            if seen.fetch_add(1, Ordering::Relaxed) == 20 {
-                token.cancel();
-            }
-            x
-        });
+        let got = try_par_map_batched(
+            &items,
+            2,
+            8,
+            Some(&token),
+            || (),
+            |_, &x| {
+                if seen.fetch_add(1, Ordering::Relaxed) == 20 {
+                    token.cancel();
+                }
+                x
+            },
+        );
         assert_eq!(got, None);
         assert!(
             seen.load(Ordering::Relaxed) < items.len(),
@@ -337,8 +342,7 @@ mod loom_models {
                 assert!(c.load(Ordering::Relaxed) <= 1, "no index claimed twice");
             }
             assert!(filled <= ITEMS);
-            let claimed_total: usize =
-                claims.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            let claimed_total: usize = claims.iter().map(|c| c.load(Ordering::Relaxed)).sum();
             assert_eq!(claimed_total, filled, "claim ledger matches fill count");
         });
     }

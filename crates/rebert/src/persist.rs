@@ -66,6 +66,9 @@ fn format_err(context: &str) -> PersistError {
 /// Returns a [`PersistError`] on I/O failure.
 pub fn save_model(model: &ReBertModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
     std::fs::write(path, encode_checkpoint(model.config(), model.store()))?;
+    // Warm the content fingerprint while the encoded form is hot in
+    // cache — saving is exactly the moment callers want it reported.
+    model.fingerprint();
     Ok(())
 }
 
@@ -176,7 +179,7 @@ fn decode_config(doc: &Json) -> Result<ReBertConfig, PersistError> {
             "config enables no embedding scheme".to_owned(),
         ));
     }
-    if cfg.code_width < 2 || cfg.code_width % 2 != 0 {
+    if cfg.code_width < 2 || !cfg.code_width.is_multiple_of(2) {
         return Err(PersistError::Format(format!(
             "config code_width {} is not a positive even number",
             cfg.code_width
@@ -184,7 +187,7 @@ fn decode_config(doc: &Json) -> Result<ReBertConfig, PersistError> {
     }
     if cfg.bert.n_heads == 0
         || cfg.bert.d_model == 0
-        || cfg.bert.d_model % cfg.bert.n_heads != 0
+        || !cfg.bert.d_model.is_multiple_of(cfg.bert.n_heads)
         || cfg.max_seq == 0
     {
         return Err(PersistError::Format(format!(
@@ -318,7 +321,11 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<ReBertModel, PersistError> {
     let doc = Json::parse(&text).map_err(|e| PersistError::Format(e.to_string()))?;
     let config = decode_config(doc.get("config").ok_or_else(|| format_err("config"))?)?;
     let store = decode_store(doc.get("store").ok_or_else(|| format_err("store"))?)?;
-    install_checkpoint(config, store)
+    let model = install_checkpoint(config, store)?;
+    // Warm the fingerprint at load so serving layers can report it
+    // without paying the re-encode on the first request.
+    model.fingerprint();
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -352,6 +359,32 @@ mod tests {
         assert_eq!(loaded.predict(&pair), before);
         assert_eq!(loaded.config(), model.config());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fingerprint_survives_save_load_and_tracks_weights() {
+        let model = ReBertModel::new(ReBertConfig::tiny(), 17);
+        let fp = model.fingerprint();
+        assert_eq!(model.fingerprint(), fp, "fingerprint is cached, stable");
+        assert_eq!(model.fingerprint_hex(), format!("{fp:016x}"));
+
+        // Round-tripping through a checkpoint preserves the fingerprint
+        // (it hashes exactly the bytes save_model writes).
+        let path = tmp("fingerprint.json");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.fingerprint(), fp);
+        std::fs::remove_file(path).ok();
+
+        // Different seeds → different weights → different fingerprints.
+        let other = ReBertModel::new(ReBertConfig::tiny(), 18);
+        assert_ne!(other.fingerprint(), fp);
+
+        // A weight update invalidates the cached fingerprint.
+        let mut model = model;
+        let id = model.store().iter().next().expect("non-empty store").0;
+        model.store_mut().get_mut(id).data_mut()[0] += 1.0;
+        assert_ne!(model.fingerprint(), fp, "stale fingerprint dropped");
     }
 
     #[test]

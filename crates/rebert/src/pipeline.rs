@@ -16,6 +16,7 @@ use rebert_netlist::Netlist;
 use rebert_nn::Backend;
 use rebert_obs as obs;
 
+use crate::cache::ScoreCache;
 use crate::dataset::{bit_sequences, ConeClasses};
 use crate::filter::{jaccard, jaccard_counts};
 use crate::group::{group_bits_adaptive, ScoreMatrix};
@@ -44,9 +45,19 @@ pub struct PipelineStats {
     /// Distinct cone classes among the bits (`0` when the bit-pair
     /// reference path was used and classes were never computed).
     pub classes: usize,
-    /// Unique class-pair sequences actually run through the model. On the
-    /// reference path this equals [`PipelineStats::pairs_scored`].
+    /// Unique class-pair sequences that needed a score this run — from a
+    /// fresh model call or, bitwise-identically, from the shared score
+    /// cache. On the reference path this equals
+    /// [`PipelineStats::pairs_scored`].
     pub class_pairs_scored: usize,
+    /// Class-pair scores served from the shared cross-request score
+    /// cache (`0` when no cache was attached). With a cache,
+    /// `cache_hits + cache_misses == class_pairs_scored`.
+    pub cache_hits: usize,
+    /// Class-pair sequences that missed the score cache and went to the
+    /// model (`0` when no cache was attached — misses count cache
+    /// consultations, not model calls).
+    pub cache_misses: usize,
     /// Bit pairs whose score was reused from a memoized class pair
     /// instead of a fresh model call
     /// (`pairs_scored − class_pairs_scored`; `0` on the reference path).
@@ -124,6 +135,9 @@ pub(crate) struct RunCtx<'a> {
     pub scratches: Option<&'a ScratchPool>,
     /// Requested inference backend for the scorer (resolved per host).
     pub backend: Backend,
+    /// Shared cross-request score cache, consulted before the model in
+    /// the quadratic phase. `None` disables lookup and insert entirely.
+    pub cache: Option<&'a ScoreCache>,
 }
 
 /// Outcome of one unordered class pair in the parallel filter/assembly
@@ -198,6 +212,7 @@ impl ReBertModel {
                 cancel: None,
                 scratches: None,
                 backend,
+                cache: None,
             },
         )
         .expect("recovery without a cancel token always completes")
@@ -302,10 +317,14 @@ impl ReBertModel {
         // Deterministic survivor indexing: walk class pairs in linear
         // order, assigning each needed orientation one slot in `pairs`.
         // `memo[ci * k + cj]` maps the *ordered* class pair of a bit pair
-        // (class of the lower bit index first) to its score slot.
+        // (class of the lower bit index first) to its score slot. With a
+        // cache attached, `keys` carries the slot's content-addressed
+        // cache key (fingerprint + backend + ordered cone hashes).
         const NO_SCORE: u32 = u32::MAX;
+        let fingerprint = ctx.cache.map(|_| self.fingerprint());
         let mut memo = vec![NO_SCORE; k * k];
         let mut pairs: Vec<PairSequence> = Vec::new();
+        let mut keys: Vec<u128> = Vec::new();
         let mut filtered = 0usize;
         for (&(a, b), swept_pair) in class_pairs.iter().zip(swept) {
             let (ai, bi) = (a as usize, b as usize);
@@ -322,10 +341,26 @@ impl ReBertModel {
             if let Some(seq) = swept_pair.lo_hi {
                 memo[ai * k + bi] = pairs.len() as u32;
                 pairs.push(seq);
+                if let Some(fp) = fingerprint {
+                    keys.push(ScoreCache::pair_key(
+                        fp,
+                        backend,
+                        classes.hash(a),
+                        classes.hash(b),
+                    ));
+                }
             }
             if let Some(seq) = swept_pair.hi_lo {
                 memo[bi * k + ai] = pairs.len() as u32;
                 pairs.push(seq);
+                if let Some(fp) = fingerprint {
+                    keys.push(ScoreCache::pair_key(
+                        fp,
+                        backend,
+                        classes.hash(b),
+                        classes.hash(a),
+                    ));
+                }
             }
         }
         let filter_time = filter_start.elapsed();
@@ -335,8 +370,45 @@ impl ReBertModel {
 
         let mut sp_score = obs::span(obs::Level::Info, "pipeline", "score");
         let score_start = Instant::now();
-        let pair_refs: Vec<&PairSequence> = pairs.iter().collect();
-        let scores = self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches, backend);
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+        let scores = match ctx.cache {
+            None => {
+                let pair_refs: Vec<&PairSequence> = pairs.iter().collect();
+                self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches, backend)
+            }
+            Some(cache) => {
+                // Consult the cache first; only misses reach the model.
+                // Hit scores flow through the same memo-indexed slots, so
+                // the broadcast below is bitwise-identical to a cold run.
+                let mut sp_lookup = obs::span(obs::Level::Debug, "cache", "lookup");
+                let mut scores = vec![0.0f32; pairs.len()];
+                let mut miss_refs: Vec<&PairSequence> = Vec::new();
+                let mut miss_slots: Vec<usize> = Vec::new();
+                for (slot, (seq, &key)) in pairs.iter().zip(&keys).enumerate() {
+                    match cache.get(key) {
+                        Some(score) => scores[slot] = score,
+                        None => {
+                            miss_refs.push(seq);
+                            miss_slots.push(slot);
+                        }
+                    }
+                }
+                cache_misses = miss_slots.len();
+                cache_hits = pairs.len() - cache_misses;
+                sp_lookup.add_field("hits", cache_hits);
+                sp_lookup.add_field("misses", cache_misses);
+                sp_lookup.end();
+                self.score_refs_ctx(&miss_refs, threads, ctx.cancel, ctx.scratches, backend)
+                    .map(|fresh| {
+                        for (&slot, &score) in miss_slots.iter().zip(&fresh) {
+                            scores[slot] = score;
+                            cache.insert(keys[slot], score);
+                        }
+                        scores
+                    })
+            }
+        };
         let scores = match scores {
             Some(s) => s,
             None => {
@@ -383,6 +455,8 @@ impl ReBertModel {
                 scored,
                 classes: k,
                 class_pairs_scored: pairs.len(),
+                cache_hits,
+                cache_misses,
                 backend,
                 tokenize_time,
                 filter_time,
@@ -456,6 +530,9 @@ impl ReBertModel {
                 scored,
                 classes: 0,
                 class_pairs_scored: scored,
+                // The reference path never consults a cache.
+                cache_hits: 0,
+                cache_misses: 0,
                 // The reference path exists for bitwise equivalence
                 // checks, so it is pinned to the scalar backend.
                 backend: Backend::F32Scalar,
@@ -505,6 +582,8 @@ impl ReBertModel {
                 pairs_scored: p.scored,
                 classes: p.classes,
                 class_pairs_scored: p.class_pairs_scored,
+                cache_hits: p.cache_hits,
+                cache_misses: p.cache_misses,
                 pairs_memoized: p.scored - p.class_pairs_scored,
                 pairs_per_sec,
                 backend: p.backend,
@@ -537,6 +616,8 @@ struct PipelinePhases {
     scored: usize,
     classes: usize,
     class_pairs_scored: usize,
+    cache_hits: usize,
+    cache_misses: usize,
     backend: Backend,
     tokenize_time: Duration,
     filter_time: Duration,
@@ -790,6 +871,8 @@ mod tests {
                 pairs_scored: 0,
                 classes: 0,
                 class_pairs_scored: 0,
+                cache_hits: 0,
+                cache_misses: 0,
                 pairs_memoized: 0,
                 pairs_per_sec: 0.0,
                 backend: Backend::F32Scalar,

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use rebert_netlist::Netlist;
 use rebert_nn::Backend;
 
+use crate::cache::ScoreCache;
 use crate::model::{ReBertModel, ScoreScratch};
 use crate::pipeline::{RecoveredWords, RunCtx};
 
@@ -180,6 +181,7 @@ pub struct RecoverySession {
     model: ReBertModel,
     threads: usize,
     scratches: ScratchPool,
+    cache: Option<Arc<ScoreCache>>,
 }
 
 impl RecoverySession {
@@ -190,12 +192,40 @@ impl RecoverySession {
             model,
             threads,
             scratches: ScratchPool::default(),
+            cache: None,
+        }
+    }
+
+    /// [`RecoverySession::new`] with a shared cross-request score cache:
+    /// every recovery consults `cache` before the model and publishes
+    /// fresh scores into it, so repeated cone pairs — across requests,
+    /// edited resubmits, even unrelated designs sharing standard-cell
+    /// cone shapes — are pure lookups. The `Arc` lets the serving layer
+    /// keep a handle for metrics and shutdown flushes.
+    pub fn with_cache(model: ReBertModel, threads: usize, cache: Arc<ScoreCache>) -> Self {
+        RecoverySession {
+            model,
+            threads,
+            scratches: ScratchPool::default(),
+            cache: Some(cache),
         }
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &ReBertModel {
         &self.model
+    }
+
+    /// The shared score cache, if one is attached.
+    pub fn cache(&self) -> Option<&Arc<ScoreCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Attaches (or replaces) the shared score cache on an existing
+    /// session — used by the daemon, which receives a ready-made session
+    /// and wires the cache in from its own config.
+    pub fn attach_cache(&mut self, cache: Arc<ScoreCache>) {
+        self.cache = Some(cache);
     }
 
     /// The configured thread-count knob (`0` = all cores).
@@ -230,6 +260,21 @@ impl RecoverySession {
         cancel: &CancelToken,
         backend: Backend,
     ) -> Result<RecoveredWords, Cancelled> {
+        self.try_recover_opts(nl, cancel, backend, true)
+    }
+
+    /// [`RecoverySession::try_recover_with`] with an explicit cache
+    /// switch: `use_cache: false` bypasses the shared score cache for
+    /// this request only (neither lookups nor inserts happen) — the
+    /// daemon's `X-Rebert-No-Cache` escape hatch. A no-op when no cache
+    /// is attached.
+    pub fn try_recover_opts(
+        &self,
+        nl: &Netlist,
+        cancel: &CancelToken,
+        backend: Backend,
+        use_cache: bool,
+    ) -> Result<RecoveredWords, Cancelled> {
         self.model
             .run_recovery(
                 nl,
@@ -238,6 +283,11 @@ impl RecoverySession {
                     cancel: Some(cancel),
                     scratches: Some(&self.scratches),
                     backend,
+                    cache: if use_cache {
+                        self.cache.as_deref()
+                    } else {
+                        None
+                    },
                 },
             )
             .ok_or(Cancelled)

@@ -3,8 +3,8 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use rebert_obs as obs;
 use rebert_nn::{Adam, Forward, GradAccumulator};
+use rebert_obs as obs;
 use rebert_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -90,8 +90,12 @@ pub fn train(model: &mut ReBertModel, samples: &[PairSample], cfg: &TrainConfig)
     let mut step = 0usize;
 
     for epoch in 0..cfg.epochs {
-        let mut sp_epoch =
-            obs::span_with(obs::Level::Info, "train", "epoch", vec![("epoch", epoch.into())]);
+        let mut sp_epoch = obs::span_with(
+            obs::Level::Info,
+            "train",
+            "epoch",
+            vec![("epoch", epoch.into())],
+        );
         let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;

@@ -1,0 +1,269 @@
+//! Bitwise-equivalence suite for the cross-request score cache: cached
+//! recovery must produce the same `ScoreMatrix` and assignment as a cold
+//! run — across random profiles, cache sizes (including a 1-entry
+//! thrashing LRU), both pair orientations, a persist/restore cycle, and
+//! in the presence of poisoned persisted cache files.
+
+use std::sync::Arc;
+
+use rebert::{
+    Backend, CancelToken, ReBertConfig, ReBertModel, RecoveredWords, RecoverySession, ScoreCache,
+};
+use rebert_circuits::{corrupt, generate, Profile};
+use rebert_netlist::{GateType, Netlist};
+
+fn assert_bitwise_equal(a: &RecoveredWords, b: &RecoveredWords, label: &str) {
+    assert_eq!(a.assignment, b.assignment, "{label}: assignment");
+    let n = a.assignment.len();
+    assert_eq!(n, b.assignment.len(), "{label}: bit count");
+    for i in 0..n {
+        for j in i + 1..n {
+            assert_eq!(
+                a.score_matrix.get(i, j).to_bits(),
+                b.score_matrix.get(i, j).to_bits(),
+                "{label}: score ({i},{j})"
+            );
+        }
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rebert_cache_equivalence");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn cached_recovery_is_bitwise_identical_across_profiles() {
+    for (bits, words, seed, model_seed) in
+        [(10usize, 3usize, 2u64, 5u64), (12, 4, 7, 9), (8, 2, 11, 13)]
+    {
+        let c = generate(&Profile::new("prof", 100, bits, words), seed);
+        let model_for = |s| ReBertModel::new(ReBertConfig::tiny(), s);
+        let cold = model_for(model_seed).recover_words_with(&c.netlist, 1);
+        assert_eq!(cold.stats.cache_hits, 0, "no cache attached on cold path");
+        assert_eq!(cold.stats.cache_misses, 0);
+
+        let model = model_for(model_seed);
+        let cache = Arc::new(ScoreCache::new(1 << 20, model.fingerprint()));
+        let session = RecoverySession::with_cache(model, 1, Arc::clone(&cache));
+        let first = session.recover(&c.netlist);
+        assert_bitwise_equal(&first, &cold, "first cached run");
+        assert_eq!(first.stats.cache_hits, 0, "cold cache has no hits");
+        assert_eq!(first.stats.cache_misses, first.stats.class_pairs_scored);
+
+        let second = session.recover(&c.netlist);
+        assert_bitwise_equal(&second, &cold, "fully warm rerun");
+        assert_eq!(second.stats.cache_misses, 0, "warm rerun never misses");
+        assert_eq!(second.stats.cache_hits, second.stats.class_pairs_scored);
+        assert!(second.stats.cache_hits > 0, "profile produced scored pairs");
+    }
+}
+
+#[test]
+fn cache_sizes_do_not_change_results_including_one_entry_lru() {
+    let c = generate(&Profile::new("sizes", 100, 12, 3), 4);
+    let model_for = || ReBertModel::new(ReBertConfig::tiny(), 21);
+    let cold = model_for().recover_words_with(&c.netlist, 1);
+    let fp = model_for().fingerprint();
+    for budget in [
+        0,                            // no-op cache
+        ScoreCache::ENTRY_BYTES,      // 1-entry thrashing LRU
+        3 * ScoreCache::ENTRY_BYTES,  // a few entries, constant eviction
+        64 * ScoreCache::ENTRY_BYTES, // small
+        1 << 22,                      // comfortably larger than the run
+    ] {
+        let cache = Arc::new(ScoreCache::new(budget, fp));
+        let session = RecoverySession::with_cache(model_for(), 1, Arc::clone(&cache));
+        for round in 0..2 {
+            let rec = session.recover(&c.netlist);
+            assert_bitwise_equal(&rec, &cold, &format!("budget {budget} round {round}"));
+            assert_eq!(
+                rec.stats.cache_hits + rec.stats.cache_misses,
+                rec.stats.class_pairs_scored,
+                "budget {budget} round {round}: lookups partition the pairs"
+            );
+        }
+        assert!(
+            cache.bytes() <= budget,
+            "budget {budget}: cache stayed within its byte budget"
+        );
+    }
+}
+
+/// Three bits where bits 0 and 2 share one cone and bit 1 differs, so
+/// the bit pair (1, 2) needs the hi→lo orientation of class pair (0, 1)
+/// while (0, 1) needs lo→hi — both orientations must round-trip through
+/// the cache with their own keys.
+fn orientation_netlist() -> Netlist {
+    let mut nl = Netlist::new("orient");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    for (i, gt) in [GateType::And, GateType::Or, GateType::And]
+        .iter()
+        .enumerate()
+    {
+        let x = nl
+            .add_gate_new_net(*gt, vec![a, b], format!("x{i}"))
+            .expect("valid gate");
+        let q = nl.add_net(format!("q{i}"));
+        nl.add_dff(x, q).expect("valid dff");
+    }
+    nl
+}
+
+#[test]
+fn both_orientations_hit_their_own_cache_entries() {
+    let mut cfg = ReBertConfig::tiny();
+    cfg.jaccard_threshold = 0.0; // keep every pair: both orientations survive
+    let model_for = || ReBertModel::new(cfg.clone(), 31);
+    let nl = orientation_netlist();
+    let cold = model_for().recover_words_with(&nl, 1);
+    // Classes {0,2} and {1}: one diagonal sequence plus both orientations
+    // of the cross pair.
+    assert_eq!(cold.stats.classes, 2);
+    assert_eq!(cold.stats.class_pairs_scored, 3);
+
+    let model = model_for();
+    let cache = Arc::new(ScoreCache::new(1 << 16, model.fingerprint()));
+    let session = RecoverySession::with_cache(model, 1, Arc::clone(&cache));
+    let first = session.recover(&nl);
+    assert_bitwise_equal(&first, &cold, "orientations, cold cache");
+    assert_eq!(first.stats.cache_misses, 3);
+    assert_eq!(cache.len(), 3, "each orientation owns a distinct key");
+
+    let second = session.recover(&nl);
+    assert_bitwise_equal(&second, &cold, "orientations, warm cache");
+    assert_eq!(second.stats.cache_hits, 3);
+    assert_eq!(second.stats.cache_misses, 0);
+}
+
+#[test]
+fn persist_restore_cycle_stays_bitwise_identical() {
+    let c = generate(&Profile::new("persist", 110, 12, 4), 6);
+    let model_for = || ReBertModel::new(ReBertConfig::tiny(), 41);
+    let cold = model_for().recover_words_with(&c.netlist, 1);
+    let path = tmp("persist_cycle.bin");
+
+    // First daemon lifetime: fill and flush.
+    {
+        let model = model_for();
+        let cache = Arc::new(ScoreCache::load_or_new(&path, 1 << 20, model.fingerprint()));
+        assert!(cache.is_empty(), "no persisted file yet");
+        let session = RecoverySession::with_cache(model, 1, Arc::clone(&cache));
+        let rec = session.recover(&c.netlist);
+        assert_bitwise_equal(&rec, &cold, "pre-persist run");
+        cache.flush(&path).expect("flush succeeds");
+    }
+
+    // Second lifetime: restart warm from disk.
+    {
+        let model = model_for();
+        let cache = Arc::new(ScoreCache::load_or_new(&path, 1 << 20, model.fingerprint()));
+        assert!(!cache.is_empty(), "restart loads the persisted entries");
+        let session = RecoverySession::with_cache(model, 1, Arc::clone(&cache));
+        let rec = session.recover(&c.netlist);
+        assert_bitwise_equal(&rec, &cold, "post-restore run");
+        assert_eq!(
+            rec.stats.cache_misses, 0,
+            "restored cache serves everything"
+        );
+        assert_eq!(rec.stats.cache_hits, rec.stats.class_pairs_scored);
+    }
+
+    // A model with different weights ignores the stale file and still
+    // recovers correctly from a cold cache.
+    {
+        let other = ReBertModel::new(ReBertConfig::tiny(), 42);
+        let other_cold =
+            ReBertModel::new(ReBertConfig::tiny(), 42).recover_words_with(&c.netlist, 1);
+        let cache = Arc::new(ScoreCache::load_or_new(&path, 1 << 20, other.fingerprint()));
+        assert!(cache.is_empty(), "stale fingerprint file is ignored");
+        let session = RecoverySession::with_cache(other, 1, cache);
+        assert_bitwise_equal(&session.recover(&c.netlist), &other_cold, "stale-fp run");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn poisoned_cache_file_never_panics_and_results_stay_exact() {
+    let c = generate(&Profile::new("poison", 90, 10, 3), 8);
+    let model_for = || ReBertModel::new(ReBertConfig::tiny(), 51);
+    let cold = model_for().recover_words_with(&c.netlist, 1);
+    for (name, bytes) in [
+        ("garbage.bin", b"definitely not a score cache".to_vec()),
+        ("zeros.bin", vec![0u8; 256]),
+        ("tiny.bin", vec![0x52, 0x42]),
+    ] {
+        let path = tmp(name);
+        std::fs::write(&path, &bytes).unwrap();
+        let model = model_for();
+        let cache = Arc::new(ScoreCache::load_or_new(&path, 1 << 20, model.fingerprint()));
+        assert!(cache.is_empty(), "{name}: poisoned file ignored");
+        let session = RecoverySession::with_cache(model, 1, cache);
+        let rec = session.recover(&c.netlist);
+        assert_bitwise_equal(&rec, &cold, name);
+        assert_eq!(rec.stats.cache_hits, 0, "{name}: nothing to hit");
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn no_cache_bypass_and_backend_isolation() {
+    let c = generate(&Profile::new("bypass", 100, 12, 3), 9);
+    let model_for = || ReBertModel::new(ReBertConfig::tiny(), 61);
+    let cold = model_for().recover_words_with(&c.netlist, 1);
+    let model = model_for();
+    let cache = Arc::new(ScoreCache::new(1 << 20, model.fingerprint()));
+    let session = RecoverySession::with_cache(model, 1, Arc::clone(&cache));
+    let token = CancelToken::new();
+
+    // Bypass: no lookups, no inserts, identical result.
+    let bypass = session
+        .try_recover_opts(&c.netlist, &token, Backend::F32Scalar, false)
+        .expect("untripped token completes");
+    assert_bitwise_equal(&bypass, &cold, "bypassed run");
+    assert_eq!(bypass.stats.cache_hits + bypass.stats.cache_misses, 0);
+    assert!(cache.is_empty(), "bypass must not populate the cache");
+
+    // An int8 run fills the cache under its own backend tag...
+    let int8 = session
+        .try_recover_opts(&c.netlist, &token, Backend::Int8, true)
+        .expect("untripped token completes");
+    assert_eq!(int8.stats.cache_misses, int8.stats.class_pairs_scored);
+    let after_int8 = cache.len();
+    assert!(after_int8 > 0);
+
+    // ...so a scalar run sees none of those entries and stays bitwise
+    // equal to the scalar cold run.
+    let scalar = session
+        .try_recover_opts(&c.netlist, &token, Backend::F32Scalar, true)
+        .expect("untripped token completes");
+    assert_bitwise_equal(&scalar, &cold, "scalar after int8");
+    assert_eq!(scalar.stats.cache_hits, 0, "backend keys never cross");
+    assert!(cache.len() > after_int8, "scalar entries added separately");
+}
+
+#[test]
+fn edited_resubmit_is_mostly_cache_hits_and_stays_exact() {
+    // The delta-recovery property: after warming the cache on a design,
+    // resubmitting a lightly edited variant hits for every cone pair the
+    // edit did not touch, and the result is still bitwise-identical to a
+    // cold recovery of the edited design.
+    let c = generate(&Profile::new("edit", 140, 16, 4), 12);
+    let (edited, _) = corrupt(&c.netlist, 0.05, 99);
+    let model_for = || ReBertModel::new(ReBertConfig::tiny(), 71);
+    let cold_edited = model_for().recover_words_with(&edited, 1);
+
+    let model = model_for();
+    let cache = Arc::new(ScoreCache::new(1 << 22, model.fingerprint()));
+    let session = RecoverySession::with_cache(model, 1, Arc::clone(&cache));
+    let _ = session.recover(&c.netlist); // warm on the original design
+
+    let resubmit = session.recover(&edited);
+    assert_bitwise_equal(&resubmit, &cold_edited, "edited resubmit");
+    assert!(
+        resubmit.stats.cache_hits > 0,
+        "unchanged cone pairs must be served from the cache"
+    );
+}

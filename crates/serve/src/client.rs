@@ -129,6 +129,25 @@ pub fn submit_recover_with(
     deadline_ms: Option<u64>,
     precision: Option<&str>,
 ) -> std::io::Result<HttpReply> {
+    submit_recover_opts(addr, netlist_text, format, deadline_ms, precision, true)
+}
+
+/// [`submit_recover_with`] plus the cache switch: `use_cache: false`
+/// sends `X-Rebert-No-Cache: 1`, making the daemon score this request
+/// from scratch without reading or writing its shared score cache.
+///
+/// # Errors
+///
+/// Transport or reply-parse failure; HTTP-level errors (400/503/504)
+/// come back as a normal [`HttpReply`].
+pub fn submit_recover_opts(
+    addr: impl ToSocketAddrs,
+    netlist_text: &str,
+    format: Option<&str>,
+    deadline_ms: Option<u64>,
+    precision: Option<&str>,
+    use_cache: bool,
+) -> std::io::Result<HttpReply> {
     let deadline_text = deadline_ms.map(|ms| ms.to_string());
     let mut headers: Vec<(&str, &str)> = Vec::new();
     if let Some(f) = format {
@@ -139,6 +158,9 @@ pub fn submit_recover_with(
     }
     if let Some(p) = precision {
         headers.push(("X-Rebert-Precision", p));
+    }
+    if !use_cache {
+        headers.push(("X-Rebert-No-Cache", "1"));
     }
     http_request(addr, "POST", "/recover", &headers, netlist_text.as_bytes())
 }

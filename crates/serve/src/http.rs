@@ -228,7 +228,11 @@ impl Response {
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
-        write!(w, "Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len())?;
+        write!(
+            w,
+            "Content-Length: {}\r\nConnection: close\r\n\r\n",
+            self.body.len()
+        )?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -267,7 +271,9 @@ mod tests {
 
     #[test]
     fn bare_lf_lines_accepted() {
-        let req = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        let req = parse("GET /healthz HTTP/1.1\nHost: x\n\n")
+            .unwrap()
+            .unwrap();
         assert_eq!(req.path(), "/healthz");
     }
 
@@ -298,7 +304,10 @@ mod tests {
 
     #[test]
     fn oversized_body_rejected() {
-        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
     }
 

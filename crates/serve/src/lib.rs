@@ -56,6 +56,8 @@ pub mod metrics;
 pub mod queue;
 mod server;
 
-pub use client::{http_request, submit_recover, submit_recover_with, HttpReply};
+pub use client::{
+    http_request, submit_recover, submit_recover_opts, submit_recover_with, HttpReply,
+};
 pub use metrics::Metrics;
 pub use server::{run_until_shutdown, serve, signals, ServeConfig, Server};

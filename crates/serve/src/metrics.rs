@@ -147,6 +147,20 @@ pub struct Metrics {
     pub pairs_memoized_total: Counter,
     /// Cumulative cone classes observed across requests.
     pub classes_total: Counter,
+    /// Cumulative score-cache hits across recoveries.
+    pub cache_hits_total: Counter,
+    /// Cumulative score-cache misses across recoveries.
+    pub cache_misses_total: Counter,
+    /// Score-cache evictions since startup (snapshot of the cache's own
+    /// monotone counter, refreshed by [`Metrics::observe_cache`]).
+    pub cache_evictions: Gauge,
+    /// Bytes resident in the score cache right now (snapshot).
+    pub cache_bytes: Gauge,
+    /// Entries resident in the score cache right now (snapshot).
+    pub cache_entries: Gauge,
+    /// Hex fingerprint of the serving checkpoint, exported as the
+    /// `rebert_model_info` series. Set once at startup.
+    model_fingerprint: Mutex<Option<String>>,
     /// Scoring throughput of the most recent completed recovery,
     /// stored as `f64::to_bits`.
     last_pairs_per_sec: AtomicU64,
@@ -204,6 +218,8 @@ impl Metrics {
             .add(stats.class_pairs_scored as u64);
         self.pairs_memoized_total.add(stats.pairs_memoized as u64);
         self.classes_total.add(stats.classes as u64);
+        self.cache_hits_total.add(stats.cache_hits as u64);
+        self.cache_misses_total.add(stats.cache_misses as u64);
         self.last_pairs_per_sec
             .store(stats.pairs_per_sec.to_bits(), Ordering::Relaxed);
         let slot = backend_slot(stats.backend);
@@ -219,6 +235,32 @@ impl Metrics {
         for (h, d) in self.phase.iter().zip(durations) {
             h.observe(d);
         }
+    }
+
+    /// Refreshes the point-in-time score-cache gauges from the shared
+    /// cache. Called after each recovery and before every render so the
+    /// exposition reflects the cache as scraped.
+    pub fn observe_cache(&self, cache: &rebert::ScoreCache) {
+        self.cache_evictions.set(cache.evictions());
+        self.cache_bytes.set(cache.bytes() as u64);
+        self.cache_entries.set(cache.len() as u64);
+    }
+
+    /// Records the serving checkpoint's hex fingerprint for the
+    /// `rebert_model_info` series.
+    pub fn set_model_fingerprint(&self, hex: impl Into<String>) {
+        *self
+            .model_fingerprint
+            .lock()
+            .expect("model fingerprint lock") = Some(hex.into());
+    }
+
+    /// The recorded checkpoint fingerprint, if any.
+    pub fn model_fingerprint(&self) -> Option<String> {
+        self.model_fingerprint
+            .lock()
+            .expect("model fingerprint lock")
+            .clone()
     }
 
     /// Completed recoveries recorded for `backend`.
@@ -257,7 +299,7 @@ impl Metrics {
             );
         }
 
-        let gauges_and_counters: [(&str, &str, &str, u64); 8] = [
+        let gauges_and_counters: [(&str, &str, &str, u64); 13] = [
             (
                 "rebert_queue_depth",
                 "gauge",
@@ -306,11 +348,48 @@ impl Metrics {
                 "Cumulative cone classes across recoveries.",
                 self.classes_total.get(),
             ),
+            (
+                "rebert_cache_hits_total",
+                "counter",
+                "Cumulative class-pair scores served from the score cache.",
+                self.cache_hits_total.get(),
+            ),
+            (
+                "rebert_cache_misses_total",
+                "counter",
+                "Cumulative class-pair scores computed and inserted into the score cache.",
+                self.cache_misses_total.get(),
+            ),
+            (
+                "rebert_cache_evictions_total",
+                "counter",
+                "Score-cache entries evicted to stay within the byte budget.",
+                self.cache_evictions.get(),
+            ),
+            (
+                "rebert_cache_bytes",
+                "gauge",
+                "Bytes resident in the score cache.",
+                self.cache_bytes.get(),
+            ),
+            (
+                "rebert_cache_entries",
+                "gauge",
+                "Entries resident in the score cache.",
+                self.cache_entries.get(),
+            ),
         ];
         for (name, kind, help, value) in gauges_and_counters {
             let _ = writeln!(
                 out,
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}"
+            );
+        }
+
+        if let Some(fp) = self.model_fingerprint() {
+            let _ = writeln!(
+                out,
+                "# HELP rebert_model_info Identity of the serving checkpoint (value is always 1).\n# TYPE rebert_model_info gauge\nrebert_model_info{{fingerprint=\"{fp}\"}} 1"
             );
         }
 
@@ -363,6 +442,8 @@ mod tests {
             classes: 3,
             class_pairs_scored: 4,
             pairs_memoized: 2,
+            cache_hits: 3,
+            cache_misses: 1,
             pairs_per_sec: 123.5,
             backend: Backend::F32Scalar,
             tokenize_time: Duration::from_micros(800),
@@ -401,6 +482,8 @@ mod tests {
         assert_eq!(m.class_pairs_scored_total.get(), 8);
         assert_eq!(m.pairs_memoized_total.get(), 4);
         assert_eq!(m.classes_total.get(), 6);
+        assert_eq!(m.cache_hits_total.get(), 6);
+        assert_eq!(m.cache_misses_total.get(), 2);
         assert_eq!(m.phase_histogram("score").unwrap().count(), 2);
         assert_eq!(m.phase_histogram("nonsense").map(Histogram::count), None);
     }
@@ -445,6 +528,11 @@ mod tests {
             "rebert_cone_classes_total",
             "rebert_pairs_per_sec",
             "rebert_phase_seconds",
+            "rebert_cache_hits_total",
+            "rebert_cache_misses_total",
+            "rebert_cache_evictions_total",
+            "rebert_cache_bytes",
+            "rebert_cache_entries",
         ] {
             assert!(
                 text.contains(&format!("# HELP {family} ")),
@@ -470,6 +558,37 @@ mod tests {
         assert!(text.contains("rebert_backend_requests_total{backend=\"f32-scalar\"} 1"));
         assert!(text.contains("rebert_backend_requests_total{backend=\"int8\"} 0"));
         assert!(text.contains("rebert_backend_pairs_per_sec{backend=\"f32-scalar\"} 123.5"));
+    }
+
+    #[test]
+    fn cache_snapshot_and_model_info_series() {
+        let m = Metrics::new();
+        assert_eq!(m.model_fingerprint(), None);
+        assert!(
+            !m.render().contains("rebert_model_info"),
+            "no info series until a fingerprint is recorded"
+        );
+        m.set_model_fingerprint("00c0ffee00c0ffee");
+        let cache = rebert::ScoreCache::new(rebert::ScoreCache::ENTRY_BYTES, 7);
+        cache.insert(
+            rebert::ScoreCache::pair_key(7, Backend::F32Scalar, 1, 2),
+            0.5,
+        );
+        cache.insert(
+            rebert::ScoreCache::pair_key(7, Backend::F32Scalar, 3, 4),
+            0.25,
+        );
+        m.observe_cache(&cache);
+        assert_eq!(m.cache_entries.get(), 1, "one-entry budget evicts");
+        assert_eq!(m.cache_bytes.get(), rebert::ScoreCache::ENTRY_BYTES as u64);
+        assert_eq!(m.cache_evictions.get(), cache.evictions());
+        let text = m.render();
+        assert!(text.contains("rebert_model_info{fingerprint=\"00c0ffee00c0ffee\"} 1"));
+        assert!(text.contains(&format!(
+            "rebert_cache_bytes {}",
+            rebert::ScoreCache::ENTRY_BYTES
+        )));
+        assert!(text.contains("rebert_cache_entries 1"));
     }
 
     #[test]

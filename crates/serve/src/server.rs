@@ -12,13 +12,14 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rebert::json::Json;
-use rebert::{Backend, CancelToken, Cancelled, RecoveredWords, RecoverySession};
+use rebert::{Backend, CancelToken, Cancelled, RecoveredWords, RecoverySession, ScoreCache};
 use rebert_netlist::{parse_bench, parse_verilog, Netlist};
 use rebert_obs as obs;
 use rebert_obs::RingSink;
@@ -43,6 +44,18 @@ pub struct ServeConfig {
     pub trace_capacity: usize,
     /// Most verbose level captured into the trace ring.
     pub trace_level: obs::Level,
+    /// Byte budget for the shared cross-request score cache. `0`
+    /// disables caching entirely (every request scores from scratch,
+    /// as if `X-Rebert-No-Cache` were always set).
+    pub cache_bytes: usize,
+    /// Where the score cache persists across daemon restarts. `None`
+    /// keeps the cache purely in-memory; with a path, the daemon loads
+    /// it at startup (ignoring missing, corrupt, or stale-fingerprint
+    /// files) and rewrites it atomically on shutdown and periodically.
+    pub cache_path: Option<PathBuf>,
+    /// Flush the persistent cache every this many completed recoveries
+    /// (`0` = only at shutdown). Meaningless without `cache_path`.
+    pub cache_flush_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +65,9 @@ impl Default for ServeConfig {
             default_deadline: None,
             trace_capacity: 4096,
             trace_level: obs::Level::Debug,
+            cache_bytes: 64 << 20,
+            cache_path: None,
+            cache_flush_every: 64,
         }
     }
 }
@@ -65,6 +81,9 @@ struct Job {
     /// Inference backend requested via `X-Rebert-Precision` (validated
     /// on the connection thread; default scalar).
     backend: Backend,
+    /// `false` when the client sent `X-Rebert-No-Cache`: this request
+    /// neither reads nor writes the shared score cache.
+    use_cache: bool,
     reply: mpsc::Sender<Result<RecoveredWords, Cancelled>>,
     /// Tracing context captured on the connection thread: the request's
     /// root span plus its `request_id` field. The executor adopts it so
@@ -82,6 +101,11 @@ struct Shared {
     conns: Mutex<Vec<JoinHandle<()>>>,
     /// Always-on bounded trace ring, drained by `GET /debug/trace`.
     trace: Arc<RingSink>,
+    /// The shared cross-request score cache (absent when disabled).
+    cache: Option<Arc<ScoreCache>>,
+    /// Hex fingerprint of the serving checkpoint, echoed in every
+    /// `POST /recover` success payload and the `/metrics` info series.
+    fingerprint_hex: String,
 }
 
 /// A running daemon. Dropping it (or calling [`Server::shutdown`])
@@ -101,7 +125,7 @@ pub struct Server {
 ///
 /// Returns the [`std::io::Error`] if the listener cannot be configured.
 pub fn serve(
-    session: RecoverySession,
+    mut session: RecoverySession,
     listener: TcpListener,
     config: ServeConfig,
 ) -> std::io::Result<Server> {
@@ -111,6 +135,23 @@ pub fn serve(
     // `X-Rebert-Precision: int8` request does not pay the one-off
     // quantization pass inside its own deadline.
     session.model().int8_view();
+    let fingerprint_hex = session.model().fingerprint_hex();
+    // Wire in the daemon-owned score cache unless the caller attached
+    // one already or the config disables it. The fingerprint keys both
+    // the cache entries and the persisted file, so a re-trained
+    // checkpoint can never be served stale scores.
+    let cache = session.cache().cloned().or_else(|| {
+        if config.cache_bytes == 0 {
+            return None;
+        }
+        let fp = session.model().fingerprint();
+        let cache = Arc::new(match &config.cache_path {
+            Some(p) => ScoreCache::load_or_new(p, config.cache_bytes, fp),
+            None => ScoreCache::new(config.cache_bytes, fp),
+        });
+        session.attach_cache(Arc::clone(&cache));
+        Some(cache)
+    });
     let trace = Arc::new(RingSink::new(config.trace_capacity, config.trace_level));
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
@@ -119,7 +160,15 @@ pub fn serve(
         config,
         conns: Mutex::new(Vec::new()),
         trace: Arc::clone(&trace),
+        cache,
+        fingerprint_hex,
     });
+    shared
+        .metrics
+        .set_model_fingerprint(shared.fingerprint_hex.clone());
+    if let Some(cache) = &shared.cache {
+        shared.metrics.observe_cache(cache);
+    }
     // The ring records every request for `GET /debug/trace`; it is
     // uninstalled (narrowing the global gate back) when the server stops.
     let trace_sink = obs::install(trace);
@@ -204,7 +253,11 @@ impl Drop for Server {
 
 /// Pops jobs until the queue closes and drains; replies on each job's
 /// channel. A cancelled recovery leaves the session warm and reusable.
+/// With a persistent cache path configured, the cache is rewritten
+/// every `cache_flush_every` completed recoveries and once more after
+/// the queue drains, so a SIGTERM'd daemon restarts warm.
 fn executor_loop(session: &RecoverySession, shared: &Shared) {
+    let mut completed = 0usize;
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.set(shared.queue.len() as u64);
         shared.metrics.inflight.inc();
@@ -216,15 +269,34 @@ fn executor_loop(session: &RecoverySession, shared: &Shared) {
         // everything under it) parents under the request's root span and
         // carries its `request_id` field, even though it runs over here.
         let _tracing = obs::enter_ctx(&job.trace);
-        let result = session.try_recover_with(&job.netlist, &token, job.backend);
+        let result = session.try_recover_opts(&job.netlist, &token, job.backend, job.use_cache);
         match &result {
-            Ok(rec) => shared.metrics.record_recovery(&rec.stats),
+            Ok(rec) => {
+                shared.metrics.record_recovery(&rec.stats);
+                completed += 1;
+            }
             Err(Cancelled) => shared.metrics.deadline_total.inc(),
+        }
+        if let Some(cache) = &shared.cache {
+            shared.metrics.observe_cache(cache);
+            if let Some(path) = &shared.config.cache_path {
+                let every = shared.config.cache_flush_every;
+                if every > 0 && completed > 0 && completed.is_multiple_of(every) {
+                    if let Err(e) = cache.flush(path) {
+                        obs::warn!("serve", "periodic cache flush failed: {e}");
+                    }
+                }
+            }
         }
         shared.metrics.inflight.dec();
         // A send error just means the client hung up; the work is done
         // either way.
         let _ = job.reply.send(result);
+    }
+    if let (Some(cache), Some(path)) = (&shared.cache, &shared.config.cache_path) {
+        if let Err(e) = cache.flush(path) {
+            obs::warn!("serve", "shutdown cache flush failed: {e}");
+        }
     }
 }
 
@@ -360,6 +432,9 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
         }
         ("GET", "/metrics") => {
             shared.metrics.queue_depth.set(shared.queue.len() as u64);
+            if let Some(cache) = &shared.cache {
+                shared.metrics.observe_cache(cache);
+            }
             shared.metrics.count_request("metrics", "ok");
             let body = shared.metrics.render();
             Response {
@@ -503,11 +578,17 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
         None => shared.config.default_deadline.map(|d| arrival + d),
     };
 
+    // Any `X-Rebert-No-Cache` value opts this request out of the shared
+    // score cache — useful for A/B-ing cache correctness in production
+    // and for benchmarking cold-path latency against a warm daemon.
+    let use_cache = req.header("x-rebert-no-cache").is_none();
+
     let (tx, rx) = mpsc::channel();
     let job = Job {
         netlist: Arc::clone(&netlist),
         deadline,
         backend,
+        use_cache,
         reply: tx,
         trace: obs::current_ctx(),
     };
@@ -530,7 +611,7 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
     match rx.recv() {
         Ok(Ok(rec)) => {
             shared.metrics.count_request("recover", "ok");
-            Response::json(200, &recovery_json(&netlist, &rec))
+            Response::json(200, &recovery_json(&netlist, &rec, &shared.fingerprint_hex))
         }
         Ok(Err(Cancelled)) => {
             shared.metrics.count_request("recover", "deadline");
@@ -544,8 +625,10 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
     }
 }
 
-/// The `POST /recover` success payload.
-pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
+/// The `POST /recover` success payload. `fingerprint_hex` identifies
+/// the checkpoint that produced the scores, so clients can correlate
+/// answers with deployed model versions.
+pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords, fingerprint_hex: &str) -> Json {
     let bits = nl.bits();
     let names = Json::Arr(bits.iter().map(|&b| Json::str(nl.net_name(b))).collect());
     let words = Json::Arr(
@@ -572,6 +655,8 @@ pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
             Json::uint(s.class_pairs_scored as u64),
         ),
         ("pairs_memoized".into(), Json::uint(s.pairs_memoized as u64)),
+        ("cache_hits".into(), Json::uint(s.cache_hits as u64)),
+        ("cache_misses".into(), Json::uint(s.cache_misses as u64)),
         ("pairs_per_sec".into(), Json::num(s.pairs_per_sec)),
         ("backend".into(), Json::str(s.backend.label())),
         ("tokenize_us".into(), micros(s.tokenize_time)),
@@ -583,6 +668,7 @@ pub(crate) fn recovery_json(nl: &Netlist, rec: &RecoveredWords) -> Json {
     let warnings = Json::Arr(s.warnings.iter().map(Json::str).collect());
     Json::Obj(vec![
         ("design".into(), Json::str(nl.name())),
+        ("model_fingerprint".into(), Json::str(fingerprint_hex)),
         ("bits".into(), Json::uint(bits.len() as u64)),
         ("words".into(), words),
         ("assignment".into(), assignment),
@@ -659,10 +745,16 @@ mod tests {
     fn recovery_json_shape() {
         let c = generate(&Profile::new("demo", 80, 8, 2), 9);
         let model = ReBertModel::new(ReBertConfig::tiny(), 0);
+        let fp = model.fingerprint_hex();
         let rec = model.recover_words(&c.netlist);
-        let json = recovery_json(&c.netlist, &rec);
+        let json = recovery_json(&c.netlist, &rec, &fp);
         assert_eq!(json.get("bits").and_then(Json::as_usize), Some(8));
         assert_eq!(json.get("design").and_then(Json::as_str), Some("demo"));
+        assert_eq!(
+            json.get("model_fingerprint").and_then(Json::as_str),
+            Some(fp.as_str())
+        );
+        assert_eq!(fp.len(), 16, "fingerprint is 16 hex digits");
         let assignment = json.get("assignment").and_then(Json::as_array).unwrap();
         assert_eq!(assignment.len(), 8);
         let names = json.get("names").and_then(Json::as_array).unwrap();
@@ -689,6 +781,9 @@ mod tests {
         assert!(cfg.default_deadline.is_none());
         assert!(cfg.trace_capacity >= 1);
         assert!(cfg.trace_level >= obs::Level::Info, "requests are traced");
+        assert!(cfg.cache_bytes > 0, "score cache is on by default");
+        assert!(cfg.cache_path.is_none(), "persistence is opt-in");
+        assert!(cfg.cache_flush_every > 0);
     }
 
     #[test]

@@ -12,7 +12,10 @@ use std::time::{Duration, Instant};
 use rebert::{ReBertConfig, ReBertModel, RecoverySession};
 use rebert_circuits::{generate, GeneratedCircuit, Profile};
 use rebert_netlist::{parse_bench, write_bench, write_verilog};
-use rebert_serve::{http_request, serve, submit_recover, submit_recover_with, ServeConfig, Server};
+use rebert_serve::{
+    http_request, serve, submit_recover, submit_recover_opts, submit_recover_with, ServeConfig,
+    Server,
+};
 
 /// Boots a daemon on an ephemeral loopback port.
 fn boot(model: ReBertModel, threads: usize, queue: usize, deadline: Option<Duration>) -> Server {
@@ -411,6 +414,103 @@ fn debug_trace_correlates_requests_with_their_header_id() {
     );
     assert!(!body.contains(&request_id), "first drain emptied the ring");
     server.shutdown();
+}
+
+#[test]
+fn score_cache_serves_hits_survives_restart_and_honors_no_cache() {
+    let c = generate(&Profile::new("cached", 120, 12, 3), 14);
+    let bench = write_bench(&c.netlist);
+    let dir = std::env::temp_dir().join(format!("rebert_serve_cache_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    let path = dir.join("score_cache.bin");
+    let boot_cached = || {
+        let session = RecoverySession::new(tiny_model(17), 1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let config = ServeConfig {
+            cache_path: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        serve(session, listener, config).expect("serve")
+    };
+    let stat = |reply: &rebert_serve::HttpReply, key: &str| -> usize {
+        let json = rebert::json::Json::parse(&reply.body_text()).expect("json body");
+        json_field(json_field(&json, "stats"), key)
+            .as_usize()
+            .unwrap_or_else(|| panic!("stats.{key} missing"))
+    };
+    let words_of = |reply: &rebert_serve::HttpReply| -> String {
+        let json = rebert::json::Json::parse(&reply.body_text()).unwrap();
+        json_field(&json, "words").to_string()
+    };
+    let fingerprint_of = |reply: &rebert_serve::HttpReply| -> String {
+        let json = rebert::json::Json::parse(&reply.body_text()).unwrap();
+        json_field(&json, "model_fingerprint")
+            .as_str()
+            .expect("model_fingerprint is a string")
+            .to_owned()
+    };
+
+    // First daemon lifetime: cold submit, warm resubmit, bypass.
+    let server = boot_cached();
+    let addr = server.addr();
+    let first = submit_recover(addr, &bench, Some("bench"), None).expect("submit");
+    assert_eq!(first.status, 200, "{}", first.body_text());
+    assert_eq!(stat(&first, "cache_hits"), 0, "fresh daemon has no entries");
+    assert!(stat(&first, "cache_misses") > 0);
+    let fingerprint = fingerprint_of(&first);
+    assert_eq!(fingerprint.len(), 16, "{fingerprint}");
+
+    let warm = submit_recover(addr, &bench, Some("bench"), None).expect("submit");
+    assert_eq!(warm.status, 200);
+    assert_eq!(stat(&warm, "cache_misses"), 0, "warm resubmit never misses");
+    assert_eq!(stat(&warm, "cache_hits"), stat(&warm, "class_pairs_scored"));
+    assert_eq!(words_of(&warm), words_of(&first), "identical words payload");
+
+    // `X-Rebert-No-Cache` sidesteps the cache but not the answer.
+    let bypass =
+        submit_recover_opts(addr, &bench, Some("bench"), None, None, false).expect("submit");
+    assert_eq!(bypass.status, 200);
+    assert_eq!(stat(&bypass, "cache_hits"), 0);
+    assert_eq!(stat(&bypass, "cache_misses"), 0);
+    assert_eq!(words_of(&bypass), words_of(&first));
+
+    // The exposition carries the cache series and the model identity.
+    let metrics = http_request(addr, "GET", "/metrics", &[], b"").unwrap();
+    let samples = parse_prometheus(&metrics.body_text());
+    let value = |name: &str| -> f64 {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .value
+    };
+    assert!(value("rebert_cache_hits_total") >= 1.0);
+    assert!(value("rebert_cache_misses_total") >= 1.0);
+    assert!(value("rebert_cache_entries") >= 1.0);
+    assert!(value("rebert_cache_bytes") >= 1.0);
+    assert!(samples.iter().any(|s| {
+        s.name == "rebert_model_info"
+            && s.labels
+                .iter()
+                .any(|(k, v)| k == "fingerprint" && *v == fingerprint)
+    }));
+    server.shutdown();
+    assert!(path.exists(), "shutdown flushed the cache beside the model");
+
+    // Second lifetime: the restarted daemon answers from the persisted
+    // cache — zero misses — and bit-for-bit the same words.
+    let server = boot_cached();
+    let revived = submit_recover(server.addr(), &bench, Some("bench"), None).expect("submit");
+    assert_eq!(revived.status, 200, "{}", revived.body_text());
+    assert_eq!(stat(&revived, "cache_misses"), 0, "restart loads the file");
+    assert_eq!(
+        stat(&revived, "cache_hits"),
+        stat(&revived, "class_pairs_scored")
+    );
+    assert_eq!(words_of(&revived), words_of(&first));
+    assert_eq!(fingerprint_of(&revived), fingerprint);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

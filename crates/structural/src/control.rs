@@ -117,7 +117,7 @@ pub fn recover_words_by_control(nl: &Netlist, cfg: &ControlConfig) -> ControlRec
 
     let n = bits.len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

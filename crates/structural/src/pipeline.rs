@@ -133,6 +133,9 @@ fn similarity_sweep(trees: &[BitTree], threads: usize) -> Vec<f64> {
     rows.into_iter().flatten().collect()
 }
 
+/// Run the full structural baseline: binarize, extract per-bit trees,
+/// sweep pairwise similarities, and union-find above-threshold edges
+/// into word groups.
 pub fn recover_words(nl: &Netlist, cfg: &StructuralConfig) -> StructuralRecovery {
     let start = Instant::now();
     let (bin, _) = binarize(nl);
@@ -150,7 +153,7 @@ pub fn recover_words(nl: &Netlist, cfg: &StructuralConfig) -> StructuralRecovery
     };
     // Union-find over above-threshold edges.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

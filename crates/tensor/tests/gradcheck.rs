@@ -133,7 +133,7 @@ fn activation_grads() {
     let a = normal(&mut r, 3, 4, 1.0);
     for act in 0..4 {
         check(
-            &[a.clone()],
+            std::slice::from_ref(&a),
             move |t, v| {
                 let y = match act {
                     0 => t.gelu(v[0]),
@@ -194,7 +194,7 @@ fn slicing_grads() {
     let mut r = rng();
     let a = normal(&mut r, 3, 8, 0.5);
     check(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |t, v| {
             let s = t.col_slice(v[0], 2, 4);
             t.mean_all(s)
@@ -202,7 +202,7 @@ fn slicing_grads() {
         1e-3,
     );
     check(
-        &[a.clone()],
+        std::slice::from_ref(&a),
         |t, v| {
             let s = t.row_slice(v[0], 1);
             t.mean_all(s)

@@ -24,16 +24,16 @@ fn build_custom_design() -> Netlist {
     // Counter: c_d[i] = c_q[i] XOR carry; carry chains through ANDs.
     let cq: Vec<_> = (0..3).map(|i| nl.add_net(format!("c_q{i}"))).collect();
     let mut carry = en;
-    for i in 0..3 {
+    for (i, &q) in cq.iter().enumerate() {
         let d = nl
-            .add_gate_new_net(GateType::Xor, vec![cq[i], carry], format!("c_d{i}"))
+            .add_gate_new_net(GateType::Xor, vec![q, carry], format!("c_d{i}"))
             .expect("fresh net");
         if i < 2 {
             carry = nl
-                .add_gate_new_net(GateType::And, vec![carry, cq[i]], format!("c_cy{i}"))
+                .add_gate_new_net(GateType::And, vec![carry, q], format!("c_cy{i}"))
                 .expect("fresh net");
         }
-        nl.add_dff(d, cq[i]).expect("q undriven");
+        nl.add_dff(d, q).expect("q undriven");
     }
     // Shift register: s_d[0] = MUX(en, s_q0, sin); s_d[i] = MUX(en, s_qi, s_q(i-1)).
     let sq: Vec<_> = (0..3).map(|i| nl.add_net(format!("s_q{i}"))).collect();
