@@ -9,41 +9,86 @@
 //! block — and writes `table2_results.json` next to the binary's CWD.
 //!
 //! ```text
-//! cargo run -p rebert-bench --release --bin table2 [--fast|--full-scale]
+//! cargo run -p rebert-bench --release --bin table2 [--fast|--full-scale] [--daemon]
 //! ```
+//!
+//! With `--daemon`, each fold's model is hot-loaded into an in-process
+//! serving daemon and evaluated through `POST /batch` — the production
+//! wire path — instead of in-process calls; the structural baseline
+//! always runs locally. Both paths produce identical ReBERT ARI.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 use rebert_bench::{
-    benchmark_suite, evaluate_cell, train_fold_model, Scale, EXPERIMENT_SEED, R_INDEXES,
+    benchmark_suite, evaluate_cell, evaluate_cells_remote, train_fold_model, DaemonHarness, Scale,
+    EXPERIMENT_SEED, R_INDEXES,
 };
+use rebert_circuits::corrupt;
+use rebert_structural::{recover_words, StructuralConfig};
 
 fn main() {
     let scale = Scale::from_args();
+    let daemon_mode = std::env::args().any(|a| a == "--daemon");
     let suite = benchmark_suite(scale);
     let names: Vec<String> = suite.iter().map(|c| c.profile.name.clone()).collect();
     println!(
-        "Table II — ARI comparison ({scale:?} scale, {} benchmarks, seed {EXPERIMENT_SEED:#x})",
-        suite.len()
+        "Table II — ARI comparison ({scale:?} scale, {} benchmarks, seed {EXPERIMENT_SEED:#x}{})",
+        suite.len(),
+        if daemon_mode { ", via daemon" } else { "" }
     );
     let wall = Instant::now();
+    let harness = daemon_mode.then(|| DaemonHarness::start(0));
+    let seed_of = |ri: usize| EXPERIMENT_SEED ^ (ri as u64) << 8;
 
     // results[r][bench] = (structural, rebert)
     let mut results: Vec<Vec<(f64, f64)>> = vec![Vec::new(); R_INDEXES.len()];
     for (bi, _) in suite.iter().enumerate() {
         eprintln!("=== fold {} / {} ({}) ===", bi + 1, suite.len(), names[bi]);
         let model = train_fold_model(&suite, bi, scale);
-        for (ri, &r) in R_INDEXES.iter().enumerate() {
-            let cell = evaluate_cell(&model, &suite[bi], r, EXPERIMENT_SEED ^ (ri as u64) << 8);
-            eprintln!(
-                "  r={r:.1}: structural {:.3}, rebert {:.3} ({} bits)",
-                cell.structural_ari,
-                cell.rebert_ari,
-                suite[bi].netlist.dff_count()
-            );
-            results[ri].push((cell.structural_ari, cell.rebert_ari));
+        if let Some(harness) = &harness {
+            // Every fold hot-swaps the daemon's default model; in a
+            // long-lived deployment this is exactly a checkpoint roll.
+            harness.install("default", model);
+            let remote =
+                evaluate_cells_remote(harness.addr(), None, &suite[bi], &R_INDEXES, seed_of)
+                    .expect("daemon batch evaluation");
+            let k_levels = scale.model_config().k_levels;
+            for (ri, (&r, cell)) in R_INDEXES.iter().zip(&remote).enumerate() {
+                let netlist = if r == 0.0 {
+                    suite[bi].netlist.clone()
+                } else {
+                    corrupt(&suite[bi].netlist, r, seed_of(ri)).0
+                };
+                let scfg = StructuralConfig {
+                    k_levels,
+                    ..Default::default()
+                };
+                let s_rec = recover_words(&netlist, &scfg);
+                let structural_ari = rebert::ari(&suite[bi].labels.assignment(), &s_rec.assignment);
+                eprintln!(
+                    "  r={r:.1}: structural {structural_ari:.3}, rebert {:.3} ({} bits, {}us on the daemon)",
+                    cell.rebert_ari,
+                    suite[bi].netlist.dff_count(),
+                    cell.rebert_time.as_micros()
+                );
+                results[ri].push((structural_ari, cell.rebert_ari));
+            }
+        } else {
+            for (ri, &r) in R_INDEXES.iter().enumerate() {
+                let cell = evaluate_cell(&model, &suite[bi], r, seed_of(ri));
+                eprintln!(
+                    "  r={r:.1}: structural {:.3}, rebert {:.3} ({} bits)",
+                    cell.structural_ari,
+                    cell.rebert_ari,
+                    suite[bi].netlist.dff_count()
+                );
+                results[ri].push((cell.structural_ari, cell.rebert_ari));
+            }
         }
+    }
+    if let Some(harness) = harness {
+        harness.shutdown();
     }
 
     // ---- paper-layout printing ------------------------------------------

@@ -18,6 +18,9 @@ use std::time::{Duration, Instant};
 
 use rebert_obs as obs;
 
+pub mod remote;
+pub use remote::{evaluate_cells_remote, DaemonHarness, RemoteCell};
+
 use rebert::{
     ari, loo_split, train, training_samples, DatasetConfig, ReBertConfig, ReBertModel, TrainConfig,
 };

@@ -1,0 +1,233 @@
+//! The daemon-backed evaluation path: instead of calling into the
+//! model in-process, the LOO-CV harness boots a [`rebert_serve`]
+//! daemon around a [`rebert_registry::ModelRegistry`], installs each
+//! fold's model, and drives evaluation through `POST /batch` — the
+//! same wire path production clients use. ARI is computed client-side
+//! from the returned assignments, so the harness stays the source of
+//! truth for ground-truth labels.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rebert::{ari, ReBertModel};
+use rebert_circuits::{corrupt, GeneratedCircuit};
+use rebert_registry::{ModelRegistry, RegistryConfig};
+use rebert_serve::{batch_archive, submit_batch, Server, SubmitOptions};
+
+/// An in-process daemon wrapping a model registry, for benchmark runs
+/// that want the full wire path without managing an external process.
+pub struct DaemonHarness {
+    registry: Arc<ModelRegistry>,
+    server: Server,
+}
+
+impl DaemonHarness {
+    /// Boots an empty-registry daemon on an ephemeral localhost port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ephemeral port cannot be bound — benchmark
+    /// harnesses have no useful recovery from that.
+    pub fn start(threads: usize) -> DaemonHarness {
+        let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+            threads,
+            ..RegistryConfig::default()
+        }));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let server = rebert_serve::serve_registry(
+            Arc::clone(&registry),
+            listener,
+            rebert_serve::ServeConfig::default(),
+        )
+        .expect("boot in-process daemon");
+        DaemonHarness { registry, server }
+    }
+
+    /// The daemon's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Publishes `model` under `name` (hot-swapping any previous
+    /// version) and returns its fingerprint.
+    pub fn install(&self, name: &str, model: ReBertModel) -> String {
+        self.registry
+            .install(name, model)
+            .fingerprint_hex()
+            .to_owned()
+    }
+
+    /// Drains and stops the daemon.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// One `POST /batch` record, reduced to what the tables need.
+#[derive(Debug, Clone)]
+pub struct RemoteCell {
+    /// ARI of the daemon-returned assignment against ground truth.
+    pub rebert_ari: f64,
+    /// Server-side recovery time for this netlist.
+    pub rebert_time: Duration,
+    /// Fingerprint of the model that actually served the netlist.
+    pub model_fingerprint: String,
+}
+
+/// Evaluates `circuit` at each corruption level through one `POST
+/// /batch` request against a running daemon. `model` picks the
+/// registry entry (`None` = daemon default); `seed_of` maps an R-Index
+/// position to its corruption seed, mirroring the offline harness.
+///
+/// # Errors
+///
+/// Transport failures, non-200 replies, and malformed or missing
+/// records surface as `io::Error` — a benchmark run has nothing to
+/// salvage from a half-answered batch.
+pub fn evaluate_cells_remote(
+    addr: SocketAddr,
+    model: Option<&str>,
+    circuit: &GeneratedCircuit,
+    r_indexes: &[f64],
+    seed_of: impl Fn(usize) -> u64,
+) -> std::io::Result<Vec<RemoteCell>> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+
+    let variants: Vec<(String, String)> = r_indexes
+        .iter()
+        .enumerate()
+        .map(|(ri, &r)| {
+            let netlist = if r == 0.0 {
+                circuit.netlist.clone()
+            } else {
+                corrupt(&circuit.netlist, r, seed_of(ri)).0
+            };
+            (format!("r{ri}"), rebert_netlist::write_bench(&netlist))
+        })
+        .collect();
+    let archive = batch_archive(variants.iter().map(|(n, t)| (n.as_str(), t.as_str())));
+    let opts = SubmitOptions {
+        format: Some("bench".to_owned()),
+        model: model.map(str::to_owned),
+        ..SubmitOptions::default()
+    };
+    let reply = submit_batch(addr, &archive, &opts)?;
+    if reply.status != 200 {
+        return Err(bad(format!(
+            "daemon answered {}: {}",
+            reply.status,
+            reply.body_text().trim()
+        )));
+    }
+
+    let truth = circuit.labels.assignment();
+    let mut cells: Vec<Option<RemoteCell>> = vec![None; r_indexes.len()];
+    for line in reply.body_text().lines().filter(|l| !l.trim().is_empty()) {
+        let record = rebert::json::Json::parse(line)
+            .map_err(|e| bad(format!("unparseable batch record `{line}`: {e}")))?;
+        let index = record
+            .get("index")
+            .and_then(rebert::json::Json::as_usize)
+            .ok_or_else(|| bad(format!("batch record lacks `index`: {line}")))?;
+        if record.get("ok").and_then(rebert::json::Json::as_bool) != Some(true) {
+            let error = record
+                .get("error")
+                .and_then(rebert::json::Json::as_str)
+                .unwrap_or("unknown error");
+            return Err(bad(format!("batch entry {index} failed: {error}")));
+        }
+        let assignment: Vec<usize> = record
+            .get("assignment")
+            .and_then(rebert::json::Json::as_array)
+            .map(|a| a.iter().filter_map(rebert::json::Json::as_usize).collect())
+            .ok_or_else(|| bad(format!("batch record lacks `assignment`: {line}")))?;
+        if assignment.len() != truth.len() {
+            return Err(bad(format!(
+                "batch entry {index}: {} bits returned, {} expected",
+                assignment.len(),
+                truth.len()
+            )));
+        }
+        let elapsed_us = record
+            .get("stats")
+            .and_then(|s| s.get("elapsed_us"))
+            .and_then(rebert::json::Json::as_u64)
+            .unwrap_or(0);
+        let fingerprint = record
+            .get("model_fingerprint")
+            .and_then(rebert::json::Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        let slot = cells
+            .get_mut(index)
+            .ok_or_else(|| bad(format!("batch record index {index} out of range")))?;
+        *slot = Some(RemoteCell {
+            rebert_ari: ari(&truth, &assignment),
+            rebert_time: Duration::from_micros(elapsed_us),
+            model_fingerprint: fingerprint,
+        });
+    }
+    cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.ok_or_else(|| bad(format!("batch entry {i} never answered"))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmark_suite, evaluate_cell, Scale, EXPERIMENT_SEED, R_INDEXES};
+    use rebert::ReBertConfig;
+
+    #[test]
+    fn daemon_path_matches_local_evaluation_bitwise() {
+        let suite = benchmark_suite(Scale::Fast);
+        let circuit = &suite[0];
+        // Model construction is deterministic in (config, seed), so the
+        // daemon-resident copy and the local reference are identical.
+        let model = ReBertModel::new(Scale::Fast.model_config(), 1);
+
+        let harness = DaemonHarness::start(1);
+        let fp = harness.install("fold0", ReBertModel::new(Scale::Fast.model_config(), 1));
+        let seed_of = |ri: usize| EXPERIMENT_SEED ^ (ri as u64) << 8;
+        let remote = evaluate_cells_remote(
+            harness.addr(),
+            Some("fold0"),
+            circuit,
+            &R_INDEXES[..2],
+            seed_of,
+        )
+        .expect("batch round-trip");
+        harness.shutdown();
+
+        assert_eq!(remote.len(), 2);
+        for (ri, cell) in remote.iter().enumerate() {
+            let local = evaluate_cell(&model, circuit, R_INDEXES[ri], seed_of(ri));
+            assert_eq!(
+                cell.rebert_ari, local.rebert_ari,
+                "daemon and in-process ARI must agree exactly at r={}",
+                R_INDEXES[ri]
+            );
+            assert_eq!(cell.model_fingerprint, fp);
+        }
+    }
+
+    #[test]
+    fn remote_evaluation_surfaces_unknown_models() {
+        let harness = DaemonHarness::start(1);
+        harness.install("only", ReBertModel::new(ReBertConfig::tiny(), 0));
+        let suite = benchmark_suite(Scale::Fast);
+        let err = evaluate_cells_remote(
+            harness.addr(),
+            Some("missing"),
+            &suite[0],
+            &R_INDEXES[..1],
+            |_| 0,
+        )
+        .expect_err("unknown model must not silently fall back");
+        assert!(err.to_string().contains("404"), "{err}");
+        harness.shutdown();
+    }
+}

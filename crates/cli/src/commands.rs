@@ -51,6 +51,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "inspect" => cmd_inspect(args),
         "serve" => cmd_serve(args),
         "submit" => cmd_submit(args),
+        "models" => cmd_models(args),
+        "batch" => cmd_batch(args),
         "help" | "--help" | "-h" => Ok(HELP.to_owned()),
         other => Err(format!("unknown subcommand `{other}` (try `rebert help`)").into()),
     }
@@ -104,11 +106,13 @@ COMMANDS
             only re-scores the cones the edit touched; --cache-bytes
             bounds it (default 64 MiB). Cached scores are bitwise
             identical to fresh ones.
-  inspect   --model <model.json>
+  inspect   --model <model.json> [--cache-dir <dir>]
             Print a checkpoint's identity: architecture summary,
             parameter count, vocabulary size, and the stable fingerprint
             that keys the score cache and the serve /metrics info
-            series.
+            series. Also reports whether a persisted
+            score-cache-<fingerprint>.bin exists (beside the checkpoint,
+            or under --cache-dir) and how many entries it holds.
   serve     --model <model.json> [--addr <host:port>] [--threads N]
             [--queue N] [--deadline-ms N]
             [--cache-bytes N] [--cache-dir <dir>]
@@ -123,16 +127,37 @@ COMMANDS
             0 disables); with --cache-dir it persists across restarts
             (stale-fingerprint files are ignored), so resubmits after a
             restart are served warm. Requests may opt out per-call with
-            the X-Rebert-No-Cache header.
+            the X-Rebert-No-Cache header. The daemon hosts a model
+            registry: POST /models/<name>/load hot-swaps checkpoints
+            without dropping in-flight requests, and requests pick a
+            model with X-Rebert-Model. --tenant-quota N enforces a
+            per-tenant token bucket of N requests/second (keyed by
+            X-Rebert-Tenant; over-quota requests get 429 +
+            Retry-After).
             Defaults: --addr 127.0.0.1:7878, --queue 32,
-            --deadline-ms 0 (unbounded).
+            --deadline-ms 0 (unbounded), --tenant-quota off.
   submit    --addr <host:port> --in <file> [--labels <labels.json>]
             [--deadline-ms N] [--precision <f32|f32-simd|int8>]
-            [--no-cache]
+            [--no-cache] [--model <name>] [--tenant <id>]
             Send a netlist to a running daemon and print the recovered
             words (ARI when labels are given); --precision rides along
             as the X-Rebert-Precision header; --no-cache asks the
-            daemon to score from scratch (X-Rebert-No-Cache).
+            daemon to score from scratch (X-Rebert-No-Cache); --model
+            picks a resident registry model (X-Rebert-Model); --tenant
+            attributes the request to a quota bucket (X-Rebert-Tenant).
+  models    --addr <host:port> [--load <model.json> --name <name>]
+            List a daemon's resident models (name, version,
+            fingerprint, served counters, cache stats). With --load,
+            hot-load the checkpoint at that path (as seen by the
+            daemon) under --name instead: the new version is published
+            atomically and in-flight requests finish on the old one.
+  batch     --addr <host:port> --in <f1,f2,...> [--format <bench|verilog>]
+            [--model <name>] [--tenant <id>] [--deadline-ms N]
+            [--precision <f32|f32-simd|int8>] [--no-cache]
+            Pack the named netlist files into one POST /batch archive
+            and stream the daemon's per-netlist NDJSON results as they
+            finish; per-entry failures are reported inline without
+            aborting the rest of the batch.
   help      Show this text.
 
 OBSERVABILITY (train / recover / serve / submit)
@@ -189,7 +214,7 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
         ],
         &["baseline"],
     ),
-    ("inspect", &["model"], &[]),
+    ("inspect", &["model", "cache-dir"], &[]),
     (
         "serve",
         &[
@@ -200,6 +225,7 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
             "deadline-ms",
             "cache-bytes",
             "cache-dir",
+            "tenant-quota",
             "log-level",
             "trace-out",
         ],
@@ -211,6 +237,24 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
             "addr",
             "in",
             "labels",
+            "deadline-ms",
+            "precision",
+            "model",
+            "tenant",
+            "log-level",
+            "trace-out",
+        ],
+        &["no-cache"],
+    ),
+    ("models", &["addr", "load", "name"], &[]),
+    (
+        "batch",
+        &[
+            "addr",
+            "in",
+            "format",
+            "model",
+            "tenant",
             "deadline-ms",
             "precision",
             "log-level",
@@ -533,7 +577,7 @@ fn cmd_inspect(args: &Args) -> Result<String, CliError> {
         params += t.data().len();
         tensors += 1;
     }
-    Ok(format!(
+    let mut out = format!(
         "{}\n  fingerprint: {}\n  encoder: d_model {} | {} layers | {} heads | ff {} | max seq {}\n  pipeline: k-levels {} | code width {} | jaccard threshold {}\n  parameters: {params} floats across {tensors} tensors\n  vocabulary: {} tokens\n",
         path.display(),
         model.fingerprint_hex(),
@@ -546,7 +590,27 @@ fn cmd_inspect(args: &Args) -> Result<String, CliError> {
         cfg.code_width,
         cfg.jaccard_threshold,
         model.vocab().len(),
-    ))
+    );
+    // Report the persisted score cache that would serve this checkpoint:
+    // under --cache-dir when given, else beside the checkpoint itself.
+    let cache_dir = args.get("cache-dir").map_or_else(
+        || path.parent().unwrap_or(Path::new(".")).to_path_buf(),
+        std::path::PathBuf::from,
+    );
+    let cache_path = cache_dir.join(format!("score-cache-{}.bin", model.fingerprint_hex()));
+    match rebert::ScoreCache::peek_file(&cache_path) {
+        Some(info) => out.push_str(&format!(
+            "  score cache: {} ({} entries, {} bytes)\n",
+            cache_path.display(),
+            info.entries,
+            info.bytes,
+        )),
+        None => out.push_str(&format!(
+            "  score cache: none at {}\n",
+            cache_path.display()
+        )),
+    }
+    Ok(out)
 }
 
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
@@ -561,13 +625,25 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     // its name embeds the fingerprint, and the loader additionally
     // verifies the fingerprint in the header, so a re-trained model
     // silently starts cold instead of serving stale scores.
-    let cache_path = match args.get("cache-dir") {
+    let cache_dir = match args.get("cache-dir") {
         None => None,
         Some(dir) => {
             let dir = Path::new(dir);
             std::fs::create_dir_all(dir)
                 .map_err(|e| format!("cannot create cache dir `{}`: {e}", dir.display()))?;
-            Some(dir.join(format!("score-cache-{}.bin", model.fingerprint_hex())))
+            Some(dir.to_path_buf())
+        }
+    };
+    let tenant_quota = match args.get("tenant-quota") {
+        None => None,
+        Some(raw) => {
+            let rate: f64 = raw
+                .parse()
+                .map_err(|_| format!("--tenant-quota expects requests/second, got `{raw}`"))?;
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(format!("--tenant-quota must be positive, got {rate}").into());
+            }
+            Some(rate)
         }
     };
 
@@ -578,7 +654,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         queue_capacity: queue,
         default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         cache_bytes,
-        cache_path,
+        cache_dir,
+        tenant_quota,
         ..rebert_serve::ServeConfig::default()
     };
     let server = rebert_serve::serve(session, listener, config)?;
@@ -592,6 +669,27 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     Ok("drained in-flight work, shut down cleanly".to_owned())
 }
 
+/// Builds the request options shared by `submit` and `batch` from the
+/// common `--deadline-ms` / `--precision` / `--no-cache` / `--model` /
+/// `--tenant` surface. Precision is validated locally so typos fail
+/// before the network hop; the daemon re-validates anyway.
+fn submit_options(
+    args: &Args,
+    format: Option<&str>,
+) -> Result<rebert_serve::SubmitOptions, CliError> {
+    let deadline_ms = args.get_or("deadline-ms", 0u64)?;
+    let precision = parse_precision(args)?;
+    Ok(rebert_serve::SubmitOptions {
+        format: format.map(str::to_owned),
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        precision: args.get("precision").map(|_| precision.label().to_owned()),
+        use_cache: !args.flag("no-cache"),
+        model: args.get("model").map(str::to_owned),
+        tenant: args.get("tenant").map(str::to_owned),
+        request_id: None,
+    })
+}
+
 fn cmd_submit(args: &Args) -> Result<String, CliError> {
     validate(args)?;
     let addr = args.require("addr")?;
@@ -603,19 +701,9 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
     } else {
         "bench"
     };
-    let deadline_ms = args.get_or("deadline-ms", 0u64)?;
-    // Validated locally so typos fail before the network hop; the
-    // daemon re-validates and answers 400 for anything it cannot parse.
-    let precision = parse_precision(args)?;
-    let reply = rebert_serve::submit_recover_opts(
-        addr,
-        &text,
-        Some(format),
-        (deadline_ms > 0).then_some(deadline_ms),
-        args.get("precision").map(|_| precision.label()),
-        !args.flag("no-cache"),
-    )
-    .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
+    let opts = submit_options(args, Some(format))?;
+    let reply = rebert_serve::submit(addr, &text, &opts)
+        .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
     if reply.status != 200 {
         // The request id lets the daemon side of a failure be found in
         // its logs and `GET /debug/trace` output.
@@ -701,6 +789,195 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
             "ReBERT ARI: {:.3}\n",
             ari(&labels.assignment(), &assignment)
         ));
+    }
+    Ok(out)
+}
+
+/// `rebert models`: list a daemon's resident models, or hot-load a
+/// checkpoint under a name (`--load <path> --name <name>`).
+fn cmd_models(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
+    let addr = args.require("addr")?;
+    if let Some(ckpt) = args.get("load") {
+        let name = args.require("name")?;
+        let reply = rebert_serve::load_model_remote(addr, name, ckpt)
+            .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
+        if reply.status != 200 {
+            return Err(format!(
+                "daemon answered {}: {}",
+                reply.status,
+                reply.body_text().trim()
+            )
+            .into());
+        }
+        let json = rebert::json::Json::parse(&reply.body_text())
+            .map_err(|e| format!("unparseable daemon reply: {e}"))?;
+        let get_str = |key: &str| {
+            json.get(key)
+                .and_then(rebert::json::Json::as_str)
+                .unwrap_or("?")
+                .to_owned()
+        };
+        return Ok(format!(
+            "loaded `{ckpt}` as {} v{} (fingerprint {}, swap {}us)\n",
+            get_str("name"),
+            json.get("version")
+                .and_then(rebert::json::Json::as_u64)
+                .unwrap_or(0),
+            get_str("fingerprint"),
+            json.get("swap_us")
+                .and_then(rebert::json::Json::as_u64)
+                .unwrap_or(0),
+        ));
+    }
+    if args.get("name").is_some() {
+        return Err("--name only makes sense with --load".into());
+    }
+
+    let reply = rebert_serve::list_models(addr)
+        .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
+    if reply.status != 200 {
+        return Err(format!(
+            "daemon answered {}: {}",
+            reply.status,
+            reply.body_text().trim()
+        )
+        .into());
+    }
+    let json = rebert::json::Json::parse(&reply.body_text())
+        .map_err(|e| format!("unparseable daemon reply: {e}"))?;
+    let models = json
+        .get("models")
+        .and_then(rebert::json::Json::as_array)
+        .ok_or("daemon reply lacks `models`")?;
+    let mut out = String::new();
+    for m in models {
+        let s = |key: &str| {
+            m.get(key)
+                .and_then(rebert::json::Json::as_str)
+                .unwrap_or("?")
+        };
+        let n = |key: &str| m.get(key).and_then(rebert::json::Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "{} v{} fingerprint {} ({} served)\n",
+            s("name"),
+            n("version"),
+            s("fingerprint"),
+            n("served_total"),
+        ));
+        if let Some(cache) = m.get("cache") {
+            out.push_str(&format!(
+                "  cache: {} entries | {} bytes | {} hits | {} misses\n",
+                cache
+                    .get("entries")
+                    .and_then(rebert::json::Json::as_u64)
+                    .unwrap_or(0),
+                cache
+                    .get("bytes")
+                    .and_then(rebert::json::Json::as_u64)
+                    .unwrap_or(0),
+                cache
+                    .get("hits")
+                    .and_then(rebert::json::Json::as_u64)
+                    .unwrap_or(0),
+                cache
+                    .get("misses")
+                    .and_then(rebert::json::Json::as_u64)
+                    .unwrap_or(0),
+            ));
+        }
+    }
+    let draining = json
+        .get("retired_draining")
+        .and_then(rebert::json::Json::as_u64)
+        .unwrap_or(0);
+    if draining > 0 {
+        out.push_str(&format!("{draining} retired version(s) still draining\n"));
+    }
+    Ok(out)
+}
+
+/// `rebert batch`: pack netlist files into one `POST /batch` archive
+/// and print the per-netlist NDJSON results.
+fn cmd_batch(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
+    let addr = args.require("addr")?;
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for raw in args.require("in")?.split(',') {
+        let path = Path::new(raw.trim());
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("netlist")
+            .to_owned();
+        entries.push((name, text));
+    }
+    if entries.is_empty() {
+        return Err("--in lists no files".into());
+    }
+    let format = match args.get("format") {
+        None | Some("bench" | "verilog") => args.get("format"),
+        Some(other) => {
+            return Err(format!("--format accepts `bench` or `verilog`, got `{other}`").into())
+        }
+    };
+    let opts = submit_options(args, format)?;
+    let archive =
+        rebert_serve::batch_archive(entries.iter().map(|(n, t)| (n.as_str(), t.as_str())));
+    let reply = rebert_serve::submit_batch(addr, &archive, &opts)
+        .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
+    if reply.status != 200 {
+        let request_id = reply.header("X-Rebert-Request-Id").unwrap_or("unknown");
+        return Err(format!(
+            "daemon answered {} (request {request_id}): {}",
+            reply.status,
+            reply.body_text().trim()
+        )
+        .into());
+    }
+
+    let mut out = String::new();
+    let mut failures = 0usize;
+    let mut records = 0usize;
+    for line in reply.body_text().lines().filter(|l| !l.trim().is_empty()) {
+        let record = rebert::json::Json::parse(line)
+            .map_err(|e| format!("unparseable batch record `{line}`: {e}"))?;
+        records += 1;
+        let name = record
+            .get("name")
+            .and_then(rebert::json::Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        let ok = record.get("ok").and_then(rebert::json::Json::as_bool) == Some(true);
+        if ok {
+            let words = record
+                .get("words")
+                .and_then(rebert::json::Json::as_array)
+                .map_or(0, <[rebert::json::Json]>::len);
+            let bits = record
+                .get("bits")
+                .and_then(rebert::json::Json::as_u64)
+                .unwrap_or(0);
+            out.push_str(&format!("{name}: {bits} bits -> {words} words\n"));
+        } else {
+            failures += 1;
+            let error = record
+                .get("error")
+                .and_then(rebert::json::Json::as_str)
+                .unwrap_or("unknown error");
+            out.push_str(&format!("{name}: FAILED ({error})\n"));
+        }
+    }
+    out.push_str(&format!(
+        "{} netlists, {} ok, {} failed\n",
+        records,
+        records - failures,
+        failures
+    ));
+    if failures > 0 {
+        return Err(out.into());
     }
     Ok(out)
 }
@@ -941,7 +1218,7 @@ mod tests {
     fn every_command_rejects_unknown_options() {
         for cmd in [
             "generate", "corrupt", "optimize", "stats", "lint", "train", "recover", "inspect",
-            "serve", "submit",
+            "serve", "submit", "models", "batch",
         ] {
             let err = run(&args(&[cmd, "--no-such-option", "x"])).unwrap_err();
             assert!(
@@ -1165,6 +1442,130 @@ mod tests {
         save_model(&ReBertModel::new(ReBertConfig::tiny(), 8), &other_path).unwrap();
         let other = run(&args(&["inspect", "--model", other_path.to_str().unwrap()])).unwrap();
         assert!(!other.contains(&fp), "distinct weights, distinct identity");
+    }
+
+    #[test]
+    fn inspect_reports_sibling_score_cache() {
+        let dir = tmp("inspect_cache_dir");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("cacheable.model.json");
+        let model = ReBertModel::new(ReBertConfig::tiny(), 9);
+        let fp = model.fingerprint_hex();
+        let fingerprint = model.fingerprint();
+        save_model(&model, &model_path).unwrap();
+
+        // No cache file yet: inspect says so.
+        let out = run(&args(&["inspect", "--model", model_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("score cache: none at"), "{out}");
+
+        // Persist a small cache beside the checkpoint and re-inspect.
+        let cache = rebert::ScoreCache::new(1 << 20, fingerprint);
+        cache.insert(
+            rebert::ScoreCache::pair_key(fingerprint, rebert::Backend::F32Scalar, 1, 2),
+            0.5,
+        );
+        cache.insert(
+            rebert::ScoreCache::pair_key(fingerprint, rebert::Backend::F32Scalar, 3, 4),
+            -0.25,
+        );
+        let cache_path = dir.join(format!("score-cache-{fp}.bin"));
+        cache.flush(&cache_path).unwrap();
+        let out = run(&args(&["inspect", "--model", model_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 entries"), "{out}");
+        assert!(!out.contains("score cache: none"), "{out}");
+
+        // --cache-dir pointing elsewhere reports the miss there.
+        let other = tmp("inspect_cache_other");
+        std::fs::create_dir_all(&other).unwrap();
+        let out = run(&args(&[
+            "inspect",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--cache-dir",
+            other.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("score cache: none at"), "{out}");
+    }
+
+    #[test]
+    fn models_lists_and_hot_loads_through_a_live_daemon() {
+        let model_path = tmp("models_v2.model.json");
+        let v2 = ReBertModel::new(ReBertConfig::tiny(), 21);
+        let v2_fp = v2.fingerprint_hex();
+        save_model(&v2, &model_path).unwrap();
+
+        let session = rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 20), 1);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server =
+            rebert_serve::serve(session, listener, rebert_serve::ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        let out = run(&args(&["models", "--addr", &addr])).unwrap();
+        assert!(out.contains("default v1"), "{out}");
+
+        let out = run(&args(&[
+            "models",
+            "--addr",
+            &addr,
+            "--load",
+            model_path.to_str().unwrap(),
+            "--name",
+            "default",
+        ]))
+        .unwrap();
+        assert!(out.contains("default v2"), "{out}");
+        assert!(out.contains(&v2_fp), "{out}");
+
+        let out = run(&args(&["models", "--addr", &addr])).unwrap();
+        assert!(out.contains("default v2"), "{out}");
+        assert!(out.contains(&v2_fp), "{out}");
+
+        // --name without --load is a usage error.
+        let err = run(&args(&["models", "--addr", &addr, "--name", "x"])).unwrap_err();
+        assert!(err.to_string().contains("--load"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_round_trips_and_reports_per_entry_failures() {
+        let good = rebert_circuits::generate(&Profile::new("bat", 90, 8, 2), 31);
+        let good_path = tmp("batch_good.bench");
+        write_netlist(&good.netlist, &good_path).unwrap();
+        let bad_path = tmp("batch_bad.bench");
+        std::fs::write(&bad_path, "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap();
+
+        let session = rebert::RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 22), 1);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server =
+            rebert_serve::serve(session, listener, rebert_serve::ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        // All-good batch succeeds.
+        let out = run(&args(&[
+            "batch",
+            "--addr",
+            &addr,
+            "--in",
+            good_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("1 netlists, 1 ok, 0 failed"), "{out}");
+
+        // A lint-failing entry is reported inline and turns the exit
+        // non-zero, but the good entry still completes.
+        let both = format!(
+            "{},{}",
+            good_path.to_str().unwrap(),
+            bad_path.to_str().unwrap()
+        );
+        let err = run(&args(&["batch", "--addr", &addr, "--in", &both])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2 netlists, 1 ok, 1 failed"), "{msg}");
+        assert!(msg.contains("batch_bad: FAILED"), "{msg}");
+        assert!(msg.contains("batch_good:"), "{msg}");
+        server.shutdown();
     }
 
     #[test]

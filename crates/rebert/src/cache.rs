@@ -44,6 +44,18 @@ const PERSISTED_ENTRY_BYTES: usize = 20;
 /// Header bytes: magic + version + fingerprint + entry count.
 const HEADER_BYTES: usize = 4 + 4 + 8 + 8;
 
+/// Header-only summary of a persisted cache file, as read by
+/// [`ScoreCache::peek_file`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheFileInfo {
+    /// Checkpoint fingerprint the file was written for.
+    pub fingerprint: u64,
+    /// Entries persisted in the file.
+    pub entries: u64,
+    /// Total file size in bytes (header + entries).
+    pub bytes: u64,
+}
+
 /// One shard: a plain map plus a monotone recency tick driving LRU
 /// eviction. Keys are already uniform 128-bit content hashes, so the
 /// shard size in entries is an exact proxy for its resident bytes.
@@ -162,6 +174,40 @@ impl ScoreCache {
             }
         }
         cache
+    }
+
+    /// Reads just the header of a persisted cache file: the checkpoint
+    /// fingerprint it was written for and how many entries it holds.
+    /// Nothing is loaded into memory beyond the 24-byte header, so this
+    /// is safe to call on arbitrarily large files (`rebert inspect`
+    /// uses it to report on a checkpoint's sibling cache). Returns
+    /// `None` for a missing, truncated, or non-RBSC file.
+    pub fn peek_file(path: &Path) -> Option<CacheFileInfo> {
+        use std::io::Read as _;
+        let mut file = std::fs::File::open(path).ok()?;
+        let total_bytes = file.metadata().ok()?.len();
+        let mut header = [0u8; HEADER_BYTES];
+        file.read_exact(&mut header).ok()?;
+        if header[0..4] != MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(header[4..8].try_into().expect("slice length checked"))
+            != FORMAT_VERSION
+        {
+            return None;
+        }
+        let fingerprint = u64::from_le_bytes(header[8..16].try_into().expect("slice len"));
+        let entries = u64::from_le_bytes(header[16..24].try_into().expect("slice len"));
+        let expected = (HEADER_BYTES as u64)
+            .checked_add(entries.checked_mul(PERSISTED_ENTRY_BYTES as u64)?)?;
+        if total_bytes != expected {
+            return None; // truncated or trailing garbage
+        }
+        Some(CacheFileInfo {
+            fingerprint,
+            entries,
+            bytes: total_bytes,
+        })
     }
 
     /// Derives the content-addressed key of one **ordered** class pair:
@@ -505,6 +551,33 @@ mod tests {
         assert!(stale.is_empty(), "stale fingerprint ignored");
         std::fs::remove_file(path).ok();
         std::fs::remove_file(other).ok();
+    }
+
+    #[test]
+    fn peek_reports_header_without_loading() {
+        let path = tmp("peek.bin");
+        let cache = ScoreCache::new(1 << 16, 0xABCD);
+        for i in 0..7u64 {
+            cache.insert(ScoreCache::pair_key(0xABCD, Backend::F32Scalar, i, i), 0.5);
+        }
+        cache.flush(&path).unwrap();
+        let info = ScoreCache::peek_file(&path).expect("valid file peeks");
+        assert_eq!(info.fingerprint, 0xABCD);
+        assert_eq!(info.entries, 7);
+        assert_eq!(info.bytes, std::fs::metadata(&path).unwrap().len());
+
+        // Missing, garbage, and truncated files peek as None.
+        assert!(ScoreCache::peek_file(&tmp("peek-missing.bin")).is_none());
+        let garbage = tmp("peek-garbage.bin");
+        std::fs::write(&garbage, b"not a cache").unwrap();
+        assert!(ScoreCache::peek_file(&garbage).is_none());
+        let truncated = tmp("peek-truncated.bin");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&truncated, &full[..full.len() - 3]).unwrap();
+        assert!(ScoreCache::peek_file(&truncated).is_none());
+        for p in [path, garbage, truncated] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

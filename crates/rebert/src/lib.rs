@@ -63,7 +63,7 @@ mod tree_embed;
 /// `rebert-obs` so existing `rebert::json::...` paths keep working.
 pub use rebert_obs::json;
 
-pub use cache::ScoreCache;
+pub use cache::{CacheFileInfo, ScoreCache};
 pub use dataset::{
     all_pairs, bit_sequences, cone_hash, loo_split, training_samples, ClassId, ConeClasses,
     DatasetConfig, PairSample, StableHasher,

@@ -1,0 +1,32 @@
+//! # rebert-registry
+//!
+//! A versioned registry of resident ReBERT checkpoints for the serving
+//! layer. Each name maps to the *current version* of a model — an
+//! immutable bundle of the [`rebert::ReBertModel`] (with its quantized
+//! int8 view pre-warmed), the checkpoint fingerprint, and a per-version
+//! [`rebert::ScoreCache`] persisted as `score-cache-<fingerprint>.bin`.
+//!
+//! Publication is an **atomic hot swap**: [`ModelRegistry::install`]
+//! builds the new resident off to the side, then swaps an epoch pointer
+//! ([`EpochArc`], a hand-rolled dependency-free `ArcSwap`). Requests
+//! pin a version with [`ModelRegistry::get`]/[`resolve`] and keep
+//! serving on it bitwise-unchanged while newer versions come and go;
+//! the swapped-out version retires — score cache flushed to disk,
+//! memory dropped — once its last in-flight handle drains
+//! ([`ModelRegistry::reap`]).
+//!
+//! [`TenantQuotas`] rides along for the serving layer's per-tenant
+//! token-bucket rate limiting (`--tenant-quota`, `X-Rebert-Tenant`,
+//! `429 Too Many Requests`).
+//!
+//! [`resolve`]: ModelRegistry::resolve
+
+#![warn(missing_docs)]
+
+mod quota;
+mod registry;
+mod swap;
+
+pub use quota::TenantQuotas;
+pub use registry::{ModelRegistry, RegistryConfig, ResidentModel, DEFAULT_MODEL};
+pub use swap::EpochArc;

@@ -1,0 +1,601 @@
+//! The registry proper: named slots of versioned resident models, each
+//! an [`EpochArc`] so `install` is an atomic hot swap, plus the retired
+//! list that flushes a version's score cache once its refcount drains.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rebert::{
+    Backend, CancelToken, Cancelled, ReBertModel, RecoveredWords, RecoverySession, ScoreCache,
+};
+use rebert_netlist::Netlist;
+use rebert_obs as obs;
+
+use crate::swap::EpochArc;
+
+/// The model name requests fall back to when they send no
+/// `X-Rebert-Model` header and the registry has no explicit default.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Knobs shared by every resident the registry creates.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Scoring threads per resident session (`0` = all cores).
+    pub threads: usize,
+    /// Byte budget for each resident's score cache (`0` disables
+    /// caching for residents installed without an explicit cache).
+    pub cache_bytes: usize,
+    /// Directory for per-model `score-cache-<fingerprint>.bin` files.
+    /// `None` keeps caches purely in-memory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            threads: 0,
+            cache_bytes: 64 << 20,
+            cache_dir: None,
+        }
+    }
+}
+
+/// One immutable resident version: the model (inside its warm
+/// [`RecoverySession`]), its checkpoint fingerprint, its own score
+/// cache, and per-backend serving counters. Never mutated after
+/// publication — an update is a whole new `ResidentModel` swapped in.
+#[derive(Debug)]
+pub struct ResidentModel {
+    name: String,
+    version: u64,
+    fingerprint_hex: String,
+    session: RecoverySession,
+    cache_path: Option<PathBuf>,
+    /// Completed recoveries served by this resident, per backend
+    /// (indexed like [`Backend::ALL`]).
+    served: [AtomicU64; Backend::ALL.len()],
+}
+
+impl ResidentModel {
+    /// The registry name this version serves under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotone per-name version number (1 for the first install).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Hex fingerprint of the resident checkpoint.
+    pub fn fingerprint_hex(&self) -> &str {
+        &self.fingerprint_hex
+    }
+
+    /// The warm session (model + scratches + cache).
+    pub fn session(&self) -> &RecoverySession {
+        &self.session
+    }
+
+    /// This version's score cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<ScoreCache>> {
+        self.session.cache()
+    }
+
+    /// Where this version's cache persists, if anywhere.
+    pub fn cache_path(&self) -> Option<&PathBuf> {
+        self.cache_path.as_ref()
+    }
+
+    /// Runs one recovery on this version. Mirrors
+    /// [`RecoverySession::try_recover_opts`] and bumps the per-backend
+    /// serving counters on success.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when `cancel` trips before completion.
+    pub fn try_recover_opts(
+        &self,
+        nl: &Netlist,
+        cancel: &CancelToken,
+        backend: Backend,
+        use_cache: bool,
+    ) -> Result<RecoveredWords, Cancelled> {
+        let rec = self
+            .session
+            .try_recover_opts(nl, cancel, backend, use_cache)?;
+        let slot = Backend::ALL
+            .iter()
+            .position(|b| *b == rec.stats.backend)
+            .expect("Backend::ALL covers every variant");
+        self.served[slot].fetch_add(1, Ordering::Relaxed);
+        Ok(rec)
+    }
+
+    /// Completed recoveries this version served with `backend`.
+    pub fn served(&self, backend: Backend) -> u64 {
+        let slot = Backend::ALL
+            .iter()
+            .position(|b| *b == backend)
+            .expect("Backend::ALL covers every variant");
+        self.served[slot].load(Ordering::Relaxed)
+    }
+
+    /// Completed recoveries this version served across all backends.
+    pub fn served_total(&self) -> u64 {
+        self.served.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Writes this version's cache to its persistence path. Returns
+    /// `Ok(false)` when there is nothing to flush (no cache or no path).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing the cache file.
+    pub fn flush_cache(&self) -> std::io::Result<bool> {
+        match (self.cache(), &self.cache_path) {
+            (Some(cache), Some(path)) => cache.flush(path).map(|()| true),
+            _ => Ok(false),
+        }
+    }
+}
+
+/// One named slot: the epoch pointer plus the per-name version counter.
+#[derive(Debug)]
+struct Slot {
+    current: EpochArc<ResidentModel>,
+    next_version: AtomicU64,
+}
+
+/// A map of model name → current resident version, with atomic hot swap
+/// and deferred retirement.
+///
+/// * [`ModelRegistry::install`] publishes a new version for a name; a
+///   name that already exists is *swapped* — in-flight requests pinned
+///   to the old version finish on it untouched.
+/// * The swapped-out version lands on the retired list;
+///   [`ModelRegistry::reap`] flushes its score cache and drops it once
+///   the last in-flight handle is gone (`Arc` refcount drains to the
+///   list's own).
+///
+/// # Examples
+///
+/// ```
+/// use rebert::{ReBertConfig, ReBertModel};
+/// use rebert_registry::{ModelRegistry, RegistryConfig};
+///
+/// let registry = ModelRegistry::new(RegistryConfig { threads: 1, cache_bytes: 0, cache_dir: None });
+/// let v1 = registry.install("default", ReBertModel::new(ReBertConfig::tiny(), 1));
+/// let v2 = registry.install("default", ReBertModel::new(ReBertConfig::tiny(), 2));
+/// assert_eq!((v1.version(), v2.version()), (1, 2));
+/// assert_eq!(registry.get("default").unwrap().version(), 2);
+/// drop(v1); // the last in-flight handle on v1 drains ...
+/// assert_eq!(registry.reap(), 1, "... so v1 retires");
+/// ```
+#[derive(Debug)]
+pub struct ModelRegistry {
+    config: RegistryConfig,
+    slots: Mutex<BTreeMap<String, Arc<Slot>>>,
+    retired: Mutex<Vec<Arc<ResidentModel>>>,
+    /// First installed name; `resolve(None)` falls back to it.
+    default_name: Mutex<Option<String>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        ModelRegistry {
+            config,
+            slots: Mutex::new(BTreeMap::new()),
+            retired: Mutex::new(Vec::new()),
+            default_name: Mutex::new(None),
+        }
+    }
+
+    /// The shared resident knobs.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// The standard per-model cache file name,
+    /// `score-cache-<fingerprint>.bin`.
+    pub fn cache_file_name(fingerprint_hex: &str) -> String {
+        format!("score-cache-{fingerprint_hex}.bin")
+    }
+
+    /// Publishes `model` under `name`, wiring up a warm int8 view and a
+    /// per-fingerprint score cache (loaded from `cache_dir` when
+    /// configured). Returns the new resident; if `name` was already
+    /// resident the old version is atomically swapped out and queued
+    /// for retirement.
+    pub fn install(&self, name: &str, model: ReBertModel) -> Arc<ResidentModel> {
+        let cache_path = self
+            .config
+            .cache_dir
+            .as_ref()
+            .map(|d| d.join(Self::cache_file_name(&model.fingerprint_hex())));
+        let mut session = RecoverySession::new(model, self.config.threads);
+        if self.config.cache_bytes > 0 {
+            let fp = session.model().fingerprint();
+            let cache = Arc::new(match &cache_path {
+                Some(p) => ScoreCache::load_or_new(p, self.config.cache_bytes, fp),
+                None => ScoreCache::new(self.config.cache_bytes, fp),
+            });
+            session.attach_cache(cache);
+        }
+        self.adopt(name, session, cache_path)
+    }
+
+    /// Like [`ModelRegistry::install`] but takes a ready-made session —
+    /// the serving layer's adoption path for a session it configured
+    /// itself (possibly with a cache already attached). `cache_path` is
+    /// where this resident's cache flushes on retirement/shutdown.
+    pub fn adopt(
+        &self,
+        name: &str,
+        mut session: RecoverySession,
+        cache_path: Option<PathBuf>,
+    ) -> Arc<ResidentModel> {
+        // Warm the quantized view before publication so the first int8
+        // request on the new version pays no one-off quantization pass.
+        session.model().int8_view();
+        if session.cache().is_none() && self.config.cache_bytes > 0 {
+            let fp = session.model().fingerprint();
+            let cache = Arc::new(match &cache_path {
+                Some(p) => ScoreCache::load_or_new(p, self.config.cache_bytes, fp),
+                None => ScoreCache::new(self.config.cache_bytes, fp),
+            });
+            session.attach_cache(cache);
+        }
+        let fingerprint_hex = session.model().fingerprint_hex();
+
+        let mut slots = self.slots.lock().expect("registry slots lock");
+        let resident = match slots.get(name) {
+            Some(slot) => {
+                let version = slot.next_version.fetch_add(1, Ordering::SeqCst);
+                let resident = Arc::new(ResidentModel {
+                    name: name.to_owned(),
+                    version,
+                    fingerprint_hex,
+                    session,
+                    cache_path,
+                    served: Default::default(),
+                });
+                let old = slot.current.swap(Arc::clone(&resident));
+                obs::info!(
+                    "registry",
+                    "model `{name}` v{version} published ({}), v{} retiring",
+                    resident.fingerprint_hex,
+                    old.version
+                );
+                self.retired
+                    .lock()
+                    .expect("registry retired lock")
+                    .push(old);
+                resident
+            }
+            None => {
+                let resident = Arc::new(ResidentModel {
+                    name: name.to_owned(),
+                    version: 1,
+                    fingerprint_hex,
+                    session,
+                    cache_path,
+                    served: Default::default(),
+                });
+                slots.insert(
+                    name.to_owned(),
+                    Arc::new(Slot {
+                        current: EpochArc::new(Arc::clone(&resident)),
+                        next_version: AtomicU64::new(2),
+                    }),
+                );
+                let mut default = self.default_name.lock().expect("registry default lock");
+                if default.is_none() {
+                    *default = Some(name.to_owned());
+                }
+                resident
+            }
+        };
+        drop(slots);
+        self.reap();
+        resident
+    }
+
+    /// The current version under `name`, pinned: the returned handle
+    /// stays valid (and bitwise-stable) across any number of swaps.
+    pub fn get(&self, name: &str) -> Option<Arc<ResidentModel>> {
+        let slot = self
+            .slots
+            .lock()
+            .expect("registry slots lock")
+            .get(name)
+            .cloned()?;
+        Some(slot.current.load())
+    }
+
+    /// [`ModelRegistry::get`], falling back to the default model when
+    /// `name` is `None`.
+    pub fn resolve(&self, name: Option<&str>) -> Option<Arc<ResidentModel>> {
+        match name {
+            Some(n) => self.get(n),
+            None => {
+                let default = self
+                    .default_name
+                    .lock()
+                    .expect("registry default lock")
+                    .clone()?;
+                self.get(&default)
+            }
+        }
+    }
+
+    /// Resident model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.slots
+            .lock()
+            .expect("registry slots lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The current version of every resident name, sorted by name.
+    pub fn list(&self) -> Vec<Arc<ResidentModel>> {
+        let slots: Vec<Arc<Slot>> = self
+            .slots
+            .lock()
+            .expect("registry slots lock")
+            .values()
+            .cloned()
+            .collect();
+        slots.iter().map(|s| s.current.load()).collect()
+    }
+
+    /// Retired versions still waiting for in-flight handles to drain.
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().expect("registry retired lock").len()
+    }
+
+    /// Retires drained versions: any retired resident whose only
+    /// remaining handle is the retired list itself has its score cache
+    /// flushed to disk and its memory dropped. Returns how many were
+    /// reclaimed. Cheap when nothing is retired; the serving executor
+    /// calls this after every job.
+    pub fn reap(&self) -> usize {
+        let mut retired = self.retired.lock().expect("registry retired lock");
+        let mut reclaimed = 0usize;
+        retired.retain(|r| {
+            // Once swapped out, no new handle can be minted (the slot
+            // points elsewhere), so a count of 1 is a stable drain.
+            if Arc::strong_count(r) == 1 {
+                match r.flush_cache() {
+                    Ok(true) => obs::info!(
+                        "registry",
+                        "retired `{}` v{}: cache flushed, memory dropped",
+                        r.name(),
+                        r.version()
+                    ),
+                    Ok(false) => {}
+                    Err(e) => obs::warn!(
+                        "registry",
+                        "retired `{}` v{}: cache flush failed: {e}",
+                        r.name(),
+                        r.version()
+                    ),
+                }
+                reclaimed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        reclaimed
+    }
+
+    /// Flushes every resident *and* still-draining retired cache to
+    /// disk — the shutdown path, where waiting for refcounts is not an
+    /// option. Reaps drained retirees first so they flush-and-drop.
+    pub fn flush_all(&self) {
+        self.reap();
+        for resident in self.list() {
+            if let Err(e) = resident.flush_cache() {
+                obs::warn!(
+                    "registry",
+                    "shutdown flush of `{}` v{} failed: {e}",
+                    resident.name(),
+                    resident.version()
+                );
+            }
+        }
+        for retired in self.retired.lock().expect("registry retired lock").iter() {
+            if let Err(e) = retired.flush_cache() {
+                obs::warn!(
+                    "registry",
+                    "shutdown flush of retired `{}` v{} failed: {e}",
+                    retired.name(),
+                    retired.version()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use rebert::ReBertConfig;
+    use rebert_circuits::{generate, Profile};
+
+    fn tiny_registry(cache_bytes: usize, dir: Option<PathBuf>) -> ModelRegistry {
+        ModelRegistry::new(RegistryConfig {
+            threads: 1,
+            cache_bytes,
+            cache_dir: dir,
+        })
+    }
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rebert-registry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn install_get_resolve_and_versions() {
+        let reg = tiny_registry(0, None);
+        assert!(reg.get(DEFAULT_MODEL).is_none());
+        assert!(reg.resolve(None).is_none());
+        let v1 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 1));
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v1.name(), DEFAULT_MODEL);
+        assert_eq!(
+            reg.resolve(None).unwrap().fingerprint_hex(),
+            v1.fingerprint_hex()
+        );
+        let v2 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 2));
+        assert_eq!(v2.version(), 2);
+        assert_ne!(v1.fingerprint_hex(), v2.fingerprint_hex());
+        assert_eq!(reg.get(DEFAULT_MODEL).unwrap().version(), 2);
+        // A second name gets its own version line; default stays first.
+        let other = reg.install("lut", ReBertModel::new(ReBertConfig::tiny(), 3));
+        assert_eq!(other.version(), 1);
+        assert_eq!(reg.names(), vec!["default".to_owned(), "lut".to_owned()]);
+        assert_eq!(reg.resolve(None).unwrap().name(), DEFAULT_MODEL);
+        assert!(reg.resolve(Some("missing")).is_none());
+        assert_eq!(reg.list().len(), 2);
+    }
+
+    #[test]
+    fn swapped_out_version_serves_inflight_bitwise_then_retires() {
+        let reg = tiny_registry(0, None);
+        let c = generate(&Profile::new("demo", 90, 10, 3), 5);
+        let v1 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 1));
+        let before = v1
+            .try_recover_opts(&c.netlist, &CancelToken::new(), Backend::F32Scalar, true)
+            .expect("recovers");
+        // Pin the old version (an "in-flight request"), then swap.
+        let pinned = reg.get(DEFAULT_MODEL).unwrap();
+        let v2 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 2));
+        assert_eq!(reg.retired_len(), 1, "v1 awaits drain");
+        assert_eq!(reg.reap(), 0, "pinned handle blocks retirement");
+        let after = pinned
+            .try_recover_opts(&c.netlist, &CancelToken::new(), Backend::F32Scalar, true)
+            .expect("old version still serves");
+        assert_eq!(after.assignment, before.assignment, "bitwise on old model");
+        assert_eq!(pinned.fingerprint_hex(), v1.fingerprint_hex());
+        assert_ne!(v2.fingerprint_hex(), v1.fingerprint_hex());
+        assert!(pinned.served_total() >= 1);
+        drop(pinned);
+        drop(v1);
+        assert_eq!(reg.reap(), 1, "drained version retires");
+        assert_eq!(reg.retired_len(), 0);
+    }
+
+    #[test]
+    fn retirement_flushes_the_per_fingerprint_cache_file() {
+        let dir = tmp();
+        let reg = tiny_registry(1 << 20, Some(dir.clone()));
+        let c = generate(&Profile::new("demo", 80, 8, 2), 7);
+        let v1 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 1));
+        let fp1 = v1.fingerprint_hex().to_owned();
+        let _ = v1
+            .try_recover_opts(&c.netlist, &CancelToken::new(), Backend::F32Scalar, true)
+            .expect("recovers");
+        assert!(!v1.cache().unwrap().is_empty(), "recovery populated cache");
+        drop(v1);
+        let _v2 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 2));
+        // install() reaps; v1 had drained, so its cache is on disk now.
+        let path = dir.join(ModelRegistry::cache_file_name(&fp1));
+        assert!(path.exists(), "retired cache flushed to {}", path.display());
+        assert_eq!(reg.retired_len(), 0);
+        // A reinstall of the same checkpoint warm-starts from that file.
+        let v3 = reg.install("again", ReBertModel::new(ReBertConfig::tiny(), 1));
+        assert!(!v3.cache().unwrap().is_empty(), "cache reloaded from disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_all_covers_residents_and_retirees() {
+        let dir = tmp();
+        let reg = tiny_registry(1 << 20, Some(dir.clone()));
+        let c = generate(&Profile::new("demo", 80, 8, 2), 7);
+        let v1 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 1));
+        let _ = v1
+            .try_recover_opts(&c.netlist, &CancelToken::new(), Backend::F32Scalar, true)
+            .unwrap();
+        let v2 = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 2));
+        let _ = v2
+            .try_recover_opts(&c.netlist, &CancelToken::new(), Backend::F32Scalar, true)
+            .unwrap();
+        // v1 is still pinned (we hold it) — flush_all must cover it anyway.
+        reg.flush_all();
+        for fp in [v1.fingerprint_hex(), v2.fingerprint_hex()] {
+            assert!(
+                dir.join(ModelRegistry::cache_file_name(fp)).exists(),
+                "missing flush for {fp}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_disabled_when_budget_is_zero() {
+        let reg = tiny_registry(0, None);
+        let v = reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 1));
+        assert!(v.cache().is_none());
+        assert!(!v.flush_cache().expect("no-op flush"), "nothing to flush");
+    }
+
+    #[test]
+    fn concurrent_swaps_and_recoveries_never_fail() {
+        // The serving-path invariant behind the outage-free guarantee:
+        // requests racing installs always land on *some* published
+        // version and complete.
+        let reg = Arc::new(tiny_registry(0, None));
+        let c = Arc::new(generate(&Profile::new("demo", 80, 8, 2), 3));
+        let fps: Vec<String> = (0..3)
+            .map(|seed| ReBertModel::new(ReBertConfig::tiny(), seed).fingerprint_hex())
+            .collect();
+        reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), 0));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let c = Arc::clone(&c);
+                let fps = fps.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..12 {
+                        let resident = reg.resolve(None).expect("always resident");
+                        assert!(fps.contains(&resident.fingerprint_hex().to_owned()));
+                        let rec = resident
+                            .try_recover_opts(
+                                &c.netlist,
+                                &CancelToken::new(),
+                                Backend::F32Scalar,
+                                true,
+                            )
+                            .expect("never fails");
+                        assert_eq!(rec.assignment.len(), 8);
+                    }
+                })
+            })
+            .collect();
+        for round in 0..6u64 {
+            let seed = round % 3;
+            reg.install(DEFAULT_MODEL, ReBertModel::new(ReBertConfig::tiny(), seed));
+            std::thread::yield_now();
+        }
+        for w in workers {
+            w.join().expect("worker");
+        }
+        reg.reap();
+        assert_eq!(reg.retired_len(), 0, "all old versions drained");
+    }
+}

@@ -1,0 +1,314 @@
+//! A hand-rolled `ArcSwap`: one atomic pointer to an `Arc`'d payload,
+//! lock-free on the read path, with a swap-then-drain writer.
+//!
+//! The protocol is a two-counter epoch scheme on `SeqCst` atomics:
+//!
+//! * **Readers** bump `readers`, load the raw pointer, bump the `Arc`'s
+//!   strong count, then drop their `readers` claim. From that point they
+//!   hold an ordinary `Arc<T>` and the pointer cell is out of the
+//!   picture.
+//! * **Writers** swap the pointer first, then spin until `readers`
+//!   reaches zero before reclaiming their reference to the old value.
+//!
+//! Why this is sound (all operations are `SeqCst`, so they form one
+//! total order): when the writer observes `readers == 0` *after* its
+//! swap, every reader either (a) finished — its strong-count bump
+//! already happened, so the value cannot drop to zero under it — or
+//! (b) has not yet done its `readers` increment, in which case its later
+//! pointer load is ordered after the swap and sees the *new* value.
+//! There is no interleaving in which a reader holds the old raw pointer
+//! without a strong count while the writer reclaims it. The reader-side
+//! critical section is three atomic operations, so the writer's spin is
+//! bounded by nanoseconds in practice.
+//!
+//! `crates/rebert/src/cache.rs` sets the precedent for this style of
+//! dependency-free concurrency plus a loom restatement; the loom model
+//! for this protocol lives at the bottom of the file.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An atomically swappable `Arc<T>` (epoch-pointer style).
+///
+/// [`EpochArc::load`] is lock-free and never blocks on writers;
+/// [`EpochArc::swap`] publishes a new value immediately and then waits
+/// (spinning) for in-flight loads to vacate the pointer cell before
+/// handing back the previous `Arc`. Clones obtained from `load` are
+/// plain `Arc`s — they keep the old value alive arbitrarily long
+/// without delaying the swap itself.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rebert_registry::EpochArc;
+///
+/// let cell = EpochArc::new(Arc::new(1u32));
+/// let before = cell.load();
+/// let old = cell.swap(Arc::new(2));
+/// assert_eq!((*before, *old, *cell.load()), (1, 1, 2));
+/// ```
+#[derive(Debug)]
+pub struct EpochArc<T> {
+    /// Raw pointer from `Arc::into_raw`; the cell owns one strong count
+    /// on whatever it points at.
+    ptr: AtomicPtr<T>,
+    /// Loads in their three-instruction critical section right now.
+    readers: AtomicUsize,
+}
+
+// The cell hands out `Arc<T>` across threads, so it needs the same
+// bounds `Arc` itself needs to be `Send + Sync`.
+unsafe impl<T: Send + Sync> Send for EpochArc<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochArc<T> {}
+
+impl<T> EpochArc<T> {
+    /// Wraps `value` as the initial resident.
+    pub fn new(value: Arc<T>) -> Self {
+        EpochArc {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            readers: AtomicUsize::new(0),
+        }
+    }
+
+    /// A clone of the current value. Lock-free; never blocks on
+    /// concurrent [`EpochArc::swap`]s.
+    pub fn load(&self) -> Arc<T> {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let raw = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: `raw` came from `Arc::into_raw` and the value is alive:
+        // a concurrent swapper cannot reclaim it before observing our
+        // `readers` claim drop below, and by then the strong count is
+        // bumped (see the module-level soundness argument).
+        unsafe { Arc::increment_strong_count(raw) };
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        // SAFETY: we own the strong count incremented above.
+        unsafe { Arc::from_raw(raw) }
+    }
+
+    /// Publishes `next` and returns the previous value. New loads see
+    /// `next` immediately; the returned `Arc` is the *only* handle the
+    /// cell gives up — clones held by earlier loads stay valid.
+    pub fn swap(&self, next: Arc<T>) -> Arc<T> {
+        let old = self
+            .ptr
+            .swap(Arc::into_raw(next).cast_mut(), Ordering::SeqCst);
+        // Drain: wait for loads that may have read `old` but not yet
+        // secured a strong count. The window is three atomic ops wide.
+        let mut spins = 0u32;
+        while self.readers.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: reclaiming the strong count the cell held on `old`.
+        unsafe { Arc::from_raw(old) }
+    }
+}
+
+impl<T> Drop for EpochArc<T> {
+    fn drop(&mut self) {
+        let raw = *self.ptr.get_mut();
+        // SAFETY: the cell still owns one strong count on `raw`.
+        unsafe { drop(Arc::from_raw(raw)) };
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn load_and_swap_round_trip() {
+        let cell = EpochArc::new(Arc::new("v1".to_owned()));
+        assert_eq!(*cell.load(), "v1");
+        let old = cell.swap(Arc::new("v2".to_owned()));
+        assert_eq!(*old, "v1");
+        assert_eq!(*cell.load(), "v2");
+    }
+
+    #[test]
+    fn old_clones_survive_a_swap() {
+        let cell = EpochArc::new(Arc::new(vec![1, 2, 3]));
+        let pinned = cell.load();
+        let old = cell.swap(Arc::new(vec![4]));
+        drop(old);
+        assert_eq!(*pinned, vec![1, 2, 3], "in-flight handle outlives swap");
+        assert_eq!(*cell.load(), vec![4]);
+    }
+
+    #[test]
+    fn refcount_drains_to_the_last_handle() {
+        let cell = EpochArc::new(Arc::new(7u64));
+        let a = cell.load();
+        let b = cell.load();
+        let old = cell.swap(Arc::new(8));
+        assert_eq!(Arc::strong_count(&old), 3, "cell gave up its count");
+        drop(a);
+        drop(b);
+        assert_eq!(Arc::strong_count(&old), 1, "retired value is drained");
+    }
+
+    #[test]
+    fn drop_releases_the_resident_value() {
+        struct Probe<'a>(&'a AtomicU64);
+        impl Drop for Probe<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = AtomicU64::new(0);
+        {
+            let cell = EpochArc::new(Arc::new(Probe(&drops)));
+            let old = cell.swap(Arc::new(Probe(&drops)));
+            drop(old);
+            assert_eq!(drops.load(Ordering::SeqCst), 1, "only the retired one");
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 2, "cell drop frees current");
+    }
+
+    #[test]
+    fn concurrent_loads_and_swaps_stress() {
+        // Not a proof (the loom model below is); a smoke test that the
+        // real-atomics build survives sustained load/swap contention
+        // without leaking or double-freeing under sanitizer-less CI.
+        let cell = Arc::new(EpochArc::new(Arc::new(0usize)));
+        let stop = Arc::new(AtomicUsize::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    // Load before checking `stop` so every reader
+                    // observes at least one published value even if
+                    // the writer finishes before this thread runs.
+                    let mut seen = 0usize;
+                    loop {
+                        let v = cell.load();
+                        assert!(*v <= 1024, "value is always a published one");
+                        seen += 1;
+                        if stop.load(Ordering::SeqCst) != 0 {
+                            break;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 1..=1024usize {
+            let old = cell.swap(Arc::new(i));
+            assert!(*old < i);
+        }
+        stop.store(1, Ordering::SeqCst);
+        for r in readers {
+            assert!(r.join().expect("reader thread") > 0);
+        }
+        assert_eq!(*cell.load(), 1024);
+    }
+}
+
+// A loom restatement of the swap protocol (run via the CI analysis job:
+// `RUSTFLAGS="--cfg loom" cargo test -p rebert-registry --lib loom`).
+// `Arc::increment_strong_count` has no loom twin, so the model states
+// the same three-step reader / swap-then-drain writer discipline on
+// explicit counters: `current` is the epoch pointer, `rc[v]` the strong
+// count of version `v`, `freed[v]` whether `v` was reclaimed. The
+// assertion is the soundness claim from the module docs: a reader never
+// secures a reference to a version that was already reclaimed, and the
+// retired version is reclaimed (flushed) exactly once, only after its
+// count drains.
+#[cfg(all(test, loom))]
+mod loom_model {
+    use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    struct Model {
+        /// Epoch pointer: which version index is current.
+        current: AtomicUsize,
+        /// Readers inside the load critical section.
+        readers: AtomicUsize,
+        /// Strong counts per version (v0 starts owned by the cell).
+        rc: [AtomicUsize; 2],
+        /// Reclamation flags per version (the "cache flushed, memory
+        /// dropped" retire step).
+        freed: [AtomicBool; 2],
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model {
+                current: AtomicUsize::new(0),
+                readers: AtomicUsize::new(0),
+                rc: [AtomicUsize::new(1), AtomicUsize::new(0)],
+                freed: [AtomicBool::new(false), AtomicBool::new(false)],
+            }
+        }
+
+        /// Reader side of `EpochArc::load` + eventual handle drop.
+        fn load_use_release(&self) {
+            self.readers.fetch_add(1, Ordering::SeqCst);
+            let v = self.current.load(Ordering::SeqCst);
+            let prev = self.rc[v].fetch_add(1, Ordering::SeqCst);
+            assert!(prev >= 1, "reader bumped a drained refcount (UAF)");
+            assert!(
+                !self.freed[v].load(Ordering::SeqCst),
+                "reader secured a reclaimed version"
+            );
+            self.readers.fetch_sub(1, Ordering::SeqCst);
+            // ... in-flight try_recover runs on version `v` here ...
+            assert!(
+                !self.freed[v].load(Ordering::SeqCst),
+                "version reclaimed while a request was in flight"
+            );
+            // Handle drop: last one out reclaims a retired version.
+            if self.rc[v].fetch_sub(1, Ordering::SeqCst) == 1 {
+                let was = self.freed[v].swap(true, Ordering::SeqCst);
+                assert!(!was, "double retire");
+            }
+        }
+
+        /// Writer side of load-publish-retire (`install` → `swap`).
+        fn publish_retire(&self) {
+            self.rc[1].store(1, Ordering::SeqCst); // new version, cell-owned
+            let old = self.current.swap(1, Ordering::SeqCst);
+            while self.readers.load(Ordering::SeqCst) != 0 {
+                thread::yield_now();
+            }
+            // Drop the cell's count on the old version; reclaim on drain.
+            if self.rc[old].fetch_sub(1, Ordering::SeqCst) == 1 {
+                let was = self.freed[old].swap(true, Ordering::SeqCst);
+                assert!(!was, "double retire");
+            }
+        }
+    }
+
+    #[test]
+    fn loom_load_publish_retire_never_frees_under_a_reader() {
+        loom::model(|| {
+            let m = Arc::new(Model::new());
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || m.load_use_release())
+                })
+                .collect();
+            let writer = {
+                let m = Arc::clone(&m);
+                thread::spawn(move || m.publish_retire())
+            };
+            for r in readers {
+                r.join().unwrap();
+            }
+            writer.join().unwrap();
+            // Quiescence: v0 retired exactly once, v1 still resident.
+            assert!(m.freed[0].load(Ordering::SeqCst), "old version retired");
+            assert!(!m.freed[1].load(Ordering::SeqCst));
+            assert_eq!(m.rc[1].load(Ordering::SeqCst), 1, "cell still owns v1");
+        });
+    }
+}

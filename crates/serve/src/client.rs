@@ -148,21 +148,167 @@ pub fn submit_recover_opts(
     precision: Option<&str>,
     use_cache: bool,
 ) -> std::io::Result<HttpReply> {
-    let deadline_text = deadline_ms.map(|ms| ms.to_string());
-    let mut headers: Vec<(&str, &str)> = Vec::new();
-    if let Some(f) = format {
-        headers.push(("X-Rebert-Format", f));
+    submit(
+        addr,
+        netlist_text,
+        &SubmitOptions {
+            format: format.map(str::to_owned),
+            deadline_ms,
+            precision: precision.map(str::to_owned),
+            use_cache,
+            ..SubmitOptions::default()
+        },
+    )
+}
+
+/// Everything a `POST /recover` (or `/batch`) request can carry. The
+/// positional `submit_recover*` helpers cover the common shapes; this
+/// struct is the full surface: model selection, tenant attribution, and
+/// client-chosen request ids.
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// `Some("bench")`/`Some("verilog")` pins the parser; `None` lets
+    /// the daemon sniff.
+    pub format: Option<String>,
+    /// Recovery deadline, sent as `X-Rebert-Deadline-Ms`.
+    pub deadline_ms: Option<u64>,
+    /// Backend label (`f32`, `f32-simd`, `int8`) for `X-Rebert-Precision`.
+    pub precision: Option<String>,
+    /// `false` sends `X-Rebert-No-Cache: 1` (score from scratch).
+    pub use_cache: bool,
+    /// Registry model name for `X-Rebert-Model` (`None` = daemon default).
+    pub model: Option<String>,
+    /// Tenant id for `X-Rebert-Tenant` quota attribution.
+    pub tenant: Option<String>,
+    /// Client-chosen `X-Rebert-Request-Id` (echoed on every response,
+    /// including 4xx/5xx, and threaded through `GET /debug/trace`).
+    pub request_id: Option<String>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            format: None,
+            deadline_ms: None,
+            precision: None,
+            use_cache: true,
+            model: None,
+            tenant: None,
+            request_id: None,
+        }
     }
-    if let Some(d) = &deadline_text {
-        headers.push(("X-Rebert-Deadline-Ms", d));
+}
+
+impl SubmitOptions {
+    fn headers(&self) -> Vec<(&str, String)> {
+        let mut headers: Vec<(&str, String)> = Vec::new();
+        if let Some(f) = &self.format {
+            headers.push(("X-Rebert-Format", f.clone()));
+        }
+        if let Some(d) = self.deadline_ms {
+            headers.push(("X-Rebert-Deadline-Ms", d.to_string()));
+        }
+        if let Some(p) = &self.precision {
+            headers.push(("X-Rebert-Precision", p.clone()));
+        }
+        if !self.use_cache {
+            headers.push(("X-Rebert-No-Cache", "1".to_owned()));
+        }
+        if let Some(m) = &self.model {
+            headers.push(("X-Rebert-Model", m.clone()));
+        }
+        if let Some(t) = &self.tenant {
+            headers.push(("X-Rebert-Tenant", t.clone()));
+        }
+        if let Some(id) = &self.request_id {
+            headers.push(("X-Rebert-Request-Id", id.clone()));
+        }
+        headers
     }
-    if let Some(p) = precision {
-        headers.push(("X-Rebert-Precision", p));
-    }
-    if !use_cache {
-        headers.push(("X-Rebert-No-Cache", "1"));
-    }
+}
+
+/// Submits a netlist to `POST /recover` with the full option surface.
+///
+/// # Errors
+///
+/// Transport or reply-parse failure; HTTP-level errors (400/404/429/
+/// 503/504) come back as a normal [`HttpReply`].
+pub fn submit(
+    addr: impl ToSocketAddrs,
+    netlist_text: &str,
+    opts: &SubmitOptions,
+) -> std::io::Result<HttpReply> {
+    let owned = opts.headers();
+    let headers: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
     http_request(addr, "POST", "/recover", &headers, netlist_text.as_bytes())
+}
+
+/// Serializes named netlists into the `POST /batch` archive format:
+/// per entry a header line `<len> <name>\n`, the raw netlist bytes, and
+/// a separator newline.
+pub fn batch_archive<'a>(entries: impl IntoIterator<Item = (&'a str, &'a str)>) -> Vec<u8> {
+    let mut archive = Vec::new();
+    for (name, text) in entries {
+        archive.extend_from_slice(format!("{} {name}\n", text.len()).as_bytes());
+        archive.extend_from_slice(text.as_bytes());
+        archive.push(b'\n');
+    }
+    archive
+}
+
+/// Submits a batch archive (see [`batch_archive`]) to `POST /batch` and
+/// reads the whole NDJSON stream. The reply body holds one JSON record
+/// per line, in archive order, each with `index`, `name`, `ok`, and on
+/// success the full `/recover` payload fields.
+///
+/// # Errors
+///
+/// Transport or reply-parse failure; pre-stream rejections (400/404/
+/// 429/503) come back as a normal [`HttpReply`].
+pub fn submit_batch(
+    addr: impl ToSocketAddrs,
+    archive: &[u8],
+    opts: &SubmitOptions,
+) -> std::io::Result<HttpReply> {
+    let owned = opts.headers();
+    let headers: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
+    http_request(addr, "POST", "/batch", &headers, archive)
+}
+
+/// Lists the daemon's resident models (`GET /models`).
+///
+/// # Errors
+///
+/// Transport or reply-parse failure.
+pub fn list_models(addr: impl ToSocketAddrs) -> std::io::Result<HttpReply> {
+    http_request(addr, "GET", "/models", &[], b"")
+}
+
+/// Hot-loads a checkpoint (a path on the daemon's filesystem) under
+/// `name` via `POST /models/{name}/load`. Existing versions of `name`
+/// are atomically swapped out; in-flight requests finish on them.
+///
+/// # Errors
+///
+/// Transport or reply-parse failure; load errors come back as a 400
+/// [`HttpReply`].
+pub fn load_model_remote(
+    addr: impl ToSocketAddrs,
+    name: &str,
+    checkpoint_path: &str,
+) -> std::io::Result<HttpReply> {
+    let body = rebert::json::Json::Obj(vec![(
+        "path".to_owned(),
+        rebert::json::Json::str(checkpoint_path),
+    )])
+    .to_string();
+    http_request(
+        addr,
+        "POST",
+        &format!("/models/{name}/load"),
+        &[("Content-Type", "application/json")],
+        body.as_bytes(),
+    )
 }
 
 #[cfg(test)]

@@ -10,9 +10,12 @@
 //!
 //! | Endpoint          | Semantics |
 //! |-------------------|-----------|
-//! | `POST /recover`   | Body is a `.bench` or Verilog netlist (`X-Rebert-Format: bench\|verilog`, sniffed otherwise). Optional `X-Rebert-Deadline-Ms` bounds the recovery; optional `X-Rebert-Precision: f32\|f32-simd\|int8` selects the scoring backend (unknown values get `400`). Returns recovered words + pipeline stats as JSON. |
+//! | `POST /recover`   | Body is a `.bench` or Verilog netlist (`X-Rebert-Format: bench\|verilog`, sniffed otherwise). Optional `X-Rebert-Deadline-Ms` bounds the recovery; optional `X-Rebert-Precision: f32\|f32-simd\|int8` selects the scoring backend (unknown values get `400`); optional `X-Rebert-Model` picks a resident model by name (unknown names get `404` listing the residents). Returns recovered words + pipeline stats as JSON. |
+//! | `POST /batch`     | Body is a length-prefixed archive of named netlists (`<len> <name>\n` + bytes per entry; see [`client::batch_archive`]). Streams one NDJSON record per netlist as each finishes; per-entry failures are records, not HTTP errors. Honors the same model/backend/deadline headers as `/recover`. |
+//! | `GET /models`     | Lists resident models: name, version, checkpoint fingerprint, per-backend served counters, score-cache stats. |
+//! | `POST /models/{name}/load` | Body `{"path": "ckpt.rbt"}`. Loads the checkpoint and atomically publishes it under `name`; in-flight requests finish on the old version, which is retired (cache flushed, memory dropped) once its refcount drains. |
 //! | `GET /healthz`    | Liveness probe (`200 ok`). |
-//! | `GET /metrics`    | Prometheus text exposition: request counters, queue depth, in-flight gauge, per-phase timing histograms, pairs/sec, cone-dedup counters. |
+//! | `GET /metrics`    | Prometheus text exposition: request counters, queue depth, in-flight gauge, per-phase timing histograms, pairs/sec, cone-dedup counters, `rebert_model_info` per resident model, per-tenant request counters. |
 //! | `POST /shutdown`  | Requests a graceful drain (also triggered by SIGINT/SIGTERM). |
 //! | `GET /debug/trace`| Drains the in-memory trace ring as NDJSON: a meta line (`drained`, `dropped_events`) followed by one span/event record per line. |
 //!
@@ -28,8 +31,18 @@
 //! * **Graceful shutdown** — on SIGINT/SIGTERM (or `POST /shutdown`)
 //!   the daemon stops accepting, drains queued work, answers every
 //!   in-flight connection, and exits 0.
+//! * **Multi-model residency** — a [`rebert_registry::ModelRegistry`]
+//!   owns the resident models; each request pins the `Arc` of the model
+//!   it resolved at admission, so a concurrent hot-load never mixes
+//!   models mid-request. [`serve`] wraps a single session in a
+//!   one-model registry; [`serve_registry`] serves a pre-populated one.
+//! * **Tenant quotas** — with [`ServeConfig::tenant_quota`] set, each
+//!   tenant (`X-Rebert-Tenant`, default `anonymous`) draws from its own
+//!   token bucket; exhausted buckets get `429` with `Retry-After`, and
+//!   per-tenant outcomes surface as `rebert_tenant_requests_total`.
 //! * **Request correlation** — every response (including malformed-request
-//!   `400`s) carries an `X-Rebert-Request-Id` header; the same id rides
+//!   `400`s) carries an `X-Rebert-Request-Id` header (a client-supplied
+//!   id is echoed back, also on 4xx/5xx); the same id rides
 //!   on every [`rebert_obs`] record the request produced, and the span
 //!   tree (root `request` span → executor-side pipeline spans) survives
 //!   the queue's thread hop via [`rebert_obs::TraceCtx`]. A bounded
@@ -57,7 +70,8 @@ pub mod queue;
 mod server;
 
 pub use client::{
-    http_request, submit_recover, submit_recover_opts, submit_recover_with, HttpReply,
+    batch_archive, http_request, list_models, load_model_remote, submit, submit_batch,
+    submit_recover, submit_recover_opts, submit_recover_with, HttpReply, SubmitOptions,
 };
 pub use metrics::Metrics;
-pub use server::{run_until_shutdown, serve, signals, ServeConfig, Server};
+pub use server::{run_until_shutdown, serve, serve_registry, signals, ServeConfig, Server};

@@ -158,9 +158,18 @@ pub struct Metrics {
     pub cache_bytes: Gauge,
     /// Entries resident in the score cache right now (snapshot).
     pub cache_entries: Gauge,
-    /// Hex fingerprint of the serving checkpoint, exported as the
-    /// `rebert_model_info` series. Set once at startup.
-    model_fingerprint: Mutex<Option<String>>,
+    /// Resident model identities, name → (version, hex fingerprint),
+    /// exported as the `rebert_model_info` series — one sample per
+    /// resident name, refreshed on every install/hot-swap.
+    models: Mutex<BTreeMap<String, (u64, String)>>,
+    /// `(tenant, outcome)` → finished-request count, exported as
+    /// `rebert_tenant_requests_total`. Only populated when quotas are
+    /// on (otherwise tenants are not distinguished).
+    tenants: Mutex<BTreeMap<(String, &'static str), u64>>,
+    /// Requests refused with 429 because a tenant ran out of tokens.
+    pub throttled_total: Counter,
+    /// Netlists processed through `POST /batch` archives.
+    pub batch_netlists_total: Counter,
     /// Scoring throughput of the most recent completed recovery,
     /// stored as `f64::to_bits`.
     last_pairs_per_sec: AtomicU64,
@@ -246,21 +255,60 @@ impl Metrics {
         self.cache_entries.set(cache.len() as u64);
     }
 
-    /// Records the serving checkpoint's hex fingerprint for the
-    /// `rebert_model_info` series.
-    pub fn set_model_fingerprint(&self, hex: impl Into<String>) {
-        *self
-            .model_fingerprint
+    /// Records (or refreshes, after a hot swap) one resident model's
+    /// identity for the `rebert_model_info` series.
+    pub fn set_model_info(
+        &self,
+        name: impl Into<String>,
+        version: u64,
+        fingerprint: impl Into<String>,
+    ) {
+        self.models
             .lock()
-            .expect("model fingerprint lock") = Some(hex.into());
+            .expect("model info lock")
+            .insert(name.into(), (version, fingerprint.into()));
     }
 
-    /// The recorded checkpoint fingerprint, if any.
-    pub fn model_fingerprint(&self) -> Option<String> {
-        self.model_fingerprint
+    /// The recorded identity for `name`: `(version, fingerprint)`.
+    pub fn model_info(&self, name: &str) -> Option<(u64, String)> {
+        self.models
             .lock()
-            .expect("model fingerprint lock")
-            .clone()
+            .expect("model info lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// The recorded checkpoint fingerprint of the *only* resident model,
+    /// if exactly one is registered (the single-model deployment shape).
+    pub fn model_fingerprint(&self) -> Option<String> {
+        let models = self.models.lock().expect("model info lock");
+        if models.len() == 1 {
+            models.values().next().map(|(_, fp)| fp.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Counts one finished request against `(tenant, outcome)`. Only
+    /// called when tenant quotas are enabled.
+    pub fn count_tenant(&self, tenant: &str, outcome: &'static str) {
+        *self
+            .tenants
+            .lock()
+            .expect("tenant map lock")
+            .entry((tenant.to_owned(), outcome))
+            .or_insert(0) += 1;
+    }
+
+    /// The count recorded for `(tenant, outcome)`.
+    pub fn tenant_count(&self, tenant: &str, outcome: &str) -> u64 {
+        self.tenants
+            .lock()
+            .expect("tenant map lock")
+            .iter()
+            .filter(|((t, o), _)| t == tenant && *o == outcome)
+            .map(|(_, v)| *v)
+            .sum()
     }
 
     /// Completed recoveries recorded for `backend`.
@@ -299,7 +347,7 @@ impl Metrics {
             );
         }
 
-        let gauges_and_counters: [(&str, &str, &str, u64); 13] = [
+        let gauges_and_counters: [(&str, &str, &str, u64); 15] = [
             (
                 "rebert_queue_depth",
                 "gauge",
@@ -323,6 +371,18 @@ impl Metrics {
                 "counter",
                 "Jobs aborted by their deadline (504).",
                 self.deadline_total.get(),
+            ),
+            (
+                "rebert_throttled_total",
+                "counter",
+                "Requests refused with 429 by the per-tenant quota.",
+                self.throttled_total.get(),
+            ),
+            (
+                "rebert_batch_netlists_total",
+                "counter",
+                "Netlists processed through POST /batch archives.",
+                self.batch_netlists_total.get(),
             ),
             (
                 "rebert_pairs_scored_total",
@@ -386,11 +446,30 @@ impl Metrics {
             );
         }
 
-        if let Some(fp) = self.model_fingerprint() {
-            let _ = writeln!(
-                out,
-                "# HELP rebert_model_info Identity of the serving checkpoint (value is always 1).\n# TYPE rebert_model_info gauge\nrebert_model_info{{fingerprint=\"{fp}\"}} 1"
-            );
+        {
+            let models = self.models.lock().expect("model info lock");
+            if !models.is_empty() {
+                out.push_str("# HELP rebert_model_info Identity of each resident checkpoint (value is always 1).\n# TYPE rebert_model_info gauge\n");
+                for (name, (version, fp)) in models.iter() {
+                    let _ = writeln!(
+                        out,
+                        "rebert_model_info{{name=\"{name}\",version=\"{version}\",fingerprint=\"{fp}\"}} 1"
+                    );
+                }
+            }
+        }
+
+        {
+            let tenants = self.tenants.lock().expect("tenant map lock");
+            if !tenants.is_empty() {
+                out.push_str("# HELP rebert_tenant_requests_total Finished requests by tenant and outcome (quota mode only).\n# TYPE rebert_tenant_requests_total counter\n");
+                for ((tenant, outcome), count) in tenants.iter() {
+                    let _ = writeln!(
+                        out,
+                        "rebert_tenant_requests_total{{tenant=\"{tenant}\",outcome=\"{outcome}\"}} {count}"
+                    );
+                }
+            }
         }
 
         let pps = f64::from_bits(self.last_pairs_per_sec.load(Ordering::Relaxed));
@@ -568,7 +647,7 @@ mod tests {
             !m.render().contains("rebert_model_info"),
             "no info series until a fingerprint is recorded"
         );
-        m.set_model_fingerprint("00c0ffee00c0ffee");
+        m.set_model_info("default", 1, "00c0ffee00c0ffee");
         let cache = rebert::ScoreCache::new(rebert::ScoreCache::ENTRY_BYTES, 7);
         cache.insert(
             rebert::ScoreCache::pair_key(7, Backend::F32Scalar, 1, 2),
@@ -583,12 +662,51 @@ mod tests {
         assert_eq!(m.cache_bytes.get(), rebert::ScoreCache::ENTRY_BYTES as u64);
         assert_eq!(m.cache_evictions.get(), cache.evictions());
         let text = m.render();
-        assert!(text.contains("rebert_model_info{fingerprint=\"00c0ffee00c0ffee\"} 1"));
+        assert!(text.contains(
+            "rebert_model_info{name=\"default\",version=\"1\",fingerprint=\"00c0ffee00c0ffee\"} 1"
+        ));
         assert!(text.contains(&format!(
             "rebert_cache_bytes {}",
             rebert::ScoreCache::ENTRY_BYTES
         )));
         assert!(text.contains("rebert_cache_entries 1"));
+    }
+
+    #[test]
+    fn model_info_tracks_versions_per_name() {
+        let m = Metrics::new();
+        m.set_model_info("default", 1, "aaaa");
+        assert_eq!(m.model_fingerprint(), Some("aaaa".to_owned()));
+        m.set_model_info("default", 2, "bbbb");
+        assert_eq!(m.model_info("default"), Some((2, "bbbb".to_owned())));
+        m.set_model_info("lut", 1, "cccc");
+        assert_eq!(m.model_fingerprint(), None, "ambiguous with two residents");
+        let text = m.render();
+        assert!(text
+            .contains("rebert_model_info{name=\"default\",version=\"2\",fingerprint=\"bbbb\"} 1"));
+        assert!(
+            text.contains("rebert_model_info{name=\"lut\",version=\"1\",fingerprint=\"cccc\"} 1")
+        );
+        assert!(!text.contains("\"aaaa\""), "swapped-out identity dropped");
+    }
+
+    #[test]
+    fn tenant_counters_render_only_when_populated() {
+        let m = Metrics::new();
+        assert!(!m.render().contains("rebert_tenant_requests_total"));
+        m.count_tenant("acme", "ok");
+        m.count_tenant("acme", "ok");
+        m.count_tenant("acme", "throttled");
+        assert_eq!(m.tenant_count("acme", "ok"), 2);
+        assert_eq!(m.tenant_count("acme", "throttled"), 1);
+        assert_eq!(m.tenant_count("globex", "ok"), 0);
+        let text = m.render();
+        assert!(text.contains("rebert_tenant_requests_total{tenant=\"acme\",outcome=\"ok\"} 2"));
+        assert!(
+            text.contains("rebert_tenant_requests_total{tenant=\"acme\",outcome=\"throttled\"} 1")
+        );
+        assert!(text.contains("# HELP rebert_throttled_total "));
+        assert!(text.contains("# HELP rebert_batch_netlists_total "));
     }
 
     #[test]

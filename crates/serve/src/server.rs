@@ -3,14 +3,19 @@
 //!
 //! One connection thread per request (connections are short-lived:
 //! `Connection: close`), all funneling into a [`Bounded`] queue consumed
-//! by a single executor thread that owns the [`RecoverySession`]. The
-//! queue is the backpressure boundary: when it is full the daemon
-//! answers `503` with `Retry-After` instead of buffering unbounded work.
-//! Each job may carry a deadline; the executor threads it into the
-//! session as a [`CancelToken`], so an overdue recovery aborts
-//! cooperatively (`504`) without poisoning the warm session.
+//! by a single executor thread. Models live in a
+//! [`rebert_registry::ModelRegistry`]: each job pins the resident
+//! version it resolved at admission time, so a hot swap
+//! (`POST /models/{name}/load`) never mixes models mid-request — old
+//! jobs finish bitwise on the old version, which retires (score cache
+//! flushed, memory dropped) once its refcount drains. The queue is the
+//! backpressure boundary: when it is full the daemon answers `503` with
+//! `Retry-After` instead of buffering unbounded work. Each job may carry
+//! a deadline; the executor threads it into the session as a
+//! [`CancelToken`], so an overdue recovery aborts cooperatively (`504`)
+//! without poisoning the warm session.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,12 +24,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rebert::json::Json;
-use rebert::{Backend, CancelToken, Cancelled, RecoveredWords, RecoverySession, ScoreCache};
+use rebert::{Backend, CancelToken, Cancelled, RecoveredWords, RecoverySession};
 use rebert_netlist::{parse_bench, parse_verilog, Netlist};
 use rebert_obs as obs;
 use rebert_obs::RingSink;
+use rebert_registry::{ModelRegistry, RegistryConfig, ResidentModel, TenantQuotas, DEFAULT_MODEL};
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{read_request, reason, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, PushError};
 
@@ -56,6 +62,14 @@ pub struct ServeConfig {
     /// Flush the persistent cache every this many completed recoveries
     /// (`0` = only at shutdown). Meaningless without `cache_path`.
     pub cache_flush_every: usize,
+    /// Directory for per-model `score-cache-<fingerprint>.bin` files.
+    /// Used by models hot-loaded through `POST /models/{name}/load`
+    /// (and, when `cache_path` is unset, by the initial model too).
+    pub cache_dir: Option<PathBuf>,
+    /// Per-tenant request quota in requests/second (token bucket keyed
+    /// by the `X-Rebert-Tenant` header; missing header = the shared
+    /// `anonymous` bucket). `None` disables quota enforcement.
+    pub tenant_quota: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +82,8 @@ impl Default for ServeConfig {
             cache_bytes: 64 << 20,
             cache_path: None,
             cache_flush_every: 64,
+            cache_dir: None,
+            tenant_quota: None,
         }
     }
 }
@@ -77,6 +93,11 @@ impl Default for ServeConfig {
 /// to the connection thread.
 struct Job {
     netlist: Arc<Netlist>,
+    /// The registry version this request resolved at admission: pinned
+    /// here so a hot swap between enqueue and execution can neither fail
+    /// the request nor mix models — the job runs on exactly the version
+    /// the client was told about.
+    resident: Arc<ResidentModel>,
     deadline: Option<Instant>,
     /// Inference backend requested via `X-Rebert-Precision` (validated
     /// on the connection thread; default scalar).
@@ -101,11 +122,10 @@ struct Shared {
     conns: Mutex<Vec<JoinHandle<()>>>,
     /// Always-on bounded trace ring, drained by `GET /debug/trace`.
     trace: Arc<RingSink>,
-    /// The shared cross-request score cache (absent when disabled).
-    cache: Option<Arc<ScoreCache>>,
-    /// Hex fingerprint of the serving checkpoint, echoed in every
-    /// `POST /recover` success payload and the `/metrics` info series.
-    fingerprint_hex: String,
+    /// Resident models: name → current version, atomically hot-swappable.
+    registry: Arc<ModelRegistry>,
+    /// Per-tenant token buckets (`None` = quotas off).
+    quotas: Option<TenantQuotas>,
 }
 
 /// A running daemon. Dropping it (or calling [`Server::shutdown`])
@@ -118,40 +138,62 @@ pub struct Server {
     trace_sink: Option<obs::SinkId>,
 }
 
-/// Starts serving `session` on `listener`. The listener is switched to
+/// Starts serving `session` on `listener` as the single resident model
+/// (registered under [`DEFAULT_MODEL`]). The listener is switched to
 /// non-blocking so the accept loop can observe shutdown requests.
+///
+/// This is the single-model convenience wrapper over
+/// [`serve_registry`]: the session is adopted into a fresh registry
+/// (int8 view warmed, per-fingerprint score cache attached per the
+/// config), and further models can still be hot-loaded at runtime via
+/// `POST /models/{name}/load`.
 ///
 /// # Errors
 ///
 /// Returns the [`std::io::Error`] if the listener cannot be configured.
 pub fn serve(
-    mut session: RecoverySession,
+    session: RecoverySession,
+    listener: TcpListener,
+    config: ServeConfig,
+) -> std::io::Result<Server> {
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        threads: session.threads(),
+        cache_bytes: config.cache_bytes,
+        cache_dir: config.cache_dir.clone(),
+    }));
+    // The initial model persists its cache at the explicit `cache_path`
+    // when given, else under `cache_dir` keyed by fingerprint (the same
+    // scheme hot-loaded models use). The fingerprint keys both the
+    // cache entries and the persisted file, so a re-trained checkpoint
+    // can never be served stale scores.
+    let cache_path = config.cache_path.clone().or_else(|| {
+        config.cache_dir.as_ref().map(|d| {
+            d.join(ModelRegistry::cache_file_name(
+                &session.model().fingerprint_hex(),
+            ))
+        })
+    });
+    registry.adopt(DEFAULT_MODEL, session, cache_path);
+    serve_registry(registry, listener, config)
+}
+
+/// Starts serving every model resident in `registry` on `listener`.
+/// Requests pick a model with `X-Rebert-Model` (default: the first
+/// installed name); `POST /models/{name}/load` publishes new versions
+/// with an atomic hot swap while in-flight requests finish on the
+/// version they pinned.
+///
+/// # Errors
+///
+/// Returns the [`std::io::Error`] if the listener cannot be configured.
+pub fn serve_registry(
+    registry: Arc<ModelRegistry>,
     listener: TcpListener,
     config: ServeConfig,
 ) -> std::io::Result<Server> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    // Warm the int8 weight view before accepting traffic, so the first
-    // `X-Rebert-Precision: int8` request does not pay the one-off
-    // quantization pass inside its own deadline.
-    session.model().int8_view();
-    let fingerprint_hex = session.model().fingerprint_hex();
-    // Wire in the daemon-owned score cache unless the caller attached
-    // one already or the config disables it. The fingerprint keys both
-    // the cache entries and the persisted file, so a re-trained
-    // checkpoint can never be served stale scores.
-    let cache = session.cache().cloned().or_else(|| {
-        if config.cache_bytes == 0 {
-            return None;
-        }
-        let fp = session.model().fingerprint();
-        let cache = Arc::new(match &config.cache_path {
-            Some(p) => ScoreCache::load_or_new(p, config.cache_bytes, fp),
-            None => ScoreCache::new(config.cache_bytes, fp),
-        });
-        session.attach_cache(Arc::clone(&cache));
-        Some(cache)
-    });
+    let quotas = config.tenant_quota.map(TenantQuotas::new);
     let trace = Arc::new(RingSink::new(config.trace_capacity, config.trace_level));
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
@@ -160,15 +202,17 @@ pub fn serve(
         config,
         conns: Mutex::new(Vec::new()),
         trace: Arc::clone(&trace),
-        cache,
-        fingerprint_hex,
+        registry,
+        quotas,
     });
-    shared
-        .metrics
-        .set_model_fingerprint(shared.fingerprint_hex.clone());
-    if let Some(cache) = &shared.cache {
-        shared.metrics.observe_cache(cache);
+    for resident in shared.registry.list() {
+        shared.metrics.set_model_info(
+            resident.name(),
+            resident.version(),
+            resident.fingerprint_hex(),
+        );
     }
+    observe_registry(&shared.metrics, &shared.registry);
     // The ring records every request for `GET /debug/trace`; it is
     // uninstalled (narrowing the global gate back) when the server stops.
     let trace_sink = obs::install(trace);
@@ -177,7 +221,7 @@ pub fn serve(
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("rebert-executor".into())
-            .spawn(move || executor_loop(&session, &shared))?
+            .spawn(move || executor_loop(&shared))?
     };
     let accept_thread = {
         let shared = Arc::clone(&shared);
@@ -195,6 +239,22 @@ pub fn serve(
     })
 }
 
+/// Refreshes the aggregate score-cache gauges from every resident model
+/// (swapped-out versions stop counting the moment they leave the slot).
+fn observe_registry(metrics: &Metrics, registry: &ModelRegistry) {
+    let (mut entries, mut bytes, mut evictions) = (0u64, 0u64, 0u64);
+    for resident in registry.list() {
+        if let Some(cache) = resident.cache() {
+            entries += cache.len() as u64;
+            bytes += cache.bytes() as u64;
+            evictions += cache.evictions();
+        }
+    }
+    metrics.cache_entries.set(entries);
+    metrics.cache_bytes.set(bytes);
+    metrics.cache_evictions.set(evictions);
+}
+
 impl Server {
     /// The bound address (useful with an ephemeral port 0).
     pub fn addr(&self) -> SocketAddr {
@@ -204,6 +264,12 @@ impl Server {
     /// The daemon's metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The daemon's model registry (shared with the serving threads, so
+    /// installs through this handle hot-swap live traffic).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
     }
 
     /// Whether a shutdown was requested (signal handler, `POST
@@ -252,11 +318,14 @@ impl Drop for Server {
 }
 
 /// Pops jobs until the queue closes and drains; replies on each job's
-/// channel. A cancelled recovery leaves the session warm and reusable.
-/// With a persistent cache path configured, the cache is rewritten
-/// every `cache_flush_every` completed recoveries and once more after
-/// the queue drains, so a SIGTERM'd daemon restarts warm.
-fn executor_loop(session: &RecoverySession, shared: &Shared) {
+/// channel. Each job runs on the resident version it pinned at
+/// admission, so a hot swap mid-queue cannot mix models. A cancelled
+/// recovery leaves the session warm and reusable. Persistent caches are
+/// rewritten every `cache_flush_every` completed recoveries and once
+/// more after the queue drains, so a SIGTERM'd daemon restarts warm;
+/// swapped-out versions are reaped here (cache flushed, memory dropped)
+/// as soon as their last in-flight handle is this executor's.
+fn executor_loop(shared: &Shared) {
     let mut completed = 0usize;
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.set(shared.queue.len() as u64);
@@ -269,7 +338,9 @@ fn executor_loop(session: &RecoverySession, shared: &Shared) {
         // everything under it) parents under the request's root span and
         // carries its `request_id` field, even though it runs over here.
         let _tracing = obs::enter_ctx(&job.trace);
-        let result = session.try_recover_opts(&job.netlist, &token, job.backend, job.use_cache);
+        let result =
+            job.resident
+                .try_recover_opts(&job.netlist, &token, job.backend, job.use_cache);
         match &result {
             Ok(rec) => {
                 shared.metrics.record_recovery(&rec.stats);
@@ -277,27 +348,25 @@ fn executor_loop(session: &RecoverySession, shared: &Shared) {
             }
             Err(Cancelled) => shared.metrics.deadline_total.inc(),
         }
-        if let Some(cache) = &shared.cache {
-            shared.metrics.observe_cache(cache);
-            if let Some(path) = &shared.config.cache_path {
-                let every = shared.config.cache_flush_every;
-                if every > 0 && completed > 0 && completed.is_multiple_of(every) {
-                    if let Err(e) = cache.flush(path) {
-                        obs::warn!("serve", "periodic cache flush failed: {e}");
-                    }
-                }
+        observe_registry(&shared.metrics, &shared.registry);
+        let every = shared.config.cache_flush_every;
+        if every > 0 && completed > 0 && completed.is_multiple_of(every) {
+            if let Err(e) = job.resident.flush_cache() {
+                obs::warn!("serve", "periodic cache flush failed: {e}");
             }
         }
         shared.metrics.inflight.dec();
         // A send error just means the client hung up; the work is done
         // either way.
         let _ = job.reply.send(result);
+        // Retire versions whose in-flight work just drained. `job` still
+        // holds its resident here, so the drop below is what lets the
+        // *next* iteration reclaim it after a swap.
+        drop(job);
+        shared.registry.reap();
     }
-    if let (Some(cache), Some(path)) = (&shared.cache, &shared.config.cache_path) {
-        if let Err(e) = cache.flush(path) {
-            obs::warn!("serve", "shutdown cache flush failed: {e}");
-        }
-    }
+    // Shutdown: flush every resident and still-draining retired cache.
+    shared.registry.flush_all();
 }
 
 /// Accepts connections until shutdown, one short-lived thread each.
@@ -352,11 +421,22 @@ fn outcome_label(status: u16) -> &'static str {
         400 | 405 | 413 => "bad_request",
         404 => "not_found",
         422 => "lint_rejected",
+        429 => "throttled",
         503 => "rejected",
         504 => "deadline",
         500 => "error",
         _ => "other",
     }
+}
+
+/// Whether a client-supplied `X-Rebert-Request-Id` is safe to adopt:
+/// short, printable, header- and JSON-safe. Anything else keeps the
+/// server-generated id.
+fn valid_request_id(id: &str) -> bool {
+    (1..=64).contains(&id.len())
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
 }
 
 /// Serves exactly one request on `stream` and closes it.
@@ -368,10 +448,18 @@ fn outcome_label(status: u16) -> &'static str {
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let arrival = Instant::now();
     let _ = stream.set_nodelay(true);
-    let request_id = next_request_id();
+    let mut request_id = next_request_id();
     let response = match read_request(&mut BufReader::new(&stream)) {
         Ok(None) => return, // clean pre-request hang-up
         Ok(Some(req)) => {
+            // Adopt a sane client-supplied id, so 4xx/5xx answers (404
+            // unknown model, 429 quota, ...) correlate with the caller's
+            // own logs and `GET /debug/trace`.
+            if let Some(id) = req.header("x-rebert-request-id") {
+                if valid_request_id(id) {
+                    request_id = id.to_owned();
+                }
+            }
             let mut root = obs::span_with(
                 obs::Level::Info,
                 "serve",
@@ -384,20 +472,51 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             );
             let ctx = obs::TraceCtx::default().with_field("request_id", request_id.clone());
             let ctx_guard = obs::enter_ctx(&ctx);
-            let response = route(&req, arrival, shared);
-            obs::event_with(
-                obs::Level::Info,
-                "serve",
-                "request_done",
-                vec![
-                    ("status", u64::from(response.status).into()),
-                    ("outcome", outcome_label(response.status).into()),
-                ],
-            );
-            drop(ctx_guard);
-            root.add_field("status", u64::from(response.status));
-            root.end();
-            response
+            // `POST /batch` streams its NDJSON response itself (no
+            // Content-Length; close-delimited), so it gets the raw
+            // stream. Everything else goes through `route`.
+            let response = if req.method == "POST" && req.path() == "/batch" {
+                match handle_batch(&req, &stream, shared, &request_id) {
+                    BatchOutcome::Reply(resp) => Some(resp),
+                    BatchOutcome::Streamed(status) => {
+                        obs::event_with(
+                            obs::Level::Info,
+                            "serve",
+                            "request_done",
+                            vec![
+                                ("status", u64::from(status).into()),
+                                ("outcome", outcome_label(status).into()),
+                            ],
+                        );
+                        root.add_field("status", u64::from(status));
+                        None
+                    }
+                }
+            } else {
+                Some(route(&req, arrival, shared))
+            };
+            match response {
+                Some(response) => {
+                    obs::event_with(
+                        obs::Level::Info,
+                        "serve",
+                        "request_done",
+                        vec![
+                            ("status", u64::from(response.status).into()),
+                            ("outcome", outcome_label(response.status).into()),
+                        ],
+                    );
+                    root.add_field("status", u64::from(response.status));
+                    drop(ctx_guard);
+                    root.end();
+                    response
+                }
+                None => {
+                    drop(ctx_guard);
+                    root.end();
+                    return; // batch already wrote the wire bytes
+                }
+            }
         }
         Err(HttpError::Io(_)) => return, // client died mid-request
         Err(HttpError::Malformed(m)) => {
@@ -432,9 +551,7 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
         }
         ("GET", "/metrics") => {
             shared.metrics.queue_depth.set(shared.queue.len() as u64);
-            if let Some(cache) = &shared.cache {
-                shared.metrics.observe_cache(cache);
-            }
+            observe_registry(&shared.metrics, &shared.registry);
             shared.metrics.count_request("metrics", "ok");
             let body = shared.metrics.render();
             Response {
@@ -451,12 +568,32 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
             handle_debug_trace(shared)
         }
         ("POST", "/recover") => handle_recover(req, arrival, shared),
+        ("GET", "/models") => {
+            shared.metrics.count_request("models", "ok");
+            handle_models_list(shared)
+        }
         ("POST", "/shutdown") => {
             shared.metrics.count_request("shutdown", "ok");
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::text(200, "draining\n")
         }
-        (_, "/healthz" | "/metrics" | "/recover" | "/shutdown" | "/debug/trace") => {
+        ("POST", path)
+            if path
+                .strip_prefix("/models/")
+                .and_then(|rest| rest.strip_suffix("/load"))
+                .is_some() =>
+        {
+            let name = path
+                .strip_prefix("/models/")
+                .and_then(|rest| rest.strip_suffix("/load"))
+                .unwrap_or_default();
+            handle_model_load(req, name, shared)
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/recover" | "/shutdown" | "/debug/trace" | "/models"
+            | "/batch",
+        ) => {
             shared.metrics.count_request("other", "bad_request");
             error_response(405, &format!("method {} not allowed here", req.method))
         }
@@ -465,6 +602,126 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
             error_response(404, &format!("no such endpoint: {path}"))
         }
     }
+}
+
+/// `GET /models`: every resident model's identity and serving stats.
+fn handle_models_list(shared: &Shared) -> Response {
+    let models = Json::Arr(
+        shared
+            .registry
+            .list()
+            .into_iter()
+            .map(|resident| {
+                let served = Json::Obj(
+                    Backend::ALL
+                        .iter()
+                        .map(|&b| (b.label().to_owned(), Json::uint(resident.served(b))))
+                        .collect(),
+                );
+                let mut fields = vec![
+                    ("name".to_owned(), Json::str(resident.name())),
+                    ("version".to_owned(), Json::uint(resident.version())),
+                    (
+                        "fingerprint".to_owned(),
+                        Json::str(resident.fingerprint_hex()),
+                    ),
+                    (
+                        "served_total".to_owned(),
+                        Json::uint(resident.served_total()),
+                    ),
+                    ("served".to_owned(), served),
+                ];
+                if let Some(cache) = resident.cache() {
+                    fields.push((
+                        "cache".to_owned(),
+                        Json::Obj(vec![
+                            ("entries".to_owned(), Json::uint(cache.len() as u64)),
+                            ("bytes".to_owned(), Json::uint(cache.bytes() as u64)),
+                            ("hits".to_owned(), Json::uint(cache.hits())),
+                            ("misses".to_owned(), Json::uint(cache.misses())),
+                        ]),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect(),
+    );
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("models".to_owned(), models),
+            (
+                "retired_draining".to_owned(),
+                Json::uint(shared.registry.retired_len() as u64),
+            ),
+        ]),
+    )
+}
+
+/// `POST /models/{name}/load`: loads a checkpoint from the daemon's
+/// filesystem (JSON body `{"path": "..."}`) and publishes it under
+/// `name` with an atomic hot swap. In-flight requests finish on the old
+/// version; it retires once drained.
+fn handle_model_load(req: &Request, name: &str, shared: &Shared) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.metrics.count_request("models", "rejected");
+        return error_response(503, "daemon is shutting down").header("Retry-After", "5");
+    }
+    if !valid_request_id(name) {
+        // Model names share the request-id charset rules: short,
+        // printable, header- and JSON-safe.
+        shared.metrics.count_request("models", "bad_request");
+        return error_response(400, "model name must be 1-64 chars of [A-Za-z0-9._:-]");
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => {
+            shared.metrics.count_request("models", "bad_request");
+            return error_response(400, "load body is not valid utf-8");
+        }
+    };
+    let path = match Json::parse(body)
+        .ok()
+        .as_ref()
+        .and_then(|j| j.get("path"))
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+    {
+        Some(p) => p,
+        None => {
+            shared.metrics.count_request("models", "bad_request");
+            return error_response(400, "load body must be `{\"path\": \"<checkpoint>\"}`");
+        }
+    };
+    let started = Instant::now();
+    let model = match rebert::load_model(&path) {
+        Ok(m) => m,
+        Err(e) => {
+            shared.metrics.count_request("models", "bad_request");
+            return error_response(400, &format!("cannot load checkpoint `{path}`: {e}"));
+        }
+    };
+    let resident = shared.registry.install(name, model);
+    shared.metrics.set_model_info(
+        resident.name(),
+        resident.version(),
+        resident.fingerprint_hex(),
+    );
+    observe_registry(&shared.metrics, &shared.registry);
+    shared.metrics.count_request("models", "ok");
+    let swap_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("name".to_owned(), Json::str(resident.name())),
+            ("version".to_owned(), Json::uint(resident.version())),
+            (
+                "fingerprint".to_owned(),
+                Json::str(resident.fingerprint_hex()),
+            ),
+            ("swap_us".to_owned(), Json::uint(swap_us)),
+        ]),
+    )
 }
 
 /// `GET /debug/trace`: drains the trace ring as NDJSON. The first line
@@ -499,13 +756,114 @@ fn sniff_verilog(body: &str) -> bool {
         .any(|l| l.starts_with("module ") || l.starts_with("module\t"))
 }
 
-/// `POST /recover`: parse, enqueue with backpressure, await the verdict.
+/// The tenant a request bills against: the `X-Rebert-Tenant` header,
+/// with anonymous traffic pooled in one shared bucket.
+fn tenant_of(req: &Request) -> &str {
+    req.header("x-rebert-tenant").unwrap_or("anonymous")
+}
+
+/// Checks the per-tenant token bucket (when quotas are on). `Err` is
+/// the ready-to-send 429 with `Retry-After`, already counted.
+fn check_quota(req: &Request, endpoint: &'static str, shared: &Shared) -> Result<(), Response> {
+    let Some(quotas) = &shared.quotas else {
+        return Ok(());
+    };
+    let tenant = tenant_of(req);
+    match quotas.try_acquire(tenant) {
+        Ok(()) => Ok(()),
+        Err(wait) => {
+            shared.metrics.throttled_total.inc();
+            shared.metrics.count_request(endpoint, "throttled");
+            shared.metrics.count_tenant(tenant, "throttled");
+            let retry_secs = wait.as_secs_f64().ceil().max(1.0) as u64;
+            Err(
+                error_response(429, &format!("tenant `{tenant}` is over its request quota"))
+                    .header("Retry-After", retry_secs.to_string()),
+            )
+        }
+    }
+}
+
+/// Resolves the request's model: the `X-Rebert-Model` header, or the
+/// registry default when absent. `Err` is the 404 listing what *is*
+/// resident, already counted against `endpoint`.
+fn resolve_model(
+    req: &Request,
+    endpoint: &'static str,
+    shared: &Shared,
+) -> Result<Arc<ResidentModel>, Response> {
+    let name = req.header("x-rebert-model");
+    match shared.registry.resolve(name) {
+        Some(resident) => Ok(resident),
+        None => {
+            shared.metrics.count_request(endpoint, "not_found");
+            let resident_names = Json::Arr(
+                shared
+                    .registry
+                    .names()
+                    .into_iter()
+                    .map(|n| Json::str(&n))
+                    .collect(),
+            );
+            Err(Response::json(
+                404,
+                &Json::Obj(vec![
+                    (
+                        "error".to_owned(),
+                        Json::str(format!(
+                            "no resident model named `{}`",
+                            name.unwrap_or("<default>")
+                        )),
+                    ),
+                    ("resident".to_owned(), resident_names),
+                ]),
+            ))
+        }
+    }
+}
+
+/// Parses one netlist body per the explicit `X-Rebert-Format` value
+/// (`bench`/`verilog`), sniffing the dialect when absent.
+fn parse_netlist(name: &str, body: &str, format: Option<&str>) -> Result<Netlist, String> {
+    match format {
+        Some("bench") => parse_bench(name, body).map_err(|e| e.to_string()),
+        Some("verilog") => parse_verilog(name, body).map_err(|e| e.to_string()),
+        Some(other) => Err(format!(
+            "unknown X-Rebert-Format `{other}` (expected `bench` or `verilog`)"
+        )),
+        None if sniff_verilog(body) => parse_verilog(name, body).map_err(|e| e.to_string()),
+        None => parse_bench(name, body).map_err(|e| e.to_string()),
+    }
+}
+
+/// `POST /recover`: quota gate, then parse, enqueue with backpressure,
+/// and await the verdict. Tenant-level outcome accounting wraps the
+/// whole thing (only when quotas are on — without them tenants are not
+/// distinguished).
 fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response {
+    if let Err(throttled) = check_quota(req, "recover", shared) {
+        return throttled;
+    }
+    let response = handle_recover_inner(req, arrival, shared);
+    if shared.quotas.is_some() {
+        shared
+            .metrics
+            .count_tenant(tenant_of(req), outcome_label(response.status));
+    }
+    response
+}
+
+/// [`handle_recover`] past the quota gate.
+fn handle_recover_inner(req: &Request, arrival: Instant, shared: &Shared) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
         shared.metrics.rejected_total.inc();
         shared.metrics.count_request("recover", "rejected");
         return error_response(503, "daemon is shutting down").header("Retry-After", "5");
     }
+    let resident = match resolve_model(req, "recover", shared) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
 
     let body = match std::str::from_utf8(&req.body) {
         Ok(b) => b,
@@ -514,17 +872,7 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
             return error_response(400, "netlist body is not valid utf-8");
         }
     };
-    let format = req.header("x-rebert-format");
-    let netlist = match format {
-        Some("bench") => parse_bench("request", body).map_err(|e| e.to_string()),
-        Some("verilog") => parse_verilog("request", body).map_err(|e| e.to_string()),
-        Some(other) => Err(format!(
-            "unknown X-Rebert-Format `{other}` (expected `bench` or `verilog`)"
-        )),
-        None if sniff_verilog(body) => parse_verilog("request", body).map_err(|e| e.to_string()),
-        None => parse_bench("request", body).map_err(|e| e.to_string()),
-    };
-    let netlist = match netlist {
+    let netlist = match parse_netlist("request", body, req.header("x-rebert-format")) {
         Ok(nl) => Arc::new(nl),
         Err(msg) => {
             shared.metrics.count_request("recover", "bad_request");
@@ -584,8 +932,10 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
     let use_cache = req.header("x-rebert-no-cache").is_none();
 
     let (tx, rx) = mpsc::channel();
+    let fingerprint_hex = resident.fingerprint_hex().to_owned();
     let job = Job {
         netlist: Arc::clone(&netlist),
+        resident,
         deadline,
         backend,
         use_cache,
@@ -611,7 +961,7 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
     match rx.recv() {
         Ok(Ok(rec)) => {
             shared.metrics.count_request("recover", "ok");
-            Response::json(200, &recovery_json(&netlist, &rec, &shared.fingerprint_hex))
+            Response::json(200, &recovery_json(&netlist, &rec, &fingerprint_hex))
         }
         Ok(Err(Cancelled)) => {
             shared.metrics.count_request("recover", "deadline");
@@ -623,6 +973,239 @@ fn handle_recover(req: &Request, arrival: Instant, shared: &Shared) -> Response 
             error_response(500, "executor unavailable")
         }
     }
+}
+
+/// Most netlists accepted in one `POST /batch` archive.
+const MAX_BATCH_ENTRIES: usize = 1024;
+
+/// How a batch request was answered: a conventional pre-stream reply
+/// (error before any result was produced), or a streamed NDJSON body
+/// already written to the socket.
+enum BatchOutcome {
+    Reply(Response),
+    Streamed(u16),
+}
+
+/// Parses the `POST /batch` archive: a sequence of entries, each a
+/// header line `<len> <name>\n` followed by exactly `len` bytes of
+/// netlist text and an optional separator newline.
+fn parse_batch_archive(body: &[u8]) -> Result<Vec<(String, String)>, String> {
+    let mut entries = Vec::new();
+    let mut at = 0usize;
+    while at < body.len() {
+        let line_end = body[at..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| format!("entry {}: missing header line", entries.len()))?;
+        let header = std::str::from_utf8(&body[at..at + line_end])
+            .map_err(|_| format!("entry {}: header is not utf-8", entries.len()))?
+            .trim_end_matches('\r');
+        at += line_end + 1;
+        if header.is_empty() {
+            continue; // tolerate blank lines between entries
+        }
+        let (len_text, name) = header
+            .split_once(' ')
+            .ok_or_else(|| format!("entry {}: header must be `<len> <name>`", entries.len()))?;
+        let len: usize = len_text
+            .parse()
+            .map_err(|_| format!("entry {}: bad length `{len_text}`", entries.len()))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("entry {}: empty name", entries.len()));
+        }
+        if at + len > body.len() {
+            return Err(format!(
+                "entry {} (`{name}`): length {len} overruns the archive",
+                entries.len()
+            ));
+        }
+        let text = std::str::from_utf8(&body[at..at + len])
+            .map_err(|_| format!("entry {} (`{name}`): netlist is not utf-8", entries.len()))?
+            .to_owned();
+        at += len;
+        if body.get(at) == Some(&b'\n') {
+            at += 1; // the optional separator
+        }
+        entries.push((name.to_owned(), text));
+        if entries.len() > MAX_BATCH_ENTRIES {
+            return Err(format!("archive exceeds {MAX_BATCH_ENTRIES} entries"));
+        }
+    }
+    Ok(entries)
+}
+
+/// One NDJSON failure record for a batch entry.
+fn batch_error_record(index: usize, name: &str, error: &str) -> Json {
+    Json::Obj(vec![
+        ("index".to_owned(), Json::uint(index as u64)),
+        ("name".to_owned(), Json::str(name)),
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), Json::str(error)),
+    ])
+}
+
+/// `POST /batch`: a length-prefixed archive of netlists in, one NDJSON
+/// result record per netlist out, streamed as each recovery completes
+/// (the response has no `Content-Length`; it is close-delimited). One
+/// quota token covers the whole batch. Per-entry parse/lint failures
+/// become failure records, not HTTP errors — the stream keeps going.
+fn handle_batch(
+    req: &Request,
+    mut stream: &TcpStream,
+    shared: &Shared,
+    request_id: &str,
+) -> BatchOutcome {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.metrics.rejected_total.inc();
+        shared.metrics.count_request("batch", "rejected");
+        return BatchOutcome::Reply(
+            error_response(503, "daemon is shutting down").header("Retry-After", "5"),
+        );
+    }
+    if let Err(throttled) = check_quota(req, "batch", shared) {
+        return BatchOutcome::Reply(throttled);
+    }
+    let resident = match resolve_model(req, "batch", shared) {
+        Ok(r) => r,
+        Err(resp) => return BatchOutcome::Reply(resp),
+    };
+    let entries = match parse_batch_archive(&req.body) {
+        Ok(e) if e.is_empty() => {
+            shared.metrics.count_request("batch", "bad_request");
+            return BatchOutcome::Reply(error_response(400, "empty batch archive"));
+        }
+        Ok(e) => e,
+        Err(msg) => {
+            shared.metrics.count_request("batch", "bad_request");
+            return BatchOutcome::Reply(error_response(400, &format!("bad batch archive: {msg}")));
+        }
+    };
+    let backend = match req.header("x-rebert-precision") {
+        Some(raw) => match Backend::parse(raw) {
+            Some(b) => b,
+            None => {
+                shared.metrics.count_request("batch", "bad_request");
+                return BatchOutcome::Reply(error_response(
+                    400,
+                    &format!(
+                        "unknown X-Rebert-Precision `{raw}` (expected `f32`, `f32-simd`, or `int8`)"
+                    ),
+                ));
+            }
+        },
+        None => Backend::F32Scalar,
+    };
+    let per_entry_deadline = match req.header("x-rebert-deadline-ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                shared.metrics.count_request("batch", "bad_request");
+                return BatchOutcome::Reply(error_response(
+                    400,
+                    &format!("bad X-Rebert-Deadline-Ms `{raw}`"),
+                ));
+            }
+        },
+        None => shared.config.default_deadline,
+    };
+    let use_cache = req.header("x-rebert-no-cache").is_none();
+    let fingerprint_hex = resident.fingerprint_hex().to_owned();
+
+    // Point of no return: from here failures are per-record, inside the
+    // stream.
+    let head = format!(
+        "HTTP/1.1 200 {}\r\nContent-Type: application/x-ndjson\r\nX-Rebert-Request-Id: {request_id}\r\nConnection: close\r\n\r\n",
+        reason(200)
+    );
+    if stream.write_all(head.as_bytes()).is_err() {
+        shared.metrics.count_request("batch", "error");
+        return BatchOutcome::Streamed(200); // client is gone; nothing to salvage
+    }
+
+    let mut write_record = |record: &Json| -> bool {
+        let mut line = record.to_string();
+        line.push('\n');
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.flush())
+            .is_ok()
+    };
+
+    for (index, (name, text)) in entries.iter().enumerate() {
+        shared.metrics.batch_netlists_total.inc();
+        let netlist = match parse_netlist(name, text, req.header("x-rebert-format")) {
+            Ok(nl) => Arc::new(nl),
+            Err(msg) => {
+                if !write_record(&batch_error_record(index, name, &msg)) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let preflight = rebert_analyze::lint_netlist(&netlist);
+        if preflight.has_errors() {
+            let record = batch_error_record(index, name, "netlist failed lint pre-flight");
+            if !write_record(&record) {
+                break;
+            }
+            continue;
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut job = Job {
+            netlist: Arc::clone(&netlist),
+            resident: Arc::clone(&resident),
+            deadline: per_entry_deadline.map(|d| Instant::now() + d),
+            backend,
+            use_cache,
+            reply: tx,
+            trace: obs::current_ctx(),
+        };
+        // Block (politely) for queue space: a batch is one client, so
+        // it waits its turn instead of consuming a 503.
+        let enqueued = loop {
+            match shared.queue.try_push(job) {
+                Ok(()) => break true,
+                Err(PushError::Full(j)) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break false;
+                    }
+                    job = j;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(PushError::Closed(_)) => break false,
+            }
+        };
+        if !enqueued {
+            let record = batch_error_record(index, name, "daemon is shutting down");
+            let _ = write_record(&record);
+            break;
+        }
+        shared.metrics.queue_depth.set(shared.queue.len() as u64);
+        let record = match rx.recv() {
+            Ok(Ok(rec)) => {
+                let mut fields = vec![
+                    ("index".to_owned(), Json::uint(index as u64)),
+                    ("name".to_owned(), Json::str(name)),
+                    ("ok".to_owned(), Json::Bool(true)),
+                ];
+                if let Json::Obj(inner) = recovery_json(&netlist, &rec, &fingerprint_hex) {
+                    fields.extend(inner);
+                }
+                Json::Obj(fields)
+            }
+            Ok(Err(Cancelled)) => batch_error_record(index, name, "recovery deadline exceeded"),
+            Err(_) => batch_error_record(index, name, "executor unavailable"),
+        };
+        if !write_record(&record) {
+            break;
+        }
+    }
+    shared.metrics.count_request("batch", "ok");
+    if shared.quotas.is_some() {
+        shared.metrics.count_tenant(tenant_of(req), "ok");
+    }
+    BatchOutcome::Streamed(200)
 }
 
 /// The `POST /recover` success payload. `fingerprint_hex` identifies
@@ -805,6 +1388,7 @@ mod tests {
             (405, "bad_request"),
             (413, "bad_request"),
             (422, "lint_rejected"),
+            (429, "throttled"),
             (500, "error"),
             (503, "rejected"),
             (504, "deadline"),
@@ -812,5 +1396,47 @@ mod tests {
         ] {
             assert_eq!(outcome_label(status), label, "status {status}");
         }
+    }
+
+    #[test]
+    fn client_request_ids_validate_conservatively() {
+        assert!(valid_request_id("req-1f3a-42"));
+        assert!(valid_request_id("trace:abc_DEF.9"));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id(&"x".repeat(65)));
+        assert!(!valid_request_id("has space"));
+        assert!(!valid_request_id("new\nline"));
+        assert!(!valid_request_id("quote\"inject"));
+    }
+
+    #[test]
+    fn batch_archive_round_trips() {
+        let a = "INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n";
+        let b = "module t(x);\nendmodule\n";
+        let mut archive = Vec::new();
+        for (name, text) in [("one.bench", a), ("two.v", b)] {
+            archive.extend_from_slice(format!("{} {name}\n", text.len()).as_bytes());
+            archive.extend_from_slice(text.as_bytes());
+            archive.push(b'\n');
+        }
+        let entries = parse_batch_archive(&archive).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], ("one.bench".to_owned(), a.to_owned()));
+        assert_eq!(entries[1], ("two.v".to_owned(), b.to_owned()));
+        // Without the optional separator newline it still parses.
+        let mut tight = Vec::new();
+        tight.extend_from_slice(format!("{} solo\n", a.len()).as_bytes());
+        tight.extend_from_slice(a.as_bytes());
+        assert_eq!(parse_batch_archive(&tight).expect("parses").len(), 1);
+        assert!(parse_batch_archive(b"").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn batch_archive_rejects_malformed_framing() {
+        assert!(parse_batch_archive(b"no newline header").is_err());
+        assert!(parse_batch_archive(b"12 name\nshort").is_err(), "overrun");
+        assert!(parse_batch_archive(b"cow name\nbody\n").is_err(), "bad len");
+        assert!(parse_batch_archive(b"4\nabcd\n").is_err(), "missing name");
+        assert!(parse_batch_archive(b"3 \nabc\n").is_err(), "empty name");
     }
 }

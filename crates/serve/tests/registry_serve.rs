@@ -1,0 +1,540 @@
+//! Loopback tests for the model registry's serving surface: hot swaps
+//! that never drop or mix requests, per-model routing with 404s that
+//! list the residents, tenant quotas surfacing as 429 + metrics, the
+//! `/batch` streaming endpoint, and client-supplied request ids echoed
+//! on error responses.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rebert::{save_model, ReBertConfig, ReBertModel, RecoverySession};
+use rebert_circuits::{generate, Profile};
+use rebert_netlist::write_bench;
+use rebert_serve::{
+    batch_archive, http_request, list_models, load_model_remote, submit, submit_batch,
+    submit_recover, ServeConfig, SubmitOptions,
+};
+
+fn tiny_model(seed: u64) -> ReBertModel {
+    ReBertModel::new(ReBertConfig::tiny(), seed)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rebert_registry_serve_tests")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn boot_with(model: ReBertModel, threads: usize, config: ServeConfig) -> rebert_serve::Server {
+    let session = RecoverySession::new(model, threads);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    rebert_serve::serve(session, listener, config).expect("serve")
+}
+
+fn json_parse(text: &str) -> rebert::json::Json {
+    rebert::json::Json::parse(text).unwrap_or_else(|e| panic!("bad json `{text}`: {e}"))
+}
+
+fn fingerprint_of(reply_body: &str) -> String {
+    json_parse(reply_body)
+        .get("model_fingerprint")
+        .and_then(rebert::json::Json::as_str)
+        .expect("reply carries model_fingerprint")
+        .to_owned()
+}
+
+/// The acceptance gate: continuous submissions during a hot load of a
+/// new default-model version — zero failed requests, every reply
+/// attributed to exactly one of the two valid fingerprints, and the
+/// retired version's score cache flushed to disk.
+#[test]
+fn hot_swap_is_outage_free_and_never_mixes_models() {
+    let cache_dir = tmp_dir("hot_swap");
+    let model_a = tiny_model(40);
+    let fp_a = model_a.fingerprint_hex();
+    let model_b = tiny_model(41);
+    let fp_b = model_b.fingerprint_hex();
+    assert_ne!(fp_a, fp_b);
+    let ckpt_b = cache_dir.join("model_b.json");
+    save_model(&model_b, &ckpt_b).expect("save checkpoint");
+
+    let server = boot_with(
+        model_a,
+        2,
+        ServeConfig {
+            queue_capacity: 64,
+            cache_dir: Some(cache_dir.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let bench = write_bench(&generate(&Profile::new("swap", 120, 10, 3), 7).netlist);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitters: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let bench = bench.clone();
+            std::thread::spawn(move || {
+                let mut fingerprints = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let reply = submit_recover(addr, &bench, Some("bench"), None)
+                        .expect("transport must not fail during a swap");
+                    assert_eq!(
+                        reply.status,
+                        200,
+                        "swap dropped a request: {}",
+                        reply.body_text()
+                    );
+                    fingerprints.push(fingerprint_of(&reply.body_text()));
+                }
+                fingerprints
+            })
+        })
+        .collect();
+
+    // Let the submitters get in flight, then publish the new version.
+    std::thread::sleep(Duration::from_millis(150));
+    let reply = load_model_remote(addr, "default", ckpt_b.to_str().unwrap()).expect("load");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let load_json = json_parse(&reply.body_text());
+    assert_eq!(
+        load_json
+            .get("fingerprint")
+            .and_then(rebert::json::Json::as_str),
+        Some(fp_b.as_str())
+    );
+    assert_eq!(
+        load_json
+            .get("version")
+            .and_then(rebert::json::Json::as_u64),
+        Some(2)
+    );
+    // Keep submitting on the new version so the executor reaps the old.
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::SeqCst);
+
+    let mut all: Vec<String> = Vec::new();
+    for s in submitters {
+        all.extend(s.join().expect("submitter thread"));
+    }
+    assert!(!all.is_empty(), "the swap window saw no traffic");
+    for fp in &all {
+        assert!(
+            *fp == fp_a || *fp == fp_b,
+            "reply attributed to unknown model {fp}"
+        );
+    }
+    assert!(
+        all.last() == Some(&fp_b),
+        "traffic after the swap must land on the new version"
+    );
+    server.shutdown();
+
+    // Both versions' caches persisted: the retired A at reap time, the
+    // resident B at shutdown.
+    assert!(
+        cache_dir.join(format!("score-cache-{fp_a}.bin")).exists(),
+        "retired model's cache was not flushed"
+    );
+    assert!(
+        cache_dir.join(format!("score-cache-{fp_b}.bin")).exists(),
+        "resident model's cache was not flushed"
+    );
+}
+
+/// A request admitted before a swap finishes on the model it was
+/// admitted under, with results bitwise-identical to that model's
+/// offline recovery.
+#[test]
+fn requests_admitted_before_a_swap_finish_on_the_old_model_bitwise() {
+    let dir = tmp_dir("mid_swap");
+    // A model slow enough (no Jaccard pre-filter) that a large request
+    // visibly occupies the executor while the swap happens.
+    let heavy_model = |seed: u64| {
+        let mut cfg = ReBertConfig::small();
+        cfg.jaccard_threshold = 0.0;
+        ReBertModel::new(cfg, seed)
+    };
+    let model_a = heavy_model(50);
+    let fp_a = model_a.fingerprint_hex();
+    let ckpt_b = dir.join("model_b.json");
+    save_model(&heavy_model(51), &ckpt_b).expect("save checkpoint");
+
+    let target = generate(&Profile::new("pinned", 120, 12, 3), 9);
+    let target_bench = write_bench(&target.netlist);
+    let offline = heavy_model(50).recover_words_with(
+        &rebert_netlist::parse_bench("request", &target_bench).expect("round-trip"),
+        1,
+    );
+
+    // A slow request occupies the single executor; the target request
+    // is then admitted (and pinned to v1) but still queued when the
+    // swap publishes v2.
+    let heavy_bench = write_bench(&generate(&Profile::new("heavy", 600, 48, 6), 21).netlist);
+    let server = boot_with(
+        model_a,
+        1,
+        ServeConfig {
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let heavy = std::thread::spawn(move || submit_recover(addr, &heavy_bench, Some("bench"), None));
+    // Wait until the heavy request is off the queue and executing.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = http_request(addr, "GET", "/metrics", &[], b"").expect("metrics");
+        let body = metrics.body_text();
+        let in_flight = body
+            .lines()
+            .find_map(|l| l.strip_prefix("rebert_inflight "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if in_flight >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "heavy request never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let target_thread = {
+        let bench = target_bench.clone();
+        std::thread::spawn(move || submit_recover(addr, &bench, Some("bench"), None))
+    };
+    // Wait until the target is admitted (queued), then swap.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = http_request(addr, "GET", "/metrics", &[], b"").expect("metrics");
+        let body = metrics.body_text();
+        let depth = body
+            .lines()
+            .find_map(|l| l.strip_prefix("rebert_queue_depth "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if depth >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "target request never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let reply = load_model_remote(addr, "default", ckpt_b.to_str().unwrap()).expect("load");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+
+    let target_reply = target_thread.join().expect("join").expect("submit");
+    assert_eq!(target_reply.status, 200, "{}", target_reply.body_text());
+    let json = json_parse(&target_reply.body_text());
+    assert_eq!(
+        json.get("model_fingerprint")
+            .and_then(rebert::json::Json::as_str),
+        Some(fp_a.as_str()),
+        "a request admitted under v1 must complete on v1"
+    );
+    let assignment: Vec<usize> = json
+        .get("assignment")
+        .and_then(rebert::json::Json::as_array)
+        .expect("assignment")
+        .iter()
+        .filter_map(rebert::json::Json::as_usize)
+        .collect();
+    assert_eq!(
+        assignment, offline.assignment,
+        "old-model completion must be bitwise-identical to offline recovery"
+    );
+    heavy.join().expect("join").expect("heavy submit");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_model_gets_404_listing_residents_and_echoes_request_id() {
+    let server = boot_with(tiny_model(60), 1, ServeConfig::default());
+    let addr = server.addr();
+    let reply = submit(
+        addr,
+        "INPUT(a)\ny = NOT(a)\nq = DFF(y)\nOUTPUT(q)\n",
+        &SubmitOptions {
+            model: Some("nonesuch".to_owned()),
+            request_id: Some("trace-me-42".to_owned()),
+            ..SubmitOptions::default()
+        },
+    )
+    .expect("submit");
+    assert_eq!(reply.status, 404, "{}", reply.body_text());
+    let json = json_parse(&reply.body_text());
+    let residents: Vec<&str> = json
+        .get("resident")
+        .and_then(rebert::json::Json::as_array)
+        .expect("404 lists resident models")
+        .iter()
+        .filter_map(rebert::json::Json::as_str)
+        .collect();
+    assert_eq!(residents, ["default"]);
+    // Satellite: the client-chosen id comes back on the error response,
+    // so the failure is findable in `/debug/trace`.
+    assert_eq!(reply.header("x-rebert-request-id"), Some("trace-me-42"));
+
+    let trace = http_request(addr, "GET", "/debug/trace", &[], b"").expect("trace");
+    assert!(
+        trace.body_text().contains("trace-me-42"),
+        "the request id must appear in the trace ring"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn models_endpoint_lists_residents_and_load_bumps_versions() {
+    let dir = tmp_dir("models_list");
+    let model_a = tiny_model(70);
+    let fp_a = model_a.fingerprint_hex();
+    let aux = tiny_model(71);
+    let fp_aux = aux.fingerprint_hex();
+    let ckpt = dir.join("aux.json");
+    save_model(&aux, &ckpt).expect("save checkpoint");
+
+    let server = boot_with(model_a, 1, ServeConfig::default());
+    let addr = server.addr();
+
+    let reply = list_models(addr).expect("list");
+    assert_eq!(reply.status, 200);
+    let json = json_parse(&reply.body_text());
+    let models = json
+        .get("models")
+        .and_then(rebert::json::Json::as_array)
+        .expect("models array")
+        .to_vec();
+    assert_eq!(models.len(), 1);
+    assert_eq!(
+        models[0].get("name").and_then(rebert::json::Json::as_str),
+        Some("default")
+    );
+    assert_eq!(
+        models[0]
+            .get("fingerprint")
+            .and_then(rebert::json::Json::as_str),
+        Some(fp_a.as_str())
+    );
+
+    // A second name is additive, not a swap.
+    let reply = load_model_remote(addr, "aux", ckpt.to_str().unwrap()).expect("load");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let reply = list_models(addr).expect("list");
+    let json = json_parse(&reply.body_text());
+    let models = json
+        .get("models")
+        .and_then(rebert::json::Json::as_array)
+        .expect("models array")
+        .to_vec();
+    assert_eq!(models.len(), 2, "{}", reply.body_text());
+
+    // Routing honors X-Rebert-Model, and the metrics expose both.
+    let bench = write_bench(&generate(&Profile::new("route", 90, 8, 2), 3).netlist);
+    let reply = submit(
+        addr,
+        &bench,
+        &SubmitOptions {
+            format: Some("bench".to_owned()),
+            model: Some("aux".to_owned()),
+            ..SubmitOptions::default()
+        },
+    )
+    .expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    assert_eq!(fingerprint_of(&reply.body_text()), fp_aux);
+
+    let metrics = http_request(addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .body_text();
+    assert!(
+        metrics.contains(&format!(
+            "rebert_model_info{{name=\"aux\",version=\"1\",fingerprint=\"{fp_aux}\"}} 1"
+        )),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(&format!(
+            "rebert_model_info{{name=\"default\",version=\"1\",fingerprint=\"{fp_a}\"}} 1"
+        )),
+        "{metrics}"
+    );
+
+    // Bad load requests are client errors, not crashes.
+    let reply = load_model_remote(addr, "aux", "/nonexistent/path.json").expect("load");
+    assert_eq!(reply.status, 400, "{}", reply.body_text());
+    let reply = load_model_remote(addr, "bad name!", ckpt.to_str().unwrap()).expect("load");
+    assert_eq!(reply.status, 400, "{}", reply.body_text());
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quotas_throttle_with_429_retry_after_and_metrics() {
+    let server = boot_with(
+        tiny_model(80),
+        1,
+        ServeConfig {
+            // Refill is negligible within the test window; burst is 1.
+            tenant_quota: Some(0.001),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let bench = "INPUT(a)\ny = NOT(a)\nq = DFF(y)\nOUTPUT(q)\n";
+    let as_tenant = |tenant: &str| SubmitOptions {
+        format: Some("bench".to_owned()),
+        tenant: Some(tenant.to_owned()),
+        ..SubmitOptions::default()
+    };
+
+    let reply = submit(addr, bench, &as_tenant("alice")).expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let reply = submit(addr, bench, &as_tenant("alice")).expect("submit");
+    assert_eq!(reply.status, 429, "{}", reply.body_text());
+    let retry_after: u64 = reply
+        .header("retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("integral Retry-After");
+    assert!(retry_after >= 1);
+
+    // A different tenant draws from its own bucket.
+    let reply = submit(addr, bench, &as_tenant("bob")).expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+
+    let metrics = http_request(addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .body_text();
+    assert!(
+        metrics.contains("rebert_tenant_requests_total{tenant=\"alice\",outcome=\"throttled\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("rebert_tenant_requests_total{tenant=\"alice\",outcome=\"ok\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("rebert_tenant_requests_total{tenant=\"bob\",outcome=\"ok\"} 1"),
+        "{metrics}"
+    );
+    let throttled = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("rebert_throttled_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok());
+    assert_eq!(throttled, Some(1), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn batch_streams_one_record_per_netlist_matching_single_submits() {
+    let server = boot_with(tiny_model(90), 2, ServeConfig::default());
+    let addr = server.addr();
+
+    let circuits: Vec<_> = (0..3)
+        .map(|i| {
+            generate(
+                &Profile::new(format!("bat{i}"), 100 + 10 * i, 8, 2),
+                i as u64,
+            )
+        })
+        .collect();
+    let texts: Vec<(String, String)> = circuits
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (format!("design{i}"), write_bench(&c.netlist)))
+        .collect();
+    let archive = batch_archive(texts.iter().map(|(n, t)| (n.as_str(), t.as_str())));
+    let reply = submit_batch(
+        addr,
+        &archive,
+        &SubmitOptions {
+            format: Some("bench".to_owned()),
+            ..SubmitOptions::default()
+        },
+    )
+    .expect("batch");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    assert_eq!(
+        reply.header("content-type"),
+        Some("application/x-ndjson"),
+        "batch streams NDJSON"
+    );
+
+    let records: Vec<rebert::json::Json> = reply
+        .body_text()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(json_parse)
+        .collect();
+    assert_eq!(records.len(), 3);
+    for (i, record) in records.iter().enumerate() {
+        assert_eq!(
+            record.get("index").and_then(rebert::json::Json::as_usize),
+            Some(i),
+            "records arrive in archive order"
+        );
+        assert_eq!(
+            record.get("name").and_then(rebert::json::Json::as_str),
+            Some(format!("design{i}").as_str())
+        );
+        assert_eq!(
+            record.get("ok").and_then(rebert::json::Json::as_bool),
+            Some(true)
+        );
+
+        // Each record matches what a single /recover returns.
+        let single = submit_recover(addr, &texts[i].1, Some("bench"), None).expect("single");
+        assert_eq!(single.status, 200);
+        let single_json = json_parse(&single.body_text());
+        assert_eq!(
+            record.get("assignment").map(ToString::to_string),
+            single_json.get("assignment").map(ToString::to_string),
+            "batch and single-submit assignments must agree"
+        );
+    }
+
+    // A malformed entry becomes an inline error record; the good
+    // entries still complete.
+    let mixed = batch_archive([
+        ("good", texts[0].1.as_str()),
+        ("bad", "this is not a netlist\n"),
+    ]);
+    let reply = submit_batch(addr, &mixed, &SubmitOptions::default()).expect("batch");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let records: Vec<rebert::json::Json> = reply
+        .body_text()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(json_parse)
+        .collect();
+    assert_eq!(records.len(), 2);
+    assert_eq!(
+        records[0].get("ok").and_then(rebert::json::Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        records[1].get("ok").and_then(rebert::json::Json::as_bool),
+        Some(false)
+    );
+    assert!(records[1].get("error").is_some());
+
+    let metrics = http_request(addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .body_text();
+    let batched = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("rebert_batch_netlists_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok());
+    assert_eq!(batched, Some(5), "{metrics}");
+
+    // A syntactically broken archive is rejected up front.
+    let reply =
+        submit_batch(addr, b"not-a-length header\n", &SubmitOptions::default()).expect("batch");
+    assert_eq!(reply.status, 400, "{}", reply.body_text());
+    server.shutdown();
+}
