@@ -46,6 +46,11 @@ pub struct Diagnostic {
     pub gates: Vec<String>,
     /// Human-readable explanation.
     pub message: String,
+    /// Source file the finding points at (source-level lints only;
+    /// netlist lints leave it `None`).
+    pub file: Option<String>,
+    /// 1-indexed line within [`Diagnostic::file`].
+    pub line: Option<usize>,
 }
 
 impl Diagnostic {
@@ -57,7 +62,17 @@ impl Diagnostic {
             nets: Vec::new(),
             gates: Vec::new(),
             message: message.into(),
+            file: None,
+            line: None,
         }
+    }
+
+    /// Attaches a source location (builder style). Used by the
+    /// `lint-src` Rust-source lints; netlist lints have no file/line.
+    pub fn at(mut self, file: impl Into<String>, line: usize) -> Self {
+        self.file = Some(file.into());
+        self.line = Some(line);
+        self
     }
 
     /// Attaches involved nets (builder style).
@@ -73,9 +88,17 @@ impl Diagnostic {
     }
 
     /// The single-line human rendering:
-    /// `error[undriven-net]: net `x` has no driver (nets: x)`.
+    /// `error[undriven-net]: net `x` has no driver (nets: x)`, prefixed
+    /// with `file:line: ` when the finding carries a source location.
     pub fn render(&self) -> String {
-        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        let mut out = String::new();
+        if let (Some(file), Some(line)) = (&self.file, self.line) {
+            out.push_str(&format!("{file}:{line}: "));
+        }
+        out.push_str(&format!(
+            "{}[{}]: {}",
+            self.severity, self.code, self.message
+        ));
         if !self.nets.is_empty() {
             out.push_str(&format!(" (nets: {})", self.nets.join(", ")));
         }
@@ -85,11 +108,19 @@ impl Diagnostic {
         out
     }
 
-    /// The JSON object rendering.
+    /// The JSON object rendering. `file`/`line` keys appear only when
+    /// the finding carries a source location, so netlist-lint JSON is
+    /// byte-identical to what it was before source lints existed.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("code".to_owned(), Json::str(self.code)),
             ("severity".to_owned(), Json::str(self.severity.as_str())),
+        ];
+        if let (Some(file), Some(line)) = (&self.file, self.line) {
+            fields.push(("file".to_owned(), Json::str(file)));
+            fields.push(("line".to_owned(), Json::uint(line as u64)));
+        }
+        fields.extend([
             (
                 "nets".to_owned(),
                 Json::Arr(self.nets.iter().map(Json::str).collect()),
@@ -99,7 +130,8 @@ impl Diagnostic {
                 Json::Arr(self.gates.iter().map(Json::str).collect()),
             ),
             ("message".to_owned(), Json::str(&self.message)),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 }
 

@@ -27,10 +27,12 @@
 mod diag;
 mod lints;
 mod pipeline;
+mod srclint;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use lints::{lint_netlist, lint_source, SourceFormat};
 pub use pipeline::{lint_with, LintOptions, DEFAULT_K_LEVELS};
+pub use srclint::{lint_rust_source, lint_rust_tree};
 
 /// Stable diagnostic codes emitted by this crate.
 ///
@@ -64,7 +66,32 @@ pub mod codes {
     /// The Jaccard filter / score distribution degenerates grouping.
     pub const DEGENERATE_THRESHOLD: &str = "degenerate-threshold";
 
-    /// Every code this crate can emit, for exhaustive fixture batteries.
+    // --- Rust-source concurrency-hygiene codes (`rebert lint-src`) ---
+
+    /// A raw `std::sync::{Mutex, RwLock, Condvar}` outside `crates/sync`
+    /// — locks that bypass the wrapper never join the lock-order graph.
+    pub const RAW_SYNC_PRIMITIVE: &str = "raw-sync-primitive";
+    /// A `store(…, Ordering::Relaxed)` — Relaxed cannot publish data to
+    /// another thread; flags and counters must justify themselves with
+    /// an allow comment.
+    pub const RELAXED_PUBLICATION_STORE: &str = "relaxed-publication-store";
+    /// `.lock().unwrap()` / `.expect(…)` on a lock result in the
+    /// serve/registry request path, where one poisoned lock wedges the
+    /// daemon for every later request.
+    pub const LOCK_RESULT_UNWRAP: &str = "lock-result-unwrap";
+    /// A `static mut` item — unsynchronized by construction.
+    pub const STATIC_MUT: &str = "static-mut";
+
+    /// Every source-lint code `rebert lint-src` can emit.
+    pub const SRC_CODES: &[&str] = &[
+        RAW_SYNC_PRIMITIVE,
+        RELAXED_PUBLICATION_STORE,
+        LOCK_RESULT_UNWRAP,
+        STATIC_MUT,
+    ];
+
+    /// Every netlist code this crate can emit, for exhaustive fixture
+    /// batteries.
     pub const ALL_CODES: &[&str] = &[
         UNDRIVEN_NET,
         MULTI_DRIVEN_NET,

@@ -46,6 +46,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "optimize" => cmd_optimize(args),
         "stats" => cmd_stats(args),
         "lint" => cmd_lint(args),
+        "lint-src" => cmd_lint_src(args),
         "train" => cmd_train(args),
         "recover" => cmd_recover(args),
         "inspect" => cmd_inspect(args),
@@ -84,6 +85,15 @@ COMMANDS
             Jaccard pre-filter threshold against that checkpoint. Exits
             non-zero on errors (or on warnings under --deny warnings);
             --json renders machine-readable diagnostics.
+  lint-src  [--root <dir|file.rs>] [--json] [--deny warnings]
+            Run the concurrency-hygiene lints over Rust sources (default
+            --root .): raw std::sync::{Mutex,RwLock,Condvar} outside the
+            rebert-sync wrapper, Ordering::Relaxed stores, lock-result
+            .unwrap()/.expect() on the serve/registry request path, and
+            `static mut`. Suppress a finding with an inline
+            `// rebert-lint: allow(<code>)` comment on the same or the
+            preceding line. Exit semantics match `lint`; diagnostics
+            carry file:line (also in --json).
   train     --profiles <b03,b08,...> --model <out.json>
             [--seed N] [--epochs N] [--cap N]
             Generate training benchmarks and fit a ReBERT model.
@@ -185,6 +195,7 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
     ("optimize", &["in", "out"], &[]),
     ("stats", &["in"], &[]),
     ("lint", &["in", "k", "model", "deny"], &["json"]),
+    ("lint-src", &["root", "deny"], &["json"]),
     (
         "train",
         &[
@@ -394,6 +405,27 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
         Err(report) => report,
     };
 
+    let body = if args.flag("json") {
+        report.to_json().to_string()
+    } else {
+        report.render_human()
+    };
+    if report.fails(deny_warnings) {
+        Err(Box::new(LintFailure { body }))
+    } else {
+        Ok(body)
+    }
+}
+
+fn cmd_lint_src(args: &Args) -> Result<String, CliError> {
+    validate(args)?;
+    let root = Path::new(args.get("root").unwrap_or("."));
+    let deny_warnings = match args.get("deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("--deny accepts only `warnings`, got `{other}`").into()),
+    };
+    let report = rebert_analyze::lint_rust_tree(root)?;
     let body = if args.flag("json") {
         report.to_json().to_string()
     } else {
@@ -1187,6 +1219,67 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.downcast_ref::<LintFailure>().is_none());
+    }
+
+    #[test]
+    fn lint_src_fixture_reports_every_code_at_its_pinned_line() {
+        // The seeded fixture carries one violation per source-lint code
+        // at documented lines, plus a suppressed one that must not
+        // appear. CI shells through the same path.
+        let fixture = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .join("examples/fixtures/srclint_violations.rs");
+        let err = run(&args(&[
+            "lint-src",
+            "--root",
+            fixture.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap_err();
+        let body = &err.downcast_ref::<LintFailure>().unwrap().body;
+        let json = rebert::json::Json::parse(body).expect("lint-src --json emits valid JSON");
+        let diags = json
+            .get("diagnostics")
+            .and_then(rebert::json::Json::as_array)
+            .unwrap();
+        let found: Vec<(Option<&str>, Option<usize>)> = diags
+            .iter()
+            .map(|d| {
+                (
+                    d.get("code").and_then(rebert::json::Json::as_str),
+                    d.get("line").and_then(rebert::json::Json::as_usize),
+                )
+            })
+            .collect();
+        assert_eq!(
+            found,
+            vec![
+                (Some("raw-sync-primitive"), Some(10)),
+                (Some("relaxed-publication-store"), Some(13)),
+                (Some("lock-result-unwrap"), Some(17)),
+                (Some("static-mut"), Some(20)),
+            ],
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn lint_src_workspace_is_clean_under_deny_warnings() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let out = run(&args(&[
+            "lint-src",
+            "--root",
+            root.to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ]))
+        .unwrap();
+        assert!(out.contains("clean"), "{out}");
     }
 
     #[test]

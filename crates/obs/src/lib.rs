@@ -55,7 +55,9 @@ pub use span::{
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
+
+use rebert_sync::RwLock;
 
 /// The maximum level any installed sink admits; 0 = tracing disabled.
 /// This is the whole fast path: [`enabled`] is one relaxed load.
@@ -65,7 +67,7 @@ type Registry = RwLock<Vec<(u64, Arc<dyn Sink>)>>;
 
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new(), "obs.registry"))
 }
 
 static NEXT_SINK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -80,7 +82,7 @@ pub struct SinkId(u64);
 /// gate widens to admit them.
 pub fn install(sink: Arc<dyn Sink>) -> SinkId {
     let id = NEXT_SINK.fetch_add(1, Ordering::Relaxed);
-    let mut reg = registry().write().unwrap();
+    let mut reg = registry().write();
     reg.push((id, sink));
     recompute_gate(&reg);
     SinkId(id)
@@ -90,7 +92,7 @@ pub fn install(sink: Arc<dyn Sink>) -> SinkId {
 /// global gate. Unknown ids are ignored, so double-uninstall is safe.
 pub fn uninstall(id: SinkId) {
     let removed = {
-        let mut reg = registry().write().unwrap();
+        let mut reg = registry().write();
         let before = reg.len();
         let removed: Vec<_> = {
             let mut kept = Vec::with_capacity(before);
@@ -139,7 +141,7 @@ pub fn active() -> bool {
 /// Flushes every installed sink.
 pub fn flush_all() {
     let sinks: Vec<Arc<dyn Sink>> = {
-        let reg = registry().read().unwrap();
+        let reg = registry().read();
         reg.iter().map(|(_, s)| Arc::clone(s)).collect()
     };
     for sink in sinks {
@@ -152,7 +154,7 @@ pub fn flush_all() {
 /// users normally touch, but public so higher crates can inject
 /// synthetic records in tests.
 pub fn dispatch(rec: Record) {
-    let reg = registry().read().unwrap();
+    let reg = registry().read();
     for (_, sink) in reg.iter() {
         if rec.level as u8 <= sink.max_level() as u8 {
             sink.record(&rec);
@@ -208,7 +210,9 @@ macro_rules! trace {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
+    // Test-only serialization lock: a const-initialized static, which
+    // the (runtime-registered) checked wrapper cannot provide.
+    use std::sync::Mutex; // rebert-lint: allow(raw-sync-primitive)
 
     /// Global tracing state is process-wide; tests that install sinks
     /// serialize on this.

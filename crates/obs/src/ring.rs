@@ -12,18 +12,18 @@
 //!
 //! The same source runs on loom primitives under `--cfg loom` (models
 //! at the bottom of this file), alongside the serve queue and par
-//! claim-protocol models.
+//! claim-protocol models — the `rebert_sync` wrappers do the
+//! std-vs-loom switch internally, and in debug builds additionally
+//! feed the ring's lock into the workspace lock-order graph.
 
 use std::collections::VecDeque;
 
 #[cfg(loom)]
 use loom::sync::atomic::{AtomicU64, Ordering};
-#[cfg(loom)]
-use loom::sync::Mutex;
 #[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
-#[cfg(not(loom))]
-use std::sync::Mutex;
+
+use rebert_sync::Mutex;
 
 use crate::record::{Level, Record};
 use crate::sink::Sink;
@@ -43,7 +43,7 @@ impl RingSink {
         RingSink {
             cap: cap.max(1),
             level,
-            buf: Mutex::new(VecDeque::new()),
+            buf: Mutex::new(VecDeque::new(), "obs.ring.buf"),
             dropped: AtomicU64::new(0),
         }
     }
@@ -52,14 +52,14 @@ impl RingSink {
     /// blocking. Contention or overflow increments `dropped_events`.
     pub fn push(&self, rec: &Record) {
         match self.buf.try_lock() {
-            Ok(mut q) => {
+            Some(mut q) => {
                 if q.len() == self.cap {
                     q.pop_front();
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                 }
                 q.push_back(rec.clone());
             }
-            Err(_) => {
+            None => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -68,7 +68,7 @@ impl RingSink {
     /// Removes and returns everything currently buffered, oldest
     /// first. Blocking (reader-side only).
     pub fn drain(&self) -> Vec<Record> {
-        let mut q = self.buf.lock().unwrap();
+        let mut q = self.buf.lock();
         q.drain(..).collect()
     }
 
@@ -79,7 +79,7 @@ impl RingSink {
 
     /// Number of records currently buffered.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        self.buf.lock().len()
     }
 
     /// Whether the ring is currently empty.
@@ -140,7 +140,7 @@ mod tests {
     fn contended_push_drops_instead_of_blocking() {
         let ring = RingSink::new(8, Level::Trace);
         ring.push(&rec(0));
-        let held = ring.buf.lock().unwrap();
+        let held = ring.buf.lock();
         // Lock is held: the push must return immediately and count a drop.
         ring.push(&rec(1));
         assert_eq!(ring.dropped_events(), 1);

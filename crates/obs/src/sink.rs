@@ -8,7 +8,8 @@
 
 use std::collections::HashMap;
 use std::io::Write;
-use std::sync::Mutex;
+
+use rebert_sync::Mutex;
 
 use crate::json::Json;
 use crate::record::{Kind, Level, Record, Value};
@@ -132,13 +133,13 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn new(out: W, level: Level) -> JsonlSink<W> {
         JsonlSink {
             level,
-            out: Mutex::new(out),
+            out: Mutex::new(out, "obs.sink.jsonl"),
         }
     }
 
     /// Consumes the sink, returning the writer.
     pub fn into_inner(self) -> W {
-        self.out.into_inner().unwrap()
+        self.out.into_inner()
     }
 }
 
@@ -146,7 +147,7 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, rec: &Record) {
         // Telemetry never takes the process down: I/O errors are
         // swallowed here and surface as missing lines.
-        let mut out = self.out.lock().unwrap();
+        let mut out = self.out.lock();
         let _ = writeln!(out, "{}", record_json(rec));
     }
 
@@ -155,7 +156,7 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let _ = self.out.lock().flush();
     }
 }
 
@@ -217,17 +218,20 @@ impl ChromeTraceSink {
     pub fn new(level: Level) -> ChromeTraceSink {
         ChromeTraceSink {
             level,
-            state: Mutex::new(ChromeState {
-                events: Vec::new(),
-                open: HashMap::new(),
-                max_ts: 0,
-            }),
+            state: Mutex::new(
+                ChromeState {
+                    events: Vec::new(),
+                    open: HashMap::new(),
+                    max_ts: 0,
+                },
+                "obs.sink.chrome",
+            ),
         }
     }
 
     /// Number of trace events accumulated so far.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().events.len()
+        self.state.lock().events.len()
     }
 
     /// Whether no events have been accumulated.
@@ -239,7 +243,7 @@ impl ChromeTraceSink {
     /// closing any still-open spans so B/E events balance. Does not
     /// consume the accumulated events.
     pub fn finish_json(&self) -> Json {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock();
         let mut events = st.events.clone();
         // Deterministic order for the synthesized closers.
         let mut open: Vec<_> = st.open.iter().collect();
@@ -268,7 +272,7 @@ impl Sink for ChromeTraceSink {
             .iter()
             .map(|(k, v)| (k.to_string(), value_json(v)))
             .collect();
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         st.max_ts = st.max_ts.max(rec.ts_micros);
         match rec.kind {
             Kind::Begin => {

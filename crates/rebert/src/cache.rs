@@ -28,10 +28,10 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use rebert_nn::Backend;
 use rebert_obs as obs;
+use rebert_sync::Mutex;
 
 use crate::dataset::StableHasher;
 
@@ -130,8 +130,11 @@ impl ScoreCache {
             1
         };
         ScoreCache {
+            // Every shard shares one lock-order site: the order graph
+            // treats "some cache shard" as a single node, so nesting two
+            // shards on one thread is reported as a same-site cycle.
             shards: (0..n_shards)
-                .map(|_| Mutex::new(Shard::default()))
+                .map(|_| Mutex::new(Shard::default(), "rebert.cache.shard"))
                 .collect(),
             shard_budget: budget_bytes / n_shards,
             budget: budget_bytes,
@@ -245,7 +248,7 @@ impl ScoreCache {
     /// Looks up a score, bumping the entry's recency and the hit/miss
     /// counters.
     pub fn get(&self, key: u128) -> Option<f32> {
-        let mut shard = self.shard(key).lock().expect("score cache shard lock");
+        let mut shard = self.shard(key).lock();
         shard.tick += 1;
         let tick = shard.tick;
         match shard.map.get_mut(&key) {
@@ -269,7 +272,7 @@ impl ScoreCache {
         if self.shard_budget < Self::ENTRY_BYTES {
             return;
         }
-        let mut shard = self.shard(key).lock().expect("score cache shard lock");
+        let mut shard = self.shard(key).lock();
         shard.tick += 1;
         let tick = shard.tick;
         shard.map.insert(key, Entry { score, tick });
@@ -296,7 +299,7 @@ impl ScoreCache {
         let mut sp = obs::span(obs::Level::Info, "cache", "flush");
         let mut entries: Vec<(u128, f32)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            let shard = shard.lock().expect("score cache shard lock");
+            let shard = shard.lock();
             entries.extend(shard.map.iter().map(|(&k, e)| (k, e.score)));
         }
         let mut buf = Vec::with_capacity(HEADER_BYTES + entries.len() * PERSISTED_ENTRY_BYTES);
@@ -330,10 +333,7 @@ impl ScoreCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("score cache shard lock").map.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -445,6 +445,31 @@ mod tests {
         assert_eq!(cache.get(k1), None);
         assert_eq!(cache.get(k2), Some(0.2));
         assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn panicked_holder_does_not_wedge_the_shard() {
+        // A request thread that dies while holding a shard lock must
+        // not poison it for everyone else: the `rebert_sync` wrapper
+        // recovers the poisoned guard, so the daemon's other request
+        // threads keep hitting the cache instead of unwinding on a
+        // `PoisonError` forever after.
+        let cache = ScoreCache::new(ScoreCache::ENTRY_BYTES, 21);
+        assert_eq!(cache.shards.len(), 1, "tiny budgets stay single-shard");
+        let k = ScoreCache::pair_key(21, Backend::F32Scalar, 1, 2);
+        cache.insert(k, 0.25);
+        let holder = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.shards[0].lock();
+                panic!("simulated request-thread crash while holding the shard");
+            })
+            .join()
+        });
+        assert!(holder.is_err(), "the holder must have panicked");
+        // The shard is usable again: reads and writes both succeed.
+        assert_eq!(cache.get(k), Some(0.25));
+        cache.insert(k, 0.75);
+        assert_eq!(cache.get(k), Some(0.75));
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! every worker polls it before claiming a batch and stops claiming once
 //! it trips, so an aborted map returns within one batch of work per
 //! worker and never yields a partial result.
+//!
+//! This module is atomics-only — the claim cursor is the sole shared
+//! state — so there is nothing here to put on `rebert_sync`'s lock-order
+//! graph; the workspace's blocking locks all live behind that wrapper.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -331,6 +335,7 @@ mod loom_models {
             };
             let canceller = {
                 let cancel = Arc::clone(&cancel);
+                // Pure flag, no payload — rebert-lint: allow(relaxed-publication-store)
                 thread::spawn(move || cancel.store(true, Ordering::Relaxed))
             };
             let filled = w.join().unwrap();

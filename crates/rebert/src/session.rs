@@ -11,7 +11,9 @@
 //! reusable afterwards.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use rebert_sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rebert_netlist::Netlist;
@@ -54,6 +56,8 @@ impl CancelToken {
 
     /// Trips the token; every holder observes it on the next poll.
     pub fn cancel(&self) {
+        // The flag publishes nothing but itself; workers only poll it
+        // to stop claiming — rebert-lint: allow(relaxed-publication-store)
         self.flag.store(true, Ordering::Relaxed);
     }
 
@@ -64,6 +68,7 @@ impl CancelToken {
         }
         match self.deadline {
             Some(d) if Instant::now() >= d => {
+                // Same pure flag — rebert-lint: allow(relaxed-publication-store)
                 self.flag.store(true, Ordering::Relaxed);
                 true
             }
@@ -94,20 +99,23 @@ impl std::error::Error for Cancelled {}
 /// lease a scratch for the duration of one parallel map and return it on
 /// drop, so buffer capacity (and the pages backing it) survive between
 /// requests.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct ScratchPool {
     free: Mutex<Vec<ScoreScratch>>,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new(), "rebert.session.scratch"),
+        }
+    }
 }
 
 impl ScratchPool {
     /// Takes a warm scratch (or a fresh one when the pool is empty).
     pub(crate) fn lease(&self) -> ScratchLease<'_> {
-        let scratch = self
-            .free
-            .lock()
-            .expect("scratch pool lock")
-            .pop()
-            .unwrap_or_default();
+        let scratch = self.free.lock().pop().unwrap_or_default();
         ScratchLease {
             pool: Some(self),
             scratch,
@@ -116,7 +124,7 @@ impl ScratchPool {
 
     #[cfg(test)]
     fn warm_count(&self) -> usize {
-        self.free.lock().expect("scratch pool lock").len()
+        self.free.lock().len()
     }
 }
 
@@ -147,7 +155,7 @@ impl Drop for ScratchLease<'_> {
     fn drop(&mut self) {
         if let Some(pool) = self.pool {
             let scratch = std::mem::take(&mut self.scratch);
-            pool.free.lock().expect("scratch pool lock").push(scratch);
+            pool.free.lock().push(scratch);
         }
     }
 }

@@ -8,8 +8,9 @@
 //! magnitude.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use rebert_sync::Mutex;
 
 /// Most tenants tracked at once; beyond this the stalest bucket is
 /// recycled (an idle bucket is full, so its owner loses nothing).
@@ -70,7 +71,7 @@ impl TenantQuotas {
             } else {
                 1.0
             },
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(HashMap::new(), "registry.quota.buckets"),
         }
     }
 
@@ -100,7 +101,7 @@ impl TenantQuotas {
     ///
     /// The duration until a token will be available, for `Retry-After`.
     pub fn try_acquire_at(&self, tenant: &str, now: Instant) -> Result<(), Duration> {
-        let mut buckets = self.buckets.lock().expect("quota bucket lock");
+        let mut buckets = self.buckets.lock();
         if buckets.len() >= MAX_TENANTS && !buckets.contains_key(tenant) {
             // Recycle the stalest bucket; by construction it is the
             // closest to full.
@@ -130,7 +131,7 @@ impl TenantQuotas {
 
     /// Tenants with live buckets right now.
     pub fn tracked_tenants(&self) -> usize {
-        self.buckets.lock().expect("quota bucket lock").len()
+        self.buckets.lock().len()
     }
 }
 

@@ -5,7 +5,9 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use rebert_sync::Mutex;
 
 use rebert::{
     Backend, CancelToken, Cancelled, ReBertModel, RecoveredWords, RecoverySession, ScoreCache,
@@ -188,9 +190,9 @@ impl ModelRegistry {
     pub fn new(config: RegistryConfig) -> Self {
         ModelRegistry {
             config,
-            slots: Mutex::new(BTreeMap::new()),
-            retired: Mutex::new(Vec::new()),
-            default_name: Mutex::new(None),
+            slots: Mutex::new(BTreeMap::new(), "registry.slots"),
+            retired: Mutex::new(Vec::new(), "registry.retired"),
+            default_name: Mutex::new(None, "registry.default"),
         }
     }
 
@@ -251,7 +253,7 @@ impl ModelRegistry {
         }
         let fingerprint_hex = session.model().fingerprint_hex();
 
-        let mut slots = self.slots.lock().expect("registry slots lock");
+        let mut slots = self.slots.lock();
         let resident = match slots.get(name) {
             Some(slot) => {
                 let version = slot.next_version.fetch_add(1, Ordering::SeqCst);
@@ -270,10 +272,7 @@ impl ModelRegistry {
                     resident.fingerprint_hex,
                     old.version
                 );
-                self.retired
-                    .lock()
-                    .expect("registry retired lock")
-                    .push(old);
+                self.retired.lock().push(old);
                 resident
             }
             None => {
@@ -292,7 +291,7 @@ impl ModelRegistry {
                         next_version: AtomicU64::new(2),
                     }),
                 );
-                let mut default = self.default_name.lock().expect("registry default lock");
+                let mut default = self.default_name.lock();
                 if default.is_none() {
                     *default = Some(name.to_owned());
                 }
@@ -307,12 +306,7 @@ impl ModelRegistry {
     /// The current version under `name`, pinned: the returned handle
     /// stays valid (and bitwise-stable) across any number of swaps.
     pub fn get(&self, name: &str) -> Option<Arc<ResidentModel>> {
-        let slot = self
-            .slots
-            .lock()
-            .expect("registry slots lock")
-            .get(name)
-            .cloned()?;
+        let slot = self.slots.lock().get(name).cloned()?;
         Some(slot.current.load())
     }
 
@@ -322,11 +316,7 @@ impl ModelRegistry {
         match name {
             Some(n) => self.get(n),
             None => {
-                let default = self
-                    .default_name
-                    .lock()
-                    .expect("registry default lock")
-                    .clone()?;
+                let default = self.default_name.lock().clone()?;
                 self.get(&default)
             }
         }
@@ -334,29 +324,18 @@ impl ModelRegistry {
 
     /// Resident model names, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.slots
-            .lock()
-            .expect("registry slots lock")
-            .keys()
-            .cloned()
-            .collect()
+        self.slots.lock().keys().cloned().collect()
     }
 
     /// The current version of every resident name, sorted by name.
     pub fn list(&self) -> Vec<Arc<ResidentModel>> {
-        let slots: Vec<Arc<Slot>> = self
-            .slots
-            .lock()
-            .expect("registry slots lock")
-            .values()
-            .cloned()
-            .collect();
+        let slots: Vec<Arc<Slot>> = self.slots.lock().values().cloned().collect();
         slots.iter().map(|s| s.current.load()).collect()
     }
 
     /// Retired versions still waiting for in-flight handles to drain.
     pub fn retired_len(&self) -> usize {
-        self.retired.lock().expect("registry retired lock").len()
+        self.retired.lock().len()
     }
 
     /// Retires drained versions: any retired resident whose only
@@ -365,7 +344,7 @@ impl ModelRegistry {
     /// reclaimed. Cheap when nothing is retired; the serving executor
     /// calls this after every job.
     pub fn reap(&self) -> usize {
-        let mut retired = self.retired.lock().expect("registry retired lock");
+        let mut retired = self.retired.lock();
         let mut reclaimed = 0usize;
         retired.retain(|r| {
             // Once swapped out, no new handle can be minted (the slot
@@ -410,7 +389,7 @@ impl ModelRegistry {
                 );
             }
         }
-        for retired in self.retired.lock().expect("registry retired lock").iter() {
+        for retired in self.retired.lock().iter() {
             if let Err(e) = retired.flush_cache() {
                 obs::warn!(
                     "registry",

@@ -24,6 +24,11 @@
 //! `crates/rebert/src/cache.rs` sets the precedent for this style of
 //! dependency-free concurrency plus a loom restatement; the loom model
 //! for this protocol lives at the bottom of the file.
+//!
+//! This module is deliberately atomics-only: it takes no blocking lock,
+//! so it has no site on `rebert_sync`'s lock-order graph — its safety
+//! argument is the epoch protocol above plus the loom model, not lock
+//! ordering.
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;

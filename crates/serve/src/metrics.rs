@@ -9,10 +9,10 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 use rebert::{Backend, PipelineStats};
+use rebert_sync::Mutex;
 
 /// Histogram bucket upper bounds, in seconds. Spans sub-millisecond
 /// grouping up to multi-second scoring runs; `+Inf` is implicit.
@@ -46,6 +46,7 @@ pub struct Gauge(AtomicU64);
 impl Gauge {
     /// Sets the value.
     pub fn set(&self, v: u64) {
+        // Self-contained scrape value — rebert-lint: allow(relaxed-publication-store)
         self.0.store(v, Ordering::Relaxed);
     }
 
@@ -127,7 +128,7 @@ pub const PHASES: [&str; 5] = ["tokenize", "filter", "score", "group", "total"];
 /// All daemon metrics. One instance lives for the life of the server and
 /// is shared by the connection threads, the executor, and the `/metrics`
 /// handler.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// `(endpoint, outcome)` → finished-request count.
     requests: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
@@ -192,6 +193,35 @@ fn backend_slot(backend: Backend) -> usize {
         .expect("Backend::ALL covers every variant")
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: Mutex::new(BTreeMap::new(), "serve.metrics.requests"),
+            queue_depth: Gauge::default(),
+            inflight: Gauge::default(),
+            rejected_total: Counter::default(),
+            deadline_total: Counter::default(),
+            pairs_scored_total: Counter::default(),
+            class_pairs_scored_total: Counter::default(),
+            pairs_memoized_total: Counter::default(),
+            classes_total: Counter::default(),
+            cache_hits_total: Counter::default(),
+            cache_misses_total: Counter::default(),
+            cache_evictions: Gauge::default(),
+            cache_bytes: Gauge::default(),
+            cache_entries: Gauge::default(),
+            models: Mutex::new(BTreeMap::new(), "serve.metrics.models"),
+            tenants: Mutex::new(BTreeMap::new(), "serve.metrics.tenants"),
+            throttled_total: Counter::default(),
+            batch_netlists_total: Counter::default(),
+            last_pairs_per_sec: AtomicU64::new(0),
+            backend_requests: Default::default(),
+            backend_pairs_per_sec: Default::default(),
+            phase: Default::default(),
+        }
+    }
+}
+
 impl Metrics {
     /// Fresh, all-zero metrics.
     pub fn new() -> Self {
@@ -200,19 +230,13 @@ impl Metrics {
 
     /// Counts one finished request against `(endpoint, outcome)`.
     pub fn count_request(&self, endpoint: &'static str, outcome: &'static str) {
-        *self
-            .requests
-            .lock()
-            .expect("metrics request map lock")
-            .entry((endpoint, outcome))
-            .or_insert(0) += 1;
+        *self.requests.lock().entry((endpoint, outcome)).or_insert(0) += 1;
     }
 
     /// The count recorded for `(endpoint, outcome)`.
     pub fn request_count(&self, endpoint: &str, outcome: &str) -> u64 {
         self.requests
             .lock()
-            .expect("metrics request map lock")
             .iter()
             .filter(|((e, o), _)| *e == endpoint && *o == outcome)
             .map(|(_, v)| *v)
@@ -229,10 +253,13 @@ impl Metrics {
         self.classes_total.add(stats.classes as u64);
         self.cache_hits_total.add(stats.cache_hits as u64);
         self.cache_misses_total.add(stats.cache_misses as u64);
+        // Scrape-only f64 bit patterns, no cross-field ordering needed.
         self.last_pairs_per_sec
+            // rebert-lint: allow(relaxed-publication-store)
             .store(stats.pairs_per_sec.to_bits(), Ordering::Relaxed);
         let slot = backend_slot(stats.backend);
         self.backend_requests[slot].inc();
+        // rebert-lint: allow(relaxed-publication-store)
         self.backend_pairs_per_sec[slot].store(stats.pairs_per_sec.to_bits(), Ordering::Relaxed);
         let durations = [
             stats.tokenize_time,
@@ -265,23 +292,18 @@ impl Metrics {
     ) {
         self.models
             .lock()
-            .expect("model info lock")
             .insert(name.into(), (version, fingerprint.into()));
     }
 
     /// The recorded identity for `name`: `(version, fingerprint)`.
     pub fn model_info(&self, name: &str) -> Option<(u64, String)> {
-        self.models
-            .lock()
-            .expect("model info lock")
-            .get(name)
-            .cloned()
+        self.models.lock().get(name).cloned()
     }
 
     /// The recorded checkpoint fingerprint of the *only* resident model,
     /// if exactly one is registered (the single-model deployment shape).
     pub fn model_fingerprint(&self) -> Option<String> {
-        let models = self.models.lock().expect("model info lock");
+        let models = self.models.lock();
         if models.len() == 1 {
             models.values().next().map(|(_, fp)| fp.clone())
         } else {
@@ -295,7 +317,6 @@ impl Metrics {
         *self
             .tenants
             .lock()
-            .expect("tenant map lock")
             .entry((tenant.to_owned(), outcome))
             .or_insert(0) += 1;
     }
@@ -304,7 +325,6 @@ impl Metrics {
     pub fn tenant_count(&self, tenant: &str, outcome: &str) -> u64 {
         self.tenants
             .lock()
-            .expect("tenant map lock")
             .iter()
             .filter(|((t, o), _)| t == tenant && *o == outcome)
             .map(|(_, v)| *v)
@@ -335,12 +355,7 @@ impl Metrics {
         let mut out = String::with_capacity(4096);
 
         out.push_str("# HELP rebert_requests_total Finished HTTP requests by endpoint and outcome.\n# TYPE rebert_requests_total counter\n");
-        for ((endpoint, outcome), count) in self
-            .requests
-            .lock()
-            .expect("metrics request map lock")
-            .iter()
-        {
+        for ((endpoint, outcome), count) in self.requests.lock().iter() {
             let _ = writeln!(
                 out,
                 "rebert_requests_total{{endpoint=\"{endpoint}\",outcome=\"{outcome}\"}} {count}"
@@ -447,7 +462,7 @@ impl Metrics {
         }
 
         {
-            let models = self.models.lock().expect("model info lock");
+            let models = self.models.lock();
             if !models.is_empty() {
                 out.push_str("# HELP rebert_model_info Identity of each resident checkpoint (value is always 1).\n# TYPE rebert_model_info gauge\n");
                 for (name, (version, fp)) in models.iter() {
@@ -460,7 +475,7 @@ impl Metrics {
         }
 
         {
-            let tenants = self.tenants.lock().expect("tenant map lock");
+            let tenants = self.tenants.lock();
             if !tenants.is_empty() {
                 out.push_str("# HELP rebert_tenant_requests_total Finished requests by tenant and outcome (quota mode only).\n# TYPE rebert_tenant_requests_total counter\n");
                 for ((tenant, outcome), count) in tenants.iter() {
@@ -495,6 +510,48 @@ impl Metrics {
                 backend.label(),
                 self.backend_pairs_per_sec(backend)
             );
+        }
+
+        // Per-site lock telemetry from the rebert-sync wrappers. The
+        // stats vector is empty in release builds (the wrappers compile
+        // to transparent newtypes), so the series only appears when a
+        // debug daemon runs — scrapers must treat it as optional.
+        let lock_sites = rebert_sync::site_stats();
+        if !lock_sites.is_empty() {
+            out.push_str("# HELP rebert_lock_acquisitions_total Lock acquisitions by site (debug builds only).\n# TYPE rebert_lock_acquisitions_total counter\n");
+            for s in &lock_sites {
+                let _ = writeln!(
+                    out,
+                    "rebert_lock_acquisitions_total{{site=\"{}\"}} {}",
+                    s.name, s.acquisitions
+                );
+            }
+            out.push_str("# HELP rebert_lock_contended_total Lock acquisitions that had to block (debug builds only).\n# TYPE rebert_lock_contended_total counter\n");
+            for s in &lock_sites {
+                let _ = writeln!(
+                    out,
+                    "rebert_lock_contended_total{{site=\"{}\"}} {}",
+                    s.name, s.contended
+                );
+            }
+            out.push_str("# HELP rebert_lock_wait_seconds_total Time spent blocked waiting for a lock by site (debug builds only).\n# TYPE rebert_lock_wait_seconds_total counter\n");
+            for s in &lock_sites {
+                let _ = writeln!(
+                    out,
+                    "rebert_lock_wait_seconds_total{{site=\"{}\"}} {}",
+                    s.name,
+                    s.wait_ns as f64 / 1e9
+                );
+            }
+            out.push_str("# HELP rebert_lock_hold_seconds_total Time a lock was held by site (debug builds only).\n# TYPE rebert_lock_hold_seconds_total counter\n");
+            for s in &lock_sites {
+                let _ = writeln!(
+                    out,
+                    "rebert_lock_hold_seconds_total{{site=\"{}\"}} {}",
+                    s.name,
+                    s.hold_ns as f64 / 1e9
+                );
+            }
         }
 
         out.push_str("# HELP rebert_phase_seconds Recovery pipeline phase durations.\n# TYPE rebert_phase_seconds histogram\n");
@@ -707,6 +764,30 @@ mod tests {
         );
         assert!(text.contains("# HELP rebert_throttled_total "));
         assert!(text.contains("# HELP rebert_batch_netlists_total "));
+    }
+
+    /// Debug builds carry the rebert-sync lock tracker, so `/metrics`
+    /// must expose the per-site lock counters; release builds compile
+    /// the wrappers to transparent newtypes and must omit the series.
+    #[test]
+    fn lock_site_series_match_the_build_profile() {
+        let m = Metrics::new();
+        m.count_request("recover", "ok"); // takes serve.metrics.requests
+        let text = m.render();
+        if cfg!(debug_assertions) {
+            assert!(
+                text.contains("rebert_lock_acquisitions_total{site=\"serve.metrics.requests\"}"),
+                "debug build must export lock telemetry: {text}"
+            );
+            assert!(text.contains("# TYPE rebert_lock_wait_seconds_total counter"));
+            assert!(text.contains("# TYPE rebert_lock_hold_seconds_total counter"));
+            assert!(text.contains("# TYPE rebert_lock_contended_total counter"));
+        } else {
+            assert!(
+                !text.contains("rebert_lock_"),
+                "release build must not export lock telemetry: {text}"
+            );
+        }
     }
 
     #[test]

@@ -9,13 +9,14 @@
 
 use std::collections::VecDeque;
 
-// Under `--cfg loom` the queue runs on loom's model-checked primitives
-// so the tests below can exhaustively explore interleavings; production
-// builds use the std primitives directly.
-#[cfg(loom)]
-use loom::sync::{Condvar, Mutex};
-#[cfg(not(loom))]
-use std::sync::{Condvar, Mutex};
+// The `rebert_sync` wrappers do the std-vs-loom switch internally: the
+// loom models below exhaustively explore interleavings through the same
+// wrapper code production runs, and debug builds additionally feed the
+// queue lock into the workspace lock-order graph. The wrapper exposes
+// only `wait_while` — there is no bare `wait` — so every blocking wait
+// in this file re-checks its predicate and is spurious-wakeup-proof by
+// construction.
+use rebert_sync::{Condvar, Mutex};
 
 /// Why a push was refused. The job is handed back so the caller can
 /// reply to its client.
@@ -46,10 +47,13 @@ impl<T> Bounded<T> {
     pub fn new(capacity: usize) -> Self {
         Bounded {
             capacity: capacity.max(1),
-            state: Mutex::new(State {
-                items: VecDeque::new(),
-                closed: false,
-            }),
+            state: Mutex::new(
+                State {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+                "serve.queue.state",
+            ),
             wakeup: Condvar::new(),
         }
     }
@@ -61,7 +65,7 @@ impl<T> Bounded<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.state.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -71,7 +75,7 @@ impl<T> Bounded<T> {
 
     /// Enqueues without blocking, or reports why it cannot.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -87,22 +91,19 @@ impl<T> Bounded<T> {
     /// Blocks for the next item. Returns `None` only once the queue is
     /// closed **and** fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
-        loop {
-            if let Some(item) = state.items.pop_front() {
-                return Some(item);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.wakeup.wait(state).expect("queue lock");
-        }
+        // `wait_while` owns the re-check loop: it only returns once an
+        // item is queued or the queue is closed, with the lock held, so
+        // a spurious wakeup can never surface a phantom `None` here.
+        let mut state = self
+            .wakeup
+            .wait_while(self.state.lock(), |s| s.items.is_empty() && !s.closed);
+        state.items.pop_front() // empty ⇒ closed ⇒ None
     }
 
     /// Stops accepting new items; queued items still drain via
     /// [`Bounded::pop`].
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.state.lock().closed = true;
         self.wakeup.notify_all();
     }
 }
@@ -167,6 +168,28 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn spurious_wakeup_does_not_yield_phantom_pop() {
+        // Regression test for the bare-`wait` loop this queue used to
+        // have: poke the condvar with *no* state change (exactly what a
+        // spurious wakeup looks like) and the consumer must keep
+        // blocking rather than return a phantom `None`.
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.wakeup.notify_all();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            !consumer.is_finished(),
+            "consumer returned on a wakeup with nothing queued and the queue open"
+        );
+        q.try_push(9).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(9));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,6 +29,7 @@ use rebert_netlist::{parse_bench, parse_verilog, Netlist};
 use rebert_obs as obs;
 use rebert_obs::RingSink;
 use rebert_registry::{ModelRegistry, RegistryConfig, ResidentModel, TenantQuotas, DEFAULT_MODEL};
+use rebert_sync::Mutex;
 
 use crate::http::{read_request, reason, HttpError, Request, Response};
 use crate::metrics::Metrics;
@@ -110,6 +111,12 @@ struct Job {
     /// root span plus its `request_id` field. The executor adopts it so
     /// the pipeline's spans parent under the request that queued them.
     trace: obs::TraceCtx,
+    /// Test-only fault injection: set when the daemon runs with
+    /// `REBERT_TEST_PANIC=1` *and* the request carries an
+    /// `x-rebert-test-panic` header. The executor panics mid-job, which
+    /// is how the poison-recovery integration test proves a panicking
+    /// recovery answers 500 instead of wedging every later request.
+    test_panic: bool,
 }
 
 /// State shared by the accept loop, connection threads, the executor,
@@ -200,7 +207,7 @@ pub fn serve_registry(
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         config,
-        conns: Mutex::new(Vec::new()),
+        conns: Mutex::new(Vec::new(), "serve.server.conns"),
         trace: Arc::clone(&trace),
         registry,
         quotas,
@@ -216,6 +223,10 @@ pub fn serve_registry(
     // The ring records every request for `GET /debug/trace`; it is
     // uninstalled (narrowing the global gate back) when the server stops.
     let trace_sink = obs::install(trace);
+    // A lock-order violation detected anywhere in the process (debug
+    // builds / REBERT_SYNC_CHECK=1) lands in the daemon's own error log
+    // with both acquisition paths before the offending thread panics.
+    rebert_sync::set_report_hook(|report| obs::error!("sync", "{report}"));
 
     let executor_thread = {
         let shared = Arc::clone(&shared);
@@ -301,7 +312,7 @@ impl Server {
         if let Some(t) = self.executor_thread.take() {
             let _ = t.join();
         }
-        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn list lock"));
+        let conns = std::mem::take(&mut *self.shared.conns.lock());
         for c in conns {
             let _ = c.join();
         }
@@ -330,43 +341,67 @@ fn executor_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.set(shared.queue.len() as u64);
         shared.metrics.inflight.inc();
-        let token = match job.deadline {
-            Some(d) => CancelToken::with_deadline_at(d),
-            None => CancelToken::new(),
-        };
-        // Adopt the request's context: the pipeline's `recover` span (and
-        // everything under it) parents under the request's root span and
-        // carries its `request_id` field, even though it runs over here.
-        let _tracing = obs::enter_ctx(&job.trace);
-        let result =
-            job.resident
-                .try_recover_opts(&job.netlist, &token, job.backend, job.use_cache);
-        match &result {
-            Ok(rec) => {
-                shared.metrics.record_recovery(&rec.stats);
-                completed += 1;
-            }
-            Err(Cancelled) => shared.metrics.deadline_total.inc(),
-        }
-        observe_registry(&shared.metrics, &shared.registry);
-        let every = shared.config.cache_flush_every;
-        if every > 0 && completed > 0 && completed.is_multiple_of(every) {
-            if let Err(e) = job.resident.flush_cache() {
-                obs::warn!("serve", "periodic cache flush failed: {e}");
-            }
-        }
+        // Every connection thread blocks on `rx.recv()`, so an executor
+        // that dies mid-panic would turn each later request into a
+        // forever-hang. Catch the panic instead: dropping the job drops
+        // its reply sender, the waiting client's `recv()` fails into the
+        // 500 path, and the loop keeps consuming the queue.
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(shared, job, &mut completed);
+        }));
         shared.metrics.inflight.dec();
-        // A send error just means the client hung up; the work is done
-        // either way.
-        let _ = job.reply.send(result);
-        // Retire versions whose in-flight work just drained. `job` still
-        // holds its resident here, so the drop below is what lets the
-        // *next* iteration reclaim it after a swap.
-        drop(job);
+        if ran.is_err() {
+            obs::error!(
+                "serve",
+                "recovery panicked; job dropped (client gets 500), executor continues"
+            );
+        }
         shared.registry.reap();
     }
     // Shutdown: flush every resident and still-draining retired cache.
     shared.registry.flush_all();
+}
+
+/// Runs one queued recovery to completion and replies on its channel.
+/// Runs under the executor's `catch_unwind`: a panic anywhere in here
+/// drops `job` (failing the client's `recv()` into a 500) without
+/// taking the executor thread down.
+fn execute_job(shared: &Shared, job: Job, completed: &mut usize) {
+    let token = match job.deadline {
+        Some(d) => CancelToken::with_deadline_at(d),
+        None => CancelToken::new(),
+    };
+    // Adopt the request's context: the pipeline's `recover` span (and
+    // everything under it) parents under the request's root span and
+    // carries its `request_id` field, even though it runs over here.
+    let _tracing = obs::enter_ctx(&job.trace);
+    if job.test_panic {
+        panic!("panic injected by x-rebert-test-panic (REBERT_TEST_PANIC=1)");
+    }
+    let result = job
+        .resident
+        .try_recover_opts(&job.netlist, &token, job.backend, job.use_cache);
+    match &result {
+        Ok(rec) => {
+            shared.metrics.record_recovery(&rec.stats);
+            *completed += 1;
+        }
+        Err(Cancelled) => shared.metrics.deadline_total.inc(),
+    }
+    observe_registry(&shared.metrics, &shared.registry);
+    let every = shared.config.cache_flush_every;
+    if every > 0 && *completed > 0 && completed.is_multiple_of(every) {
+        if let Err(e) = job.resident.flush_cache() {
+            obs::warn!("serve", "periodic cache flush failed: {e}");
+        }
+    }
+    // A send error just means the client hung up; the work is done
+    // either way.
+    let _ = job.reply.send(result);
+    // Retire versions whose in-flight work just drained. `job` still
+    // holds its resident here, so the drop below is what lets the
+    // caller's `reap` reclaim it after a swap.
+    drop(job);
 }
 
 /// Accepts connections until shutdown, one short-lived thread each.
@@ -378,7 +413,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 let handle = std::thread::Builder::new()
                     .name("rebert-conn".into())
                     .spawn(move || handle_connection(stream, &shared_for_conn));
-                let mut conns = shared.conns.lock().expect("conn list lock");
+                let mut conns = shared.conns.lock();
                 conns.retain(|c| !c.is_finished());
                 if let Ok(h) = handle {
                     conns.push(h);
@@ -762,6 +797,15 @@ fn tenant_of(req: &Request) -> &str {
     req.header("x-rebert-tenant").unwrap_or("anonymous")
 }
 
+/// Whether this request asked the executor to panic on purpose. Doubly
+/// gated: the daemon must run with `REBERT_TEST_PANIC=1` *and* the
+/// request must carry `x-rebert-test-panic`, so no production client
+/// can trip it by accident.
+fn test_panic_requested(req: &Request) -> bool {
+    req.header("x-rebert-test-panic").is_some()
+        && std::env::var("REBERT_TEST_PANIC").as_deref() == Ok("1")
+}
+
 /// Checks the per-tenant token bucket (when quotas are on). `Err` is
 /// the ready-to-send 429 with `Retry-After`, already counted.
 fn check_quota(req: &Request, endpoint: &'static str, shared: &Shared) -> Result<(), Response> {
@@ -941,6 +985,7 @@ fn handle_recover_inner(req: &Request, arrival: Instant, shared: &Shared) -> Res
         use_cache,
         reply: tx,
         trace: obs::current_ctx(),
+        test_panic: test_panic_requested(req),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {}
@@ -968,7 +1013,9 @@ fn handle_recover_inner(req: &Request, arrival: Instant, shared: &Shared) -> Res
             error_response(504, "recovery deadline exceeded")
         }
         Err(_) => {
-            // The executor is gone — only possible mid-shutdown race.
+            // The reply sender was dropped without an answer: either a
+            // mid-shutdown race, or the recovery panicked and the
+            // executor dropped the job to stay alive.
             shared.metrics.count_request("recover", "error");
             error_response(500, "executor unavailable")
         }
@@ -1160,6 +1207,7 @@ fn handle_batch(
             use_cache,
             reply: tx,
             trace: obs::current_ctx(),
+            test_panic: test_panic_requested(req),
         };
         // Block (politely) for queue space: a batch is one client, so
         // it waits its turn instead of consuming a 503.

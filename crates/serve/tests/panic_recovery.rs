@@ -1,0 +1,88 @@
+//! Lock-poisoning / executor-panic recovery: a request that panics
+//! mid-recovery must cost *that* client a 500, not wedge the daemon.
+//! Before the executor grew its `catch_unwind`, the injected panic
+//! below killed the executor thread and every later request hung
+//! forever on its reply channel; this test pins the recovered behavior
+//! over a real socket.
+//!
+//! Lives in its own integration binary — and as one sequential test —
+//! because it toggles the process-wide `REBERT_TEST_PANIC` gate.
+
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rebert::{ReBertConfig, ReBertModel, RecoverySession};
+use rebert_circuits::{generate, Profile};
+use rebert_netlist::write_bench;
+use rebert_serve::{http_request, serve, submit_recover, ServeConfig, Server};
+
+fn boot() -> Server {
+    let session = RecoverySession::new(ReBertModel::new(ReBertConfig::tiny(), 11), 1);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    serve(session, listener, ServeConfig::default()).expect("serve")
+}
+
+fn submit_with_panic_header(
+    addr: std::net::SocketAddr,
+    bench: &str,
+) -> std::io::Result<rebert_serve::HttpReply> {
+    http_request(
+        addr,
+        "POST",
+        "/recover",
+        &[("X-Rebert-Format", "bench"), ("X-Rebert-Test-Panic", "1")],
+        bench.as_bytes(),
+    )
+}
+
+#[test]
+fn executor_panic_answers_500_and_daemon_keeps_serving() {
+    let c = generate(&Profile::new("panic", 120, 12, 3), 5);
+    let bench = write_bench(&c.netlist);
+
+    // Gate down: the header alone must be inert, so no production
+    // client can trip the fault injection by accident.
+    std::env::remove_var("REBERT_TEST_PANIC");
+    let server = boot();
+    let reply = submit_with_panic_header(server.addr(), &bench).expect("transport");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    server.shutdown();
+
+    // Gate up: the injected panic must come back as a 500 — bounded in
+    // time, because the historical failure mode is an infinite hang on
+    // the reply channel. Run the request on a helper thread with a
+    // generous-but-finite budget.
+    std::env::set_var("REBERT_TEST_PANIC", "1");
+    let server = boot();
+    let addr = server.addr();
+    let (done_tx, done_rx) = mpsc::channel();
+    let poisoned_bench = bench.clone();
+    std::thread::spawn(move || {
+        let _ = done_tx.send(submit_with_panic_header(addr, &poisoned_bench));
+    });
+    let reply = done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("panicking request must be answered, not hang")
+        .expect("transport");
+    assert_eq!(reply.status, 500, "{}", reply.body_text());
+    assert!(
+        reply.body_text().contains("executor unavailable"),
+        "{}",
+        reply.body_text()
+    );
+    assert_eq!(
+        server.metrics().request_count("recover", "error"),
+        1,
+        "the panicked request is counted as an error"
+    );
+
+    // The daemon is not wedged: a normal request right after the panic
+    // completes with 200 on the same (still alive) executor thread.
+    let reply = submit_recover(addr, &bench, Some("bench"), None).expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+
+    // And a graceful shutdown still drains cleanly.
+    server.shutdown();
+    std::env::remove_var("REBERT_TEST_PANIC");
+}

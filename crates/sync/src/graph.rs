@@ -1,0 +1,244 @@
+//! The lock-order graph: the pure analysis core behind the tracked
+//! wrappers.
+//!
+//! Nodes are lock *sites* (dense `u32` ids assigned by the tracker, one
+//! per distinct site name — all sixteen `ScoreCache` shards share one
+//! node). A directed edge `a → b` means "some thread blocked on `b`
+//! while holding `a`". The invariant the tracker enforces is that this
+//! graph stays acyclic: a cycle `a → b → … → a` is exactly the
+//! ABBA pattern that can deadlock once the interleavings line up, even
+//! if no run has deadlocked yet.
+//!
+//! The graph is plain data — no interior mutability, no atomics — so the
+//! runtime tracker wraps it in a raw `std::sync::Mutex` and the loom
+//! model (see `lib.rs`) wraps the *same* code in `loom::sync::Mutex` to
+//! check that concurrent recording detects an inversion exactly once.
+//!
+//! Everything is `BTreeMap`/`BTreeSet` based for deterministic iteration
+//! (reports render identically across runs, and loom executions stay
+//! deterministic).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The context captured when an edge was first recorded: which thread
+/// blocked, and the full held-stack snapshot at that moment. This is
+/// what lets a cycle report show *both* acquisition paths instead of
+/// just naming the two locks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeCtx {
+    /// Name of the thread that recorded the edge (`"?"` when unnamed).
+    pub thread: String,
+    /// Site ids held (outermost first) when the edge was recorded.
+    pub held: Vec<u32>,
+}
+
+/// A detected lock-order cycle: the acquisition that would have closed
+/// the loop, plus the previously recorded chain it conflicts with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleReport {
+    /// The site the current thread attempted to acquire.
+    pub attempted: u32,
+    /// Sites the current thread already held (outermost first).
+    pub holding: Vec<u32>,
+    /// Thread that attempted the acquisition.
+    pub thread: String,
+    /// The pre-existing chain `attempted → … → h` (for some held `h`),
+    /// one entry per edge with the context captured at first record.
+    /// Empty exactly when the cycle is a same-site nested acquisition
+    /// (`attempted` is already on the held stack).
+    pub path: Vec<(u32, u32, EdgeCtx)>,
+}
+
+/// The lock-order graph. See the module docs for the invariant.
+#[derive(Debug, Default)]
+pub struct OrderGraph {
+    edges: BTreeMap<u32, BTreeSet<u32>>,
+    ctx: BTreeMap<(u32, u32), EdgeCtx>,
+}
+
+impl OrderGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        OrderGraph::default()
+    }
+
+    /// Number of distinct edges recorded so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// Records that `thread`, holding `held` (outermost first), is about
+    /// to block on `next`. Adds one edge per held site. Returns a
+    /// [`CycleReport`] — *without* inserting the offending edge — if any
+    /// new edge would close a cycle; the very first inversion is
+    /// reported, so concurrent recorders serialized on one graph lock
+    /// see exactly one detection.
+    pub fn record(&mut self, held: &[u32], next: u32, thread: &str) -> Option<CycleReport> {
+        // Same-site nested acquisition: `next` is already on our own
+        // stack. With one node per site this is the tightest cycle of
+        // all (a self-edge) and a genuine self-deadlock on a
+        // non-reentrant mutex, so it is reported before touching the
+        // graph. Sites that need an internal order (e.g. two shards of
+        // one map) must use distinct site names.
+        if held.contains(&next) {
+            return Some(CycleReport {
+                attempted: next,
+                holding: held.to_vec(),
+                thread: thread.to_owned(),
+                path: Vec::new(),
+            });
+        }
+        for &h in held {
+            if self.edges.get(&h).is_some_and(|succ| succ.contains(&next)) {
+                continue; // known edge, already proven acyclic
+            }
+            // Adding h → next closes a cycle iff next already reaches h.
+            if let Some(path) = self.find_path(next, h) {
+                let edges = path
+                    .iter()
+                    .map(|&(a, b)| {
+                        let ctx = self.ctx.get(&(a, b)).cloned().unwrap_or(EdgeCtx {
+                            thread: "?".to_owned(),
+                            held: Vec::new(),
+                        });
+                        (a, b, ctx)
+                    })
+                    .collect();
+                return Some(CycleReport {
+                    attempted: next,
+                    holding: held.to_vec(),
+                    thread: thread.to_owned(),
+                    path: edges,
+                });
+            }
+            self.edges.entry(h).or_default().insert(next);
+            self.ctx.entry((h, next)).or_insert_with(|| EdgeCtx {
+                thread: thread.to_owned(),
+                held: held.to_vec(),
+            });
+        }
+        None
+    }
+
+    /// A directed path `from → … → to` as a list of edges, if one
+    /// exists. Iterative DFS; deterministic because successor sets are
+    /// ordered.
+    fn find_path(&self, from: u32, to: u32) -> Option<Vec<(u32, u32)>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut visited = BTreeSet::new();
+        let mut stack = vec![(from, 0usize)];
+        let mut path: Vec<(u32, u32)> = Vec::new();
+        visited.insert(from);
+        while !stack.is_empty() {
+            let (node, idx) = {
+                let top = stack.last_mut().expect("loop guard: stack nonempty");
+                let snapshot = (top.0, top.1);
+                top.1 += 1;
+                snapshot
+            };
+            let next = self
+                .edges
+                .get(&node)
+                .and_then(|succ| succ.iter().nth(idx).copied());
+            match next {
+                Some(n) if n == to => {
+                    path.push((node, n));
+                    return Some(path);
+                }
+                Some(n) => {
+                    if visited.insert(n) {
+                        path.push((node, n));
+                        stack.push((n, 0));
+                    }
+                }
+                None => {
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_orders_stay_silent() {
+        let mut g = OrderGraph::new();
+        assert!(g.record(&[0], 1, "t").is_none());
+        assert!(g.record(&[1], 2, "t").is_none());
+        assert!(g.record(&[0, 1], 2, "t").is_none());
+        // Re-recording known edges is free and silent.
+        assert!(g.record(&[0], 1, "t").is_none());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn abba_inversion_reports_both_paths() {
+        let mut g = OrderGraph::new();
+        assert!(g.record(&[0], 1, "worker-a").is_none());
+        let cycle = g.record(&[1], 0, "worker-b").expect("inversion detected");
+        assert_eq!(cycle.attempted, 0);
+        assert_eq!(cycle.holding, vec![1]);
+        assert_eq!(cycle.thread, "worker-b");
+        assert_eq!(cycle.path.len(), 1);
+        let (a, b, ref ctx) = cycle.path[0];
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(ctx.thread, "worker-a");
+        assert_eq!(ctx.held, vec![0]);
+    }
+
+    #[test]
+    fn transitive_cycle_is_found_through_the_chain() {
+        let mut g = OrderGraph::new();
+        assert!(g.record(&[0], 1, "t1").is_none());
+        assert!(g.record(&[1], 2, "t2").is_none());
+        let cycle = g.record(&[2], 0, "t3").expect("0 → 1 → 2 → 0");
+        assert_eq!(cycle.attempted, 0);
+        let chain: Vec<(u32, u32)> = cycle.path.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(chain, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn same_site_nesting_is_a_self_cycle() {
+        let mut g = OrderGraph::new();
+        let cycle = g.record(&[3], 3, "t").expect("self cycle");
+        assert!(cycle.path.is_empty());
+        assert_eq!(cycle.attempted, 3);
+    }
+
+    #[test]
+    fn disjoint_stacks_never_false_positive() {
+        let mut g = OrderGraph::new();
+        assert!(g.record(&[0], 1, "t1").is_none());
+        assert!(g.record(&[2], 3, "t2").is_none());
+        assert!(
+            g.record(&[3], 2, "t2").is_some(),
+            "but real inversions still fire"
+        );
+        assert!(g.record(&[0], 1, "t1").is_none());
+    }
+
+    #[test]
+    fn offending_edge_is_not_inserted_so_detection_repeats() {
+        let mut g = OrderGraph::new();
+        assert!(g.record(&[0], 1, "t1").is_none());
+        assert!(g.record(&[1], 0, "t2").is_some());
+        assert!(g.record(&[1], 0, "t2").is_some(), "still detectable");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn multi_held_stack_records_an_edge_per_holder() {
+        let mut g = OrderGraph::new();
+        assert!(g.record(&[0, 1], 2, "t").is_none());
+        assert_eq!(g.edge_count(), 2);
+        // 2 → 1 now inverts against the 1 → 2 half.
+        assert!(g.record(&[2], 1, "t").is_some());
+    }
+}

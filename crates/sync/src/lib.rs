@@ -1,0 +1,968 @@
+//! Checked synchronization primitives for the ReBERT workspace.
+//!
+//! Drop-in `Mutex` / `RwLock` / `Condvar` wrappers with three compile
+//! modes, selected automatically:
+//!
+//! * **Debug builds** (`cfg(debug_assertions)`, the mode every
+//!   `cargo test` run uses): each constructor takes a static *site
+//!   name*; the first construction per name registers a dense site id,
+//!   and every blocking acquisition records `held → wanted` edges into
+//!   a global lock-order graph (lockdep style). An edge that closes a
+//!   cycle — the ABBA pattern that deadlocks once the interleavings
+//!   line up — panics immediately with *both* acquisition paths, even
+//!   if this particular run would not have deadlocked.
+//!   `REBERT_SYNC_CHECK=0` opts a debug process out; `=1` (what CI
+//!   exports) is the default-on state made explicit. Per-site
+//!   acquisition / contention / wait / hold counters feed the serve
+//!   `/metrics` exposition via [`site_stats`].
+//! * **Release builds**: transparent newtypes over `std::sync` with the
+//!   site-name argument ignored — no registry, no counters, no graph;
+//!   layout equality with the std types is pinned by a test.
+//! * **`--cfg loom`**: straight delegation to loom's model-checked
+//!   primitives, with no tracking (tracking would perturb loom's
+//!   deterministic exploration). The lock-order core itself is modeled
+//!   on loom separately (see the `loom_model` module).
+//!
+//! In every mode the lock APIs are **poison-recovering**: a panic on
+//! one request thread must not wedge the daemon, so `lock()` returns
+//! the guard directly and a poisoned inner lock is recovered via
+//! [`std::sync::PoisonError::into_inner`]. The data-consistency story
+//! is unchanged — ReBERT's critical sections leave their structures
+//! valid at every await point — and the panicking request itself is
+//! reported as a 500 by the serve layer's `catch_unwind` boundary.
+//!
+//! There is deliberately **no bare `Condvar::wait`**: only
+//! [`Condvar::wait_while`], so every wait site re-checks its predicate
+//! and spurious wakeups are structurally impossible to mishandle.
+//!
+//! Site naming convention: `crate.module.lock`, e.g.
+//! `"rebert.cache.shard"` or `"serve.queue.state"`. Instances sharing a
+//! name share one graph node; instances that are *intentionally*
+//! acquired nested (rare) must use distinct names.
+
+#![warn(missing_docs)]
+
+mod graph;
+pub use graph::{CycleReport, EdgeCtx, OrderGraph};
+
+#[cfg(all(debug_assertions, not(loom)))]
+mod tracker;
+
+/// Counters for one lock site, as exposed by [`site_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The static site name passed to the constructor.
+    pub name: &'static str,
+    /// Total acquisitions (lock / try-lock success / read / write).
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+    /// Total nanoseconds spent blocked waiting to acquire.
+    pub wait_ns: u64,
+    /// Total nanoseconds the lock was held.
+    pub hold_ns: u64,
+}
+
+/// Per-site counters, in registration order. Empty in release and loom
+/// builds (the wrappers carry no instrumentation there), so `/metrics`
+/// emits the `rebert_lock_*` series only when a debug daemon runs.
+pub fn site_stats() -> Vec<SiteStats> {
+    #[cfg(all(debug_assertions, not(loom)))]
+    {
+        tracker::stats()
+    }
+    #[cfg(not(all(debug_assertions, not(loom))))]
+    {
+        Vec::new()
+    }
+}
+
+/// Whether lock-order checking is active in this process.
+pub fn checking_enabled() -> bool {
+    #[cfg(all(debug_assertions, not(loom)))]
+    {
+        tracker::enabled()
+    }
+    #[cfg(not(all(debug_assertions, not(loom))))]
+    {
+        false
+    }
+}
+
+/// Installs a process-wide hook that receives the rendered cycle report
+/// just before the detecting thread panics. The serve daemon points
+/// this at rebert-obs (`error!` + the trace ring) so a cycle shows up
+/// in `/debug/trace` output as well as the panic message. The hook runs
+/// with no tracker locks held and with detection suppressed on the
+/// calling thread, so it may itself take checked locks. No-op in
+/// release and loom builds.
+pub fn set_report_hook(hook: fn(&str)) {
+    #[cfg(all(debug_assertions, not(loom)))]
+    tracker::set_hook(hook);
+    #[cfg(not(all(debug_assertions, not(loom))))]
+    let _ = hook;
+}
+
+// ---------------------------------------------------------------------
+// Debug implementation: std primitives + lock-order tracking.
+// ---------------------------------------------------------------------
+#[cfg(all(debug_assertions, not(loom)))]
+mod imp {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{PoisonError, TryLockError};
+    use std::time::{Duration, Instant};
+
+    use crate::tracker::{self, HeldToken, SiteCell};
+
+    /// A mutual-exclusion lock with lock-order checking. See the crate
+    /// docs for the three compile modes.
+    pub struct Mutex<T: ?Sized> {
+        site: &'static SiteCell,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wraps `value`; `site` names this lock site in the order
+        /// graph and the `/metrics` exposition.
+        pub fn new(value: T, site: &'static str) -> Self {
+            Mutex {
+                site: tracker::site(site),
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the lock, returning the inner value (recovering
+        /// from poisoning).
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, blocking if necessary. Panics with a
+        /// two-path report if this acquisition closes a lock-order
+        /// cycle; recovers (rather than panics) if a previous holder
+        /// poisoned the lock.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            tracker::before_acquire(self.site);
+            let started = Instant::now();
+            let (inner, contended) = match self.inner.try_lock() {
+                Ok(g) => (g, false),
+                Err(TryLockError::Poisoned(p)) => (p.into_inner(), false),
+                Err(TryLockError::WouldBlock) => (
+                    self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+                    true,
+                ),
+            };
+            let token = tracker::after_acquire(self.site, started.elapsed(), contended);
+            MutexGuard { inner, token }
+        }
+
+        /// Acquires the lock only if it is free right now. Never
+        /// blocks, so it records no order edges (a try-acquisition
+        /// cannot close a deadlock), but the guard still counts as held
+        /// for locks nested under it.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            let inner = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => return None,
+            };
+            let token = tracker::after_acquire(self.site, Duration::ZERO, false);
+            Some(MutexGuard { inner, token })
+        }
+
+        /// Mutable access without locking (requires `&mut self`, so no
+        /// other thread can hold the lock).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Mutex")
+                .field("site", &self.site.name)
+                .field("inner", &self.inner)
+                .finish()
+        }
+    }
+
+    /// RAII guard for [`Mutex::lock`]. Dropping it releases the lock
+    /// and pops this site from the thread's held stack.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        // Declaration order is drop order: release the std lock first,
+        // then retire the tracking token.
+        pub(crate) inner: std::sync::MutexGuard<'a, T>,
+        pub(crate) token: HeldToken,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    /// A reader-writer lock with lock-order checking. Reads and writes
+    /// are one site: the graph does not distinguish shared from
+    /// exclusive acquisition (a read→write upgrade cycle is still a
+    /// cycle).
+    pub struct RwLock<T: ?Sized> {
+        site: &'static SiteCell,
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Wraps `value` under the given site name.
+        pub fn new(value: T, site: &'static str) -> Self {
+            RwLock {
+                site: tracker::site(site),
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared read access, blocking if a writer holds the
+        /// lock.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            tracker::before_acquire(self.site);
+            let started = Instant::now();
+            let (inner, contended) = match self.inner.try_read() {
+                Ok(g) => (g, false),
+                Err(TryLockError::Poisoned(p)) => (p.into_inner(), false),
+                Err(TryLockError::WouldBlock) => (
+                    self.inner.read().unwrap_or_else(PoisonError::into_inner),
+                    true,
+                ),
+            };
+            let token = tracker::after_acquire(self.site, started.elapsed(), contended);
+            RwLockReadGuard { inner, token }
+        }
+
+        /// Acquires exclusive write access, blocking until all readers
+        /// and writers release.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            tracker::before_acquire(self.site);
+            let started = Instant::now();
+            let (inner, contended) = match self.inner.try_write() {
+                Ok(g) => (g, false),
+                Err(TryLockError::Poisoned(p)) => (p.into_inner(), false),
+                Err(TryLockError::WouldBlock) => (
+                    self.inner.write().unwrap_or_else(PoisonError::into_inner),
+                    true,
+                ),
+            };
+            let token = tracker::after_acquire(self.site, started.elapsed(), contended);
+            RwLockWriteGuard { inner, token }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("RwLock")
+                .field("site", &self.site.name)
+                .field("inner", &self.inner)
+                .finish()
+        }
+    }
+
+    /// RAII guard for [`RwLock::read`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        inner: std::sync::RwLockReadGuard<'a, T>,
+        #[allow(dead_code)] // held for its Drop
+        token: HeldToken,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    /// RAII guard for [`RwLock::write`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        inner: std::sync::RwLockWriteGuard<'a, T>,
+        #[allow(dead_code)] // held for its Drop
+        token: HeldToken,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// A condition variable for use with [`Mutex`]. Only predicate
+    /// waits are exposed — see the crate docs.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// A fresh condition variable.
+        pub fn new() -> Self {
+            Condvar::default()
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+
+        /// Blocks while `condition` returns `true`, releasing the mutex
+        /// for the duration of each wait. The held stack drops this
+        /// site while blocked (the mutex really is released) and
+        /// re-records the acquisition on wakeup.
+        pub fn wait_while<'a, T, F>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            condition: F,
+        ) -> MutexGuard<'a, T>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            let MutexGuard { inner, token } = guard;
+            let site = token.pause();
+            let inner = self
+                .inner
+                .wait_while(inner, condition)
+                .unwrap_or_else(PoisonError::into_inner);
+            let token = tracker::after_reacquire(site);
+            MutexGuard { inner, token }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Release implementation: zero-cost transparent newtypes over std.
+// ---------------------------------------------------------------------
+#[cfg(all(not(debug_assertions), not(loom)))]
+mod imp {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::PoisonError;
+
+    /// A mutual-exclusion lock. In release builds this is a transparent
+    /// newtype over [`std::sync::Mutex`]; the site name is ignored.
+    #[repr(transparent)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wraps `value`; `site` is recorded only in debug builds.
+        #[inline]
+        pub fn new(value: T, site: &'static str) -> Self {
+            let _ = site;
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the lock, returning the inner value.
+        #[inline]
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, recovering from poisoning.
+        #[inline]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+
+        /// Acquires the lock only if it is free right now.
+        #[inline]
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            use std::sync::TryLockError;
+            match self.inner.try_lock() {
+                Ok(inner) => Some(MutexGuard { inner }),
+                Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    inner: p.into_inner(),
+                }),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+
+        /// Mutable access without locking.
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+
+    /// RAII guard for [`Mutex::lock`].
+    #[repr(transparent)]
+    pub struct MutexGuard<'a, T: ?Sized> {
+        pub(crate) inner: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    /// A reader-writer lock; transparent over [`std::sync::RwLock`] in
+    /// release builds.
+    #[repr(transparent)]
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Wraps `value`; `site` is recorded only in debug builds.
+        #[inline]
+        pub fn new(value: T, site: &'static str) -> Self {
+            let _ = site;
+            RwLock {
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared read access.
+        #[inline]
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            RwLockReadGuard {
+                inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+
+        /// Acquires exclusive write access.
+        #[inline]
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            RwLockWriteGuard {
+                inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+
+    /// RAII guard for [`RwLock::read`].
+    #[repr(transparent)]
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        inner: std::sync::RwLockReadGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    /// RAII guard for [`RwLock::write`].
+    #[repr(transparent)]
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        inner: std::sync::RwLockWriteGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// A condition variable for use with [`Mutex`].
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// A fresh condition variable.
+        #[inline]
+        pub fn new() -> Self {
+            Condvar::default()
+        }
+
+        /// Wakes one waiter.
+        #[inline]
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wakes all waiters.
+        #[inline]
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+
+        /// Blocks while `condition` returns `true`.
+        #[inline]
+        pub fn wait_while<'a, T, F>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            condition: F,
+        ) -> MutexGuard<'a, T>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            MutexGuard {
+                inner: self
+                    .inner
+                    .wait_while(guard.inner, condition)
+                    .unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loom implementation: delegate to loom's model-checked primitives.
+// ---------------------------------------------------------------------
+#[cfg(loom)]
+mod imp {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// A mutual-exclusion lock; delegates to [`loom::sync::Mutex`]
+    /// under `--cfg loom`.
+    pub struct Mutex<T: ?Sized> {
+        inner: loom::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wraps `value`; `site` is unused under loom.
+        pub fn new(value: T, site: &'static str) -> Self {
+            let _ = site;
+            Mutex {
+                inner: loom::sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().expect("loom mutex poisoned")
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().expect("loom mutex poisoned"),
+            }
+        }
+
+        /// Acquires the lock only if it is free right now.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            self.inner.try_lock().ok().map(|inner| MutexGuard { inner })
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+
+    /// RAII guard for [`Mutex::lock`].
+    pub struct MutexGuard<'a, T: ?Sized> {
+        inner: loom::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    /// A reader-writer lock; delegates to [`loom::sync::RwLock`].
+    pub struct RwLock<T: ?Sized> {
+        inner: loom::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Wraps `value`; `site` is unused under loom.
+        pub fn new(value: T, site: &'static str) -> Self {
+            let _ = site;
+            RwLock {
+                inner: loom::sync::RwLock::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared read access.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            RwLockReadGuard {
+                inner: self.inner.read().expect("loom rwlock poisoned"),
+            }
+        }
+
+        /// Acquires exclusive write access.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            RwLockWriteGuard {
+                inner: self.inner.write().expect("loom rwlock poisoned"),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+
+    /// RAII guard for [`RwLock::read`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        inner: loom::sync::RwLockReadGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    /// RAII guard for [`RwLock::write`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        inner: loom::sync::RwLockWriteGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// A condition variable for use with [`Mutex`].
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: loom::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// A fresh condition variable.
+        pub fn new() -> Self {
+            Condvar::default()
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+
+        /// Blocks while `condition` returns `true`. Loom's condvar has
+        /// no `wait_while`, so the predicate loop is spelled out here —
+        /// which also lets loom explore the spurious-wakeup schedules.
+        pub fn wait_while<'a, T, F>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            mut condition: F,
+        ) -> MutexGuard<'a, T>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            let mut inner = guard.inner;
+            while condition(&mut inner) {
+                inner = self.inner.wait(inner).expect("loom mutex poisoned");
+            }
+            MutexGuard { inner }
+        }
+    }
+}
+
+pub use imp::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// ---------------------------------------------------------------------
+// Loom model of the lock-order core itself: two threads recording
+// opposite acquisition orders into one shared graph must detect the
+// inversion exactly once, and disjoint stacks must never false-positive.
+// Run via: RUSTFLAGS="--cfg loom" cargo test -p rebert-sync --lib loom
+// ---------------------------------------------------------------------
+#[cfg(all(test, loom))]
+mod loom_model {
+    use crate::graph::OrderGraph;
+    use loom::sync::{Arc, Mutex};
+    use loom::thread;
+
+    #[test]
+    fn loom_opposite_orders_detect_exactly_once() {
+        loom::model(|| {
+            let graph = Arc::new(Mutex::new(OrderGraph::new()));
+            let a = {
+                let graph = Arc::clone(&graph);
+                thread::spawn(move || {
+                    // Holding site 0, blocking on site 1.
+                    graph.lock().unwrap().record(&[0], 1, "t-ab").is_some()
+                })
+            };
+            let b = {
+                let graph = Arc::clone(&graph);
+                thread::spawn(move || {
+                    // Holding site 1, blocking on site 0 — the inversion.
+                    graph.lock().unwrap().record(&[1], 0, "t-ba").is_some()
+                })
+            };
+            let detections = usize::from(a.join().unwrap()) + usize::from(b.join().unwrap());
+            // Whichever thread records second sees the other's edge and
+            // reports; the first is silent. Never zero, never both.
+            assert_eq!(detections, 1, "inversion detected exactly once");
+        });
+    }
+
+    #[test]
+    fn loom_disjoint_stacks_never_false_positive() {
+        loom::model(|| {
+            let graph = Arc::new(Mutex::new(OrderGraph::new()));
+            let a = {
+                let graph = Arc::clone(&graph);
+                thread::spawn(move || graph.lock().unwrap().record(&[0], 1, "t1").is_some())
+            };
+            let b = {
+                let graph = Arc::clone(&graph);
+                thread::spawn(move || graph.lock().unwrap().record(&[2], 3, "t2").is_some())
+            };
+            assert!(!a.join().unwrap(), "disjoint pair 0→1 is clean");
+            assert!(!b.join().unwrap(), "disjoint pair 2→3 is clean");
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(41, "sync.test.round_trip");
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_contends_honestly() {
+        let m = Mutex::new((), "sync.test.try_lock");
+        let g = m.lock();
+        assert!(m.try_lock().is_none(), "held elsewhere");
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        use std::sync::Arc;
+        let l = Arc::new(RwLock::new(7, "sync.test.rw"));
+        // Concurrent readers on *different* threads share fine. (Nested
+        // same-thread reads of one site are deliberately reported by
+        // the tracker: recursive read acquisition can deadlock against
+        // a queued writer.)
+        let l2 = Arc::clone(&l);
+        let reader = std::thread::spawn(move || *l2.read());
+        let here = *l.read();
+        assert_eq!(reader.join().expect("reader"), here);
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn condvar_wait_while_rechecks_predicate() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false, "sync.test.cv"), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = (&pair.0, &pair.1);
+                let guard = cv.wait_while(lock.lock(), |ready| !*ready);
+                *guard
+            })
+        };
+        // A notify with the predicate still false must NOT release the
+        // waiter (spurious-wakeup discipline): wait_while re-checks.
+        pair.1.notify_all();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        assert!(
+            waiter.join().expect("waiter exits"),
+            "woke with predicate true"
+        );
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(5u32, "sync.test.poison"));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // A std mutex would now return Err(PoisonError) forever; the
+        // wrapper recovers the guard and the daemon keeps serving.
+        assert_eq!(*m.lock(), 5);
+        *m.lock() = 6;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn release_wrappers_are_layout_transparent() {
+        use std::mem::size_of;
+        #[cfg(not(debug_assertions))]
+        {
+            // The zero-cost claim, pinned: release wrappers add nothing.
+            assert_eq!(size_of::<Mutex<u64>>(), size_of::<std::sync::Mutex<u64>>());
+            assert_eq!(
+                size_of::<RwLock<u64>>(),
+                size_of::<std::sync::RwLock<u64>>()
+            );
+            assert_eq!(size_of::<Condvar>(), size_of::<std::sync::Condvar>());
+            assert_eq!(
+                size_of::<MutexGuard<'_, u64>>(),
+                size_of::<std::sync::MutexGuard<'_, u64>>()
+            );
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Debug carries exactly one site pointer per lock.
+            assert_eq!(
+                size_of::<Mutex<u64>>(),
+                size_of::<std::sync::Mutex<u64>>() + size_of::<usize>()
+            );
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    mod checked {
+        use super::*;
+
+        #[test]
+        fn stats_name_the_site() {
+            let m = Mutex::new(0u8, "sync.test.stats_site");
+            drop(m.lock());
+            let stats = site_stats();
+            let s = stats
+                .iter()
+                .find(|s| s.name == "sync.test.stats_site")
+                .expect("site registered");
+            assert!(s.acquisitions >= 1);
+        }
+
+        #[test]
+        fn consistent_nesting_order_stays_silent() {
+            use std::sync::Arc;
+            let a = Arc::new(Mutex::new(0, "sync.test.nest_outer"));
+            let b = Arc::new(Mutex::new(0, "sync.test.nest_inner"));
+            for _ in 0..3 {
+                let ga = a.lock();
+                let gb = b.lock();
+                drop(gb);
+                drop(ga);
+            }
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                let ga = a2.lock();
+                let _gb = b2.lock();
+                drop(ga);
+            })
+            .join()
+            .expect("same order on another thread is fine");
+        }
+    }
+}

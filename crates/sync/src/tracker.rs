@@ -1,0 +1,337 @@
+//! The global runtime tracker behind the debug-build wrappers: the site
+//! registry, the per-thread held-lock stacks, the shared
+//! [`OrderGraph`], and the per-site contention/hold counters.
+//!
+//! Only compiled under `cfg(all(debug_assertions, not(loom)))`. Release
+//! builds never see any of this (the wrappers are transparent
+//! newtypes), and loom builds delegate straight to loom's primitives so
+//! model exploration stays deterministic.
+//!
+//! Internal state deliberately uses **raw** `std::sync` primitives —
+//! wrapping them in the checked types would recurse. `crates/sync` is
+//! the one place `rebert lint-src` permits them.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::graph::{CycleReport, OrderGraph};
+use crate::SiteStats;
+
+/// One registered lock site: a dense id, the static name, and the
+/// counters the `/metrics` exposition reads. Cells are leaked once per
+/// distinct site name, so wrappers hold `&'static SiteCell` and the hot
+/// path never touches the registry map.
+pub(crate) struct SiteCell {
+    pub(crate) id: u32,
+    pub(crate) name: &'static str,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+    hold_ns: AtomicU64,
+}
+
+struct Sites {
+    by_name: BTreeMap<&'static str, &'static SiteCell>,
+    by_id: Vec<&'static SiteCell>,
+}
+
+fn sites() -> &'static Mutex<Sites> {
+    static SITES: OnceLock<Mutex<Sites>> = OnceLock::new();
+    SITES.get_or_init(|| {
+        Mutex::new(Sites {
+            by_name: BTreeMap::new(),
+            by_id: Vec::new(),
+        })
+    })
+}
+
+fn graph() -> &'static Mutex<OrderGraph> {
+    static GRAPH: OnceLock<Mutex<OrderGraph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(OrderGraph::new()))
+}
+
+/// A report hook: receives the rendered cycle report before the panic.
+type ReportHook = Option<fn(&str)>;
+
+fn hook_slot() -> &'static Mutex<ReportHook> {
+    static HOOK: OnceLock<Mutex<ReportHook>> = OnceLock::new();
+    HOOK.get_or_init(|| Mutex::new(None))
+}
+
+/// Registers (or looks up) the site for `name`. Same name ⇒ same cell:
+/// all sixteen cache shards constructed with `"rebert.cache.shard"`
+/// share one graph node.
+pub(crate) fn site(name: &'static str) -> &'static SiteCell {
+    let mut s = sites().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(cell) = s.by_name.get(name) {
+        return cell;
+    }
+    let id = u32::try_from(s.by_id.len()).expect("fewer than 2^32 lock sites");
+    let cell: &'static SiteCell = Box::leak(Box::new(SiteCell {
+        id,
+        name,
+        acquisitions: AtomicU64::new(0),
+        contended: AtomicU64::new(0),
+        wait_ns: AtomicU64::new(0),
+        hold_ns: AtomicU64::new(0),
+    }));
+    s.by_name.insert(name, cell);
+    s.by_id.push(cell);
+    cell
+}
+
+/// Whether lock-order checking is live. Debug builds default to **on**;
+/// `REBERT_SYNC_CHECK=0` (or `false`/`off`) opts out, anything else —
+/// including the `=1` CI setting — keeps it on. Resolved once per
+/// process.
+pub(crate) fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| parse_check_env(std::env::var("REBERT_SYNC_CHECK").ok().as_deref()))
+}
+
+/// Pure half of [`enabled`], split out so both polarities are testable
+/// in one process.
+pub(crate) fn parse_check_env(value: Option<&str>) -> bool {
+    !matches!(value, Some("0") | Some("false") | Some("off"))
+}
+
+thread_local! {
+    /// Site ids this thread currently holds, outermost first.
+    static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    /// Reentrancy latch: set while the report hook runs so a hook that
+    /// itself takes checked locks (e.g. the obs ring) cannot recurse
+    /// into detection mid-report.
+    static SUPPRESSED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Called by a wrapper *before* it blocks: records one graph edge per
+/// held site and panics with the two-path report if any edge closes a
+/// cycle. `try_*` acquisitions skip this (they cannot block, so they
+/// cannot close a deadlock) but still land on the held stack via
+/// [`after_acquire`].
+pub(crate) fn before_acquire(site: &'static SiteCell) {
+    if !enabled() || SUPPRESSED.get() {
+        return;
+    }
+    let held: Vec<u32> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    let current = std::thread::current();
+    let thread_name = current.name().unwrap_or("?");
+    let cycle = graph()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .record(&held, site.id, thread_name);
+    if let Some(cycle) = cycle {
+        report_and_panic(&cycle);
+    }
+}
+
+/// Renders the cycle, feeds it to the report hook (if installed), and
+/// panics. The graph lock is *not* held here, so a hook routing through
+/// rebert-obs — whose ring sink takes a checked lock of its own — is
+/// safe; `SUPPRESSED` additionally stops that lock from re-entering
+/// detection.
+fn report_and_panic(cycle: &CycleReport) -> ! {
+    let report = render(cycle);
+    let hook = *hook_slot().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(hook) = hook {
+        SUPPRESSED.set(true);
+        hook(&report);
+        SUPPRESSED.set(false);
+    }
+    panic!("{report}");
+}
+
+/// The human rendering: the blocked acquisition path, then every
+/// recorded edge on the conflicting chain with the context captured
+/// when it was first seen.
+fn render(cycle: &CycleReport) -> String {
+    let name_of = |id: u32| -> &'static str {
+        let s = sites().lock().unwrap_or_else(PoisonError::into_inner);
+        s.by_id.get(id as usize).map_or("<unknown>", |c| c.name)
+    };
+    let list = |ids: &[u32]| -> String {
+        ids.iter()
+            .map(|&id| format!("`{}`", name_of(id)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = format!(
+        "lock-order cycle detected\n  this acquisition: thread `{}` blocking on `{}` while holding [{}]\n",
+        cycle.thread,
+        name_of(cycle.attempted),
+        list(&cycle.holding),
+    );
+    if cycle.path.is_empty() {
+        out.push_str(
+            "  cause: same-site nested acquisition — this thread already holds that site;\n  \
+             give internally-ordered instances distinct site names\n",
+        );
+    } else {
+        out.push_str("  conflicting order recorded earlier:\n");
+        for (a, b, ctx) in &cycle.path {
+            out.push_str(&format!(
+                "    `{}` -> `{}` first recorded on thread `{}` holding [{}]\n",
+                name_of(*a),
+                name_of(*b),
+                ctx.thread,
+                list(&ctx.held),
+            ));
+        }
+        let mut ring: Vec<&'static str> = vec![name_of(cycle.attempted)];
+        ring.extend(cycle.path.iter().map(|&(_, b, _)| name_of(b)));
+        ring.push(name_of(cycle.attempted));
+        out.push_str(&format!("  cycle: {}\n", ring.join(" -> ")));
+    }
+    out
+}
+
+/// Bookkeeping for one live acquisition. Returned by [`after_acquire`];
+/// its [`Drop`] pops the held stack and banks the hold time, so unlock
+/// order (including mid-panic unwinds) always rebalances the stack.
+pub(crate) struct HeldToken {
+    site: &'static SiteCell,
+    acquired_at: Instant,
+    /// Whether this acquisition was pushed onto the held stack (false
+    /// when checking is disabled or suppressed during a report).
+    tracked: bool,
+}
+
+/// Called by a wrapper immediately after the inner lock is secured.
+pub(crate) fn after_acquire(
+    site: &'static SiteCell,
+    waited: Duration,
+    contended: bool,
+) -> HeldToken {
+    site.acquisitions.fetch_add(1, Ordering::Relaxed);
+    if contended {
+        site.contended.fetch_add(1, Ordering::Relaxed);
+    }
+    site.wait_ns.fetch_add(
+        u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX),
+        Ordering::Relaxed,
+    );
+    let tracked = enabled() && !SUPPRESSED.get();
+    if tracked {
+        HELD.with(|h| h.borrow_mut().push(site.id));
+    }
+    HeldToken {
+        site,
+        acquired_at: Instant::now(),
+        tracked,
+    }
+}
+
+impl HeldToken {
+    /// Condvar support: releases the tracking claim *without* dropping
+    /// the token allocation semantics — used when a guard is handed to
+    /// `Condvar::wait_while`, which atomically unlocks the mutex.
+    /// Returns the site so the wrapper can re-track after wakeup.
+    pub(crate) fn pause(self) -> &'static SiteCell {
+        let site = self.site;
+        self.release();
+        site
+    }
+
+    fn release(self) {
+        // Copy fields then forget: letting Drop run would double-release.
+        let (site, acquired_at, tracked) = (self.site, self.acquired_at, self.tracked);
+        std::mem::forget(self);
+        finish(site, acquired_at, tracked);
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        finish(self.site, self.acquired_at, self.tracked);
+    }
+}
+
+fn finish(site: &'static SiteCell, acquired_at: Instant, tracked: bool) {
+    site.hold_ns.fetch_add(
+        u64::try_from(acquired_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        Ordering::Relaxed,
+    );
+    if tracked {
+        // Guards can drop out of LIFO order; remove the last matching
+        // occurrence rather than assuming the top of stack.
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&id| id == site.id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// After a condvar wakeup the mutex is *already* re-held; record the
+/// re-acquisition (edges + stack + counters) post hoc. A cycle found
+/// here still panics — with the lock held, which is acceptable for a
+/// diagnostic that is about to abort the thread anyway.
+pub(crate) fn after_reacquire(site: &'static SiteCell) -> HeldToken {
+    before_acquire(site);
+    after_acquire(site, Duration::ZERO, false)
+}
+
+/// Installs the process-wide cycle-report hook.
+pub(crate) fn set_hook(hook: fn(&str)) {
+    *hook_slot().lock().unwrap_or_else(PoisonError::into_inner) = Some(hook);
+}
+
+/// Snapshot of every registered site's counters, in site-id order.
+pub(crate) fn stats() -> Vec<SiteStats> {
+    let s = sites().lock().unwrap_or_else(PoisonError::into_inner);
+    s.by_id
+        .iter()
+        .map(|c| SiteStats {
+            name: c.name,
+            acquisitions: c.acquisitions.load(Ordering::Relaxed),
+            contended: c.contended.load(Ordering::Relaxed),
+            wait_ns: c.wait_ns.load(Ordering::Relaxed),
+            hold_ns: c.hold_ns.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_env_polarity() {
+        assert!(parse_check_env(None), "debug default is on");
+        assert!(parse_check_env(Some("1")));
+        assert!(parse_check_env(Some("yes")));
+        assert!(!parse_check_env(Some("0")));
+        assert!(!parse_check_env(Some("false")));
+        assert!(!parse_check_env(Some("off")));
+    }
+
+    #[test]
+    fn site_ids_are_dense_and_names_unify() {
+        let a = site("tracker.test.alpha");
+        let b = site("tracker.test.beta");
+        let a2 = site("tracker.test.alpha");
+        assert!(std::ptr::eq(a, a2), "same name, same cell");
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn stats_reflect_acquisitions() {
+        let s = site("tracker.test.stats");
+        let token = after_acquire(s, Duration::from_nanos(500), true);
+        drop(token);
+        let snap = stats()
+            .into_iter()
+            .find(|st| st.name == "tracker.test.stats")
+            .expect("registered");
+        assert!(snap.acquisitions >= 1);
+        assert!(snap.contended >= 1);
+        assert!(snap.wait_ns >= 500);
+    }
+}

@@ -1,0 +1,110 @@
+//! Seeded lock-order inversion: the acceptance test for the tracker.
+//!
+//! One thread acquires shard A then shard B; another acquires B then A.
+//! No run of this test can actually deadlock (the threads are
+//! serialized by a join), but the order graph remembers the first
+//! thread's `A → B` edge, so the second thread's `B → A` attempt must
+//! panic with a report naming **both** acquisition paths. Runs under
+//! `cargo test` (debug) and under CI's explicit `REBERT_SYNC_CHECK=1`
+//! sweep; release builds carry no tracker, so the test is debug-only.
+
+#![cfg(debug_assertions)]
+
+use std::sync::Arc;
+
+use rebert_sync::Mutex;
+
+#[test]
+fn seeded_inversion_panics_with_a_two_path_report() {
+    let shard_a = Arc::new(Mutex::new(0u32, "lock_order.test.shard_a"));
+    let shard_b = Arc::new(Mutex::new(0u32, "lock_order.test.shard_b"));
+
+    // Thread 1: the "legitimate" order A → B, recorded into the graph.
+    {
+        let (a, b) = (Arc::clone(&shard_a), Arc::clone(&shard_b));
+        std::thread::Builder::new()
+            .name("inversion-t1".into())
+            .spawn(move || {
+                let ga = a.lock();
+                let gb = b.lock();
+                drop(gb);
+                drop(ga);
+            })
+            .expect("spawn")
+            .join()
+            .expect("A → B is clean");
+    }
+
+    // Thread 2: the inversion B → A must panic before blocking.
+    let (a, b) = (Arc::clone(&shard_a), Arc::clone(&shard_b));
+    let err = std::thread::Builder::new()
+        .name("inversion-t2".into())
+        .spawn(move || {
+            let gb = b.lock();
+            let _ga = a.lock(); // tracker panics here
+            drop(gb);
+        })
+        .expect("spawn")
+        .join()
+        .expect_err("B → A closes the cycle and panics");
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+    assert!(
+        rebert_sync::checking_enabled(),
+        "this test requires checking on (REBERT_SYNC_CHECK not 0)"
+    );
+    assert!(msg.contains("lock-order cycle detected"), "{msg}");
+    // Path 1: the blocked acquisition, with the thread and held stack.
+    assert!(msg.contains("thread `inversion-t2`"), "{msg}");
+    assert!(
+        msg.contains("blocking on `lock_order.test.shard_a`"),
+        "{msg}"
+    );
+    assert!(msg.contains("holding [`lock_order.test.shard_b`]"), "{msg}");
+    // Path 2: the previously recorded conflicting edge with *its*
+    // thread and held stack.
+    assert!(msg.contains("thread `inversion-t1`"), "{msg}");
+    assert!(
+        msg.contains("`lock_order.test.shard_a` -> `lock_order.test.shard_b`"),
+        "{msg}"
+    );
+    // And the rendered cycle ring.
+    assert!(
+        msg.contains(
+            "lock_order.test.shard_a -> lock_order.test.shard_b -> lock_order.test.shard_a"
+        ),
+        "{msg}"
+    );
+
+    // The offending edge was not inserted: the legitimate order still
+    // works afterwards, so one seeded inversion cannot cascade.
+    let ga = shard_a.lock();
+    let gb = shard_b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+#[test]
+fn same_site_nested_acquisition_is_reported_as_self_deadlock() {
+    let shards = [
+        Mutex::new(1u32, "lock_order.test.same_site"),
+        Mutex::new(2u32, "lock_order.test.same_site"),
+    ];
+    let err = std::thread::Builder::new()
+        .name("same-site".into())
+        .spawn(move || {
+            // Two *instances* of one site held at once: with one node
+            // per site this is indistinguishable from self-deadlock.
+            let g0 = shards[0].lock();
+            let _g1 = shards[1].lock();
+            drop(g0);
+        })
+        .expect("spawn")
+        .join()
+        .expect_err("same-site nesting panics");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("same-site nested acquisition"), "{msg}");
+}

@@ -1,0 +1,23 @@
+//! Seeded `rebert lint-src` violations, one per code, at pinned lines.
+//! CI and the CLI tests assert these exact (code, line) pairs:
+//!   raw-sync-primitive          line 10
+//!   relaxed-publication-store   line 13
+//!   lock-result-unwrap          line 17
+//!   static-mut                  line 20
+//! plus: the suppressed violation on line 23 must NOT be reported.
+//! Never compiled — data for the lint walker only (walkers skip
+//! `fixtures/`, so this file cannot fail the clean-workspace gate).
+use std::sync::Mutex;
+
+fn publish(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn request_path(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+static mut SCRATCH: [u8; 4] = [0; 4];
+
+// fixture for the suppression path — rebert-lint: allow(raw-sync-primitive)
+use std::sync::Condvar;
