@@ -124,7 +124,7 @@ COMMANDS
             score-cache-<fingerprint>.bin exists (beside the checkpoint,
             or under --cache-dir) and how many entries it holds.
   serve     --model <model.json> [--addr <host:port>] [--threads N]
-            [--queue N] [--deadline-ms N]
+            [--queue N] [--deadline-ms N] [--web]
             [--cache-bytes N] [--cache-dir <dir>]
             Run the resident word-recovery daemon: the checkpoint loads
             once and stays warm across requests. POST /recover accepts
@@ -143,18 +143,24 @@ COMMANDS
             model with X-Rebert-Model. --tenant-quota N enforces a
             per-tenant token bucket of N requests/second (keyed by
             X-Rebert-Tenant; over-quota requests get 429 +
-            Retry-After).
+            Retry-After). --web serves the embedded operator dashboard
+            at GET / (live stat tiles from /debug/stats, a streaming
+            phase waterfall, a recovered-word bit heatmap) — one
+            self-contained page, no build step or external assets.
             Defaults: --addr 127.0.0.1:7878, --queue 32,
-            --deadline-ms 0 (unbounded), --tenant-quota off.
+            --deadline-ms 0 (unbounded), --tenant-quota off, --web off.
   submit    --addr <host:port> --in <file> [--labels <labels.json>]
             [--deadline-ms N] [--precision <f32|f32-simd|int8>]
-            [--no-cache] [--model <name>] [--tenant <id>]
+            [--no-cache] [--stream] [--model <name>] [--tenant <id>]
             Send a netlist to a running daemon and print the recovered
             words (ARI when labels are given); --precision rides along
             as the X-Rebert-Precision header; --no-cache asks the
-            daemon to score from scratch (X-Rebert-No-Cache); --model
-            picks a resident registry model (X-Rebert-Model); --tenant
-            attributes the request to a quota bucket (X-Rebert-Tenant).
+            daemon to score from scratch (X-Rebert-No-Cache); --stream
+            uses POST /recover/stream and prints live per-phase
+            progress lines while the daemon works (the final result is
+            identical either way); --model picks a resident registry
+            model (X-Rebert-Model); --tenant attributes the request to
+            a quota bucket (X-Rebert-Tenant).
   models    --addr <host:port> [--load <model.json> --name <name>]
             List a daemon's resident models (name, version,
             fingerprint, served counters, cache stats). With --load,
@@ -240,7 +246,7 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
             "log-level",
             "trace-out",
         ],
-        &[],
+        &["web"],
     ),
     (
         "submit",
@@ -255,7 +261,7 @@ const COMMAND_TABLES: &[(&str, &[&str], &[&str])] = &[
             "log-level",
             "trace-out",
         ],
-        &["no-cache"],
+        &["no-cache", "stream"],
     ),
     ("models", &["addr", "load", "name"], &[]),
     (
@@ -688,8 +694,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         cache_bytes,
         cache_dir,
         tenant_quota,
+        web: args.flag("web"),
         ..rebert_serve::ServeConfig::default()
     };
+    let web = config.web;
     let server = rebert_serve::serve(session, listener, config)?;
     // Printed before the blocking drain loop so callers (and the CI
     // smoke test) can tell the daemon is up.
@@ -697,6 +705,9 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "rebert-serve listening on {} (queue {queue})",
         server.addr()
     );
+    if web {
+        println!("dashboard at http://{}/", server.addr());
+    }
     rebert_serve::run_until_shutdown(server);
     Ok("drained in-flight work, shut down cleanly".to_owned())
 }
@@ -722,6 +733,53 @@ fn submit_options(
     })
 }
 
+/// One human line per NDJSON stream record (`rebert submit --stream`),
+/// or `None` for records with nothing to show.
+fn render_stream_record(line: &str) -> Option<String> {
+    let rec = rebert::json::Json::parse(line).ok()?;
+    let text = |key: &str| {
+        rec.get(key)
+            .and_then(rebert::json::Json::as_str)
+            .unwrap_or("?")
+            .to_owned()
+    };
+    let num = |key: &str| rec.get(key).and_then(rebert::json::Json::as_u64);
+    match text("type").as_str() {
+        "meta" => Some(format!(
+            "streaming request {} | design {} | {} bits | model {}",
+            text("request_id"),
+            text("design"),
+            num("bits").unwrap_or(0),
+            text("model_fingerprint"),
+        )),
+        "error" => Some(format!("daemon reported: {}", text("error"))),
+        "progress" => {
+            let phase = text("phase");
+            match text("event").as_str() {
+                "begin" => Some(format!("  [{phase}] started")),
+                "end" => Some(format!("  [{phase}] done")),
+                "scoring" => Some(format!(
+                    "  [score] {}/{} pairs ({:.1}%)",
+                    num("done").unwrap_or(0),
+                    num("total").unwrap_or(0),
+                    rec.get("percent")
+                        .and_then(rebert::json::Json::as_f64)
+                        .unwrap_or(0.0),
+                )),
+                "update" => {
+                    let mut line = format!("  [{phase}] {}%", num("pct").unwrap_or(0));
+                    if let (Some(hits), Some(misses)) = (num("cache_hits"), num("cache_misses")) {
+                        line.push_str(&format!(" | cache {hits} hits / {misses} misses"));
+                    }
+                    Some(line)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
 fn cmd_submit(args: &Args) -> Result<String, CliError> {
     validate(args)?;
     let addr = args.require("addr")?;
@@ -734,8 +792,17 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
         "bench"
     };
     let opts = submit_options(args, Some(format))?;
-    let reply = rebert_serve::submit(addr, &text, &opts)
-        .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
+    let reply = if args.flag("stream") {
+        rebert_serve::submit_stream(addr, &text, &opts, |record| {
+            if let Some(line) = render_stream_record(record) {
+                println!("{line}");
+            }
+        })
+        .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?
+    } else {
+        rebert_serve::submit(addr, &text, &opts)
+            .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?
+    };
     if reply.status != 200 {
         // The request id lets the daemon side of a failure be found in
         // its logs and `GET /debug/trace` output.
@@ -744,6 +811,16 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
             "daemon answered {} (request {request_id}): {}",
             reply.status,
             reply.body_text().trim()
+        )
+        .into());
+    }
+    if args.flag("stream") && reply.body.is_empty() {
+        // A 200 stream that ends without a result record carried an
+        // error record instead (deadline, executor loss) — already
+        // printed above by the record callback.
+        let request_id = reply.header("X-Rebert-Request-Id").unwrap_or("unknown");
+        return Err(format!(
+            "stream for request {request_id} ended without a result (see lines above)"
         )
         .into());
     }

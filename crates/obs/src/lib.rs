@@ -45,14 +45,16 @@ pub mod record;
 pub mod ring;
 pub mod sink;
 pub mod span;
+pub mod tap;
 
 pub use record::{Field, Kind, Level, Record, Value};
 pub use ring::RingSink;
-pub use sink::{record_json, ChromeTraceSink, JsonlSink, Sink, StderrSink};
+pub use sink::{record_json, value_json, ChromeTraceSink, JsonlSink, Sink, StderrSink};
 pub use span::{
     current_ctx, enter_ctx, event, event_with, message, now_micros, span, span_with, thread_id,
     CtxGuard, SpanGuard, TraceCtx,
 };
+pub use tap::{TapSink, TapSubscription};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};

@@ -1,0 +1,297 @@
+//! [`TapSink`]: a bounded per-subscriber broadcast for *live* record
+//! streams.
+//!
+//! The ring ([`crate::RingSink`]) answers "what happened?"; the tap
+//! answers "what is happening right now?". A single `TapSink` is
+//! installed next to the ring for the daemon's lifetime; each
+//! `POST /recover/stream` connection [`subscribe`](TapSink::subscribe)s
+//! its own bounded queue, optionally filtered to the records carrying
+//! its `request_id` context field, drains it while the job runs, and
+//! unsubscribes by dropping the [`TapSubscription`].
+//!
+//! The write path inherits the ring's never-block contract twice over:
+//! the subscriber list is read with `try_lock` (a racing
+//! subscribe/unsubscribe costs one record for everyone, counted per
+//! queue), and each queue is pushed with `try_lock` (contention or
+//! overflow evicts/counts exactly like the ring). With zero
+//! subscribers the per-record cost is one uncontended `try_lock` over
+//! an empty vec.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rebert_sync::Mutex;
+
+use crate::record::{Level, Record, Value};
+use crate::sink::Sink;
+
+/// One subscriber's bounded queue plus its optional request-id filter.
+struct TapQueue {
+    cap: usize,
+    /// When set, only records whose fields carry
+    /// `("request_id", Str(filter))` are enqueued. Context adoption
+    /// (see `span.rs`) stamps that field on every record emitted under
+    /// a request, including executor- and worker-thread records.
+    filter: Option<String>,
+    buf: Mutex<VecDeque<Record>>,
+    dropped: AtomicU64,
+}
+
+impl TapQueue {
+    fn matches(&self, rec: &Record) -> bool {
+        match &self.filter {
+            None => true,
+            Some(want) => rec
+                .fields
+                .iter()
+                .any(|(k, v)| *k == "request_id" && matches!(v, Value::Str(s) if s == want)),
+        }
+    }
+
+    /// Never blocks: contention or overflow counts a drop, exactly
+    /// like the ring's write path.
+    fn push(&self, rec: &Record) {
+        match self.buf.try_lock() {
+            Some(mut q) => {
+                if q.len() == self.cap {
+                    q.pop_front();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                q.push_back(rec.clone());
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Broadcast sink fanning records out to live subscribers. See the
+/// module docs.
+pub struct TapSink {
+    level: Level,
+    next_id: AtomicU64,
+    subscribers: Mutex<Vec<(u64, Arc<TapQueue>)>>,
+}
+
+impl TapSink {
+    /// Creates a tap admitting records up to `level`.
+    pub fn new(level: Level) -> TapSink {
+        TapSink {
+            level,
+            next_id: AtomicU64::new(1),
+            subscribers: Mutex::new(Vec::new(), "obs.tap.subscribers"),
+        }
+    }
+
+    /// Registers a bounded queue (at most `cap` records, min 1) and
+    /// returns its handle. `request_id = Some(id)` narrows the queue to
+    /// records whose context fields carry that id; `None` taps
+    /// everything. Dropping the handle unsubscribes.
+    pub fn subscribe(self: &Arc<Self>, cap: usize, request_id: Option<&str>) -> TapSubscription {
+        let queue = Arc::new(TapQueue {
+            cap: cap.max(1),
+            filter: request_id.map(str::to_owned),
+            buf: Mutex::new(VecDeque::new(), "obs.tap.queue"),
+            dropped: AtomicU64::new(0),
+        });
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subscribers.lock().push((id, Arc::clone(&queue)));
+        TapSubscription {
+            id,
+            sink: Arc::clone(self),
+            queue,
+        }
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+
+    fn unsubscribe(&self, id: u64) {
+        self.subscribers.lock().retain(|(sid, _)| *sid != id);
+    }
+}
+
+impl Sink for TapSink {
+    fn record(&self, rec: &Record) {
+        // The dispatcher holds the registry lock while calling us, so
+        // this must never block: a subscribe/unsubscribe in flight
+        // costs every subscriber this one record, counted below.
+        if let Some(subs) = self.subscribers.try_lock() {
+            for (_, queue) in subs.iter() {
+                if queue.matches(rec) {
+                    queue.push(rec);
+                }
+            }
+        }
+    }
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+}
+
+/// A live subscription handle; dropping it unsubscribes the queue.
+pub struct TapSubscription {
+    id: u64,
+    sink: Arc<TapSink>,
+    queue: Arc<TapQueue>,
+}
+
+impl TapSubscription {
+    /// Removes and returns everything currently queued, oldest first.
+    /// Blocking (reader-side only), like [`crate::RingSink::drain`].
+    pub fn drain(&self) -> Vec<Record> {
+        let mut q = self.queue.buf.lock();
+        q.drain(..).collect()
+    }
+
+    /// Records this subscriber lost to overflow eviction, write
+    /// contention, or a racing (un)subscribe.
+    pub fn dropped_events(&self) -> u64 {
+        self.queue.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TapSubscription {
+    fn drop(&mut self) {
+        self.sink.unsubscribe(self.id);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::record::Kind;
+
+    fn rec(i: u64, request_id: Option<&str>) -> Record {
+        let mut fields = vec![("i", Value::U64(i))];
+        if let Some(id) = request_id {
+            fields.push(("request_id", Value::Str(id.to_owned())));
+        }
+        Record {
+            ts_micros: i,
+            kind: Kind::Instant,
+            level: Level::Info,
+            target: "test",
+            name: "tick",
+            thread: 1,
+            span: 0,
+            parent: 0,
+            fields,
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_subscriber() {
+        let tap = Arc::new(TapSink::new(Level::Debug));
+        let a = tap.subscribe(8, None);
+        let b = tap.subscribe(8, None);
+        tap.record(&rec(1, None));
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(b.drain().len(), 1);
+        assert_eq!(tap.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn request_id_filter_admits_only_matching_records() {
+        let tap = Arc::new(TapSink::new(Level::Debug));
+        let sub = tap.subscribe(8, Some("req-7"));
+        tap.record(&rec(1, Some("req-7")));
+        tap.record(&rec(2, Some("req-8")));
+        tap.record(&rec(3, None));
+        tap.record(&rec(4, Some("req-7")));
+        let got: Vec<u64> = sub.drain().iter().map(|r| r.ts_micros).collect();
+        assert_eq!(got, vec![1, 4]);
+        assert_eq!(sub.dropped_events(), 0, "filtered-out is not dropped");
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_per_subscriber() {
+        let tap = Arc::new(TapSink::new(Level::Debug));
+        let small = tap.subscribe(2, None);
+        let large = tap.subscribe(8, None);
+        for i in 0..5 {
+            tap.record(&rec(i, None));
+        }
+        let kept: Vec<u64> = small.drain().iter().map(|r| r.ts_micros).collect();
+        assert_eq!(kept, vec![3, 4]);
+        assert_eq!(small.dropped_events(), 3);
+        assert_eq!(large.drain().len(), 5);
+        assert_eq!(large.dropped_events(), 0);
+    }
+
+    #[test]
+    fn dropping_the_handle_unsubscribes() {
+        let tap = Arc::new(TapSink::new(Level::Debug));
+        let sub = tap.subscribe(8, None);
+        assert_eq!(tap.subscriber_count(), 1);
+        drop(sub);
+        assert_eq!(tap.subscriber_count(), 0);
+        // Recording into an empty tap is a no-op, not an error.
+        tap.record(&rec(1, None));
+    }
+
+    #[test]
+    fn contended_record_drops_instead_of_blocking() {
+        let tap = Arc::new(TapSink::new(Level::Debug));
+        let sub = tap.subscribe(8, None);
+        let held = sub.queue.buf.lock();
+        tap.record(&rec(1, None));
+        assert_eq!(sub.dropped_events(), 1);
+        drop(held);
+        tap.record(&rec(2, None));
+        assert_eq!(sub.drain().len(), 1);
+    }
+}
+
+/// Loom model mirroring the ring's accounting claim for the tap: a
+/// record racing a subscribe is either delivered, dropped-and-counted,
+/// or skipped because the subscriber was not yet registered — never
+/// blocked and never lost untracked once registered. Run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p rebert-obs --lib loom`.
+#[cfg(all(test, loom))]
+mod loom_models {
+    use super::*;
+    use crate::record::Kind;
+    use loom::thread;
+
+    fn rec(i: u64) -> Record {
+        Record {
+            ts_micros: i,
+            kind: Kind::Instant,
+            level: Level::Info,
+            target: "loom",
+            name: "tick",
+            thread: 1,
+            span: 0,
+            parent: 0,
+            fields: vec![("i", Value::U64(i))],
+        }
+    }
+
+    #[test]
+    fn loom_tap_record_vs_drain_accounts_for_every_push() {
+        loom::model(|| {
+            let tap = Arc::new(TapSink::new(Level::Debug));
+            let sub = tap.subscribe(2, None);
+            tap.record(&rec(1));
+            let writer = {
+                let tap = Arc::clone(&tap);
+                thread::spawn(move || tap.record(&rec(2)))
+            };
+            let drained = sub.drain().len();
+            writer.join().unwrap();
+            let residue = sub.drain().len();
+            let dropped = sub.dropped_events() as usize;
+            assert_eq!(drained + residue + dropped, 2);
+        });
+    }
+}

@@ -33,6 +33,21 @@ use crate::token::PairSequence;
 /// uncontended.
 const SWEEP_BATCH: usize = 512;
 
+/// Emits a coarse `pipeline`/`progress` instant event at a phase
+/// boundary: the phase that just advanced, a rough percent-complete for
+/// the whole run, and phase-specific counters. Purely observational —
+/// instants never touch the phase spans' `end_at` timing contract, and
+/// the serve streaming endpoint translates them into NDJSON progress
+/// records. Context fields (the request id) ride along automatically.
+fn progress(phase: &'static str, pct: u64, extra: Vec<obs::Field>) {
+    if !obs::enabled(obs::Level::Info) {
+        return;
+    }
+    let mut fields: Vec<obs::Field> = vec![("phase", phase.into()), ("pct", pct.into())];
+    fields.extend(extra);
+    obs::event_with(obs::Level::Info, "pipeline", "progress", fields);
+}
+
 /// Telemetry from one pipeline run, including a per-phase breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineStats {
@@ -243,6 +258,7 @@ impl ReBertModel {
         let n = seqs.len();
         let tokenize_time = start.elapsed();
         sp_tokenize.end_at(tokenize_time);
+        progress("tokenize", 10, vec![("bits", n.into())]);
 
         let mut sp_filter = obs::span(obs::Level::Info, "pipeline", "filter");
         let filter_start = Instant::now();
@@ -367,6 +383,15 @@ impl ReBertModel {
         sp_filter.add_field("classes", k);
         sp_filter.add_field("class_pairs", class_pairs.len());
         sp_filter.end_at(filter_time);
+        progress(
+            "filter",
+            30,
+            vec![
+                ("classes", k.into()),
+                ("class_pairs", class_pairs.len().into()),
+                ("survivors", pairs.len().into()),
+            ],
+        );
 
         let mut sp_score = obs::span(obs::Level::Info, "pipeline", "score");
         let score_start = Instant::now();
@@ -375,6 +400,7 @@ impl ReBertModel {
         let scores = match ctx.cache {
             None => {
                 let pair_refs: Vec<&PairSequence> = pairs.iter().collect();
+                progress("score", 40, vec![("to_score", pair_refs.len().into())]);
                 self.score_refs_ctx(&pair_refs, threads, ctx.cancel, ctx.scratches, backend)
             }
             Some(cache) => {
@@ -399,6 +425,15 @@ impl ReBertModel {
                 sp_lookup.add_field("hits", cache_hits);
                 sp_lookup.add_field("misses", cache_misses);
                 sp_lookup.end();
+                progress(
+                    "score",
+                    40,
+                    vec![
+                        ("to_score", miss_refs.len().into()),
+                        ("cache_hits", cache_hits.into()),
+                        ("cache_misses", cache_misses.into()),
+                    ],
+                );
                 self.score_refs_ctx(&miss_refs, threads, ctx.cancel, ctx.scratches, backend)
                     .map(|fresh| {
                         for (&slot, &score) in miss_slots.iter().zip(&fresh) {
@@ -424,6 +459,15 @@ impl ReBertModel {
         let score_time = score_start.elapsed();
         sp_score.add_field("class_pairs_scored", pairs.len());
         sp_score.end_at(score_time);
+        progress(
+            "score",
+            90,
+            vec![
+                ("class_pairs_scored", pairs.len().into()),
+                ("cache_hits", cache_hits.into()),
+                ("cache_misses", cache_misses.into()),
+            ],
+        );
 
         let sp_group = obs::span(obs::Level::Info, "pipeline", "group");
         let group_start = Instant::now();
@@ -443,6 +487,11 @@ impl ReBertModel {
 
         let pairs_total = n * n.saturating_sub(1) / 2;
         let scored = pairs_total - filtered;
+        progress(
+            "group",
+            100,
+            vec![("bits", n.into()), ("pairs_scored", scored.into())],
+        );
         root.add_field("bits", n);
         root.add_field("classes", k);
         root.add_field("pairs_scored", scored);

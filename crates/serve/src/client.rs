@@ -36,19 +36,19 @@ fn bad_reply(message: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
 }
 
-/// Sends one request and reads the full reply.
-///
-/// # Errors
-///
-/// Returns the connect/transport error, or `InvalidData` if the reply
-/// is not parseable HTTP.
-pub fn http_request(
+/// A parsed reply head: the reader (positioned at the body), the
+/// status code, and the response headers in arrival order.
+type ReplyHead = (BufReader<TcpStream>, u16, Vec<(String, String)>);
+
+/// Sends one request and parses the reply head (status line + headers),
+/// leaving the body unread behind the returned reader.
+fn send_request(
     addr: impl ToSocketAddrs,
     method: &str,
     target: &str,
     headers: &[(&str, &str)],
     body: &[u8],
-) -> std::io::Result<HttpReply> {
+) -> std::io::Result<ReplyHead> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut head = format!("{method} {target} HTTP/1.1\r\nHost: rebert\r\n");
@@ -82,7 +82,23 @@ pub fn http_request(
             .ok_or_else(|| bad_reply(format!("bad reply header `{line}`")))?;
         reply_headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
+    Ok((reader, status, reply_headers))
+}
 
+/// Sends one request and reads the full reply.
+///
+/// # Errors
+///
+/// Returns the connect/transport error, or `InvalidData` if the reply
+/// is not parseable HTTP.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpReply> {
+    let (mut reader, status, reply_headers) = send_request(addr, method, target, headers, body)?;
     // The server always closes after one response, so read to EOF.
     let mut body = Vec::new();
     reader.read_to_end(&mut body)?;
@@ -241,6 +257,67 @@ pub fn submit(
     let owned = opts.headers();
     let headers: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
     http_request(addr, "POST", "/recover", &headers, netlist_text.as_bytes())
+}
+
+/// Submits a netlist to `POST /recover/stream` and follows the NDJSON
+/// stream live: every interim record (they all carry a `"type"` key —
+/// `meta`, `progress`, `error`) is handed to `on_record` as it arrives;
+/// the final result record (the one line *without* a `"type"` key,
+/// byte-identical to the plain `POST /recover` body) becomes the
+/// returned reply's body. Pre-stream rejections (400/404/429/503) come
+/// back as a normal [`HttpReply`] with `on_record` never called.
+///
+/// An empty returned body on a 200 reply means the stream ended with
+/// an `error` record (deadline, executor loss) instead of a result.
+///
+/// # Errors
+///
+/// Transport or reply-parse failure.
+pub fn submit_stream(
+    addr: impl ToSocketAddrs,
+    netlist_text: &str,
+    opts: &SubmitOptions,
+    mut on_record: impl FnMut(&str),
+) -> std::io::Result<HttpReply> {
+    let owned = opts.headers();
+    let headers: Vec<(&str, &str)> = owned.iter().map(|(k, v)| (*k, v.as_str())).collect();
+    let (mut reader, status, reply_headers) = send_request(
+        addr,
+        "POST",
+        "/recover/stream",
+        &headers,
+        netlist_text.as_bytes(),
+    )?;
+    if status != 200 {
+        let mut body = Vec::new();
+        reader.read_to_end(&mut body)?;
+        return Ok(HttpReply {
+            status,
+            headers: reply_headers,
+            body,
+        });
+    }
+    let mut final_record = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break; // EOF: the server closed the stream
+        }
+        let record = line.trim_end_matches(['\r', '\n']);
+        if record.is_empty() {
+            continue;
+        }
+        if record.starts_with("{\"type\":") {
+            on_record(record);
+        } else {
+            final_record = record.to_owned();
+        }
+    }
+    Ok(HttpReply {
+        status,
+        headers: reply_headers,
+        body: final_record.into_bytes(),
+    })
 }
 
 /// Serializes named netlists into the `POST /batch` archive format:

@@ -11,13 +11,16 @@
 //! | Endpoint          | Semantics |
 //! |-------------------|-----------|
 //! | `POST /recover`   | Body is a `.bench` or Verilog netlist (`X-Rebert-Format: bench\|verilog`, sniffed otherwise). Optional `X-Rebert-Deadline-Ms` bounds the recovery; optional `X-Rebert-Precision: f32\|f32-simd\|int8` selects the scoring backend (unknown values get `400`); optional `X-Rebert-Model` picks a resident model by name (unknown names get `404` listing the residents). Returns recovered words + pipeline stats as JSON. |
+//! | `POST /recover/stream` | Same body and headers as `/recover`, but the reply is live NDJSON: a `meta` record, `progress` records while the recovery runs (phase begin/end, scored-pairs percent, cache hits), then the final result record — byte-identical to the `/recover` payload and the only line without a `"type"` key. A client that disconnects mid-stream cancels the job; the warm session survives. |
 //! | `POST /batch`     | Body is a length-prefixed archive of named netlists (`<len> <name>\n` + bytes per entry; see [`client::batch_archive`]). Streams one NDJSON record per netlist as each finishes; per-entry failures are records, not HTTP errors. Honors the same model/backend/deadline headers as `/recover`. |
 //! | `GET /models`     | Lists resident models: name, version, checkpoint fingerprint, per-backend served counters, score-cache stats. |
 //! | `POST /models/{name}/load` | Body `{"path": "ckpt.rbt"}`. Loads the checkpoint and atomically publishes it under `name`; in-flight requests finish on the old version, which is retired (cache flushed, memory dropped) once its refcount drains. |
 //! | `GET /healthz`    | Liveness probe (`200 ok`). |
 //! | `GET /metrics`    | Prometheus text exposition: request counters, queue depth, in-flight gauge, per-phase timing histograms, pairs/sec, cone-dedup counters, `rebert_model_info` per resident model, per-tenant request counters. |
 //! | `POST /shutdown`  | Requests a graceful drain (also triggered by SIGINT/SIGTERM). |
-//! | `GET /debug/trace`| Drains the in-memory trace ring as NDJSON: a meta line (`drained`, `dropped_events`) followed by one span/event record per line. |
+//! | `GET /debug/trace`| Drains the in-memory trace ring as NDJSON: a meta line (`drained`, `dropped_events`) followed by one span/event record per line. `?request_id=<id>` narrows the output to one request's records. |
+//! | `GET /debug/stats`| One JSON snapshot of the operator numbers: queue depth/capacity, inflight, cache hit rate, per-phase and per-endpoint latency quantiles (p50/p95/p99), per-backend pairs/sec, resident models. |
+//! | `GET /`           | With [`ServeConfig::web`] (`rebert serve --web`): the embedded single-file dashboard — live stat tiles, a per-request phase waterfall fed by `/recover/stream`, and a recovered-word bit heatmap. No build step, no external assets. |
 //!
 //! ## Semantics
 //!
@@ -68,10 +71,12 @@ pub mod http;
 pub mod metrics;
 pub mod queue;
 mod server;
+mod web;
 
 pub use client::{
     batch_archive, http_request, list_models, load_model_remote, submit, submit_batch,
-    submit_recover, submit_recover_opts, submit_recover_with, HttpReply, SubmitOptions,
+    submit_recover, submit_recover_opts, submit_recover_with, submit_stream, HttpReply,
+    SubmitOptions,
 };
 pub use metrics::Metrics;
 pub use server::{run_until_shutdown, serve, serve_registry, signals, ServeConfig, Server};

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rebert::{Backend, PipelineStats};
@@ -17,6 +18,11 @@ use rebert_sync::Mutex;
 /// Histogram bucket upper bounds, in seconds. Spans sub-millisecond
 /// grouping up to multi-second scoring runs; `+Inf` is implicit.
 pub const BUCKETS: [f64; 9] = [0.001, 0.005, 0.02, 0.1, 0.25, 1.0, 2.5, 10.0, 60.0];
+
+/// The quantiles every histogram exports as companion gauges:
+/// `(q, label)` pairs, rendered with a `quantile` label like a
+/// Prometheus summary.
+pub const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -97,6 +103,42 @@ impl Histogram {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count.get()
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts
+    /// by linear interpolation inside the owning bucket — the same
+    /// estimate PromQL's `histogram_quantile` computes. Observations in
+    /// the `+Inf` bucket clamp to the largest finite bound, and an
+    /// empty histogram reports `0.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count.get();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        let mut lower = 0.0f64;
+        for (i, &le) in BUCKETS.iter().enumerate() {
+            let here = self.counts[i].get();
+            if here > 0 && cumulative + here >= rank {
+                let into = (rank - cumulative) as f64 / here as f64;
+                return lower + (le - lower) * into;
+            }
+            cumulative += here;
+            lower = le;
+        }
+        BUCKETS[BUCKETS.len() - 1]
+    }
+
+    /// Renders the [`QUANTILES`] companion gauges for this histogram.
+    fn render_quantiles(&self, out: &mut String, name: &str, labels: &str) {
+        for (q, label) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "{name}_quantile{{{labels}quantile=\"{label}\"}} {}",
+                self.quantile(q)
+            );
+        }
     }
 
     fn render(&self, out: &mut String, name: &str, labels: &str) {
@@ -183,6 +225,29 @@ pub struct Metrics {
     backend_pairs_per_sec: [AtomicU64; Backend::ALL.len()],
     /// Per-phase recovery timing histograms, indexed like [`PHASES`].
     phase: [Histogram; PHASES.len()],
+    /// `(endpoint, model)` → wall-clock request-duration histogram,
+    /// exported as `rebert_request_duration_seconds`. The model label
+    /// is empty for endpoints where no model is involved.
+    durations: Mutex<BTreeMap<(&'static str, String), Arc<Histogram>>>,
+    /// Trace-ring records lost to overflow eviction or write
+    /// contention — a snapshot of the ring's monotone counter,
+    /// refreshed before every render and exported as
+    /// `rebert_trace_dropped_total`.
+    pub trace_dropped: Gauge,
+}
+
+/// One `(endpoint, model)` duration series snapshot, for
+/// `GET /debug/stats`.
+#[derive(Debug, Clone)]
+pub struct DurationStat {
+    /// Endpoint label (`recover`, `stream`, `batch`, …).
+    pub endpoint: &'static str,
+    /// Model label; empty when the endpoint has no model dimension.
+    pub model: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Estimated `[p50, p95, p99]` in seconds, in [`QUANTILES`] order.
+    pub quantiles: [f64; QUANTILES.len()],
 }
 
 /// Index of `backend` into the [`Backend::ALL`]-shaped metric arrays.
@@ -218,6 +283,8 @@ impl Default for Metrics {
             backend_requests: Default::default(),
             backend_pairs_per_sec: Default::default(),
             phase: Default::default(),
+            durations: Mutex::new(BTreeMap::new(), "serve.metrics.durations"),
+            trace_dropped: Gauge::default(),
         }
     }
 }
@@ -350,6 +417,57 @@ impl Metrics {
             .map(|i| &self.phase[i])
     }
 
+    /// Scoring throughput of the most recent completed recovery
+    /// (pairs/sec; `0.0` until one completes).
+    pub fn last_pairs_per_sec(&self) -> f64 {
+        f64::from_bits(self.last_pairs_per_sec.load(Ordering::Relaxed))
+    }
+
+    /// Records one finished request's wall-clock duration against its
+    /// `(endpoint, model)` series. `model = None` for endpoints with no
+    /// model dimension (health, metrics, debug).
+    pub fn observe_request_duration(
+        &self,
+        endpoint: &'static str,
+        model: Option<&str>,
+        d: Duration,
+    ) {
+        let histogram = {
+            let mut map = self.durations.lock();
+            Arc::clone(
+                map.entry((endpoint, model.unwrap_or("").to_owned()))
+                    .or_default(),
+            )
+        };
+        histogram.observe(d);
+    }
+
+    /// The duration histogram recorded for `(endpoint, model)`, if any
+    /// request has landed there.
+    pub fn request_duration(&self, endpoint: &str, model: Option<&str>) -> Option<Arc<Histogram>> {
+        let want_model = model.unwrap_or("");
+        self.durations
+            .lock()
+            .iter()
+            .find(|((e, m), _)| *e == endpoint && m == want_model)
+            .map(|(_, h)| Arc::clone(h))
+    }
+
+    /// Snapshot of every `(endpoint, model)` duration series with its
+    /// estimated quantiles, for `GET /debug/stats`.
+    pub fn request_duration_stats(&self) -> Vec<DurationStat> {
+        self.durations
+            .lock()
+            .iter()
+            .map(|((endpoint, model), h)| DurationStat {
+                endpoint,
+                model: model.clone(),
+                count: h.count(),
+                quantiles: QUANTILES.map(|(q, _)| h.quantile(q)),
+            })
+            .collect()
+    }
+
     /// Renders everything in the Prometheus text exposition format.
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(4096);
@@ -362,7 +480,7 @@ impl Metrics {
             );
         }
 
-        let gauges_and_counters: [(&str, &str, &str, u64); 15] = [
+        let gauges_and_counters: [(&str, &str, &str, u64); 16] = [
             (
                 "rebert_queue_depth",
                 "gauge",
@@ -452,6 +570,12 @@ impl Metrics {
                 "gauge",
                 "Entries resident in the score cache.",
                 self.cache_entries.get(),
+            ),
+            (
+                "rebert_trace_dropped_total",
+                "counter",
+                "Trace-ring records lost to overflow eviction or write contention.",
+                self.trace_dropped.get(),
             ),
         ];
         for (name, kind, help, value) in gauges_and_counters {
@@ -562,7 +686,47 @@ impl Metrics {
                 &format!("phase=\"{phase}\","),
             );
         }
+        out.push_str("# HELP rebert_phase_seconds_quantile Estimated phase-duration quantiles, interpolated from the histogram buckets.\n# TYPE rebert_phase_seconds_quantile gauge\n");
+        for (phase, h) in PHASES.iter().zip(&self.phase) {
+            h.render_quantiles(
+                &mut out,
+                "rebert_phase_seconds",
+                &format!("phase=\"{phase}\","),
+            );
+        }
+
+        {
+            let durations = self.durations.lock();
+            if !durations.is_empty() {
+                out.push_str("# HELP rebert_request_duration_seconds Wall-clock request duration by endpoint (and model where one is involved).\n# TYPE rebert_request_duration_seconds histogram\n");
+                for ((endpoint, model), h) in durations.iter() {
+                    h.render(
+                        &mut out,
+                        "rebert_request_duration_seconds",
+                        &duration_labels(endpoint, model),
+                    );
+                }
+                out.push_str("# HELP rebert_request_duration_seconds_quantile Estimated request-duration quantiles, interpolated from the histogram buckets.\n# TYPE rebert_request_duration_seconds_quantile gauge\n");
+                for ((endpoint, model), h) in durations.iter() {
+                    h.render_quantiles(
+                        &mut out,
+                        "rebert_request_duration_seconds",
+                        &duration_labels(endpoint, model),
+                    );
+                }
+            }
+        }
         out
+    }
+}
+
+/// Label prefix for one `(endpoint, model)` duration series; the model
+/// label is omitted when empty.
+fn duration_labels(endpoint: &str, model: &str) -> String {
+    if model.is_empty() {
+        format!("endpoint=\"{endpoint}\",")
+    } else {
+        format!("endpoint=\"{endpoint}\",model=\"{model}\",")
     }
 }
 
@@ -788,6 +952,90 @@ mod tests {
                 "release build must not export lock telemetry: {text}"
             );
         }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_owning_bucket() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports zero");
+        // Ten observations in the (0.02, 0.1] bucket: p50 ranks 5th of
+        // 10, landing 50% into the bucket's width.
+        for _ in 0..10 {
+            h.observe(Duration::from_millis(50));
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 0.06).abs() < 1e-9, "p50 = {p50}");
+        // p99 ranks ceil(9.9) = 10th of 10 — the top of the bucket.
+        assert!((h.quantile(0.99) - 0.1).abs() < 1e-9);
+        // A +Inf outlier clamps to the largest finite bound.
+        h.observe(Duration::from_secs(600));
+        assert_eq!(h.quantile(1.0), BUCKETS[BUCKETS.len() - 1]);
+        // Quantiles never decrease in q.
+        assert!(h.quantile(0.95) >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn every_histogram_family_renders_quantile_gauges() {
+        let m = Metrics::new();
+        m.record_recovery(&sample_stats());
+        m.observe_request_duration("recover", Some("default"), Duration::from_millis(44));
+        m.observe_request_duration("metrics", None, Duration::from_micros(300));
+        let text = m.render();
+        for family in [
+            "rebert_phase_seconds_quantile",
+            "rebert_request_duration_seconds",
+            "rebert_request_duration_seconds_quantile",
+        ] {
+            assert!(
+                text.contains(&format!("# HELP {family} "))
+                    && text.contains(&format!("# TYPE {family} ")),
+                "missing HELP/TYPE for {family}"
+            );
+        }
+        for (_, q) in QUANTILES {
+            assert!(
+                text.contains(&format!(
+                    "rebert_phase_seconds_quantile{{phase=\"score\",quantile=\"{q}\"}}"
+                )),
+                "missing score p{q}: {text}"
+            );
+        }
+        assert!(text.contains(
+            "rebert_request_duration_seconds_bucket{endpoint=\"recover\",model=\"default\",le=\"0.1\"} 1"
+        ));
+        assert!(text.contains("rebert_request_duration_seconds_count{endpoint=\"metrics\"} 1"));
+        assert!(text.contains(
+            "rebert_request_duration_seconds_quantile{endpoint=\"recover\",model=\"default\",quantile=\"0.99\"}"
+        ));
+    }
+
+    #[test]
+    fn duration_series_are_queryable_and_snapshot() {
+        let m = Metrics::new();
+        assert!(m.request_duration("recover", None).is_none());
+        assert!(m.request_duration_stats().is_empty());
+        m.observe_request_duration("recover", Some("default"), Duration::from_millis(10));
+        m.observe_request_duration("recover", Some("default"), Duration::from_millis(12));
+        let h = m
+            .request_duration("recover", Some("default"))
+            .expect("series exists");
+        assert_eq!(h.count(), 2);
+        let stats = m.request_duration_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].endpoint, "recover");
+        assert_eq!(stats[0].model, "default");
+        assert_eq!(stats[0].count, 2);
+        assert!(stats[0].quantiles[0] > 0.0);
+        assert!(stats[0].quantiles[2] >= stats[0].quantiles[0]);
+    }
+
+    #[test]
+    fn trace_dropped_snapshot_renders_as_counter() {
+        let m = Metrics::new();
+        m.trace_dropped.set(7);
+        let text = m.render();
+        assert!(text.contains("# TYPE rebert_trace_dropped_total counter"));
+        assert!(text.contains("rebert_trace_dropped_total 7"));
     }
 
     #[test]

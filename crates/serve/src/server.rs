@@ -71,6 +71,10 @@ pub struct ServeConfig {
     /// by the `X-Rebert-Tenant` header; missing header = the shared
     /// `anonymous` bucket). `None` disables quota enforcement.
     pub tenant_quota: Option<f64>,
+    /// Serve the embedded dashboard SPA at `GET /` (`rebert serve
+    /// --web`). Off by default: the dashboard is an operator surface,
+    /// not part of the API contract.
+    pub web: bool,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +89,7 @@ impl Default for ServeConfig {
             cache_flush_every: 64,
             cache_dir: None,
             tenant_quota: None,
+            web: false,
         }
     }
 }
@@ -100,6 +105,11 @@ struct Job {
     /// the client was told about.
     resident: Arc<ResidentModel>,
     deadline: Option<Instant>,
+    /// A token shared with the submitting connection thread, so it can
+    /// cancel the job from outside the executor (streaming clients that
+    /// disconnect mid-recovery). `None` = the executor builds its own
+    /// token from `deadline`.
+    cancel: Option<CancelToken>,
     /// Inference backend requested via `X-Rebert-Precision` (validated
     /// on the connection thread; default scalar).
     backend: Backend,
@@ -129,6 +139,9 @@ struct Shared {
     conns: Mutex<Vec<JoinHandle<()>>>,
     /// Always-on bounded trace ring, drained by `GET /debug/trace`.
     trace: Arc<RingSink>,
+    /// Live broadcast tap: `POST /recover/stream` connections subscribe
+    /// per-request queues filtered by their request id.
+    tap: Arc<obs::TapSink>,
     /// Resident models: name → current version, atomically hot-swappable.
     registry: Arc<ModelRegistry>,
     /// Per-tenant token buckets (`None` = quotas off).
@@ -143,6 +156,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     executor_thread: Option<JoinHandle<()>>,
     trace_sink: Option<obs::SinkId>,
+    tap_sink: Option<obs::SinkId>,
 }
 
 /// Starts serving `session` on `listener` as the single resident model
@@ -202,6 +216,10 @@ pub fn serve_registry(
     listener.set_nonblocking(true)?;
     let quotas = config.tenant_quota.map(TenantQuotas::new);
     let trace = Arc::new(RingSink::new(config.trace_capacity, config.trace_level));
+    // The tap taps at Debug regardless of the ring level: the scoring
+    // percent comes from the scorer's Debug-level batch claims. With no
+    // subscriber its record path is one uncontended try_lock.
+    let tap = Arc::new(obs::TapSink::new(obs::Level::Debug));
     let shared = Arc::new(Shared {
         queue: Bounded::new(config.queue_capacity),
         metrics: Metrics::new(),
@@ -209,6 +227,7 @@ pub fn serve_registry(
         config,
         conns: Mutex::new(Vec::new(), "serve.server.conns"),
         trace: Arc::clone(&trace),
+        tap: Arc::clone(&tap),
         registry,
         quotas,
     });
@@ -223,6 +242,7 @@ pub fn serve_registry(
     // The ring records every request for `GET /debug/trace`; it is
     // uninstalled (narrowing the global gate back) when the server stops.
     let trace_sink = obs::install(trace);
+    let tap_sink = obs::install(tap);
     // A lock-order violation detected anywhere in the process (debug
     // builds / REBERT_SYNC_CHECK=1) lands in the daemon's own error log
     // with both acquisition paths before the offending thread panics.
@@ -247,6 +267,7 @@ pub fn serve_registry(
         accept_thread: Some(accept_thread),
         executor_thread: Some(executor_thread),
         trace_sink: Some(trace_sink),
+        tap_sink: Some(tap_sink),
     })
 }
 
@@ -319,6 +340,9 @@ impl Server {
         if let Some(id) = self.trace_sink.take() {
             obs::uninstall(id);
         }
+        if let Some(id) = self.tap_sink.take() {
+            obs::uninstall(id);
+        }
     }
 }
 
@@ -367,9 +391,15 @@ fn executor_loop(shared: &Shared) {
 /// drops `job` (failing the client's `recv()` into a 500) without
 /// taking the executor thread down.
 fn execute_job(shared: &Shared, job: Job, completed: &mut usize) {
-    let token = match job.deadline {
-        Some(d) => CancelToken::with_deadline_at(d),
-        None => CancelToken::new(),
+    // Streaming jobs ship their own token (the connection thread holds
+    // a clone and cancels it when the client disconnects); everyone
+    // else gets a fresh one carrying just the deadline.
+    let token = match &job.cancel {
+        Some(t) => t.clone(),
+        None => match job.deadline {
+            Some(d) => CancelToken::with_deadline_at(d),
+            None => CancelToken::new(),
+        },
     };
     // Adopt the request's context: the pipeline's `recover` span (and
     // everything under it) parents under the request's root span and
@@ -464,6 +494,25 @@ fn outcome_label(status: u16) -> &'static str {
     }
 }
 
+/// The per-endpoint label the request-duration histograms key on. A
+/// closed vocabulary (never the raw path) so an URL-scanning client
+/// cannot explode label cardinality.
+fn endpoint_of(path: &str) -> &'static str {
+    match path {
+        "/recover" => "recover",
+        "/recover/stream" => "stream",
+        "/batch" => "batch",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/debug/trace" => "trace",
+        "/debug/stats" => "stats",
+        "/shutdown" => "shutdown",
+        "/" => "dashboard",
+        p if p.starts_with("/models") => "models",
+        _ => "other",
+    }
+}
+
 /// Whether a client-supplied `X-Rebert-Request-Id` is safe to adopt:
 /// short, printable, header- and JSON-safe. Anything else keeps the
 /// server-generated id.
@@ -507,29 +556,58 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             );
             let ctx = obs::TraceCtx::default().with_field("request_id", request_id.clone());
             let ctx_guard = obs::enter_ctx(&ctx);
-            // `POST /batch` streams its NDJSON response itself (no
-            // Content-Length; close-delimited), so it gets the raw
-            // stream. Everything else goes through `route`.
-            let response = if req.method == "POST" && req.path() == "/batch" {
-                match handle_batch(&req, &stream, shared, &request_id) {
-                    BatchOutcome::Reply(resp) => Some(resp),
-                    BatchOutcome::Streamed(status) => {
-                        obs::event_with(
-                            obs::Level::Info,
-                            "serve",
-                            "request_done",
-                            vec![
-                                ("status", u64::from(status).into()),
-                                ("outcome", outcome_label(status).into()),
-                            ],
-                        );
-                        root.add_field("status", u64::from(status));
-                        None
-                    }
-                }
+            // `POST /batch` and `POST /recover/stream` stream their
+            // NDJSON responses themselves (no Content-Length;
+            // close-delimited), so they get the raw stream. Everything
+            // else goes through `route`.
+            let streamed = if req.method == "POST" && req.path() == "/batch" {
+                Some(handle_batch(&req, &stream, shared, &request_id))
+            } else if req.method == "POST" && req.path() == "/recover/stream" {
+                Some(handle_recover_stream(
+                    &req,
+                    &stream,
+                    shared,
+                    &request_id,
+                    arrival,
+                ))
             } else {
-                Some(route(&req, arrival, shared))
+                None
             };
+            let response = match streamed {
+                Some(BatchOutcome::Reply(resp)) => Some(resp),
+                Some(BatchOutcome::Streamed(status)) => {
+                    obs::event_with(
+                        obs::Level::Info,
+                        "serve",
+                        "request_done",
+                        vec![
+                            ("status", u64::from(status).into()),
+                            ("outcome", outcome_label(status).into()),
+                        ],
+                    );
+                    root.add_field("status", u64::from(status));
+                    None
+                }
+                None => Some(route(&req, arrival, shared)),
+            };
+            // Wall-clock duration lands on the per-endpoint (and, where
+            // a model is involved, per-resident-model) histogram for
+            // every parsed request, streamed or not.
+            {
+                let endpoint = endpoint_of(req.path());
+                let model = match endpoint {
+                    "recover" | "stream" | "batch" => shared
+                        .registry
+                        .resolve(req.header("x-rebert-model"))
+                        .map(|r| r.name().to_owned()),
+                    _ => None,
+                };
+                shared.metrics.observe_request_duration(
+                    endpoint,
+                    model.as_deref(),
+                    arrival.elapsed(),
+                );
+            }
             match response {
                 Some(response) => {
                     obs::event_with(
@@ -586,6 +664,10 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
         }
         ("GET", "/metrics") => {
             shared.metrics.queue_depth.set(shared.queue.len() as u64);
+            shared
+                .metrics
+                .trace_dropped
+                .set(shared.trace.dropped_events());
             observe_registry(&shared.metrics, &shared.registry);
             shared.metrics.count_request("metrics", "ok");
             let body = shared.metrics.render();
@@ -600,7 +682,19 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
         }
         ("GET", "/debug/trace") => {
             shared.metrics.count_request("trace", "ok");
-            handle_debug_trace(shared)
+            handle_debug_trace(req, shared)
+        }
+        ("GET", "/debug/stats") => {
+            shared.metrics.count_request("stats", "ok");
+            handle_debug_stats(shared)
+        }
+        ("GET", "/") if shared.config.web => {
+            shared.metrics.count_request("dashboard", "ok");
+            Response {
+                status: 200,
+                headers: vec![("Content-Type".into(), "text/html; charset=utf-8".into())],
+                body: crate::web::DASHBOARD_HTML.as_bytes().to_vec(),
+            }
         }
         ("POST", "/recover") => handle_recover(req, arrival, shared),
         ("GET", "/models") => {
@@ -626,8 +720,8 @@ fn route(req: &Request, arrival: Instant, shared: &Shared) -> Response {
         }
         (
             _,
-            "/healthz" | "/metrics" | "/recover" | "/shutdown" | "/debug/trace" | "/models"
-            | "/batch",
+            "/healthz" | "/metrics" | "/recover" | "/recover/stream" | "/shutdown" | "/debug/trace"
+            | "/debug/stats" | "/models" | "/batch",
         ) => {
             shared.metrics.count_request("other", "bad_request");
             error_response(405, &format!("method {} not allowed here", req.method))
@@ -759,18 +853,49 @@ fn handle_model_load(req: &Request, name: &str, shared: &Shared) -> Response {
     )
 }
 
-/// `GET /debug/trace`: drains the trace ring as NDJSON. The first line
-/// is a meta object (`drained`, `dropped_events`); every following line
-/// is one trace record. Draining is destructive — each record is
-/// reported exactly once across successive calls.
-fn handle_debug_trace(shared: &Shared) -> Response {
-    let records = shared.trace.drain();
+/// Extracts one query parameter from a request target. No
+/// percent-decoding: every value we accept this way (request ids) is
+/// already restricted to a URL-safe charset.
+fn query_param<'a>(target: &'a str, key: &str) -> Option<&'a str> {
+    let (_, query) = target.split_once('?')?;
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// `GET /debug/trace[?request_id=...]`: drains the trace ring as
+/// NDJSON. The first line is a meta object (`drained`,
+/// `dropped_events`); every following line is one trace record. With
+/// `request_id`, only records whose context fields carry that id are
+/// returned (the rest still drain — they are counted as
+/// `filtered_out`). Draining is destructive — each record is reported
+/// at most once across successive calls.
+fn handle_debug_trace(req: &Request, shared: &Shared) -> Response {
+    let want = query_param(&req.target, "request_id");
+    let mut records = shared.trace.drain();
+    let total = records.len();
+    if let Some(id) = want {
+        records.retain(|rec| {
+            rec.fields
+                .iter()
+                .any(|(k, v)| *k == "request_id" && matches!(v, obs::Value::Str(s) if s == id))
+        });
+    }
     let dropped = shared.trace.dropped_events();
-    let meta = Json::Obj(vec![
-        ("drained".into(), Json::uint(records.len() as u64)),
-        ("dropped_events".into(), Json::uint(dropped)),
-    ]);
-    let mut body = meta.to_string();
+    shared.metrics.trace_dropped.set(dropped);
+    let mut meta = vec![
+        ("drained".to_owned(), Json::uint(records.len() as u64)),
+        ("dropped_events".to_owned(), Json::uint(dropped)),
+    ];
+    if let Some(id) = want {
+        meta.push(("request_id".to_owned(), Json::str(id)));
+        meta.push((
+            "filtered_out".to_owned(),
+            Json::uint((total - records.len()) as u64),
+        ));
+    }
+    let mut body = Json::Obj(meta).to_string();
     body.push('\n');
     for rec in &records {
         body.push_str(&obs::record_json(rec).to_string());
@@ -781,6 +906,129 @@ fn handle_debug_trace(shared: &Shared) -> Response {
         headers: vec![("Content-Type".into(), "application/x-ndjson".into())],
         body: body.into_bytes(),
     }
+}
+
+/// `GET /debug/stats`: one JSON snapshot of the numbers an operator
+/// watches — queue, cache, latency quantiles, per-backend and per-model
+/// throughput. This is the dashboard's data feed; everything here is
+/// also exposed in Prometheus form at `/metrics`.
+fn handle_debug_stats(shared: &Shared) -> Response {
+    let m = &shared.metrics;
+    m.queue_depth.set(shared.queue.len() as u64);
+    m.trace_dropped.set(shared.trace.dropped_events());
+    observe_registry(m, &shared.registry);
+
+    let hits = m.cache_hits_total.get();
+    let misses = m.cache_misses_total.get();
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let cache = Json::Obj(vec![
+        ("hits".into(), Json::uint(hits)),
+        ("misses".into(), Json::uint(misses)),
+        ("hit_rate".into(), Json::num(hit_rate)),
+        ("entries".into(), Json::uint(m.cache_entries.get())),
+        ("bytes".into(), Json::uint(m.cache_bytes.get())),
+        ("evictions".into(), Json::uint(m.cache_evictions.get())),
+    ]);
+    let trace = Json::Obj(vec![
+        ("buffered".into(), Json::uint(shared.trace.len() as u64)),
+        ("dropped".into(), Json::uint(shared.trace.dropped_events())),
+    ]);
+    let phases = Json::Arr(
+        crate::metrics::PHASES
+            .iter()
+            .filter_map(|&phase| {
+                let h = m.phase_histogram(phase)?;
+                Some(Json::Obj(vec![
+                    ("phase".into(), Json::str(phase)),
+                    ("count".into(), Json::uint(h.count())),
+                    ("p50".into(), Json::num(h.quantile(0.5))),
+                    ("p95".into(), Json::num(h.quantile(0.95))),
+                    ("p99".into(), Json::num(h.quantile(0.99))),
+                ]))
+            })
+            .collect(),
+    );
+    let endpoints = Json::Arr(
+        m.request_duration_stats()
+            .into_iter()
+            .map(|s| {
+                let mut fields = vec![("endpoint".to_owned(), Json::str(s.endpoint))];
+                if !s.model.is_empty() {
+                    fields.push(("model".to_owned(), Json::str(&s.model)));
+                }
+                fields.extend([
+                    ("count".to_owned(), Json::uint(s.count)),
+                    ("p50".to_owned(), Json::num(s.quantiles[0])),
+                    ("p95".to_owned(), Json::num(s.quantiles[1])),
+                    ("p99".to_owned(), Json::num(s.quantiles[2])),
+                ]);
+                Json::Obj(fields)
+            })
+            .collect(),
+    );
+    let backends = Json::Arr(
+        Backend::ALL
+            .iter()
+            .map(|&b| {
+                Json::Obj(vec![
+                    ("backend".into(), Json::str(b.label())),
+                    ("requests".into(), Json::uint(m.backend_request_count(b))),
+                    (
+                        "pairs_per_sec".into(),
+                        Json::num(m.backend_pairs_per_sec(b)),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let models = Json::Arr(
+        shared
+            .registry
+            .list()
+            .into_iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(r.name())),
+                    ("version".into(), Json::uint(r.version())),
+                    ("fingerprint".into(), Json::str(r.fingerprint_hex())),
+                    ("served_total".into(), Json::uint(r.served_total())),
+                ])
+            })
+            .collect(),
+    );
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("queue_depth".into(), Json::uint(shared.queue.len() as u64)),
+            (
+                "queue_capacity".into(),
+                Json::uint(shared.queue.capacity() as u64),
+            ),
+            ("inflight".into(), Json::uint(m.inflight.get())),
+            (
+                "pairs_scored_total".into(),
+                Json::uint(m.pairs_scored_total.get()),
+            ),
+            ("pairs_per_sec".into(), Json::num(m.last_pairs_per_sec())),
+            ("rejected_total".into(), Json::uint(m.rejected_total.get())),
+            ("deadline_total".into(), Json::uint(m.deadline_total.get())),
+            (
+                "throttled_total".into(),
+                Json::uint(m.throttled_total.get()),
+            ),
+            ("cache".into(), cache),
+            ("trace".into(), trace),
+            ("phases".into(), phases),
+            ("endpoints".into(), endpoints),
+            ("backends".into(), backends),
+            ("models".into(), models),
+        ]),
+    )
 }
 
 /// Whether a netlist body looks like Verilog rather than `.bench`.
@@ -981,6 +1229,7 @@ fn handle_recover_inner(req: &Request, arrival: Instant, shared: &Shared) -> Res
         netlist: Arc::clone(&netlist),
         resident,
         deadline,
+        cancel: None,
         backend,
         use_cache,
         reply: tx,
@@ -1203,6 +1452,7 @@ fn handle_batch(
             netlist: Arc::clone(&netlist),
             resident: Arc::clone(&resident),
             deadline: per_entry_deadline.map(|d| Instant::now() + d),
+            cancel: None,
             backend,
             use_cache,
             reply: tx,
@@ -1254,6 +1504,369 @@ fn handle_batch(
         shared.metrics.count_tenant(tenant_of(req), "ok");
     }
     BatchOutcome::Streamed(200)
+}
+
+/// How often the streaming connection thread drains its tap queue and
+/// checks for a client hang-up while the job runs.
+const STREAM_POLL: Duration = Duration::from_millis(10);
+
+/// Records one `POST /recover/stream` subscription buffers between
+/// drains. Sized for the worst case — a large design's per-batch
+/// scorer claims at Debug level — so a briefly stalled client socket
+/// does not cost progress records.
+const STREAM_TAP_CAPACITY: usize = 4096;
+
+/// Writes one NDJSON line, flushing through to the socket. `false`
+/// means the client is gone.
+fn write_line(mut stream: &TcpStream, record: &Json) -> bool {
+    let mut line = record.to_string();
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+/// Whether the streaming client hung up. A `peek` (never a read — the
+/// client sends nothing after its body, so any buffered byte is
+/// protocol noise we must not consume) in non-blocking mode: EOF or a
+/// hard error means gone; `WouldBlock` means the peer is simply quiet.
+fn stream_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+/// Turns the tap's raw trace records into client-facing NDJSON progress
+/// records, accumulating scorer batch claims into a percent.
+struct StreamProgress {
+    /// Pairs the score phase said it would score (from the pipeline's
+    /// `progress` event), the denominator for mid-score percent.
+    to_score: u64,
+    /// Pairs claimed by scorer batches so far.
+    claimed: u64,
+}
+
+/// Reads a numeric field off a trace record.
+fn field_u64(rec: &obs::Record, key: &str) -> Option<u64> {
+    rec.fields.iter().find_map(|(k, v)| {
+        (*k == key).then_some(match v {
+            obs::Value::U64(n) => Some(*n),
+            obs::Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        })?
+    })
+}
+
+impl StreamProgress {
+    fn new() -> StreamProgress {
+        StreamProgress {
+            to_score: 0,
+            claimed: 0,
+        }
+    }
+
+    /// One `{"type":"progress", ...}` record carrying the trace
+    /// record's own fields (minus the redundant `request_id`).
+    fn progress_record(event: &str, rec: &obs::Record) -> Json {
+        let mut fields = vec![
+            ("type".to_owned(), Json::str("progress")),
+            ("event".to_owned(), Json::str(event)),
+            ("ts_us".to_owned(), Json::uint(rec.ts_micros)),
+        ];
+        if rec.name != "progress" {
+            fields.push(("phase".to_owned(), Json::str(rec.name)));
+        }
+        for (k, v) in &rec.fields {
+            if *k != "request_id" {
+                fields.push(((*k).to_owned(), obs::value_json(v)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Maps one tap record to a client record, or `None` for records
+    /// the client has no use for (cache lookups, span internals).
+    fn translate(&mut self, rec: &obs::Record) -> Option<Json> {
+        match (rec.target, rec.name, rec.kind) {
+            ("pipeline", "progress", obs::Kind::Instant) => {
+                if let Some(n) = field_u64(rec, "to_score") {
+                    self.to_score = n;
+                }
+                Some(Self::progress_record("update", rec))
+            }
+            ("pipeline", _, obs::Kind::Begin) => Some(Self::progress_record("begin", rec)),
+            ("pipeline", _, obs::Kind::End) => Some(Self::progress_record("end", rec)),
+            ("par", "batch", obs::Kind::Begin) => {
+                self.claimed += field_u64(rec, "len").unwrap_or(0);
+                let total = self.to_score.max(self.claimed);
+                let percent = if total == 0 {
+                    100.0
+                } else {
+                    self.claimed as f64 * 100.0 / total as f64
+                };
+                Some(Json::Obj(vec![
+                    ("type".to_owned(), Json::str("progress")),
+                    ("event".to_owned(), Json::str("scoring")),
+                    ("phase".to_owned(), Json::str("score")),
+                    ("ts_us".to_owned(), Json::uint(rec.ts_micros)),
+                    ("done".to_owned(), Json::uint(self.claimed)),
+                    ("total".to_owned(), Json::uint(total)),
+                    ("percent".to_owned(), Json::num(percent)),
+                ]))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// `POST /recover/stream`: one netlist in, chunkless close-delimited
+/// NDJSON out — a meta record, then live progress records while the
+/// recovery runs, then the final result record (bitwise-identical to
+/// the `POST /recover` payload; it is the only record without a
+/// `"type"` key). A client that hangs up mid-stream cancels the job
+/// through the shared [`CancelToken`]; the warm session survives.
+fn handle_recover_stream(
+    req: &Request,
+    mut stream: &TcpStream,
+    shared: &Shared,
+    request_id: &str,
+    arrival: Instant,
+) -> BatchOutcome {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.metrics.rejected_total.inc();
+        shared.metrics.count_request("stream", "rejected");
+        return BatchOutcome::Reply(
+            error_response(503, "daemon is shutting down").header("Retry-After", "5"),
+        );
+    }
+    if let Err(throttled) = check_quota(req, "stream", shared) {
+        return BatchOutcome::Reply(throttled);
+    }
+    let resident = match resolve_model(req, "stream", shared) {
+        Ok(r) => r,
+        Err(resp) => return BatchOutcome::Reply(resp),
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => {
+            shared.metrics.count_request("stream", "bad_request");
+            return BatchOutcome::Reply(error_response(400, "netlist body is not valid utf-8"));
+        }
+    };
+    let netlist = match parse_netlist("request", body, req.header("x-rebert-format")) {
+        Ok(nl) => Arc::new(nl),
+        Err(msg) => {
+            shared.metrics.count_request("stream", "bad_request");
+            return BatchOutcome::Reply(error_response(400, &msg));
+        }
+    };
+    let preflight = rebert_analyze::lint_netlist(&netlist);
+    if preflight.has_errors() {
+        shared.metrics.count_request("stream", "lint_rejected");
+        let report = preflight.to_json();
+        let mut fields = vec![(
+            "error".to_owned(),
+            Json::str("netlist failed lint pre-flight; see diagnostics"),
+        )];
+        if let Json::Obj(inner) = report {
+            fields.extend(inner);
+        }
+        return BatchOutcome::Reply(Response::json(422, &Json::Obj(fields)));
+    }
+    let backend = match req.header("x-rebert-precision") {
+        Some(raw) => match Backend::parse(raw) {
+            Some(b) => b,
+            None => {
+                shared.metrics.count_request("stream", "bad_request");
+                return BatchOutcome::Reply(error_response(
+                    400,
+                    &format!(
+                        "unknown X-Rebert-Precision `{raw}` (expected `f32`, `f32-simd`, or `int8`)"
+                    ),
+                ));
+            }
+        },
+        None => Backend::F32Scalar,
+    };
+    let deadline = match req.header("x-rebert-deadline-ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Some(arrival + Duration::from_millis(ms)),
+            Err(_) => {
+                shared.metrics.count_request("stream", "bad_request");
+                return BatchOutcome::Reply(error_response(
+                    400,
+                    &format!("bad X-Rebert-Deadline-Ms `{raw}`"),
+                ));
+            }
+        },
+        None => shared.config.default_deadline.map(|d| arrival + d),
+    };
+    let use_cache = req.header("x-rebert-no-cache").is_none();
+
+    // The token is shared with the executor, so a client hang-up
+    // observed here cancels the recovery over there.
+    let token = match deadline {
+        Some(d) => CancelToken::with_deadline_at(d),
+        None => CancelToken::new(),
+    };
+    // Subscribe *before* enqueueing: the executor may pick the job up
+    // immediately, and records emitted before the subscription exists
+    // are simply never seen.
+    let tap = shared.tap.subscribe(STREAM_TAP_CAPACITY, Some(request_id));
+
+    let (tx, rx) = mpsc::channel();
+    let fingerprint_hex = resident.fingerprint_hex().to_owned();
+    let job = Job {
+        netlist: Arc::clone(&netlist),
+        resident,
+        deadline,
+        cancel: Some(token.clone()),
+        backend,
+        use_cache,
+        reply: tx,
+        trace: obs::current_ctx(),
+        test_panic: test_panic_requested(req),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.metrics.rejected_total.inc();
+            shared.metrics.count_request("stream", "rejected");
+            return BatchOutcome::Reply(
+                error_response(503, "recovery queue is full, retry shortly")
+                    .header("Retry-After", "1"),
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            shared.metrics.rejected_total.inc();
+            shared.metrics.count_request("stream", "rejected");
+            return BatchOutcome::Reply(
+                error_response(503, "daemon is shutting down").header("Retry-After", "5"),
+            );
+        }
+    }
+    shared.metrics.queue_depth.set(shared.queue.len() as u64);
+
+    // Point of no return: the job is queued and the head goes on the
+    // wire. From here every outcome is expressed inside the stream.
+    let head = format!(
+        "HTTP/1.1 200 {}\r\nContent-Type: application/x-ndjson\r\nX-Rebert-Request-Id: {request_id}\r\nConnection: close\r\n\r\n",
+        reason(200)
+    );
+    let mut client_gone = stream.write_all(head.as_bytes()).is_err();
+    let mut cancelled_by_client = false;
+    if !client_gone {
+        let meta = Json::Obj(vec![
+            ("type".to_owned(), Json::str("meta")),
+            ("request_id".to_owned(), Json::str(request_id)),
+            ("design".to_owned(), Json::str(netlist.name())),
+            ("model_fingerprint".to_owned(), Json::str(&fingerprint_hex)),
+            ("bits".to_owned(), Json::uint(netlist.bits().len() as u64)),
+        ]);
+        client_gone = !write_line(stream, &meta);
+    }
+
+    let mut progress = StreamProgress::new();
+    let verdict = loop {
+        if !client_gone {
+            for rec in tap.drain() {
+                if let Some(record) = progress.translate(&rec) {
+                    if !write_line(stream, &record) {
+                        client_gone = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !client_gone && stream_disconnected(stream) {
+            client_gone = true;
+        }
+        if client_gone && !cancelled_by_client {
+            cancelled_by_client = true;
+            token.cancel();
+            obs::event_with(
+                obs::Level::Info,
+                "serve",
+                "stream_client_gone",
+                vec![("request_id", request_id.into())],
+            );
+        }
+        match rx.recv_timeout(STREAM_POLL) {
+            Ok(v) => break Some(v),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+        }
+    };
+
+    // Flush whatever progress arrived between the last drain and the
+    // verdict, so the final record really is final.
+    if !client_gone {
+        for rec in tap.drain() {
+            if let Some(record) = progress.translate(&rec) {
+                if !write_line(stream, &record) {
+                    client_gone = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    let status = match verdict {
+        Some(Ok(rec)) => {
+            shared.metrics.count_request("stream", "ok");
+            if !client_gone {
+                let _ = write_line(stream, &recovery_json(&netlist, &rec, &fingerprint_hex));
+            }
+            200
+        }
+        Some(Err(Cancelled)) => {
+            let outcome = if cancelled_by_client {
+                "cancelled"
+            } else {
+                "deadline"
+            };
+            shared.metrics.count_request("stream", outcome);
+            if !client_gone {
+                let _ = write_line(
+                    stream,
+                    &Json::Obj(vec![
+                        ("type".to_owned(), Json::str("error")),
+                        ("error".to_owned(), Json::str("recovery deadline exceeded")),
+                    ]),
+                );
+            }
+            504
+        }
+        None => {
+            shared.metrics.count_request("stream", "error");
+            if !client_gone {
+                let _ = write_line(
+                    stream,
+                    &Json::Obj(vec![
+                        ("type".to_owned(), Json::str("error")),
+                        ("error".to_owned(), Json::str("executor unavailable")),
+                    ]),
+                );
+            }
+            500
+        }
+    };
+    if shared.quotas.is_some() {
+        shared
+            .metrics
+            .count_tenant(tenant_of(req), outcome_label(status));
+    }
+    BatchOutcome::Streamed(status)
 }
 
 /// The `POST /recover` success payload. `fingerprint_hex` identifies
